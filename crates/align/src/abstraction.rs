@@ -1,0 +1,92 @@
+//! Sequence abstraction: roll sequences up the code hierarchy and collapse
+//! repetition — §II.A.2's "abstractions over sequences of diagnosis
+//! instances".
+
+use pastas_codes::Code;
+
+/// Roll every code up to its chapter / top-level group (`T90 → T`,
+/// `E11.9 → E11 → … → IV`, `C07AB02 → C`). Codes with no parent stay.
+pub fn to_chapter_level(seq: &[Code]) -> Vec<Code> {
+    seq.iter()
+        .map(|c| {
+            let mut cur = c.clone();
+            while let Some(p) = cur.parent() {
+                cur = p;
+            }
+            cur
+        })
+        .collect()
+}
+
+/// Collapse consecutive repetitions, returning `(code, run_length)` pairs:
+/// `[T90, T90, K74] → [(T90, 2), (K74, 1)]`. Ten follow-up contacts for the
+/// same problem read as one abstracted episode.
+pub fn collapse_runs(seq: &[Code]) -> Vec<(Code, usize)> {
+    let mut out: Vec<(Code, usize)> = Vec::new();
+    for c in seq {
+        match out.last_mut() {
+            Some((last, n)) if last == c => *n += 1,
+            _ => out.push((c.clone(), 1)),
+        }
+    }
+    out
+}
+
+/// Full abstraction: chapter roll-up then run collapsing. This is the view
+/// NSEPter's graphs become readable in.
+pub fn abstracted(seq: &[Code]) -> Vec<(Code, usize)> {
+    collapse_runs(&to_chapter_level(seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(codes: &[&str]) -> Vec<Code> {
+        codes.iter().map(|c| Code::icpc(c)).collect()
+    }
+
+    #[test]
+    fn chapter_roll_up() {
+        let got = to_chapter_level(&seq(&["T90", "K74", "K77"]));
+        assert_eq!(got, vec![Code::icpc("T"), Code::icpc("K"), Code::icpc("K")]);
+    }
+
+    #[test]
+    fn icd_rolls_to_roman_chapter() {
+        let got = to_chapter_level(&[Code::icd10("E11.9")]);
+        assert_eq!(got, vec![Code::icd10("IV")]);
+    }
+
+    #[test]
+    fn atc_rolls_to_main_group() {
+        let got = to_chapter_level(&[Code::atc("C07AB02")]);
+        assert_eq!(got, vec![Code::atc("C")]);
+    }
+
+    #[test]
+    fn run_collapsing() {
+        let got = collapse_runs(&seq(&["T90", "T90", "T90", "K74", "T90"]));
+        assert_eq!(
+            got,
+            vec![
+                (Code::icpc("T90"), 3),
+                (Code::icpc("K74"), 1),
+                (Code::icpc("T90"), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn full_abstraction_merges_same_chapter_neighbours() {
+        // K74 K77 K74 are all chapter K: one run of 3 after roll-up.
+        let got = abstracted(&seq(&["T90", "K74", "K77", "K74"]));
+        assert_eq!(got, vec![(Code::icpc("T"), 1), (Code::icpc("K"), 3)]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(collapse_runs(&[]).is_empty());
+        assert_eq!(collapse_runs(&seq(&["A01"])), vec![(Code::icpc("A01"), 1)]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Trajectory clustering — "What are the interesting properties of patient
+//! histories, and how can **meaningful groups** of these be extracted?"
+//! (§I, the paper's second research sub-question).
+//!
+//! Histories are grouped by the similarity of their diagnosis sequences:
+//! the pairwise distance is derived from the global alignment score
+//! (normalized so identical sequences are at 0 and unrelated ones near 1),
+//! then agglomerative clustering with average linkage builds a dendrogram
+//! that is cut at `k` clusters. Cluster order becomes a row order in the
+//! workbench, so similar trajectories sit together on screen.
+
+use crate::pairwise::global_align;
+use crate::scoring::Scoring;
+use pastas_codes::Code;
+
+/// A symmetric pairwise distance matrix (row-major, n×n).
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Distance between items `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.d[i * self.n + j]
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Alignment-derived distance between two sequences in `[0, 1]`:
+/// `1 − score / max(self_score_a, self_score_b)`, clamped. Identical
+/// sequences score their own self-alignment → distance 0.
+pub fn sequence_distance(a: &[Code], b: &[Code], scoring: &Scoring) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let self_a = (a.len() as i32) * scoring.exact;
+    let self_b = (b.len() as i32) * scoring.exact;
+    let denom = self_a.max(self_b).max(1) as f64;
+    let score = global_align(a, b, scoring).score as f64;
+    (1.0 - score / denom).clamp(0.0, 1.0)
+}
+
+/// Build the full pairwise matrix (O(n²) alignments — intended for
+/// cohort-sized inputs, hundreds of trajectories).
+pub fn distance_matrix(sequences: &[Vec<Code>], scoring: &Scoring) -> DistanceMatrix {
+    let n = sequences.len();
+    let mut d = vec![0.0; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = sequence_distance(&sequences[i], &sequences[j], scoring);
+            d[i * n + j] = dist;
+            d[j * n + i] = dist;
+        }
+    }
+    DistanceMatrix { n, d }
+}
+
+/// Agglomerative clustering with average linkage, cut at `k` clusters.
+/// Returns the cluster id (0..k) per item. `k` is clamped to `[1, n]`.
+pub fn agglomerative(matrix: &DistanceMatrix, k: usize) -> Vec<usize> {
+    let n = matrix.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, n);
+    // Active clusters as member lists.
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    while clusters.len() > k {
+        // Find the pair with minimal average inter-cluster distance.
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let mut total = 0.0;
+                for &i in &clusters[a] {
+                    for &j in &clusters[b] {
+                        total += matrix.get(i, j);
+                    }
+                }
+                let avg = total / (clusters[a].len() * clusters[b].len()) as f64;
+                if avg < best.2 {
+                    best = (a, b, avg);
+                }
+            }
+        }
+        let (a, b, _) = best;
+        let merged = clusters.swap_remove(b);
+        // swap_remove moved the former last cluster into slot b; if that
+        // was `a`, it now lives at `b`.
+        let target = if a == clusters.len() { b } else { a };
+        clusters[target].extend(merged);
+    }
+    // Stable ids: order clusters by smallest member.
+    clusters.sort_by_key(|c| c.iter().copied().min().unwrap_or(usize::MAX));
+    let mut assignment = vec![0usize; n];
+    for (cid, members) in clusters.iter().enumerate() {
+        for &m in members {
+            assignment[m] = cid;
+        }
+    }
+    assignment
+}
+
+/// The medoid of each cluster: the member minimizing total distance to its
+/// cluster mates — the "typical trajectory" to show as the group's label.
+pub fn medoids(matrix: &DistanceMatrix, assignment: &[usize]) -> Vec<usize> {
+    let k = assignment.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut out = Vec::with_capacity(k);
+    for cid in 0..k {
+        let members: Vec<usize> =
+            (0..assignment.len()).filter(|&i| assignment[i] == cid).collect();
+        let medoid = members
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let da: f64 = members.iter().map(|&m| matrix.get(a, m)).sum();
+                let db: f64 = members.iter().map(|&m| matrix.get(b, m)).sum();
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty cluster");
+        out.push(medoid);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(codes: &[&str]) -> Vec<Code> {
+        codes.iter().map(|c| Code::icpc(c)).collect()
+    }
+
+    fn s() -> Scoring {
+        Scoring::default()
+    }
+
+    #[test]
+    fn distance_properties() {
+        let a = seq(&["A01", "T90", "K74"]);
+        let b = seq(&["A01", "T90", "K74", "K77"]);
+        let c = seq(&["H71", "F83", "D01"]);
+        assert_eq!(sequence_distance(&a, &a, &s()), 0.0, "identity");
+        let dab = sequence_distance(&a, &b, &s());
+        let dac = sequence_distance(&a, &c, &s());
+        assert!(dab < dac, "near pair {dab} < far pair {dac}");
+        assert!((0.0..=1.0).contains(&dab) && (0.0..=1.0).contains(&dac));
+        // Symmetry.
+        assert_eq!(dab, sequence_distance(&b, &a, &s()));
+        assert_eq!(sequence_distance(&[], &[], &s()), 0.0);
+    }
+
+    #[test]
+    fn clustering_separates_two_obvious_groups() {
+        // Group 1: diabetes-flavoured; group 2: respiratory-flavoured.
+        let seqs = vec![
+            seq(&["A01", "T90", "K74"]),
+            seq(&["A01", "T90", "K74", "K77"]),
+            seq(&["T90", "K74"]),
+            seq(&["R05", "R95", "R96"]),
+            seq(&["R05", "R95"]),
+            seq(&["R95", "R96", "R05"]),
+        ];
+        let m = distance_matrix(&seqs, &s());
+        let assignment = agglomerative(&m, 2);
+        assert_eq!(assignment.len(), 6);
+        assert_eq!(assignment[0], assignment[1]);
+        assert_eq!(assignment[1], assignment[2]);
+        assert_eq!(assignment[3], assignment[4]);
+        assert_eq!(assignment[4], assignment[5]);
+        assert_ne!(assignment[0], assignment[3]);
+        // Stable ids: cluster of item 0 is id 0.
+        assert_eq!(assignment[0], 0);
+    }
+
+    #[test]
+    fn k_boundaries() {
+        let seqs = vec![seq(&["A01"]), seq(&["T90"]), seq(&["R95"])];
+        let m = distance_matrix(&seqs, &s());
+        assert_eq!(agglomerative(&m, 1), vec![0, 0, 0]);
+        let all = agglomerative(&m, 3);
+        assert_eq!(all, vec![0, 1, 2]);
+        let clamped = agglomerative(&m, 99);
+        assert_eq!(clamped, vec![0, 1, 2], "k clamped to n");
+        assert!(agglomerative(&distance_matrix(&[], &s()), 2).is_empty());
+    }
+
+    #[test]
+    fn medoid_is_the_central_member() {
+        let seqs = vec![
+            seq(&["A01", "T90", "K74"]),         // close to both below
+            seq(&["A01", "T90", "K74", "K77"]),
+            seq(&["A01", "T90"]),
+            seq(&["R95"]),
+        ];
+        let m = distance_matrix(&seqs, &s());
+        let assignment = agglomerative(&m, 2);
+        let meds = medoids(&m, &assignment);
+        assert_eq!(meds.len(), 2);
+        // The diabetes cluster's medoid is one of its members.
+        assert_eq!(assignment[meds[0]], 0);
+        assert_eq!(assignment[meds[1]], 1);
+        // Item 0 (the full pathway) should be the most central of cluster 0.
+        assert_eq!(meds[0], 0);
+    }
+}

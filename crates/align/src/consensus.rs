@@ -1,0 +1,168 @@
+//! Consensus extraction from a multiple alignment — the noise-resilient,
+//! order-independent replacement for NSEPter's serial merge.
+
+use crate::msa::MultipleAlignment;
+use crate::scoring::Scoring;
+use pastas_codes::Code;
+use std::collections::HashMap;
+
+/// One consensus column: code frequencies plus gap count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsensusColumn {
+    /// Codes observed in the column with their multiplicities.
+    pub counts: HashMap<Code, usize>,
+    /// Rows that had a gap in this column.
+    pub gaps: usize,
+}
+
+impl ConsensusColumn {
+    /// The most frequent code (ties broken by code ordering for
+    /// determinism) and its count.
+    pub fn majority(&self) -> Option<(&Code, usize)> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(c, &n)| (c, n))
+    }
+
+    /// Total rows contributing (non-gap).
+    pub fn support(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+/// Column statistics of an alignment.
+pub fn columns(msa: &MultipleAlignment) -> Vec<ConsensusColumn> {
+    (0..msa.width())
+        .map(|c| {
+            let mut counts: HashMap<Code, usize> = HashMap::new();
+            let mut gaps = 0;
+            for row in &msa.rows {
+                match &row[c] {
+                    Some(code) => *counts.entry(code.clone()).or_default() += 1,
+                    None => gaps += 1,
+                }
+            }
+            ConsensusColumn { counts, gaps }
+        })
+        .collect()
+}
+
+/// Extract the consensus pathway: columns where the majority code covers at
+/// least `min_support` of all rows, in column order.
+///
+/// With `min_support = 0.5`, a pathway shared by most histories survives
+/// arbitrary single-position noise in individual histories — the property
+/// NSEPter lacked.
+pub fn consensus_sequence(sequences: &[Vec<Code>], min_support: f64, scoring: &Scoring) -> Vec<Code> {
+    // Canonicalize the input order: progressive alignment attaches
+    // sequences to the profile one at a time, so different input orders
+    // could tie-break differently. Sorting first makes the consensus a
+    // pure function of the *multiset* of sequences — the order-independence
+    // NSEPter lacked, by construction.
+    let mut canonical: Vec<Vec<Code>> = sequences.to_vec();
+    canonical.sort();
+    let msa = MultipleAlignment::build(&canonical, scoring);
+    let n = msa.height();
+    if n == 0 {
+        return Vec::new();
+    }
+    columns(&msa)
+        .into_iter()
+        .filter_map(|col| {
+            let (code, count) = col.majority()?;
+            (count as f64 >= min_support * n as f64).then(|| code.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(codes: &[&str]) -> Vec<Code> {
+        codes.iter().map(|c| Code::icpc(c)).collect()
+    }
+
+    fn s() -> Scoring {
+        Scoring::default()
+    }
+
+    #[test]
+    fn unanimous_consensus() {
+        let path = seq(&["A01", "T90", "K74"]);
+        let consensus = consensus_sequence(&[path.clone(), path.clone(), path.clone()], 0.5, &s());
+        assert_eq!(consensus, path);
+    }
+
+    #[test]
+    fn survives_single_position_noise() {
+        // Four histories share A01→T90→K74→K77; each has one private
+        // mutation. NSEPter's serial positional merge degrades; the MSA
+        // consensus recovers the pathway exactly.
+        let truth = seq(&["A01", "T90", "K74", "K77"]);
+        let noisy = vec![
+            seq(&["A01", "R05", "T90", "K74", "K77"]), // insertion
+            seq(&["A01", "T90", "K77"]),               // deletion of K74
+            seq(&["A01", "T90", "K74", "K77", "A97"]), // trailing extra
+            seq(&["A01", "T90", "K74", "K77"]),        // clean
+        ];
+        let consensus = consensus_sequence(&noisy, 0.5, &s());
+        assert_eq!(consensus, truth);
+    }
+
+    #[test]
+    fn consensus_is_order_independent() {
+        let seqs = vec![
+            seq(&["A01", "T90", "K74"]),
+            seq(&["A01", "T90", "K74", "K77"]),
+            seq(&["T90", "K74", "K77"]),
+            seq(&["A01", "T90", "K77"]),
+        ];
+        let c1 = consensus_sequence(&seqs, 0.5, &s());
+        let mut rev = seqs.clone();
+        rev.reverse();
+        let c2 = consensus_sequence(&rev, 0.5, &s());
+        assert_eq!(c1, c2, "consensus must not depend on input order");
+    }
+
+    #[test]
+    fn support_threshold_filters_minority_columns() {
+        let seqs = vec![
+            seq(&["A01", "T90"]),
+            seq(&["A01", "T90"]),
+            seq(&["A01", "R05", "T90"]), // R05 in 1 of 3
+        ];
+        let strict = consensus_sequence(&seqs, 0.5, &s());
+        assert_eq!(strict, seq(&["A01", "T90"]));
+        let loose = consensus_sequence(&seqs, 0.3, &s());
+        assert_eq!(loose, seq(&["A01", "R05", "T90"]));
+    }
+
+    #[test]
+    fn column_statistics() {
+        let seqs = vec![seq(&["A01", "T90"]), seq(&["A01", "K74"])];
+        let msa = MultipleAlignment::build(&seqs, &s());
+        let cols = columns(&msa);
+        // First column unanimous A01.
+        let a01 = cols.iter().find(|c| c.counts.contains_key(&Code::icpc("A01"))).unwrap();
+        assert_eq!(a01.majority().unwrap().1, 2);
+        assert_eq!(a01.support(), 2);
+        assert_eq!(a01.gaps, 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(consensus_sequence(&[], 0.5, &s()).is_empty());
+    }
+
+    #[test]
+    fn majority_ties_are_deterministic() {
+        let col = ConsensusColumn {
+            counts: [(Code::icpc("A01"), 1), (Code::icpc("T90"), 1)].into_iter().collect(),
+            gaps: 0,
+        };
+        // Tie broken toward the smaller code (A01 < T90).
+        assert_eq!(col.majority().unwrap().0, &Code::icpc("A01"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Ordered-pair association mining over diagnosis sequences — §II.A.2's
+//! "mined for relations between the diagnosis codes themselves".
+//!
+//! For every ordered pair `(a → b)` where `b` follows `a` somewhere in the
+//! same history, we report support, confidence and lift. This is the
+//! hypothesis-generation companion to the visualization: a high-lift
+//! `T90 → K77` rule is exactly the kind of pattern the analyst then goes
+//! and *looks at* in the timeline.
+
+use pastas_codes::Code;
+use std::collections::{HashMap, HashSet};
+
+/// One mined rule `antecedent → consequent` with its statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The earlier code.
+    pub antecedent: Code,
+    /// The later code.
+    pub consequent: Code,
+    /// Fraction of histories containing the ordered pair.
+    pub support: f64,
+    /// P(consequent follows | antecedent present).
+    pub confidence: f64,
+    /// confidence / P(consequent present) — >1 means positive association.
+    pub lift: f64,
+}
+
+/// Mine ordered-pair rules from code sequences.
+///
+/// `min_support` and `min_confidence` prune the output; both in `[0, 1]`.
+pub fn mine_rules(sequences: &[Vec<Code>], min_support: f64, min_confidence: f64) -> Vec<Rule> {
+    let n = sequences.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Per-history presence and ordered-pair presence (set semantics).
+    let mut present: HashMap<Code, usize> = HashMap::new();
+    let mut pairs: HashMap<(Code, Code), usize> = HashMap::new();
+    for seq in sequences {
+        let distinct: HashSet<&Code> = seq.iter().collect();
+        for c in &distinct {
+            *present.entry((*c).clone()).or_default() += 1;
+        }
+        let mut seen_pairs: HashSet<(&Code, &Code)> = HashSet::new();
+        let mut seen_before: HashSet<&Code> = HashSet::new();
+        for b in seq {
+            for &a in &seen_before {
+                if a != b {
+                    seen_pairs.insert((a, b));
+                }
+            }
+            seen_before.insert(b);
+        }
+        for (a, b) in seen_pairs {
+            *pairs.entry((a.clone(), b.clone())).or_default() += 1;
+        }
+    }
+
+    let mut rules: Vec<Rule> = pairs
+        .into_iter()
+        .filter_map(|((a, b), pair_count)| {
+            let support = pair_count as f64 / n as f64;
+            if support < min_support {
+                return None;
+            }
+            let a_count = present[&a] as f64;
+            let b_count = present[&b] as f64;
+            let confidence = pair_count as f64 / a_count;
+            if confidence < min_confidence {
+                return None;
+            }
+            let lift = confidence / (b_count / n as f64);
+            Some(Rule { antecedent: a, consequent: b, support, confidence, lift })
+        })
+        .collect();
+    rules.sort_by(|x, y| {
+        y.lift
+            .partial_cmp(&x.lift)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.antecedent.cmp(&y.antecedent))
+            .then_with(|| x.consequent.cmp(&y.consequent))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(codes: &[&str]) -> Vec<Code> {
+        codes.iter().map(|c| Code::icpc(c)).collect()
+    }
+
+    #[test]
+    fn basic_rule_statistics() {
+        // 4 histories; T90→K77 in 2; T90 in 3; K77 in 2.
+        let data = vec![
+            seq(&["T90", "K77"]),
+            seq(&["T90", "A01", "K77"]),
+            seq(&["T90"]),
+            seq(&["A01"]),
+        ];
+        let rules = mine_rules(&data, 0.0, 0.0);
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent.value == "T90" && r.consequent.value == "K77")
+            .expect("rule T90→K77");
+        assert!((r.support - 0.5).abs() < 1e-9);
+        assert!((r.confidence - 2.0 / 3.0).abs() < 1e-9);
+        assert!((r.lift - (2.0 / 3.0) / 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_matters() {
+        let data = vec![seq(&["A01", "T90"]), seq(&["A01", "T90"])];
+        let rules = mine_rules(&data, 0.0, 0.0);
+        assert!(rules.iter().any(|r| r.antecedent.value == "A01" && r.consequent.value == "T90"));
+        assert!(
+            !rules.iter().any(|r| r.antecedent.value == "T90" && r.consequent.value == "A01"),
+            "reverse order never observed"
+        );
+    }
+
+    #[test]
+    fn thresholds_prune() {
+        let data = vec![
+            seq(&["T90", "K77"]),
+            seq(&["A01", "R05"]),
+            seq(&["A01", "R05"]),
+            seq(&["A01", "R05"]),
+        ];
+        let strict = mine_rules(&data, 0.5, 0.5);
+        assert!(strict.iter().all(|r| r.support >= 0.5 && r.confidence >= 0.5));
+        assert!(strict.iter().any(|r| r.antecedent.value == "A01"));
+        assert!(!strict.iter().any(|r| r.antecedent.value == "T90"), "support 0.25 pruned");
+    }
+
+    #[test]
+    fn repeated_codes_count_once_per_history() {
+        let data = vec![seq(&["T90", "T90", "K77", "K77"])];
+        let rules = mine_rules(&data, 0.0, 0.0);
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent.value == "T90" && r.consequent.value == "K77")
+            .unwrap();
+        assert!((r.support - 1.0).abs() < 1e-9, "set semantics per history");
+        // No self-rules.
+        assert!(!rules.iter().any(|r| r.antecedent == r.consequent));
+    }
+
+    #[test]
+    fn output_is_sorted_by_lift() {
+        let data = vec![
+            seq(&["T90", "K77"]),
+            seq(&["T90", "K77"]),
+            seq(&["A01", "R05"]),
+            seq(&["A01", "K77"]),
+        ];
+        let rules = mine_rules(&data, 0.0, 0.0);
+        for w in rules.windows(2) {
+            assert!(w[0].lift >= w[1].lift);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(mine_rules(&[], 0.0, 0.0).is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Progressive multiple alignment (star alignment around a centre
+//! sequence).
+//!
+//! This is the machinery that makes merging **order-independent**: instead
+//! of NSEPter's "first with the first, second with the second", every
+//! sequence is aligned against a common profile, and the result does not
+//! depend on input order beyond tie-breaking.
+
+use crate::pairwise::global_align;
+use crate::scoring::Scoring;
+use pastas_codes::Code;
+
+/// A multiple alignment: a rectangular matrix of rows (one per input
+/// sequence, in input order) over columns that may hold gaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultipleAlignment {
+    /// `rows[r][c]` = the code of sequence `r` in column `c`, or a gap.
+    pub rows: Vec<Vec<Option<Code>>>,
+}
+
+impl MultipleAlignment {
+    /// Align all sequences progressively. Empty input gives an empty
+    /// alignment; a single sequence aligns to itself.
+    pub fn build(sequences: &[Vec<Code>], scoring: &Scoring) -> MultipleAlignment {
+        if sequences.is_empty() {
+            return MultipleAlignment { rows: Vec::new() };
+        }
+        // Choose the centre: the sequence with the highest total pairwise
+        // score against all others (the classic star-alignment heuristic).
+        let centre = if sequences.len() <= 2 {
+            0
+        } else {
+            let mut best = (0usize, i64::MIN);
+            for i in 0..sequences.len() {
+                let total: i64 = sequences
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, other)| global_align(&sequences[i], other, scoring).score as i64)
+                    .sum();
+                if total > best.1 {
+                    best = (i, total);
+                }
+            }
+            best.0
+        };
+
+        // The profile starts as the centre sequence.
+        let mut columns: Vec<Vec<Option<Code>>> = sequences[centre]
+            .iter()
+            .map(|c| vec![Some(c.clone())])
+            .collect();
+        let mut row_order = vec![centre];
+
+        for (i, seq) in sequences.iter().enumerate() {
+            if i == centre {
+                continue;
+            }
+            align_into_profile(&mut columns, seq, scoring);
+            row_order.push(i);
+        }
+
+        // Transpose the profile into rows, restoring input order.
+        let n = sequences.len();
+        let width = columns.len();
+        let mut rows = vec![vec![None; width]; n];
+        for (c, col) in columns.iter().enumerate() {
+            for (slot, cell) in col.iter().enumerate() {
+                rows[row_order[slot]][c] = cell.clone();
+            }
+        }
+        MultipleAlignment { rows }
+    }
+
+    /// Number of rows (input sequences).
+    pub fn height(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.rows.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// The non-gap codes of one column, with multiplicity.
+    pub fn column(&self, c: usize) -> Vec<&Code> {
+        self.rows.iter().filter_map(|r| r[c].as_ref()).collect()
+    }
+
+    /// Recover the original (gap-free) sequence of row `r`.
+    pub fn ungapped_row(&self, r: usize) -> Vec<Code> {
+        self.rows[r].iter().flatten().cloned().collect()
+    }
+}
+
+/// Align one sequence into the growing column profile (linear gap costs at
+/// the profile stage; the pairwise stage carries the affine model).
+fn align_into_profile(columns: &mut Vec<Vec<Option<Code>>>, seq: &[Code], scoring: &Scoring) {
+    let n = columns.len();
+    let m = seq.len();
+    let slots = columns.first().map(Vec::len).unwrap_or(0);
+    let gap = scoring.gap_open;
+
+    let col_score = |col: &[Option<Code>], code: &Code| -> i32 {
+        let (mut total, mut cnt) = (0i64, 0i64);
+        for cell in col.iter().flatten() {
+            total += scoring.score(cell, code) as i64;
+            cnt += 1;
+        }
+        if cnt == 0 {
+            0
+        } else {
+            (total / cnt) as i32
+        }
+    };
+
+    // DP over (profile column, sequence position).
+    let w = m + 1;
+    let mut dp = vec![0i32; (n + 1) * w];
+    for i in 1..=n {
+        dp[i * w] = i as i32 * gap;
+    }
+    for j in 1..=m {
+        dp[j] = j as i32 * gap;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let mat = dp[(i - 1) * w + j - 1] + col_score(&columns[i - 1], &seq[j - 1]);
+            let del = dp[(i - 1) * w + j] + gap; // gap in sequence
+            let ins = dp[i * w + j - 1] + gap; // gap column in profile
+            dp[i * w + j] = mat.max(del).max(ins);
+        }
+    }
+
+    // Traceback building the new profile.
+    let mut new_columns: Vec<Vec<Option<Code>>> = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        let cur = dp[i * w + j];
+        if i > 0 && j > 0 && cur == dp[(i - 1) * w + j - 1] + col_score(&columns[i - 1], &seq[j - 1])
+        {
+            let mut col = columns[i - 1].clone();
+            col.push(Some(seq[j - 1].clone()));
+            new_columns.push(col);
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && cur == dp[(i - 1) * w + j] + gap {
+            let mut col = columns[i - 1].clone();
+            col.push(None);
+            new_columns.push(col);
+            i -= 1;
+        } else {
+            let mut col = vec![None; slots];
+            col.push(Some(seq[j - 1].clone()));
+            new_columns.push(col);
+            j -= 1;
+        }
+    }
+    new_columns.reverse();
+    *columns = new_columns;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(codes: &[&str]) -> Vec<Code> {
+        codes.iter().map(|c| Code::icpc(c)).collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let m = MultipleAlignment::build(&[], &Scoring::default());
+        assert_eq!(m.height(), 0);
+        let m = MultipleAlignment::build(&[seq(&["A01", "T90"])], &Scoring::default());
+        assert_eq!(m.height(), 1);
+        assert_eq!(m.width(), 2);
+        assert_eq!(m.ungapped_row(0), seq(&["A01", "T90"]));
+    }
+
+    #[test]
+    fn identical_sequences_have_no_gaps() {
+        let s = seq(&["A01", "T90", "K74"]);
+        let m = MultipleAlignment::build(&[s.clone(), s.clone(), s.clone()], &Scoring::default());
+        assert_eq!(m.width(), 3);
+        for r in 0..3 {
+            assert!(m.rows[r].iter().all(Option::is_some));
+        }
+    }
+
+    #[test]
+    fn rows_preserve_original_sequences() {
+        let seqs = vec![
+            seq(&["A01", "T90", "K74"]),
+            seq(&["A01", "R05", "T90", "K74"]),
+            seq(&["T90", "K74", "K77"]),
+        ];
+        let m = MultipleAlignment::build(&seqs, &Scoring::default());
+        assert_eq!(m.height(), 3);
+        for (i, s) in seqs.iter().enumerate() {
+            assert_eq!(&m.ungapped_row(i), s, "row {i} corrupted");
+        }
+        // All rows have the same width.
+        let w = m.width();
+        assert!(m.rows.iter().all(|r| r.len() == w));
+    }
+
+    #[test]
+    fn single_position_difference_still_aligns_the_rest() {
+        // NSEPter's failure case: histories differing in one position must
+        // still merge everywhere else.
+        let seqs = vec![
+            seq(&["A01", "T90", "K74", "K77"]),
+            seq(&["A01", "R05", "K74", "K77"]),
+        ];
+        let m = MultipleAlignment::build(&seqs, &Scoring::default());
+        // A01, K74, K77 columns have both rows filled.
+        let full_columns = (0..m.width()).filter(|&c| m.column(c).len() == 2).count();
+        assert!(full_columns >= 3, "expected ≥3 fully-merged columns, got {full_columns}");
+    }
+
+    #[test]
+    fn order_independence_of_consensus_content() {
+        let a = seq(&["A01", "T90", "K74"]);
+        let b = seq(&["A01", "T90", "K74", "K77"]);
+        let c = seq(&["T90", "K74", "K77"]);
+        let m1 = MultipleAlignment::build(&[a.clone(), b.clone(), c.clone()], &Scoring::default());
+        let m2 = MultipleAlignment::build(&[c, a, b], &Scoring::default());
+        // The multiset of fully-populated column contents is order-stable.
+        let full = |m: &MultipleAlignment| {
+            let mut v: Vec<String> = (0..m.width())
+                .filter(|&c| m.column(c).len() == m.height())
+                .map(|c| m.column(c)[0].value.clone())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(full(&m1), full(&m2));
+    }
+}

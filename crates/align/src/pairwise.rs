@@ -1,0 +1,323 @@
+//! Pairwise alignment: Needleman–Wunsch (global) and Smith–Waterman
+//! (local), both with affine gap costs via Gotoh's three-matrix recurrence.
+
+use crate::scoring::Scoring;
+use pastas_codes::Code;
+
+/// One column of an alignment: indexes into the two input sequences
+/// (`None` = gap).
+pub type AlignedPair = (Option<usize>, Option<usize>);
+
+/// The result of a pairwise alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignmentResult {
+    /// Total score.
+    pub score: i32,
+    /// The aligned columns, in order.
+    pub columns: Vec<AlignedPair>,
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+/// Global alignment of two code sequences (Needleman–Wunsch, affine gaps).
+pub fn global_align(a: &[Code], b: &[Code], s: &Scoring) -> AlignmentResult {
+    let (n, m) = (a.len(), b.len());
+    // m_[i][j]: best score ending in a match at (i, j);
+    // x[i][j]: ending in a gap in b (a[i-1] consumed);
+    // y[i][j]: ending in a gap in a.
+    let w = m + 1;
+    let mut mm = vec![NEG; (n + 1) * w];
+    let mut xx = vec![NEG; (n + 1) * w];
+    let mut yy = vec![NEG; (n + 1) * w];
+    mm[0] = 0;
+    for i in 1..=n {
+        xx[i * w] = s.gap_open + (i as i32 - 1) * s.gap_extend;
+    }
+    for j in 1..=m {
+        yy[j] = s.gap_open + (j as i32 - 1) * s.gap_extend;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let sc = s.score(&a[i - 1], &b[j - 1]);
+            let diag = mm[(i - 1) * w + j - 1]
+                .max(xx[(i - 1) * w + j - 1])
+                .max(yy[(i - 1) * w + j - 1]);
+            mm[i * w + j] = diag.saturating_add(sc);
+            xx[i * w + j] = (mm[(i - 1) * w + j] + s.gap_open)
+                .max(xx[(i - 1) * w + j] + s.gap_extend)
+                .max(yy[(i - 1) * w + j] + s.gap_open);
+            yy[i * w + j] = (mm[i * w + j - 1] + s.gap_open)
+                .max(yy[i * w + j - 1] + s.gap_extend)
+                .max(xx[i * w + j - 1] + s.gap_open);
+        }
+    }
+    // Traceback from the best of the three at (n, m).
+    let mut columns = Vec::new();
+    let (mut i, mut j) = (n, m);
+    let score = mm[n * w + m].max(xx[n * w + m]).max(yy[n * w + m]);
+    // state: 0 = M, 1 = X, 2 = Y
+    let mut state = if score == mm[n * w + m] {
+        0
+    } else if score == xx[n * w + m] {
+        1
+    } else {
+        2
+    };
+    while i > 0 || j > 0 {
+        match state {
+            0 if i > 0 && j > 0 => {
+                columns.push((Some(i - 1), Some(j - 1)));
+                let prev = mm[i * w + j] - s.score(&a[i - 1], &b[j - 1]);
+                i -= 1;
+                j -= 1;
+                state = if prev == mm[i * w + j] {
+                    0
+                } else if prev == xx[i * w + j] {
+                    1
+                } else {
+                    2
+                };
+            }
+            1 if i > 0 => {
+                columns.push((Some(i - 1), None));
+                let cur = xx[i * w + j];
+                i -= 1;
+                state = if cur == mm[i * w + j] + s.gap_open {
+                    0
+                } else if cur == xx[i * w + j] + s.gap_extend {
+                    1
+                } else {
+                    2
+                };
+            }
+            2 if j > 0 => {
+                columns.push((None, Some(j - 1)));
+                let cur = yy[i * w + j];
+                j -= 1;
+                state = if cur == mm[i * w + j] + s.gap_open {
+                    0
+                } else if cur == yy[i * w + j] + s.gap_extend {
+                    2
+                } else {
+                    1
+                };
+            }
+            // Boundary: force the only possible move.
+            _ if i > 0 => {
+                columns.push((Some(i - 1), None));
+                i -= 1;
+                state = 1;
+            }
+            _ => {
+                columns.push((None, Some(j - 1)));
+                j -= 1;
+                state = 2;
+            }
+        }
+    }
+    columns.reverse();
+    AlignmentResult { score, columns }
+}
+
+/// Local alignment (Smith–Waterman, affine gaps): the best-scoring pair of
+/// subsequences. Returns an empty alignment when nothing scores positive.
+pub fn local_align(a: &[Code], b: &[Code], s: &Scoring) -> AlignmentResult {
+    let (n, m) = (a.len(), b.len());
+    let w = m + 1;
+    let mut mm = vec![0i32; (n + 1) * w];
+    let mut xx = vec![NEG; (n + 1) * w];
+    let mut yy = vec![NEG; (n + 1) * w];
+    let (mut best, mut bi, mut bj) = (0, 0, 0);
+    for i in 1..=n {
+        for j in 1..=m {
+            let sc = s.score(&a[i - 1], &b[j - 1]);
+            let diag = mm[(i - 1) * w + j - 1]
+                .max(xx[(i - 1) * w + j - 1])
+                .max(yy[(i - 1) * w + j - 1]);
+            mm[i * w + j] = (diag.saturating_add(sc)).max(0);
+            xx[i * w + j] = (mm[(i - 1) * w + j] + s.gap_open)
+                .max(xx[(i - 1) * w + j] + s.gap_extend);
+            yy[i * w + j] = (mm[i * w + j - 1] + s.gap_open)
+                .max(yy[i * w + j - 1] + s.gap_extend);
+            if mm[i * w + j] > best {
+                best = mm[i * w + j];
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    if best == 0 {
+        return AlignmentResult { score: 0, columns: Vec::new() };
+    }
+    // Traceback M-states until a zero cell.
+    let mut columns = Vec::new();
+    let (mut i, mut j) = (bi, bj);
+    let mut state = 0;
+    while i > 0 && j > 0 {
+        match state {
+            0 => {
+                if mm[i * w + j] == 0 {
+                    break;
+                }
+                columns.push((Some(i - 1), Some(j - 1)));
+                let prev = mm[i * w + j] - s.score(&a[i - 1], &b[j - 1]);
+                i -= 1;
+                j -= 1;
+                if prev == 0 && mm[i * w + j] == 0 {
+                    break;
+                }
+                state = if prev == mm[i * w + j] {
+                    0
+                } else if prev == xx[i * w + j] {
+                    1
+                } else {
+                    2
+                };
+            }
+            1 => {
+                columns.push((Some(i - 1), None));
+                let cur = xx[i * w + j];
+                i -= 1;
+                state = if cur == mm[i * w + j] + s.gap_open { 0 } else { 1 };
+            }
+            _ => {
+                columns.push((None, Some(j - 1)));
+                let cur = yy[i * w + j];
+                j -= 1;
+                state = if cur == mm[i * w + j] + s.gap_open { 0 } else { 2 };
+            }
+        }
+    }
+    columns.reverse();
+    AlignmentResult { score: best, columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(codes: &[&str]) -> Vec<Code> {
+        codes.iter().map(|c| Code::icpc(c)).collect()
+    }
+
+    fn s() -> Scoring {
+        Scoring::default()
+    }
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let a = seq(&["A01", "T90", "K74"]);
+        let r = global_align(&a, &a, &s());
+        assert_eq!(r.score, 3 * s().exact);
+        assert_eq!(
+            r.columns,
+            vec![(Some(0), Some(0)), (Some(1), Some(1)), (Some(2), Some(2))]
+        );
+    }
+
+    #[test]
+    fn single_insertion_produces_one_gap() {
+        // The exact case NSEPter failed on: "differed in one single position".
+        let a = seq(&["A01", "T90", "K74"]);
+        let b = seq(&["A01", "R05", "T90", "K74"]);
+        let r = global_align(&a, &b, &s());
+        assert_eq!(
+            r.columns,
+            vec![
+                (Some(0), Some(0)),
+                (None, Some(1)), // the inserted R05
+                (Some(1), Some(2)),
+                (Some(2), Some(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let a = seq(&["T90"]);
+        let empty: Vec<Code> = Vec::new();
+        let r = global_align(&a, &empty, &s());
+        assert_eq!(r.columns, vec![(Some(0), None)]);
+        assert_eq!(r.score, s().gap_open);
+        let r = global_align(&empty, &empty, &s());
+        assert!(r.columns.is_empty());
+        assert_eq!(r.score, 0);
+    }
+
+    #[test]
+    fn affine_gaps_prefer_one_long_gap() {
+        // Two separate single gaps cost 2×open; one double gap costs
+        // open + extend — the alignment should consolidate.
+        let a = seq(&["A01", "K74"]);
+        let b = seq(&["A01", "R05", "D01", "K74"]);
+        let r = global_align(&a, &b, &s());
+        let gaps: Vec<usize> = r
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.0.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(gaps, vec![1, 2], "contiguous gap block");
+        assert_eq!(r.score, 2 * s().exact + s().gap_open + s().gap_extend);
+    }
+
+    #[test]
+    fn cross_system_codes_align_via_bridge() {
+        let a = seq(&["A01", "T90"]);
+        let b = vec![Code::icpc("A01"), Code::icd10("E11")];
+        let r = global_align(&a, &b, &s());
+        assert_eq!(r.columns, vec![(Some(0), Some(0)), (Some(1), Some(1))]);
+        assert_eq!(r.score, s().exact + s().same_condition);
+    }
+
+    #[test]
+    fn global_score_is_symmetric() {
+        let a = seq(&["A01", "T90", "K74", "R05"]);
+        let b = seq(&["T90", "K74", "K78"]);
+        let ab = global_align(&a, &b, &s());
+        let ba = global_align(&b, &a, &s());
+        assert_eq!(ab.score, ba.score);
+    }
+
+    #[test]
+    fn local_alignment_finds_the_shared_core() {
+        let a = seq(&["R05", "H71", "T90", "K74", "K77"]);
+        let b = seq(&["D01", "T90", "K74", "K77", "A97"]);
+        let r = local_align(&a, &b, &s());
+        assert_eq!(r.score, 3 * s().exact);
+        assert_eq!(
+            r.columns,
+            vec![(Some(2), Some(1)), (Some(3), Some(2)), (Some(4), Some(3))]
+        );
+    }
+
+    #[test]
+    fn local_alignment_of_unrelated_sequences_is_empty() {
+        let a = seq(&["A01"]);
+        let b = seq(&["Z01"]);
+        let r = local_align(&a, &b, &s());
+        assert_eq!(r.score, 0);
+        assert!(r.columns.is_empty());
+    }
+
+    #[test]
+    fn alignment_columns_are_monotone() {
+        let a = seq(&["A01", "T90", "K74", "R05", "A97"]);
+        let b = seq(&["T90", "R05", "K78", "A97"]);
+        for r in [global_align(&a, &b, &s()), local_align(&a, &b, &s())] {
+            let mut last_a = None;
+            let mut last_b = None;
+            for (ia, ib) in &r.columns {
+                if let Some(x) = ia {
+                    assert!(last_a.is_none_or(|l: usize| *x == l + 1), "a indexes skip/repeat");
+                    last_a = Some(*x);
+                }
+                if let Some(y) = ib {
+                    assert!(last_b.is_none_or(|l: usize| *y == l + 1), "b indexes skip/repeat");
+                    last_b = Some(*y);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the alignment layer.
+
+use crate::cluster::sequence_distance;
+use crate::pairwise::{global_align, local_align};
+use crate::scoring::Scoring;
+use pastas_codes::Code;
+use proptest::prelude::*;
+
+fn arb_code() -> impl Strategy<Value = Code> {
+    prop_oneof![
+        Just(Code::icpc("A01")),
+        Just(Code::icpc("T90")),
+        Just(Code::icpc("K74")),
+        Just(Code::icpc("K77")),
+        Just(Code::icpc("R05")),
+        Just(Code::icd10("E11")),
+        Just(Code::atc("C07AB02")),
+    ]
+}
+
+fn arb_seq() -> impl Strategy<Value = Vec<Code>> {
+    proptest::collection::vec(arb_code(), 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Global alignment columns reconstruct both inputs exactly.
+    #[test]
+    fn alignment_columns_cover_inputs(a in arb_seq(), b in arb_seq()) {
+        let s = Scoring::default();
+        let r = global_align(&a, &b, &s);
+        let a_idx: Vec<usize> = r.columns.iter().filter_map(|c| c.0).collect();
+        let b_idx: Vec<usize> = r.columns.iter().filter_map(|c| c.1).collect();
+        prop_assert_eq!(a_idx, (0..a.len()).collect::<Vec<_>>());
+        prop_assert_eq!(b_idx, (0..b.len()).collect::<Vec<_>>());
+        // No column is a double gap.
+        prop_assert!(r.columns.iter().all(|c| c.0.is_some() || c.1.is_some()));
+    }
+
+    /// The alignment score equals the recomputed score of its columns.
+    #[test]
+    fn score_matches_columns(a in arb_seq(), b in arb_seq()) {
+        let s = Scoring::default();
+        let r = global_align(&a, &b, &s);
+        // Recompute with affine gap accounting over the column run-lengths.
+        let mut total = 0i32;
+        let mut in_gap_a = false;
+        let mut in_gap_b = false;
+        for &(ia, ib) in &r.columns {
+            match (ia, ib) {
+                (Some(i), Some(j)) => {
+                    total += s.score(&a[i], &b[j]);
+                    in_gap_a = false;
+                    in_gap_b = false;
+                }
+                (Some(_), None) => {
+                    total += if in_gap_a { s.gap_extend } else { s.gap_open };
+                    in_gap_a = true;
+                    in_gap_b = false;
+                }
+                (None, Some(_)) => {
+                    total += if in_gap_b { s.gap_extend } else { s.gap_open };
+                    in_gap_b = true;
+                    in_gap_a = false;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        prop_assert_eq!(r.score, total, "reported score disagrees with its own columns");
+    }
+
+    /// Global alignment score is symmetric and bounded by the perfect
+    /// self-alignment of the shorter sequence.
+    #[test]
+    fn score_symmetry_and_upper_bound(a in arb_seq(), b in arb_seq()) {
+        let s = Scoring::default();
+        let ab = global_align(&a, &b, &s).score;
+        let ba = global_align(&b, &a, &s).score;
+        prop_assert_eq!(ab, ba);
+        let bound = (a.len().min(b.len()) as i32) * s.exact;
+        prop_assert!(ab <= bound, "score {ab} exceeds bound {bound}");
+    }
+
+    /// Local alignment never scores below zero and never above global+gaps
+    /// slack; its columns contain no gaps-only ends.
+    #[test]
+    fn local_alignment_sanity(a in arb_seq(), b in arb_seq()) {
+        let s = Scoring::default();
+        let r = local_align(&a, &b, &s);
+        prop_assert!(r.score >= 0);
+        if let (Some(first), Some(last)) = (r.columns.first(), r.columns.last()) {
+            // A maximal local alignment never starts or ends with a gap.
+            prop_assert!(first.0.is_some() && first.1.is_some());
+            prop_assert!(last.0.is_some() && last.1.is_some());
+        }
+    }
+
+    /// The cluster distance is a symmetric, bounded pseudo-metric with
+    /// identity at zero.
+    #[test]
+    fn cluster_distance_properties(a in arb_seq(), b in arb_seq()) {
+        let s = Scoring::default();
+        let d_ab = sequence_distance(&a, &b, &s);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert_eq!(d_ab, sequence_distance(&b, &a, &s));
+        prop_assert_eq!(sequence_distance(&a, &a, &s), 0.0);
+    }
+}

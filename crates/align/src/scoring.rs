@@ -1,0 +1,101 @@
+//! Hierarchy-aware similarity scoring for clinical codes.
+
+use pastas_codes::{mapping, Code};
+
+/// Scoring parameters for alignment.
+#[derive(Debug, Clone, Copy)]
+pub struct Scoring {
+    /// Score for identical codes.
+    pub exact: i32,
+    /// Score for same-condition codes (cross-system bridge) — a GP `T90`
+    /// aligned with a hospital `E11`.
+    pub same_condition: i32,
+    /// Score for codes sharing an immediate parent (same ICPC chapter,
+    /// same ICD block, same ATC subgroup).
+    pub same_parent: i32,
+    /// Score for unrelated codes (mismatch penalty; negative).
+    pub mismatch: i32,
+    /// Cost to open a gap (negative).
+    pub gap_open: i32,
+    /// Cost to extend a gap by one position (negative).
+    pub gap_extend: i32,
+}
+
+impl Default for Scoring {
+    fn default() -> Scoring {
+        Scoring {
+            exact: 4,
+            same_condition: 3,
+            same_parent: 1,
+            mismatch: -2,
+            gap_open: -3,
+            gap_extend: -1,
+        }
+    }
+}
+
+impl Scoring {
+    /// Similarity of two codes under this scheme.
+    pub fn score(&self, a: &Code, b: &Code) -> i32 {
+        if a == b {
+            return self.exact;
+        }
+        if a.system != b.system {
+            // Cross-system: only the condition bridge relates them.
+            return if mapping::same_condition(a, b) { self.same_condition } else { self.mismatch };
+        }
+        if mapping::same_condition(a, b) {
+            return self.same_condition;
+        }
+        match (a.parent(), b.parent()) {
+            (Some(pa), Some(pb)) if pa == pb => self.same_parent,
+            _ => self.mismatch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_beats_everything() {
+        let s = Scoring::default();
+        let t90 = Code::icpc("T90");
+        assert_eq!(s.score(&t90, &t90), s.exact);
+        assert!(s.score(&t90, &t90) > s.score(&t90, &Code::icd10("E11")));
+    }
+
+    #[test]
+    fn cross_system_bridge_scores_high() {
+        let s = Scoring::default();
+        assert_eq!(s.score(&Code::icpc("T90"), &Code::icd10("E11")), s.same_condition);
+        assert_eq!(s.score(&Code::icd10("E11"), &Code::icpc("T90")), s.same_condition);
+        assert_eq!(s.score(&Code::icpc("T90"), &Code::icd10("I50")), s.mismatch);
+    }
+
+    #[test]
+    fn same_chapter_scores_low_positive() {
+        let s = Scoring::default();
+        // K74 and K78 share chapter K but are different conditions.
+        assert_eq!(s.score(&Code::icpc("K74"), &Code::icpc("K78")), s.same_parent);
+        assert_eq!(s.score(&Code::icpc("K74"), &Code::icpc("T90")), s.mismatch);
+    }
+
+    #[test]
+    fn scoring_is_symmetric() {
+        let s = Scoring::default();
+        let codes = [
+            Code::icpc("T90"),
+            Code::icpc("K74"),
+            Code::icpc("K78"),
+            Code::icd10("E11"),
+            Code::atc("C07AB02"),
+        ];
+        for a in &codes {
+            for b in &codes {
+                assert_eq!(s.score(a, b), s.score(b, a), "{a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! E10 — OWL reasoning at cohort scale.
+//!
+//! §Abstract: "Health researchers have successfully analyzed large cohorts
+//! (over 100,000 individuals) using the tool" — with both OWL
+//! formalizations in the loop. This bench measures TBox saturation,
+//! per-entry classification throughput, ABox materialization rate, and the
+//! indexed-hierarchy-walk vs saturated-subsumption ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pastas_bench::{base_scale, cohort, header};
+use pastas_codes::Code;
+use pastas_ontology::integration::{code_class_name, IntegrationOntology};
+use pastas_ontology::store::TripleStore;
+use pastas_ontology::vocab::Vocabulary;
+
+fn bench(c: &mut Criterion) {
+    header(
+        "E10: ontology at scale",
+        "represents and reasons with patient events in different OWL-formalizations; cohorts >100,000",
+    );
+    let n = base_scale();
+    let collection = cohort(n);
+    let stats = collection.stats();
+    let onto = IntegrationOntology::new();
+
+    c.bench_function("e10_tbox_build_and_saturate", |b| {
+        b.iter(IntegrationOntology::new)
+    });
+
+    // Classification throughput (entries/second) over one pass.
+    let sample: Vec<&pastas_model::History> = collection.iter().take(500).collect();
+    let entries: usize = sample.iter().map(|h| h.len()).sum();
+    c.bench_function("e10_classify_500_histories", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for h in &sample {
+                for e in h.entries() {
+                    total += onto.classify_entry(e).len();
+                }
+            }
+            total
+        })
+    });
+    eprintln!("classification sample: {entries} entries over 500 histories");
+
+    // ABox materialization.
+    let mut group = c.benchmark_group("e10_abox_materialize");
+    group.sample_size(10);
+    for histories in [200usize, 1_000] {
+        let hs: Vec<&pastas_model::History> = collection.iter().take(histories).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(histories), &hs, |b, hs| {
+            b.iter(|| {
+                let mut store = TripleStore::new();
+                let mut vocab = Vocabulary::new();
+                for h in hs {
+                    onto.assert_history(h, &mut store, &mut vocab);
+                }
+                store.len()
+            })
+        });
+    }
+    group.finish();
+
+    // Triple count projection to the paper's scale.
+    let mut store = TripleStore::new();
+    let mut vocab = Vocabulary::new();
+    for h in collection.iter().take(1_000) {
+        onto.assert_history(h, &mut store, &mut vocab);
+    }
+    let per_patient = store.len() as f64 / 1_000.0;
+    eprintln!(
+        "ABox: {:.1} triples/patient → 168,000 patients ≈ {:.1} M triples",
+        per_patient,
+        per_patient * 168_000.0 / 1e6
+    );
+    eprintln!("collection at bench scale: {} entries", stats.entries);
+
+    // Ablation: saturated subsumption lookup vs on-demand hierarchy walk.
+    let t90 = Code::icpc("T90");
+    c.bench_function("e10_subsumption_saturated", |b| {
+        b.iter(|| onto.is_subclass(&code_class_name(&t90), "cond:Diabetes"))
+    });
+    c.bench_function("e10_subsumption_hierarchy_walk", |b| {
+        // The unsaturated alternative: walk ancestors and consult the
+        // bridge table per query.
+        b.iter(|| {
+            let mut cur = Some(t90.clone());
+            let mut hit = false;
+            while let Some(code) = cur {
+                if pastas_ontology::integration::CONDITIONS
+                    .iter()
+                    .any(|(name, icpc, _, _)| *name == "Diabetes" && icpc.contains(&code.value.as_str()))
+                {
+                    hit = true;
+                    break;
+                }
+                cur = code.parent();
+            }
+            hit
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E1 — Fig. 1: the main workbench window.
+//!
+//! Measures the two halves of producing the cohort timeline — layout
+//! (scene + hit map) and SVG serialization — as the number of *visible*
+//! rows grows. The paper's conclusion ("usable, but it can be challenging
+//! to use for very large data sets") predicts layout cost growing with
+//! visible rows, not with collection size; both series are measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pastas_bench::{base_scale, cohort, header};
+use pastas_viz::{svg, TimelineOptions, TimelineView, Viewport};
+
+fn bench(c: &mut Criterion) {
+    header("E1: timeline render (Fig. 1)", "the main window shows a cohort of histories as annotated bars");
+    let n = base_scale();
+    let collection = cohort(n);
+    let stats = collection.stats();
+    eprintln!("cohort: {} patients, {} entries", stats.patients, stats.entries);
+
+    let mut group = c.benchmark_group("e1_layout_by_visible_rows");
+    group.sample_size(20);
+    for rows in [20usize, 100, 500, 2_000] {
+        let rows = rows.min(n);
+        let view = TimelineView::new(&collection, TimelineOptions::default());
+        let vp = Viewport::new(
+            stats.first.unwrap(),
+            stats.last.unwrap(),
+            rows as f64,
+            1280.0,
+            720.0,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| view.layout(&vp))
+        });
+        let (scene, hits) = view.layout(&vp);
+        eprintln!(
+            "  rows={rows}: {} scene elements, {} hit regions",
+            scene.len(),
+            hits.len()
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e1_svg_serialize");
+    group.sample_size(20);
+    for rows in [100usize, 2_000] {
+        let rows = rows.min(n);
+        let view = TimelineView::new(&collection, TimelineOptions::default());
+        let vp = Viewport::new(
+            stats.first.unwrap(),
+            stats.last.unwrap(),
+            rows as f64,
+            1280.0,
+            720.0,
+        );
+        let (scene, _) = view.layout(&vp);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &scene, |b, scene| {
+            b.iter(|| svg::render(scene))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

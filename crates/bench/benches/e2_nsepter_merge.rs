@@ -1,0 +1,68 @@
+//! E2 — Fig. 2(a): the NSEPter graph merged around the first diabetes code.
+//!
+//! Benches graph construction, the serial regex merge, and recursive
+//! neighbour merging at depths 1–3 over the diabetes sub-cohort, and
+//! prints the Fig. 2(a) structural summary (merged node membership, edge
+//! weights) per depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pastas_bench::{base_scale, cohort, header};
+use pastas_codes::Code;
+use pastas_graph::{merge_neighbors, merge_on_regex, DiGraph};
+use pastas_regex::Regex;
+
+fn diabetes_sequences(n: usize) -> Vec<Vec<Code>> {
+    cohort(n)
+        .iter()
+        .filter(|h| h.entries().iter().any(|e| e.code().is_some_and(|c| c.value == "T90")))
+        .map(|h| h.diagnosis_sequence().into_iter().cloned().collect())
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    header(
+        "E2: NSEPter merge (Fig. 2a)",
+        "a small graph, merged around the first incidence of diabetes (T90); thicker lines = more patients",
+    );
+    let seqs = diabetes_sequences(base_scale());
+    eprintln!("diabetes sub-cohort: {} histories", seqs.len());
+    let re = Regex::new("T90").expect("regex");
+
+    c.bench_function("e2_graph_build", |b| {
+        b.iter(|| DiGraph::from_sequences(&seqs))
+    });
+
+    c.bench_function("e2_serial_merge", |b| {
+        b.iter(|| {
+            let mut g = DiGraph::from_sequences(&seqs);
+            merge_on_regex(&mut g, &re)
+        })
+    });
+
+    let mut group = c.benchmark_group("e2_neighbor_merge_depth");
+    group.sample_size(10);
+    for depth in [1u32, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut g = DiGraph::from_sequences(&seqs);
+                let merged = merge_on_regex(&mut g, &re);
+                merge_neighbors(&mut g, &merged, depth);
+                g.node_count()
+            })
+        });
+        // The Fig. 2(a) summary.
+        let mut g = DiGraph::from_sequences(&seqs);
+        let merged = merge_on_regex(&mut g, &re);
+        merge_neighbors(&mut g, &merged, depth);
+        eprintln!(
+            "  depth={depth}: {} nodes, {} edges, heaviest edge carries {} histories",
+            g.node_count(),
+            g.edge_count(),
+            g.max_edge_weight()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

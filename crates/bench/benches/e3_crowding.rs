@@ -1,0 +1,84 @@
+//! E3 — Fig. 2(b): graph crowding vs the timeline design.
+//!
+//! The paper: zoomed out, the merged graph of several hundred patients "was
+//! basically a web of edges" — "virtually unreadable". This bench computes
+//! the crowding metrics (nodes, edges, crossings, density) for NSEPter
+//! graphs of growing cohorts and prints them against the timeline view's
+//! per-row footprint, plus the layout+metrics cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pastas_bench::{base_scale, cohort, header};
+use pastas_codes::Code;
+use pastas_graph::{crowding, layout, merge_neighbors, merge_on_regex, DiGraph};
+use pastas_regex::Regex;
+use pastas_viz::{TimelineOptions, TimelineView, Viewport};
+
+fn bench(c: &mut Criterion) {
+    header(
+        "E3: crowding (Fig. 2b)",
+        "graphs of several hundred patients become a web of edges; the timeline stays one row per patient",
+    );
+    let n = base_scale();
+    let collection = cohort(n);
+    let stats = collection.stats();
+    let re = Regex::new("T90").expect("regex");
+
+    eprintln!(
+        "{:>9} {:>8} {:>8} {:>11} {:>9} {:>10} | timeline elements",
+        "histories", "nodes", "edges", "crossings", "density", "maxlayer"
+    );
+    let sizes = [50usize, 150, 400, 800];
+    for &size in &sizes {
+        let size = size.min(n);
+        let seqs: Vec<Vec<Code>> = collection
+            .iter()
+            .take(size)
+            .map(|h| h.diagnosis_sequence().into_iter().cloned().collect())
+            .collect();
+        let mut g = DiGraph::from_sequences(&seqs);
+        let merged = merge_on_regex(&mut g, &re);
+        merge_neighbors(&mut g, &merged, 2);
+        let l = layout(&g);
+        let m = crowding(&g, &l);
+
+        // The timeline comparison: same histories, one row each.
+        let view = TimelineView::new(&collection, TimelineOptions::default());
+        let vp = Viewport::new(
+            stats.first.unwrap(),
+            stats.last.unwrap(),
+            size as f64,
+            1280.0,
+            720.0,
+        );
+        let (scene, _) = view.layout(&vp);
+        eprintln!(
+            "{:>9} {:>8} {:>8} {:>11} {:>9.2} {:>10} | {}",
+            size, m.nodes, m.edges, m.crossings, m.density, m.max_layer_size,
+            scene.len()
+        );
+    }
+
+    let mut group = c.benchmark_group("e3_graph_layout_and_metrics");
+    group.sample_size(10);
+    for &size in &[150usize, 800] {
+        let size = size.min(n);
+        let seqs: Vec<Vec<Code>> = collection
+            .iter()
+            .take(size)
+            .map(|h| h.diagnosis_sequence().into_iter().cloned().collect())
+            .collect();
+        let mut g = DiGraph::from_sequences(&seqs);
+        let merged = merge_on_regex(&mut g, &re);
+        merge_neighbors(&mut g, &merged, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &g, |b, g| {
+            b.iter(|| {
+                let l = layout(g);
+                crowding(g, &l)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

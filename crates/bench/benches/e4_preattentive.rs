@@ -1,0 +1,55 @@
+//! E4 — Fig. 3 / §II.B: preattentive vs conjunction search.
+//!
+//! Regenerates the flat-vs-linear response-time curves: feature search RT
+//! is independent of distractor count; conjunction search grows linearly.
+//! Prints the mean-RT series and fitted slopes, and benches the simulator
+//! itself (it sits inside the E8 interaction loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pastas_bench::header;
+use pastas_perception::search::{RtModel, SearchExperiment};
+use pastas_perception::SearchCondition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    header(
+        "E4: visual search (Fig. 3)",
+        "feature search time is independent of distractors; conjunction search grows linearly",
+    );
+    let exp = SearchExperiment {
+        set_sizes: vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512],
+        trials: 400,
+        model: RtModel::default(),
+    };
+    let mut rng = StdRng::seed_from_u64(3);
+    let feature = exp.run(SearchCondition::Feature, &mut rng);
+    let conjunction = exp.run(SearchCondition::Conjunction, &mut rng);
+
+    eprintln!("{:>9} {:>14} {:>18}", "set size", "feature RT", "conjunction RT");
+    for (i, &(n, f)) in feature.series.iter().enumerate() {
+        eprintln!("{:>9} {:>11.0} ms {:>15.0} ms", n, f, conjunction.series[i].1);
+    }
+    eprintln!(
+        "fitted slopes: feature {:.2} ms/item (≈0), conjunction {:.1} ms/item (paper: linear)",
+        feature.slope, conjunction.slope
+    );
+
+    c.bench_function("e4_run_full_sweep", |b| {
+        let small = SearchExperiment {
+            set_sizes: vec![4, 16, 64, 256],
+            trials: 100,
+            model: RtModel::default(),
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| {
+            (
+                small.run(SearchCondition::Feature, &mut rng).slope,
+                small.run(SearchCondition::Conjunction, &mut rng).slope,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E5 — §IV / Fig. 4: cohort selection by predefined characteristics.
+//!
+//! The paper: "select 13,000 patients from a data set of 168,000 patients"
+//! (selectivity 7.7%). This bench runs the diabetes selection at the bench
+//! scale, verifies the selectivity lands near 7.7%, and runs the
+//! indexed-vs-scan ablation. The full 168k measurement lives in
+//! `examples/cohort_selection_168k.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pastas_bench::{base_scale, cohort, header};
+use pastas_query::index::select_scan;
+use pastas_query::{CodeIndex, QueryBuilder};
+
+fn bench(c: &mut Criterion) {
+    header(
+        "E5: cohort selection (13,000 of 168,000 = 7.7%)",
+        "select patients by predefined characteristics via the Fig. 4 query builder",
+    );
+    let n = base_scale();
+    let collection = cohort(n);
+    let index = CodeIndex::build(&collection);
+    let query = QueryBuilder::new().has_code("T90|T89|E1[014].*").expect("regex").build();
+
+    let selected = index.select(&collection, &query);
+    assert_eq!(selected, select_scan(&collection, &query), "paths must agree");
+    eprintln!(
+        "selected {} of {} ({:.2}%; paper 7.7%) — vocabulary {} codes",
+        selected.len(),
+        n,
+        100.0 * selected.len() as f64 / n as f64,
+        index.vocabulary_size()
+    );
+
+    c.bench_function("e5_selection_indexed", |b| {
+        b.iter(|| index.select(&collection, &query))
+    });
+    let mut group = c.benchmark_group("e5_selection_scan");
+    group.sample_size(10);
+    group.bench_function("full_scan", |b| b.iter(|| select_scan(&collection, &query)));
+    group.finish();
+
+    c.bench_function("e5_index_build", |b| b.iter(|| CodeIndex::build(&collection)));
+
+    // A compound query with age and count clauses (the realistic Fig. 4
+    // dialog contents).
+    let compound = QueryBuilder::new()
+        .has_code("T90|T89|E1[014].*")
+        .expect("regex")
+        .age_between(pastas_time::Date::new(2013, 1, 1).expect("date"), 50, 120)
+        .count_at_least(pastas_query::EntryPredicate::IsDiagnosis, 3)
+        .build();
+    let compound_selected = index.select(&collection, &compound);
+    eprintln!(
+        "compound query (diabetes ∧ age ≥ 50 ∧ ≥3 diagnoses): {} patients",
+        compound_selected.len()
+    );
+    c.bench_function("e5_selection_compound", |b| {
+        b.iter(|| index.select(&collection, &compound))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E6 — §IV: the patient-recognition study (92% / 7% / 1%).
+//!
+//! Prints the reproduction of the paper's split on the selected chronic
+//! cohort, a severity sweep (the sensitivity analysis the paper lacks),
+//! and benches the simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pastas_bench::{base_scale, cohort, header};
+use pastas_core::{simulate_study, RecognitionModel};
+use pastas_query::QueryBuilder;
+
+fn bench(c: &mut Criterion) {
+    header(
+        "E6: recognition study",
+        "92% recognized / 7% did not remember / 1% everything wrong (13,000 patients)",
+    );
+    let n = (base_scale() * 2).max(8_000);
+    let collection = cohort(n);
+    let chronic = QueryBuilder::new()
+        .has_code("T90|T89|K74|K77|K86|R95|P76")
+        .expect("regex")
+        .build();
+    let study_cohort = collection.extract(|h| chronic.matches(h));
+    eprintln!("study cohort: {} of {} patients", study_cohort.len(), n);
+
+    let base = simulate_study(&study_cohort, &RecognitionModel::default(), 2014);
+    eprintln!(
+        "default error model → recognized {:.1}% / not remembered {:.1}% / all wrong {:.1}%",
+        100.0 * base.recognized,
+        100.0 * base.not_remembered,
+        100.0 * base.all_wrong
+    );
+
+    eprintln!("{:>9} {:>12} {:>15} {:>11}", "severity", "recognized", "not remembered", "all wrong");
+    for severity in [0.0f64, 1.0, 2.0, 4.0, 8.0] {
+        let model = RecognitionModel {
+            record_swap_prob: 0.01 * severity,
+            source_dropout: 0.01 * severity,
+            ..RecognitionModel::default()
+        };
+        let o = simulate_study(&study_cohort, &model, 2014 + severity as u64);
+        eprintln!(
+            "{:>8}× {:>11.1}% {:>14.1}% {:>10.1}%",
+            severity,
+            100.0 * o.recognized,
+            100.0 * o.not_remembered,
+            100.0 * o.all_wrong
+        );
+    }
+
+    c.bench_function("e6_simulate_study", |b| {
+        b.iter(|| simulate_study(&study_cohort, &RecognitionModel::default(), 7))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E7 — personal web timelines (>10,000 individuals on the web).
+//!
+//! Benches single-page export and batch throughput, prints page sizes and
+//! the projected time for the paper's 10,000 individuals in both axis
+//! modes' default (calendar) rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pastas_bench::{base_scale, cohort, header};
+use pastas_viz::html::{personal_timeline, PersonalTimelineOptions};
+
+fn bench(c: &mut Criterion) {
+    header(
+        "E7: personal web timelines",
+        "interactive personal health time-lines (for more than 10,000 individuals) on the web",
+    );
+    let collection = cohort(base_scale().min(3_000));
+    // Chronic patients, as in the feedback study.
+    let rich: Vec<&pastas_model::History> =
+        collection.iter().filter(|h| h.len() >= 10).take(200).collect();
+    eprintln!("exporting {} rich histories", rich.len());
+    let opts = PersonalTimelineOptions::default();
+
+    // Page-size table.
+    let sizes: Vec<usize> = rich.iter().take(50).map(|h| personal_timeline(h, &opts).len()).collect();
+    let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+    let max = sizes.iter().max().copied().unwrap_or(0);
+    eprintln!("page size: mean {:.1} KiB, max {:.1} KiB (self-contained)", mean / 1024.0, max as f64 / 1024.0);
+
+    c.bench_function("e7_export_one_page", |b| {
+        let h = rich[0];
+        b.iter(|| personal_timeline(h, &opts))
+    });
+
+    let mut group = c.benchmark_group("e7_batch_export");
+    group.sample_size(10);
+    group.bench_function("fifty_pages", |b| {
+        b.iter(|| {
+            rich.iter().take(50).map(|h| personal_timeline(h, &opts).len()).sum::<usize>()
+        })
+    });
+    group.finish();
+
+    // Throughput projection for the paper scale.
+    let t0 = std::time::Instant::now();
+    let pages = 100.min(rich.len());
+    for h in rich.iter().take(pages) {
+        std::hint::black_box(personal_timeline(h, &opts));
+    }
+    let per_page = t0.elapsed().as_secs_f64() / pages as f64;
+    eprintln!(
+        "throughput: {:.1} pages/s → the paper's 10,000 individuals in {:.0}s single-threaded",
+        1.0 / per_page,
+        10_000.0 * per_page
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

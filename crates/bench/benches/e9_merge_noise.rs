@@ -1,0 +1,116 @@
+//! E9 — ablation: NSEPter's serial merge vs alignment consensus under
+//! noise.
+//!
+//! §II.A.1 says the serial merge "was not very noise-resilient … the order
+//! in which the histories were merged, mattered"; §II.A.2's alignment
+//! methods were the fix. This bench injects k single-position edits into
+//! copies of a shared pathway and prints pathway-recovery (LCS fraction)
+//! for both algorithms, then times them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pastas_align::consensus::consensus_sequence;
+use pastas_align::Scoring;
+use pastas_bench::header;
+use pastas_codes::Code;
+use pastas_graph::merge::serial_pathway;
+use pastas_graph::{merge_neighbors, merge_on_regex, DiGraph};
+use pastas_regex::Regex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TRUE_PATHWAY: [&str; 5] = ["A01", "T90", "K74", "K77", "A97"];
+
+fn noisy_copies(n: usize, k: usize, rng: &mut StdRng) -> Vec<Vec<Code>> {
+    let noise = ["R05", "D01", "H71", "A04"];
+    (0..n)
+        .map(|_| {
+            let mut s: Vec<&str> = TRUE_PATHWAY.to_vec();
+            for _ in 0..k {
+                match rng.gen_range(0..3) {
+                    0 => s.insert(rng.gen_range(0..=s.len()), noise[rng.gen_range(0..4)]),
+                    1 if s.len() > 2 => {
+                        let at = rng.gen_range(0..s.len());
+                        if s[at] != "T90" {
+                            s.remove(at);
+                        }
+                    }
+                    _ => {
+                        let at = rng.gen_range(0..s.len());
+                        if s[at] != "T90" {
+                            s[at] = noise[rng.gen_range(0..4)];
+                        }
+                    }
+                }
+            }
+            s.iter().map(|c| Code::icpc(c)).collect()
+        })
+        .collect()
+}
+
+fn lcs_len(a: &[Code], b: &[Code]) -> usize {
+    let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            dp[i][j] = if a[i - 1] == b[j - 1] {
+                dp[i - 1][j - 1] + 1
+            } else {
+                dp[i - 1][j].max(dp[i][j - 1])
+            };
+        }
+    }
+    dp[a.len()][b.len()]
+}
+
+fn recovery(recovered: &[Code]) -> f64 {
+    let truth: Vec<Code> = TRUE_PATHWAY.iter().map(|c| Code::icpc(c)).collect();
+    lcs_len(recovered, &truth) as f64 / truth.len() as f64
+}
+
+fn nsepter(seqs: &[Vec<Code>]) -> Vec<Code> {
+    let mut g = DiGraph::from_sequences(seqs);
+    let re = Regex::new("T90").expect("regex");
+    let merged = merge_on_regex(&mut g, &re);
+    let Some(&anchor) = merged.first() else { return Vec::new() };
+    merge_neighbors(&mut g, &merged, 4);
+    serial_pathway(&g, anchor).into_iter().map(|v| Code::icpc(&v)).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    header(
+        "E9: merge noise ablation",
+        "NSEPter's serial merge is noise-fragile and order-dependent; alignment consensus is the fix",
+    );
+    let scoring = Scoring::default();
+
+    eprintln!("{:>7} {:>16} {:>14}", "edits k", "consensus recov", "NSEPter recov");
+    for k in [0usize, 1, 2, 3, 4, 6] {
+        let mut rng = StdRng::seed_from_u64(100 + k as u64);
+        let trials = 20;
+        let (mut c_sum, mut n_sum) = (0.0, 0.0);
+        for _ in 0..trials {
+            let seqs = noisy_copies(10, k, &mut rng);
+            c_sum += recovery(&consensus_sequence(&seqs, 0.5, &scoring));
+            n_sum += recovery(&nsepter(&seqs));
+        }
+        eprintln!(
+            "{:>7} {:>15.1}% {:>13.1}%",
+            k,
+            100.0 * c_sum / trials as f64,
+            100.0 * n_sum / trials as f64
+        );
+    }
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let seqs = noisy_copies(10, 2, &mut rng);
+    let mut group = c.benchmark_group("e9_merge_time");
+    group.bench_with_input(BenchmarkId::new("consensus", 10), &seqs, |b, seqs| {
+        b.iter(|| consensus_sequence(seqs, 0.5, &scoring))
+    });
+    group.bench_with_input(BenchmarkId::new("nsepter", 10), &seqs, |b, seqs| {
+        b.iter(|| nsepter(seqs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Shared helpers for the experiment benches.
+//!
+//! Each bench regenerates one figure/table/claim of the paper; the mapping
+//! is in `DESIGN.md` §4 and results are recorded in `EXPERIMENTS.md`.
+//! Benches honour `PASTAS_BENCH_SCALE` (base patient count, default modest
+//! so `cargo bench` completes on a laptop; the paper-scale numbers in
+//! EXPERIMENTS.md come from the examples at full scale).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pastas_model::HistoryCollection;
+use pastas_synth::{generate_collection, SynthConfig};
+
+/// Patient count used as the benches' base scale. Override with the
+/// `PASTAS_BENCH_SCALE` environment variable.
+pub fn base_scale() -> usize {
+    std::env::var("PASTAS_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000)
+}
+
+/// The shared benchmark cohort at `n` patients (seed fixed so all benches
+/// agree on the data).
+pub fn cohort(n: usize) -> HistoryCollection {
+    generate_collection(SynthConfig::with_patients(n), 2016)
+}
+
+/// Print one experiment header so bench output reads as a report.
+pub fn header(experiment: &str, paper_claim: &str) {
+    eprintln!("\n=== {experiment} ===");
+    eprintln!("paper: {paper_claim}");
+}

@@ -1,0 +1,193 @@
+//! Human-readable names for codes.
+//!
+//! Fig. 1 shows "dynamic displays showing detailed information about the
+//! history content under the mouse cursor" — details-on-demand needs
+//! display names. We carry names for every code the synthetic population
+//! emits plus all chapter/group levels.
+
+use crate::{icd10, icpc, CodeSystem};
+
+/// ICPC-2 code names (diagnoses, symptoms and process codes used by the
+/// synthetic sources).
+pub const ICPC_NAMES: [(&str, &str); 40] = [
+    ("A01", "Pain, general/multiple sites"),
+    ("A04", "Weakness/tiredness general"),
+    ("A97", "No disease"),
+    ("D01", "Abdominal pain/cramps general"),
+    ("D84", "Oesophagus disease"),
+    ("F83", "Retinopathy"),
+    ("F92", "Cataract"),
+    ("H71", "Acute otitis media/myringitis"),
+    ("H86", "Deafness"),
+    ("K22", "Risk factor for cardiovascular disease"),
+    ("K74", "Ischaemic heart disease with angina"),
+    ("K75", "Acute myocardial infarction"),
+    ("K76", "Ischaemic heart disease without angina"),
+    ("K77", "Heart failure"),
+    ("K78", "Atrial fibrillation/flutter"),
+    ("K86", "Hypertension uncomplicated"),
+    ("K87", "Hypertension complicated"),
+    ("K89", "Transient cerebral ischaemia"),
+    ("K90", "Stroke/cerebrovascular accident"),
+    ("L88", "Rheumatoid/seropositive arthritis"),
+    ("L89", "Osteoarthrosis of hip"),
+    ("L90", "Osteoarthrosis of knee"),
+    ("N89", "Migraine"),
+    ("P70", "Dementia"),
+    ("P74", "Anxiety disorder/anxiety state"),
+    ("P76", "Depressive disorder"),
+    ("R02", "Shortness of breath/dyspnoea"),
+    ("R05", "Cough"),
+    ("R81", "Pneumonia"),
+    ("R95", "Chronic obstructive pulmonary disease"),
+    ("R96", "Asthma"),
+    ("T86", "Hypothyroidism/myxoedema"),
+    ("T89", "Diabetes insulin dependent"),
+    ("T90", "Diabetes non-insulin dependent"),
+    ("T93", "Lipid disorder"),
+    ("U99", "Urinary disease, other"),
+    ("A98", "Health maintenance/prevention"),
+    ("K49", "Cardiovascular check-up"),          // process component
+    ("T34", "Blood test endocrine/metabolic"),   // process component
+    ("R31", "Respiratory function test"),        // process component
+];
+
+/// ICD-10 category names used by the synthetic hospital source.
+pub const ICD_NAMES: [(&str, &str); 26] = [
+    ("E03", "Other hypothyroidism"),
+    ("E10", "Type 1 diabetes mellitus"),
+    ("E11", "Type 2 diabetes mellitus"),
+    ("E14", "Unspecified diabetes mellitus"),
+    ("E78", "Disorders of lipoprotein metabolism"),
+    ("F03", "Unspecified dementia"),
+    ("F32", "Depressive episode"),
+    ("F33", "Recurrent depressive disorder"),
+    ("F41", "Other anxiety disorders"),
+    ("G43", "Migraine"),
+    ("G45", "Transient cerebral ischaemic attacks"),
+    ("I10", "Essential (primary) hypertension"),
+    ("I20", "Angina pectoris"),
+    ("I21", "Acute myocardial infarction"),
+    ("I24", "Other acute ischaemic heart diseases"),
+    ("I25", "Chronic ischaemic heart disease"),
+    ("I48", "Atrial fibrillation and flutter"),
+    ("I50", "Heart failure"),
+    ("I63", "Cerebral infarction"),
+    ("I64", "Stroke, not specified"),
+    ("J18", "Pneumonia, organism unspecified"),
+    ("J44", "Other chronic obstructive pulmonary disease"),
+    ("J45", "Asthma"),
+    ("J46", "Status asthmaticus"),
+    ("M06", "Other rheumatoid arthritis"),
+    ("N18", "Chronic kidney disease"),
+];
+
+/// ATC group and substance names used by the synthetic prescription source.
+pub const ATC_NAMES: [(&str, &str); 22] = [
+    ("A10", "Drugs used in diabetes"),
+    ("A10A", "Insulins and analogues"),
+    ("A10B", "Blood glucose lowering drugs, excl. insulins"),
+    ("A10BA02", "Metformin"),
+    ("B01", "Antithrombotic agents"),
+    ("B01AC06", "Acetylsalicylic acid"),
+    ("C03", "Diuretics"),
+    ("C07", "Beta blocking agents"),
+    ("C07A", "Beta blocking agents"),
+    ("C07AB02", "Metoprolol"),
+    ("C07AB03", "Atenolol"),
+    ("C09", "Agents acting on the renin-angiotensin system"),
+    ("C09AA02", "Enalapril"),
+    ("C10", "Lipid modifying agents"),
+    ("C10AA01", "Simvastatin"),
+    ("C10AA05", "Atorvastatin"),
+    ("N02", "Analgesics"),
+    ("N02BE01", "Paracetamol"),
+    ("N06A", "Antidepressants"),
+    ("N06AB04", "Citalopram"),
+    ("R03", "Drugs for obstructive airway diseases"),
+    ("R03AC02", "Salbutamol"),
+];
+
+/// Look up the display name of a code at any hierarchy level.
+pub fn name_of(system: CodeSystem, value: &str) -> Option<&'static str> {
+    match system {
+        CodeSystem::Icpc2 => {
+            if let Some(&(_, n)) = ICPC_NAMES.iter().find(|&&(c, _)| c == value) {
+                return Some(n);
+            }
+            // Bare chapter letters.
+            let code = icpc::IcpcCode::parse(value)?;
+            code.number.is_none().then(|| code.chapter.title())
+        }
+        CodeSystem::Icd10 => {
+            if let Some(&(_, n)) = ICD_NAMES.iter().find(|&&(c, _)| c == value) {
+                return Some(n);
+            }
+            // Block ids and chapter numerals.
+            if let Some(&(_, _, _, title)) =
+                icd10::BLOCKS.iter().find(|&&(_, _, id, _)| id == value)
+            {
+                return Some(title);
+            }
+            icd10::CHAPTERS.iter().find(|c| c.numeral == value).map(|c| c.title)
+        }
+        CodeSystem::Atc => {
+            if let Some(&(_, n)) = ATC_NAMES.iter().find(|&&(c, _)| c == value) {
+                return Some(n);
+            }
+            crate::atc::LEVEL1_GROUPS
+                .iter()
+                .find(|&&(g, _)| value.len() == 1 && value.starts_with(g))
+                .map(|&(_, n)| n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Code;
+
+    #[test]
+    fn leaf_names() {
+        assert_eq!(name_of(CodeSystem::Icpc2, "T90"), Some("Diabetes non-insulin dependent"));
+        assert_eq!(name_of(CodeSystem::Icd10, "I50"), Some("Heart failure"));
+        assert_eq!(name_of(CodeSystem::Atc, "C07AB02"), Some("Metoprolol"));
+    }
+
+    #[test]
+    fn hierarchy_level_names() {
+        assert_eq!(name_of(CodeSystem::Icpc2, "K"), Some("Cardiovascular"));
+        assert_eq!(name_of(CodeSystem::Icd10, "E10-E14"), Some("Diabetes mellitus"));
+        assert_eq!(
+            name_of(CodeSystem::Icd10, "IX"),
+            Some("Diseases of the circulatory system")
+        );
+        assert_eq!(name_of(CodeSystem::Atc, "C"), Some("Cardiovascular system"));
+        assert_eq!(name_of(CodeSystem::Atc, "C07"), Some("Beta blocking agents"));
+    }
+
+    #[test]
+    fn unknown_codes_have_no_name() {
+        assert_eq!(name_of(CodeSystem::Icpc2, "T91"), None);
+        assert_eq!(name_of(CodeSystem::Atc, "V99X99"), None);
+    }
+
+    #[test]
+    fn catalog_codes_are_syntactically_valid() {
+        for (c, _) in ICPC_NAMES {
+            assert!(Code::icpc(c).is_valid(), "bad catalog ICPC code {c}");
+        }
+        for (c, _) in ICD_NAMES {
+            assert!(Code::icd10(c).is_valid(), "bad catalog ICD code {c}");
+        }
+        for (c, _) in ATC_NAMES {
+            assert!(Code::atc(c).is_valid(), "bad catalog ATC code {c}");
+        }
+    }
+
+    #[test]
+    fn display_name_via_code() {
+        assert_eq!(Code::icpc("t90").display_name(), Some("Diabetes non-insulin dependent"));
+    }
+}

@@ -1,0 +1,230 @@
+//! ICD-10 — the International Classification of Diseases, 10th revision.
+//!
+//! Hospital episodes in the aggregated data carry ICD-10 codes. The
+//! hierarchy we model is the standard three-level one:
+//!
+//! ```text
+//! Chapter IV  "Endocrine, nutritional and metabolic diseases"  (E00–E90)
+//!   └─ Block E10–E14  "Diabetes mellitus"
+//!        └─ Category E11  "Type 2 diabetes mellitus"
+//!             └─ Subcategory E11.9  "… without complications"
+//! ```
+
+/// A parsed, validated ICD-10 code: category `A00`–`Z99` with an optional
+/// one-digit subcategory (`E11.9`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Icd10Code {
+    /// Category letter `A`–`Z`.
+    pub letter: char,
+    /// Two-digit category number, 0–99.
+    pub number: u8,
+    /// Optional subcategory digit after the dot.
+    pub sub: Option<u8>,
+}
+
+/// One ICD-10 chapter: roman numeral, title, and inclusive category span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChapterInfo {
+    /// Roman numeral label, e.g. `"IV"`.
+    pub numeral: &'static str,
+    /// Chapter title.
+    pub title: &'static str,
+    /// First category of the chapter, e.g. `('E', 0)`.
+    pub start: (char, u8),
+    /// Last category of the chapter (inclusive), e.g. `('E', 90)`.
+    pub end: (char, u8),
+}
+
+/// The 22 ICD-10 chapters (WHO 2016 edition spans).
+pub const CHAPTERS: [ChapterInfo; 22] = [
+    ChapterInfo { numeral: "I", title: "Certain infectious and parasitic diseases", start: ('A', 0), end: ('B', 99) },
+    ChapterInfo { numeral: "II", title: "Neoplasms", start: ('C', 0), end: ('D', 48) },
+    ChapterInfo { numeral: "III", title: "Diseases of the blood and blood-forming organs", start: ('D', 50), end: ('D', 89) },
+    ChapterInfo { numeral: "IV", title: "Endocrine, nutritional and metabolic diseases", start: ('E', 0), end: ('E', 90) },
+    ChapterInfo { numeral: "V", title: "Mental and behavioural disorders", start: ('F', 0), end: ('F', 99) },
+    ChapterInfo { numeral: "VI", title: "Diseases of the nervous system", start: ('G', 0), end: ('G', 99) },
+    ChapterInfo { numeral: "VII", title: "Diseases of the eye and adnexa", start: ('H', 0), end: ('H', 59) },
+    ChapterInfo { numeral: "VIII", title: "Diseases of the ear and mastoid process", start: ('H', 60), end: ('H', 95) },
+    ChapterInfo { numeral: "IX", title: "Diseases of the circulatory system", start: ('I', 0), end: ('I', 99) },
+    ChapterInfo { numeral: "X", title: "Diseases of the respiratory system", start: ('J', 0), end: ('J', 99) },
+    ChapterInfo { numeral: "XI", title: "Diseases of the digestive system", start: ('K', 0), end: ('K', 93) },
+    ChapterInfo { numeral: "XII", title: "Diseases of the skin and subcutaneous tissue", start: ('L', 0), end: ('L', 99) },
+    ChapterInfo { numeral: "XIII", title: "Diseases of the musculoskeletal system", start: ('M', 0), end: ('M', 99) },
+    ChapterInfo { numeral: "XIV", title: "Diseases of the genitourinary system", start: ('N', 0), end: ('N', 99) },
+    ChapterInfo { numeral: "XV", title: "Pregnancy, childbirth and the puerperium", start: ('O', 0), end: ('O', 99) },
+    ChapterInfo { numeral: "XVI", title: "Certain conditions originating in the perinatal period", start: ('P', 0), end: ('P', 96) },
+    ChapterInfo { numeral: "XVII", title: "Congenital malformations and chromosomal abnormalities", start: ('Q', 0), end: ('Q', 99) },
+    ChapterInfo { numeral: "XVIII", title: "Symptoms, signs and abnormal findings, not elsewhere classified", start: ('R', 0), end: ('R', 99) },
+    ChapterInfo { numeral: "XIX", title: "Injury, poisoning and certain other consequences of external causes", start: ('S', 0), end: ('T', 98) },
+    ChapterInfo { numeral: "XX", title: "External causes of morbidity and mortality", start: ('V', 1), end: ('Y', 98) },
+    ChapterInfo { numeral: "XXI", title: "Factors influencing health status and contact with health services", start: ('Z', 0), end: ('Z', 99) },
+    ChapterInfo { numeral: "XXII", title: "Codes for special purposes", start: ('U', 0), end: ('U', 99) },
+];
+
+/// Selected diagnostic blocks (the spans our chronic-condition models and
+/// the mapping table use). Format: `(start, end, block-id, title)`.
+pub const BLOCKS: [(( char, u8), (char, u8), &str, &str); 12] = [
+    (('E', 10), ('E', 14), "E10-E14", "Diabetes mellitus"),
+    (('I', 10), ('I', 15), "I10-I15", "Hypertensive diseases"),
+    (('I', 20), ('I', 25), "I20-I25", "Ischaemic heart diseases"),
+    (('I', 44), ('I', 52), "I44-I52", "Other forms of heart disease"),
+    (('I', 60), ('I', 69), "I60-I69", "Cerebrovascular diseases"),
+    (('J', 40), ('J', 47), "J40-J47", "Chronic lower respiratory diseases"),
+    (('F', 30), ('F', 39), "F30-F39", "Mood [affective] disorders"),
+    (('M', 5), ('M', 14), "M05-M14", "Inflammatory polyarthropathies"),
+    (('M', 15), ('M', 19), "M15-M19", "Arthrosis"),
+    (('N', 17), ('N', 19), "N17-N19", "Renal failure"),
+    (('C', 0), ('C', 97), "C00-C97", "Malignant neoplasms"),
+    (('G', 40), ('G', 47), "G40-G47", "Episodic and paroxysmal disorders"),
+];
+
+impl Icd10Code {
+    /// Parse `"E11"`, `"E11.9"` (also tolerates the dotless Norwegian
+    /// registry form `"E119"`).
+    pub fn parse(s: &str) -> Option<Icd10Code> {
+        let bytes = s.as_bytes();
+        if bytes.len() < 3 {
+            return None;
+        }
+        let letter = bytes[0].to_ascii_uppercase() as char;
+        if !letter.is_ascii_uppercase() {
+            return None;
+        }
+        if !bytes[1].is_ascii_digit() || !bytes[2].is_ascii_digit() {
+            return None;
+        }
+        let number = (bytes[1] - b'0') * 10 + (bytes[2] - b'0');
+        let sub = match &bytes[3..] {
+            [] => None,
+            [b'.', d] if d.is_ascii_digit() => Some(d - b'0'),
+            [d] if d.is_ascii_digit() => Some(d - b'0'),
+            _ => return None,
+        };
+        Some(Icd10Code { letter, number, sub })
+    }
+
+    /// The chapter this category belongs to, if any (some letter/number
+    /// combinations are unassigned, e.g. `U` gaps are ignored here).
+    pub fn chapter(self) -> Option<&'static ChapterInfo> {
+        let key = (self.letter, self.number);
+        CHAPTERS.iter().find(|c| c.start <= key && key <= c.end)
+    }
+
+    /// The named block containing this category, if we track it.
+    pub fn block(self) -> Option<&'static str> {
+        let key = (self.letter, self.number);
+        BLOCKS.iter().find(|(s, e, _, _)| *s <= key && key <= *e).map(|&(_, _, id, _)| id)
+    }
+
+    /// Parent in the hierarchy: subcategory → category → block (when
+    /// tracked) → chapter numeral.
+    pub fn parent(self) -> Option<String> {
+        if self.sub.is_some() {
+            return Some(format!("{}{:02}", self.letter, self.number));
+        }
+        if let Some(block) = self.block() {
+            return Some(block.to_owned());
+        }
+        self.chapter().map(|c| c.numeral.to_owned())
+    }
+
+    /// Canonical string form (`E11` / `E11.9`).
+    pub fn to_code_string(self) -> String {
+        match self.sub {
+            Some(d) => format!("{}{:02}.{}", self.letter, self.number, d),
+            None => format!("{}{:02}", self.letter, self.number),
+        }
+    }
+
+    /// The three-character category (drop any subcategory).
+    pub fn category(self) -> Icd10Code {
+        Icd10Code { sub: None, ..self }
+    }
+}
+
+/// Parent of any ICD-10 hierarchy node, including the non-code levels:
+/// codes parent as [`Icd10Code::parent`], block ids (`"E10-E14"`) parent to
+/// their chapter numeral, and chapter numerals are roots.
+pub fn hierarchy_parent(value: &str) -> Option<String> {
+    if let Some(code) = Icd10Code::parse(value) {
+        return code.parent();
+    }
+    if let Some(&(start, _, _, _)) = BLOCKS.iter().find(|&&(_, _, id, _)| id == value) {
+        return CHAPTERS
+            .iter()
+            .find(|c| c.start <= start && start <= c.end)
+            .map(|c| c.numeral.to_owned());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_category_and_subcategory() {
+        let c = Icd10Code::parse("E11.9").unwrap();
+        assert_eq!((c.letter, c.number, c.sub), ('E', 11, Some(9)));
+        let c = Icd10Code::parse("I50").unwrap();
+        assert_eq!((c.letter, c.number, c.sub), ('I', 50, None));
+        // Dotless registry form.
+        let c = Icd10Code::parse("E119").unwrap();
+        assert_eq!((c.letter, c.number, c.sub), ('E', 11, Some(9)));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["", "E", "E1", "11E", "E11.99", "E11x", "E1.19", "é11"] {
+            assert!(Icd10Code::parse(bad).is_none(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn chapter_lookup() {
+        assert_eq!(Icd10Code::parse("E11").unwrap().chapter().unwrap().numeral, "IV");
+        assert_eq!(Icd10Code::parse("I21").unwrap().chapter().unwrap().numeral, "IX");
+        assert_eq!(Icd10Code::parse("J44").unwrap().chapter().unwrap().numeral, "X");
+        // H splits between eye (VII) and ear (VIII) at H60.
+        assert_eq!(Icd10Code::parse("H25").unwrap().chapter().unwrap().numeral, "VII");
+        assert_eq!(Icd10Code::parse("H66").unwrap().chapter().unwrap().numeral, "VIII");
+        // S/T share chapter XIX.
+        assert_eq!(Icd10Code::parse("S72").unwrap().chapter().unwrap().numeral, "XIX");
+        assert_eq!(Icd10Code::parse("T30").unwrap().chapter().unwrap().numeral, "XIX");
+    }
+
+    #[test]
+    fn block_lookup() {
+        assert_eq!(Icd10Code::parse("E11").unwrap().block(), Some("E10-E14"));
+        assert_eq!(Icd10Code::parse("J44").unwrap().block(), Some("J40-J47"));
+        assert_eq!(Icd10Code::parse("Z00").unwrap().block(), None);
+    }
+
+    #[test]
+    fn parent_chain() {
+        assert_eq!(Icd10Code::parse("E11.9").unwrap().parent(), Some("E11".to_owned()));
+        assert_eq!(Icd10Code::parse("E11").unwrap().parent(), Some("E10-E14".to_owned()));
+        assert_eq!(Icd10Code::parse("Z71").unwrap().parent(), Some("XXI".to_owned()));
+    }
+
+    #[test]
+    fn round_trip() {
+        for s in ["E11.9", "I50", "J44.1"] {
+            assert_eq!(Icd10Code::parse(s).unwrap().to_code_string(), s);
+        }
+    }
+
+    #[test]
+    fn category_strips_sub() {
+        assert_eq!(Icd10Code::parse("E11.9").unwrap().category().to_code_string(), "E11");
+    }
+
+    #[test]
+    fn chapters_cover_common_letters() {
+        // Every category used by the synthetic generator resolves to a chapter.
+        for s in ["E11", "E10", "I10", "I20", "I21", "I50", "I63", "J44", "J45",
+                  "F32", "F33", "M06", "M16", "N18", "C50", "C61", "G40", "R07", "Z71"] {
+            assert!(Icd10Code::parse(s).unwrap().chapter().is_some(), "{s} has no chapter");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The ICPC-2 ↔ ICD-10 bridge.
+//!
+//! The aggregation step ("integration and alignment of patient records")
+//! must recognise that a GP contact coded `T90` and a hospital discharge
+//! coded `E11` describe the same underlying condition. The official
+//! ICPC-2→ICD-10 conversion table is many-to-many; we encode the subset
+//! covering the chronic conditions the prospective cohort study tracks plus
+//! the common acute events those trajectories contain.
+//!
+//! Each entry maps one ICPC-2 diagnosis code to the ICD-10 categories it
+//! converts to. The reverse direction is derived.
+
+use crate::{Code, CodeSystem};
+
+/// One row of the conversion table: ICPC-2 code → ICD-10 categories.
+pub const ICPC_TO_ICD: [(&str, &[&str]); 24] = [
+    // Endocrine / metabolic
+    ("T89", &["E10"]),               // Diabetes insulin dependent
+    ("T90", &["E11", "E14"]),        // Diabetes non-insulin dependent
+    ("T86", &["E03"]),               // Hypothyroidism
+    ("T93", &["E78"]),               // Lipid disorder
+    // Cardiovascular
+    ("K74", &["I20"]),               // Ischaemic heart disease w. angina
+    ("K75", &["I21"]),               // Acute myocardial infarction
+    ("K76", &["I24", "I25"]),        // IHD without angina
+    ("K77", &["I50"]),               // Heart failure
+    ("K78", &["I48"]),               // Atrial fibrillation/flutter
+    ("K86", &["I10"]),               // Hypertension uncomplicated
+    ("K87", &["I11", "I12", "I13", "I15"]), // Hypertension complicated
+    ("K90", &["I63", "I64"]),        // Stroke/CVA
+    ("K89", &["G45"]),               // Transient cerebral ischaemia
+    // Respiratory
+    ("R95", &["J44"]),               // COPD
+    ("R96", &["J45", "J46"]),        // Asthma
+    ("R81", &["J18"]),               // Pneumonia
+    // Psychological
+    ("P76", &["F32", "F33"]),        // Depressive disorder
+    ("P74", &["F41"]),               // Anxiety disorder
+    ("P70", &["F03"]),               // Dementia
+    // Musculoskeletal
+    ("L88", &["M05", "M06"]),        // Rheumatoid arthritis
+    ("L89", &["M16"]),               // Hip osteoarthrosis
+    ("L90", &["M17"]),               // Knee osteoarthrosis
+    // Urological / renal
+    ("U99", &["N18"]),               // Chronic kidney disease (mapped via U99)
+    // Neurological
+    ("N89", &["G43"]),               // Migraine
+];
+
+/// ICD-10 categories a given ICPC-2 code converts to.
+pub fn icpc_to_icd(icpc: &str) -> &'static [&'static str] {
+    ICPC_TO_ICD
+        .iter()
+        .find(|&&(i, _)| i == icpc)
+        .map(|&(_, targets)| targets)
+        .unwrap_or(&[])
+}
+
+/// ICPC-2 codes that convert to a given ICD-10 category (reverse lookup).
+/// Matches on the three-character category, so `E11.9` maps like `E11`.
+pub fn icd_to_icpc(icd: &str) -> Vec<&'static str> {
+    let category = icd.get(..3).unwrap_or(icd);
+    ICPC_TO_ICD
+        .iter()
+        .filter(|&&(_, targets)| targets.contains(&category))
+        .map(|&(i, _)| i)
+        .collect()
+}
+
+/// True if an ICPC-coded and an ICD-coded diagnosis describe the same
+/// condition according to the bridge. Either argument order works;
+/// same-system codes are compared by hierarchy containment.
+pub fn same_condition(a: &Code, b: &Code) -> bool {
+    match (a.system, b.system) {
+        (CodeSystem::Icpc2, CodeSystem::Icd10) => {
+            let cat = b.value.get(..3).unwrap_or(&b.value);
+            icpc_to_icd(&a.value).contains(&cat)
+        }
+        (CodeSystem::Icd10, CodeSystem::Icpc2) => same_condition(b, a),
+        _ => a.is_within(b) || b.is_within(a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_lookup() {
+        assert_eq!(icpc_to_icd("T90"), &["E11", "E14"]);
+        assert_eq!(icpc_to_icd("K77"), &["I50"]);
+        assert!(icpc_to_icd("A01").is_empty());
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        assert_eq!(icd_to_icpc("E11"), vec!["T90"]);
+        assert_eq!(icd_to_icpc("E11.9"), vec!["T90"]); // subcategory rolls up
+        assert_eq!(icd_to_icpc("I25"), vec!["K76"]);
+        assert!(icd_to_icpc("Z00").is_empty());
+    }
+
+    #[test]
+    fn same_condition_cross_system() {
+        assert!(same_condition(&Code::icpc("T90"), &Code::icd10("E11")));
+        assert!(same_condition(&Code::icd10("E11.9"), &Code::icpc("T90")));
+        assert!(same_condition(&Code::icpc("R95"), &Code::icd10("J44")));
+        assert!(!same_condition(&Code::icpc("T90"), &Code::icd10("I50")));
+    }
+
+    #[test]
+    fn same_condition_same_system_uses_hierarchy() {
+        assert!(same_condition(&Code::atc("C07AB02"), &Code::atc("C07")));
+        assert!(same_condition(&Code::icpc("T90"), &Code::icpc("T90")));
+        assert!(!same_condition(&Code::icpc("T90"), &Code::icpc("K74")));
+    }
+
+    #[test]
+    fn every_mapping_row_is_valid() {
+        use crate::{icd10::Icd10Code, icpc::IcpcCode};
+        for (icpc, targets) in ICPC_TO_ICD {
+            assert!(IcpcCode::parse(icpc).is_some(), "bad ICPC {icpc}");
+            assert!(IcpcCode::parse(icpc).unwrap().is_diagnosis(), "{icpc} not a diagnosis");
+            for t in targets {
+                assert!(Icd10Code::parse(t).is_some(), "bad ICD {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_is_functionally_consistent() {
+        // Round trip: for every (icpc, icd) pair, the reverse lookup
+        // recovers the icpc code.
+        for (icpc, targets) in ICPC_TO_ICD {
+            for t in targets {
+                assert!(icd_to_icpc(t).contains(&icpc), "{t} does not map back to {icpc}");
+            }
+        }
+    }
+}

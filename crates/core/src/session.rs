@@ -1,0 +1,256 @@
+//! Session history — Shneiderman's neglected tasks.
+//!
+//! §II.C.3: of the seven tasks in Shneiderman's taxonomy, "the three latter
+//! (relationships, **history**, extraction) are more seldom" implemented,
+//! yet "they are … important for the explorative aspects of interaction
+//! and should be remembered when developing a prototype." This module
+//! remembers them:
+//!
+//! * **history** — [`Session`] wraps a [`Workbench`] and records every view
+//!   command with undo/redo, so an analyst can retrace an exploration;
+//! * **extraction** — see [`crate::export`], reachable from here via
+//!   [`Session::workbench`];
+//! * **relationships** — [`Selection`] sets with union/intersection/
+//!   difference combinators support linked selections across views.
+
+use crate::workbench::{ViewState, Workbench};
+use pastas_model::PatientId;
+use pastas_query::{EntryPredicate, HistoryQuery, SortKey};
+use std::collections::BTreeSet;
+
+/// A view-changing command (replayable; parameters are owned strings so
+/// the log can be serialized for session replay).
+#[derive(Debug, Clone)]
+pub enum ViewCommand {
+    /// Re-sort the display order.
+    Sort(SortKey),
+    /// Align on the first code matching a regex.
+    AlignOnCode(String),
+    /// Back to calendar mode.
+    ClearAlignment,
+    /// Set or clear the event filter.
+    SetFilter(Option<EntryPredicate>),
+}
+
+/// A workbench with command history.
+pub struct Session {
+    workbench: Workbench,
+    undo: Vec<(ViewState, ViewCommand)>,
+    redo: Vec<(ViewState, ViewCommand)>,
+}
+
+impl Session {
+    /// Wrap a workbench.
+    pub fn new(workbench: Workbench) -> Session {
+        Session { workbench, undo: Vec::new(), redo: Vec::new() }
+    }
+
+    /// Read access to the underlying workbench.
+    pub fn workbench(&self) -> &Workbench {
+        &self.workbench
+    }
+
+    /// Apply a command, recording it for undo. Returns an error string for
+    /// invalid parameters (e.g. a bad regex) without changing state.
+    pub fn apply(&mut self, command: ViewCommand) -> Result<(), String> {
+        let before = self.workbench.view_state();
+        match &command {
+            ViewCommand::Sort(key) => self.workbench.sort(key),
+            ViewCommand::AlignOnCode(pattern) => {
+                self.workbench.align_on_code(pattern).map_err(|e| e.to_string())?;
+            }
+            ViewCommand::ClearAlignment => self.workbench.clear_alignment(),
+            ViewCommand::SetFilter(f) => self.workbench.set_filter(f.clone()),
+        }
+        self.undo.push((before, command));
+        self.redo.clear();
+        Ok(())
+    }
+
+    /// Undo the last command. Returns `false` if there was nothing to undo.
+    pub fn undo(&mut self) -> bool {
+        let Some((state, command)) = self.undo.pop() else {
+            return false;
+        };
+        let current = self.workbench.view_state();
+        self.workbench.restore_view_state(state);
+        self.redo.push((current, command));
+        true
+    }
+
+    /// Redo the last undone command.
+    pub fn redo(&mut self) -> bool {
+        let Some((state, command)) = self.redo.pop() else {
+            return false;
+        };
+        let current = self.workbench.view_state();
+        self.workbench.restore_view_state(state);
+        self.undo.push((current, command));
+        true
+    }
+
+    /// The command trail, oldest first (the replayable session log).
+    pub fn history(&self) -> Vec<&ViewCommand> {
+        self.undo.iter().map(|(_, c)| c).collect()
+    }
+
+    /// Depth of the undo stack.
+    pub fn undo_depth(&self) -> usize {
+        self.undo.len()
+    }
+}
+
+/// A patient selection — the "relationships" task: selections compose
+/// across views with set algebra.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Selection {
+    ids: BTreeSet<PatientId>,
+}
+
+impl Selection {
+    /// The empty selection.
+    pub fn new() -> Selection {
+        Selection::default()
+    }
+
+    /// Build from patient ids.
+    pub fn from_ids<I: IntoIterator<Item = PatientId>>(ids: I) -> Selection {
+        Selection { ids: ids.into_iter().collect() }
+    }
+
+    /// Build from a query over a workbench.
+    pub fn from_query(wb: &Workbench, query: &HistoryQuery) -> Selection {
+        Selection::from_ids(wb.select_ids(query))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: PatientId) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// Number of selected patients.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Selection) -> Selection {
+        Selection { ids: self.ids.union(&other.ids).copied().collect() }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &Selection) -> Selection {
+        Selection { ids: self.ids.intersection(&other.ids).copied().collect() }
+    }
+
+    /// Set difference (`self − other`).
+    pub fn subtract(&self, other: &Selection) -> Selection {
+        Selection { ids: self.ids.difference(&other.ids).copied().collect() }
+    }
+
+    /// Iterate ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = PatientId> + '_ {
+        self.ids.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_query::QueryBuilder;
+    use pastas_synth::{generate_collection, SynthConfig};
+
+    fn session() -> Session {
+        Session::new(Workbench::from_collection(generate_collection(
+            SynthConfig::with_patients(200),
+            47,
+        )))
+    }
+
+    #[test]
+    fn undo_redo_round_trip() {
+        let mut s = session();
+        let initial = s.workbench().order().to_vec();
+        s.apply(ViewCommand::Sort(SortKey::EntryCount)).unwrap();
+        let sorted = s.workbench().order().to_vec();
+        assert_ne!(initial, sorted);
+
+        assert!(s.undo());
+        assert_eq!(s.workbench().order(), initial.as_slice());
+        assert!(s.redo());
+        assert_eq!(s.workbench().order(), sorted.as_slice());
+        assert!(!s.redo(), "nothing further to redo");
+    }
+
+    #[test]
+    fn alignment_commands_are_undoable() {
+        let mut s = session();
+        assert!(!s.workbench().is_aligned());
+        s.apply(ViewCommand::AlignOnCode("T90".to_owned())).unwrap();
+        assert!(s.workbench().is_aligned());
+        s.undo();
+        assert!(!s.workbench().is_aligned());
+    }
+
+    #[test]
+    fn failed_commands_leave_no_trace() {
+        let mut s = session();
+        let err = s.apply(ViewCommand::AlignOnCode("T90[".to_owned()));
+        assert!(err.is_err());
+        assert_eq!(s.undo_depth(), 0);
+        assert!(!s.undo());
+    }
+
+    #[test]
+    fn new_command_clears_the_redo_branch() {
+        let mut s = session();
+        s.apply(ViewCommand::Sort(SortKey::EntryCount)).unwrap();
+        s.apply(ViewCommand::Sort(SortKey::FirstEntry)).unwrap();
+        s.undo();
+        s.apply(ViewCommand::Sort(SortKey::Span)).unwrap();
+        assert!(!s.redo(), "redo branch discarded after divergence");
+        assert_eq!(s.history().len(), 2);
+    }
+
+    #[test]
+    fn history_is_the_replayable_trail() {
+        let mut s = session();
+        s.apply(ViewCommand::Sort(SortKey::EntryCount)).unwrap();
+        s.apply(ViewCommand::AlignOnCode("K86".to_owned())).unwrap();
+        s.apply(ViewCommand::ClearAlignment).unwrap();
+        let trail: Vec<String> = s.history().iter().map(|c| format!("{c:?}")).collect();
+        assert_eq!(trail.len(), 3);
+        assert!(trail[1].contains("K86"));
+    }
+
+    #[test]
+    fn selection_algebra() {
+        let s = session();
+        let diabetics = Selection::from_query(
+            s.workbench(),
+            &QueryBuilder::new().has_code("T90").unwrap().build(),
+        );
+        let hypertensives = Selection::from_query(
+            s.workbench(),
+            &QueryBuilder::new().has_code("K86").unwrap().build(),
+        );
+        let both = diabetics.intersect(&hypertensives);
+        let either = diabetics.union(&hypertensives);
+        let only_dm = diabetics.subtract(&hypertensives);
+        assert_eq!(both.len() + only_dm.len(), diabetics.len());
+        assert_eq!(
+            either.len(),
+            diabetics.len() + hypertensives.len() - both.len(),
+            "inclusion–exclusion"
+        );
+        for id in both.iter() {
+            assert!(diabetics.contains(id) && hypertensives.contains(id));
+        }
+        assert!(Selection::new().is_empty());
+    }
+}

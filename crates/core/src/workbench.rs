@@ -1,0 +1,462 @@
+//! The workbench: one object holding the aggregated collection, its
+//! indexes, the two ontologies, and the current view state.
+//!
+//! Every §IV interactive operation is a method whose wall-clock cost E8
+//! benches against Shneiderman's 0.1 s budget: select, sort, align, filter,
+//! zoom, hover.
+
+use pastas_ingest::{aggregate, QualityReport, SourceTexts};
+use pastas_model::{HistoryCollection, PatientId};
+use pastas_ontology::integration::IntegrationOntology;
+use pastas_query::{
+    align_on, sort_histories, CodeIndex, EntryPredicate, HistoryQuery, SortKey,
+};
+use pastas_regex::ParseError;
+use pastas_time::Duration;
+use pastas_viz::html::{personal_timeline, PersonalTimelineOptions};
+use pastas_viz::timeline::aligned_viewport;
+use pastas_viz::{ascii, hit::HitMap, svg, AxisMode, Scene, TimelineOptions, TimelineView, Viewport};
+
+/// A snapshot of the mutable view state (what undo/redo restores).
+#[derive(Debug, Clone)]
+pub struct ViewState {
+    pub(crate) order: Vec<u32>,
+    pub(crate) axis: AxisMode,
+    pub(crate) filter: Option<EntryPredicate>,
+}
+
+/// The workbench. See the crate docs for a tour.
+pub struct Workbench {
+    collection: HistoryCollection,
+    index: CodeIndex,
+    ontology: IntegrationOntology,
+    quality: Option<QualityReport>,
+    // View state.
+    order: Vec<u32>,
+    axis: AxisMode,
+    filter: Option<EntryPredicate>,
+}
+
+impl Workbench {
+    /// Build from an already-aggregated collection.
+    pub fn from_collection(collection: HistoryCollection) -> Workbench {
+        let index = CodeIndex::build(&collection);
+        let order = (0..collection.len() as u32).collect();
+        Workbench {
+            collection,
+            index,
+            ontology: IntegrationOntology::new(),
+            quality: None,
+            order,
+            axis: AxisMode::Calendar,
+            filter: None,
+        }
+    }
+
+    /// Build by running the full heterogeneous-source aggregation pipeline.
+    pub fn from_raw_sources(sources: SourceTexts<'_>) -> Workbench {
+        let (collection, quality) = aggregate(sources);
+        let mut wb = Workbench::from_collection(collection);
+        wb.quality = Some(quality);
+        wb
+    }
+
+    /// The aggregated collection.
+    pub fn collection(&self) -> &HistoryCollection {
+        &self.collection
+    }
+
+    /// The data-quality report, when built from raw sources.
+    pub fn quality(&self) -> Option<&QualityReport> {
+        self.quality.as_ref()
+    }
+
+    /// The integration & alignment ontology.
+    pub fn ontology(&self) -> &IntegrationOntology {
+        &self.ontology
+    }
+
+    /// The inverted code index.
+    pub fn index(&self) -> &CodeIndex {
+        &self.index
+    }
+
+    /// Current display order (history positions).
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Snapshot the current view state (order, axis mode, filter) — the
+    /// unit of undo/redo in [`crate::session::Session`].
+    pub fn view_state(&self) -> ViewState {
+        ViewState {
+            order: self.order.clone(),
+            axis: self.axis.clone(),
+            filter: self.filter.clone(),
+        }
+    }
+
+    /// Restore a previously captured view state.
+    pub fn restore_view_state(&mut self, state: ViewState) {
+        self.order = state.order;
+        self.axis = state.axis;
+        self.filter = state.filter;
+    }
+
+    // ------------------------------------------------------------------
+    // Cohort identification (§IV: "extraction of sub-collections")
+    // ------------------------------------------------------------------
+
+    /// Positions of histories matching the query (index-accelerated).
+    pub fn select_positions(&self, query: &HistoryQuery) -> Vec<u32> {
+        self.index.select(&self.collection, query)
+    }
+
+    /// Extract the matching sub-collection into a new workbench.
+    pub fn select(&self, query: &HistoryQuery) -> Workbench {
+        let positions = self.select_positions(query);
+        let histories = self.collection.histories();
+        let sub = HistoryCollection::from_histories(
+            positions.iter().map(|&i| histories[i as usize].clone()),
+        );
+        Workbench::from_collection(sub)
+    }
+
+    /// Patient ids matching the query.
+    pub fn select_ids(&self, query: &HistoryQuery) -> Vec<PatientId> {
+        let histories = self.collection.histories();
+        self.select_positions(query)
+            .into_iter()
+            .map(|i| histories[i as usize].id())
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // View operations (§IV: sorting, aligning, filtering)
+    // ------------------------------------------------------------------
+
+    /// Re-sort the display order.
+    pub fn sort(&mut self, key: &SortKey) {
+        self.order = sort_histories(&self.collection, key);
+    }
+
+    /// Group the display order by trajectory similarity: cluster the
+    /// diagnosis sequences (alignment distance, agglomerative linkage)
+    /// into `k` groups and order rows cluster-by-cluster, each cluster led
+    /// by its medoid (the "typical trajectory").
+    ///
+    /// O(n²) alignments — intended for cohort views of up to a few hundred
+    /// rows; returns the per-history cluster assignment in display order.
+    pub fn sort_by_similarity(&mut self, k: usize) -> Vec<usize> {
+        use pastas_align::cluster::{agglomerative, distance_matrix, medoids};
+        let sequences: Vec<Vec<pastas_codes::Code>> = self
+            .collection
+            .iter()
+            .map(|h| h.diagnosis_sequence().into_iter().cloned().collect())
+            .collect();
+        let matrix = distance_matrix(&sequences, &pastas_align::Scoring::default());
+        let assignment = agglomerative(&matrix, k);
+        let meds = medoids(&matrix, &assignment);
+        let mut order: Vec<u32> = (0..self.collection.len() as u32).collect();
+        order.sort_by_key(|&i| {
+            let i = i as usize;
+            let cluster = assignment[i];
+            // Medoid first within its cluster, then original order.
+            (cluster, if meds.get(cluster) == Some(&i) { 0usize } else { 1 }, i)
+        });
+        let assignment_in_order: Vec<usize> =
+            order.iter().map(|&i| assignment[i as usize]).collect();
+        self.order = order;
+        assignment_in_order
+    }
+
+    /// Align on the first entry whose code matches `pattern`; switches the
+    /// axis to aligned mode and sorts unanchored histories last.
+    pub fn align_on_code(&mut self, pattern: &str) -> Result<usize, ParseError> {
+        let pred = EntryPredicate::code_regex(pattern)?;
+        let alignment = align_on(&self.collection, &pred);
+        let n = alignment.len();
+        self.order = sort_histories(&self.collection, &SortKey::Anchor(alignment.clone()));
+        self.axis = AxisMode::Aligned(alignment);
+        Ok(n)
+    }
+
+    /// Back to calendar mode.
+    pub fn clear_alignment(&mut self) {
+        self.axis = AxisMode::Calendar;
+    }
+
+    /// Set (or clear) the event filter.
+    pub fn set_filter(&mut self, filter: Option<EntryPredicate>) {
+        self.filter = filter;
+    }
+
+    /// True if currently in aligned mode.
+    pub fn is_aligned(&self) -> bool {
+        self.axis.is_aligned()
+    }
+
+    // ------------------------------------------------------------------
+    // Rendering
+    // ------------------------------------------------------------------
+
+    /// A default viewport covering the whole collection (calendar mode) or
+    /// ±24 months (aligned mode), showing up to 40 rows.
+    pub fn default_viewport(&self, width_px: f64, height_px: f64) -> Viewport {
+        let rows = (self.collection.len() as f64).clamp(1.0, 40.0);
+        match &self.axis {
+            AxisMode::Aligned(_) => aligned_viewport(24, 24, rows, width_px, height_px),
+            AxisMode::Calendar => {
+                let stats = self.collection.stats();
+                let (from, to) = match (stats.first, stats.last) {
+                    (Some(a), Some(b)) if a < b => (a, b),
+                    (Some(a), _) => (a, a + Duration::days(365)),
+                    _ => {
+                        let d = pastas_time::Date::new(2013, 1, 1).expect("valid");
+                        (d.at_midnight(), d.add_days(730).at_midnight())
+                    }
+                };
+                let margin = Duration::days(((to - from).whole_days() / 30).max(7));
+                Viewport::new(from + -margin, to + margin, rows, width_px, height_px)
+            }
+        }
+    }
+
+    /// Lay out the current view.
+    pub fn layout(&self, viewport: &Viewport) -> (Scene, HitMap) {
+        let opts = TimelineOptions {
+            axis: self.axis.clone(),
+            filter: self.filter.clone(),
+            ..TimelineOptions::default()
+        };
+        TimelineView::new(&self.collection, opts)
+            .with_order(self.order.clone())
+            .layout(viewport)
+    }
+
+    /// Render the current view as SVG at the given canvas size.
+    pub fn render_svg(&self, width_px: f64, height_px: f64) -> String {
+        let vp = self.default_viewport(width_px, height_px);
+        let (scene, _) = self.layout(&vp);
+        svg::render(&scene)
+    }
+
+    /// Render the overview density mode ("Overview first"): the whole
+    /// collection as a blocks × buckets density matrix — the view that
+    /// stays readable when the cohort has more histories than pixel rows.
+    pub fn render_overview_svg(&self, width_px: f64, height_px: f64) -> String {
+        use pastas_viz::overview::{density, render_overview, OverviewOptions};
+        let stats = self.collection.stats();
+        let (Some(from), Some(to)) = (stats.first, stats.last) else {
+            return svg::render(&Scene::new(width_px, height_px));
+        };
+        let m = density(
+            &self.collection,
+            &self.order,
+            from,
+            to,
+            self.filter.as_ref(),
+            &OverviewOptions::default(),
+        );
+        svg::render(&render_overview(&m, width_px, height_px))
+    }
+
+    /// Render the current view as terminal text.
+    pub fn render_ascii(&self, cols: usize, rows: usize) -> String {
+        let vp = self.default_viewport(cols as f64 * 8.0, rows as f64 * 16.0);
+        let (scene, _) = self.layout(&vp);
+        ascii::render(&scene, cols, rows)
+    }
+
+    /// Details-on-demand: the entry description under a cursor position in
+    /// the default viewport.
+    pub fn details_at(&self, viewport: &Viewport, x: f64, y: f64) -> Option<String> {
+        let (_, hits) = self.layout(viewport);
+        hits.hit_test(x, y).map(|r| r.details.clone())
+    }
+
+    /// Export one patient's interactive personal timeline (pastas.no).
+    pub fn export_personal_timeline(&self, id: PatientId) -> Option<String> {
+        let history = self.collection.get(id)?;
+        let opts = PersonalTimelineOptions {
+            title: format!("Health timeline for {id}"),
+            ..PersonalTimelineOptions::default()
+        };
+        Some(personal_timeline(history, &opts))
+    }
+
+    /// The conditions (per the integration ontology) present anywhere in a
+    /// patient's history.
+    pub fn conditions_of(&self, id: PatientId) -> Vec<&'static str> {
+        let Some(history) = self.collection.get(id) else {
+            return Vec::new();
+        };
+        let mut out: Vec<&'static str> = history
+            .entries()
+            .iter()
+            .filter_map(|e| e.code())
+            .flat_map(|c| self.ontology.conditions_of(c))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_query::QueryBuilder;
+    use pastas_synth::{generate_collection, SynthConfig};
+
+    fn wb() -> Workbench {
+        Workbench::from_collection(generate_collection(SynthConfig::with_patients(300), 19))
+    }
+
+    #[test]
+    fn selection_shrinks_the_cohort() {
+        let wb = wb();
+        let q = QueryBuilder::new().has_code("T90").unwrap().build();
+        let cohort = wb.select(&q);
+        assert!(cohort.collection().len() > 0);
+        assert!(cohort.collection().len() < 300);
+        // Every selected patient really has the code.
+        for h in cohort.collection() {
+            assert!(h.entries().iter().any(|e| e.code().is_some_and(|c| c.value == "T90")));
+        }
+    }
+
+    #[test]
+    fn selection_ids_match_positions() {
+        let wb = wb();
+        let q = QueryBuilder::new().has_code("K86").unwrap().build();
+        let ids = wb.select_ids(&q);
+        let positions = wb.select_positions(&q);
+        assert_eq!(ids.len(), positions.len());
+    }
+
+    #[test]
+    fn alignment_switches_axis_and_counts_anchors() {
+        let mut wb = wb();
+        assert!(!wb.is_aligned());
+        let n = wb.align_on_code("T90").unwrap();
+        assert!(wb.is_aligned());
+        assert!(n > 0 && n < 300);
+        wb.clear_alignment();
+        assert!(!wb.is_aligned());
+    }
+
+    #[test]
+    fn bad_pattern_is_an_error_not_a_panic() {
+        let mut wb = wb();
+        assert!(wb.align_on_code("T90[").is_err());
+    }
+
+    #[test]
+    fn svg_and_ascii_rendering() {
+        let wb = wb();
+        let svg = wb.render_svg(800.0, 400.0);
+        assert!(svg.contains("<svg") && svg.contains("viz-Row-bar"));
+        let text = wb.render_ascii(100, 30);
+        assert_eq!(text.lines().count(), 30);
+        assert!(text.contains('─'), "row bars render");
+    }
+
+    #[test]
+    fn details_on_demand_via_the_workbench() {
+        let wb = wb();
+        let vp = wb.default_viewport(800.0, 400.0);
+        let (_, hits) = wb.layout(&vp);
+        let some = hits.iter().next().expect("at least one entry drawn");
+        let cx = (some.bbox.0 + some.bbox.2) / 2.0;
+        let cy = (some.bbox.1 + some.bbox.3) / 2.0;
+        let details = wb.details_at(&vp, cx, cy).expect("hit");
+        assert!(!details.is_empty());
+    }
+
+    #[test]
+    fn personal_timeline_export() {
+        let wb = wb();
+        let id = wb.collection().histories()[0].id();
+        let page = wb.export_personal_timeline(id).unwrap();
+        assert!(page.contains("<svg"));
+        assert!(page.contains(&id.to_string()));
+        assert!(wb.export_personal_timeline(PatientId(999_999)).is_none());
+    }
+
+    #[test]
+    fn ontology_backed_condition_summary() {
+        let wb = wb();
+        let q = QueryBuilder::new().has_code("T90").unwrap().build();
+        let ids = wb.select_ids(&q);
+        let conditions = wb.conditions_of(ids[0]);
+        assert!(conditions.contains(&"Diabetes"), "{conditions:?}");
+    }
+
+    #[test]
+    fn sort_changes_order() {
+        let mut wb = wb();
+        let before = wb.order().to_vec();
+        wb.sort(&SortKey::EntryCount);
+        let after = wb.order().to_vec();
+        assert_eq!(before.len(), after.len());
+        assert_ne!(before, after, "order should change for a varied cohort");
+    }
+
+    #[test]
+    fn similarity_sort_groups_clusters_contiguously() {
+        let wb0 = wb();
+        let q = QueryBuilder::new().has_code("T90|R95").unwrap().build();
+        let mut cohort = wb0.select(&q);
+        let n = cohort.collection().len();
+        assert!(n > 4, "need a few histories");
+        let assignment = cohort.sort_by_similarity(3);
+        assert_eq!(assignment.len(), n);
+        // Cluster ids appear as contiguous runs in display order.
+        let mut seen = Vec::new();
+        for c in &assignment {
+            if seen.last() != Some(c) {
+                assert!(!seen.contains(c), "cluster {c} split across runs: {assignment:?}");
+                seen.push(*c);
+            }
+        }
+        assert!(seen.len() <= 3);
+    }
+
+    #[test]
+    fn quality_report_flows_through_from_raw_sources() {
+        use pastas_synth::emit::{emit, MessConfig};
+        use pastas_synth::generate_population;
+        let pop = generate_population(SynthConfig::with_patients(80), 3);
+        let raw = emit(&pop, MessConfig::default());
+        let wb = Workbench::from_raw_sources(SourceTexts {
+            persons: &raw.persons,
+            claims: &raw.claims,
+            hospital: &raw.hospital,
+            municipal: &raw.municipal,
+            prescriptions: &raw.prescriptions,
+        });
+        assert_eq!(wb.collection().len(), 80);
+        let q = wb.quality().expect("quality report");
+        assert!(q.entries_loaded > 0);
+    }
+
+    #[test]
+    fn overview_density_mode() {
+        let wb = wb();
+        let svg = wb.render_overview_svg(800.0, 300.0);
+        assert!(svg.contains("viz-Overview-cell"), "density cells rendered");
+        // Cell count bounded by the default grid, not the cohort size.
+        assert!(svg.matches("<rect").count() <= 96 * 64 + 1);
+        let empty = Workbench::from_collection(HistoryCollection::new());
+        assert!(empty.render_overview_svg(100.0, 100.0).contains("<svg"));
+    }
+
+    #[test]
+    fn empty_collection_workbench() {
+        let wb = Workbench::from_collection(HistoryCollection::new());
+        let svg = wb.render_svg(400.0, 200.0);
+        assert!(svg.contains("<svg"));
+        assert!(wb.select_ids(&HistoryQuery::All).is_empty());
+    }
+}

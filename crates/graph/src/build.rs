@@ -1,0 +1,181 @@
+//! Graph construction from diagnosis sequences.
+
+use pastas_codes::Code;
+use std::collections::BTreeMap;
+
+/// A node handle.
+pub type NodeId = usize;
+
+/// One node: a diagnosis code plus the `(history, position)` occurrences
+/// merged into it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The code all members share.
+    pub code: Code,
+    /// Occurrences merged into this node.
+    pub members: Vec<(usize, usize)>,
+    /// True once the node has been removed by a merge.
+    pub dead: bool,
+}
+
+/// The NSEPter directed graph: nodes per diagnosis occurrence, weighted
+/// edges for adjacency within histories.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    /// All nodes (including dead ones; see [`Node::dead`]).
+    nodes: Vec<Node>,
+    /// Edge weights: `(from, to) → number of history transitions`.
+    edges: BTreeMap<(NodeId, NodeId), usize>,
+    /// Number of input histories.
+    histories: usize,
+}
+
+impl DiGraph {
+    /// Build the unmerged graph: one node per diagnosis occurrence, one
+    /// weight-1 edge per adjacency ("an edge between nodes representing
+    /// diagnoses adjacent to each other in the history").
+    pub fn from_sequences(sequences: &[Vec<Code>]) -> DiGraph {
+        let mut g = DiGraph { histories: sequences.len(), ..DiGraph::default() };
+        for (hi, seq) in sequences.iter().enumerate() {
+            let mut prev: Option<NodeId> = None;
+            for (pos, code) in seq.iter().enumerate() {
+                let id = g.nodes.len();
+                g.nodes.push(Node { code: code.clone(), members: vec![(hi, pos)], dead: false });
+                if let Some(p) = prev {
+                    *g.edges.entry((p, id)).or_default() += 1;
+                }
+                prev = Some(id);
+            }
+        }
+        g
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.dead).count()
+    }
+
+    /// Number of edges between live nodes.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of input histories.
+    pub fn history_count(&self) -> usize {
+        self.histories
+    }
+
+    /// The node table (including dead nodes; check [`Node::dead`]).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Iterate live edges as `(from, to, weight)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, usize)> + '_ {
+        self.edges.iter().map(|(&(a, b), &w)| (a, b, w))
+    }
+
+    /// In-neighbours of a live node.
+    pub fn predecessors(&self, id: NodeId) -> Vec<NodeId> {
+        self.edges.keys().filter(|&&(_, b)| b == id).map(|&(a, _)| a).collect()
+    }
+
+    /// Out-neighbours of a live node.
+    pub fn successors(&self, id: NodeId) -> Vec<NodeId> {
+        self.edges.keys().filter(|&&(a, _)| a == id).map(|&(_, b)| b).collect()
+    }
+
+    /// Merge `victims` into `target`: members move, edges are re-pointed
+    /// and their weights combined ("Common edges between merged nodes were
+    /// scaled according to the number of histories exhibiting the
+    /// transition"). Self-loops produced by the merge are dropped.
+    pub fn merge_into(&mut self, target: NodeId, victims: &[NodeId]) {
+        debug_assert!(!self.nodes[target].dead);
+        for &v in victims {
+            if v == target || self.nodes[v].dead {
+                continue;
+            }
+            let members = std::mem::take(&mut self.nodes[v].members);
+            self.nodes[target].members.extend(members);
+            self.nodes[v].dead = true;
+            // Re-point edges touching v.
+            let touching: Vec<((NodeId, NodeId), usize)> = self
+                .edges
+                .iter()
+                .filter(|(&(a, b), _)| a == v || b == v)
+                .map(|(&k, &w)| (k, w))
+                .collect();
+            for ((a, b), w) in touching {
+                self.edges.remove(&(a, b));
+                let na = if a == v { target } else { a };
+                let nb = if b == v { target } else { b };
+                if na != nb {
+                    *self.edges.entry((na, nb)).or_default() += w;
+                }
+            }
+        }
+    }
+
+    /// The heaviest edge weight (0 for an empty graph).
+    pub fn max_edge_weight(&self) -> usize {
+        self.edges.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(codes: &[&str]) -> Vec<Code> {
+        codes.iter().map(|c| Code::icpc(c)).collect()
+    }
+
+    #[test]
+    fn unmerged_graph_shape() {
+        let g = DiGraph::from_sequences(&[seq(&["A01", "T90", "K74"]), seq(&["T90", "K74"])]);
+        assert_eq!(g.node_count(), 5, "one node per occurrence");
+        assert_eq!(g.edge_count(), 3, "one edge per adjacency");
+        assert_eq!(g.history_count(), 2);
+        assert_eq!(g.max_edge_weight(), 1);
+    }
+
+    #[test]
+    fn merge_combines_members_and_edges() {
+        // h0: a->b, h1: a'->b'. Merging a with a' and b with b' gives one
+        // edge of weight 2.
+        let g0 = DiGraph::from_sequences(&[seq(&["A01", "T90"]), seq(&["A01", "T90"])]);
+        let mut g = g0.clone();
+        g.merge_into(0, &[2]); // the two A01 nodes
+        g.merge_into(1, &[3]); // the two T90 nodes
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.max_edge_weight(), 2);
+        assert_eq!(g.nodes()[0].members.len(), 2);
+    }
+
+    #[test]
+    fn merge_drops_self_loops() {
+        let mut g = DiGraph::from_sequences(&[seq(&["T90", "T90"])]);
+        g.merge_into(0, &[1]);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0, "self-loop dropped");
+    }
+
+    #[test]
+    fn merge_is_idempotent_for_dead_nodes() {
+        let mut g = DiGraph::from_sequences(&[seq(&["A01", "T90"]), seq(&["A01", "R05"])]);
+        g.merge_into(0, &[2]);
+        let nodes = g.node_count();
+        g.merge_into(0, &[2]); // already dead: no-op
+        assert_eq!(g.node_count(), nodes);
+    }
+
+    #[test]
+    fn neighbour_queries() {
+        let g = DiGraph::from_sequences(&[seq(&["A01", "T90", "K74"])]);
+        assert_eq!(g.successors(0), vec![1]);
+        assert_eq!(g.predecessors(1), vec![0]);
+        assert_eq!(g.predecessors(0), Vec::<NodeId>::new());
+        assert_eq!(g.successors(2), Vec::<NodeId>::new());
+    }
+}

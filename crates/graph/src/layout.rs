@@ -1,0 +1,141 @@
+//! Layered graph layout (Sugiyama-lite): longest-path layering plus a few
+//! barycenter ordering sweeps. Produces the node coordinates the SVG
+//! renderer in `pastas-viz` draws — and the geometry the crowding metrics
+//! of E3 measure.
+
+use crate::build::{DiGraph, NodeId};
+use std::collections::HashMap;
+
+/// Node positions of a laid-out graph.
+#[derive(Debug, Clone, Default)]
+pub struct GraphLayout {
+    /// `node → (x, y)` in abstract units (layer spacing 1.0).
+    pub positions: HashMap<NodeId, (f64, f64)>,
+    /// Number of layers.
+    pub layers: usize,
+    /// Maximum nodes in any layer.
+    pub max_layer_size: usize,
+}
+
+/// Compute the layout of all live nodes.
+pub fn layout(g: &DiGraph) -> GraphLayout {
+    let live: Vec<NodeId> = (0..g.nodes().len()).filter(|&i| !g.nodes()[i].dead).collect();
+    if live.is_empty() {
+        return GraphLayout::default();
+    }
+
+    // Longest-path layering (graphs from histories are DAG-like; cycles
+    // introduced by merging are broken by capping the iteration).
+    let mut layer: HashMap<NodeId, usize> = live.iter().map(|&n| (n, 0)).collect();
+    for _ in 0..live.len().min(64) {
+        let mut changed = false;
+        for (a, b, _) in g.edges() {
+            let la = *layer.get(&a).unwrap_or(&0);
+            let lb = *layer.get(&b).unwrap_or(&0);
+            if lb < la + 1 && la + 1 < live.len().min(256) {
+                layer.insert(b, la + 1);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let max_layer = layer.values().copied().max().unwrap_or(0);
+    let mut by_layer: Vec<Vec<NodeId>> = vec![Vec::new(); max_layer + 1];
+    for &n in &live {
+        by_layer[layer[&n]].push(n);
+    }
+    for l in &mut by_layer {
+        l.sort_unstable();
+    }
+
+    // Barycenter ordering sweeps.
+    let mut order: HashMap<NodeId, f64> = HashMap::new();
+    for l in &by_layer {
+        for (i, &n) in l.iter().enumerate() {
+            order.insert(n, i as f64);
+        }
+    }
+    for _ in 0..4 {
+        for l in &mut by_layer {
+            l.sort_by(|&a, &b| {
+                let bary = |n: NodeId| -> f64 {
+                    let preds = g.predecessors(n);
+                    if preds.is_empty() {
+                        order[&n]
+                    } else {
+                        preds.iter().map(|p| order[p]).sum::<f64>() / preds.len() as f64
+                    }
+                };
+                bary(a).partial_cmp(&bary(b)).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for (i, &n) in l.iter().enumerate() {
+                order.insert(n, i as f64);
+            }
+        }
+    }
+
+    let mut positions = HashMap::new();
+    let mut max_layer_size = 0;
+    for (x, l) in by_layer.iter().enumerate() {
+        max_layer_size = max_layer_size.max(l.len());
+        for (y, &n) in l.iter().enumerate() {
+            positions.insert(n, (x as f64, y as f64));
+        }
+    }
+    GraphLayout { positions, layers: by_layer.len(), max_layer_size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_codes::Code;
+
+    fn seq(codes: &[&str]) -> Vec<Code> {
+        codes.iter().map(|c| Code::icpc(c)).collect()
+    }
+
+    #[test]
+    fn chain_lays_out_in_order() {
+        let g = DiGraph::from_sequences(&[seq(&["A01", "T90", "K74"])]);
+        let l = layout(&g);
+        assert_eq!(l.layers, 3);
+        assert_eq!(l.max_layer_size, 1);
+        let x = |n: NodeId| l.positions[&n].0;
+        assert!(x(0) < x(1) && x(1) < x(2));
+    }
+
+    #[test]
+    fn parallel_histories_stack_vertically() {
+        let g = DiGraph::from_sequences(&[seq(&["A01", "T90"]), seq(&["R05", "K74"])]);
+        let l = layout(&g);
+        assert_eq!(l.layers, 2);
+        assert_eq!(l.max_layer_size, 2);
+        // Distinct positions for all nodes.
+        let mut seen: Vec<_> = l.positions.values().collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        seen.dedup();
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_sequences(&[]);
+        let l = layout(&g);
+        assert_eq!(l.layers, 0);
+        assert!(l.positions.is_empty());
+    }
+
+    #[test]
+    fn every_live_node_is_placed() {
+        let g = DiGraph::from_sequences(&[
+            seq(&["A01", "T90", "K74", "K77"]),
+            seq(&["T90", "K74"]),
+            seq(&["R05"]),
+        ]);
+        let l = layout(&g);
+        assert_eq!(l.positions.len(), g.node_count());
+    }
+}

@@ -1,0 +1,247 @@
+//! NSEPter's merging algorithms — **including their documented flaws**.
+//!
+//! The serial regex merge is deliberately order-dependent and positional:
+//! that is the behaviour the paper's E9 ablation measures against the
+//! alignment-based consensus.
+
+use crate::build::{DiGraph, NodeId};
+use pastas_regex::Regex;
+use std::collections::HashMap;
+
+/// The serial merge of §II.A.1: collect, per history, the nodes whose code
+/// matches `re` in occurrence order; then merge the first occurrence across
+/// all histories into one node, the second across all histories into
+/// another, and so on. Returns the merged node ids, one per occurrence
+/// rank.
+///
+/// Faithfully fragile: if one history has an extra matching occurrence
+/// early on, every later rank shifts — "the merging algorithm was not very
+/// noise-resilient".
+pub fn merge_on_regex(g: &mut DiGraph, re: &Regex) -> Vec<NodeId> {
+    // Matching node ids per history, in position order.
+    let mut per_history: HashMap<usize, Vec<NodeId>> = HashMap::new();
+    let mut matching: Vec<(usize, usize, NodeId)> = Vec::new(); // (history, pos, node)
+    for (id, node) in g.nodes().iter().enumerate() {
+        if node.dead || !re.is_full_match(&node.code.value) {
+            continue;
+        }
+        // Unmerged nodes have exactly one member.
+        let &(hi, pos) = node.members.first().expect("live node has members");
+        matching.push((hi, pos, id));
+    }
+    matching.sort();
+    for (hi, _, id) in matching {
+        per_history.entry(hi).or_default().push(id);
+    }
+
+    let max_rank = per_history.values().map(Vec::len).max().unwrap_or(0);
+    let mut merged = Vec::new();
+    for rank in 0..max_rank {
+        let nodes: Vec<NodeId> = {
+            let mut v: Vec<NodeId> = per_history
+                .values()
+                .filter_map(|list| list.get(rank).copied())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let Some((&target, victims)) = nodes.split_first() else { continue };
+        let mut gg_target = target;
+        // If the chosen target was merged away at an earlier rank (possible
+        // when a history repeats codes), skip dead nodes.
+        if g.nodes()[gg_target].dead {
+            match victims.iter().find(|&&v| !g.nodes()[v].dead) {
+                Some(&alive) => gg_target = alive,
+                None => continue,
+            }
+        }
+        g.merge_into(gg_target, victims);
+        merged.push(gg_target);
+    }
+    merged
+}
+
+/// Recursive neighbour merging: from each node in `seeds`, group its
+/// predecessors by code and merge equal-coded ones; likewise successors;
+/// recurse on the merged neighbours up to `depth`.
+pub fn merge_neighbors(g: &mut DiGraph, seeds: &[NodeId], depth: u32) {
+    if depth == 0 {
+        return;
+    }
+    let mut next_seeds = Vec::new();
+    for &seed in seeds {
+        if g.nodes()[seed].dead {
+            continue;
+        }
+        for neighbours in [g.predecessors(seed), g.successors(seed)] {
+            let mut by_code: HashMap<String, Vec<NodeId>> = HashMap::new();
+            for n in neighbours {
+                if !g.nodes()[n].dead {
+                    by_code.entry(g.nodes()[n].code.to_string()).or_default().push(n);
+                }
+            }
+            for (_, mut group) in by_code {
+                group.sort_unstable();
+                group.dedup();
+                if group.len() > 1 {
+                    let (&target, victims) = group.split_first().expect("non-empty");
+                    g.merge_into(target, victims);
+                    next_seeds.push(target);
+                } else if let Some(&only) = group.first() {
+                    next_seeds.push(only);
+                }
+            }
+        }
+    }
+    next_seeds.sort_unstable();
+    next_seeds.dedup();
+    if !next_seeds.is_empty() {
+        merge_neighbors(g, &next_seeds, depth - 1);
+    }
+}
+
+/// The NSEPter "recovered pathway" used by E9: after a serial merge on
+/// `anchor_re` and neighbour merging, read off the chain of heaviest edges
+/// through the first merged node, forwards and backwards, as the merged
+/// pathway estimate.
+pub fn serial_pathway(g: &DiGraph, anchor: NodeId) -> Vec<String> {
+    let mut path = vec![g.nodes()[anchor].code.value.clone()];
+    // Walk backwards by heaviest incoming edge.
+    let mut cur = anchor;
+    let mut guard = 0;
+    while guard < 100 {
+        guard += 1;
+        let best = g
+            .edges()
+            .filter(|&(_, b, _)| b == cur)
+            .max_by_key(|&(_, _, w)| w);
+        match best {
+            Some((a, _, w)) if w * 2 >= g.history_count().max(1) => {
+                path.insert(0, g.nodes()[a].code.value.clone());
+                cur = a;
+            }
+            _ => break,
+        }
+    }
+    // Forwards by heaviest outgoing edge.
+    cur = anchor;
+    guard = 0;
+    while guard < 100 {
+        guard += 1;
+        let best = g
+            .edges()
+            .filter(|&(a, _, _)| a == cur)
+            .max_by_key(|&(_, _, w)| w);
+        match best {
+            Some((_, b, w)) if w * 2 >= g.history_count().max(1) => {
+                path.push(g.nodes()[b].code.value.clone());
+                cur = b;
+            }
+            _ => break,
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_codes::Code;
+
+    fn seq(codes: &[&str]) -> Vec<Code> {
+        codes.iter().map(|c| Code::icpc(c)).collect()
+    }
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).unwrap()
+    }
+
+    #[test]
+    fn figure_2a_merge_around_first_diabetes_code() {
+        // "a small graph, merged around the first incidence of diabetes".
+        let seqs = vec![
+            seq(&["A01", "T90", "K74"]),
+            seq(&["R05", "T90", "K74"]),
+            seq(&["T90", "K77"]),
+        ];
+        let mut g = DiGraph::from_sequences(&seqs);
+        let merged = merge_on_regex(&mut g, &re("T90"));
+        assert_eq!(merged.len(), 1, "each history has one T90");
+        let t90 = merged[0];
+        assert_eq!(g.nodes()[t90].members.len(), 3, "all three histories merged");
+        // Thicker line after the merge: T90 -> K74 carried by two histories.
+        merge_neighbors(&mut g, &merged, 1);
+        assert!(
+            g.edges().any(|(a, _, w)| a == t90 && w == 2),
+            "edge weight should scale with history count"
+        );
+    }
+
+    #[test]
+    fn serial_merge_ranks_occurrences() {
+        // Two T90 in each history: two merged nodes.
+        let seqs = vec![seq(&["T90", "A01", "T90"]), seq(&["T90", "T90"])];
+        let mut g = DiGraph::from_sequences(&seqs);
+        let merged = merge_on_regex(&mut g, &re("T90"));
+        assert_eq!(merged.len(), 2);
+        assert_eq!(g.nodes()[merged[0]].members.len(), 2);
+        assert_eq!(g.nodes()[merged[1]].members.len(), 2);
+    }
+
+    #[test]
+    fn serial_merge_is_noise_fragile_by_design() {
+        // History 1 has a spurious early T90. NSEPter pairs rank-0 of both
+        // histories — mixing the noise occurrence with the true one, and
+        // rank-1 is left partnerless. This is the documented weakness.
+        let seqs = vec![
+            seq(&["T90", "A01", "T90", "K74"]), // noise T90 first
+            seq(&["A01", "T90", "K74"]),
+        ];
+        let mut g = DiGraph::from_sequences(&seqs);
+        let merged = merge_on_regex(&mut g, &re("T90"));
+        assert_eq!(merged.len(), 2);
+        // Rank 0 merged the noise node of h0 with the true node of h1.
+        let rank0 = &g.nodes()[merged[0]];
+        let positions: Vec<usize> = rank0.members.iter().map(|&(_, p)| p).collect();
+        assert!(positions.contains(&0), "noise occurrence absorbed into rank 0");
+    }
+
+    #[test]
+    fn neighbour_merge_groups_equal_codes() {
+        let seqs = vec![seq(&["A01", "T90"]), seq(&["A01", "T90"]), seq(&["R05", "T90"])];
+        let mut g = DiGraph::from_sequences(&seqs);
+        let merged = merge_on_regex(&mut g, &re("T90"));
+        merge_neighbors(&mut g, &merged, 2);
+        // The two A01 predecessors merged; R05 stays separate.
+        assert_eq!(g.node_count(), 3, "T90 + A01 + R05");
+        let a01_edge = g
+            .edges()
+            .find(|&(a, _, _)| g.nodes()[a].code.value == "A01")
+            .expect("A01 edge");
+        assert_eq!(a01_edge.2, 2);
+    }
+
+    #[test]
+    fn no_matches_changes_nothing() {
+        let seqs = vec![seq(&["A01", "R05"])];
+        let mut g = DiGraph::from_sequences(&seqs);
+        let before = g.node_count();
+        let merged = merge_on_regex(&mut g, &re("Z99"));
+        assert!(merged.is_empty());
+        assert_eq!(g.node_count(), before);
+    }
+
+    #[test]
+    fn serial_pathway_reads_the_common_chain() {
+        let seqs = vec![
+            seq(&["A01", "T90", "K74"]),
+            seq(&["A01", "T90", "K74"]),
+            seq(&["A01", "T90", "K74"]),
+        ];
+        let mut g = DiGraph::from_sequences(&seqs);
+        let merged = merge_on_regex(&mut g, &re("T90"));
+        merge_neighbors(&mut g, &merged, 3);
+        let path = serial_pathway(&g, merged[0]);
+        assert_eq!(path, vec!["A01", "T90", "K74"]);
+    }
+}

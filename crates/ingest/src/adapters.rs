@@ -1,0 +1,314 @@
+//! One adapter per source file.
+//!
+//! Adapters are *tolerant*: a malformed row becomes a [`ParseIssue`], never
+//! a panic or a failed import — registry extracts at 168k-patient scale
+//! always contain junk, and the workbench must load what it can while
+//! accounting for what it could not.
+
+use crate::csv;
+use pastas_codes::Code;
+use pastas_model::{EpisodeKind, Sex};
+use pastas_time::{Date, DateTime};
+
+/// A row that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIssue {
+    /// 1-based line number in the source file.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+/// Parsed person-register row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersonRow {
+    /// Canonical numeric id.
+    pub id: u64,
+    /// Date of birth.
+    pub birth_date: Date,
+    /// Registered sex.
+    pub sex: Sex,
+}
+
+/// Parsed claims row (GP / out-of-hours / specialist).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimRow {
+    /// Raw patient identifier (NIN scheme).
+    pub raw_patient: String,
+    /// Contact date.
+    pub date: Date,
+    /// Provider tag: `GP`, `OOH` or `SPEC`.
+    pub provider: String,
+    /// ICPC-2 diagnosis.
+    pub icpc: Code,
+    /// Free-text note (may be empty).
+    pub note: String,
+}
+
+/// Parsed hospital-episode row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HospitalRow {
+    /// Raw patient identifier (zero-padded scheme).
+    pub raw_patient: String,
+    /// Admission date.
+    pub admitted: Date,
+    /// Discharge date.
+    pub discharged: Date,
+    /// Main ICD-10 diagnosis.
+    pub icd10: Code,
+    /// Episode kind.
+    pub kind: EpisodeKind,
+}
+
+/// Parsed municipal-care row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MunicipalRow {
+    /// Raw patient identifier (`M` scheme).
+    pub raw_patient: String,
+    /// Service kind.
+    pub kind: EpisodeKind,
+    /// Service start date.
+    pub from: Date,
+    /// Service end date.
+    pub to: Date,
+}
+
+/// Parsed dispensing row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrescriptionRow {
+    /// Raw patient identifier (plain digits).
+    pub raw_patient: String,
+    /// Dispensing time.
+    pub time: DateTime,
+    /// ATC code.
+    pub atc: Code,
+    /// Defined daily doses dispensed.
+    pub ddd: f64,
+}
+
+/// Parse the Norwegian `DD.MM.YYYY` date form used by the claims extract.
+pub fn parse_norwegian_date(s: &str) -> Option<Date> {
+    let mut parts = s.trim().splitn(3, '.');
+    let d: u32 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let y: i32 = parts.next()?.parse().ok()?;
+    Date::new(y, m, d)
+}
+
+fn issue(line: usize, reason: impl Into<String>) -> ParseIssue {
+    ParseIssue { line, reason: reason.into() }
+}
+
+/// Parse the person register (`nin;birth_date;sex`).
+pub fn parse_persons(text: &str) -> (Vec<PersonRow>, Vec<ParseIssue>) {
+    let mut rows = Vec::new();
+    let mut issues = Vec::new();
+    for (line, f) in csv::rows(text, ';') {
+        if f.len() != 3 {
+            issues.push(issue(line, format!("expected 3 fields, got {}", f.len())));
+            continue;
+        }
+        let Some(id) = crate::linkage::IdentityRegistry::parse_raw(&f[0]) else {
+            issues.push(issue(line, format!("bad person id {:?}", f[0])));
+            continue;
+        };
+        let Ok(birth_date) = Date::parse_iso(f[1].trim()) else {
+            issues.push(issue(line, format!("bad birth date {:?}", f[1])));
+            continue;
+        };
+        let sex = match f[2].trim() {
+            "F" => Sex::Female,
+            "M" => Sex::Male,
+            other => {
+                issues.push(issue(line, format!("bad sex {other:?}")));
+                continue;
+            }
+        };
+        rows.push(PersonRow { id, birth_date, sex });
+    }
+    (rows, issues)
+}
+
+/// Parse the claims file (`claim_id;patient;date;provider;icpc;note`,
+/// Norwegian dates).
+pub fn parse_claims(text: &str) -> (Vec<ClaimRow>, Vec<ParseIssue>) {
+    let mut rows = Vec::new();
+    let mut issues = Vec::new();
+    for (line, f) in csv::rows(text, ';') {
+        if f.len() != 6 {
+            issues.push(issue(line, format!("expected 6 fields, got {}", f.len())));
+            continue;
+        }
+        let Some(date) = parse_norwegian_date(&f[2]) else {
+            issues.push(issue(line, format!("bad date {:?}", f[2])));
+            continue;
+        };
+        let icpc = Code::icpc(&f[4]);
+        if !icpc.is_valid() {
+            issues.push(issue(line, format!("bad ICPC code {:?}", f[4])));
+            continue;
+        }
+        rows.push(ClaimRow {
+            raw_patient: f[1].clone(),
+            date,
+            provider: f[3].trim().to_owned(),
+            icpc,
+            note: f[5].clone(),
+        });
+    }
+    (rows, issues)
+}
+
+/// Parse the hospital file
+/// (`episode_id,patient,admitted,discharged,icd10_main,care_level`).
+pub fn parse_hospital(text: &str) -> (Vec<HospitalRow>, Vec<ParseIssue>) {
+    let mut rows = Vec::new();
+    let mut issues = Vec::new();
+    for (line, f) in csv::rows(text, ',') {
+        if f.len() != 6 {
+            issues.push(issue(line, format!("expected 6 fields, got {}", f.len())));
+            continue;
+        }
+        let (Ok(admitted), Ok(discharged)) =
+            (Date::parse_iso(f[2].trim()), Date::parse_iso(f[3].trim()))
+        else {
+            issues.push(issue(line, format!("bad dates {:?}/{:?}", f[2], f[3])));
+            continue;
+        };
+        let icd10 = Code::icd10(&f[4]);
+        if !icd10.is_valid() {
+            issues.push(issue(line, format!("bad ICD-10 code {:?}", f[4])));
+            continue;
+        }
+        let kind = match f[5].trim() {
+            "inpatient" => EpisodeKind::Inpatient,
+            "outpatient" => EpisodeKind::Outpatient,
+            "day" => EpisodeKind::DayTreatment,
+            other => {
+                issues.push(issue(line, format!("bad care level {other:?}")));
+                continue;
+            }
+        };
+        rows.push(HospitalRow { raw_patient: f[1].clone(), admitted, discharged, icd10, kind });
+    }
+    (rows, issues)
+}
+
+/// Parse the municipal file (`patient|service|from|to`).
+pub fn parse_municipal(text: &str) -> (Vec<MunicipalRow>, Vec<ParseIssue>) {
+    let mut rows = Vec::new();
+    let mut issues = Vec::new();
+    for (line, f) in csv::rows(text, '|') {
+        if f.len() != 4 {
+            issues.push(issue(line, format!("expected 4 fields, got {}", f.len())));
+            continue;
+        }
+        let kind = match f[1].trim() {
+            "home_care" => EpisodeKind::HomeCare,
+            "nursing_home" => EpisodeKind::NursingHome,
+            other => {
+                issues.push(issue(line, format!("bad service {other:?}")));
+                continue;
+            }
+        };
+        let (Ok(from), Ok(to)) = (Date::parse_iso(f[2].trim()), Date::parse_iso(f[3].trim()))
+        else {
+            issues.push(issue(line, format!("bad dates {:?}/{:?}", f[2], f[3])));
+            continue;
+        };
+        rows.push(MunicipalRow { raw_patient: f[0].clone(), kind, from, to });
+    }
+    (rows, issues)
+}
+
+/// Parse the prescription file (`patient\tdispensed\tatc\tddd`).
+pub fn parse_prescriptions(text: &str) -> (Vec<PrescriptionRow>, Vec<ParseIssue>) {
+    let mut rows = Vec::new();
+    let mut issues = Vec::new();
+    for (line, f) in csv::rows(text, '\t') {
+        if f.len() != 4 {
+            issues.push(issue(line, format!("expected 4 fields, got {}", f.len())));
+            continue;
+        }
+        let Ok(time) = DateTime::parse_iso(f[1].trim()) else {
+            issues.push(issue(line, format!("bad time {:?}", f[1])));
+            continue;
+        };
+        let atc = Code::atc(&f[2]);
+        if !atc.is_valid() {
+            issues.push(issue(line, format!("bad ATC code {:?}", f[2])));
+            continue;
+        }
+        let Ok(ddd) = f[3].trim().parse::<f64>() else {
+            issues.push(issue(line, format!("bad DDD {:?}", f[3])));
+            continue;
+        };
+        rows.push(PrescriptionRow { raw_patient: f[0].clone(), time, atc, ddd });
+    }
+    (rows, issues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norwegian_dates() {
+        assert_eq!(parse_norwegian_date("04.05.2016"), Date::new(2016, 5, 4));
+        assert_eq!(parse_norwegian_date(" 1.2.1999 "), Date::new(1999, 2, 1));
+        assert_eq!(parse_norwegian_date("29.02.2015"), None);
+        assert_eq!(parse_norwegian_date("2016-05-04"), None);
+        assert_eq!(parse_norwegian_date(""), None);
+    }
+
+    #[test]
+    fn persons_parse_and_report() {
+        let text = "nin;birth_date;sex\nNIN-0000001;1950-06-15;F\nbad;row\nNIN-0000002;1940-01-01;M\nNIN-0000003;1950-13-01;F\n";
+        let (rows, issues) = parse_persons(text);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, 1);
+        assert_eq!(rows[1].sex, Sex::Male);
+        assert_eq!(issues.len(), 2);
+        assert_eq!(issues[0].line, 3);
+        assert!(issues[1].reason.contains("birth date"));
+    }
+
+    #[test]
+    fn claims_parse() {
+        let text = "claim_id;patient;date;provider;icpc;note\nK000000001;NIN-0000001;04.05.2013;GP;T90;HbA1c 7.2 %\nK000000002;NIN-0000001;05.05.2013;SPEC;K74;\nK000000003;NIN-0000001;32.05.2013;GP;T90;\nK000000004;NIN-0000001;05.05.2013;GP;Q99;\n";
+        let (rows, issues) = parse_claims(text);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].icpc.value, "T90");
+        assert_eq!(rows[0].note, "HbA1c 7.2 %");
+        assert_eq!(rows[1].provider, "SPEC");
+        assert_eq!(issues.len(), 2, "bad date and bad code");
+    }
+
+    #[test]
+    fn hospital_parse() {
+        let text = "episode_id,patient,admitted,discharged,icd10_main,care_level\nE00000001,00000001,2013-05-01,2013-05-06,I50,inpatient\nE00000002,00000001,2013-06-01,2013-06-01,J44,day\nE00000003,00000001,2013-06-01,2013-06-01,J44,weird\n";
+        let (rows, issues) = parse_hospital(text);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].kind, EpisodeKind::Inpatient);
+        assert_eq!(rows[1].kind, EpisodeKind::DayTreatment);
+        assert_eq!(issues.len(), 1);
+    }
+
+    #[test]
+    fn municipal_parse() {
+        let text = "patient|service|from|to\nM1|home_care|2013-02-01|2013-08-01\nM1|nursing_home|2014-01-01|2014-12-31\n";
+        let (rows, issues) = parse_municipal(text);
+        assert_eq!(rows.len(), 2);
+        assert!(issues.is_empty());
+        assert_eq!(rows[1].kind, EpisodeKind::NursingHome);
+    }
+
+    #[test]
+    fn prescriptions_parse() {
+        let text = "patient\tdispensed\tatc\tddd\n1\t2013-03-04T12:30:00\tC07AB02\t50.0\n1\t2013-03-04T12:30:00\tBAD\t50.0\n";
+        let (rows, issues) = parse_prescriptions(text);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].atc.value, "C07AB02");
+        assert_eq!(issues.len(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! A minimal, delimiter-configurable CSV reader.
+//!
+//! The source dialects here use `;`, `,`, `|` and `\t` and never quote
+//! fields, but registry extracts occasionally wrap free text in double
+//! quotes, so basic RFC-4180 quoting is supported. No external dependency.
+
+/// Split one line into fields on `delim`, honouring double-quoted fields
+/// (with `""` as the escaped quote).
+pub fn split_line(line: &str, delim: char) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' && cur.is_empty() {
+            in_quotes = true;
+        } else if c == delim {
+            fields.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Iterate a file's data rows: skips the header line and blank lines,
+/// yielding `(line_number, fields)` with 1-based line numbers.
+pub fn rows(text: &str, delim: char) -> impl Iterator<Item = (usize, Vec<String>)> + '_ {
+    text.lines()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(move |(i, l)| (i + 1, split_line(l, delim)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_each_dialect() {
+        assert_eq!(split_line("a;b;c", ';'), vec!["a", "b", "c"]);
+        assert_eq!(split_line("a,b,c", ','), vec!["a", "b", "c"]);
+        assert_eq!(split_line("a|b|c", '|'), vec!["a", "b", "c"]);
+        assert_eq!(split_line("a\tb\tc", '\t'), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_fields_are_preserved() {
+        assert_eq!(split_line("a;;c;", ';'), vec!["a", "", "c", ""]);
+        assert_eq!(split_line("", ';'), vec![""]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        assert_eq!(split_line("a;\"b;c\";d", ';'), vec!["a", "b;c", "d"]);
+        assert_eq!(split_line("\"say \"\"hi\"\"\";x", ';'), vec!["say \"hi\"", "x"]);
+    }
+
+    #[test]
+    fn rows_skip_header_and_blanks() {
+        let text = "h1;h2\na;b\n\nc;d\n";
+        let got: Vec<_> = rows(text, ';').collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (2, vec!["a".to_owned(), "b".to_owned()]));
+        assert_eq!(got[1], (4, vec!["c".to_owned(), "d".to_owned()]));
+    }
+}

@@ -1,0 +1,34 @@
+//! Aggregation of heterogeneous clinical sources.
+//!
+//! The paper's title promise — "patient histories **aggregated from
+//! heterogeneous sources**" — lives here. Four registries arrive in four
+//! CSV dialects with four patient-identifier schemes and assorted data-
+//! quality problems (duplicates, "clearly invalid" dates, free text with
+//! "differing conventions and many typing errors"). This crate turns them
+//! into one validated [`HistoryCollection`]:
+//!
+//! * [`csv`] — a small delimiter-configurable line parser;
+//! * [`adapters`] — one adapter per source file, each tolerant of bad rows
+//!   (errors are *counted*, not fatal);
+//! * [`linkage`] — identity resolution across the four id schemes, anchored
+//!   in the person register;
+//! * [`extract`] — regex extraction of measurements from free-text notes
+//!   (`"BT 150/90"` → systolic + diastolic entries), per §IV.A;
+//! * [`aggregate`] — the pipeline: parse → link → merge → dedup →
+//!   validate, with a [`QualityReport`] accounting for every dropped row.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod aggregate;
+pub mod csv;
+pub mod extract;
+pub mod json;
+pub mod linkage;
+
+pub use aggregate::{aggregate, QualityReport, SourceTexts};
+pub use linkage::IdentityRegistry;
+
+#[cfg(test)]
+mod proptests;

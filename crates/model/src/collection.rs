@@ -1,0 +1,279 @@
+//! Collections of histories — the unit the workbench visualizes and queries.
+
+use crate::{History, PatientId};
+use pastas_time::DateTime;
+use std::collections::HashMap;
+
+/// Summary statistics over a collection, shown in the workbench status bar
+/// and used by the scalability experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionStats {
+    /// Number of histories.
+    pub patients: usize,
+    /// Total entries across all histories.
+    pub entries: usize,
+    /// Point events among them.
+    pub events: usize,
+    /// Intervals among them.
+    pub intervals: usize,
+    /// Earliest entry start.
+    pub first: Option<DateTime>,
+    /// Latest entry end.
+    pub last: Option<DateTime>,
+    /// Mean entries per history.
+    pub mean_entries: f64,
+}
+
+/// An ordered collection of patient histories with id-based lookup.
+///
+/// Order is significant: it is the vertical order of the visualization, and
+/// the sorting operators of the workbench permute it.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryCollection {
+    histories: Vec<History>,
+    by_id: HashMap<PatientId, usize>,
+}
+
+impl HistoryCollection {
+    /// An empty collection.
+    pub fn new() -> HistoryCollection {
+        HistoryCollection::default()
+    }
+
+    /// Build from histories. Later duplicates of a patient id replace
+    /// earlier ones (last write wins, as when re-importing a source).
+    pub fn from_histories<I: IntoIterator<Item = History>>(histories: I) -> HistoryCollection {
+        let mut c = HistoryCollection::new();
+        for h in histories {
+            c.upsert(h);
+        }
+        c
+    }
+
+    /// Insert or replace the history for a patient.
+    pub fn upsert(&mut self, history: History) {
+        match self.by_id.get(&history.id()) {
+            Some(&i) => self.histories[i] = history,
+            None => {
+                self.by_id.insert(history.id(), self.histories.len());
+                self.histories.push(history);
+            }
+        }
+    }
+
+    /// Histories in display order.
+    pub fn histories(&self) -> &[History] {
+        &self.histories
+    }
+
+    /// Look up one history by patient id.
+    pub fn get(&self, id: PatientId) -> Option<&History> {
+        self.by_id.get(&id).map(|&i| &self.histories[i])
+    }
+
+    /// Mutable lookup by patient id.
+    pub fn get_mut(&mut self, id: PatientId) -> Option<&mut History> {
+        self.by_id.get(&id).map(|&i| &mut self.histories[i])
+    }
+
+    /// Number of histories.
+    pub fn len(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// True if no histories.
+    pub fn is_empty(&self) -> bool {
+        self.histories.is_empty()
+    }
+
+    /// Extract a sub-collection by predicate, preserving order. This is the
+    /// "extraction of sub-collections" operation of §IV.
+    pub fn extract<F: Fn(&History) -> bool>(&self, pred: F) -> HistoryCollection {
+        HistoryCollection::from_histories(self.histories.iter().filter(|h| pred(h)).cloned())
+    }
+
+    /// Extract a sub-collection by ids (ids not present are skipped). The
+    /// result is ordered by the id list, so a sorted id list re-sorts the
+    /// view.
+    pub fn extract_ids(&self, ids: &[PatientId]) -> HistoryCollection {
+        HistoryCollection::from_histories(
+            ids.iter().filter_map(|&id| self.get(id).cloned()),
+        )
+    }
+
+    /// Reorder the collection by a key function (the workbench "sorting
+    /// histories" operation). Stable.
+    pub fn sort_by_key<K: Ord, F: Fn(&History) -> K>(&mut self, key: F) {
+        self.histories.sort_by_key(|h| key(h));
+        self.reindex();
+    }
+
+    fn reindex(&mut self) {
+        self.by_id =
+            self.histories.iter().enumerate().map(|(i, h)| (h.id(), i)).collect();
+    }
+
+    /// Compute summary statistics.
+    pub fn stats(&self) -> CollectionStats {
+        let mut entries = 0usize;
+        let mut events = 0usize;
+        let mut intervals = 0usize;
+        let mut first: Option<DateTime> = None;
+        let mut last: Option<DateTime> = None;
+        for h in &self.histories {
+            entries += h.len();
+            for e in h.entries() {
+                if e.is_event() {
+                    events += 1;
+                } else {
+                    intervals += 1;
+                }
+            }
+            first = match (first, h.first_time()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            last = match (last, h.last_time()) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        CollectionStats {
+            patients: self.histories.len(),
+            entries,
+            events,
+            intervals,
+            first,
+            last,
+            mean_entries: if self.histories.is_empty() {
+                0.0
+            } else {
+                entries as f64 / self.histories.len() as f64
+            },
+        }
+    }
+
+    /// Iterate over histories.
+    pub fn iter(&self) -> std::slice::Iter<'_, History> {
+        self.histories.iter()
+    }
+}
+
+impl IntoIterator for HistoryCollection {
+    type Item = History;
+    type IntoIter = std::vec::IntoIter<History>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.histories.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a HistoryCollection {
+    type Item = &'a History;
+    type IntoIter = std::slice::Iter<'a, History>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.histories.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Entry, Patient, Payload, Sex, SourceKind};
+    use pastas_codes::Code;
+    use pastas_time::Date;
+
+    fn history(id: u64, codes: &[(&str, i32)]) -> History {
+        let mut h = History::new(Patient {
+            id: PatientId(id),
+            birth_date: Date::new(1950, 1, 1).unwrap(),
+            sex: if id % 2 == 0 { Sex::Female } else { Sex::Male },
+        });
+        for &(code, year) in codes {
+            h.insert(Entry::event(
+                Date::new(year, 1, 1).unwrap().at_midnight(),
+                Payload::Diagnosis(Code::icpc(code)),
+                SourceKind::PrimaryCare,
+            ));
+        }
+        h
+    }
+
+    #[test]
+    fn upsert_replaces_by_id() {
+        let mut c = HistoryCollection::new();
+        c.upsert(history(1, &[("A01", 2015)]));
+        c.upsert(history(2, &[("T90", 2015)]));
+        c.upsert(history(1, &[("K74", 2016), ("R95", 2017)]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(PatientId(1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn extract_preserves_order() {
+        let c = HistoryCollection::from_histories([
+            history(3, &[("T90", 2015)]),
+            history(1, &[("A01", 2015)]),
+            history(2, &[("T90", 2016)]),
+        ]);
+        let diabetics = c.extract(|h| {
+            h.entries().iter().any(|e| e.code().is_some_and(|c| c.value == "T90"))
+        });
+        let ids: Vec<_> = diabetics.iter().map(|h| h.id().0).collect();
+        assert_eq!(ids, vec![3, 2]);
+    }
+
+    #[test]
+    fn extract_ids_orders_by_request() {
+        let c = HistoryCollection::from_histories([
+            history(1, &[]),
+            history(2, &[]),
+            history(3, &[]),
+        ]);
+        let sub = c.extract_ids(&[PatientId(3), PatientId(1), PatientId(99)]);
+        let ids: Vec<_> = sub.iter().map(|h| h.id().0).collect();
+        assert_eq!(ids, vec![3, 1]);
+    }
+
+    #[test]
+    fn sort_by_key_reindexes() {
+        let mut c = HistoryCollection::from_histories([
+            history(2, &[("A01", 2015), ("T90", 2016)]),
+            history(1, &[("A01", 2015)]),
+        ]);
+        c.sort_by_key(|h| h.len());
+        let ids: Vec<_> = c.iter().map(|h| h.id().0).collect();
+        assert_eq!(ids, vec![1, 2]);
+        // Index still answers correctly after the permutation.
+        assert_eq!(c.get(PatientId(2)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn stats() {
+        let mut c = HistoryCollection::from_histories([
+            history(1, &[("A01", 2014), ("T90", 2015)]),
+            history(2, &[("K74", 2016)]),
+        ]);
+        c.get_mut(PatientId(2)).unwrap().insert(Entry::interval(
+            Date::new(2016, 5, 1).unwrap().at_midnight(),
+            Date::new(2016, 5, 9).unwrap().at_midnight(),
+            Payload::Episode(crate::EpisodeKind::Inpatient),
+            SourceKind::Hospital,
+        ));
+        let s = c.stats();
+        assert_eq!(s.patients, 2);
+        assert_eq!(s.entries, 4);
+        assert_eq!(s.events, 3);
+        assert_eq!(s.intervals, 1);
+        assert_eq!(s.first, Some(Date::new(2014, 1, 1).unwrap().at_midnight()));
+        assert_eq!(s.last, Some(Date::new(2016, 5, 9).unwrap().at_midnight()));
+        assert!((s.mean_entries - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = HistoryCollection::new().stats();
+        assert_eq!(s.patients, 0);
+        assert_eq!(s.first, None);
+        assert_eq!(s.mean_entries, 0.0);
+    }
+}

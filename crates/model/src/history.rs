@@ -1,0 +1,273 @@
+//! One patient's validated, time-ordered history.
+
+use crate::{Entry, PatientId};
+use pastas_time::{Date, DateTime, Duration};
+
+/// Patient sex as registered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sex {
+    /// Female.
+    Female,
+    /// Male.
+    Male,
+}
+
+/// Demographic facts about a patient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Patient {
+    /// The database identifier.
+    pub id: PatientId,
+    /// Date of birth — the validation boundary: entries before it are
+    /// "clearly invalid" and dropped (§IV).
+    pub birth_date: Date,
+    /// Registered sex.
+    pub sex: Sex,
+}
+
+/// What happened while inserting entries into a history.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Entries accepted.
+    pub accepted: usize,
+    /// Entries dropped because they predate the patient's birth.
+    pub dropped_pre_birth: usize,
+}
+
+impl ValidationReport {
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: &ValidationReport) {
+        self.accepted += other.accepted;
+        self.dropped_pre_birth += other.dropped_pre_birth;
+    }
+}
+
+/// One patient's history: demographics plus entries kept sorted by start
+/// time (ties broken by end time, keeping interleaved sources stable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct History {
+    patient: Patient,
+    entries: Vec<Entry>,
+}
+
+impl History {
+    /// An empty history for `patient`.
+    pub fn new(patient: Patient) -> History {
+        History { patient, entries: Vec::new() }
+    }
+
+    /// The patient's demographics.
+    pub fn patient(&self) -> &Patient {
+        &self.patient
+    }
+
+    /// The patient id.
+    pub fn id(&self) -> PatientId {
+        self.patient.id
+    }
+
+    /// Insert one entry, enforcing the §IV validation rule: entries dated
+    /// before the patient's birth are ignored. Returns `true` if accepted.
+    pub fn insert(&mut self, entry: Entry) -> bool {
+        if entry.start().date() < self.patient.birth_date {
+            return false;
+        }
+        let key = (entry.start(), entry.end());
+        let at = self
+            .entries
+            .partition_point(|e| (e.start(), e.end()) <= key);
+        self.entries.insert(at, entry);
+        true
+    }
+
+    /// Insert many entries; returns a [`ValidationReport`].
+    pub fn insert_all<I: IntoIterator<Item = Entry>>(&mut self, entries: I) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        for e in entries {
+            if self.insert(e) {
+                report.accepted += 1;
+            } else {
+                report.dropped_pre_birth += 1;
+            }
+        }
+        report
+    }
+
+    /// The entries, sorted by (start, end).
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the history has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// First entry start, if any.
+    pub fn first_time(&self) -> Option<DateTime> {
+        self.entries.first().map(Entry::start)
+    }
+
+    /// Latest entry end, if any (an early long interval may end after later
+    /// entries start, so this scans).
+    pub fn last_time(&self) -> Option<DateTime> {
+        self.entries.iter().map(Entry::end).max()
+    }
+
+    /// The observed span of the history.
+    pub fn span(&self) -> Option<Duration> {
+        Some(self.last_time()? - self.first_time()?)
+    }
+
+    /// Entries overlapping the closed window `[from, to]`, in order.
+    pub fn entries_in(&self, from: DateTime, to: DateTime) -> impl Iterator<Item = &Entry> {
+        self.entries.iter().filter(move |e| e.overlaps(from, to))
+    }
+
+    /// The patient's age in whole years at `date`.
+    pub fn age_at(&self, date: Date) -> i32 {
+        date.months_between(self.patient.birth_date).div_euclid(12)
+    }
+
+    /// The first entry whose payload carries a code accepted by `pred`, in
+    /// time order. This is the primitive behind alignment ("the first
+    /// occurrence of the diabetes code, T90").
+    pub fn first_matching<F: Fn(&Entry) -> bool>(&self, pred: F) -> Option<&Entry> {
+        self.entries.iter().find(|e| pred(e))
+    }
+
+    /// The diagnosis code sequence in time order — NSEPter's input ("the
+    /// only information from the EHR that was utilized, was the diagnosis
+    /// codes for each patient").
+    pub fn diagnosis_sequence(&self) -> Vec<&pastas_codes::Code> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e.payload() {
+                crate::Payload::Diagnosis(c) => Some(c),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EpisodeKind, Payload, SourceKind};
+    use pastas_codes::Code;
+
+    fn patient() -> Patient {
+        Patient {
+            id: PatientId(42),
+            birth_date: Date::new(1950, 6, 15).unwrap(),
+            sex: Sex::Female,
+        }
+    }
+
+    fn t(y: i32, m: u32, d: u32) -> DateTime {
+        Date::new(y, m, d).unwrap().at_midnight()
+    }
+
+    fn diag(y: i32, m: u32, d: u32, code: &str) -> Entry {
+        Entry::event(t(y, m, d), Payload::Diagnosis(Code::icpc(code)), SourceKind::PrimaryCare)
+    }
+
+    #[test]
+    fn entries_stay_sorted_regardless_of_insert_order() {
+        let mut h = History::new(patient());
+        h.insert(diag(2015, 6, 1, "K74"));
+        h.insert(diag(2014, 1, 1, "T90"));
+        h.insert(diag(2016, 2, 2, "R95"));
+        h.insert(diag(2014, 6, 1, "A01"));
+        let starts: Vec<_> = h.entries().iter().map(|e| e.start()).collect();
+        let mut sorted = starts.clone();
+        sorted.sort();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn pre_birth_entries_are_dropped() {
+        let mut h = History::new(patient());
+        let report = h.insert_all(vec![
+            diag(1949, 1, 1, "A01"), // before 1950-06-15 birth
+            diag(1950, 6, 15, "A01"), // birth day itself is valid
+            diag(2000, 1, 1, "T90"),
+        ]);
+        assert_eq!(report, ValidationReport { accepted: 2, dropped_pre_birth: 1 });
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn span_accounts_for_long_intervals() {
+        let mut h = History::new(patient());
+        h.insert(Entry::interval(
+            t(2015, 1, 1),
+            t(2015, 12, 31),
+            Payload::Episode(EpisodeKind::HomeCare),
+            SourceKind::Municipal,
+        ));
+        h.insert(diag(2015, 3, 1, "T90"));
+        assert_eq!(h.first_time(), Some(t(2015, 1, 1)));
+        assert_eq!(h.last_time(), Some(t(2015, 12, 31))); // not the March event
+        assert_eq!(h.span(), Some(Duration::days(364)));
+    }
+
+    #[test]
+    fn entries_in_window() {
+        let mut h = History::new(patient());
+        h.insert(diag(2015, 1, 1, "A01"));
+        h.insert(diag(2015, 6, 1, "T90"));
+        h.insert(diag(2015, 12, 1, "K74"));
+        let hits: Vec<_> = h.entries_in(t(2015, 5, 1), t(2015, 7, 1)).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].code().unwrap().value, "T90");
+    }
+
+    #[test]
+    fn age_calculation() {
+        let h = History::new(patient()); // born 1950-06-15
+        assert_eq!(h.age_at(Date::new(2015, 6, 14).unwrap()), 64);
+        assert_eq!(h.age_at(Date::new(2015, 6, 15).unwrap()), 65);
+        assert_eq!(h.age_at(Date::new(1950, 6, 15).unwrap()), 0);
+        assert_eq!(h.age_at(Date::new(1949, 1, 1).unwrap()), -2); // pre-birth dates
+    }
+
+    #[test]
+    fn first_matching_finds_alignment_anchor() {
+        let mut h = History::new(patient());
+        h.insert(diag(2015, 1, 1, "A01"));
+        h.insert(diag(2015, 6, 1, "T90"));
+        h.insert(diag(2016, 1, 1, "T90"));
+        let anchor = h
+            .first_matching(|e| e.code().is_some_and(|c| c.value == "T90"))
+            .expect("anchor");
+        assert_eq!(anchor.start(), t(2015, 6, 1));
+    }
+
+    #[test]
+    fn diagnosis_sequence_skips_other_payloads() {
+        let mut h = History::new(patient());
+        h.insert(diag(2015, 1, 1, "A01"));
+        h.insert(Entry::event(
+            t(2015, 2, 1),
+            Payload::Medication(Code::atc("C07AB02")),
+            SourceKind::Prescription,
+        ));
+        h.insert(diag(2015, 3, 1, "T90"));
+        let seq: Vec<_> = h.diagnosis_sequence().iter().map(|c| c.value.clone()).collect();
+        assert_eq!(seq, vec!["A01", "T90"]);
+    }
+
+    #[test]
+    fn empty_history_edge_cases() {
+        let h = History::new(patient());
+        assert!(h.is_empty());
+        assert_eq!(h.first_time(), None);
+        assert_eq!(h.last_time(), None);
+        assert_eq!(h.span(), None);
+    }
+}

@@ -1,0 +1,45 @@
+//! The PAsTAs patient data model.
+//!
+//! §IV of the paper fixes the model precisely: "all content to be visualized
+//! or queried is pre-loaded into a data structure … The entries themselves
+//! are either **intervals**, defined by their start and end times, or
+//! **events** that happen at a given time and have no duration. Intervals
+//! could be notions such as *Hospital stay*. Concerning point events, these
+//! are single day contacts, usually with a recorded diagnosis. … entries
+//! with a clearly invalid date (prior to the birth of the patient) are
+//! ignored."
+//!
+//! This crate is that data structure:
+//!
+//! * [`Entry`] — an [`Event`] (point) or an [`Interval`], each carrying a
+//!   [`Payload`] and a [`SourceKind`] provenance tag;
+//! * [`History`] — one patient's validated, time-ordered entry sequence;
+//! * [`HistoryCollection`] — the in-memory cohort the workbench operates on,
+//!   with sub-collection extraction and summary statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collection;
+mod entry;
+mod history;
+
+pub use collection::{CollectionStats, HistoryCollection};
+pub use entry::{EpisodeKind, Entry, Event, Interval, MeasurementKind, Payload, SourceKind};
+pub use history::{History, Patient, Sex, ValidationReport};
+
+/// A patient identifier, unique within a collection.
+///
+/// The paper shows "patient ID numbers (taken from the database) … along the
+/// vertical axis"; this is that number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatientId(pub u64);
+
+impl std::fmt::Display for PatientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{:07}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,129 @@
+//! Property tests for model invariants.
+
+use crate::*;
+use pastas_codes::Code;
+use pastas_time::{Date, DateTime};
+use proptest::prelude::*;
+
+fn arb_datetime() -> impl Strategy<Value = DateTime> {
+    // 1990..2030, seconds resolution.
+    (631_152_000i64..1_893_456_000).prop_map(|s| DateTime::from_second_number(s).unwrap())
+}
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    prop_oneof![
+        Just(Payload::Diagnosis(Code::icpc("T90"))),
+        Just(Payload::Diagnosis(Code::icpc("K74"))),
+        Just(Payload::Medication(Code::atc("C07AB02"))),
+        (90.0f64..200.0).prop_map(|v| Payload::Measurement {
+            kind: MeasurementKind::SystolicBp,
+            value: v
+        }),
+        Just(Payload::Episode(EpisodeKind::Inpatient)),
+    ]
+}
+
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    (arb_datetime(), arb_datetime(), arb_payload(), any::<bool>()).prop_map(
+        |(a, b, payload, point)| {
+            if point {
+                Entry::event(a, payload, SourceKind::PrimaryCare)
+            } else {
+                Entry::interval(a, b, payload, SourceKind::Hospital)
+            }
+        },
+    )
+}
+
+fn patient() -> Patient {
+    Patient { id: PatientId(7), birth_date: Date::new(1940, 1, 1).unwrap(), sex: Sex::Male }
+}
+
+proptest! {
+    /// Intervals always normalize to start <= end.
+    #[test]
+    fn interval_invariant(a in arb_datetime(), b in arb_datetime()) {
+        let e = Entry::interval(a, b, Payload::Episode(EpisodeKind::Inpatient), SourceKind::Hospital);
+        prop_assert!(e.start() <= e.end());
+    }
+
+    /// Histories are always sorted by (start, end) no matter the insertion
+    /// order, and validation accounting is exact.
+    #[test]
+    fn history_sorted_invariant(entries in proptest::collection::vec(arb_entry(), 0..40)) {
+        let mut h = History::new(patient());
+        let n = entries.len();
+        let report = h.insert_all(entries);
+        prop_assert_eq!(report.accepted + report.dropped_pre_birth, n);
+        prop_assert_eq!(h.len(), report.accepted);
+        for w in h.entries().windows(2) {
+            prop_assert!((w[0].start(), w[0].end()) <= (w[1].start(), w[1].end()));
+        }
+        // All surviving entries respect the birth boundary.
+        for e in h.entries() {
+            prop_assert!(e.start().date() >= h.patient().birth_date);
+        }
+    }
+
+    /// entries_in agrees with a naive overlap filter.
+    #[test]
+    fn window_query_agrees_with_naive(
+        entries in proptest::collection::vec(arb_entry(), 0..30),
+        a in arb_datetime(),
+        b in arb_datetime(),
+    ) {
+        let (from, to) = if a <= b { (a, b) } else { (b, a) };
+        let mut h = History::new(patient());
+        h.insert_all(entries);
+        let fast: Vec<_> = h.entries_in(from, to).cloned().collect();
+        let naive: Vec<_> = h
+            .entries()
+            .iter()
+            .filter(|e| e.start() <= to && e.end() >= from)
+            .cloned()
+            .collect();
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// Collection stats add up.
+    #[test]
+    fn stats_add_up(sizes in proptest::collection::vec(0usize..12, 0..8)) {
+        let mut c = HistoryCollection::new();
+        for (i, n) in sizes.iter().enumerate() {
+            let mut h = History::new(Patient {
+                id: PatientId(i as u64),
+                birth_date: Date::new(1940, 1, 1).unwrap(),
+                sex: Sex::Female,
+            });
+            for k in 0..*n {
+                h.insert(Entry::event(
+                    Date::new(2000 + k as i32 % 20, 1, 1).unwrap().at_midnight(),
+                    Payload::Diagnosis(Code::icpc("A01")),
+                    SourceKind::PrimaryCare,
+                ));
+            }
+            c.upsert(h);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.patients, sizes.len());
+        prop_assert_eq!(s.entries, sizes.iter().sum::<usize>());
+        prop_assert_eq!(s.events + s.intervals, s.entries);
+    }
+
+    /// extract ∘ extract == extract of the conjunction.
+    #[test]
+    fn extract_composes(ids in proptest::collection::vec(0u64..30, 0..20)) {
+        let c = HistoryCollection::from_histories(ids.iter().map(|&i| {
+            History::new(Patient {
+                id: PatientId(i),
+                birth_date: Date::new(1940, 1, 1).unwrap(),
+                sex: Sex::Male,
+            })
+        }));
+        let twice = c.extract(|h| h.id().0 % 2 == 0).extract(|h| h.id().0 % 3 == 0);
+        let once = c.extract(|h| h.id().0 % 6 == 0);
+        let a: Vec<_> = twice.iter().map(|h| h.id()).collect();
+        let b: Vec<_> = once.iter().map(|h| h.id()).collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the reasoning and temporal layers.
+
+use crate::reasoner::{Axiom, ClassId, Reasoner, RoleId};
+use crate::temporal::{AllenNetwork, AllenRel, AllenSet, Stn};
+use proptest::prelude::*;
+
+const N_CLASSES: u32 = 8;
+const N_ROLES: u32 = 2;
+
+fn arb_axiom() -> impl Strategy<Value = Axiom> {
+    let class = 0..N_CLASSES;
+    let role = 0..N_ROLES;
+    prop_oneof![
+        (class.clone(), class.clone()).prop_map(|(a, b)| Axiom::Sub(ClassId(a), ClassId(b))),
+        (class.clone(), class.clone(), class.clone())
+            .prop_map(|(a, b, c)| Axiom::SubConj(ClassId(a), ClassId(b), ClassId(c))),
+        (class.clone(), role.clone(), class.clone())
+            .prop_map(|(a, r, b)| Axiom::SubExists(ClassId(a), RoleId(r), ClassId(b))),
+        (role.clone(), class.clone(), class.clone())
+            .prop_map(|(r, a, b)| Axiom::ExistsSub(RoleId(r), ClassId(a), ClassId(b))),
+        (role.clone(), role).prop_map(|(r, s)| Axiom::SubRole(RoleId(r), RoleId(s))),
+    ]
+}
+
+fn saturated(axioms: &[Axiom]) -> Reasoner {
+    let mut r = Reasoner::new();
+    for _ in 0..N_CLASSES {
+        r.new_class();
+    }
+    for _ in 0..N_ROLES {
+        r.new_role();
+    }
+    for &ax in axioms {
+        r.add(ax);
+    }
+    r.saturate();
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Monotonicity: adding axioms never removes entailments.
+    #[test]
+    fn saturation_is_monotone(
+        base in proptest::collection::vec(arb_axiom(), 0..12),
+        extra in proptest::collection::vec(arb_axiom(), 0..6),
+    ) {
+        let r1 = saturated(&base);
+        let mut all = base.clone();
+        all.extend(extra);
+        let r2 = saturated(&all);
+        for a in 0..N_CLASSES {
+            for b in 0..N_CLASSES {
+                if r1.is_subsumed(ClassId(a), ClassId(b)) {
+                    prop_assert!(
+                        r2.is_subsumed(ClassId(a), ClassId(b)),
+                        "entailment {a} ⊑ {b} lost after adding axioms"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Subsumption is reflexive and transitive after saturation.
+    #[test]
+    fn subsumption_is_a_preorder(axioms in proptest::collection::vec(arb_axiom(), 0..15)) {
+        let r = saturated(&axioms);
+        for a in 0..N_CLASSES {
+            prop_assert!(r.is_subsumed(ClassId(a), ClassId(a)), "reflexivity {a}");
+        }
+        for a in 0..N_CLASSES {
+            for b in 0..N_CLASSES {
+                for c in 0..N_CLASSES {
+                    if r.is_subsumed(ClassId(a), ClassId(b))
+                        && r.is_subsumed(ClassId(b), ClassId(c))
+                    {
+                        prop_assert!(
+                            r.is_subsumed(ClassId(a), ClassId(c)),
+                            "transitivity {a} ⊑ {b} ⊑ {c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Axiom order never changes the saturation result.
+    #[test]
+    fn saturation_is_order_independent(axioms in proptest::collection::vec(arb_axiom(), 0..15)) {
+        let r1 = saturated(&axioms);
+        let mut rev = axioms.clone();
+        rev.reverse();
+        let r2 = saturated(&rev);
+        for a in 0..N_CLASSES {
+            for b in 0..N_CLASSES {
+                prop_assert_eq!(
+                    r1.is_subsumed(ClassId(a), ClassId(b)),
+                    r2.is_subsumed(ClassId(a), ClassId(b))
+                );
+            }
+        }
+    }
+
+    /// Relations observed from concrete intervals always form a consistent
+    /// network (soundness of the composition table under propagation).
+    #[test]
+    fn concrete_interval_relations_are_path_consistent(
+        bounds in proptest::collection::vec((0i64..40, 1i64..12), 2..7)
+    ) {
+        let intervals: Vec<(i64, i64)> = bounds.iter().map(|&(s, len)| (s, s + len)).collect();
+        let n = intervals.len();
+        let mut net = AllenNetwork::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let rel = AllenRel::between(
+                    intervals[i].0,
+                    intervals[i].1,
+                    intervals[j].0,
+                    intervals[j].1,
+                );
+                net.constrain(i, j, AllenSet::of(rel));
+            }
+        }
+        prop_assert!(net.propagate(), "concrete model declared inconsistent");
+    }
+
+    /// Composition soundness: the observed relation of (A, C) is always a
+    /// member of compose(rel(A,B), rel(B,C)).
+    #[test]
+    fn composition_contains_every_concrete_outcome(
+        a in (0i64..30, 1i64..8),
+        b in (0i64..30, 1i64..8),
+        c in (0i64..30, 1i64..8),
+    ) {
+        let (a, b, c) = ((a.0, a.0 + a.1), (b.0, b.0 + b.1), (c.0, c.0 + c.1));
+        let ab = AllenRel::between(a.0, a.1, b.0, b.1);
+        let bc = AllenRel::between(b.0, b.1, c.0, c.1);
+        let ac = AllenRel::between(a.0, a.1, c.0, c.1);
+        let composed = AllenSet::of(ab).compose(AllenSet::of(bc));
+        prop_assert!(composed.contains(ac), "{ab:?} ∘ {bc:?} missing {ac:?}");
+    }
+
+    /// An STN built from consistent bounds is consistent and its implied
+    /// bounds contain the generating assignment.
+    #[test]
+    fn stn_bounds_contain_the_generating_assignment(
+        times in proptest::collection::vec(0i64..10_000, 2..6),
+        slack in 1i64..50,
+    ) {
+        let n = times.len();
+        let mut stn = Stn::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let diff = times[j] - times[i];
+                stn.add_range(i, j, diff - slack, diff + slack);
+            }
+        }
+        prop_assert!(stn.close(), "consistent by construction");
+        for i in 0..n {
+            for j in 0..n {
+                let (lo, hi) = stn.bounds(i, j);
+                let actual = times[j] - times[i];
+                if let Some(lo) = lo {
+                    prop_assert!(actual >= lo);
+                }
+                if let Some(hi) = hi {
+                    prop_assert!(actual <= hi);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! A SPARQL-flavoured basic-graph-pattern engine over the triple store.
+//!
+//! The workbench's "database-technical issues" (§I) include ad-hoc queries
+//! over the materialized ABox: *"which patients have an entry typed
+//! HospitalContact whose code is subsumed by cond:Diabetes?"*. This module
+//! answers conjunctive triple patterns with variables — the SELECT core of
+//! SPARQL — using greedy most-selective-first join ordering over the
+//! store's three indexes.
+
+use crate::store::{Term, TripleStore};
+use std::collections::HashMap;
+
+/// One position of a triple pattern: a variable or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// A named variable (dense ids; the caller assigns meaning).
+    Var(u32),
+    /// A constant term.
+    Const(Term),
+}
+
+impl Pattern {
+    fn resolve(self, binding: &Binding) -> Option<Term> {
+        match self {
+            Pattern::Const(t) => Some(t),
+            Pattern::Var(v) => binding.get(&v).copied(),
+        }
+    }
+}
+
+/// A triple pattern.
+pub type TriplePattern = (Pattern, Pattern, Pattern);
+
+/// One solution: variable → term.
+pub type Binding = HashMap<u32, Term>;
+
+/// Evaluate a basic graph pattern: the conjunction of `patterns`, returning
+/// every binding of the variables that makes all patterns match.
+///
+/// Join order is chosen greedily at each step: the pattern with the most
+/// bound positions under the current binding is evaluated next, which keeps
+/// intermediate result sets small on star-shaped queries (the common shape
+/// here: many patterns sharing the entry variable).
+pub fn solve(store: &TripleStore, patterns: &[TriplePattern]) -> Vec<Binding> {
+    let mut results = Vec::new();
+    let mut remaining: Vec<TriplePattern> = patterns.to_vec();
+    let binding = Binding::new();
+    if patterns.is_empty() {
+        return vec![binding];
+    }
+    join(store, &mut remaining, binding, &mut results);
+    results
+}
+
+fn boundness(p: &TriplePattern, b: &Binding) -> u32 {
+    [p.0, p.1, p.2]
+        .iter()
+        .map(|pat| match pat {
+            Pattern::Const(_) => 1,
+            Pattern::Var(v) => u32::from(b.contains_key(v)),
+        })
+        .sum()
+}
+
+fn join(
+    store: &TripleStore,
+    remaining: &mut Vec<TriplePattern>,
+    binding: Binding,
+    out: &mut Vec<Binding>,
+) {
+    if remaining.is_empty() {
+        out.push(binding);
+        return;
+    }
+    // Pick the most-bound pattern.
+    let best = remaining
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, p)| boundness(p, &binding))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let pattern = remaining.swap_remove(best);
+    let (sp, pp, op) = pattern;
+    let s = sp.resolve(&binding);
+    let p = pp.resolve(&binding);
+    let o = op.resolve(&binding);
+    for (ts, tp, to) in store.matching(s, p, o) {
+        let mut b = binding.clone();
+        if !bind(&mut b, sp, ts) || !bind(&mut b, pp, tp) || !bind(&mut b, op, to) {
+            continue;
+        }
+        join(store, remaining, b, out);
+    }
+    remaining.push(pattern);
+}
+
+/// Bind a variable (or check a constant); false on conflict.
+fn bind(b: &mut Binding, pat: Pattern, term: Term) -> bool {
+    match pat {
+        Pattern::Const(t) => t == term,
+        Pattern::Var(v) => match b.get(&v) {
+            Some(&existing) => existing == term,
+            None => {
+                b.insert(v, term);
+                true
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{Iri, Vocabulary};
+
+    fn setup() -> (TripleStore, Vocabulary) {
+        let mut v = Vocabulary::new();
+        let mut s = TripleStore::new();
+        let r = |v: &mut Vocabulary, n: &str| Term::Resource(v.intern(n));
+        let typ = r(&mut v, "rdf:type");
+        let code = r(&mut v, "hasCode");
+        let of = r(&mut v, "ofPatient");
+        let contact = r(&mut v, "Contact");
+        let dispensing = r(&mut v, "Dispensing");
+        let t90 = r(&mut v, "T90");
+        let c07 = r(&mut v, "C07AB02");
+        let p1 = r(&mut v, "P1");
+        let p2 = r(&mut v, "P2");
+        for (e, ty, cd, pat) in [
+            ("e1", contact, t90, p1),
+            ("e2", dispensing, c07, p1),
+            ("e3", contact, t90, p2),
+        ] {
+            let e = r(&mut v, e);
+            s.insert(e, typ, ty);
+            s.insert(e, code, cd);
+            s.insert(e, of, pat);
+        }
+        (s, v)
+    }
+
+    fn c(v: &Vocabulary, n: &str) -> Pattern {
+        Pattern::Const(Term::Resource(v.get(n).unwrap()))
+    }
+
+    #[test]
+    fn single_pattern_queries() {
+        let (s, v) = setup();
+        // ?e rdf:type Contact
+        let out = solve(&s, &[(Pattern::Var(0), c(&v, "rdf:type"), c(&v, "Contact"))]);
+        assert_eq!(out.len(), 2);
+        // All bindings are entries typed Contact.
+        for b in &out {
+            let Term::Resource(iri) = b[&0] else { panic!() };
+            assert!(v.name(iri).starts_with('e'));
+        }
+    }
+
+    #[test]
+    fn star_join_finds_the_diabetic_contacts_of_p1() {
+        let (s, v) = setup();
+        // ?e type Contact . ?e hasCode T90 . ?e ofPatient P1
+        let out = solve(
+            &s,
+            &[
+                (Pattern::Var(0), c(&v, "rdf:type"), c(&v, "Contact")),
+                (Pattern::Var(0), c(&v, "hasCode"), c(&v, "T90")),
+                (Pattern::Var(0), c(&v, "ofPatient"), c(&v, "P1")),
+            ],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][&0], Term::Resource(v.get("e1").unwrap()));
+    }
+
+    #[test]
+    fn multi_variable_join() {
+        let (s, v) = setup();
+        // Patients with a Contact: ?e type Contact . ?e ofPatient ?p
+        let out = solve(
+            &s,
+            &[
+                (Pattern::Var(0), c(&v, "rdf:type"), c(&v, "Contact")),
+                (Pattern::Var(0), c(&v, "ofPatient"), Pattern::Var(1)),
+            ],
+        );
+        let mut patients: Vec<Iri> = out
+            .iter()
+            .map(|b| match b[&1] {
+                Term::Resource(i) => i,
+                _ => panic!(),
+            })
+            .collect();
+        patients.sort();
+        patients.dedup();
+        assert_eq!(patients.len(), 2);
+    }
+
+    #[test]
+    fn shared_variable_enforces_equality() {
+        let (s, v) = setup();
+        // A patient with both a Contact and a Dispensing:
+        // ?a type Contact . ?a ofPatient ?p . ?b type Dispensing . ?b ofPatient ?p
+        let out = solve(
+            &s,
+            &[
+                (Pattern::Var(0), c(&v, "rdf:type"), c(&v, "Contact")),
+                (Pattern::Var(0), c(&v, "ofPatient"), Pattern::Var(2)),
+                (Pattern::Var(1), c(&v, "rdf:type"), c(&v, "Dispensing")),
+                (Pattern::Var(1), c(&v, "ofPatient"), Pattern::Var(2)),
+            ],
+        );
+        assert_eq!(out.len(), 1, "only P1 has both");
+        assert_eq!(out[0][&2], Term::Resource(v.get("P1").unwrap()));
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let (s, v) = setup();
+        let out = solve(
+            &s,
+            &[
+                (Pattern::Var(0), c(&v, "rdf:type"), c(&v, "Dispensing")),
+                (Pattern::Var(0), c(&v, "ofPatient"), c(&v, "P2")),
+            ],
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_bgp_yields_the_unit_binding() {
+        let (s, _) = setup();
+        let out = solve(&s, &[]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_within_one_pattern() {
+        let mut v = Vocabulary::new();
+        let mut s = TripleStore::new();
+        let a = Term::Resource(v.intern("a"));
+        let b = Term::Resource(v.intern("b"));
+        let p = Term::Resource(v.intern("p"));
+        s.insert(a, p, a); // reflexive
+        s.insert(a, p, b);
+        // ?x p ?x — only the reflexive triple matches.
+        let out = solve(&s, &[(Pattern::Var(0), Pattern::Const(p), Pattern::Var(0))]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][&0], a);
+    }
+}

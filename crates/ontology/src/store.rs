@@ -1,0 +1,233 @@
+//! An indexed triple store.
+//!
+//! Holds the materialized form of both formalizations. Three B-tree
+//! indexes (SPO, POS, OSP) answer every single-pattern query with a range
+//! scan; the `pastas-query` layer composes them into the temporal filters
+//! of the workbench.
+
+use crate::vocab::Iri;
+use std::collections::BTreeSet;
+
+/// An RDF term: a resource or a literal.
+///
+/// Literals are interned strings too (dates are stored in ISO form so that
+/// lexicographic order equals temporal order), distinguished by a tag so a
+/// literal can never collide with a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A resource (class, property, individual).
+    Resource(Iri),
+    /// A literal (value interned in the same vocabulary).
+    Literal(Iri),
+}
+
+impl Term {
+    fn key(self) -> (u8, u32) {
+        match self {
+            Term::Resource(i) => (0, i.0),
+            Term::Literal(i) => (1, i.0),
+        }
+    }
+
+    fn from_key((tag, id): (u8, u32)) -> Term {
+        match tag {
+            0 => Term::Resource(Iri(id)),
+            _ => Term::Literal(Iri(id)),
+        }
+    }
+}
+
+type K = (u8, u32);
+type TripleKey = (K, K, K);
+
+/// A triple store with SPO/POS/OSP indexes.
+#[derive(Debug, Default, Clone)]
+pub struct TripleStore {
+    spo: BTreeSet<TripleKey>,
+    pos: BTreeSet<TripleKey>,
+    osp: BTreeSet<TripleKey>,
+}
+
+const K_MIN: K = (0, 0);
+const K_MAX: K = (u8::MAX, u32::MAX);
+
+impl TripleStore {
+    /// An empty store.
+    pub fn new() -> TripleStore {
+        TripleStore::default()
+    }
+
+    /// Insert a triple; returns `true` if it was new.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let (s, p, o) = (s.key(), p.key(), o.key());
+        if !self.spo.insert((s, p, o)) {
+            return false;
+        }
+        self.pos.insert((p, o, s));
+        self.osp.insert((o, s, p));
+        true
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True if the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// True if the exact triple is present.
+    pub fn contains(&self, s: Term, p: Term, o: Term) -> bool {
+        self.spo.contains(&(s.key(), p.key(), o.key()))
+    }
+
+    /// All triples matching a pattern (`None` = wildcard), as
+    /// `(subject, predicate, object)`.
+    ///
+    /// Picks the most selective index for the bound positions; a fully
+    /// unbound pattern scans SPO.
+    pub fn matching(
+        &self,
+        s: Option<Term>,
+        p: Option<Term>,
+        o: Option<Term>,
+    ) -> Vec<(Term, Term, Term)> {
+        let mut out = Vec::new();
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.contains(s, p, o) {
+                    out.push((s, p, o));
+                }
+            }
+            (Some(s), p, o) => {
+                let (sk, pmin, pmax) = (s.key(), range_of(p), range_of(o));
+                for &(sk2, pk, ok) in self.spo.range((sk, pmin.0, K_MIN)..=(sk, pmin.1, K_MAX)) {
+                    let _ = sk2;
+                    if pk >= pmin.0 && pk <= pmin.1 && ok >= pmax.0 && ok <= pmax.1 {
+                        out.push((Term::from_key(sk), Term::from_key(pk), Term::from_key(ok)));
+                    }
+                }
+            }
+            (None, Some(p), o) => {
+                let (pk, orange) = (p.key(), range_of(o));
+                for &(_, ok, sk) in self.pos.range((pk, orange.0, K_MIN)..=(pk, orange.1, K_MAX)) {
+                    out.push((Term::from_key(sk), Term::from_key(pk), Term::from_key(ok)));
+                }
+            }
+            (None, None, Some(o)) => {
+                let ok = o.key();
+                for &(_, sk, pk) in self.osp.range((ok, K_MIN, K_MIN)..=(ok, K_MAX, K_MAX)) {
+                    out.push((Term::from_key(sk), Term::from_key(pk), Term::from_key(ok)));
+                }
+            }
+            (None, None, None) => {
+                for &(sk, pk, ok) in &self.spo {
+                    out.push((Term::from_key(sk), Term::from_key(pk), Term::from_key(ok)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Objects of `(s, p, ?)`.
+    pub fn objects(&self, s: Term, p: Term) -> Vec<Term> {
+        let (sk, pk) = (s.key(), p.key());
+        self.spo
+            .range((sk, pk, K_MIN)..=(sk, pk, K_MAX))
+            .map(|&(_, _, ok)| Term::from_key(ok))
+            .collect()
+    }
+
+    /// Subjects of `(?, p, o)`.
+    pub fn subjects(&self, p: Term, o: Term) -> Vec<Term> {
+        let (pk, ok) = (p.key(), o.key());
+        self.pos
+            .range((pk, ok, K_MIN)..=(pk, ok, K_MAX))
+            .map(|&(_, _, sk)| Term::from_key(sk))
+            .collect()
+    }
+
+    /// Iterate over all triples.
+    pub fn iter(&self) -> impl Iterator<Item = (Term, Term, Term)> + '_ {
+        self.spo
+            .iter()
+            .map(|&(s, p, o)| (Term::from_key(s), Term::from_key(p), Term::from_key(o)))
+    }
+}
+
+fn range_of(t: Option<Term>) -> (K, K) {
+    match t {
+        Some(t) => (t.key(), t.key()),
+        None => (K_MIN, K_MAX),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> Term {
+        Term::Resource(Iri(i))
+    }
+
+    fn lit(i: u32) -> Term {
+        Term::Literal(Iri(i))
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut s = TripleStore::new();
+        assert!(s.insert(r(1), r(2), r(3)));
+        assert!(!s.insert(r(1), r(2), r(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn literals_and_resources_are_distinct() {
+        let mut s = TripleStore::new();
+        s.insert(r(1), r(2), r(3));
+        s.insert(r(1), r(2), lit(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(r(1), r(2), lit(3)));
+    }
+
+    #[test]
+    fn pattern_queries_use_all_shapes() {
+        let mut s = TripleStore::new();
+        s.insert(r(1), r(10), r(100));
+        s.insert(r(1), r(10), r(101));
+        s.insert(r(1), r(11), r(100));
+        s.insert(r(2), r(10), r(100));
+
+        assert_eq!(s.matching(Some(r(1)), None, None).len(), 3);
+        assert_eq!(s.matching(Some(r(1)), Some(r(10)), None).len(), 2);
+        assert_eq!(s.matching(None, Some(r(10)), None).len(), 3);
+        assert_eq!(s.matching(None, Some(r(10)), Some(r(100))).len(), 2);
+        assert_eq!(s.matching(None, None, Some(r(100))).len(), 3);
+        assert_eq!(s.matching(None, None, None).len(), 4);
+        assert_eq!(s.matching(Some(r(1)), None, Some(r(100))).len(), 2);
+        assert_eq!(s.matching(Some(r(9)), None, None).len(), 0);
+    }
+
+    #[test]
+    fn objects_and_subjects_helpers() {
+        let mut s = TripleStore::new();
+        s.insert(r(1), r(10), r(100));
+        s.insert(r(1), r(10), r(101));
+        s.insert(r(2), r(10), r(100));
+        assert_eq!(s.objects(r(1), r(10)), vec![r(100), r(101)]);
+        assert_eq!(s.subjects(r(10), r(100)), vec![r(1), r(2)]);
+        assert!(s.objects(r(3), r(10)).is_empty());
+    }
+
+    #[test]
+    fn iteration_covers_everything() {
+        let mut s = TripleStore::new();
+        for i in 0..10 {
+            s.insert(r(i), r(100), r(i + 1));
+        }
+        assert_eq!(s.iter().count(), 10);
+    }
+}

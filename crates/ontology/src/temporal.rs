@@ -1,0 +1,627 @@
+//! Temporal reasoning: Allen's interval algebra and Simple Temporal
+//! Networks.
+//!
+//! This is the CNTRO-like layer (§II.D): "designed to capture, represent
+//! and reason with the temporal semantics of events, intervals and their
+//! constraints in EHR. In retrospect, we have implemented much of the same
+//! functionality … Currently, we are investigating the use of constraint
+//! logic programming to handle interval reasoning." We provide both halves:
+//!
+//! * **Qualitative** — [`AllenRel`] (the 13 base relations), relation sets
+//!   as bitmasks, converse, and composition. The composition table is not
+//!   hand-transcribed: it is **derived by enumeration** over all order
+//!   types of three intervals (six endpoints take at most six distinct
+//!   values, so endpoints in `0..6` cover every qualitative configuration —
+//!   the derivation is exact by construction). [`AllenNetwork`] runs
+//!   path-consistency propagation over constraint networks.
+//! * **Quantitative** — [`Stn`], a Simple Temporal Network: time points
+//!   with difference constraints `t_j − t_i ≤ w`, Floyd–Warshall closure,
+//!   consistency checking and implied-bound queries. Query gap constraints
+//!   ("readmitted **within 30 days**") compile to STN edges.
+
+use pastas_time::DateTime;
+use std::sync::OnceLock;
+
+/// One of Allen's 13 base interval relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AllenRel {
+    /// `A` ends before `B` starts.
+    Before = 0,
+    /// `A` ends exactly when `B` starts.
+    Meets = 1,
+    /// `A` starts first, they overlap, `B` ends last.
+    Overlaps = 2,
+    /// Same start, `A` ends first.
+    Starts = 3,
+    /// `A` strictly inside `B`.
+    During = 4,
+    /// Same end, `A` starts later.
+    Finishes = 5,
+    /// Identical intervals.
+    Equal = 6,
+    /// Converse of Finishes.
+    FinishedBy = 7,
+    /// Converse of During.
+    Contains = 8,
+    /// Converse of Starts.
+    StartedBy = 9,
+    /// Converse of Overlaps.
+    OverlappedBy = 10,
+    /// Converse of Meets.
+    MetBy = 11,
+    /// Converse of Before.
+    After = 12,
+}
+
+impl AllenRel {
+    /// All 13 base relations.
+    pub const ALL: [AllenRel; 13] = [
+        AllenRel::Before,
+        AllenRel::Meets,
+        AllenRel::Overlaps,
+        AllenRel::Starts,
+        AllenRel::During,
+        AllenRel::Finishes,
+        AllenRel::Equal,
+        AllenRel::FinishedBy,
+        AllenRel::Contains,
+        AllenRel::StartedBy,
+        AllenRel::OverlappedBy,
+        AllenRel::MetBy,
+        AllenRel::After,
+    ];
+
+    /// The converse relation (`A r B ⟺ B r⁻¹ A`).
+    pub fn converse(self) -> AllenRel {
+        match self {
+            AllenRel::Before => AllenRel::After,
+            AllenRel::Meets => AllenRel::MetBy,
+            AllenRel::Overlaps => AllenRel::OverlappedBy,
+            AllenRel::Starts => AllenRel::StartedBy,
+            AllenRel::During => AllenRel::Contains,
+            AllenRel::Finishes => AllenRel::FinishedBy,
+            AllenRel::Equal => AllenRel::Equal,
+            AllenRel::FinishedBy => AllenRel::Finishes,
+            AllenRel::Contains => AllenRel::During,
+            AllenRel::StartedBy => AllenRel::Starts,
+            AllenRel::OverlappedBy => AllenRel::Overlaps,
+            AllenRel::MetBy => AllenRel::Meets,
+            AllenRel::After => AllenRel::Before,
+        }
+    }
+
+    /// The relation holding between intervals `[a0, a1]` and `[b0, b1]`
+    /// (both must satisfy `start < end`).
+    pub fn between(a0: i64, a1: i64, b0: i64, b1: i64) -> AllenRel {
+        debug_assert!(a0 < a1 && b0 < b1, "degenerate interval");
+        use std::cmp::Ordering::*;
+        match (a0.cmp(&b0), a1.cmp(&b1)) {
+            (Equal, Equal) => AllenRel::Equal,
+            (Equal, Less) => AllenRel::Starts,
+            (Equal, Greater) => AllenRel::StartedBy,
+            (Less, Equal) => AllenRel::FinishedBy,
+            (Greater, Equal) => AllenRel::Finishes,
+            (Less, Less) => {
+                if a1 < b0 {
+                    AllenRel::Before
+                } else if a1 == b0 {
+                    AllenRel::Meets
+                } else {
+                    AllenRel::Overlaps
+                }
+            }
+            (Greater, Greater) => {
+                if b1 < a0 {
+                    AllenRel::After
+                } else if b1 == a0 {
+                    AllenRel::MetBy
+                } else {
+                    AllenRel::OverlappedBy
+                }
+            }
+            (Less, Greater) => AllenRel::Contains,
+            (Greater, Less) => AllenRel::During,
+        }
+    }
+
+    /// The relation between two clinical entries' time extents. Point
+    /// events are widened to one-second intervals so the algebra's
+    /// `start < end` precondition holds.
+    pub fn between_times(a: (DateTime, DateTime), b: (DateTime, DateTime)) -> AllenRel {
+        let widen = |(s, e): (DateTime, DateTime)| {
+            let s = s.second_number();
+            let e = e.second_number();
+            if s == e {
+                (s, e + 1)
+            } else {
+                (s, e)
+            }
+        };
+        let (a0, a1) = widen(a);
+        let (b0, b1) = widen(b);
+        AllenRel::between(a0, a1, b0, b1)
+    }
+
+    /// Short name used in serialized constraints: `b m o s d f eq fi di si
+    /// oi mi a`.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AllenRel::Before => "b",
+            AllenRel::Meets => "m",
+            AllenRel::Overlaps => "o",
+            AllenRel::Starts => "s",
+            AllenRel::During => "d",
+            AllenRel::Finishes => "f",
+            AllenRel::Equal => "eq",
+            AllenRel::FinishedBy => "fi",
+            AllenRel::Contains => "di",
+            AllenRel::StartedBy => "si",
+            AllenRel::OverlappedBy => "oi",
+            AllenRel::MetBy => "mi",
+            AllenRel::After => "a",
+        }
+    }
+}
+
+/// A set of Allen base relations, as a 13-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllenSet(pub u16);
+
+impl AllenSet {
+    /// The empty (inconsistent) set.
+    pub const EMPTY: AllenSet = AllenSet(0);
+    /// The full (uninformative) set of all 13 relations.
+    pub const FULL: AllenSet = AllenSet((1 << 13) - 1);
+
+    /// A singleton set.
+    pub fn of(rel: AllenRel) -> AllenSet {
+        AllenSet(1 << rel as u16)
+    }
+
+    /// Build from several base relations.
+    pub fn from_rels(rels: &[AllenRel]) -> AllenSet {
+        rels.iter().fold(AllenSet::EMPTY, |s, &r| s.union(AllenSet::of(r)))
+    }
+
+    /// Membership test.
+    pub fn contains(self, rel: AllenRel) -> bool {
+        self.0 & (1 << rel as u16) != 0
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: AllenSet) -> AllenSet {
+        AllenSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    pub fn union(self, other: AllenSet) -> AllenSet {
+        AllenSet(self.0 | other.0)
+    }
+
+    /// True if no relation is possible (the network is inconsistent).
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of possible base relations.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Converse of every member.
+    pub fn converse(self) -> AllenSet {
+        AllenRel::ALL
+            .into_iter()
+            .filter(|&r| self.contains(r))
+            .fold(AllenSet::EMPTY, |s, r| s.union(AllenSet::of(r.converse())))
+    }
+
+    /// Composition: all relations possible between `A` and `C` given
+    /// `A self B` and `B other C`.
+    pub fn compose(self, other: AllenSet) -> AllenSet {
+        let table = composition_table();
+        let mut out = AllenSet::EMPTY;
+        for r1 in AllenRel::ALL {
+            if !self.contains(r1) {
+                continue;
+            }
+            for r2 in AllenRel::ALL {
+                if other.contains(r2) {
+                    out = out.union(table[r1 as usize][r2 as usize]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterate the member relations.
+    pub fn iter(self) -> impl Iterator<Item = AllenRel> {
+        AllenRel::ALL.into_iter().filter(move |&r| self.contains(r))
+    }
+}
+
+impl std::fmt::Display for AllenSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", r.symbol())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The 13×13 composition table, derived once by enumerating all order
+/// types of three intervals over endpoints `0..6`.
+///
+/// Completeness argument: three intervals have six endpoints; any
+/// qualitative configuration is order-isomorphic to one whose endpoint
+/// values lie in `{0..5}`. Enumerating all `(A, B, C)` with endpoints in
+/// that range therefore realizes every consistent triple of relations, so
+/// the table collects exactly `r1 ∘ r2` for every pair.
+fn composition_table() -> &'static [[AllenSet; 13]; 13] {
+    static TABLE: OnceLock<[[AllenSet; 13]; 13]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [[AllenSet::EMPTY; 13]; 13];
+        let intervals: Vec<(i64, i64)> =
+            (0..6).flat_map(|s| ((s + 1)..6).map(move |e| (s, e))).collect();
+        for &(a0, a1) in &intervals {
+            for &(b0, b1) in &intervals {
+                let r1 = AllenRel::between(a0, a1, b0, b1);
+                for &(c0, c1) in &intervals {
+                    let r2 = AllenRel::between(b0, b1, c0, c1);
+                    let r3 = AllenRel::between(a0, a1, c0, c1);
+                    table[r1 as usize][r2 as usize] =
+                        table[r1 as usize][r2 as usize].union(AllenSet::of(r3));
+                }
+            }
+        }
+        table
+    })
+}
+
+/// A qualitative constraint network over intervals, solved by
+/// path consistency (PC-2 style queue propagation).
+#[derive(Debug, Clone)]
+pub struct AllenNetwork {
+    n: usize,
+    /// `c[i][j]` = possible relations from interval i to interval j.
+    c: Vec<Vec<AllenSet>>,
+}
+
+impl AllenNetwork {
+    /// A network over `n` intervals with all constraints initially FULL.
+    pub fn new(n: usize) -> AllenNetwork {
+        let mut c = vec![vec![AllenSet::FULL; n]; n];
+        for (i, row) in c.iter_mut().enumerate() {
+            row[i] = AllenSet::of(AllenRel::Equal);
+        }
+        AllenNetwork { n, c }
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the network has no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Constrain the relation from `i` to `j` (intersecting with any
+    /// existing constraint; the converse direction is kept in sync).
+    pub fn constrain(&mut self, i: usize, j: usize, rels: AllenSet) {
+        self.c[i][j] = self.c[i][j].intersect(rels);
+        self.c[j][i] = self.c[i][j].converse();
+    }
+
+    /// Current constraint from `i` to `j`.
+    pub fn relation(&self, i: usize, j: usize) -> AllenSet {
+        self.c[i][j]
+    }
+
+    /// Run path consistency. Returns `false` if an empty constraint was
+    /// derived (the network is inconsistent).
+    pub fn propagate(&mut self) -> bool {
+        let mut queue: Vec<(usize, usize)> = (0..self.n)
+            .flat_map(|i| (0..self.n).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .collect();
+        while let Some((i, j)) = queue.pop() {
+            for k in 0..self.n {
+                if k == i || k == j {
+                    continue;
+                }
+                // Tighten c[i][k] through j.
+                let through = self.c[i][j].compose(self.c[j][k]);
+                let tightened = self.c[i][k].intersect(through);
+                if tightened != self.c[i][k] {
+                    if tightened.is_empty() {
+                        self.c[i][k] = tightened;
+                        return false;
+                    }
+                    self.c[i][k] = tightened;
+                    self.c[k][i] = tightened.converse();
+                    queue.push((i, k));
+                }
+                // Tighten c[k][j] through i.
+                let through = self.c[k][i].compose(self.c[i][j]);
+                let tightened = self.c[k][j].intersect(through);
+                if tightened != self.c[k][j] {
+                    if tightened.is_empty() {
+                        self.c[k][j] = tightened;
+                        return false;
+                    }
+                    self.c[k][j] = tightened;
+                    self.c[j][k] = tightened.converse();
+                    queue.push((k, j));
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A Simple Temporal Network: time points with binary difference
+/// constraints `t_j − t_i ∈ [lo, hi]`.
+#[derive(Debug, Clone)]
+pub struct Stn {
+    /// `d[i][j]` = tightest known upper bound on `t_j − t_i`.
+    d: Vec<Vec<i64>>,
+    closed: bool,
+}
+
+/// Effectively-infinite bound (avoids overflow in additions).
+const INF: i64 = i64::MAX / 4;
+
+impl Stn {
+    /// A network over `n` time points with no constraints.
+    pub fn new(n: usize) -> Stn {
+        let mut d = vec![vec![INF; n]; n];
+        for (i, row) in d.iter_mut().enumerate() {
+            row[i] = 0;
+        }
+        Stn { d, closed: false }
+    }
+
+    /// Number of time points.
+    pub fn len(&self) -> usize {
+        self.d.len()
+    }
+
+    /// True if the network has no time points.
+    pub fn is_empty(&self) -> bool {
+        self.d.is_empty()
+    }
+
+    /// Add `t_j − t_i ≤ w`.
+    pub fn add_upper(&mut self, i: usize, j: usize, w: i64) {
+        if w < self.d[i][j] {
+            self.d[i][j] = w;
+        }
+        self.closed = false;
+    }
+
+    /// Add `t_j − t_i ∈ [lo, hi]`.
+    pub fn add_range(&mut self, i: usize, j: usize, lo: i64, hi: i64) {
+        self.add_upper(i, j, hi);
+        self.add_upper(j, i, -lo);
+    }
+
+    /// Floyd–Warshall closure. Returns `false` if inconsistent (a negative
+    /// self-loop exists).
+    pub fn close(&mut self) -> bool {
+        let n = self.d.len();
+        for k in 0..n {
+            for i in 0..n {
+                let dik = self.d[i][k];
+                if dik == INF {
+                    continue;
+                }
+                for j in 0..n {
+                    let alt = dik.saturating_add(self.d[k][j]);
+                    if alt < self.d[i][j] {
+                        self.d[i][j] = alt;
+                    }
+                }
+            }
+        }
+        self.closed = true;
+        (0..n).all(|i| self.d[i][i] >= 0)
+    }
+
+    /// Implied bounds on `t_j − t_i` as `(lo, hi)`; `None` stands for
+    /// unbounded on that side. Requires [`Stn::close`].
+    pub fn bounds(&self, i: usize, j: usize) -> (Option<i64>, Option<i64>) {
+        assert!(self.closed, "call close() before querying");
+        let hi = (self.d[i][j] < INF).then_some(self.d[i][j]);
+        let lo = (self.d[j][i] < INF).then_some(-self.d[j][i]);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_time::Date;
+
+    #[test]
+    fn between_covers_all_thirteen() {
+        // Canonical endpoint patterns for each relation.
+        let cases: [(AllenRel, (i64, i64), (i64, i64)); 13] = [
+            (AllenRel::Before, (0, 1), (2, 3)),
+            (AllenRel::Meets, (0, 1), (1, 2)),
+            (AllenRel::Overlaps, (0, 2), (1, 3)),
+            (AllenRel::Starts, (0, 1), (0, 2)),
+            (AllenRel::During, (1, 2), (0, 3)),
+            (AllenRel::Finishes, (1, 2), (0, 2)),
+            (AllenRel::Equal, (0, 1), (0, 1)),
+            (AllenRel::FinishedBy, (0, 2), (1, 2)),
+            (AllenRel::Contains, (0, 3), (1, 2)),
+            (AllenRel::StartedBy, (0, 2), (0, 1)),
+            (AllenRel::OverlappedBy, (1, 3), (0, 2)),
+            (AllenRel::MetBy, (1, 2), (0, 1)),
+            (AllenRel::After, (2, 3), (0, 1)),
+        ];
+        for (rel, a, b) in cases {
+            assert_eq!(AllenRel::between(a.0, a.1, b.0, b.1), rel);
+            // Converse law.
+            assert_eq!(AllenRel::between(b.0, b.1, a.0, a.1), rel.converse());
+        }
+    }
+
+    #[test]
+    fn converse_is_involutive() {
+        for r in AllenRel::ALL {
+            assert_eq!(r.converse().converse(), r);
+        }
+    }
+
+    #[test]
+    fn known_compositions() {
+        let t = |a: AllenRel, b: AllenRel| AllenSet::of(a).compose(AllenSet::of(b));
+        // before ∘ before = {before}
+        assert_eq!(t(AllenRel::Before, AllenRel::Before), AllenSet::of(AllenRel::Before));
+        // meets ∘ meets = {before}
+        assert_eq!(t(AllenRel::Meets, AllenRel::Meets), AllenSet::of(AllenRel::Before));
+        // during ∘ during = {during}
+        assert_eq!(t(AllenRel::During, AllenRel::During), AllenSet::of(AllenRel::During));
+        // equal is the identity
+        for r in AllenRel::ALL {
+            assert_eq!(t(AllenRel::Equal, r), AllenSet::of(r));
+            assert_eq!(t(r, AllenRel::Equal), AllenSet::of(r));
+        }
+        // before ∘ after = full (classic maximally uninformative cell)
+        assert_eq!(t(AllenRel::Before, AllenRel::After), AllenSet::FULL);
+        // overlaps ∘ overlaps = {before, meets, overlaps}
+        assert_eq!(
+            t(AllenRel::Overlaps, AllenRel::Overlaps),
+            AllenSet::from_rels(&[AllenRel::Before, AllenRel::Meets, AllenRel::Overlaps])
+        );
+        // starts ∘ during = {during}
+        assert_eq!(t(AllenRel::Starts, AllenRel::During), AllenSet::of(AllenRel::During));
+        // meets ∘ during = {overlaps, starts, during}
+        assert_eq!(
+            t(AllenRel::Meets, AllenRel::During),
+            AllenSet::from_rels(&[AllenRel::Overlaps, AllenRel::Starts, AllenRel::During])
+        );
+    }
+
+    #[test]
+    fn composition_table_respects_converse_duality() {
+        // (r1 ∘ r2)⁻¹ == r2⁻¹ ∘ r1⁻¹ for all pairs.
+        for r1 in AllenRel::ALL {
+            for r2 in AllenRel::ALL {
+                let lhs = AllenSet::of(r1).compose(AllenSet::of(r2)).converse();
+                let rhs = AllenSet::of(r2.converse()).compose(AllenSet::of(r1.converse()));
+                assert_eq!(lhs, rhs, "{:?} ∘ {:?}", r1, r2);
+            }
+        }
+    }
+
+    #[test]
+    fn set_operations() {
+        let s = AllenSet::from_rels(&[AllenRel::Before, AllenRel::Meets]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(AllenRel::Before));
+        assert!(!s.contains(AllenRel::After));
+        assert_eq!(s.converse(), AllenSet::from_rels(&[AllenRel::After, AllenRel::MetBy]));
+        assert_eq!(s.intersect(AllenSet::of(AllenRel::Meets)), AllenSet::of(AllenRel::Meets));
+        assert!(AllenSet::EMPTY.is_empty());
+        assert_eq!(AllenSet::FULL.len(), 13);
+        assert_eq!(s.to_string(), "{b,m}");
+    }
+
+    #[test]
+    fn network_derives_transitive_before() {
+        // A before B, B before C ⟹ A before C.
+        let mut net = AllenNetwork::new(3);
+        net.constrain(0, 1, AllenSet::of(AllenRel::Before));
+        net.constrain(1, 2, AllenSet::of(AllenRel::Before));
+        assert!(net.propagate());
+        assert_eq!(net.relation(0, 2), AllenSet::of(AllenRel::Before));
+        assert_eq!(net.relation(2, 0), AllenSet::of(AllenRel::After));
+    }
+
+    #[test]
+    fn network_detects_inconsistency() {
+        // A before B, B before C, C before A — a cycle.
+        let mut net = AllenNetwork::new(3);
+        net.constrain(0, 1, AllenSet::of(AllenRel::Before));
+        net.constrain(1, 2, AllenSet::of(AllenRel::Before));
+        net.constrain(2, 0, AllenSet::of(AllenRel::Before));
+        assert!(!net.propagate());
+    }
+
+    #[test]
+    fn network_narrows_disjunctions() {
+        // A {before,after} B, B before C, A during C ⟹ A after B impossible?
+        // Actually: A during C and B before C leaves both; but C before B
+        // forces A before B to drop.
+        let mut net = AllenNetwork::new(3);
+        net.constrain(0, 1, AllenSet::from_rels(&[AllenRel::Before, AllenRel::After]));
+        net.constrain(2, 1, AllenSet::of(AllenRel::Before)); // C before B
+        net.constrain(0, 2, AllenSet::of(AllenRel::During)); // A during C
+        assert!(net.propagate());
+        // A inside C and C entirely before B ⟹ A before B.
+        assert_eq!(net.relation(0, 1), AllenSet::of(AllenRel::Before));
+    }
+
+    #[test]
+    fn between_times_widens_points() {
+        let d1 = Date::new(2020, 1, 1).unwrap().at_midnight();
+        let d2 = Date::new(2020, 1, 5).unwrap().at_midnight();
+        // Two point events on different days: before.
+        assert_eq!(AllenRel::between_times((d1, d1), (d2, d2)), AllenRel::Before);
+        // Same instant: equal.
+        assert_eq!(AllenRel::between_times((d1, d1), (d1, d1)), AllenRel::Equal);
+        // Point at the start of an interval: starts.
+        assert_eq!(AllenRel::between_times((d1, d1), (d1, d2)), AllenRel::Starts);
+    }
+
+    #[test]
+    fn stn_consistency_and_bounds() {
+        // t1 - t0 in [5, 10]; t2 - t1 in [3, 4].
+        let mut stn = Stn::new(3);
+        stn.add_range(0, 1, 5, 10);
+        stn.add_range(1, 2, 3, 4);
+        assert!(stn.close());
+        assert_eq!(stn.bounds(0, 2), (Some(8), Some(14)));
+        assert_eq!(stn.bounds(2, 0), (Some(-14), Some(-8)));
+    }
+
+    #[test]
+    fn stn_detects_inconsistency() {
+        // t1 >= t0 + 10 but also t1 <= t0 + 5.
+        let mut stn = Stn::new(2);
+        stn.add_range(0, 1, 10, 20);
+        stn.add_upper(0, 1, 5);
+        assert!(!stn.close());
+    }
+
+    #[test]
+    fn stn_unconstrained_is_unbounded() {
+        let mut stn = Stn::new(2);
+        assert!(stn.close());
+        assert_eq!(stn.bounds(0, 1), (None, None));
+    }
+
+    #[test]
+    fn readmission_constraint_example() {
+        // Discharge D, readmission R with R - D in [0, 30] days (secs).
+        // Index contact C with D - C in [1, 14].
+        let day = 86_400;
+        let mut stn = Stn::new(3); // 0=C, 1=D, 2=R
+        stn.add_range(0, 1, day, 14 * day);
+        stn.add_range(1, 2, 0, 30 * day);
+        assert!(stn.close());
+        let (lo, hi) = stn.bounds(0, 2);
+        assert_eq!(lo, Some(day));
+        assert_eq!(hi, Some(44 * day));
+    }
+}

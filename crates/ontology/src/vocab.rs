@@ -1,0 +1,122 @@
+//! IRI interning and the PAsTAs vocabulary.
+
+use std::collections::HashMap;
+
+/// An interned IRI — a dense handle into a [`Vocabulary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(pub u32);
+
+/// A two-way IRI interner.
+///
+/// All ontology machinery works on dense [`Iri`] handles; strings appear
+/// only at the edges (loading and display). Interning keeps the saturation
+/// working set small — at 168k patients the ABox holds millions of triples.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    names: Vec<String>,
+    ids: HashMap<String, Iri>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Intern a name, returning its handle (idempotent).
+    pub fn intern(&mut self, name: &str) -> Iri {
+        if let Some(&iri) = self.ids.get(name) {
+            return iri;
+        }
+        let iri = Iri(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), iri);
+        iri
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<Iri> {
+        self.ids.get(name).copied()
+    }
+
+    /// The string form of a handle.
+    pub fn name(&self, iri: Iri) -> &str {
+        &self.names[iri.0 as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Well-known IRI strings of the PAsTAs namespaces.
+///
+/// Two namespaces mirror the two formalizations: `pastas-int:` for the
+/// integration & alignment ontology, `pastas-viz:` for the presentation
+/// ontology. Code-system classes live under their system prefix.
+pub mod ns {
+    /// RDF `type` predicate.
+    pub const RDF_TYPE: &str = "rdf:type";
+    /// RDFS `subClassOf` predicate.
+    pub const RDFS_SUBCLASS: &str = "rdfs:subClassOf";
+    /// RDFS human-readable label.
+    pub const RDFS_LABEL: &str = "rdfs:label";
+
+    /// Integration-ontology namespace prefix.
+    pub const INT: &str = "pastas-int:";
+    /// Presentation-ontology namespace prefix.
+    pub const VIZ: &str = "pastas-viz:";
+
+    /// Predicate: entry has clinical code.
+    pub const HAS_CODE: &str = "pastas-int:hasCode";
+    /// Predicate: entry recorded by source.
+    pub const FROM_SOURCE: &str = "pastas-int:fromSource";
+    /// Predicate: entry belongs to patient.
+    pub const OF_PATIENT: &str = "pastas-int:ofPatient";
+    /// Predicate: entry starts at (ISO datetime literal).
+    pub const STARTS_AT: &str = "pastas-int:startsAt";
+    /// Predicate: entry ends at (ISO datetime literal).
+    pub const ENDS_AT: &str = "pastas-int:endsAt";
+    /// Predicate: same real-world condition as (the ICPC↔ICD bridge).
+    pub const SAME_CONDITION: &str = "pastas-int:sameConditionAs";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("pastas-int:Contact");
+        let b = v.intern("pastas-int:Contact");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn round_trips_names() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("x");
+        let b = v.intern("y");
+        assert_eq!(v.name(a), "x");
+        assert_eq!(v.name(b), "y");
+        assert_eq!(v.get("x"), Some(a));
+        assert_eq!(v.get("z"), None);
+    }
+
+    #[test]
+    fn handles_are_dense() {
+        let mut v = Vocabulary::new();
+        for i in 0..100 {
+            let iri = v.intern(&format!("n{i}"));
+            assert_eq!(iri.0, i);
+        }
+    }
+}

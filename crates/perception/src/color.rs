@@ -1,0 +1,119 @@
+//! Color difference in a perceptual space.
+//!
+//! "Choosing good colors" (§II.B) is checkable: convert sRGB to CIE
+//! L\*a\*b\* (D65) and require a minimum ΔE\*₇₆ between every pair of
+//! categorical colors. ΔE ≈ 2.3 is the just-noticeable difference; for
+//! glanceable category separation the literature wants ΔE ≳ 20.
+
+/// A CIE L\*a\*b\* color (D65 white point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lab {
+    /// Lightness, 0–100.
+    pub l: f64,
+    /// Green–red axis.
+    pub a: f64,
+    /// Blue–yellow axis.
+    pub b: f64,
+}
+
+/// Convert an sRGB color (0–255 channels) to L\*a\*b\*.
+pub fn rgb_to_lab(r: u8, g: u8, b: u8) -> Lab {
+    // sRGB → linear.
+    fn lin(c: u8) -> f64 {
+        let c = c as f64 / 255.0;
+        if c <= 0.04045 {
+            c / 12.92
+        } else {
+            ((c + 0.055) / 1.055).powf(2.4)
+        }
+    }
+    let (rl, gl, bl) = (lin(r), lin(g), lin(b));
+    // Linear RGB → XYZ (sRGB matrix, D65).
+    let x = 0.4124 * rl + 0.3576 * gl + 0.1805 * bl;
+    let y = 0.2126 * rl + 0.7152 * gl + 0.0722 * bl;
+    let z = 0.0193 * rl + 0.1192 * gl + 0.9505 * bl;
+    // Normalize by D65 white.
+    let (xn, yn, zn) = (0.95047, 1.0, 1.08883);
+    fn f(t: f64) -> f64 {
+        const D: f64 = 6.0 / 29.0;
+        if t > D * D * D {
+            t.cbrt()
+        } else {
+            t / (3.0 * D * D) + 4.0 / 29.0
+        }
+    }
+    let (fx, fy, fz) = (f(x / xn), f(y / yn), f(z / zn));
+    Lab { l: 116.0 * fy - 16.0, a: 500.0 * (fx - fy), b: 200.0 * (fy - fz) }
+}
+
+/// ΔE\*₇₆ — Euclidean distance in Lab.
+pub fn delta_e(p: Lab, q: Lab) -> f64 {
+    ((p.l - q.l).powi(2) + (p.a - q.a).powi(2) + (p.b - q.b).powi(2)).sqrt()
+}
+
+/// Minimum pairwise ΔE over a palette of sRGB colors — the palette's
+/// weakest discrimination.
+pub fn min_pairwise_delta_e(palette: &[(u8, u8, u8)]) -> f64 {
+    let labs: Vec<Lab> = palette.iter().map(|&(r, g, b)| rgb_to_lab(r, g, b)).collect();
+    let mut min = f64::INFINITY;
+    for i in 0..labs.len() {
+        for j in (i + 1)..labs.len() {
+            min = min.min(delta_e(labs[i], labs[j]));
+        }
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn white_and_black() {
+        let w = rgb_to_lab(255, 255, 255);
+        assert!((w.l - 100.0).abs() < 0.1, "white L = {}", w.l);
+        assert!(w.a.abs() < 0.5 && w.b.abs() < 0.5);
+        let k = rgb_to_lab(0, 0, 0);
+        assert!(k.l.abs() < 0.1);
+    }
+
+    #[test]
+    fn primary_hues_have_expected_signs() {
+        let red = rgb_to_lab(255, 0, 0);
+        assert!(red.a > 50.0, "red has strongly positive a*");
+        let green = rgb_to_lab(0, 255, 0);
+        assert!(green.a < -50.0, "green has strongly negative a*");
+        let blue = rgb_to_lab(0, 0, 255);
+        assert!(blue.b < -50.0, "blue has strongly negative b*");
+        let yellow = rgb_to_lab(255, 255, 0);
+        assert!(yellow.b > 50.0, "yellow has strongly positive b*");
+    }
+
+    #[test]
+    fn delta_e_is_a_metric_sanity() {
+        let a = rgb_to_lab(10, 20, 30);
+        let b = rgb_to_lab(200, 100, 50);
+        let c = rgb_to_lab(100, 100, 100);
+        assert_eq!(delta_e(a, a), 0.0);
+        assert!((delta_e(a, b) - delta_e(b, a)).abs() < 1e-12);
+        assert!(delta_e(a, b) <= delta_e(a, c) + delta_e(c, b) + 1e-9);
+    }
+
+    #[test]
+    fn jnd_scale_is_plausible() {
+        // One-step channel changes are sub-JND; opposite corners are huge.
+        let tiny = delta_e(rgb_to_lab(100, 100, 100), rgb_to_lab(101, 100, 100));
+        assert!(tiny < 1.0, "tiny step ΔE {tiny}");
+        let huge = delta_e(rgb_to_lab(0, 0, 0), rgb_to_lab(255, 255, 255));
+        assert!(huge > 95.0, "black-white ΔE {huge}");
+    }
+
+    #[test]
+    fn min_pairwise_flags_near_duplicates() {
+        let bad = [(200, 0, 0), (201, 0, 0), (0, 0, 200)];
+        assert!(min_pairwise_delta_e(&bad) < 1.0);
+        let good = [(200, 0, 0), (0, 200, 0), (0, 0, 200)];
+        assert!(min_pairwise_delta_e(&good) > 50.0);
+        assert!(min_pairwise_delta_e(&[]).is_infinite());
+    }
+}

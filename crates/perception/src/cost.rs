@@ -1,0 +1,155 @@
+//! Cost-of-knowledge accounting (§II.C.1).
+//!
+//! Pirolli & Card's information-foraging framing, operationalized: every
+//! interaction is charged a time cost (motor + system + re-orientation),
+//! and an exploration strategy is a sequence of interactions. The
+//! workbench examples use this to compare "overview first, zoom and
+//! filter" against brute scrolling — making Shneiderman's mantra a
+//! measured claim instead of a slogan.
+
+/// One user interaction with its cost components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interaction {
+    /// Move pointer + click (Fitts-sized average).
+    Click,
+    /// Adjust one of the two zoom sliders.
+    ZoomSlider,
+    /// Scroll one viewport page.
+    ScrollPage,
+    /// Type a short query term / regex.
+    TypeQuery,
+    /// Visually scan one screenful that changed (re-orientation after a
+    /// view change — the change-blindness tax of §II.C.2).
+    Reorient,
+    /// Read one details-on-demand panel.
+    ReadDetails,
+}
+
+impl Interaction {
+    /// Nominal cost in milliseconds (KLM-GOMS-flavoured constants).
+    pub fn cost_ms(self) -> f64 {
+        match self {
+            Interaction::Click => 1_100.0,       // P + B
+            Interaction::ZoomSlider => 1_800.0,  // P + drag
+            Interaction::ScrollPage => 900.0,
+            Interaction::TypeQuery => 2_800.0,   // ~10 keystrokes + M
+            Interaction::Reorient => 1_200.0,
+            Interaction::ReadDetails => 1_600.0,
+        }
+    }
+}
+
+/// A log of interactions with accumulated cost.
+#[derive(Debug, Clone, Default)]
+pub struct InteractionLog {
+    steps: Vec<Interaction>,
+}
+
+impl InteractionLog {
+    /// An empty log.
+    pub fn new() -> InteractionLog {
+        InteractionLog::default()
+    }
+
+    /// Record one interaction.
+    pub fn record(&mut self, i: Interaction) -> &mut Self {
+        self.steps.push(i);
+        self
+    }
+
+    /// Record an interaction `n` times.
+    pub fn record_n(&mut self, i: Interaction, n: usize) -> &mut Self {
+        self.steps.extend(std::iter::repeat_n(i, n));
+        self
+    }
+
+    /// Total cost in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.steps.iter().map(|i| i.cost_ms()).sum()
+    }
+
+    /// Number of interactions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Cost of the "overview first, zoom and filter, details on demand"
+/// strategy for finding `targets` interesting patients in a cohort of
+/// `cohort` rows: one typed filter + one zoom + per-target inspection.
+pub fn overview_zoom_filter_cost(targets: usize) -> f64 {
+    let mut log = InteractionLog::new();
+    log.record(Interaction::TypeQuery) // the Fig. 4 filter
+        .record(Interaction::Reorient)
+        .record(Interaction::ZoomSlider)
+        .record(Interaction::Reorient);
+    log.record_n(Interaction::Click, targets);
+    log.record_n(Interaction::ReadDetails, targets);
+    log.total_ms()
+}
+
+/// Cost of brute-force scrolling a cohort of `cohort` rows at
+/// `rows_per_page`, reading details for the same `targets`.
+pub fn scroll_everything_cost(cohort: usize, rows_per_page: usize, targets: usize) -> f64 {
+    let pages = cohort.div_ceil(rows_per_page.max(1));
+    let mut log = InteractionLog::new();
+    log.record_n(Interaction::ScrollPage, pages);
+    log.record_n(Interaction::Reorient, pages);
+    log.record_n(Interaction::Click, targets);
+    log.record_n(Interaction::ReadDetails, targets);
+    log.total_ms()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_accumulates() {
+        let mut log = InteractionLog::new();
+        assert!(log.is_empty());
+        log.record(Interaction::Click).record(Interaction::Click);
+        assert_eq!(log.len(), 2);
+        assert!((log.total_ms() - 2_200.0).abs() < 1e-9);
+        log.record_n(Interaction::ScrollPage, 3);
+        assert_eq!(log.len(), 5);
+    }
+
+    #[test]
+    fn all_interactions_have_positive_cost() {
+        for i in [
+            Interaction::Click,
+            Interaction::ZoomSlider,
+            Interaction::ScrollPage,
+            Interaction::TypeQuery,
+            Interaction::Reorient,
+            Interaction::ReadDetails,
+        ] {
+            assert!(i.cost_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn filtering_beats_scrolling_at_cohort_scale() {
+        // At 13,000 rows × 20 per page, brute scrolling is hopeless; the
+        // mantra wins by orders of magnitude.
+        let filter = overview_zoom_filter_cost(10);
+        let scroll = scroll_everything_cost(13_000, 20, 10);
+        assert!(
+            scroll > 30.0 * filter,
+            "scroll {scroll:.0}ms should dwarf filter {filter:.0}ms"
+        );
+    }
+
+    #[test]
+    fn scrolling_is_fine_for_tiny_cohorts() {
+        let filter = overview_zoom_filter_cost(2);
+        let scroll = scroll_everything_cost(20, 20, 2);
+        assert!(scroll < filter, "one page of rows needs no query");
+    }
+}

@@ -1,0 +1,288 @@
+//! The visual-search simulator and display classifier.
+//!
+//! Response-time model (feature-integration theory, parameters in the
+//! range reported by Treisman & Gelade 1980 and Wolfe's reviews):
+//!
+//! * **feature search** (target differs from every distractor on one
+//!   dimension): RT = base + ε — flat in set size;
+//! * **conjunction search**: RT = base + slope·N (target absent) or
+//!   base + slope·N/2 on average (target present, self-terminating serial
+//!   scan).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A display item: the two features the workbench actually uses
+/// (glyph shape and color class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Item {
+    /// Shape index (square/arrow/triangle/…).
+    pub shape: u8,
+    /// Color-class index.
+    pub color: u8,
+}
+
+/// The search regime a display affords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchCondition {
+    /// Target uniquely identified by a single feature: preattentive, flat RT.
+    Feature,
+    /// Target identified only by a feature conjunction: serial, linear RT.
+    Conjunction,
+    /// Target identical to some distractor: not findable.
+    Indistinguishable,
+}
+
+/// Classify a display: can `target` be found preattentively among
+/// `distractors`?
+///
+/// Rule (standard FIT reading): if the target's shape differs from every
+/// distractor's shape, or its color differs from every distractor's color,
+/// a single feature map flags it — feature search. If it shares shape with
+/// some distractor and color with some (other) distractor but no distractor
+/// equals it, finding it requires binding — conjunction search.
+pub fn classify_search(target: Item, distractors: &[Item]) -> SearchCondition {
+    if distractors.iter().any(|d| *d == target) {
+        return SearchCondition::Indistinguishable;
+    }
+    let unique_shape = distractors.iter().all(|d| d.shape != target.shape);
+    let unique_color = distractors.iter().all(|d| d.color != target.color);
+    if unique_shape || unique_color {
+        SearchCondition::Feature
+    } else {
+        SearchCondition::Conjunction
+    }
+}
+
+/// RT-model parameters (milliseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct RtModel {
+    /// Base (non-search) time: perception + response.
+    pub base_ms: f64,
+    /// Per-item scan cost in serial search.
+    pub slope_ms_per_item: f64,
+    /// Gaussian noise SD.
+    pub noise_sd_ms: f64,
+}
+
+impl Default for RtModel {
+    fn default() -> RtModel {
+        RtModel { base_ms: 450.0, slope_ms_per_item: 45.0, noise_sd_ms: 40.0 }
+    }
+}
+
+/// Simulate one trial's response time.
+///
+/// * Feature search: flat in `set_size`.
+/// * Conjunction, target present: self-terminating — on average half the
+///   items are scanned.
+/// * Conjunction, target absent: exhaustive — all items scanned (slope
+///   2× the present case, the classic signature).
+pub fn simulate_rt(
+    condition: SearchCondition,
+    set_size: usize,
+    target_present: bool,
+    model: &RtModel,
+    rng: &mut StdRng,
+) -> f64 {
+    let scan = match condition {
+        SearchCondition::Feature => 0.0,
+        SearchCondition::Conjunction => {
+            let n = set_size as f64;
+            if target_present {
+                // Uniform position of the target in the scan order.
+                model.slope_ms_per_item * n * rng.gen::<f64>()
+            } else {
+                model.slope_ms_per_item * n
+            }
+        }
+        SearchCondition::Indistinguishable => {
+            // Modelled as exhaustive scan then a (wrong) absent response.
+            model.slope_ms_per_item * set_size as f64
+        }
+    };
+    let noise = gaussian(rng) * model.noise_sd_ms;
+    (model.base_ms + scan + noise).max(100.0)
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A full experiment: sweep set sizes, many trials each, fit RT ~ set size.
+#[derive(Debug, Clone)]
+pub struct SearchExperiment {
+    /// Set sizes to test.
+    pub set_sizes: Vec<usize>,
+    /// Trials per (set size, condition) cell.
+    pub trials: usize,
+    /// RT model.
+    pub model: RtModel,
+}
+
+/// Result of one condition's sweep: per-set-size mean RT plus the fitted
+/// slope and intercept.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// `(set_size, mean RT ms)` series.
+    pub series: Vec<(usize, f64)>,
+    /// Fitted ms/item slope.
+    pub slope: f64,
+    /// Fitted intercept ms.
+    pub intercept: f64,
+}
+
+impl Default for SearchExperiment {
+    fn default() -> SearchExperiment {
+        SearchExperiment {
+            set_sizes: vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512],
+            trials: 200,
+            model: RtModel::default(),
+        }
+    }
+}
+
+impl SearchExperiment {
+    /// Run one condition (target present on every trial, the Fig. 3 task).
+    pub fn run(&self, condition: SearchCondition, rng: &mut StdRng) -> SweepResult {
+        let mut series = Vec::new();
+        for &n in &self.set_sizes {
+            let total: f64 = (0..self.trials)
+                .map(|_| simulate_rt(condition, n, true, &self.model, rng))
+                .sum();
+            series.push((n, total / self.trials as f64));
+        }
+        let (slope, intercept) = linear_fit(&series);
+        SweepResult { series, slope, intercept }
+    }
+}
+
+/// Ordinary least squares over `(x, y)` points.
+pub fn linear_fit(points: &[(usize, f64)]) -> (f64, f64) {
+    let n = points.len() as f64;
+    if points.is_empty() {
+        return (0.0, 0.0);
+    }
+    let sx: f64 = points.iter().map(|&(x, _)| x as f64).sum();
+    let sy: f64 = points.iter().map(|&(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|&(x, _)| (x as f64) * (x as f64)).sum();
+    let sxy: f64 = points.iter().map(|&(x, y)| x as f64 * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return (0.0, sy / n);
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    (slope, (sy - slope * sx) / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn red_circle_among_blue_circles_is_feature_search() {
+        // Fig. 3 exactly: same shape, unique color.
+        let target = Item { shape: 0, color: 1 }; // red circle
+        let distractors = vec![Item { shape: 0, color: 0 }; 50]; // blue circles
+        assert_eq!(classify_search(target, &distractors), SearchCondition::Feature);
+    }
+
+    #[test]
+    fn red_circle_among_blue_circles_and_red_squares_is_conjunction() {
+        // The classic conjunction display from §II.B.1.
+        let target = Item { shape: 0, color: 1 };
+        let mut distractors = vec![Item { shape: 0, color: 0 }; 25]; // blue circles
+        distractors.extend(vec![Item { shape: 1, color: 1 }; 25]); // red squares
+        assert_eq!(classify_search(target, &distractors), SearchCondition::Conjunction);
+    }
+
+    #[test]
+    fn identical_distractor_defeats_search() {
+        let target = Item { shape: 0, color: 1 };
+        let distractors = vec![Item { shape: 0, color: 1 }];
+        assert_eq!(classify_search(target, &distractors), SearchCondition::Indistinguishable);
+    }
+
+    #[test]
+    fn unique_shape_is_also_preattentive() {
+        // "searching for circles in a figure with many squares".
+        let target = Item { shape: 0, color: 0 };
+        let distractors = vec![Item { shape: 1, color: 0 }; 40];
+        assert_eq!(classify_search(target, &distractors), SearchCondition::Feature);
+    }
+
+    #[test]
+    fn feature_search_is_flat() {
+        let exp = SearchExperiment::default();
+        let r = exp.run(SearchCondition::Feature, &mut rng());
+        assert!(
+            r.slope.abs() < 1.0,
+            "feature slope should be ~0 ms/item, got {:.2}",
+            r.slope
+        );
+        assert!((400.0..520.0).contains(&r.intercept), "intercept {:.0}", r.intercept);
+    }
+
+    #[test]
+    fn conjunction_search_is_linear() {
+        let exp = SearchExperiment::default();
+        let r = exp.run(SearchCondition::Conjunction, &mut rng());
+        // Present trials: expected slope ≈ half the per-item cost.
+        let expected = exp.model.slope_ms_per_item / 2.0;
+        assert!(
+            (r.slope - expected).abs() < expected * 0.25,
+            "conjunction slope {:.1}, expected ≈{expected:.1}",
+            r.slope
+        );
+    }
+
+    #[test]
+    fn absent_trials_cost_twice_present() {
+        let model = RtModel { noise_sd_ms: 0.0, ..RtModel::default() };
+        let mut r = rng();
+        let n = 100;
+        let reps = 2_000;
+        let present: f64 = (0..reps)
+            .map(|_| simulate_rt(SearchCondition::Conjunction, n, true, &model, &mut r))
+            .sum::<f64>()
+            / reps as f64;
+        let absent =
+            simulate_rt(SearchCondition::Conjunction, n, false, &model, &mut r);
+        let present_scan = present - model.base_ms;
+        let absent_scan = absent - model.base_ms;
+        assert!(
+            (absent_scan / present_scan - 2.0).abs() < 0.2,
+            "absent/present scan ratio {:.2}",
+            absent_scan / present_scan
+        );
+    }
+
+    #[test]
+    fn rt_never_below_physiological_floor() {
+        let model = RtModel { base_ms: 120.0, noise_sd_ms: 500.0, ..RtModel::default() };
+        let mut r = rng();
+        for _ in 0..1_000 {
+            assert!(simulate_rt(SearchCondition::Feature, 1, true, &model, &mut r) >= 100.0);
+        }
+    }
+
+    #[test]
+    fn linear_fit_recovers_known_line() {
+        let pts: Vec<(usize, f64)> = (0..20).map(|x| (x, 3.0 * x as f64 + 7.0)).collect();
+        let (slope, intercept) = linear_fit(&pts);
+        assert!((slope - 3.0).abs() < 1e-9);
+        assert!((intercept - 7.0).abs() < 1e-9);
+        assert_eq!(linear_fit(&[]), (0.0, 0.0));
+        let flat = vec![(5usize, 2.0), (5, 4.0)];
+        let (s, i) = linear_fit(&flat);
+        assert_eq!(s, 0.0);
+        assert!((i - 3.0).abs() < 1e-9);
+    }
+}

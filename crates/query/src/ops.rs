@@ -1,0 +1,174 @@
+//! The workbench operators: sorting and aligning histories.
+//!
+//! §IV.B: "In an aligned diagram, the axis shows the number of months
+//! before and after the alignment point." Alignment computes, per history,
+//! the anchor instant (the first entry matching a predicate — "merged
+//! around the first incidence of diabetes"); histories with no anchor drop
+//! out of the aligned view.
+
+use crate::predicate::EntryPredicate;
+use pastas_model::{History, HistoryCollection, PatientId};
+use pastas_time::DateTime;
+use std::collections::HashMap;
+
+/// Per-history anchors for the aligned axis mode.
+#[derive(Debug, Clone, Default)]
+pub struct Alignment {
+    anchors: HashMap<PatientId, DateTime>,
+}
+
+impl Alignment {
+    /// The anchor for a patient, if the history had a matching entry.
+    pub fn anchor(&self, id: PatientId) -> Option<DateTime> {
+        self.anchors.get(&id).copied()
+    }
+
+    /// Number of aligned histories.
+    pub fn len(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// True if no history anchored.
+    pub fn is_empty(&self) -> bool {
+        self.anchors.is_empty()
+    }
+
+    /// Patients that anchored, unordered.
+    pub fn patients(&self) -> impl Iterator<Item = PatientId> + '_ {
+        self.anchors.keys().copied()
+    }
+}
+
+/// Compute anchors: the **first** entry of each history matching `pred`.
+pub fn align_on(collection: &HistoryCollection, pred: &EntryPredicate) -> Alignment {
+    let mut anchors = HashMap::new();
+    for h in collection {
+        if let Some(e) = h.first_matching(|e| pred.matches(e)) {
+            anchors.insert(h.id(), e.start());
+        }
+    }
+    Alignment { anchors }
+}
+
+/// Sort keys for the vertical order of the display.
+#[derive(Debug, Clone)]
+pub enum SortKey {
+    /// By patient id (the database order of Fig. 1).
+    PatientId,
+    /// By first entry time.
+    FirstEntry,
+    /// By total number of entries (utilization).
+    EntryCount,
+    /// By history span (long trajectories first when descending).
+    Span,
+    /// By anchor time under an alignment (unanchored histories last).
+    Anchor(Alignment),
+}
+
+/// Return history positions in sorted order (stable, ascending).
+pub fn sort_histories(collection: &HistoryCollection, key: &SortKey) -> Vec<u32> {
+    let hs = collection.histories();
+    let mut order: Vec<u32> = (0..hs.len() as u32).collect();
+    let sort_value = |h: &History| -> i64 {
+        match key {
+            SortKey::PatientId => h.id().0 as i64,
+            SortKey::FirstEntry => h
+                .first_time()
+                .map(|t| t.second_number())
+                .unwrap_or(i64::MAX),
+            SortKey::EntryCount => h.len() as i64,
+            SortKey::Span => h.span().map(|d| d.as_seconds()).unwrap_or(-1),
+            SortKey::Anchor(a) => a
+                .anchor(h.id())
+                .map(|t| t.second_number())
+                .unwrap_or(i64::MAX),
+        }
+    };
+    order.sort_by_key(|&i| sort_value(&hs[i as usize]));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_codes::Code;
+    use pastas_model::{Entry, Patient, Payload, Sex, SourceKind};
+    use pastas_time::Date;
+
+    fn t(y: i32, m: u32, d: u32) -> DateTime {
+        Date::new(y, m, d).unwrap().at_midnight()
+    }
+
+    fn history(id: u64, events: &[(&str, (i32, u32, u32))]) -> History {
+        let mut h = History::new(Patient {
+            id: PatientId(id),
+            birth_date: Date::new(1940, 1, 1).unwrap(),
+            sex: Sex::Female,
+        });
+        for &(code, (y, m, d)) in events {
+            h.insert(Entry::event(
+                t(y, m, d),
+                Payload::Diagnosis(Code::icpc(code)),
+                SourceKind::PrimaryCare,
+            ));
+        }
+        h
+    }
+
+    fn collection() -> HistoryCollection {
+        HistoryCollection::from_histories([
+            history(1, &[("A01", (2013, 1, 1)), ("T90", (2013, 6, 1)), ("T90", (2014, 1, 1))]),
+            history(2, &[("T90", (2013, 2, 1))]),
+            history(3, &[("K74", (2013, 3, 1))]), // never anchors on T90
+        ])
+    }
+
+    #[test]
+    fn alignment_uses_first_occurrence() {
+        let c = collection();
+        let a = align_on(&c, &EntryPredicate::code_regex("T90").unwrap());
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.anchor(PatientId(1)), Some(t(2013, 6, 1)), "first T90, not the 2014 one");
+        assert_eq!(a.anchor(PatientId(2)), Some(t(2013, 2, 1)));
+        assert_eq!(a.anchor(PatientId(3)), None);
+    }
+
+    #[test]
+    fn sort_by_patient_id_and_first_entry() {
+        let c = collection();
+        assert_eq!(sort_histories(&c, &SortKey::PatientId), vec![0, 1, 2]);
+        // First entries: h1=2013-01-01, h2=2013-02-01, h3=2013-03-01.
+        assert_eq!(sort_histories(&c, &SortKey::FirstEntry), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sort_by_entry_count_is_stable() {
+        let c = collection();
+        // Counts: 3, 1, 1 → ascending puts h2, h3 (stable) then h1.
+        assert_eq!(sort_histories(&c, &SortKey::EntryCount), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn sort_by_anchor_puts_unanchored_last() {
+        let c = collection();
+        let a = align_on(&c, &EntryPredicate::code_regex("T90").unwrap());
+        // Anchors: h1=2013-06-01, h2=2013-02-01, h3=None.
+        assert_eq!(sort_histories(&c, &SortKey::Anchor(a)), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn sort_by_span() {
+        let c = collection();
+        // Spans: h1 = one year, h2 = h3 = zero.
+        let order = sort_histories(&c, &SortKey::Span);
+        assert_eq!(order[2], 0, "longest span last when ascending");
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c = HistoryCollection::new();
+        let a = align_on(&c, &EntryPredicate::Any);
+        assert!(a.is_empty());
+        assert!(sort_histories(&c, &SortKey::PatientId).is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! A textual query language — the scriptable face of the Fig. 4 builder.
+//!
+//! §IV.A: "While being a useful tool for computer scientists, general
+//! practitioners cannot be expected to be acquainted with regular
+//! expressions. This means that a graphical user interface is needed."
+//! The GUI compiles to [`HistoryQuery`]; so does this little language, so
+//! saved queries and scripted analyses have a readable, diffable form:
+//!
+//! ```text
+//! has(T90|T89) and age(50..80) and count(diagnosis) >= 3
+//! (has(K77) or has(I50.*)) and not lacks(C07.*) and sex(F)
+//! ```
+//!
+//! Grammar (casual EBNF):
+//!
+//! ```text
+//! query   := or
+//! or      := and { "or" and }
+//! and     := not { "and" not }
+//! not     := "not" not | primary
+//! primary := "(" or ")" | clause
+//! clause  := "has" "(" regex ")"
+//!          | "lacks" "(" regex ")"
+//!          | "count" "(" counted ")" (">=" | "<=") integer
+//!          | "age" "(" integer ".." integer ")"
+//!          | "sex" "(" ("F" | "M") ")"
+//! counted := "diagnosis" | "medication" | "interval" | "any" | regex
+//! ```
+//!
+//! Regexes run to the matching close-paren (nested parens balanced), so
+//! `has(E1(0|1|4).*)` works. The `age` clause is evaluated at a reference
+//! date supplied by the caller.
+
+use crate::predicate::EntryPredicate;
+use crate::query::HistoryQuery;
+use pastas_model::Sex;
+use pastas_time::Date;
+use std::fmt;
+
+/// A query-language parse error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub position: usize,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// Parse a query. `age(..)` clauses evaluate at `reference_date`.
+pub fn parse_query(text: &str, reference_date: Date) -> Result<HistoryQuery, QueryParseError> {
+    let mut p = P { text, pos: 0, reference_date };
+    p.ws();
+    let q = p.or_expr()?;
+    p.ws();
+    if p.pos != p.text.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(q)
+}
+
+struct P<'a> {
+    text: &'a str,
+    pos: usize,
+    reference_date: Date,
+}
+
+impl P<'_> {
+    fn err(&self, message: &str) -> QueryParseError {
+        QueryParseError { message: message.to_owned(), position: self.pos }
+    }
+
+    fn rest(&self) -> &str {
+        &self.text[self.pos..]
+    }
+
+    fn ws(&mut self) {
+        while self.rest().starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consume a keyword followed by a non-word boundary.
+    fn keyword(&mut self, kw: &str) -> bool {
+        let rest = self.rest();
+        if rest.starts_with(kw) {
+            let after = rest[kw.len()..].chars().next();
+            if !after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                self.pos += kw.len();
+                self.ws();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), QueryParseError> {
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            self.ws();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {token:?}")))
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<HistoryQuery, QueryParseError> {
+        let mut branches = vec![self.and_expr()?];
+        while self.keyword("or") {
+            branches.push(self.and_expr()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            HistoryQuery::Or(branches)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<HistoryQuery, QueryParseError> {
+        let mut parts = vec![self.not_expr()?];
+        while self.keyword("and") {
+            parts.push(self.not_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            HistoryQuery::And(parts)
+        })
+    }
+
+    fn not_expr(&mut self) -> Result<HistoryQuery, QueryParseError> {
+        if self.keyword("not") {
+            return Ok(HistoryQuery::Not(Box::new(self.not_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<HistoryQuery, QueryParseError> {
+        if self.rest().starts_with('(') {
+            self.expect("(")?;
+            let q = self.or_expr()?;
+            self.expect(")")?;
+            return Ok(q);
+        }
+        if self.keyword("has") {
+            let re = self.paren_regex()?;
+            return Ok(HistoryQuery::any(self.compile(&re)?));
+        }
+        if self.keyword("lacks") {
+            let re = self.paren_regex()?;
+            return Ok(HistoryQuery::none(self.compile(&re)?));
+        }
+        if self.keyword("count") {
+            let inner = self.paren_regex()?;
+            let pred = match inner.trim() {
+                "diagnosis" => EntryPredicate::IsDiagnosis,
+                "medication" => EntryPredicate::IsMedication,
+                "interval" => EntryPredicate::IsInterval,
+                "any" => EntryPredicate::Any,
+                regex => self.compile(regex)?,
+            };
+            let at_least = if self.rest().starts_with(">=") {
+                self.expect(">=")?;
+                true
+            } else if self.rest().starts_with("<=") {
+                self.expect("<=")?;
+                false
+            } else {
+                return Err(self.err("expected >= or <= after count(...)"));
+            };
+            let n = self.integer()?;
+            return Ok(if at_least {
+                HistoryQuery::CountAtLeast(pred, n as usize)
+            } else {
+                HistoryQuery::CountAtMost(pred, n as usize)
+            });
+        }
+        if self.keyword("age") {
+            self.expect("(")?;
+            let min = self.integer()?;
+            self.expect("..")?;
+            let max = self.integer()?;
+            self.expect(")")?;
+            if max < min {
+                return Err(self.err("age range is reversed"));
+            }
+            return Ok(HistoryQuery::AgeBetween {
+                at: self.reference_date,
+                min: min as i32,
+                max: max as i32,
+            });
+        }
+        if self.keyword("sex") {
+            self.expect("(")?;
+            let sex = if self.keyword("F") {
+                Sex::Female
+            } else if self.keyword("M") {
+                Sex::Male
+            } else {
+                return Err(self.err("expected F or M"));
+            };
+            self.expect(")")?;
+            return Ok(HistoryQuery::SexIs(sex));
+        }
+        Err(self.err("expected a clause: has/lacks/count/age/sex, or a parenthesized query"))
+    }
+
+    /// Read `( … )` with balanced nested parens; returns the inside.
+    fn paren_regex(&mut self) -> Result<String, QueryParseError> {
+        self.expect("(")?;
+        let start = self.pos;
+        let mut depth = 1usize;
+        for (i, c) in self.rest().char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let inner = self.text[start..start + i].to_owned();
+                        self.pos = start + i + 1;
+                        self.ws();
+                        return Ok(inner);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Err(self.err("unclosed '('"))
+    }
+
+    fn compile(&self, pattern: &str) -> Result<EntryPredicate, QueryParseError> {
+        EntryPredicate::code_regex(pattern.trim()).map_err(|e| QueryParseError {
+            message: format!("bad regex {pattern:?}: {e}"),
+            position: self.pos,
+        })
+    }
+
+    fn integer(&mut self) -> Result<u64, QueryParseError> {
+        let digits: String = self.rest().chars().take_while(char::is_ascii_digit).collect();
+        if digits.is_empty() {
+            return Err(self.err("expected a number"));
+        }
+        self.pos += digits.len();
+        self.ws();
+        digits.parse().map_err(|_| self.err("number out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_codes::Code;
+    use pastas_model::{Entry, History, Patient, PatientId, Payload, SourceKind};
+
+    fn reference() -> Date {
+        Date::new(2013, 1, 1).unwrap()
+    }
+
+    fn q(text: &str) -> HistoryQuery {
+        parse_query(text, reference()).unwrap_or_else(|e| panic!("{text:?}: {e}"))
+    }
+
+    fn history(id: u64, birth_year: i32, codes: &[&str]) -> History {
+        let mut h = History::new(Patient {
+            id: PatientId(id),
+            birth_date: Date::new(birth_year, 6, 1).unwrap(),
+            sex: if id % 2 == 0 { Sex::Female } else { Sex::Male },
+        });
+        for (i, code) in codes.iter().enumerate() {
+            h.insert(Entry::event(
+                Date::new(2013, 1 + (i as u32 % 12), 1).unwrap().at_midnight(),
+                Payload::Diagnosis(Code::icpc(code)),
+                SourceKind::PrimaryCare,
+            ));
+        }
+        h
+    }
+
+    #[test]
+    fn the_running_example() {
+        let query = q("has(T90|T89) and age(50..80) and count(diagnosis) >= 3");
+        let hit = history(2, 1950, &["T90", "A01", "K86"]);
+        let too_few = history(4, 1950, &["T90"]);
+        let too_young = history(6, 1990, &["T90", "A01", "K86"]);
+        assert!(query.matches(&hit));
+        assert!(!query.matches(&too_few));
+        assert!(!query.matches(&too_young));
+    }
+
+    #[test]
+    fn nested_regex_parens_balance() {
+        let query = q("has(E1(0|1|4).*)");
+        let mut h = History::new(Patient {
+            id: PatientId(1),
+            birth_date: Date::new(1950, 1, 1).unwrap(),
+            sex: Sex::Male,
+        });
+        h.insert(Entry::event(
+            Date::new(2013, 5, 1).unwrap().at_midnight(),
+            Payload::Diagnosis(Code::icd10("E11.9")),
+            SourceKind::Hospital,
+        ));
+        assert!(query.matches(&h));
+    }
+
+    #[test]
+    fn boolean_structure_and_precedence() {
+        // and binds tighter than or.
+        let query = q("has(A01) or has(T90) and has(K86)");
+        assert!(query.matches(&history(1, 1950, &["A01"])));
+        assert!(query.matches(&history(1, 1950, &["T90", "K86"])));
+        assert!(!query.matches(&history(1, 1950, &["T90"])));
+        // Parens override.
+        let query = q("(has(A01) or has(T90)) and has(K86)");
+        assert!(!query.matches(&history(1, 1950, &["A01"])));
+        assert!(query.matches(&history(1, 1950, &["A01", "K86"])));
+    }
+
+    #[test]
+    fn not_and_lacks() {
+        let no_dm = q("not has(T90)");
+        assert!(no_dm.matches(&history(1, 1950, &["A01"])));
+        assert!(!no_dm.matches(&history(1, 1950, &["T90"])));
+        let lacks = q("lacks(T90)");
+        assert!(lacks.matches(&history(1, 1950, &["A01"])));
+        // Double negation.
+        assert!(q("not not has(T90)").matches(&history(1, 1950, &["T90"])));
+    }
+
+    #[test]
+    fn count_variants() {
+        let at_most = q("count(T90) <= 1");
+        assert!(at_most.matches(&history(1, 1950, &["T90"])));
+        assert!(!at_most.matches(&history(1, 1950, &["T90", "T90"])));
+        let regex_count = q("count(K.*) >= 2");
+        assert!(regex_count.matches(&history(1, 1950, &["K86", "K74"])));
+        assert!(!regex_count.matches(&history(1, 1950, &["K86"])));
+    }
+
+    #[test]
+    fn sex_clause() {
+        assert!(q("sex(F)").matches(&history(2, 1950, &[])));
+        assert!(!q("sex(F)").matches(&history(1, 1950, &[])));
+        assert!(q("sex(M)").matches(&history(1, 1950, &[])));
+    }
+
+    #[test]
+    fn whitespace_is_free() {
+        let a = q("has(T90)and age(50..80)");
+        let b = q("  has( T90 )  and\n  age( 50 .. 80 )  ");
+        let h = history(2, 1950, &["T90"]);
+        assert_eq!(a.matches(&h), b.matches(&h));
+    }
+
+    #[test]
+    fn error_reporting() {
+        for (bad, expect) in [
+            ("", "expected a clause"),
+            ("has(T90", "unclosed"),
+            ("has(T90) extra", "trailing"),
+            ("count(diagnosis) > 3", "expected >= or <="),
+            ("age(80..50)", "reversed"),
+            ("sex(X)", "expected F or M"),
+            ("has(T90[)", "bad regex"),
+            ("age(a..b)", "expected a number"),
+        ] {
+            let e = parse_query(bad, reference()).unwrap_err();
+            assert!(
+                e.message.contains(expect),
+                "{bad:?} gave {:?}, wanted {expect:?}",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn keywords_do_not_swallow_identifier_prefixes() {
+        // "android" must not parse as "and".
+        assert!(parse_query("has(T90) android", reference()).is_err());
+        // A regex containing the word "or" is untouched inside parens.
+        let query = q("has(T90|K74)");
+        assert!(query.matches(&history(1, 1950, &["K74"])));
+    }
+
+    #[test]
+    fn parsed_queries_agree_with_the_builder() {
+        use crate::query::QueryBuilder;
+        let parsed = q("has(T90|T89) and age(50..80)");
+        let built = QueryBuilder::new()
+            .has_code("T90|T89")
+            .unwrap()
+            .age_between(reference(), 50, 80)
+            .build();
+        for h in [
+            history(2, 1950, &["T90"]),
+            history(4, 1990, &["T90"]),
+            history(6, 1950, &["A01"]),
+        ] {
+            assert_eq!(parsed.matches(&h), built.matches(&h));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Entry-level predicates with boolean composition.
+
+use pastas_codes::{Code, CodeSystem};
+use pastas_model::{Entry, MeasurementKind, Payload, SourceKind};
+use pastas_regex::Regex;
+use pastas_time::Date;
+
+/// A predicate over a single [`Entry`]. This is the atom of the Fig. 4
+/// query builder: every row in that dialog compiles to one of these.
+#[derive(Debug, Clone)]
+pub enum EntryPredicate {
+    /// Always true (the builder's empty state).
+    Any,
+    /// The entry's code matches a regex **in full** (the §IV.A semantics:
+    /// `F.*` selects chapter F codes, never `XF1`).
+    CodeMatches(Regex),
+    /// The entry's code equals or descends from the given code.
+    CodeWithin(Code),
+    /// The entry's code belongs to a code system.
+    System(CodeSystem),
+    /// The entry was aggregated from a given source.
+    Source(SourceKind),
+    /// The entry is a diagnosis.
+    IsDiagnosis,
+    /// The entry is a medication record.
+    IsMedication,
+    /// The entry is a measurement of the given kind, within `[lo, hi]`.
+    MeasurementIn {
+        /// Measured quantity.
+        kind: MeasurementKind,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// The entry is an interval (episode) entry.
+    IsInterval,
+    /// The entry overlaps the closed date window `[from, to]`.
+    InWindow {
+        /// Window start (inclusive).
+        from: Date,
+        /// Window end (inclusive).
+        to: Date,
+    },
+    /// Conjunction.
+    And(Vec<EntryPredicate>),
+    /// Disjunction.
+    Or(Vec<EntryPredicate>),
+    /// Negation.
+    Not(Box<EntryPredicate>),
+}
+
+impl EntryPredicate {
+    /// Compile a code regex predicate (full-match semantics).
+    pub fn code_regex(pattern: &str) -> Result<EntryPredicate, pastas_regex::ParseError> {
+        Ok(EntryPredicate::CodeMatches(Regex::new(pattern)?))
+    }
+
+    /// Evaluate against an entry.
+    pub fn matches(&self, entry: &Entry) -> bool {
+        match self {
+            EntryPredicate::Any => true,
+            EntryPredicate::CodeMatches(re) => {
+                entry.code().is_some_and(|c| re.is_full_match(&c.value))
+            }
+            EntryPredicate::CodeWithin(root) => {
+                entry.code().is_some_and(|c| c.is_within(root))
+            }
+            EntryPredicate::System(sys) => entry.code().is_some_and(|c| c.system == *sys),
+            EntryPredicate::Source(s) => entry.source() == *s,
+            EntryPredicate::IsDiagnosis => matches!(entry.payload(), Payload::Diagnosis(_)),
+            EntryPredicate::IsMedication => matches!(entry.payload(), Payload::Medication(_)),
+            EntryPredicate::MeasurementIn { kind, lo, hi } => match entry.payload() {
+                Payload::Measurement { kind: k, value } => {
+                    k == kind && (*lo..=*hi).contains(value)
+                }
+                _ => false,
+            },
+            EntryPredicate::IsInterval => entry.is_interval(),
+            EntryPredicate::InWindow { from, to } => {
+                entry.overlaps(from.at_midnight(), to.at(23, 59, 59).expect("valid clock"))
+            }
+            EntryPredicate::And(ps) => ps.iter().all(|p| p.matches(entry)),
+            EntryPredicate::Or(ps) => ps.iter().any(|p| p.matches(entry)),
+            EntryPredicate::Not(p) => !p.matches(entry),
+        }
+    }
+
+    /// Convenience conjunction.
+    pub fn and(self, other: EntryPredicate) -> EntryPredicate {
+        match self {
+            EntryPredicate::And(mut ps) => {
+                ps.push(other);
+                EntryPredicate::And(ps)
+            }
+            p => EntryPredicate::And(vec![p, other]),
+        }
+    }
+
+    /// Convenience disjunction.
+    pub fn or(self, other: EntryPredicate) -> EntryPredicate {
+        match self {
+            EntryPredicate::Or(mut ps) => {
+                ps.push(other);
+                EntryPredicate::Or(ps)
+            }
+            p => EntryPredicate::Or(vec![p, other]),
+        }
+    }
+
+    /// Convenience negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> EntryPredicate {
+        EntryPredicate::Not(Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_model::EpisodeKind;
+    use pastas_time::DateTime;
+
+    fn t(y: i32, m: u32, d: u32) -> DateTime {
+        Date::new(y, m, d).unwrap().at_midnight()
+    }
+
+    fn diag(code: &str) -> Entry {
+        Entry::event(t(2014, 6, 1), Payload::Diagnosis(Code::icpc(code)), SourceKind::PrimaryCare)
+    }
+
+    fn med(code: &str) -> Entry {
+        Entry::event(t(2014, 6, 1), Payload::Medication(Code::atc(code)), SourceKind::Prescription)
+    }
+
+    #[test]
+    fn the_papers_eye_or_ear_filter() {
+        let p = EntryPredicate::code_regex("F.*|H.*").unwrap();
+        assert!(p.matches(&diag("F83")));
+        assert!(p.matches(&diag("H71")));
+        assert!(!p.matches(&diag("T90")));
+        assert!(!p.matches(&med("C07AB02")), "full-match never hits ATC codes by accident");
+    }
+
+    #[test]
+    fn code_within_walks_hierarchies() {
+        let p = EntryPredicate::CodeWithin(Code::atc("C07"));
+        assert!(p.matches(&med("C07AB02")));
+        assert!(!p.matches(&med("A10BA02")));
+        assert!(!p.matches(&diag("K74")), "cross-system never matches");
+    }
+
+    #[test]
+    fn source_and_kind_predicates() {
+        assert!(EntryPredicate::Source(SourceKind::PrimaryCare).matches(&diag("A01")));
+        assert!(!EntryPredicate::Source(SourceKind::Hospital).matches(&diag("A01")));
+        assert!(EntryPredicate::IsDiagnosis.matches(&diag("A01")));
+        assert!(!EntryPredicate::IsDiagnosis.matches(&med("N02BE01")));
+        assert!(EntryPredicate::IsMedication.matches(&med("N02BE01")));
+        assert!(EntryPredicate::System(CodeSystem::Atc).matches(&med("N02BE01")));
+    }
+
+    #[test]
+    fn measurement_ranges() {
+        let high_bp = Entry::event(
+            t(2014, 6, 1),
+            Payload::Measurement { kind: MeasurementKind::SystolicBp, value: 165.0 },
+            SourceKind::PrimaryCare,
+        );
+        let p = EntryPredicate::MeasurementIn { kind: MeasurementKind::SystolicBp, lo: 140.0, hi: 300.0 };
+        assert!(p.matches(&high_bp));
+        let p2 = EntryPredicate::MeasurementIn { kind: MeasurementKind::SystolicBp, lo: 90.0, hi: 140.0 };
+        assert!(!p2.matches(&high_bp));
+        let p3 = EntryPredicate::MeasurementIn { kind: MeasurementKind::Hba1c, lo: 0.0, hi: 300.0 };
+        assert!(!p3.matches(&high_bp), "kind must match");
+    }
+
+    #[test]
+    fn window_predicate_includes_overlapping_intervals() {
+        let stay = Entry::interval(
+            t(2014, 5, 20),
+            t(2014, 6, 10),
+            Payload::Episode(EpisodeKind::Inpatient),
+            SourceKind::Hospital,
+        );
+        let w = EntryPredicate::InWindow {
+            from: Date::new(2014, 6, 1).unwrap(),
+            to: Date::new(2014, 6, 30).unwrap(),
+        };
+        assert!(w.matches(&stay), "interval spans into the window");
+        assert!(w.matches(&diag("A01")));
+        let w2 = EntryPredicate::InWindow {
+            from: Date::new(2015, 1, 1).unwrap(),
+            to: Date::new(2015, 12, 31).unwrap(),
+        };
+        assert!(!w2.matches(&stay));
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let p = EntryPredicate::IsDiagnosis
+            .and(EntryPredicate::code_regex("T.*").unwrap())
+            .or(EntryPredicate::IsMedication);
+        assert!(p.matches(&diag("T90")));
+        assert!(!p.matches(&diag("K74")));
+        assert!(p.matches(&med("C07AB02")));
+        assert!(!EntryPredicate::Any.not().matches(&diag("T90")));
+    }
+
+    #[test]
+    fn interval_predicate() {
+        let stay = Entry::interval(
+            t(2014, 1, 1),
+            t(2014, 1, 5),
+            Payload::Episode(EpisodeKind::Inpatient),
+            SourceKind::Hospital,
+        );
+        assert!(EntryPredicate::IsInterval.matches(&stay));
+        assert!(!EntryPredicate::IsInterval.matches(&diag("A01")));
+    }
+}

@@ -1,0 +1,326 @@
+//! History-level queries and the Fig. 4 query builder.
+
+use crate::predicate::EntryPredicate;
+use crate::temporal::TemporalPattern;
+use pastas_model::{History, Sex};
+use pastas_time::Date;
+
+/// A query over a whole patient history — the unit the cohort selector
+/// evaluates. "General practitioners cannot be expected to be acquainted
+/// with regular expressions. This means that a graphical user interface is
+/// needed" (§IV.A): [`QueryBuilder`] is that interface, headless.
+#[derive(Debug, Clone)]
+pub enum HistoryQuery {
+    /// Every history.
+    All,
+    /// At least `n` entries match the predicate.
+    CountAtLeast(EntryPredicate, usize),
+    /// At most `n` entries match the predicate (0 = absence, the paper's
+    /// "presence or absence of a given code").
+    CountAtMost(EntryPredicate, usize),
+    /// The temporal pattern has at least one hit.
+    Pattern(TemporalPattern),
+    /// Patient age at `at` is within `[min, max]`.
+    AgeBetween {
+        /// Reference date for the age computation.
+        at: Date,
+        /// Inclusive minimum age in years.
+        min: i32,
+        /// Inclusive maximum age in years.
+        max: i32,
+    },
+    /// Patient sex.
+    SexIs(Sex),
+    /// Conjunction.
+    And(Vec<HistoryQuery>),
+    /// Disjunction.
+    Or(Vec<HistoryQuery>),
+    /// Negation.
+    Not(Box<HistoryQuery>),
+}
+
+impl HistoryQuery {
+    /// Shorthand: at least one entry matches.
+    pub fn any(pred: EntryPredicate) -> HistoryQuery {
+        HistoryQuery::CountAtLeast(pred, 1)
+    }
+
+    /// Shorthand: no entry matches.
+    pub fn none(pred: EntryPredicate) -> HistoryQuery {
+        HistoryQuery::CountAtMost(pred, 0)
+    }
+
+    /// Evaluate against one history.
+    pub fn matches(&self, history: &History) -> bool {
+        match self {
+            HistoryQuery::All => true,
+            HistoryQuery::CountAtLeast(p, n) => {
+                // Short-circuit at n.
+                let mut count = 0;
+                for e in history.entries() {
+                    if p.matches(e) {
+                        count += 1;
+                        if count >= *n {
+                            return true;
+                        }
+                    }
+                }
+                *n == 0
+            }
+            HistoryQuery::CountAtMost(p, n) => {
+                let mut count = 0;
+                for e in history.entries() {
+                    if p.matches(e) {
+                        count += 1;
+                        if count > *n {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            HistoryQuery::Pattern(pat) => pat.matches(history),
+            HistoryQuery::AgeBetween { at, min, max } => {
+                let age = history.age_at(*at);
+                (*min..=*max).contains(&age)
+            }
+            HistoryQuery::SexIs(s) => history.patient().sex == *s,
+            HistoryQuery::And(qs) => qs.iter().all(|q| q.matches(history)),
+            HistoryQuery::Or(qs) => qs.iter().any(|q| q.matches(history)),
+            HistoryQuery::Not(q) => !q.matches(history),
+        }
+    }
+
+    /// The code-regex patterns this query mentions positively (candidates
+    /// the inverted index can pre-filter on). Conservative: returns `None`
+    /// when the query cannot be pre-filtered (e.g. under negation).
+    pub fn positive_code_regexes(&self) -> Option<Vec<String>> {
+        match self {
+            HistoryQuery::CountAtLeast(p, n) if *n >= 1 => positive_regexes_of(p),
+            HistoryQuery::And(qs) => {
+                // Any single conjunct's candidates bound the result set.
+                qs.iter().find_map(|q| q.positive_code_regexes())
+            }
+            HistoryQuery::Or(qs) => {
+                // All branches must be pre-filterable; union their patterns.
+                let mut out = Vec::new();
+                for q in qs {
+                    out.extend(q.positive_code_regexes()?);
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn positive_regexes_of(p: &EntryPredicate) -> Option<Vec<String>> {
+    match p {
+        EntryPredicate::CodeMatches(re) => Some(vec![re.pattern().to_owned()]),
+        EntryPredicate::And(ps) => ps.iter().find_map(positive_regexes_of),
+        EntryPredicate::Or(ps) => {
+            let mut out = Vec::new();
+            for q in ps {
+                out.extend(positive_regexes_of(q)?);
+            }
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// Fluent builder for [`HistoryQuery`] — the headless Fig. 4 dialog.
+///
+/// ```
+/// use pastas_query::{QueryBuilder, EntryPredicate};
+/// // "Diabetes patients aged 40–80 with at least 3 GP contacts"
+/// let q = QueryBuilder::new()
+///     .has_code("T90|E1[014].*").unwrap()
+///     .age_between(pastas_time::Date::new(2013, 1, 1).unwrap(), 40, 80)
+///     .count_at_least(EntryPredicate::IsDiagnosis, 3)
+///     .build();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueryBuilder {
+    clauses: Vec<HistoryQuery>,
+}
+
+impl QueryBuilder {
+    /// An empty builder (builds to [`HistoryQuery::All`]).
+    pub fn new() -> QueryBuilder {
+        QueryBuilder::default()
+    }
+
+    /// Require at least one entry whose code matches the regex in full.
+    pub fn has_code(mut self, pattern: &str) -> Result<QueryBuilder, pastas_regex::ParseError> {
+        self.clauses.push(HistoryQuery::any(EntryPredicate::code_regex(pattern)?));
+        Ok(self)
+    }
+
+    /// Require the absence of any entry whose code matches.
+    pub fn lacks_code(mut self, pattern: &str) -> Result<QueryBuilder, pastas_regex::ParseError> {
+        self.clauses.push(HistoryQuery::none(EntryPredicate::code_regex(pattern)?));
+        Ok(self)
+    }
+
+    /// Require at least `n` entries matching a predicate.
+    pub fn count_at_least(mut self, pred: EntryPredicate, n: usize) -> QueryBuilder {
+        self.clauses.push(HistoryQuery::CountAtLeast(pred, n));
+        self
+    }
+
+    /// Require age within `[min, max]` at the reference date.
+    pub fn age_between(mut self, at: Date, min: i32, max: i32) -> QueryBuilder {
+        self.clauses.push(HistoryQuery::AgeBetween { at, min, max });
+        self
+    }
+
+    /// Require a sex.
+    pub fn sex(mut self, sex: Sex) -> QueryBuilder {
+        self.clauses.push(HistoryQuery::SexIs(sex));
+        self
+    }
+
+    /// Require a temporal pattern hit.
+    pub fn pattern(mut self, pattern: TemporalPattern) -> QueryBuilder {
+        self.clauses.push(HistoryQuery::Pattern(pattern));
+        self
+    }
+
+    /// Add an arbitrary clause.
+    pub fn clause(mut self, q: HistoryQuery) -> QueryBuilder {
+        self.clauses.push(q);
+        self
+    }
+
+    /// Build the conjunction of all clauses.
+    pub fn build(self) -> HistoryQuery {
+        match self.clauses.len() {
+            0 => HistoryQuery::All,
+            1 => self.clauses.into_iter().next().expect("one clause"),
+            _ => HistoryQuery::And(self.clauses),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_codes::Code;
+    use pastas_model::{Entry, Patient, PatientId, Payload, SourceKind};
+
+    fn history(id: u64, birth_year: i32, codes: &[&str]) -> History {
+        let mut h = History::new(Patient {
+            id: PatientId(id),
+            birth_date: Date::new(birth_year, 6, 1).unwrap(),
+            sex: if id % 2 == 0 { Sex::Female } else { Sex::Male },
+        });
+        for (i, code) in codes.iter().enumerate() {
+            h.insert(Entry::event(
+                Date::new(2013, 1 + (i as u32 % 12), 1).unwrap().at_midnight(),
+                Payload::Diagnosis(Code::icpc(code)),
+                SourceKind::PrimaryCare,
+            ));
+        }
+        h
+    }
+
+    #[test]
+    fn presence_and_absence() {
+        let diabetic = history(1, 1950, &["A01", "T90"]);
+        let healthy = history(2, 1950, &["A01"]);
+        let has = QueryBuilder::new().has_code("T90").unwrap().build();
+        assert!(has.matches(&diabetic));
+        assert!(!has.matches(&healthy));
+        let lacks = QueryBuilder::new().lacks_code("T90").unwrap().build();
+        assert!(!lacks.matches(&diabetic));
+        assert!(lacks.matches(&healthy));
+    }
+
+    #[test]
+    fn count_thresholds_short_circuit() {
+        let frequent = history(1, 1950, &["T90", "T90", "T90", "A01"]);
+        let rare = history(2, 1950, &["T90"]);
+        let q = HistoryQuery::CountAtLeast(EntryPredicate::code_regex("T90").unwrap(), 3);
+        assert!(q.matches(&frequent));
+        assert!(!q.matches(&rare));
+        let zero = HistoryQuery::CountAtLeast(EntryPredicate::code_regex("Z99").unwrap(), 0);
+        assert!(zero.matches(&rare), "count >= 0 is vacuous");
+    }
+
+    #[test]
+    fn age_bounds() {
+        let old = history(1, 1935, &[]);
+        let young = history(2, 1990, &[]);
+        let at = Date::new(2013, 1, 1).unwrap();
+        let q = QueryBuilder::new().age_between(at, 65, 120).build();
+        assert!(q.matches(&old));
+        assert!(!q.matches(&young));
+    }
+
+    #[test]
+    fn sex_clause() {
+        let female = history(2, 1950, &[]);
+        let male = history(1, 1950, &[]);
+        let q = QueryBuilder::new().sex(Sex::Female).build();
+        assert!(q.matches(&female));
+        assert!(!q.matches(&male));
+    }
+
+    #[test]
+    fn conjunction_of_clauses() {
+        let target = history(2, 1940, &["T90", "K74", "T90", "T90"]);
+        let too_young = history(4, 1990, &["T90", "T90", "T90"]);
+        let q = QueryBuilder::new()
+            .has_code("T90")
+            .unwrap()
+            .age_between(Date::new(2013, 1, 1).unwrap(), 60, 120)
+            .count_at_least(EntryPredicate::IsDiagnosis, 3)
+            .build();
+        assert!(q.matches(&target));
+        assert!(!q.matches(&too_young));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let a = history(1, 1950, &["T90"]);
+        let b = history(2, 1950, &["R95"]);
+        let c = history(3, 1950, &["A01"]);
+        let q = HistoryQuery::Or(vec![
+            HistoryQuery::any(EntryPredicate::code_regex("T90").unwrap()),
+            HistoryQuery::any(EntryPredicate::code_regex("R95").unwrap()),
+        ]);
+        assert!(q.matches(&a) && q.matches(&b) && !q.matches(&c));
+        let not = HistoryQuery::Not(Box::new(q));
+        assert!(!not.matches(&a) && not.matches(&c));
+    }
+
+    #[test]
+    fn empty_builder_matches_everything() {
+        let q = QueryBuilder::new().build();
+        assert!(matches!(q, HistoryQuery::All));
+        assert!(q.matches(&history(1, 1950, &[])));
+    }
+
+    #[test]
+    fn positive_regex_extraction_for_the_index() {
+        let q = QueryBuilder::new()
+            .has_code("T90")
+            .unwrap()
+            .age_between(Date::new(2013, 1, 1).unwrap(), 40, 90)
+            .build();
+        assert_eq!(q.positive_code_regexes(), Some(vec!["T90".to_owned()]));
+        // Negation defeats pre-filtering.
+        let n = QueryBuilder::new().lacks_code("T90").unwrap().build();
+        assert_eq!(n.positive_code_regexes(), None);
+        // Disjunction unions branches.
+        let o = HistoryQuery::Or(vec![
+            HistoryQuery::any(EntryPredicate::code_regex("T90").unwrap()),
+            HistoryQuery::any(EntryPredicate::code_regex("R95").unwrap()),
+        ]);
+        assert_eq!(
+            o.positive_code_regexes(),
+            Some(vec!["T90".to_owned(), "R95".to_owned()])
+        );
+    }
+}

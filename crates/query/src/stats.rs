@@ -1,0 +1,209 @@
+//! Cohort statistics — the numbers behind "researchers looking at data to
+//! be statistically evaluated, in order to discover new hypotheses or get
+//! ideas for the best analysis strategies" (§V).
+//!
+//! These are the summary tables the workbench shows next to the timeline:
+//! monthly utilization series, per-source entry counts, age structure, and
+//! per-code frequency — each computed in one pass over the collection.
+
+use crate::predicate::EntryPredicate;
+use pastas_model::{HistoryCollection, SourceKind};
+use pastas_time::Date;
+use std::collections::HashMap;
+
+/// Monthly utilization: entry counts per calendar month over `[from, to)`.
+///
+/// Intervals are counted in every month they overlap (a six-month home-care
+/// period contributes to six buckets) — the same semantics as the
+/// background bands in the visualization.
+pub fn monthly_utilization(
+    collection: &HistoryCollection,
+    from: Date,
+    to: Date,
+    filter: Option<&EntryPredicate>,
+) -> Vec<(Date, usize)> {
+    let mut months = Vec::new();
+    let mut cursor = from.first_of_month();
+    while cursor < to {
+        months.push(cursor);
+        cursor = cursor.add_months(1);
+    }
+    let mut counts = vec![0usize; months.len()];
+    for h in collection {
+        for e in h.entries() {
+            if filter.is_some_and(|f| !f.matches(e)) {
+                continue;
+            }
+            let start = e.start().date().max(from);
+            let end = e.end().date().min(to.add_days(-1));
+            if start > end {
+                continue;
+            }
+            let k0 = start.months_between(from).max(0) as usize;
+            let k1 = end.months_between(from).max(0) as usize;
+            for c in counts.iter_mut().take((k1 + 1).min(months.len())).skip(k0) {
+                *c += 1;
+            }
+        }
+    }
+    months.into_iter().zip(counts).collect()
+}
+
+/// Entry counts per source — the heterogeneity profile of the cohort.
+pub fn source_profile(collection: &HistoryCollection) -> Vec<(SourceKind, usize)> {
+    let mut counts: HashMap<SourceKind, usize> = HashMap::new();
+    for h in collection {
+        for e in h.entries() {
+            *counts.entry(e.source()).or_default() += 1;
+        }
+    }
+    SourceKind::ALL
+        .into_iter()
+        .map(|s| (s, counts.get(&s).copied().unwrap_or(0)))
+        .collect()
+}
+
+/// Age pyramid: patient counts per `bucket_years`-wide age band at `at`.
+/// Returns `(band start age, count)` for non-empty bands, ascending.
+pub fn age_pyramid(collection: &HistoryCollection, at: Date, bucket_years: i32) -> Vec<(i32, usize)> {
+    let bucket = bucket_years.max(1);
+    let mut counts: HashMap<i32, usize> = HashMap::new();
+    for h in collection {
+        let age = h.age_at(at);
+        let band = age.div_euclid(bucket) * bucket;
+        *counts.entry(band).or_default() += 1;
+    }
+    let mut out: Vec<(i32, usize)> = counts.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Code frequency: distinct patients per code value, descending — the
+/// "what is this cohort about?" table.
+pub fn code_frequency(collection: &HistoryCollection) -> Vec<(String, usize)> {
+    let mut per_code: HashMap<String, usize> = HashMap::new();
+    for h in collection {
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for e in h.entries() {
+            if let Some(c) = e.code() {
+                if seen.insert(&c.value) {
+                    *per_code.entry(c.value.clone()).or_default() += 1;
+                }
+            }
+        }
+    }
+    let mut out: Vec<(String, usize)> = per_code.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_codes::Code;
+    use pastas_model::{Entry, EpisodeKind, History, Patient, PatientId, Payload, Sex};
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::new(y, m, day).unwrap()
+    }
+
+    fn collection() -> HistoryCollection {
+        let mut h1 = History::new(Patient {
+            id: PatientId(1),
+            birth_date: d(1950, 6, 1),
+            sex: Sex::Female,
+        });
+        h1.insert(Entry::event(
+            d(2013, 1, 15).at_midnight(),
+            Payload::Diagnosis(Code::icpc("T90")),
+            SourceKind::PrimaryCare,
+        ));
+        h1.insert(Entry::event(
+            d(2013, 3, 2).at_midnight(),
+            Payload::Diagnosis(Code::icpc("T90")),
+            SourceKind::PrimaryCare,
+        ));
+        h1.insert(Entry::interval(
+            d(2013, 2, 10).at_midnight(),
+            d(2013, 4, 20).at_midnight(),
+            Payload::Episode(EpisodeKind::HomeCare),
+            SourceKind::Municipal,
+        ));
+        let mut h2 = History::new(Patient {
+            id: PatientId(2),
+            birth_date: d(1940, 1, 1),
+            sex: Sex::Male,
+        });
+        h2.insert(Entry::event(
+            d(2013, 1, 20).at_midnight(),
+            Payload::Diagnosis(Code::icpc("K74")),
+            SourceKind::Specialist,
+        ));
+        HistoryCollection::from_histories([h1, h2])
+    }
+
+    #[test]
+    fn monthly_series_counts_interval_overlap() {
+        let c = collection();
+        let series = monthly_utilization(&c, d(2013, 1, 1), d(2013, 6, 1), None);
+        assert_eq!(series.len(), 5);
+        let by_month: HashMap<u32, usize> =
+            series.iter().map(|(m, n)| (m.month(), *n)).collect();
+        assert_eq!(by_month[&1], 2, "two January events");
+        assert_eq!(by_month[&2], 1, "home care overlaps February");
+        assert_eq!(by_month[&3], 2, "March event + home care");
+        assert_eq!(by_month[&4], 1, "home care ends in April");
+        assert_eq!(by_month[&5], 0);
+    }
+
+    #[test]
+    fn monthly_series_respects_filters() {
+        let c = collection();
+        let only_diag = EntryPredicate::IsDiagnosis;
+        let series = monthly_utilization(&c, d(2013, 1, 1), d(2013, 6, 1), Some(&only_diag));
+        let total: usize = series.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 3, "three diagnosis events, no interval smearing");
+    }
+
+    #[test]
+    fn source_profile_covers_all_sources() {
+        let profile = source_profile(&collection());
+        assert_eq!(profile.len(), SourceKind::ALL.len());
+        let get = |s: SourceKind| profile.iter().find(|(k, _)| *k == s).unwrap().1;
+        assert_eq!(get(SourceKind::PrimaryCare), 2);
+        assert_eq!(get(SourceKind::Municipal), 1);
+        assert_eq!(get(SourceKind::Specialist), 1);
+        assert_eq!(get(SourceKind::Hospital), 0);
+    }
+
+    #[test]
+    fn age_pyramid_buckets() {
+        let pyramid = age_pyramid(&collection(), d(2013, 1, 1), 10);
+        // Ages: 62 (band 60), 73 (band 70).
+        assert_eq!(pyramid, vec![(60, 1), (70, 1)]);
+        let fine = age_pyramid(&collection(), d(2013, 1, 1), 1);
+        assert_eq!(fine, vec![(62, 1), (73, 1)]);
+    }
+
+    #[test]
+    fn code_frequency_is_per_patient() {
+        let freq = code_frequency(&collection());
+        // T90 appears twice in h1 but counts once per patient; ties break
+        // alphabetically.
+        assert_eq!(
+            freq,
+            vec![("K74".to_owned(), 1), ("T90".to_owned(), 1)]
+        );
+    }
+
+    #[test]
+    fn empty_collection_statistics() {
+        let c = HistoryCollection::new();
+        assert!(monthly_utilization(&c, d(2013, 1, 1), d(2013, 3, 1), None)
+            .iter()
+            .all(|&(_, n)| n == 0));
+        assert!(source_profile(&c).iter().all(|&(_, n)| n == 0));
+        assert!(age_pyramid(&c, d(2013, 1, 1), 10).is_empty());
+        assert!(code_frequency(&c).is_empty());
+    }
+}

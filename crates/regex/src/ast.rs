@@ -1,0 +1,108 @@
+//! Abstract syntax for parsed patterns.
+
+/// One item inside a character class: a single char or an inclusive range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single character.
+    Char(char),
+    /// An inclusive range `lo-hi`.
+    Range(char, char),
+}
+
+impl ClassItem {
+    /// True if `c` is covered by this item.
+    pub fn contains(self, c: char) -> bool {
+        match self {
+            ClassItem::Char(x) => c == x,
+            ClassItem::Range(lo, hi) => lo <= c && c <= hi,
+        }
+    }
+}
+
+/// Parsed pattern syntax tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A literal character.
+    Literal(char),
+    /// `.` — any character except `\n`.
+    Dot,
+    /// A character class; `negated` flips membership.
+    Class {
+        /// Items of the class body.
+        items: Vec<ClassItem>,
+        /// True for `[^…]`.
+        negated: bool,
+    },
+    /// Concatenation, in order.
+    Concat(Vec<Ast>),
+    /// Alternation `a|b|…`, preferring earlier branches.
+    Alternate(Vec<Ast>),
+    /// Repetition of the inner pattern.
+    Repeat {
+        /// The repeated sub-pattern.
+        inner: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions; `None` = unbounded.
+        max: Option<u32>,
+        /// Greedy (`a*`) vs lazy (`a*?`).
+        greedy: bool,
+    },
+    /// A capturing group `(…)` with 1-based index.
+    Group {
+        /// 1-based capture index.
+        index: u32,
+        /// The grouped sub-pattern.
+        inner: Box<Ast>,
+    },
+    /// A non-capturing group `(?:…)`.
+    NonCapturing(Box<Ast>),
+    /// `^` — start of input.
+    AnchorStart,
+    /// `$` — end of input.
+    AnchorEnd,
+}
+
+impl Ast {
+    /// Number of capturing groups in the tree.
+    pub fn count_groups(&self) -> usize {
+        match self {
+            Ast::Group { index: _, inner } => 1 + inner.count_groups(),
+            Ast::NonCapturing(inner) => inner.count_groups(),
+            Ast::Repeat { inner, .. } => inner.count_groups(),
+            Ast::Concat(parts) | Ast::Alternate(parts) => {
+                parts.iter().map(Ast::count_groups).sum()
+            }
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_item_contains() {
+        assert!(ClassItem::Char('a').contains('a'));
+        assert!(!ClassItem::Char('a').contains('b'));
+        assert!(ClassItem::Range('a', 'f').contains('c'));
+        assert!(ClassItem::Range('a', 'f').contains('a'));
+        assert!(ClassItem::Range('a', 'f').contains('f'));
+        assert!(!ClassItem::Range('a', 'f').contains('g'));
+    }
+
+    #[test]
+    fn group_counting() {
+        let ast = Ast::Concat(vec![
+            Ast::Group { index: 1, inner: Box::new(Ast::Literal('a')) },
+            Ast::NonCapturing(Box::new(Ast::Group {
+                index: 2,
+                inner: Box::new(Ast::Dot),
+            })),
+        ]);
+        assert_eq!(ast.count_groups(), 2);
+    }
+}

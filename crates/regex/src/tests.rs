@@ -1,0 +1,234 @@
+//! Behavioural tests for the public `Regex` API.
+
+use crate::Regex;
+
+fn re(p: &str) -> Regex {
+    Regex::new(p).unwrap_or_else(|e| panic!("pattern {p:?} failed: {e}"))
+}
+
+fn find_str<'h>(p: &str, h: &'h str) -> Option<&'h str> {
+    re(p).first(h)
+}
+
+#[test]
+fn literal_matching() {
+    assert!(re("T90").is_match("xxT90yy"));
+    assert!(!re("T90").is_match("T9"));
+    assert_eq!(find_str("T90", "K74 T90 R95"), Some("T90"));
+}
+
+#[test]
+fn the_papers_code_filter() {
+    // §IV.A: eye (F) or ear (H) diagnoses.
+    let filter = re("F.*|H.*");
+    for code in ["F83", "F99", "H71", "H1"] {
+        assert!(filter.is_full_match(code), "{code} should match");
+    }
+    for code in ["T90", "K74", "XF1", "AH2"] {
+        assert!(!filter.is_full_match(code), "{code} should not match");
+    }
+}
+
+#[test]
+fn full_match_vs_search() {
+    let r = re("K7[0-9]");
+    assert!(r.is_match("note: K74 suspected"));
+    assert!(!r.is_full_match("note: K74 suspected"));
+    assert!(r.is_full_match("K74"));
+}
+
+#[test]
+fn dot_does_not_cross_newlines() {
+    assert!(re("a.b").is_match("axb"));
+    assert!(!re("a.b").is_match("a\nb"));
+}
+
+#[test]
+fn star_is_greedy() {
+    let m = re("a*").find("aaab").unwrap();
+    assert_eq!((m.start, m.end), (0, 3));
+}
+
+#[test]
+fn lazy_star_matches_empty() {
+    let m = re("a*?").find("aaa").unwrap();
+    assert_eq!((m.start, m.end), (0, 0));
+}
+
+#[test]
+fn lazy_plus_takes_minimum() {
+    let m = re("a+?").find("aaa").unwrap();
+    assert_eq!((m.start, m.end), (0, 1));
+}
+
+#[test]
+fn alternation_prefers_left_branch() {
+    let m = re("ab|a").find("ab").unwrap();
+    assert_eq!((m.start, m.end), (0, 2));
+    let m = re("a|ab").find("ab").unwrap();
+    assert_eq!((m.start, m.end), (0, 1));
+}
+
+#[test]
+fn leftmost_match_wins() {
+    let m = re("b+").find("abbabbb").unwrap();
+    assert_eq!((m.start, m.end), (1, 3));
+}
+
+#[test]
+fn counted_repetition() {
+    assert!(re("[0-9]{4}").is_full_match("2016"));
+    assert!(!re("[0-9]{4}").is_full_match("201"));
+    assert!(!re("[0-9]{4}").is_full_match("20166"));
+    assert!(re("a{2,3}").is_full_match("aa"));
+    assert!(re("a{2,3}").is_full_match("aaa"));
+    assert!(!re("a{2,3}").is_full_match("a"));
+    assert!(!re("a{2,3}").is_full_match("aaaa"));
+    assert!(re("a{2,}").is_full_match("aaaaa"));
+}
+
+#[test]
+fn anchors() {
+    assert!(re("^K74").is_match("K74 xx"));
+    assert!(!re("^K74").is_match("x K74"));
+    assert!(re("74$").is_match("K74"));
+    assert!(!re("74$").is_match("K74x"));
+    assert!(re("^$").is_match(""));
+    assert!(!re("^$").is_match("a"));
+}
+
+#[test]
+fn classes_and_negation() {
+    assert!(re("[A-Z][0-9][0-9]").is_full_match("T90"));
+    assert!(!re("[A-Z][0-9][0-9]").is_full_match("t90"));
+    assert!(re("[^0-9]+").is_full_match("abc"));
+    assert!(!re("[^0-9]+").is_full_match("ab3"));
+}
+
+#[test]
+fn escape_classes() {
+    assert!(re(r"\d+").is_full_match("12345"));
+    assert!(re(r"\w+").is_full_match("Ab_9"));
+    assert!(re(r"\s").is_match("a b"));
+    assert!(re(r"\D+").is_full_match("abc"));
+    assert!(!re(r"\D+").is_match("123"));
+}
+
+#[test]
+fn captures() {
+    let r = re(r"([A-Z])(\d+)");
+    let m = r.captures_test("T90");
+    assert_eq!(m.group(0, "T90"), Some("T90"));
+    assert_eq!(m.group(1, "T90"), Some("T"));
+    assert_eq!(m.group(2, "T90"), Some("90"));
+}
+
+trait CapturesTest {
+    fn captures_test(&self, h: &str) -> crate::Match;
+}
+
+impl CapturesTest for Regex {
+    fn captures_test(&self, h: &str) -> crate::Match {
+        self.find(h).expect("expected a match")
+    }
+}
+
+#[test]
+fn optional_group_is_none() {
+    let r = re(r"a(b)?c");
+    let m = r.find("ac").unwrap();
+    assert_eq!(m.groups[1], None);
+    let m = r.find("abc").unwrap();
+    assert_eq!(m.group(1, "abc"), Some("b"));
+}
+
+#[test]
+fn find_iter_non_overlapping() {
+    let r = re(r"[A-Z]\d\d");
+    let hits: Vec<_> = r.find_iter("K74 T90 R95").map(|m| (m.start, m.end)).collect();
+    assert_eq!(hits, vec![(0, 3), (4, 7), (8, 11)]);
+}
+
+#[test]
+fn find_iter_with_empty_matches_terminates() {
+    let r = re("x*");
+    let n = r.find_iter("abc").count();
+    assert_eq!(n, 4); // empty match at each boundary
+}
+
+#[test]
+fn case_insensitive_option() {
+    let r = Regex::with_options("icpc", true).unwrap();
+    assert!(r.is_match("ICPC-2 codes"));
+    assert!(r.is_match("icpc"));
+    assert!(r.is_match("IcPc"));
+    let r = Regex::with_options("[a-f]+", true).unwrap();
+    assert!(r.is_full_match("FACE"));
+}
+
+#[test]
+fn unicode_haystacks() {
+    // Norwegian text appears in free-text extracts (e.g. "tromsø").
+    assert!(re("troms.").is_match("tromsø"));
+    let m = re("ø").find("tromsø").unwrap();
+    assert_eq!(m.start, 5);
+    assert_eq!(m.end, 7); // ø is two bytes
+}
+
+#[test]
+fn pathological_pattern_is_fast() {
+    // (a|a)* over "aaaa…b" explodes a backtracker; the Pike VM is linear.
+    let r = re("(?:a|a)*b");
+    let hay = "a".repeat(2_000);
+    assert!(!r.is_match(&hay));
+    let hay = format!("{}b", "a".repeat(2_000));
+    assert!(r.is_match(&hay));
+}
+
+#[test]
+fn group_count_reporting() {
+    assert_eq!(re("(a)(b(c))").group_count(), 3);
+    assert_eq!(re("(?:a)").group_count(), 0);
+    assert_eq!(re("abc").group_count(), 0);
+}
+
+#[test]
+fn pattern_accessor() {
+    assert_eq!(re("F.*|H.*").pattern(), "F.*|H.*");
+}
+
+#[test]
+fn empty_pattern_matches_empty() {
+    assert!(re("").is_match(""));
+    assert!(re("").is_match("abc"));
+    assert!(re("").is_full_match(""));
+    assert!(!re("").is_full_match("abc"));
+}
+
+#[test]
+fn find_at_offsets() {
+    let r = re("a");
+    assert_eq!(r.find_at("aba", 1).map(|m| m.start), Some(2));
+    assert_eq!(r.find_at("aba", 3), None);
+    assert_eq!(r.find_at("aba", 4), None); // past the end
+}
+
+#[test]
+fn repeated_group_keeps_last_capture() {
+    let r = re(r"(?:(\d)x)+");
+    let m = r.find("1x2x3x").unwrap();
+    assert_eq!(m.group(1, "1x2x3x"), Some("3"));
+}
+
+#[test]
+fn icpc_chapter_regexes() {
+    // The 17 ICPC-2 chapter letters; a filter per chapter must partition.
+    let chapters = "ABDFHKLNPRSTUWXYZ";
+    for ch in chapters.chars() {
+        let r = re(&format!("{ch}.*"));
+        assert!(r.is_full_match(&format!("{ch}01")));
+        for other in chapters.chars().filter(|&o| o != ch) {
+            assert!(!r.is_full_match(&format!("{other}01")));
+        }
+    }
+}

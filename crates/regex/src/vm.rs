@@ -1,0 +1,162 @@
+//! The Pike VM: breadth-first NFA simulation with capture slots.
+//!
+//! Runs in `O(|haystack| · |program|)` time regardless of the pattern —
+//! the property that keeps interactive filtering predictable at cohort
+//! scale. Semantics are leftmost-first (Perl-like): earlier starting
+//! positions win, and within a position, higher-priority threads (greedy
+//! vs lazy split order) win.
+
+use crate::compile::{Inst, Program};
+use crate::Match;
+
+const UNSET: usize = usize::MAX;
+
+/// A live NFA thread: program counter plus capture slots.
+#[derive(Clone)]
+struct Thread {
+    pc: usize,
+    saves: Vec<usize>,
+}
+
+/// Search `haystack` for a match.
+///
+/// * `start` — byte offset at which the scan begins (must be a char
+///   boundary).
+/// * `full` — when true, the thread pool is seeded only at `start` and a
+///   `Match` instruction only accepts at the end of the haystack; the caller
+///   uses this for whole-string (code predicate) matching.
+pub(crate) fn search(prog: &Program, haystack: &str, start: usize, full: bool) -> Option<Match> {
+    if start > haystack.len() {
+        return None;
+    }
+    // Positions: (byte_offset, char) for each char at or after `start`,
+    // plus an end sentinel.
+    let tail = &haystack[start..];
+
+    let mut clist: Vec<Thread> = Vec::new();
+    let mut nlist: Vec<Thread> = Vec::new();
+    let mut cseen = vec![false; prog.insts.len()];
+    let mut nseen = vec![false; prog.insts.len()];
+    let mut best: Option<Vec<usize>> = None;
+
+    let mut iter = tail.char_indices().map(|(i, c)| (start + i, Some(c)));
+    let mut next_item = iter.next();
+
+    loop {
+        let (pos, cur) = match next_item {
+            Some((i, ch)) => (i, ch),
+            None => (haystack.len(), None),
+        };
+
+        // Seed a new start thread unless a match has been found (leftmost)
+        // or we are in anchored/full mode past the start.
+        let seed = best.is_none() && (!full || pos == start);
+        if seed {
+            let saves = vec![UNSET; prog.slots];
+            add_thread(prog, haystack, pos, Thread { pc: 0, saves }, &mut clist, &mut cseen);
+        }
+
+        if clist.is_empty() && best.is_some() {
+            break;
+        }
+
+        let mut i = 0;
+        while i < clist.len() {
+            let t = &clist[i];
+            match &prog.insts[t.pc] {
+                Inst::Char(pred) => {
+                    if let Some(ch) = cur {
+                        if pred.matches(ch) {
+                            let mut nt = clist[i].clone();
+                            nt.pc += 1;
+                            add_thread(
+                                prog,
+                                haystack,
+                                pos + ch.len_utf8(),
+                                nt,
+                                &mut nlist,
+                                &mut nseen,
+                            );
+                        }
+                    }
+                }
+                Inst::Match => {
+                    let accept = !full || cur.is_none();
+                    if accept {
+                        best = Some(clist[i].saves.clone());
+                        // Cut lower-priority threads: they can only produce
+                        // worse (later-starting / lower-priority) matches.
+                        clist.truncate(i + 1);
+                        break;
+                    }
+                }
+                // Eps instructions were resolved by add_thread.
+                _ => unreachable!("epsilon instruction in run list"),
+            }
+            i += 1;
+        }
+
+        if cur.is_none() {
+            break;
+        }
+        std::mem::swap(&mut clist, &mut nlist);
+        std::mem::swap(&mut cseen, &mut nseen);
+        nlist.clear();
+        nseen.iter_mut().for_each(|s| *s = false);
+        next_item = iter.next();
+        if clist.is_empty() && best.is_some() {
+            break;
+        }
+    }
+
+    best.map(|saves| {
+        let groups = saves
+            .chunks(2)
+            .map(|w| if w[0] == UNSET || w[1] == UNSET { None } else { Some((w[0], w[1])) })
+            .collect::<Vec<_>>();
+        let (s, e) = groups[0].expect("whole-match slots always set");
+        Match { start: s, end: e, groups }
+    })
+}
+
+/// Add a thread, transitively following epsilon instructions
+/// (Split/Jmp/Save/Assert). `seen` deduplicates by program counter — the
+/// first (highest-priority) arrival wins, which is what gives greedy/lazy
+/// their meaning.
+fn add_thread(
+    prog: &Program,
+    haystack: &str,
+    pos: usize,
+    t: Thread,
+    list: &mut Vec<Thread>,
+    seen: &mut [bool],
+) {
+    if seen[t.pc] {
+        return;
+    }
+    seen[t.pc] = true;
+    match &prog.insts[t.pc] {
+        Inst::Jmp(to) => add_thread(prog, haystack, pos, Thread { pc: *to, ..t }, list, seen),
+        Inst::Split(a, b) => {
+            let (a, b) = (*a, *b);
+            add_thread(prog, haystack, pos, Thread { pc: a, saves: t.saves.clone() }, list, seen);
+            add_thread(prog, haystack, pos, Thread { pc: b, saves: t.saves }, list, seen);
+        }
+        Inst::Save(slot) => {
+            let mut saves = t.saves;
+            saves[*slot] = pos;
+            add_thread(prog, haystack, pos, Thread { pc: t.pc + 1, saves }, list, seen);
+        }
+        Inst::AssertStart => {
+            if pos == 0 {
+                add_thread(prog, haystack, pos, Thread { pc: t.pc + 1, ..t }, list, seen);
+            }
+        }
+        Inst::AssertEnd => {
+            if pos == haystack.len() {
+                add_thread(prog, haystack, pos, Thread { pc: t.pc + 1, ..t }, list, seen);
+            }
+        }
+        Inst::Char(_) | Inst::Match => list.push(t),
+    }
+}

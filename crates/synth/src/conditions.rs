@@ -1,0 +1,246 @@
+//! Condition models: prevalence and care-pathway parameters.
+//!
+//! Prevalences follow the published Norwegian general-population figures in
+//! rough strokes (diabetes ~5% overall rising steeply with age, COPD ~6% in
+//! 40+, hypertension the most common). Exact values are tuned so the E5
+//! experiment's "predefined characteristics" select ≈7.7% of the
+//! population, the paper's 13,000-of-168,000.
+
+/// Care-pathway parameters for one chronic (or acute-recurring) condition.
+#[derive(Debug, Clone, Copy)]
+pub struct ConditionModel {
+    /// Name, matching `pastas_ontology::integration::CONDITIONS`.
+    pub name: &'static str,
+    /// ICPC-2 code GPs record for it.
+    pub icpc: &'static str,
+    /// ICD-10 category hospitals record for it.
+    pub icd10: &'static str,
+    /// Baseline prevalence at age 40 (fraction).
+    pub prevalence_at_40: f64,
+    /// Multiplicative prevalence growth per decade after 40.
+    pub growth_per_decade: f64,
+    /// Expected GP contacts per year that carry this diagnosis.
+    pub gp_visits_per_year: f64,
+    /// Expected specialist contacts per year.
+    pub specialist_visits_per_year: f64,
+    /// Expected acute hospital admissions per year.
+    pub admissions_per_year: f64,
+    /// Mean inpatient length of stay, days.
+    pub mean_los_days: f64,
+    /// ATC codes of the maintenance medications (dispensed ~quarterly).
+    pub medications: &'static [&'static str],
+    /// Measurement taken at GP follow-ups, if any.
+    pub measurement: Option<pastas_model::MeasurementKind>,
+}
+
+use pastas_model::MeasurementKind as M;
+
+/// The condition models of the synthetic population.
+pub const CONDITION_MODELS: [ConditionModel; 10] = [
+    ConditionModel {
+        name: "Diabetes",
+        icpc: "T90",
+        icd10: "E11",
+        // Calibrated: population prevalence ≈ 7.7% under the default age
+        // structure, matching the paper's 13k/168k cohort selection.
+        prevalence_at_40: 0.022,
+        growth_per_decade: 1.55,
+        gp_visits_per_year: 3.5,
+        specialist_visits_per_year: 0.4,
+        admissions_per_year: 0.10,
+        mean_los_days: 4.0,
+        medications: &["A10BA02", "C10AA01"],
+        measurement: Some(M::Hba1c),
+    },
+    ConditionModel {
+        name: "Hypertension",
+        icpc: "K86",
+        icd10: "I10",
+        prevalence_at_40: 0.12,
+        growth_per_decade: 1.45,
+        gp_visits_per_year: 2.0,
+        specialist_visits_per_year: 0.1,
+        admissions_per_year: 0.02,
+        mean_los_days: 2.0,
+        medications: &["C09AA02", "C03CA01"],
+        measurement: Some(M::SystolicBp),
+    },
+    ConditionModel {
+        name: "IschaemicHeartDisease",
+        icpc: "K74",
+        icd10: "I20",
+        prevalence_at_40: 0.02,
+        growth_per_decade: 1.8,
+        gp_visits_per_year: 2.5,
+        specialist_visits_per_year: 0.8,
+        admissions_per_year: 0.25,
+        mean_los_days: 5.0,
+        medications: &["B01AC06", "C07AB02", "C10AA05"],
+        measurement: Some(M::SystolicBp),
+    },
+    ConditionModel {
+        name: "HeartFailure",
+        icpc: "K77",
+        icd10: "I50",
+        prevalence_at_40: 0.005,
+        growth_per_decade: 2.2,
+        gp_visits_per_year: 4.0,
+        specialist_visits_per_year: 1.0,
+        admissions_per_year: 0.5,
+        mean_los_days: 7.0,
+        medications: &["C07AB02", "C03CA01", "C09AA02"],
+        measurement: Some(M::Weight),
+    },
+    ConditionModel {
+        name: "COPD",
+        icpc: "R95",
+        icd10: "J44",
+        prevalence_at_40: 0.03,
+        growth_per_decade: 1.6,
+        gp_visits_per_year: 3.0,
+        specialist_visits_per_year: 0.5,
+        admissions_per_year: 0.3,
+        mean_los_days: 6.0,
+        medications: &["R03AC02", "R03BB04"],
+        measurement: Some(M::PeakFlow),
+    },
+    ConditionModel {
+        name: "Asthma",
+        icpc: "R96",
+        icd10: "J45",
+        prevalence_at_40: 0.06,
+        growth_per_decade: 0.95,
+        gp_visits_per_year: 1.5,
+        specialist_visits_per_year: 0.2,
+        admissions_per_year: 0.05,
+        mean_los_days: 3.0,
+        medications: &["R03AC02"],
+        measurement: Some(M::PeakFlow),
+    },
+    ConditionModel {
+        name: "Depression",
+        icpc: "P76",
+        icd10: "F32",
+        prevalence_at_40: 0.07,
+        growth_per_decade: 1.0,
+        gp_visits_per_year: 3.0,
+        specialist_visits_per_year: 0.6,
+        admissions_per_year: 0.04,
+        mean_los_days: 14.0,
+        medications: &["N06AB04"],
+        measurement: None,
+    },
+    ConditionModel {
+        name: "AtrialFibrillation",
+        icpc: "K78",
+        icd10: "I48",
+        prevalence_at_40: 0.005,
+        growth_per_decade: 2.0,
+        gp_visits_per_year: 2.0,
+        specialist_visits_per_year: 0.5,
+        admissions_per_year: 0.15,
+        mean_los_days: 3.0,
+        medications: &["B01AA03", "C07AB02"],
+        measurement: None,
+    },
+    ConditionModel {
+        name: "Osteoarthrosis",
+        icpc: "L90",
+        icd10: "M17",
+        prevalence_at_40: 0.05,
+        growth_per_decade: 1.5,
+        gp_visits_per_year: 1.5,
+        specialist_visits_per_year: 0.3,
+        admissions_per_year: 0.08,
+        mean_los_days: 4.0,
+        medications: &["N02BE01"],
+        measurement: None,
+    },
+    ConditionModel {
+        name: "RheumatoidArthritis",
+        icpc: "L88",
+        icd10: "M06",
+        prevalence_at_40: 0.008,
+        growth_per_decade: 1.3,
+        gp_visits_per_year: 2.5,
+        specialist_visits_per_year: 1.5,
+        admissions_per_year: 0.06,
+        mean_los_days: 5.0,
+        medications: &["L04AX03", "N02BE01"],
+        measurement: None,
+    },
+];
+
+impl ConditionModel {
+    /// Prevalence at a given age, clamped to `[0, 0.85]`.
+    pub fn prevalence_at(&self, age: i32) -> f64 {
+        if age < 18 {
+            return 0.0;
+        }
+        let decades = (age as f64 - 40.0) / 10.0;
+        (self.prevalence_at_40 * self.growth_per_decade.powf(decades)).clamp(0.0, 0.85)
+    }
+}
+
+/// Acute, noise-level ICPC contact reasons for the background process, with
+/// relative weights.
+pub const NOISE_CONTACTS: [(&str, f64); 8] = [
+    ("A01", 1.0),  // general pain
+    ("R05", 2.0),  // cough
+    ("D01", 1.0),  // abdominal pain
+    ("A04", 1.5),  // tiredness
+    ("H71", 0.5),  // otitis
+    ("R81", 0.3),  // pneumonia (acute)
+    ("A98", 1.2),  // health maintenance
+    ("A97", 0.7),  // no disease
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_codes::Code;
+
+    #[test]
+    fn all_model_codes_are_valid() {
+        for m in CONDITION_MODELS {
+            assert!(Code::icpc(m.icpc).is_valid(), "{}: bad ICPC {}", m.name, m.icpc);
+            assert!(Code::icd10(m.icd10).is_valid(), "{}: bad ICD {}", m.name, m.icd10);
+            for atc in m.medications {
+                assert!(Code::atc(atc).is_valid(), "{}: bad ATC {atc}", m.name);
+            }
+        }
+        for (c, _) in NOISE_CONTACTS {
+            assert!(Code::icpc(c).is_valid(), "bad noise code {c}");
+        }
+    }
+
+    #[test]
+    fn prevalence_rises_with_age_for_chronic_conditions() {
+        let diabetes = &CONDITION_MODELS[0];
+        assert!(diabetes.prevalence_at(80) > diabetes.prevalence_at(60));
+        assert!(diabetes.prevalence_at(60) > diabetes.prevalence_at(40));
+        assert_eq!(diabetes.prevalence_at(10), 0.0);
+    }
+
+    #[test]
+    fn prevalence_is_clamped() {
+        let hf = CONDITION_MODELS.iter().find(|m| m.name == "HeartFailure").unwrap();
+        assert!(hf.prevalence_at(200) <= 0.85);
+        assert!(hf.prevalence_at(18) >= 0.0);
+    }
+
+    #[test]
+    fn model_names_match_ontology_conditions() {
+        // Keep the synth models consistent with the integration ontology's
+        // condition vocabulary (checked textually to avoid a dependency).
+        let known = [
+            "Diabetes", "Hypertension", "IschaemicHeartDisease", "HeartFailure",
+            "AtrialFibrillation", "Stroke", "COPD", "Asthma", "Depression", "Anxiety",
+            "Dementia", "RheumatoidArthritis", "Osteoarthrosis", "ChronicKidneyDisease",
+            "Migraine", "Hypothyroidism", "Pneumonia",
+        ];
+        for m in CONDITION_MODELS {
+            assert!(known.contains(&m.name), "{} unknown to the ontology", m.name);
+        }
+    }
+}

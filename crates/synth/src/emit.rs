@@ -1,0 +1,257 @@
+//! Raw-source emission: the four heterogeneous files.
+//!
+//! Each source uses a **different CSV dialect and a different patient
+//! identifier scheme**, mimicking the real aggregation problem:
+//!
+//! | source | file | dialect | patient id form |
+//! |---|---|---|---|
+//! | GP / specialist claims (KUHR-like) | `claims` | `;`-separated, `DD.MM.YYYY` dates | `NIN-0000123` |
+//! | hospital episodes (NPR-like) | `hospital` | `,`-separated, ISO dates | zero-padded digits `00000123` |
+//! | municipal care (IPLOS-like) | `municipal` | `|`-separated, ISO dates | `M123` |
+//! | dispensings (NorPD-like) | `prescriptions` | tab-separated, ISO datetimes | plain digits `123` |
+//!
+//! A fifth file, the `persons` register, carries birth date and sex per
+//! national id — the linkage anchor.
+//!
+//! A configurable **mess factor** injects the paper's observed realities:
+//! "differing conventions and many typing errors in the text" — duplicate
+//! rows, invalid dates (pre-birth, the §IV validation case), stray
+//! whitespace, and free-text notes with embedded measurements that only a
+//! regex can recover.
+
+use crate::pathways::{Provider, RawEvent};
+use crate::population::Population;
+use pastas_model::EpisodeKind;
+use pastas_time::Date;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// The five emitted files.
+#[derive(Debug, Clone, Default)]
+pub struct RawSources {
+    /// Person register: `nin;birth_date;sex`.
+    pub persons: String,
+    /// GP/specialist/OOH claims.
+    pub claims: String,
+    /// Hospital episodes.
+    pub hospital: String,
+    /// Municipal care periods.
+    pub municipal: String,
+    /// Pharmacy dispensings.
+    pub prescriptions: String,
+}
+
+/// Controls the injected data-quality problems.
+#[derive(Debug, Clone, Copy)]
+pub struct MessConfig {
+    /// Probability a claims row is emitted twice (duplicate records).
+    pub duplicate_prob: f64,
+    /// Probability a claims row gets a clearly invalid (pre-birth) date.
+    pub invalid_date_prob: f64,
+    /// Probability a claims row carries a free-text note with an embedded
+    /// blood-pressure reading (regex-extraction fodder).
+    pub note_prob: f64,
+}
+
+impl Default for MessConfig {
+    fn default() -> MessConfig {
+        MessConfig { duplicate_prob: 0.01, invalid_date_prob: 0.003, note_prob: 0.05 }
+    }
+}
+
+/// Patient identifier in each source's scheme.
+pub fn claims_id(id: u64) -> String {
+    format!("NIN-{id:07}")
+}
+/// Hospital scheme: zero-padded digits.
+pub fn hospital_id(id: u64) -> String {
+    format!("{id:08}")
+}
+/// Municipal scheme: `M` prefix.
+pub fn municipal_id(id: u64) -> String {
+    format!("M{id}")
+}
+/// Prescription scheme: plain digits.
+pub fn prescription_id(id: u64) -> String {
+    id.to_string()
+}
+
+fn norwegian_date(d: Date) -> String {
+    format!("{:02}.{:02}.{:04}", d.day(), d.month(), d.year())
+}
+
+/// Render the population's utilization as raw source files.
+pub fn emit(pop: &Population, mess: MessConfig) -> RawSources {
+    let mut out = RawSources::default();
+    let mut rng = StdRng::seed_from_u64(pop.seed ^ 0xE117);
+
+    out.persons.push_str("nin;birth_date;sex\n");
+    out.claims.push_str("claim_id;patient;date;provider;icpc;note\n");
+    out.hospital.push_str("episode_id,patient,admitted,discharged,icd10_main,care_level\n");
+    out.municipal.push_str("patient|service|from|to\n");
+    out.prescriptions.push_str("patient\tdispensed\tatc\tddd\n");
+
+    let mut claim_no = 0u64;
+    let mut episode_no = 0u64;
+
+    for (i, person) in pop.persons.iter().enumerate() {
+        let id = person.id().0;
+        let sex = match person.patient().sex {
+            pastas_model::Sex::Female => "F",
+            pastas_model::Sex::Male => "M",
+        };
+        writeln!(out.persons, "{};{};{}", claims_id(id), person.birth_date(), sex)
+            .expect("write to String");
+
+        for event in pop.events_for(i) {
+            match event {
+                RawEvent::Contact { time, icpc, provider, measurement } => {
+                    claim_no += 1;
+                    let provider = match provider {
+                        Provider::Gp => "GP",
+                        Provider::OutOfHours => "OOH",
+                        Provider::Specialist => "SPEC",
+                    };
+                    let date = if rng.gen_bool(mess.invalid_date_prob) {
+                        // A clearly invalid date: decades before birth.
+                        norwegian_date(person.birth_date().add_days(-9_000))
+                    } else {
+                        norwegian_date(time.date())
+                    };
+                    let note = match measurement {
+                        Some((kind, value)) => {
+                            format!("{} {:.0} {}", kind.label(), value, kind.unit())
+                        }
+                        None if rng.gen_bool(mess.note_prob) => {
+                            format!("BT {}/{}", rng.gen_range(110..180), rng.gen_range(60..100))
+                        }
+                        None => String::new(),
+                    };
+                    let row =
+                        format!("K{claim_no:09};{};{date};{provider};{icpc};{note}\n", claims_id(id));
+                    out.claims.push_str(&row);
+                    if rng.gen_bool(mess.duplicate_prob) {
+                        out.claims.push_str(&row);
+                    }
+                }
+                RawEvent::Admission { start, end, icd10, kind } => {
+                    episode_no += 1;
+                    let level = match kind {
+                        EpisodeKind::Inpatient => "inpatient",
+                        EpisodeKind::Outpatient => "outpatient",
+                        _ => "day",
+                    };
+                    writeln!(
+                        out.hospital,
+                        "E{episode_no:08},{},{},{},{icd10},{level}",
+                        hospital_id(id),
+                        start.date(),
+                        end.date(),
+                    )
+                    .expect("write to String");
+                }
+                RawEvent::Dispensing { time, atc } => {
+                    writeln!(
+                        out.prescriptions,
+                        "{}\t{}\t{atc}\t{:.1}",
+                        prescription_id(id),
+                        time,
+                        rng.gen_range(10.0..100.0),
+                    )
+                    .expect("write to String");
+                }
+                RawEvent::Municipal { start, end, kind } => {
+                    let service = match kind {
+                        EpisodeKind::NursingHome => "nursing_home",
+                        _ => "home_care",
+                    };
+                    writeln!(
+                        out.municipal,
+                        "{}|{service}|{}|{}",
+                        municipal_id(id),
+                        start.date(),
+                        end.date(),
+                    )
+                    .expect("write to String");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{generate_population, SynthConfig};
+
+    fn small_pop() -> Population {
+        generate_population(SynthConfig::with_patients(120), 17)
+    }
+
+    #[test]
+    fn all_files_have_headers_and_rows() {
+        let s = emit(&small_pop(), MessConfig::default());
+        assert!(s.persons.starts_with("nin;birth_date;sex\n"));
+        assert!(s.claims.starts_with("claim_id;patient;date;provider;icpc;note\n"));
+        assert!(s.hospital.starts_with("episode_id,patient,admitted,"));
+        assert!(s.municipal.starts_with("patient|service|from|to\n"));
+        assert!(s.prescriptions.starts_with("patient\tdispensed\tatc\tddd\n"));
+        assert_eq!(s.persons.lines().count(), 121);
+        assert!(s.claims.lines().count() > 120, "expect contacts");
+        assert!(s.prescriptions.lines().count() > 10, "expect dispensings");
+    }
+
+    #[test]
+    fn identifier_schemes_differ_per_source() {
+        assert_eq!(claims_id(123), "NIN-0000123");
+        assert_eq!(hospital_id(123), "00000123");
+        assert_eq!(municipal_id(123), "M123");
+        assert_eq!(prescription_id(123), "123");
+    }
+
+    #[test]
+    fn claims_use_norwegian_dates() {
+        let s = emit(&small_pop(), MessConfig::default());
+        let row = s.claims.lines().nth(1).unwrap();
+        let date_field = row.split(';').nth(2).unwrap();
+        // DD.MM.YYYY
+        assert_eq!(date_field.len(), 10);
+        assert_eq!(date_field.chars().nth(2), Some('.'));
+        assert_eq!(date_field.chars().nth(5), Some('.'));
+    }
+
+    #[test]
+    fn mess_injection_produces_duplicates_and_bad_dates() {
+        let pop = generate_population(SynthConfig::with_patients(400), 23);
+        let messy = emit(
+            &pop,
+            MessConfig { duplicate_prob: 0.2, invalid_date_prob: 0.1, note_prob: 0.3 },
+        );
+        let clean = emit(
+            &pop,
+            MessConfig { duplicate_prob: 0.0, invalid_date_prob: 0.0, note_prob: 0.0 },
+        );
+        assert!(messy.claims.lines().count() > clean.claims.lines().count());
+        // Notes with embedded BP readings appear.
+        assert!(messy.claims.contains("BT "));
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let pop = small_pop();
+        let a = emit(&pop, MessConfig::default());
+        let b = emit(&pop, MessConfig::default());
+        assert_eq!(a.claims, b.claims);
+        assert_eq!(a.hospital, b.hospital);
+    }
+
+    #[test]
+    fn hospital_rows_have_six_fields() {
+        let s = emit(&small_pop(), MessConfig::default());
+        for row in s.hospital.lines().skip(1) {
+            assert_eq!(row.split(',').count(), 6, "bad row {row}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Civil datetimes (date + second of day).
+
+use crate::{Date, Duration, SecondNumber};
+use std::fmt;
+
+const SECS_PER_DAY: i64 = 86_400;
+
+/// A civil datetime: a [`Date`] plus a second-of-day in `0..86_400`.
+///
+/// The workbench treats times as local civil time; the paper's sources all
+/// report Norwegian civil timestamps and no cross-timezone reasoning is
+/// needed, so there is deliberately no timezone machinery here.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DateTime {
+    date: Date,
+    /// Seconds since midnight, `0..86_400`.
+    secs: u32,
+}
+
+impl DateTime {
+    /// Construct from a date and clock time. Returns `None` for out-of-range
+    /// clock fields.
+    pub fn new(date: Date, hour: u32, minute: u32, second: u32) -> Option<DateTime> {
+        if hour >= 24 || minute >= 60 || second >= 60 {
+            return None;
+        }
+        Some(DateTime { date, secs: hour * 3_600 + minute * 60 + second })
+    }
+
+    /// Construct from seconds since the epoch 1970-01-01T00:00:00.
+    pub fn from_second_number(secs: SecondNumber) -> Option<DateTime> {
+        let days = secs.div_euclid(SECS_PER_DAY);
+        let sod = secs.rem_euclid(SECS_PER_DAY) as u32;
+        Some(DateTime { date: Date::from_day_number(days)?, secs: sod })
+    }
+
+    /// Seconds since the epoch 1970-01-01T00:00:00.
+    pub fn second_number(self) -> SecondNumber {
+        self.date.day_number() * SECS_PER_DAY + i64::from(self.secs)
+    }
+
+    /// The calendar date.
+    pub fn date(self) -> Date {
+        self.date
+    }
+
+    /// Hour of day, 0–23.
+    pub fn hour(self) -> u32 {
+        self.secs / 3_600
+    }
+
+    /// Minute of hour, 0–59.
+    pub fn minute(self) -> u32 {
+        (self.secs % 3_600) / 60
+    }
+
+    /// Second of minute, 0–59.
+    pub fn second(self) -> u32 {
+        self.secs % 60
+    }
+
+    /// Add a (possibly negative) duration, saturating at the calendar bounds.
+    pub fn add(self, d: Duration) -> DateTime {
+        let target = self.second_number().saturating_add(d.as_seconds());
+        match DateTime::from_second_number(target) {
+            Some(t) => t,
+            None if d.is_negative() => DateTime { date: Date::MIN, secs: 0 },
+            None => DateTime { date: Date::MAX, secs: SECS_PER_DAY as u32 - 1 },
+        }
+    }
+
+    /// Signed duration from `other` to `self`.
+    pub fn since(self, other: DateTime) -> Duration {
+        Duration::seconds(self.second_number() - other.second_number())
+    }
+
+    /// Parse ISO-8601: `YYYY-MM-DD`, `YYYY-MM-DDTHH:MM` or
+    /// `YYYY-MM-DDTHH:MM:SS` (also accepts a space separator, which the
+    /// registry CSV extracts use).
+    pub fn parse_iso(s: &str) -> Result<DateTime, crate::ParseError> {
+        crate::parse::parse_datetime(s)
+    }
+}
+
+impl fmt::Display for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}T{:02}:{:02}:{:02}",
+            self.date,
+            self.hour(),
+            self.minute(),
+            self.second()
+        )
+    }
+}
+
+impl fmt::Debug for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DateTime({self})")
+    }
+}
+
+impl std::ops::Add<Duration> for DateTime {
+    type Output = DateTime;
+    fn add(self, rhs: Duration) -> DateTime {
+        self.add(rhs)
+    }
+}
+
+impl std::ops::Sub<DateTime> for DateTime {
+    type Output = Duration;
+    fn sub(self, rhs: DateTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u32, dd: u32) -> Date {
+        Date::new(y, m, dd).unwrap()
+    }
+
+    #[test]
+    fn epoch_round_trip() {
+        let t = DateTime::new(d(1970, 1, 1), 0, 0, 0).unwrap();
+        assert_eq!(t.second_number(), 0);
+        assert_eq!(DateTime::from_second_number(0), Some(t));
+    }
+
+    #[test]
+    fn known_second_number() {
+        // 2016-05-16T12:00:00 UTC == 1463400000
+        let t = DateTime::new(d(2016, 5, 16), 12, 0, 0).unwrap();
+        assert_eq!(t.second_number(), 1_463_400_000);
+    }
+
+    #[test]
+    fn clock_field_validation() {
+        assert!(DateTime::new(d(2020, 1, 1), 24, 0, 0).is_none());
+        assert!(DateTime::new(d(2020, 1, 1), 0, 60, 0).is_none());
+        assert!(DateTime::new(d(2020, 1, 1), 0, 0, 60).is_none());
+        assert!(DateTime::new(d(2020, 1, 1), 23, 59, 59).is_some());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = DateTime::new(d(2020, 6, 1), 14, 35, 9).unwrap();
+        assert_eq!(t.hour(), 14);
+        assert_eq!(t.minute(), 35);
+        assert_eq!(t.second(), 9);
+        assert_eq!(t.date(), d(2020, 6, 1));
+    }
+
+    #[test]
+    fn negative_epoch_seconds() {
+        let t = DateTime::from_second_number(-1).unwrap();
+        assert_eq!(t.date(), d(1969, 12, 31));
+        assert_eq!((t.hour(), t.minute(), t.second()), (23, 59, 59));
+    }
+
+    #[test]
+    fn arithmetic_crosses_midnight() {
+        let t = DateTime::new(d(2020, 1, 1), 23, 30, 0).unwrap();
+        let u = t + Duration::hours(1);
+        assert_eq!(u.date(), d(2020, 1, 2));
+        assert_eq!(u.hour(), 0);
+        assert_eq!(u.minute(), 30);
+        assert_eq!(u - t, Duration::hours(1));
+    }
+
+    #[test]
+    fn display() {
+        let t = DateTime::new(d(2016, 5, 4), 9, 5, 0).unwrap();
+        assert_eq!(t.to_string(), "2016-05-04T09:05:00");
+    }
+}

@@ -1,0 +1,209 @@
+//! Signed time spans.
+
+use std::fmt;
+
+/// A signed span of time with second resolution.
+///
+/// Clinical data rarely needs sub-second precision; the workbench uses
+/// durations for interval lengths (hospital stays), query gap constraints
+/// ("readmission within 30 days") and axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration {
+    seconds: i64,
+}
+
+/// Seconds per day.
+const SECS_PER_DAY: i64 = 86_400;
+
+impl Duration {
+    /// A zero-length duration.
+    pub const ZERO: Duration = Duration { seconds: 0 };
+
+    /// Construct from whole seconds.
+    pub const fn seconds(seconds: i64) -> Duration {
+        Duration { seconds }
+    }
+
+    /// Construct from whole minutes (saturating).
+    pub const fn minutes(minutes: i64) -> Duration {
+        Duration { seconds: minutes.saturating_mul(60) }
+    }
+
+    /// Construct from whole hours (saturating).
+    pub const fn hours(hours: i64) -> Duration {
+        Duration { seconds: hours.saturating_mul(3_600) }
+    }
+
+    /// Construct from whole days (saturating).
+    pub const fn days(days: i64) -> Duration {
+        Duration { seconds: days.saturating_mul(SECS_PER_DAY) }
+    }
+
+    /// Construct from whole ISO weeks (saturating).
+    pub const fn weeks(weeks: i64) -> Duration {
+        Duration { seconds: weeks.saturating_mul(7 * SECS_PER_DAY) }
+    }
+
+    /// Total seconds.
+    pub const fn as_seconds(self) -> i64 {
+        self.seconds
+    }
+
+    /// Whole days, truncated toward zero.
+    pub const fn whole_days(self) -> i64 {
+        self.seconds / SECS_PER_DAY
+    }
+
+    /// Whole hours, truncated toward zero.
+    pub const fn whole_hours(self) -> i64 {
+        self.seconds / 3_600
+    }
+
+    /// The duration in (possibly fractional) days.
+    pub fn as_days_f64(self) -> f64 {
+        self.seconds as f64 / SECS_PER_DAY as f64
+    }
+
+    /// True if exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.seconds == 0
+    }
+
+    /// True if strictly negative.
+    pub const fn is_negative(self) -> bool {
+        self.seconds < 0
+    }
+
+    /// Absolute value (saturating).
+    pub const fn abs(self) -> Duration {
+        Duration { seconds: self.seconds.saturating_abs() }
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, other: Duration) -> Option<Duration> {
+        self.seconds.checked_add(other.seconds).map(Duration::seconds)
+    }
+}
+
+impl std::ops::Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration { seconds: self.seconds.saturating_add(rhs.seconds) }
+    }
+}
+
+impl std::ops::Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration { seconds: self.seconds.saturating_sub(rhs.seconds) }
+    }
+}
+
+impl std::ops::Neg for Duration {
+    type Output = Duration;
+    fn neg(self) -> Duration {
+        Duration { seconds: self.seconds.saturating_neg() }
+    }
+}
+
+impl std::ops::Mul<i64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: i64) -> Duration {
+        Duration { seconds: self.seconds.saturating_mul(rhs) }
+    }
+}
+
+impl fmt::Display for Duration {
+    /// Human-oriented rendering used by details-on-demand panels:
+    /// `"3d 4h"`, `"-45m"`, `"12s"`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = self.seconds;
+        if s < 0 {
+            write!(f, "-")?;
+            s = -s;
+        }
+        let days = s / SECS_PER_DAY;
+        let hours = (s % SECS_PER_DAY) / 3_600;
+        let minutes = (s % 3_600) / 60;
+        let secs = s % 60;
+        let mut wrote = false;
+        if days > 0 {
+            write!(f, "{days}d")?;
+            wrote = true;
+        }
+        if hours > 0 {
+            if wrote {
+                write!(f, " ")?;
+            }
+            write!(f, "{hours}h")?;
+            wrote = true;
+        }
+        if minutes > 0 {
+            if wrote {
+                write!(f, " ")?;
+            }
+            write!(f, "{minutes}m")?;
+            wrote = true;
+        }
+        if secs > 0 || !wrote {
+            if wrote {
+                write!(f, " ")?;
+            }
+            write!(f, "{secs}s")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Duration::days(1), Duration::hours(24));
+        assert_eq!(Duration::hours(1), Duration::minutes(60));
+        assert_eq!(Duration::minutes(1), Duration::seconds(60));
+        assert_eq!(Duration::weeks(2), Duration::days(14));
+    }
+
+    #[test]
+    fn accessors() {
+        let d = Duration::days(2) + Duration::hours(5);
+        assert_eq!(d.whole_days(), 2);
+        assert_eq!(d.whole_hours(), 53);
+        assert_eq!(d.as_seconds(), 2 * 86_400 + 5 * 3_600);
+        assert!((Duration::hours(12).as_days_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_and_sign() {
+        let d = Duration::days(1) - Duration::days(3);
+        assert!(d.is_negative());
+        assert_eq!(d.abs(), Duration::days(2));
+        assert_eq!(-d, Duration::days(2));
+        assert_eq!(Duration::days(3) * 2, Duration::days(6));
+        assert!(Duration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn saturating_bounds() {
+        let big = Duration::seconds(i64::MAX);
+        assert_eq!(big + Duration::seconds(1), big);
+        assert!(big.checked_add(Duration::seconds(1)).is_none());
+        assert!(Duration::seconds(1).checked_add(Duration::seconds(1)).is_some());
+    }
+
+    #[test]
+    fn display_rendering() {
+        assert_eq!(Duration::ZERO.to_string(), "0s");
+        assert_eq!(Duration::seconds(12).to_string(), "12s");
+        assert_eq!(Duration::minutes(-45).to_string(), "-45m");
+        assert_eq!((Duration::days(3) + Duration::hours(4)).to_string(), "3d 4h");
+        assert_eq!(
+            (Duration::days(1) + Duration::hours(2) + Duration::minutes(3) + Duration::seconds(4))
+                .to_string(),
+            "1d 2h 3m 4s"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! ISO-8601 parsing for dates and datetimes.
+//!
+//! The heterogeneous source files carry timestamps in a handful of close
+//! dialects (`YYYY-MM-DD`, `YYYY-MM-DDTHH:MM:SS`, space-separated). The
+//! parser here is strict about field widths and values but tolerant about
+//! the `T`/space separator and an optional seconds field.
+
+use crate::{Date, DateTime};
+use std::fmt;
+
+/// Error produced when a date or datetime string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The string does not have the expected `YYYY-MM-DD[*HH:MM[:SS]]` shape.
+    Malformed {
+        /// The offending input (truncated for display).
+        input: String,
+    },
+    /// Shape was fine but a field was out of range (month 13, hour 25, …).
+    OutOfRange {
+        /// The offending input (truncated for display).
+        input: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed { input } => write!(f, "malformed date/time: {input:?}"),
+            ParseError::OutOfRange { input } => {
+                write!(f, "date/time field out of range: {input:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn truncate(s: &str) -> String {
+    s.chars().take(40).collect()
+}
+
+fn digits(s: &str, n: usize) -> Option<u32> {
+    if s.len() != n || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
+pub(crate) fn parse_date(s: &str) -> Result<Date, ParseError> {
+    let malformed = || ParseError::Malformed { input: truncate(s) };
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let mut parts = body.splitn(3, '-');
+    let y = parts.next().and_then(|p| digits(p, 4)).ok_or_else(malformed)?;
+    let m = parts.next().and_then(|p| digits(p, 2)).ok_or_else(malformed)?;
+    let d = parts.next().and_then(|p| digits(p, 2)).ok_or_else(malformed)?;
+    let year = if neg { -(y as i32) } else { y as i32 };
+    Date::new(year, m, d).ok_or(ParseError::OutOfRange { input: truncate(s) })
+}
+
+pub(crate) fn parse_datetime(s: &str) -> Result<DateTime, ParseError> {
+    let malformed = || ParseError::Malformed { input: truncate(s) };
+    // Find the date/time separator: 'T' or ' ' after the date part.
+    // A date alone is accepted and treated as midnight.
+    let sep = s
+        .char_indices()
+        .find(|&(i, c)| i >= 8 && (c == 'T' || c == ' '))
+        .map(|(i, _)| i);
+    let (date_part, time_part) = match sep {
+        Some(i) => (&s[..i], Some(&s[i + 1..])),
+        None => (s, None),
+    };
+    let date = parse_date(date_part)?;
+    let Some(time) = time_part else {
+        return Ok(date.at_midnight());
+    };
+    let mut fields = time.splitn(3, ':');
+    let h = fields.next().and_then(|p| digits(p, 2)).ok_or_else(malformed)?;
+    let mi = fields.next().and_then(|p| digits(p, 2)).ok_or_else(malformed)?;
+    let sec = match fields.next() {
+        Some(p) => digits(p, 2).ok_or_else(malformed)?,
+        None => 0,
+    };
+    DateTime::new(date, h, mi, sec).ok_or(ParseError::OutOfRange { input: truncate(s) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_dates() {
+        assert_eq!(Date::parse_iso("2016-05-04").unwrap(), Date::new(2016, 5, 4).unwrap());
+        assert_eq!(Date::parse_iso("-0044-03-15").unwrap(), Date::new(-44, 3, 15).unwrap());
+    }
+
+    #[test]
+    fn rejects_malformed_dates() {
+        for bad in ["", "2016", "2016-05", "2016/05/04", "16-05-04", "2016-5-04", "2016-05-4",
+                    "2016-05-04x", "abcd-ef-gh"] {
+            assert!(
+                matches!(Date::parse_iso(bad), Err(ParseError::Malformed { .. })),
+                "expected Malformed for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_dates() {
+        for bad in ["2016-13-01", "2016-00-10", "2015-02-29", "2016-04-31"] {
+            assert!(
+                matches!(Date::parse_iso(bad), Err(ParseError::OutOfRange { .. })),
+                "expected OutOfRange for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_datetimes_with_both_separators() {
+        let want = DateTime::new(Date::new(2016, 5, 4).unwrap(), 9, 30, 15).unwrap();
+        assert_eq!(DateTime::parse_iso("2016-05-04T09:30:15").unwrap(), want);
+        assert_eq!(DateTime::parse_iso("2016-05-04 09:30:15").unwrap(), want);
+    }
+
+    #[test]
+    fn seconds_are_optional_and_date_means_midnight() {
+        let noon = DateTime::parse_iso("2016-05-04T12:00").unwrap();
+        assert_eq!((noon.hour(), noon.minute(), noon.second()), (12, 0, 0));
+        let mid = DateTime::parse_iso("2016-05-04").unwrap();
+        assert_eq!((mid.hour(), mid.minute(), mid.second()), (0, 0, 0));
+    }
+
+    #[test]
+    fn rejects_bad_clock_fields() {
+        assert!(DateTime::parse_iso("2016-05-04T24:00:00").is_err());
+        assert!(DateTime::parse_iso("2016-05-04T12:60:00").is_err());
+        assert!(DateTime::parse_iso("2016-05-04T12:00:61").is_err());
+        assert!(DateTime::parse_iso("2016-05-04T1:00:00").is_err());
+    }
+
+    #[test]
+    fn round_trips_display() {
+        for s in ["2016-05-04T09:30:15", "1970-01-01T00:00:00", "2099-12-31T23:59:59"] {
+            assert_eq!(DateTime::parse_iso(s).unwrap().to_string(), s);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the calendar core.
+
+use crate::{Date, DateTime, Duration};
+use proptest::prelude::*;
+
+fn arb_date() -> impl Strategy<Value = Date> {
+    // Day numbers covering years ~1800..~2200, the clinically relevant span.
+    (-62_000i64..84_000).prop_map(|n| Date::from_day_number(n).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn day_number_round_trips(n in Date::MIN.day_number()..=Date::MAX.day_number()) {
+        let d = Date::from_day_number(n).unwrap();
+        prop_assert_eq!(d.day_number(), n);
+    }
+
+    #[test]
+    fn ymd_round_trips(d in arb_date()) {
+        let again = Date::new(d.year(), d.month(), d.day()).unwrap();
+        prop_assert_eq!(again, d);
+    }
+
+    #[test]
+    fn day_number_is_monotone(a in arb_date(), b in arb_date()) {
+        prop_assert_eq!(a < b, a.day_number() < b.day_number());
+    }
+
+    #[test]
+    fn add_days_is_invertible(d in arb_date(), k in -100_000i64..100_000) {
+        prop_assert_eq!(d.add_days(k).add_days(-k), d);
+    }
+
+    #[test]
+    fn weekday_advances_by_one(d in arb_date()) {
+        let next = d.add_days(1);
+        let w = d.weekday().number();
+        let wn = next.weekday().number();
+        prop_assert_eq!(wn, if w == 7 { 1 } else { w + 1 });
+    }
+
+    #[test]
+    fn ordinal_matches_days_since_jan1(d in arb_date()) {
+        let jan1 = Date::new(d.year(), 1, 1).unwrap();
+        prop_assert_eq!(i64::from(d.ordinal()), d.days_since(jan1) + 1);
+    }
+
+    #[test]
+    fn add_months_keeps_day_when_possible(d in arb_date(), k in -600i32..600) {
+        let moved = d.add_months(k);
+        if d.day() <= moved.days_in_month() {
+            prop_assert_eq!(moved.day(), d.day());
+        } else {
+            prop_assert_eq!(moved.day(), moved.days_in_month());
+        }
+    }
+
+    #[test]
+    fn months_between_brackets_the_date(a in arb_date(), b in arb_date()) {
+        let k = b.months_between(a);
+        prop_assert!(a.add_months(k) <= b, "floor bound violated");
+        prop_assert!(a.add_months(k + 1) > b, "tightness violated");
+    }
+
+    #[test]
+    fn date_display_parse_round_trips(d in arb_date()) {
+        prop_assert_eq!(Date::parse_iso(&d.to_string()).unwrap(), d);
+    }
+
+    #[test]
+    fn datetime_second_number_round_trips(s in -200_000_000_000i64..200_000_000_000) {
+        let t = DateTime::from_second_number(s).unwrap();
+        prop_assert_eq!(t.second_number(), s);
+    }
+
+    #[test]
+    fn datetime_display_parse_round_trips(s in -200_000_000_000i64..200_000_000_000) {
+        let t = DateTime::from_second_number(s).unwrap();
+        prop_assert_eq!(DateTime::parse_iso(&t.to_string()).unwrap(), t);
+    }
+
+    #[test]
+    fn datetime_add_then_subtract(s in -1_000_000_000i64..1_000_000_000,
+                                  delta in -10_000_000i64..10_000_000) {
+        let t = DateTime::from_second_number(s).unwrap();
+        let moved = t + Duration::seconds(delta);
+        prop_assert_eq!(moved - t, Duration::seconds(delta));
+    }
+
+    #[test]
+    fn duration_display_never_panics(secs in i64::MIN/2..i64::MAX/2) {
+        let _ = Duration::seconds(secs).to_string();
+    }
+}

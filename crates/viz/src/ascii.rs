@@ -1,0 +1,143 @@
+//! Terminal rendering of a [`Scene`] — the quick-look renderer used by the
+//! examples and by tests that want to assert on visual structure without
+//! parsing SVG.
+//!
+//! Each scene pixel block maps to one character cell: bands render as `░`,
+//! the gray row bar as `─`, glyphs by shape (`■ ▲ ↑ + ●`), axis rules as
+//! `┈`. Later elements overwrite earlier ones, matching paint order.
+
+use crate::scene::{Primitive, Scene};
+
+/// Render the scene onto a `cols × rows` character grid.
+pub fn render(scene: &Scene, cols: usize, rows: usize) -> String {
+    let mut grid = vec![vec![' '; cols]; rows];
+    let sx = cols as f64 / scene.width.max(1.0);
+    let sy = rows as f64 / scene.height.max(1.0);
+
+    let plot = |x: f64, y: f64, ch: char, grid: &mut Vec<Vec<char>>| {
+        let cx = (x * sx) as isize;
+        let cy = (y * sy) as isize;
+        if cx >= 0 && cy >= 0 && (cx as usize) < cols && (cy as usize) < rows {
+            grid[cy as usize][cx as usize] = ch;
+        }
+    };
+
+    for el in &scene.elements {
+        let ch = glyph_char(&el.class);
+        match &el.primitive {
+            Primitive::Rect { x, y, w, h, .. } => {
+                let fill = if el.class.starts_with("viz:Band") {
+                    '░'
+                } else if el.class.starts_with("viz:Row/bar") {
+                    '─'
+                } else {
+                    ch
+                };
+                // For row bars draw only the vertical middle line of cells.
+                let y_mid = y + h / 2.0;
+                let steps = ((w * sx).ceil() as usize).max(1);
+                for i in 0..steps {
+                    let px = x + i as f64 / sx.max(1e-9);
+                    if el.class.starts_with("viz:Band") {
+                        plot(px, y + h * 0.25, fill, &mut grid);
+                        plot(px, y_mid, fill, &mut grid);
+                        plot(px, y + h * 0.75, fill, &mut grid);
+                    } else if el.class.starts_with("viz:Row/bar") {
+                        plot(px, y_mid, fill, &mut grid);
+                    } else {
+                        plot(px, y_mid, fill, &mut grid);
+                    }
+                }
+            }
+            Primitive::Line { x1, y1, x2, y2, .. } => {
+                let steps = (((x2 - x1).abs() * sx).max((y2 - y1).abs() * sy).ceil() as usize)
+                    .max(1);
+                for i in 0..=steps {
+                    let t = i as f64 / steps as f64;
+                    let c = if el.class.starts_with("viz:Axis/anchor") { '│' } else { '┈' };
+                    plot(x1 + (x2 - x1) * t, y1 + (y2 - y1) * t, c, &mut grid);
+                }
+            }
+            Primitive::Circle { cx, cy, .. } => plot(*cx, *cy, ch, &mut grid),
+            Primitive::Polygon { points, .. } => {
+                let (x0, y0, x1, y1) = el.primitive.bbox();
+                let _ = points;
+                plot((x0 + x1) / 2.0, (y0 + y1) / 2.0, ch, &mut grid);
+            }
+            Primitive::Text { x, y, text, .. } => {
+                for (i, c) in text.chars().enumerate() {
+                    plot(x + i as f64 / sx.max(1e-9), *y, c, &mut grid);
+                }
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+fn glyph_char(class: &str) -> char {
+    match class {
+        c if c.ends_with("/square") => '■',
+        c if c.ends_with("/arrow") => '↑',
+        c if c.ends_with("/triangle") => '▲',
+        c if c.ends_with("/cross") => '+',
+        c if c.ends_with("/circle") => '●',
+        _ => '·',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::GLYPH_INK;
+    use crate::scene::Scene;
+
+    #[test]
+    fn glyph_characters() {
+        assert_eq!(glyph_char("viz:Glyph/square"), '■');
+        assert_eq!(glyph_char("viz:Glyph/arrow"), '↑');
+        assert_eq!(glyph_char("viz:Glyph/triangle"), '▲');
+        assert_eq!(glyph_char("other"), '·');
+    }
+
+    #[test]
+    fn renders_grid_of_requested_size() {
+        let s = Scene::new(100.0, 50.0);
+        let out = render(&s, 40, 10);
+        assert_eq!(out.lines().count(), 10);
+        assert!(out.lines().all(|l| l.chars().count() <= 40));
+    }
+
+    #[test]
+    fn paint_order_overwrites() {
+        let mut s = Scene::new(10.0, 10.0);
+        s.push(
+            Primitive::Circle { cx: 5.0, cy: 5.0, r: 1.0, fill: GLYPH_INK },
+            "viz:Glyph/circle",
+        );
+        s.push(
+            Primitive::Rect { x: 5.0, y: 4.5, w: 1.0, h: 1.0, fill: GLYPH_INK },
+            "viz:Glyph/square",
+        );
+        let out = render(&s, 10, 10);
+        assert!(out.contains('■'), "{out}");
+        assert!(!out.contains('●'), "later square overwrote the circle");
+    }
+
+    #[test]
+    fn text_renders_literally() {
+        let mut s = Scene::new(100.0, 10.0);
+        s.push(
+            Primitive::Text { x: 0.0, y: 5.0, text: "P0000001".into(), size: 8.0, fill: GLYPH_INK },
+            "viz:Row/label",
+        );
+        let out = render(&s, 100, 10);
+        assert!(out.contains("P0000001"), "{out}");
+    }
+}

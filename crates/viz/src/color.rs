@@ -1,0 +1,132 @@
+//! Colors and the categorical palette.
+//!
+//! §II.B: "choosing good colors and distinct forms, and avoiding the need
+//! for conjunction search". The medication palette assigns one hue per ATC
+//! anatomical main group; hues are spread around the circle at full
+//! saturation steps so that any two classes differ preattentively (the
+//! `pastas-perception` crate validates pairwise distinctness of exactly
+//! this palette).
+
+/// An sRGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color {
+    /// Red, 0–255.
+    pub r: u8,
+    /// Green, 0–255.
+    pub g: u8,
+    /// Blue, 0–255.
+    pub b: u8,
+}
+
+impl Color {
+    /// Construct from components.
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Color {
+        Color { r, g, b }
+    }
+
+    /// CSS hex form (`#rrggbb`).
+    pub fn hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+
+    /// Relative luminance (WCAG), 0.0–1.0.
+    pub fn luminance(self) -> f64 {
+        fn chan(c: u8) -> f64 {
+            let c = c as f64 / 255.0;
+            if c <= 0.03928 {
+                c / 12.92
+            } else {
+                ((c + 0.055) / 1.055).powf(2.4)
+            }
+        }
+        0.2126 * chan(self.r) + 0.7152 * chan(self.g) + 0.0722 * chan(self.b)
+    }
+}
+
+/// The 14 medication colors, one per ATC anatomical main group, in
+/// [`pastas_codes::atc::LEVEL1_GROUPS`] order. Hand-tuned qualitative
+/// palette (ColorBrewer-adjacent) with adjacent-index hue separation.
+pub const MEDICATION_PALETTE: [Color; 14] = [
+    Color::rgb(0x1f, 0x77, 0xb4), // A Alimentary — blue
+    Color::rgb(0xd6, 0x27, 0x28), // B Blood — red
+    Color::rgb(0x2c, 0xa0, 0x2c), // C Cardiovascular — green
+    Color::rgb(0xff, 0x7f, 0x0e), // D Dermatologicals — orange
+    Color::rgb(0x94, 0x67, 0xbd), // G Genito-urinary — purple
+    Color::rgb(0x8c, 0x56, 0x4b), // H Hormones — brown
+    Color::rgb(0xe3, 0x77, 0xc2), // J Antiinfectives — pink
+    Color::rgb(0x7f, 0x7f, 0x7f), // L Antineoplastic — gray
+    Color::rgb(0xbc, 0xbd, 0x22), // M Musculo-skeletal — olive
+    Color::rgb(0x17, 0xbe, 0xcf), // N Nervous — cyan
+    Color::rgb(0x39, 0x4b, 0xa0), // P Antiparasitic — indigo
+    Color::rgb(0x84, 0xc9, 0x8b), // R Respiratory — light green
+    Color::rgb(0xff, 0xbb, 0x78), // S Sensory — light orange
+    Color::rgb(0x5b, 0x3a, 0x8c), // V Various — violet
+];
+
+/// Background band colors (kept pale so glyphs stay readable on top).
+pub const BAND_HOSPITAL: Color = Color::rgb(0xf4, 0xc7, 0xc7); // pale red
+/// Municipal-care band color.
+pub const BAND_MUNICIPAL: Color = Color::rgb(0xc7, 0xd9, 0xf4); // pale blue
+/// Rehabilitation band color.
+pub const BAND_REHAB: Color = Color::rgb(0xd9, 0xf4, 0xc7); // pale green
+/// Medication-exposure band color.
+pub const BAND_MEDICATION: Color = Color::rgb(0xf4, 0xe9, 0xc7); // pale amber
+
+/// The gray history bar of Fig. 1.
+pub const ROW_BAR: Color = Color::rgb(0xe8, 0xe8, 0xe8);
+/// Default glyph ink.
+pub const GLYPH_INK: Color = Color::rgb(0x33, 0x33, 0x33);
+/// Axis and label ink.
+pub const AXIS_INK: Color = Color::rgb(0x55, 0x55, 0x55);
+/// Alignment-anchor rule color.
+pub const ANCHOR_RULE: Color = Color::rgb(0xcc, 0x00, 0x00);
+
+/// Color for a medication color-class index (ATC main-group position).
+pub fn medication_color(class_index: u8) -> Color {
+    MEDICATION_PALETTE[class_index as usize % MEDICATION_PALETTE.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_rendering() {
+        assert_eq!(Color::rgb(0x1f, 0x77, 0xb4).hex(), "#1f77b4");
+        assert_eq!(Color::rgb(0, 0, 0).hex(), "#000000");
+        assert_eq!(Color::rgb(255, 255, 255).hex(), "#ffffff");
+    }
+
+    #[test]
+    fn luminance_ordering() {
+        assert!(Color::rgb(255, 255, 255).luminance() > 0.99);
+        assert!(Color::rgb(0, 0, 0).luminance() < 0.01);
+        assert!(BAND_HOSPITAL.luminance() > GLYPH_INK.luminance(), "bands pale, ink dark");
+    }
+
+    #[test]
+    fn palette_covers_all_atc_groups_distinctly() {
+        assert_eq!(MEDICATION_PALETTE.len(), pastas_codes::atc::LEVEL1_GROUPS.len());
+        for (i, a) in MEDICATION_PALETTE.iter().enumerate() {
+            for b in &MEDICATION_PALETTE[i + 1..] {
+                assert_ne!(a, b, "palette colors must be unique");
+            }
+        }
+    }
+
+    #[test]
+    fn glyphs_contrast_with_bands() {
+        // Every band is light enough for dark glyphs on top (WCAG-ish 3:1).
+        for band in [BAND_HOSPITAL, BAND_MUNICIPAL, BAND_REHAB, BAND_MEDICATION, ROW_BAR] {
+            let contrast = (band.luminance() + 0.05) / (GLYPH_INK.luminance() + 0.05);
+            assert!(contrast > 3.0, "{} contrast {contrast}", band.hex());
+        }
+    }
+
+    #[test]
+    fn medication_color_wraps_safely() {
+        assert_eq!(medication_color(0), MEDICATION_PALETTE[0]);
+        assert_eq!(medication_color(14), MEDICATION_PALETTE[0]);
+        assert_eq!(medication_color(255), MEDICATION_PALETTE[255 % 14]);
+    }
+}

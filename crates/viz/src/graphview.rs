@@ -1,0 +1,163 @@
+//! Rendering NSEPter graphs (Fig. 2) into the scene model.
+//!
+//! Nodes are circles sized by merged-history count; edges are lines whose
+//! width scales with the number of histories exhibiting the transition —
+//! "Common edges between merged nodes were scaled according to the number
+//! of histories exhibiting the transition in question" (§II.A.1).
+
+use crate::color;
+use crate::scene::{Primitive, Scene};
+use pastas_graph::{DiGraph, GraphLayout};
+
+/// Rendering parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphViewOptions {
+    /// Horizontal spacing between layers, px.
+    pub layer_spacing: f64,
+    /// Vertical spacing within a layer, px.
+    pub row_spacing: f64,
+    /// Canvas margin, px.
+    pub margin: f64,
+    /// Draw code labels on nodes.
+    pub labels: bool,
+}
+
+impl Default for GraphViewOptions {
+    fn default() -> GraphViewOptions {
+        GraphViewOptions { layer_spacing: 110.0, row_spacing: 42.0, margin: 36.0, labels: true }
+    }
+}
+
+/// Render a laid-out graph to a scene.
+pub fn render_graph(g: &DiGraph, layout: &GraphLayout, opts: &GraphViewOptions) -> Scene {
+    let w = opts.margin * 2.0 + opts.layer_spacing * layout.layers.max(1) as f64;
+    let h = opts.margin * 2.0 + opts.row_spacing * layout.max_layer_size.max(1) as f64;
+    let mut scene = Scene::new(w, h);
+    let place = |x: f64, y: f64| (opts.margin + x * opts.layer_spacing, opts.margin + y * opts.row_spacing);
+
+    // Edges underneath.
+    for (a, b, weight) in g.edges() {
+        let (Some(&(xa, ya)), Some(&(xb, yb))) = (layout.positions.get(&a), layout.positions.get(&b))
+        else {
+            continue;
+        };
+        let (x1, y1) = place(xa, ya);
+        let (x2, y2) = place(xb, yb);
+        scene.push_with_tooltip(
+            Primitive::Line {
+                x1,
+                y1,
+                x2,
+                y2,
+                stroke: color::AXIS_INK,
+                width: (weight as f64).sqrt().max(0.75),
+            },
+            "graph:edge",
+            format!("{weight} histories take this transition"),
+        );
+    }
+    // Nodes on top.
+    for (id, node) in g.nodes().iter().enumerate() {
+        if node.dead {
+            continue;
+        }
+        let Some(&(x, y)) = layout.positions.get(&id) else { continue };
+        let (cx, cy) = place(x, y);
+        let r = 4.0 + (node.members.len() as f64).sqrt() * 2.0;
+        scene.push_with_tooltip(
+            Primitive::Circle { cx, cy, r, fill: color::ROW_BAR },
+            "graph:node",
+            format!("{} — {} histories", node.code.value, node.members.len()),
+        );
+        if opts.labels {
+            scene.push(
+                Primitive::Text {
+                    x: cx - 10.0,
+                    y: cy + 3.0,
+                    text: node.code.value.clone(),
+                    size: 9.0,
+                    fill: color::GLYPH_INK,
+                },
+                "graph:label",
+            );
+        }
+    }
+    scene
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_codes::Code;
+    use pastas_graph::{layout, merge_neighbors, merge_on_regex};
+    use pastas_regex::Regex;
+
+    fn seq(codes: &[&str]) -> Vec<Code> {
+        codes.iter().map(|c| Code::icpc(c)).collect()
+    }
+
+    fn merged_graph() -> (DiGraph, GraphLayout) {
+        let seqs = vec![
+            seq(&["A01", "T90", "K74"]),
+            seq(&["A01", "T90", "K74"]),
+            seq(&["R05", "T90", "K77"]),
+        ];
+        let mut g = DiGraph::from_sequences(&seqs);
+        let merged = merge_on_regex(&mut g, &Regex::new("T90").unwrap());
+        merge_neighbors(&mut g, &merged, 2);
+        let l = layout(&g);
+        (g, l)
+    }
+
+    #[test]
+    fn scene_inventory_matches_graph() {
+        let (g, l) = merged_graph();
+        let scene = render_graph(&g, &l, &GraphViewOptions::default());
+        assert_eq!(scene.count_class_prefix("graph:node"), g.node_count());
+        assert_eq!(scene.count_class_prefix("graph:edge"), g.edge_count());
+        assert_eq!(scene.count_class_prefix("graph:label"), g.node_count());
+    }
+
+    #[test]
+    fn edge_width_scales_with_history_count() {
+        let (g, l) = merged_graph();
+        let scene = render_graph(&g, &l, &GraphViewOptions::default());
+        let widths: Vec<f64> = scene
+            .elements
+            .iter()
+            .filter_map(|e| match &e.primitive {
+                Primitive::Line { width, .. } if e.class == "graph:edge" => Some(*width),
+                _ => None,
+            })
+            .collect();
+        let max = widths.iter().cloned().fold(0.0, f64::max);
+        let min = widths.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max > min, "shared transitions draw thicker: {widths:?}");
+    }
+
+    #[test]
+    fn labels_can_be_disabled() {
+        let (g, l) = merged_graph();
+        let opts = GraphViewOptions { labels: false, ..Default::default() };
+        let scene = render_graph(&g, &l, &opts);
+        assert_eq!(scene.count_class_prefix("graph:label"), 0);
+    }
+
+    #[test]
+    fn merged_node_tooltip_reports_membership() {
+        let (g, l) = merged_graph();
+        let scene = render_graph(&g, &l, &GraphViewOptions::default());
+        assert!(scene
+            .elements
+            .iter()
+            .any(|e| e.tooltip.as_deref() == Some("T90 — 3 histories")));
+    }
+
+    #[test]
+    fn empty_graph_renders_empty_scene() {
+        let g = DiGraph::from_sequences(&[]);
+        let l = layout(&g);
+        let scene = render_graph(&g, &l, &GraphViewOptions::default());
+        assert!(scene.is_empty());
+    }
+}

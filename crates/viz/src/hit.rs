@@ -1,0 +1,115 @@
+//! Hit-testing and details-on-demand.
+//!
+//! Fig. 1's "dynamic displays showing detailed information about the
+//! history content under the mouse cursor": the layout registers a hit
+//! record per drawn entry; [`HitMap::hit_test`] resolves a cursor position
+//! to the topmost record in O(visible entries), fast enough that E8 can
+//! hold hover latency far under the 0.1 s budget.
+
+/// One interactive region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HitRecord {
+    /// Bounding box `(x0, y0, x1, y1)` in device pixels.
+    pub bbox: (f64, f64, f64, f64),
+    /// Display row.
+    pub row: usize,
+    /// History position in the collection.
+    pub history_index: usize,
+    /// Entry position within the history.
+    pub entry_index: usize,
+    /// The details-on-demand text.
+    pub details: String,
+}
+
+/// All interactive regions of one laid-out scene, in paint order.
+#[derive(Debug, Clone, Default)]
+pub struct HitMap {
+    records: Vec<HitRecord>,
+}
+
+impl HitMap {
+    /// An empty map.
+    pub fn new() -> HitMap {
+        HitMap::default()
+    }
+
+    /// Register a region (call in paint order).
+    pub fn push(&mut self, record: HitRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no regions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The topmost record under `(x, y)`, with a tolerance margin so thin
+    /// glyphs stay clickable.
+    pub fn hit_test(&self, x: f64, y: f64) -> Option<&HitRecord> {
+        const SLOP: f64 = 2.0;
+        self.records.iter().rev().find(|r| {
+            let (x0, y0, x1, y1) = r.bbox;
+            x >= x0 - SLOP && x <= x1 + SLOP && y >= y0 - SLOP && y <= y1 + SLOP
+        })
+    }
+
+    /// All records on a display row (for the left-hand history panel).
+    pub fn row_records(&self, row: usize) -> impl Iterator<Item = &HitRecord> {
+        self.records.iter().filter(move |r| r.row == row)
+    }
+
+    /// Iterate all records.
+    pub fn iter(&self) -> impl Iterator<Item = &HitRecord> {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(x0: f64, y0: f64, x1: f64, y1: f64, row: usize) -> HitRecord {
+        HitRecord {
+            bbox: (x0, y0, x1, y1),
+            row,
+            history_index: row,
+            entry_index: 0,
+            details: format!("row {row}"),
+        }
+    }
+
+    #[test]
+    fn topmost_wins() {
+        let mut m = HitMap::new();
+        m.push(rec(0.0, 0.0, 100.0, 100.0, 0));
+        m.push(rec(40.0, 40.0, 60.0, 60.0, 1));
+        assert_eq!(m.hit_test(50.0, 50.0).unwrap().row, 1, "later paint wins");
+        assert_eq!(m.hit_test(10.0, 10.0).unwrap().row, 0);
+        assert!(m.hit_test(300.0, 300.0).is_none());
+    }
+
+    #[test]
+    fn slop_makes_thin_glyphs_clickable() {
+        let mut m = HitMap::new();
+        m.push(rec(50.0, 10.0, 50.5, 20.0, 0)); // half-pixel-wide mark
+        assert!(m.hit_test(51.5, 15.0).is_some());
+        assert!(m.hit_test(55.0, 15.0).is_none());
+    }
+
+    #[test]
+    fn row_filtering() {
+        let mut m = HitMap::new();
+        m.push(rec(0.0, 0.0, 10.0, 10.0, 3));
+        m.push(rec(20.0, 0.0, 30.0, 10.0, 3));
+        m.push(rec(0.0, 20.0, 10.0, 30.0, 4));
+        assert_eq!(m.row_records(3).count(), 2);
+        assert_eq!(m.row_records(4).count(), 1);
+        assert_eq!(m.row_records(9).count(), 0);
+        assert_eq!(m.len(), 3);
+    }
+}

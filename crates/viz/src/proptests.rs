@@ -1,0 +1,129 @@
+//! Property tests: the layout pipeline never panics and produces sane
+//! geometry for arbitrary viewports and collections.
+
+use crate::timeline::{TimelineOptions, TimelineView};
+use crate::viewport::Viewport;
+use pastas_codes::Code;
+use pastas_model::{
+    Entry, EpisodeKind, History, HistoryCollection, Patient, PatientId, Payload, Sex, SourceKind,
+};
+use pastas_time::{Date, DateTime, Duration};
+use proptest::prelude::*;
+
+fn arb_time() -> impl Strategy<Value = DateTime> {
+    // 2012..2016.
+    (1_325_376_000i64..1_451_606_400).prop_map(|s| DateTime::from_second_number(s).unwrap())
+}
+
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    (arb_time(), 0i64..90, 0usize..4).prop_map(|(t, len_days, kind)| match kind {
+        0 => Entry::event(t, Payload::Diagnosis(Code::icpc("T90")), SourceKind::PrimaryCare),
+        1 => Entry::event(t, Payload::Medication(Code::atc("C07AB02")), SourceKind::Prescription),
+        2 => Entry::event(
+            t,
+            Payload::Measurement { kind: pastas_model::MeasurementKind::SystolicBp, value: 140.0 },
+            SourceKind::PrimaryCare,
+        ),
+        _ => Entry::interval(
+            t,
+            t + Duration::days(len_days),
+            Payload::Episode(EpisodeKind::Inpatient),
+            SourceKind::Hospital,
+        ),
+    })
+}
+
+fn arb_collection() -> impl Strategy<Value = HistoryCollection> {
+    proptest::collection::vec(proptest::collection::vec(arb_entry(), 0..10), 0..8).prop_map(
+        |patients| {
+            HistoryCollection::from_histories(patients.into_iter().enumerate().map(|(i, es)| {
+                let mut h = History::new(Patient {
+                    id: PatientId(i as u64 + 1),
+                    birth_date: Date::new(1940, 1, 1).unwrap(),
+                    sex: Sex::Female,
+                });
+                h.insert_all(es);
+                h
+            }))
+        },
+    )
+}
+
+fn arb_viewport() -> impl Strategy<Value = Viewport> {
+    (arb_time(), arb_time(), 1.0f64..200.0, 50.0f64..2000.0, 50.0f64..2000.0)
+        .prop_map(|(a, b, rows, w, h)| Viewport::new(a, b, rows, w, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Layout never panics, and every hit bbox is finite and ordered.
+    #[test]
+    fn layout_is_total_and_geometry_is_sane(
+        c in arb_collection(),
+        vp in arb_viewport(),
+    ) {
+        let view = TimelineView::new(&c, TimelineOptions::default());
+        let (scene, hits) = view.layout(&vp);
+        prop_assert!(scene.width.is_finite() && scene.height.is_finite());
+        for r in hits.iter() {
+            let (x0, y0, x1, y1) = r.bbox;
+            prop_assert!(x0.is_finite() && y0.is_finite() && x1.is_finite() && y1.is_finite());
+            prop_assert!(x0 <= x1 + 1e-9 && y0 <= y1 + 1e-9);
+            prop_assert!(r.history_index < c.len());
+        }
+        // SVG rendering is total, non-empty, and well-formed at the ends.
+        let svg = crate::svg::render(&scene);
+        prop_assert!(svg.starts_with("<svg "));
+        prop_assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    /// Every hit record's details round-trip through hit testing at its
+    /// own centre (the details-on-demand contract).
+    #[test]
+    fn hit_testing_finds_every_record_at_its_centre(c in arb_collection()) {
+        let stats = c.stats();
+        let (Some(from), Some(to)) = (stats.first, stats.last) else {
+            return Ok(());
+        };
+        let vp = Viewport::new(from, to + Duration::days(1), 20.0, 800.0, 400.0);
+        let view = TimelineView::new(&c, TimelineOptions::default());
+        let (_, hits) = view.layout(&vp);
+        for r in hits.iter() {
+            let cx = (r.bbox.0 + r.bbox.2) / 2.0;
+            let cy = (r.bbox.1 + r.bbox.3) / 2.0;
+            let found = hits.hit_test(cx, cy);
+            // Topmost element wins, so we may find a different record —
+            // but we must find *something* there.
+            prop_assert!(found.is_some(), "nothing at the centre of {:?}", r.bbox);
+        }
+    }
+
+    /// Viewport mapping is monotone: later times map to x at least as
+    /// large.
+    #[test]
+    fn viewport_x_is_monotone(vp in arb_viewport(), a in arb_time(), b in arb_time()) {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(vp.x_of(a) <= vp.x_of(b) + 1e-9);
+    }
+
+    /// Zoom in then out by the same factor restores the span length
+    /// (allowing a couple of seconds of rounding).
+    #[test]
+    fn zoom_round_trips_span(vp in arb_viewport(), factor in 1.1f64..8.0) {
+        let mut v = vp;
+        let focus = v.time_from + Duration::seconds(v.span().as_seconds() / 2);
+        let before = v.span().as_seconds();
+        v.zoom_time(factor, focus);
+        v.zoom_time(1.0 / factor, focus);
+        let after = v.span().as_seconds();
+        // The minimum-span clamp may stop tiny spans from shrinking, and
+        // each zoom truncates the two half-spans to whole seconds; the
+        // zoom-out multiplies the zoom-in's truncation by `factor`, so the
+        // drift bound scales with it.
+        if before > 240 {
+            let bound = (2.0 * factor + 4.0) as i64;
+            prop_assert!((before - after).abs() <= bound, "span {before} → {after}");
+        }
+    }
+}

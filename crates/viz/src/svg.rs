@@ -1,0 +1,209 @@
+//! SVG rendering of a [`Scene`].
+//!
+//! Hand-rolled writer: the scene's primitive set is small and fixed, so a
+//! dependency-free emitter stays trivially auditable. Tooltips become
+//! `<title>` children (the native SVG hover affordance), classes carry the
+//! presentation-ontology class names.
+
+use crate::scene::{Primitive, Scene};
+use std::fmt::Write;
+
+/// Escape text content for XML.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sanitize a class name into an SVG-safe token (`viz:Glyph/square` →
+/// `viz-Glyph-square`).
+fn class_token(class: &str) -> String {
+    class
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '-' })
+        .collect()
+}
+
+fn fmt_num(v: f64) -> String {
+    // Trim trailing zeros for compact output.
+    let s = format!("{v:.2}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_owned()
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Render a scene to a standalone SVG document.
+pub fn render(scene: &Scene) -> String {
+    let mut out = String::with_capacity(scene.len() * 96 + 256);
+    let _ = write!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {} {}\" font-family=\"sans-serif\">\n",
+        fmt_num(scene.width),
+        fmt_num(scene.height),
+        fmt_num(scene.width),
+        fmt_num(scene.height),
+    );
+    out.push_str("<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n");
+    for el in &scene.elements {
+        let class = class_token(&el.class);
+        let title = el
+            .tooltip
+            .as_ref()
+            .map(|t| format!("<title>{}</title>", escape(t)))
+            .unwrap_or_default();
+        let open_close = |body: String| -> String {
+            if title.is_empty() {
+                format!("{body}/>\n")
+            } else {
+                // Reopen the element to nest the title.
+                let tag_end = body.find(' ').unwrap_or(body.len());
+                let tag = &body[1..tag_end];
+                format!("{body}>{title}</{tag}>\n")
+            }
+        };
+        match &el.primitive {
+            Primitive::Rect { x, y, w, h, fill } => {
+                out.push_str(&open_close(format!(
+                    "<rect class=\"{class}\" x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\"",
+                    fmt_num(*x),
+                    fmt_num(*y),
+                    fmt_num(*w),
+                    fmt_num(*h),
+                    fill.hex(),
+                )));
+            }
+            Primitive::Line { x1, y1, x2, y2, stroke, width } => {
+                out.push_str(&open_close(format!(
+                    "<line class=\"{class}\" x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{}\" stroke-width=\"{}\"",
+                    fmt_num(*x1),
+                    fmt_num(*y1),
+                    fmt_num(*x2),
+                    fmt_num(*y2),
+                    stroke.hex(),
+                    fmt_num(*width),
+                )));
+            }
+            Primitive::Circle { cx, cy, r, fill } => {
+                out.push_str(&open_close(format!(
+                    "<circle class=\"{class}\" cx=\"{}\" cy=\"{}\" r=\"{}\" fill=\"{}\"",
+                    fmt_num(*cx),
+                    fmt_num(*cy),
+                    fmt_num(*r),
+                    fill.hex(),
+                )));
+            }
+            Primitive::Polygon { points, fill } => {
+                let pts: Vec<String> =
+                    points.iter().map(|&(x, y)| format!("{},{}", fmt_num(x), fmt_num(y))).collect();
+                out.push_str(&open_close(format!(
+                    "<polygon class=\"{class}\" points=\"{}\" fill=\"{}\"",
+                    pts.join(" "),
+                    fill.hex(),
+                )));
+            }
+            Primitive::Text { x, y, text, size, fill } => {
+                let _ = write!(
+                    out,
+                    "<text class=\"{class}\" x=\"{}\" y=\"{}\" font-size=\"{}\" fill=\"{}\">{}</text>\n",
+                    fmt_num(*x),
+                    fmt_num(*y),
+                    fmt_num(*size),
+                    fill.hex(),
+                    escape(text),
+                );
+            }
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::GLYPH_INK;
+
+    fn scene_with(p: Primitive) -> Scene {
+        let mut s = Scene::new(100.0, 50.0);
+        s.push(p, "viz:Glyph/square");
+        s
+    }
+
+    #[test]
+    fn document_structure() {
+        let svg = render(&scene_with(Primitive::Rect {
+            x: 1.0,
+            y: 2.0,
+            w: 3.0,
+            h: 4.0,
+            fill: GLYPH_INK,
+        }));
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("width=\"100\""));
+        assert!(svg.contains("<rect class=\"viz-Glyph-square\" x=\"1\" y=\"2\""));
+    }
+
+    #[test]
+    fn tooltips_become_titles() {
+        let mut s = Scene::new(10.0, 10.0);
+        s.push_with_tooltip(
+            Primitive::Circle { cx: 1.0, cy: 1.0, r: 1.0, fill: GLYPH_INK },
+            "viz:Glyph/circle",
+            "diagnosis T90 (Diabetes <non-insulin>)".into(),
+        );
+        let svg = render(&s);
+        assert!(svg.contains("<title>diagnosis T90 (Diabetes &lt;non-insulin&gt;)</title>"));
+        assert!(svg.contains("</circle>"));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let svg = render(&scene_with(Primitive::Text {
+            x: 0.0,
+            y: 0.0,
+            text: "BP < 140 & falling".into(),
+            size: 10.0,
+            fill: GLYPH_INK,
+        }));
+        assert!(svg.contains("BP &lt; 140 &amp; falling"));
+    }
+
+    #[test]
+    fn numbers_are_compact() {
+        assert_eq!(fmt_num(10.0), "10");
+        assert_eq!(fmt_num(10.50), "10.5");
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(-3.25), "-3.25");
+    }
+
+    #[test]
+    fn all_primitives_render() {
+        let mut s = Scene::new(10.0, 10.0);
+        s.push(Primitive::Rect { x: 0.0, y: 0.0, w: 1.0, h: 1.0, fill: GLYPH_INK }, "a");
+        s.push(
+            Primitive::Line { x1: 0.0, y1: 0.0, x2: 1.0, y2: 1.0, stroke: GLYPH_INK, width: 1.0 },
+            "b",
+        );
+        s.push(Primitive::Circle { cx: 0.0, cy: 0.0, r: 1.0, fill: GLYPH_INK }, "c");
+        s.push(Primitive::Polygon { points: vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)], fill: GLYPH_INK }, "d");
+        s.push(Primitive::Text { x: 0.0, y: 0.0, text: "x".into(), size: 8.0, fill: GLYPH_INK }, "e");
+        let svg = render(&s);
+        for tag in ["<rect", "<line", "<circle", "<polygon", "<text"] {
+            assert!(svg.contains(tag), "missing {tag}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The viewport: pan plus the paper's two zoom sliders.
+//!
+//! §IV.B: "two sliders were added to the user interface … The sliders
+//! allow the user to zoom both vertically and horizontally, in order to
+//! see many patients and/or many details (long time-span) at the same
+//! time."
+
+use pastas_time::{DateTime, Duration};
+
+/// The visible window onto the cohort: a time span (horizontal) and a row
+/// range (vertical), mapped to a pixel canvas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Viewport {
+    /// Left edge of the visible time span.
+    pub time_from: DateTime,
+    /// Right edge of the visible time span.
+    pub time_to: DateTime,
+    /// First visible row (fractional during smooth scroll).
+    pub row_offset: f64,
+    /// Number of visible rows (the vertical zoom: fewer rows = taller
+    /// bars = more detail).
+    pub rows_visible: f64,
+    /// Canvas width in pixels.
+    pub width_px: f64,
+    /// Canvas height in pixels.
+    pub height_px: f64,
+}
+
+impl Viewport {
+    /// A viewport showing `[from, to]` × `rows` on a canvas.
+    pub fn new(from: DateTime, to: DateTime, rows: f64, width_px: f64, height_px: f64) -> Viewport {
+        let (from, to) = if from <= to { (from, to) } else { (to, from) };
+        Viewport {
+            time_from: from,
+            time_to: to,
+            row_offset: 0.0,
+            rows_visible: rows.max(1.0),
+            width_px,
+            height_px,
+        }
+    }
+
+    /// Visible span.
+    pub fn span(&self) -> Duration {
+        self.time_to - self.time_from
+    }
+
+    /// Map an instant to an x pixel (may fall outside the canvas).
+    pub fn x_of(&self, t: DateTime) -> f64 {
+        let span = self.span().as_seconds() as f64;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        (t - self.time_from).as_seconds() as f64 / span * self.width_px
+    }
+
+    /// Inverse of [`Viewport::x_of`].
+    pub fn time_at(&self, x: f64) -> DateTime {
+        let span = self.span().as_seconds() as f64;
+        let secs = (x / self.width_px * span) as i64;
+        self.time_from + Duration::seconds(secs)
+    }
+
+    /// Height of one row in pixels.
+    pub fn row_height(&self) -> f64 {
+        self.height_px / self.rows_visible
+    }
+
+    /// Top y of a row (rows indexed from the top of the collection order).
+    pub fn y_of_row(&self, row: usize) -> f64 {
+        (row as f64 - self.row_offset) * self.row_height()
+    }
+
+    /// The row under a y pixel, if inside the canvas.
+    pub fn row_at(&self, y: f64) -> Option<usize> {
+        if !(0.0..self.height_px).contains(&y) {
+            return None;
+        }
+        let row = y / self.row_height() + self.row_offset;
+        (row >= 0.0).then_some(row as usize)
+    }
+
+    /// The inclusive row range currently visible, clipped to `total` rows.
+    pub fn visible_rows(&self, total: usize) -> std::ops::Range<usize> {
+        let first = self.row_offset.floor().max(0.0) as usize;
+        let last = ((self.row_offset + self.rows_visible).ceil() as usize).min(total);
+        first..last.max(first)
+    }
+
+    /// Horizontal zoom around a focal instant: `factor > 1` zooms in.
+    pub fn zoom_time(&mut self, factor: f64, focus: DateTime) {
+        let factor = factor.clamp(1e-3, 1e3);
+        let left = (focus - self.time_from).as_seconds() as f64 / factor;
+        let right = (self.time_to - focus).as_seconds() as f64 / factor;
+        // Keep at least one minute of span so the mapping stays invertible.
+        if left + right < 60.0 {
+            return;
+        }
+        self.time_from = focus + pastas_time::Duration::seconds(-(left as i64));
+        self.time_to = focus + pastas_time::Duration::seconds(right as i64);
+    }
+
+    /// Vertical zoom: `factor > 1` shows fewer rows (more detail).
+    pub fn zoom_rows(&mut self, factor: f64) {
+        self.rows_visible = (self.rows_visible / factor.clamp(1e-3, 1e3)).max(1.0);
+    }
+
+    /// Pan horizontally by a duration (positive = later).
+    pub fn pan_time(&mut self, by: Duration) {
+        self.time_from = self.time_from + by;
+        self.time_to = self.time_to + by;
+    }
+
+    /// Pan vertically by rows (positive = down), clamped to `[0, total)`.
+    pub fn pan_rows(&mut self, by: f64, total: usize) {
+        self.row_offset =
+            (self.row_offset + by).clamp(0.0, (total as f64 - 1.0).max(0.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_time::Date;
+
+    fn t(y: i32, m: u32, d: u32) -> DateTime {
+        Date::new(y, m, d).unwrap().at_midnight()
+    }
+
+    fn vp() -> Viewport {
+        Viewport::new(t(2013, 1, 1), t(2015, 1, 1), 20.0, 1000.0, 600.0)
+    }
+
+    #[test]
+    fn x_mapping_is_affine_and_invertible() {
+        let v = vp();
+        assert_eq!(v.x_of(t(2013, 1, 1)), 0.0);
+        assert!((v.x_of(t(2015, 1, 1)) - 1000.0).abs() < 1e-9);
+        let mid = v.x_of(t(2014, 1, 1));
+        assert!((499.0..501.0).contains(&mid), "mid {mid}");
+        let back = v.time_at(mid);
+        assert_eq!(back.date(), Date::new(2014, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn row_mapping() {
+        let v = vp();
+        assert_eq!(v.row_height(), 30.0);
+        assert_eq!(v.y_of_row(0), 0.0);
+        assert_eq!(v.y_of_row(3), 90.0);
+        assert_eq!(v.row_at(45.0), Some(1));
+        assert_eq!(v.row_at(-5.0), None);
+        assert_eq!(v.row_at(600.0), None);
+    }
+
+    #[test]
+    fn visible_rows_clip_to_total() {
+        let mut v = vp();
+        assert_eq!(v.visible_rows(100), 0..20);
+        assert_eq!(v.visible_rows(10), 0..10);
+        v.pan_rows(95.0, 100);
+        assert_eq!(v.visible_rows(100).end, 100);
+    }
+
+    #[test]
+    fn horizontal_zoom_keeps_focus() {
+        let mut v = vp();
+        let focus = t(2014, 1, 1);
+        let x_before = v.x_of(focus);
+        v.zoom_time(2.0, focus);
+        let x_after = v.x_of(focus);
+        assert!((x_before - x_after).abs() < 1.0, "focus stays put");
+        assert_eq!(v.span().whole_days(), 365, "span halved");
+    }
+
+    #[test]
+    fn vertical_zoom_bounds() {
+        let mut v = vp();
+        v.zoom_rows(4.0);
+        assert_eq!(v.rows_visible, 5.0);
+        v.zoom_rows(100.0);
+        assert_eq!(v.rows_visible, 1.0, "never below one row");
+        v.zoom_rows(0.1);
+        assert_eq!(v.rows_visible, 10.0, "zooming out widens");
+    }
+
+    #[test]
+    fn panning() {
+        let mut v = vp();
+        v.pan_time(Duration::days(30));
+        assert_eq!(v.time_from.date(), Date::new(2013, 1, 31).unwrap());
+        v.pan_rows(-5.0, 100);
+        assert_eq!(v.row_offset, 0.0, "clamped at top");
+        v.pan_rows(1000.0, 100);
+        assert_eq!(v.row_offset, 99.0, "clamped at bottom");
+    }
+
+    #[test]
+    fn zoom_never_collapses_span() {
+        let mut v = vp();
+        for _ in 0..100 {
+            v.zoom_time(10.0, t(2014, 1, 1));
+        }
+        assert!(v.span().as_seconds() >= 60);
+        let x = v.x_of(t(2014, 1, 1));
+        assert!(x.is_finite());
+    }
+
+    #[test]
+    fn reversed_bounds_are_normalized() {
+        let v = Viewport::new(t(2015, 1, 1), t(2013, 1, 1), 10.0, 100.0, 100.0);
+        assert!(v.time_from < v.time_to);
+    }
+}

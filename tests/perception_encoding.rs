@@ -1,0 +1,90 @@
+//! The perceptual claims behind the visual encodings, verified against the
+//! actual palette and glyph assignments the timeline uses.
+//!
+//! §II.B: good encodings keep common searches in the preattentive regime
+//! and avoid conjunction search. These tests connect `pastas-perception`'s
+//! models to `pastas-viz`'s concrete choices.
+
+use pastas_core::prelude::*;
+use pastas_perception::color::min_pairwise_delta_e;
+use pastas_perception::{classify_search, Item, SearchCondition};
+use pastas_viz::color::MEDICATION_PALETTE;
+
+#[test]
+fn medication_palette_is_perceptually_distinct() {
+    let rgb: Vec<(u8, u8, u8)> = MEDICATION_PALETTE.iter().map(|c| (c.r, c.g, c.b)).collect();
+    let min_de = min_pairwise_delta_e(&rgb);
+    // ΔE ≈ 2.3 is the JND; categorical palettes want a wide margin.
+    assert!(min_de > 10.0, "weakest palette pair ΔE = {min_de:.1}");
+}
+
+#[test]
+fn searching_for_any_medication_is_preattentive() {
+    // All medication glyphs are triangles; diagnoses are squares,
+    // measurements arrows. Searching "any medication" is a shape feature
+    // search regardless of the color spread.
+    let target = Item { shape: 2, color: 2 }; // triangle, cardiovascular color
+    let mut distractors = Vec::new();
+    for i in 0..200u8 {
+        distractors.push(Item { shape: 0, color: i % 14 }); // squares
+        distractors.push(Item { shape: 1, color: i % 14 }); // arrows
+    }
+    assert_eq!(classify_search(target, &distractors), SearchCondition::Feature);
+}
+
+#[test]
+fn searching_for_one_drug_class_among_other_drugs_is_preattentive_by_color() {
+    // All triangles, but the target's ATC color class is unique on screen.
+    let target = Item { shape: 2, color: 9 }; // nervous-system drug
+    let distractors: Vec<Item> =
+        (0..100).map(|i| Item { shape: 2, color: (i % 8) as u8 }).collect(); // classes 0–7
+    assert_eq!(classify_search(target, &distractors), SearchCondition::Feature);
+}
+
+#[test]
+fn mixed_displays_can_force_conjunction_search_and_the_model_shows_the_cost() {
+    use pastas_perception::search::{RtModel, SearchExperiment};
+    use rand::SeedableRng;
+
+    // A cardiovascular *dispensing* among cardiovascular diagnoses (same
+    // color family) and other-class dispensings (same shape): conjunction.
+    let target = Item { shape: 2, color: 2 };
+    let mut distractors = vec![Item { shape: 0, color: 2 }; 30];
+    distractors.extend(vec![Item { shape: 2, color: 9 }; 30]);
+    assert_eq!(classify_search(target, &distractors), SearchCondition::Conjunction);
+
+    // And the RT model prices that: conjunction slope ≫ feature slope.
+    let exp = SearchExperiment {
+        set_sizes: vec![4, 16, 64, 256],
+        trials: 150,
+        model: RtModel::default(),
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let feature = exp.run(SearchCondition::Feature, &mut rng);
+    let conjunction = exp.run(SearchCondition::Conjunction, &mut rng);
+    assert!(feature.slope.abs() < 2.0);
+    assert!(conjunction.slope > 10.0 * feature.slope.abs().max(0.5));
+}
+
+#[test]
+fn every_payload_kind_gets_a_distinct_glyph_shape() {
+    use pastas_ontology::presentation::{GlyphShape, PresentationOntology};
+    let p = PresentationOntology::new();
+    let shapes = [
+        p.glyph_for(&Payload::Diagnosis(Code::icpc("T90"))),
+        p.glyph_for(&Payload::Measurement { kind: MeasurementKind::SystolicBp, value: 140.0 }),
+        p.glyph_for(&Payload::Medication(Code::atc("C07AB02"))),
+        p.glyph_for(&Payload::Note("x".into())),
+    ];
+    let unique: std::collections::HashSet<GlyphShape> = shapes.iter().copied().collect();
+    assert_eq!(unique.len(), shapes.len(), "payload kinds share a glyph: {shapes:?}");
+}
+
+#[test]
+fn the_mantra_pays_off_at_paper_scale() {
+    use pastas_perception::cost::{overview_zoom_filter_cost, scroll_everything_cost};
+    // Finding ten interesting patients in the 13,000-patient cohort.
+    let filter = overview_zoom_filter_cost(10);
+    let scroll = scroll_everything_cost(13_000, 40, 10);
+    assert!(scroll / filter > 10.0, "ratio {:.1}", scroll / filter);
+}
