@@ -52,13 +52,22 @@ pub fn sequence_distance(a: &[Code], b: &[Code], scoring: &Scoring) -> f64 {
 }
 
 /// Build the full pairwise matrix (O(n²) alignments — intended for
-/// cohort-sized inputs, hundreds of trajectories).
+/// cohort-sized inputs, hundreds of trajectories). Rows are independent
+/// and each costs up to n alignments, so they are chunked across threads
+/// (each row computes its strict upper triangle); the symmetric fill is a
+/// serial pass, keeping the result identical at every thread count.
 pub fn distance_matrix(sequences: &[Vec<Code>], scoring: &Scoring) -> DistanceMatrix {
     let n = sequences.len();
+    let rows: Vec<usize> = (0..n).collect();
+    let upper = pastas_par::par_map_min(&rows, 8, |&i| {
+        ((i + 1)..n)
+            .map(|j| sequence_distance(&sequences[i], &sequences[j], scoring))
+            .collect::<Vec<f64>>()
+    });
     let mut d = vec![0.0; n * n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let dist = sequence_distance(&sequences[i], &sequences[j], scoring);
+    for (i, row) in upper.into_iter().enumerate() {
+        for (offset, dist) in row.into_iter().enumerate() {
+            let j = i + 1 + offset;
             d[i * n + j] = dist;
             d[j * n + i] = dist;
         }
@@ -143,6 +152,23 @@ mod tests {
 
     fn s() -> Scoring {
         Scoring::default()
+    }
+
+    #[test]
+    fn parallel_distance_matrix_matches_serial() {
+        // 40 short trajectories with varied content.
+        let sequences: Vec<Vec<Code>> = (0..40u32)
+            .map(|i| {
+                let codes = ["T90", "K74", "A01", "R95", "K86"];
+                (0..(i % 7)).map(|j| Code::icpc(codes[((i + j) % 5) as usize])).collect()
+            })
+            .collect();
+        let serial = pastas_par::with_threads(1, || distance_matrix(&sequences, &s()));
+        for threads in [2, 8] {
+            let par = pastas_par::with_threads(threads, || distance_matrix(&sequences, &s()));
+            assert_eq!(par.d, serial.d, "threads {threads}");
+            assert_eq!(par.n, serial.n);
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `examples/cohort_selection_168k.rs`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pastas_bench::{base_scale, cohort, header};
+use pastas_bench::{base_scale, cohort, header, par_ratio_row};
 use pastas_query::index::select_scan;
 use pastas_query::{CodeIndex, QueryBuilder};
 
@@ -40,6 +40,20 @@ fn bench(c: &mut Criterion) {
     group.finish();
 
     c.bench_function("e5_index_build", |b| b.iter(|| CodeIndex::build(&collection)));
+
+    // Serial-vs-parallel ratios for the three hot paths (the parallel side
+    // honours PASTAS_THREADS; both sides compute identical results).
+    let serial_selected = pastas_par::with_threads(1, || index.select(&collection, &query));
+    assert_eq!(serial_selected, selected, "serial and parallel paths agree");
+    par_ratio_row("e5 indexed selection", || {
+        std::hint::black_box(index.select(&collection, &query));
+    });
+    par_ratio_row("e5 full scan", || {
+        std::hint::black_box(select_scan(&collection, &query));
+    });
+    par_ratio_row("e5 index build", || {
+        std::hint::black_box(CodeIndex::build(&collection));
+    });
 
     // A compound query with age and count clauses (the realistic Fig. 4
     // dialog contents).

@@ -8,7 +8,7 @@
 //! operations that grow with cohort size.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pastas_bench::{base_scale, cohort, header};
+use pastas_bench::{base_scale, cohort, header, par_ratio_row};
 use pastas_core::Workbench;
 use pastas_query::{EntryPredicate, QueryBuilder, SortKey};
 use std::time::Instant;
@@ -39,8 +39,14 @@ fn bench(c: &mut Criterion) {
 
     // The per-operation budget table.
     let query = QueryBuilder::new().has_code("T90|T89").expect("regex").build();
+    // First call below populates the workbench selection cache, so the
+    // uncached cost is measured against the index directly.
+    let uncached = time_ms(|| {
+        std::hint::black_box(wb.index().select(wb.collection(), &query));
+    });
     let ops: Vec<(&str, f64)> = vec![
-        ("select cohort (indexed)", time_ms(|| {
+        ("select cohort (uncached)", uncached),
+        ("re-select (cached)", time_ms(|| {
             std::hint::black_box(wb.select_positions(&query));
         })),
         ("sort by utilization", time_ms(|| wb.sort(&SortKey::EntryCount))),
@@ -78,6 +84,14 @@ fn bench(c: &mut Criterion) {
             if *ms < 100.0 { "MET" } else { "OVER" }
         );
     }
+
+    // Serial-vs-parallel ratios for the operations the parallel layer
+    // accelerates (cache bypassed so both sides do real work; both honour
+    // PASTAS_THREADS on the parallel side).
+    par_ratio_row("e8 indexed selection", || {
+        std::hint::black_box(wb.index().select(wb.collection(), &query));
+    });
+    par_ratio_row("e8 sort by utilization", || wb.sort(&SortKey::EntryCount));
 
     // Criterion timings for the two hottest paths.
     c.bench_function("e8_indexed_selection", |b| {

@@ -32,3 +32,30 @@ pub fn header(experiment: &str, paper_claim: &str) {
     eprintln!("\n=== {experiment} ===");
     eprintln!("paper: {paper_claim}");
 }
+
+/// Median-of-5 wall-clock time of `f`, in milliseconds.
+pub fn median_ms<F: FnMut()>(mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[2]
+}
+
+/// Print one serial-vs-parallel comparison row: times `f` pinned to one
+/// worker thread and at the configured count ([`pastas_par::thread_count`],
+/// i.e. `PASTAS_THREADS` or the machine default), reporting both medians
+/// and the speedup ratio.
+pub fn par_ratio_row<F: FnMut()>(name: &str, mut f: F) {
+    let serial = median_ms(|| pastas_par::with_threads(1, || f()));
+    let threads = pastas_par::thread_count();
+    let parallel = median_ms(|| f());
+    eprintln!(
+        "{name:<32} serial {serial:>8.2} ms   parallel({threads}) {parallel:>8.2} ms   speedup {:.2}x",
+        serial / parallel.max(1e-9)
+    );
+}

@@ -16,6 +16,8 @@ use pastas_time::Duration;
 use pastas_viz::html::{personal_timeline, PersonalTimelineOptions};
 use pastas_viz::timeline::aligned_viewport;
 use pastas_viz::{ascii, hit::HitMap, svg, AxisMode, Scene, TimelineOptions, TimelineView, Viewport};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// A snapshot of the mutable view state (what undo/redo restores).
 #[derive(Debug, Clone)]
@@ -31,6 +33,13 @@ pub struct Workbench {
     index: CodeIndex,
     ontology: IntegrationOntology,
     quality: Option<QualityReport>,
+    /// Memoized selection results, keyed by the query's canonical
+    /// fingerprint (its `Debug` form — deterministic, and two queries with
+    /// the same fingerprint are structurally identical). Re-running a
+    /// selection is the workbench's dominant interaction; a hit skips both
+    /// index probing and candidate verification. Cleared whenever the
+    /// collection changes ([`Self::set_collection`]).
+    selections: Mutex<HashMap<String, Vec<u32>>>,
     // View state.
     order: Vec<u32>,
     axis: AxisMode,
@@ -47,10 +56,23 @@ impl Workbench {
             index,
             ontology: IntegrationOntology::new(),
             quality: None,
+            selections: Mutex::new(HashMap::new()),
             order,
             axis: AxisMode::Calendar,
             filter: None,
         }
+    }
+
+    /// Replace the collection: rebuilds the index, resets the display
+    /// order and axis (old positions are meaningless against the new
+    /// data), and invalidates the selection cache. The filter is kept —
+    /// it is position-independent.
+    pub fn set_collection(&mut self, collection: HistoryCollection) {
+        self.index = CodeIndex::build(&collection);
+        self.order = (0..collection.len() as u32).collect();
+        self.axis = AxisMode::Calendar;
+        self.collection = collection;
+        self.selections.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 
     /// Build by running the full heterogeneous-source aggregation pipeline.
@@ -107,17 +129,33 @@ impl Workbench {
     // Cohort identification (§IV: "extraction of sub-collections")
     // ------------------------------------------------------------------
 
-    /// Positions of histories matching the query (index-accelerated).
+    /// Positions of histories matching the query (index-accelerated and
+    /// memoized — repeating a selection on an unchanged collection is a
+    /// cache hit).
     pub fn select_positions(&self, query: &HistoryQuery) -> Vec<u32> {
-        self.index.select(&self.collection, query)
+        let fingerprint = format!("{query:?}");
+        {
+            let cache = self.selections.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(hit) = cache.get(&fingerprint) {
+                return hit.clone();
+            }
+        }
+        let positions = self.index.select(&self.collection, query);
+        self.selections
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(fingerprint, positions.clone());
+        positions
     }
 
-    /// Extract the matching sub-collection into a new workbench.
+    /// Extract the matching sub-collection into a new workbench. The
+    /// sub-collection shares the selected histories with this one
+    /// (O(matches) pointer copies — no entry data is cloned).
     pub fn select(&self, query: &HistoryQuery) -> Workbench {
         let positions = self.select_positions(query);
         let histories = self.collection.histories();
-        let sub = HistoryCollection::from_histories(
-            positions.iter().map(|&i| histories[i as usize].clone()),
+        let sub = HistoryCollection::from_shared(
+            positions.iter().map(|&i| Arc::clone(&histories[i as usize])),
         );
         Workbench::from_collection(sub)
     }
@@ -333,6 +371,36 @@ mod tests {
         let ids = wb.select_ids(&q);
         let positions = wb.select_positions(&q);
         assert_eq!(ids.len(), positions.len());
+    }
+
+    #[test]
+    fn repeated_selection_hits_the_cache() {
+        let wb = wb();
+        let q = QueryBuilder::new().has_code("T90").unwrap().build();
+        let first = wb.select_positions(&q);
+        assert_eq!(wb.selections.lock().unwrap().len(), 1);
+        let second = wb.select_positions(&q);
+        assert_eq!(first, second);
+        assert_eq!(wb.selections.lock().unwrap().len(), 1, "same fingerprint, one entry");
+        // A structurally different query is a different fingerprint.
+        let q2 = QueryBuilder::new().has_code("K86").unwrap().build();
+        let _ = wb.select_positions(&q2);
+        assert_eq!(wb.selections.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn set_collection_invalidates_the_selection_cache() {
+        let mut wb = wb();
+        let q = QueryBuilder::new().has_code("T90").unwrap().build();
+        let before = wb.select_positions(&q);
+        assert!(!before.is_empty());
+        wb.set_collection(generate_collection(SynthConfig::with_patients(50), 7));
+        assert_eq!(wb.selections.lock().unwrap().len(), 0, "cache cleared");
+        let after = wb.select_positions(&q);
+        // Fresh result against the new collection, not a stale replay.
+        assert!(after.iter().all(|&i| (i as usize) < wb.collection().len()));
+        assert_eq!(wb.collection().len(), 50);
+        assert_eq!(wb.order().len(), 50, "order reset to the new collection");
     }
 
     #[test]

@@ -73,8 +73,33 @@ fn fingerprint(patient: u64, e: &Entry) -> (u64, i64, i64, u8, String) {
 pub fn aggregate(src: SourceTexts<'_>) -> (HistoryCollection, QualityReport) {
     let mut report = QualityReport::default();
 
+    // Parsing the five sources is independent, read-only work — fan it out
+    // on the parallel layer. Linkage and merge below consume the results
+    // in the fixed source order, so the pipeline output is identical to
+    // the serial one at every thread count.
+    let (persons_parsed, (claims_parsed, (hospital_parsed, (municipal_parsed, rx_parsed)))) =
+        pastas_par::join(
+            || adapters::parse_persons(src.persons),
+            || {
+                pastas_par::join(
+                    || adapters::parse_claims(src.claims),
+                    || {
+                        pastas_par::join(
+                            || adapters::parse_hospital(src.hospital),
+                            || {
+                                pastas_par::join(
+                                    || adapters::parse_municipal(src.municipal),
+                                    || adapters::parse_prescriptions(src.prescriptions),
+                                )
+                            },
+                        )
+                    },
+                )
+            },
+        );
+
     // 1. The person register anchors linkage.
-    let (persons, person_issues) = adapters::parse_persons(src.persons);
+    let (persons, person_issues) = persons_parsed;
     report.rows_read += persons.len() + person_issues.len();
     report.parse_errors += person_issues.len();
     let mut registry = IdentityRegistry::new();
@@ -106,7 +131,7 @@ pub fn aggregate(src: SourceTexts<'_>) -> (HistoryCollection, QualityReport) {
     };
 
     // 2. Claims: diagnosis event + free-text measurement extraction.
-    let (claims, issues) = adapters::parse_claims(src.claims);
+    let (claims, issues) = claims_parsed;
     report.rows_read += claims.len() + issues.len();
     report.parse_errors += issues.len();
     for row in claims {
@@ -133,7 +158,7 @@ pub fn aggregate(src: SourceTexts<'_>) -> (HistoryCollection, QualityReport) {
     }
 
     // 3. Hospital: interval + main diagnosis at admission.
-    let (episodes, issues) = adapters::parse_hospital(src.hospital);
+    let (episodes, issues) = hospital_parsed;
     report.rows_read += episodes.len() + issues.len();
     report.parse_errors += issues.len();
     for row in episodes {
@@ -158,7 +183,7 @@ pub fn aggregate(src: SourceTexts<'_>) -> (HistoryCollection, QualityReport) {
     }
 
     // 4. Municipal care periods.
-    let (services, issues) = adapters::parse_municipal(src.municipal);
+    let (services, issues) = municipal_parsed;
     report.rows_read += services.len() + issues.len();
     report.parse_errors += issues.len();
     for row in services {
@@ -180,7 +205,7 @@ pub fn aggregate(src: SourceTexts<'_>) -> (HistoryCollection, QualityReport) {
     }
 
     // 5. Dispensings.
-    let (rx, issues) = adapters::parse_prescriptions(src.prescriptions);
+    let (rx, issues) = rx_parsed;
     report.rows_read += rx.len() + issues.len();
     report.parse_errors += issues.len();
     for row in rx {
@@ -215,6 +240,21 @@ mod tests {
             hospital: &s.hospital,
             municipal: &s.municipal,
             prescriptions: &s.prescriptions,
+        }
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_serial() {
+        let pop = generate_population(SynthConfig::with_patients(120), 11);
+        let raw = emit(&pop, MessConfig::default());
+        let (c1, r1) = pastas_par::with_threads(1, || aggregate(sources(&raw)));
+        for threads in [2, 8] {
+            let (c2, r2) = pastas_par::with_threads(threads, || aggregate(sources(&raw)));
+            assert_eq!(r1, r2, "threads {threads}");
+            assert_eq!(c1.len(), c2.len());
+            for (a, b) in c1.iter().zip(c2.iter()) {
+                assert_eq!(a, b, "threads {threads}");
+            }
         }
     }
 

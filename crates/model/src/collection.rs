@@ -3,6 +3,7 @@
 use crate::{History, PatientId};
 use pastas_time::DateTime;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Summary statistics over a collection, shown in the workbench status bar
 /// and used by the scalability experiments.
@@ -28,9 +29,14 @@ pub struct CollectionStats {
 ///
 /// Order is significant: it is the vertical order of the visualization, and
 /// the sorting operators of the workbench permute it.
+///
+/// Histories are stored behind [`Arc`], so extracting a sub-collection (the
+/// workbench's cohort selection) copies pointers, not the histories
+/// themselves — O(matches) regardless of history size. Mutation goes
+/// through [`Self::get_mut`], which copy-on-writes a shared history.
 #[derive(Debug, Clone, Default)]
 pub struct HistoryCollection {
-    histories: Vec<History>,
+    histories: Vec<Arc<History>>,
     by_id: HashMap<PatientId, usize>,
 }
 
@@ -43,15 +49,27 @@ impl HistoryCollection {
     /// Build from histories. Later duplicates of a patient id replace
     /// earlier ones (last write wins, as when re-importing a source).
     pub fn from_histories<I: IntoIterator<Item = History>>(histories: I) -> HistoryCollection {
+        HistoryCollection::from_shared(histories.into_iter().map(Arc::new))
+    }
+
+    /// Build from already-shared histories without copying entry data —
+    /// the cheap path cohort extraction uses. Same last-write-wins
+    /// semantics as [`Self::from_histories`].
+    pub fn from_shared<I: IntoIterator<Item = Arc<History>>>(histories: I) -> HistoryCollection {
         let mut c = HistoryCollection::new();
         for h in histories {
-            c.upsert(h);
+            c.upsert_shared(h);
         }
         c
     }
 
     /// Insert or replace the history for a patient.
     pub fn upsert(&mut self, history: History) {
+        self.upsert_shared(Arc::new(history));
+    }
+
+    /// Insert or replace the history for a patient, sharing the allocation.
+    pub fn upsert_shared(&mut self, history: Arc<History>) {
         match self.by_id.get(&history.id()) {
             Some(&i) => self.histories[i] = history,
             None => {
@@ -61,19 +79,26 @@ impl HistoryCollection {
         }
     }
 
-    /// Histories in display order.
-    pub fn histories(&self) -> &[History] {
+    /// Histories in display order. The `Arc` is transparent to readers
+    /// (deref coercion); cohort extraction clones the pointers.
+    pub fn histories(&self) -> &[Arc<History>] {
         &self.histories
     }
 
     /// Look up one history by patient id.
     pub fn get(&self, id: PatientId) -> Option<&History> {
+        self.by_id.get(&id).map(|&i| self.histories[i].as_ref())
+    }
+
+    /// The shared handle for a patient's history.
+    pub fn get_shared(&self, id: PatientId) -> Option<&Arc<History>> {
         self.by_id.get(&id).map(|&i| &self.histories[i])
     }
 
-    /// Mutable lookup by patient id.
+    /// Mutable lookup by patient id. Copy-on-write: if the history is
+    /// shared with another collection, it is cloned once here.
     pub fn get_mut(&mut self, id: PatientId) -> Option<&mut History> {
-        self.by_id.get(&id).map(|&i| &mut self.histories[i])
+        self.by_id.get(&id).map(|&i| Arc::make_mut(&mut self.histories[i]))
     }
 
     /// Number of histories.
@@ -87,17 +112,18 @@ impl HistoryCollection {
     }
 
     /// Extract a sub-collection by predicate, preserving order. This is the
-    /// "extraction of sub-collections" operation of §IV.
+    /// "extraction of sub-collections" operation of §IV. The result shares
+    /// the selected histories (pointer copies, no entry data cloned).
     pub fn extract<F: Fn(&History) -> bool>(&self, pred: F) -> HistoryCollection {
-        HistoryCollection::from_histories(self.histories.iter().filter(|h| pred(h)).cloned())
+        HistoryCollection::from_shared(self.histories.iter().filter(|h| pred(h)).cloned())
     }
 
     /// Extract a sub-collection by ids (ids not present are skipped). The
     /// result is ordered by the id list, so a sorted id list re-sorts the
-    /// view.
+    /// view. Shares the selected histories.
     pub fn extract_ids(&self, ids: &[PatientId]) -> HistoryCollection {
-        HistoryCollection::from_histories(
-            ids.iter().filter_map(|&id| self.get(id).cloned()),
+        HistoryCollection::from_shared(
+            ids.iter().filter_map(|&id| self.get_shared(id).cloned()),
         )
     }
 
@@ -154,24 +180,48 @@ impl HistoryCollection {
     }
 
     /// Iterate over histories.
-    pub fn iter(&self) -> std::slice::Iter<'_, History> {
-        self.histories.iter()
+    pub fn iter(&self) -> HistoriesIter<'_> {
+        HistoriesIter { inner: self.histories.iter() }
     }
 }
 
+/// Iterator over `&History` (hides the `Arc` from callers).
+#[derive(Debug, Clone)]
+pub struct HistoriesIter<'a> {
+    inner: std::slice::Iter<'a, Arc<History>>,
+}
+
+impl<'a> Iterator for HistoriesIter<'a> {
+    type Item = &'a History;
+    fn next(&mut self) -> Option<&'a History> {
+        self.inner.next().map(Arc::as_ref)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl DoubleEndedIterator for HistoriesIter<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        self.inner.next_back().map(Arc::as_ref)
+    }
+}
+
+impl ExactSizeIterator for HistoriesIter<'_> {}
+
 impl IntoIterator for HistoryCollection {
     type Item = History;
-    type IntoIter = std::vec::IntoIter<History>;
+    type IntoIter = std::iter::Map<std::vec::IntoIter<Arc<History>>, fn(Arc<History>) -> History>;
     fn into_iter(self) -> Self::IntoIter {
-        self.histories.into_iter()
+        self.histories.into_iter().map(Arc::unwrap_or_clone)
     }
 }
 
 impl<'a> IntoIterator for &'a HistoryCollection {
     type Item = &'a History;
-    type IntoIter = std::slice::Iter<'a, History>;
+    type IntoIter = HistoriesIter<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.histories.iter()
+        self.iter()
     }
 }
 
@@ -267,6 +317,34 @@ mod tests {
         assert_eq!(s.first, Some(Date::new(2014, 1, 1).unwrap().at_midnight()));
         assert_eq!(s.last, Some(Date::new(2016, 5, 9).unwrap().at_midnight()));
         assert!((s.mean_entries - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extract_shares_allocations() {
+        let c = HistoryCollection::from_histories([
+            history(1, &[("A01", 2015)]),
+            history(2, &[("T90", 2016)]),
+        ]);
+        let sub = c.extract(|h| h.id().0 == 2);
+        assert_eq!(sub.len(), 1);
+        assert!(
+            Arc::ptr_eq(&c.histories()[1], &sub.histories()[0]),
+            "extraction copies pointers, not history data"
+        );
+    }
+
+    #[test]
+    fn get_mut_copy_on_writes_shared_history() {
+        let c = HistoryCollection::from_histories([history(1, &[("A01", 2015)])]);
+        let mut sub = c.extract(|_| true);
+        sub.get_mut(PatientId(1)).unwrap().insert(Entry::event(
+            Date::new(2020, 1, 1).unwrap().at_midnight(),
+            Payload::Diagnosis(Code::icpc("T90")),
+            SourceKind::PrimaryCare,
+        ));
+        assert_eq!(sub.get(PatientId(1)).unwrap().len(), 2);
+        assert_eq!(c.get(PatientId(1)).unwrap().len(), 1, "parent untouched");
+        assert!(!Arc::ptr_eq(&c.histories()[0], &sub.histories()[0]));
     }
 
     #[test]

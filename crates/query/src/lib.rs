@@ -19,6 +19,8 @@
 #![warn(missing_docs)]
 
 pub mod index;
+#[cfg(test)]
+mod proptests;
 pub mod ops;
 pub mod parse;
 pub mod predicate;

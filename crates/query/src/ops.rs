@@ -66,6 +66,10 @@ pub enum SortKey {
 }
 
 /// Return history positions in sorted order (stable, ascending).
+///
+/// Key extraction (which may walk every entry, e.g. [`SortKey::Span`]) is
+/// chunked across threads; the sort itself is the serial stable sort over
+/// precomputed keys, so the order is identical at every thread count.
 pub fn sort_histories(collection: &HistoryCollection, key: &SortKey) -> Vec<u32> {
     let hs = collection.histories();
     let mut order: Vec<u32> = (0..hs.len() as u32).collect();
@@ -84,7 +88,8 @@ pub fn sort_histories(collection: &HistoryCollection, key: &SortKey) -> Vec<u32>
                 .unwrap_or(i64::MAX),
         }
     };
-    order.sort_by_key(|&i| sort_value(&hs[i as usize]));
+    let keys = pastas_par::par_map(hs, |h| sort_value(h));
+    order.sort_by_key(|&i| keys[i as usize]);
     order
 }
 

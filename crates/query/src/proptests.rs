@@ -1,0 +1,69 @@
+//! Property-based tests: the index-accelerated parallel selection path
+//! must agree with the naive serial scan on arbitrary synthetic
+//! collections, queries and thread counts.
+
+use crate::index::{select_scan, CodeIndex};
+use crate::query::QueryBuilder;
+use crate::SortKey;
+use pastas_synth::{generate_collection, SynthConfig};
+use proptest::prelude::*;
+
+/// Patterns covering the probe shapes: exact literal, prefix run,
+/// alternation, char class, full wildcard, and a value that never matches.
+const PATTERNS: [&str; 7] = ["T90", "K.*", "T90|K74", "E1[014].*", "[KR].*", ".*", "Z99"];
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn build_query(pattern: &str, negate: bool) -> crate::HistoryQuery {
+    let b = QueryBuilder::new();
+    let b = if negate {
+        b.lacks_code(pattern).expect("valid pattern")
+    } else {
+        b.has_code(pattern).expect("valid pattern")
+    };
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn indexed_parallel_select_agrees_with_serial_scan(
+        seed in 0u64..200,
+        patients in 300u32..900,
+        pattern_i in 0u32..7,
+        negate_i in 0u32..2,
+    ) {
+        let negate = negate_i == 1;
+        let c = generate_collection(SynthConfig::with_patients(patients as usize), seed);
+        let idx = CodeIndex::build(&c);
+        let q = build_query(PATTERNS[pattern_i as usize], negate);
+        let reference = pastas_par::with_threads(1, || select_scan(&c, &q));
+        for threads in THREADS {
+            let via_index = pastas_par::with_threads(threads, || idx.select(&c, &q));
+            let via_scan = pastas_par::with_threads(threads, || select_scan(&c, &q));
+            prop_assert_eq!(&via_index, &reference, "index path, threads {}", threads);
+            prop_assert_eq!(&via_scan, &reference, "scan path, threads {}", threads);
+        }
+    }
+
+    #[test]
+    fn parallel_sort_agrees_with_itself_serial(
+        seed in 0u64..200,
+        patients in 300u32..900,
+        key_i in 0u32..4,
+    ) {
+        let c = generate_collection(SynthConfig::with_patients(patients as usize), seed);
+        let key = match key_i {
+            0 => SortKey::PatientId,
+            1 => SortKey::FirstEntry,
+            2 => SortKey::EntryCount,
+            _ => SortKey::Span,
+        };
+        let serial = pastas_par::with_threads(1, || crate::sort_histories(&c, &key));
+        for threads in THREADS {
+            let par = pastas_par::with_threads(threads, || crate::sort_histories(&c, &key));
+            prop_assert_eq!(&par, &serial, "threads {}", threads);
+        }
+    }
+}

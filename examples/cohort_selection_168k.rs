@@ -83,6 +83,20 @@ fn main() {
         t_scan.as_secs_f64() / t_indexed.as_secs_f64().max(1e-9)
     );
 
+    // Parallel-vs-serial ratio on the indexed path (the parallel side uses
+    // PASTAS_THREADS or the machine default; results are identical).
+    let t0 = Instant::now();
+    let serial = pastas_par::with_threads(1, || index.select(&collection, &query));
+    let t_serial = t0.elapsed();
+    assert_eq!(serial, indexed, "serial path must agree bit for bit");
+    println!(
+        "parallel ({} threads) {:.1} ms vs serial {:.1} ms ({:.2}× speedup)",
+        pastas_par::thread_count(),
+        t_indexed.as_secs_f64() * 1e3,
+        t_serial.as_secs_f64() * 1e3,
+        t_serial.as_secs_f64() / t_indexed.as_secs_f64().max(1e-9)
+    );
+
     // Sanity: the cohort really is the diabetes cohort.
     let histories = collection.histories();
     let with_t90 = indexed

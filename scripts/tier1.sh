@@ -1,0 +1,28 @@
+#!/bin/bash
+# Tier-1 gate: release build, full test suite, and a smoke run of the
+# paper-scale cohort-selection example (down-scaled so the whole script
+# stays CI-sized). Prints the wall-clock budget of each stage.
+#
+# Usage: scripts/tier1.sh [smoke-patients]   (default 8000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE_PATIENTS="${1:-8000}"
+
+stage() {
+    local name="$1"
+    shift
+    local t0 t1
+    t0=$(date +%s)
+    "$@"
+    t1=$(date +%s)
+    printf 'tier1: %-28s %5ds\n' "$name" "$((t1 - t0))" >&2
+}
+
+stage "cargo build --release" cargo build --release
+stage "cargo test" cargo test -q
+stage "smoke: cohort_selection_168k" \
+    cargo run --release -q -p pastas-core --example cohort_selection_168k -- \
+    --patients "$SMOKE_PATIENTS"
+
+echo "tier1: all stages passed" >&2
