@@ -120,8 +120,8 @@ fn align_into_profile(columns: &mut Vec<Vec<Option<Code>>>, seq: &[Code], scorin
     for i in 1..=n {
         dp[i * w] = i as i32 * gap;
     }
-    for j in 1..=m {
-        dp[j] = j as i32 * gap;
+    for (j, cell) in dp.iter_mut().enumerate().take(m + 1).skip(1) {
+        *cell = j as i32 * gap;
     }
     for i in 1..=n {
         for j in 1..=m {

@@ -33,8 +33,8 @@ pub fn global_align(a: &[Code], b: &[Code], s: &Scoring) -> AlignmentResult {
     for i in 1..=n {
         xx[i * w] = s.gap_open + (i as i32 - 1) * s.gap_extend;
     }
-    for j in 1..=m {
-        yy[j] = s.gap_open + (j as i32 - 1) * s.gap_extend;
+    for (j, cell) in yy.iter_mut().enumerate().take(m + 1).skip(1) {
+        *cell = s.gap_open + (j as i32 - 1) * s.gap_extend;
     }
     for i in 1..=n {
         for j in 1..=m {

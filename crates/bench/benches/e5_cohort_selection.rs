@@ -30,6 +30,7 @@ fn bench(c: &mut Criterion) {
         100.0 * selected.len() as f64 / n as f64,
         index.vocabulary_size()
     );
+    pastas_bench::memory_row(&collection);
 
     c.bench_function("e5_selection_indexed", |b| {
         b.iter(|| index.select(&collection, &query))

@@ -27,7 +27,7 @@ fn noisy_copies(n: usize, k: usize, rng: &mut StdRng) -> Vec<Vec<Code>> {
             let mut s: Vec<&str> = TRUE_PATHWAY.to_vec();
             for _ in 0..k {
                 match rng.gen_range(0..3) {
-                    0 => s.insert(rng.gen_range(0..=s.len()), noise[rng.gen_range(0..4)]),
+                    0 => s.insert(rng.gen_range(0..=s.len()), noise[rng.gen_range(0..4usize)]),
                     1 if s.len() > 2 => {
                         let at = rng.gen_range(0..s.len());
                         if s[at] != "T90" {
@@ -37,7 +37,7 @@ fn noisy_copies(n: usize, k: usize, rng: &mut StdRng) -> Vec<Vec<Code>> {
                     _ => {
                         let at = rng.gen_range(0..s.len());
                         if s[at] != "T90" {
-                            s[at] = noise[rng.gen_range(0..4)];
+                            s[at] = noise[rng.gen_range(0..4usize)];
                         }
                     }
                 }

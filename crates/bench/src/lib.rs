@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pastas_model::HistoryCollection;
+use pastas_model::{HistoryCollection, MemoryFootprint};
 use pastas_synth::{generate_collection, SynthConfig};
 
 /// Patient count used as the benches' base scale. Override with the
@@ -46,14 +46,24 @@ pub fn median_ms<F: FnMut()>(mut f: F) -> f64 {
     times[2]
 }
 
+/// Print one memory-accounting row: resident bytes-per-entry of the
+/// columnar arena next to the array-of-structs estimate it replaced
+/// (recorded per experiment in `EXPERIMENTS.md`). Returns the footprint
+/// so benches can assert on it.
+pub fn memory_row(collection: &HistoryCollection) -> MemoryFootprint {
+    let f = MemoryFootprint::measure(collection);
+    eprintln!("{}", f.summary());
+    f
+}
+
 /// Print one serial-vs-parallel comparison row: times `f` pinned to one
 /// worker thread and at the configured count ([`pastas_par::thread_count`],
 /// i.e. `PASTAS_THREADS` or the machine default), reporting both medians
 /// and the speedup ratio.
 pub fn par_ratio_row<F: FnMut()>(name: &str, mut f: F) {
-    let serial = median_ms(|| pastas_par::with_threads(1, || f()));
+    let serial = median_ms(|| pastas_par::with_threads(1, &mut f));
     let threads = pastas_par::thread_count();
-    let parallel = median_ms(|| f());
+    let parallel = median_ms(&mut f);
     eprintln!(
         "{name:<32} serial {serial:>8.2} ms   parallel({threads}) {parallel:>8.2} ms   speedup {:.2}x",
         serial / parallel.max(1e-9)

@@ -61,9 +61,12 @@ pub const CHAPTERS: [ChapterInfo; 22] = [
     ChapterInfo { numeral: "XXII", title: "Codes for special purposes", start: ('U', 0), end: ('U', 99) },
 ];
 
+/// One diagnostic block: `(start, end, block-id, title)`.
+pub type BlockInfo = ((char, u8), (char, u8), &'static str, &'static str);
+
 /// Selected diagnostic blocks (the spans our chronic-condition models and
-/// the mapping table use). Format: `(start, end, block-id, title)`.
-pub const BLOCKS: [(( char, u8), (char, u8), &str, &str); 12] = [
+/// the mapping table use).
+pub const BLOCKS: [BlockInfo; 12] = [
     (('E', 10), ('E', 14), "E10-E14", "Diabetes mellitus"),
     (('I', 10), ('I', 15), "I10-I15", "Hypertensive diseases"),
     (('I', 20), ('I', 25), "I20-I25", "Ischaemic heart diseases"),

@@ -1,0 +1,62 @@
+//! The crate's typed error — what fallible workbench/export operations
+//! return instead of bare strings, so callers can match on the failure
+//! class and `?` composes through `std::error::Error`.
+
+use std::fmt;
+
+/// Why a core operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A serialized document (the JSON export format) was malformed.
+    Document(String),
+    /// A user-supplied code pattern did not parse as a regex.
+    Pattern(pastas_regex::ParseError),
+}
+
+impl CoreError {
+    /// A document error from anything printable (parse errors, literals).
+    pub fn document(message: impl ToString) -> CoreError {
+        CoreError::Document(message.to_string())
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Document(msg) => write!(f, "malformed document: {msg}"),
+            CoreError::Pattern(e) => write!(f, "invalid code pattern: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Document(_) => None,
+            CoreError::Pattern(e) => Some(e),
+        }
+    }
+}
+
+impl From<pastas_regex::ParseError> for CoreError {
+    fn from(e: pastas_regex::ParseError) -> CoreError {
+        CoreError::Pattern(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let doc = CoreError::document("missing patients array");
+        assert_eq!(doc.to_string(), "malformed document: missing patients array");
+        assert!(std::error::Error::source(&doc).is_none());
+
+        let parse_err = pastas_regex::Regex::new("T90[").unwrap_err();
+        let pat = CoreError::from(parse_err);
+        assert!(pat.to_string().starts_with("invalid code pattern:"));
+        assert!(std::error::Error::source(&pat).is_some());
+    }
+}

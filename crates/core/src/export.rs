@@ -6,7 +6,8 @@
 //! escape correctly; the JSON grammar is the obvious one so R/Python load
 //! it directly.
 
-use pastas_model::{Entry, HistoryCollection, Payload, Sex};
+use crate::error::CoreError;
+use pastas_model::{Entry, EntryView, HistoryCollection, Payload, PayloadRef, Sex};
 use std::fmt::Write as _;
 
 /// Export every entry of the collection as CSV:
@@ -41,15 +42,15 @@ pub fn to_csv(collection: &HistoryCollection) -> String {
     out
 }
 
-fn payload_fields(e: &Entry) -> (&'static str, String, String) {
-    match e.payload() {
-        Payload::Diagnosis(c) => ("diagnosis", c.to_string(), String::new()),
-        Payload::Medication(c) => ("medication", c.to_string(), String::new()),
-        Payload::Measurement { kind, value } => {
+fn payload_fields<E: EntryView>(e: E) -> (&'static str, String, String) {
+    match e.payload_ref() {
+        PayloadRef::Diagnosis(c) => ("diagnosis", c.to_string(), String::new()),
+        PayloadRef::Medication(c) => ("medication", c.to_string(), String::new()),
+        PayloadRef::Measurement { kind, value } => {
             ("measurement", kind.label().to_owned(), format!("{value:.2}"))
         }
-        Payload::Episode(k) => ("episode", k.label().to_owned(), String::new()),
-        Payload::Note(t) => ("note", t.clone(), String::new()),
+        PayloadRef::Episode(k) => ("episode", k.label().to_owned(), String::new()),
+        PayloadRef::Note(t) => ("note", t.to_owned(), String::new()),
     }
 }
 
@@ -107,60 +108,77 @@ pub fn to_json(collection: &HistoryCollection) -> String {
 ///
 /// Entries with equal start and end come back as point events, others as
 /// intervals (which matches how [`to_json`] wrote them: only intervals
-/// have distinct extents). Unknown kinds or malformed rows are reported.
-pub fn from_json(text: &str) -> Result<HistoryCollection, String> {
+/// have distinct extents). Unknown kinds or malformed rows are reported
+/// as [`CoreError::Document`].
+pub fn from_json(text: &str) -> Result<HistoryCollection, CoreError> {
     use pastas_codes::{Code, CodeSystem};
     use pastas_ingest::json::Json;
     use pastas_model::{EpisodeKind, History, MeasurementKind, Patient, PatientId, SourceKind};
     use pastas_time::{Date, DateTime};
 
-    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let doc = Json::parse(text).map_err(CoreError::document)?;
     let patients = doc
         .get("patients")
         .and_then(Json::as_array)
-        .ok_or("missing patients array")?;
+        .ok_or_else(|| CoreError::document("missing patients array"))?;
     let mut histories = Vec::with_capacity(patients.len());
     for p in patients {
-        let id_text = p.get("id").and_then(Json::as_str).ok_or("missing id")?;
+        let id_text = p
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CoreError::document("missing id"))?;
         let id: u64 = id_text
             .trim_start_matches('P')
             .parse()
-            .map_err(|_| format!("bad id {id_text:?}"))?;
-        let birth = p.get("birth_date").and_then(Json::as_str).ok_or("missing birth_date")?;
-        let birth_date = Date::parse_iso(birth).map_err(|e| e.to_string())?;
+            .map_err(|_| CoreError::document(format!("bad id {id_text:?}")))?;
+        let birth = p
+            .get("birth_date")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CoreError::document("missing birth_date"))?;
+        let birth_date = Date::parse_iso(birth).map_err(CoreError::document)?;
         let sex = match p.get("sex").and_then(Json::as_str) {
             Some("F") => Sex::Female,
             Some("M") => Sex::Male,
-            other => return Err(format!("bad sex {other:?}")),
+            other => return Err(CoreError::document(format!("bad sex {other:?}"))),
         };
         let mut history =
             History::new(Patient { id: PatientId(id), birth_date, sex });
         for e in p.get("entries").and_then(Json::as_array).unwrap_or(&[]) {
             let start = DateTime::parse_iso(
-                e.get("start").and_then(Json::as_str).ok_or("missing start")?,
+                e.get("start")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| CoreError::document("missing start"))?,
             )
-            .map_err(|err| err.to_string())?;
+            .map_err(CoreError::document)?;
             let end = DateTime::parse_iso(
-                e.get("end").and_then(Json::as_str).ok_or("missing end")?,
+                e.get("end")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| CoreError::document("missing end"))?,
             )
-            .map_err(|err| err.to_string())?;
-            let code = e.get("code").and_then(Json::as_str).ok_or("missing code")?;
+            .map_err(CoreError::document)?;
+            let code = e
+                .get("code")
+                .and_then(Json::as_str)
+                .ok_or_else(|| CoreError::document("missing code"))?;
             let source = match e.get("source").and_then(Json::as_str) {
                 Some("hospital") => SourceKind::Hospital,
                 Some("primary-care") => SourceKind::PrimaryCare,
                 Some("specialist") => SourceKind::Specialist,
                 Some("municipal") => SourceKind::Municipal,
                 Some("prescription") => SourceKind::Prescription,
-                other => return Err(format!("bad source {other:?}")),
+                other => return Err(CoreError::document(format!("bad source {other:?}"))),
             };
-            let parse_code = |text: &str| -> Result<Code, String> {
-                let (system, value) =
-                    text.split_once(':').ok_or_else(|| format!("bad code {text:?}"))?;
+            let parse_code = |text: &str| -> Result<Code, CoreError> {
+                let (system, value) = text
+                    .split_once(':')
+                    .ok_or_else(|| CoreError::document(format!("bad code {text:?}")))?;
                 let system = match system {
                     "ICPC2" => CodeSystem::Icpc2,
                     "ICD10" => CodeSystem::Icd10,
                     "ATC" => CodeSystem::Atc,
-                    _ => return Err(format!("bad code system {system:?}")),
+                    _ => {
+                        return Err(CoreError::document(format!("bad code system {system:?}")))
+                    }
                 };
                 Ok(Code::new(system, value))
             };
@@ -175,10 +193,16 @@ pub fn from_json(text: &str) -> Result<HistoryCollection, String> {
                         "weight" => MeasurementKind::Weight,
                         "peak flow" => MeasurementKind::PeakFlow,
                         "cholesterol" => MeasurementKind::Cholesterol,
-                        other => return Err(format!("bad measurement kind {other:?}")),
+                        other => {
+                            return Err(CoreError::document(format!(
+                                "bad measurement kind {other:?}"
+                            )))
+                        }
                     };
-                    let value =
-                        e.get("value").and_then(Json::as_f64).ok_or("missing value")?;
+                    let value = e
+                        .get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| CoreError::document("missing value"))?;
                     Payload::Measurement { kind, value }
                 }
                 Some("episode") => {
@@ -190,12 +214,14 @@ pub fn from_json(text: &str) -> Result<HistoryCollection, String> {
                         "nursing home" => EpisodeKind::NursingHome,
                         "rehabilitation" => EpisodeKind::Rehabilitation,
                         "medication exposure" => EpisodeKind::MedicationExposure,
-                        other => return Err(format!("bad episode kind {other:?}")),
+                        other => {
+                            return Err(CoreError::document(format!("bad episode kind {other:?}")))
+                        }
                     };
                     Payload::Episode(kind)
                 }
                 Some("note") => Payload::Note(code.to_owned()),
-                other => return Err(format!("bad entry kind {other:?}")),
+                other => return Err(CoreError::document(format!("bad entry kind {other:?}"))),
             };
             let entry = if start == end {
                 Entry::event(start, payload, source)
@@ -334,8 +360,8 @@ mod tests {
                 assert_eq!(a.end(), b.end());
                 assert_eq!(a.source(), b.source());
                 match (a.payload(), b.payload()) {
-                    (Payload::Measurement { kind: ka, value: va },
-                     Payload::Measurement { kind: kb, value: vb }) => {
+                    (PayloadRef::Measurement { kind: ka, value: va },
+                     PayloadRef::Measurement { kind: kb, value: vb }) => {
                         assert_eq!(ka, kb);
                         // Values round-trip through {value:.2}.
                         assert!((va - vb).abs() < 0.005, "{va} vs {vb}");

@@ -10,7 +10,7 @@
 //! window; the era extends one refill beyond the last dispensing.
 
 use pastas_codes::Code;
-use pastas_model::{Entry, EpisodeKind, History, Payload, SourceKind};
+use pastas_model::{Entry, EpisodeKind, History, Payload, PayloadRef, SourceKind};
 use pastas_time::{DateTime, Duration};
 use std::collections::HashMap;
 
@@ -49,7 +49,7 @@ impl Exposure {
 pub fn medication_exposures(history: &History, persistence: Duration) -> Vec<Exposure> {
     let mut per_substance: HashMap<&Code, Vec<DateTime>> = HashMap::new();
     for e in history.entries() {
-        if let Payload::Medication(code) = e.payload() {
+        if let PayloadRef::Medication(code) = e.payload() {
             if e.is_event() {
                 per_substance.entry(code).or_default().push(e.start());
             }

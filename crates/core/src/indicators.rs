@@ -7,7 +7,7 @@
 //! readmission rate uses the 30-day convention, and polypharmacy is ≥ 5
 //! distinct level-5 ATC substances dispensed within any 90-day window.
 
-use pastas_model::{EpisodeKind, HistoryCollection, Payload, SourceKind};
+use pastas_model::{EpisodeKind, HistoryCollection, PayloadRef, SourceKind};
 use pastas_query::{EntryPredicate, GapBound, TemporalPattern};
 use pastas_time::{Date, Duration};
 use std::collections::HashSet;
@@ -70,16 +70,16 @@ pub fn indicators(collection: &HistoryCollection, from: Date, to: Date) -> Indic
                 continue;
             }
             match (e.payload(), e.source()) {
-                (Payload::Diagnosis(_), SourceKind::PrimaryCare) => gp += 1,
-                (Payload::Diagnosis(_), SourceKind::Specialist) => specialist += 1,
-                (Payload::Episode(EpisodeKind::Inpatient), _) => {
+                (PayloadRef::Diagnosis(_), SourceKind::PrimaryCare) => gp += 1,
+                (PayloadRef::Diagnosis(_), SourceKind::Specialist) => specialist += 1,
+                (PayloadRef::Episode(EpisodeKind::Inpatient), _) => {
                     admissions += 1;
                     los_total_days += (e.end() - e.start()).as_days_f64();
                 }
-                (Payload::Episode(EpisodeKind::HomeCare | EpisodeKind::NursingHome), _) => {
+                (PayloadRef::Episode(EpisodeKind::HomeCare | EpisodeKind::NursingHome), _) => {
                     municipal += 1;
                 }
-                (Payload::Medication(c), _) => dispensed.push((e.start(), c.value.clone())),
+                (PayloadRef::Medication(c), _) => dispensed.push((e.start(), c.value.clone())),
                 _ => {}
             }
         }
@@ -98,7 +98,7 @@ pub fn indicators(collection: &HistoryCollection, from: Date, to: Date) -> Indic
             h.entries().iter().any(|e| {
                 matches!(
                     e.payload(),
-                    Payload::Episode(EpisodeKind::HomeCare | EpisodeKind::NursingHome)
+                    PayloadRef::Episode(EpisodeKind::HomeCare | EpisodeKind::NursingHome)
                 )
             })
         })
@@ -168,7 +168,7 @@ impl IndicatorPanel {
 mod tests {
     use super::*;
     use pastas_codes::Code;
-    use pastas_model::{Entry, History, Patient, PatientId, Sex};
+    use pastas_model::{Entry, History, Patient, PatientId, Payload, Sex};
     use pastas_synth::{generate_collection, SynthConfig};
 
     fn window() -> (Date, Date) {

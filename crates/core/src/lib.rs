@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod export;
 pub mod exposure;
 pub mod indicators;
@@ -34,12 +35,14 @@ pub mod recognition;
 pub mod session;
 pub mod workbench;
 
+pub use error::CoreError;
 pub use recognition::{simulate_study, RecognitionModel, StudyOutcome};
 pub use session::{Selection, Session, ViewCommand};
 pub use workbench::{ViewState, Workbench};
 
 /// Convenient re-exports of the whole stack.
 pub mod prelude {
+    pub use crate::error::CoreError;
     pub use crate::export::{from_json, to_csv, to_json};
     pub use crate::exposure::{medication_exposures, with_exposures};
     pub use crate::indicators::{indicators, IndicatorPanel};
@@ -49,8 +52,9 @@ pub mod prelude {
     pub use pastas_codes::{Code, CodeSystem};
     pub use pastas_ingest::{aggregate, QualityReport, SourceTexts};
     pub use pastas_model::{
-        Entry, EpisodeKind, History, HistoryCollection, MeasurementKind, Patient, PatientId,
-        Payload, Sex, SourceKind,
+        CodeId, Entry, EntryRef, EntryView, EpisodeKind, History, HistoryCollection,
+        MeasurementKind, MemoryFootprint, Patient, PatientId, Payload, PayloadRef, Sex,
+        SourceKind,
     };
     pub use pastas_query::{
         align_on, sort_histories, EntryPredicate, GapBound, HistoryQuery, QueryBuilder, SortKey,

@@ -13,6 +13,7 @@
 //! * **relationships** — [`Selection`] sets with union/intersection/
 //!   difference combinators support linked selections across views.
 
+use crate::error::CoreError;
 use crate::workbench::{ViewState, Workbench};
 use pastas_model::PatientId;
 use pastas_query::{EntryPredicate, HistoryQuery, SortKey};
@@ -50,14 +51,14 @@ impl Session {
         &self.workbench
     }
 
-    /// Apply a command, recording it for undo. Returns an error string for
+    /// Apply a command, recording it for undo. Returns a [`CoreError`] for
     /// invalid parameters (e.g. a bad regex) without changing state.
-    pub fn apply(&mut self, command: ViewCommand) -> Result<(), String> {
+    pub fn apply(&mut self, command: ViewCommand) -> Result<(), CoreError> {
         let before = self.workbench.view_state();
         match &command {
             ViewCommand::Sort(key) => self.workbench.sort(key),
             ViewCommand::AlignOnCode(pattern) => {
-                self.workbench.align_on_code(pattern).map_err(|e| e.to_string())?;
+                self.workbench.align_on_code(pattern)?;
             }
             ViewCommand::ClearAlignment => self.workbench.clear_alignment(),
             ViewCommand::SetFilter(f) => self.workbench.set_filter(f.clone()),

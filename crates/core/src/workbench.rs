@@ -34,8 +34,9 @@ pub struct Workbench {
     ontology: IntegrationOntology,
     quality: Option<QualityReport>,
     /// Memoized selection results, keyed by the query's canonical
-    /// fingerprint (its `Debug` form — deterministic, and two queries with
-    /// the same fingerprint are structurally identical). Re-running a
+    /// fingerprint ([`HistoryQuery::fingerprint`] — deterministic, stable
+    /// across internal representation changes, and two queries with the
+    /// same fingerprint are structurally identical). Re-running a
     /// selection is the workbench's dominant interaction; a hit skips both
     /// index probing and candidate verification. Cleared whenever the
     /// collection changes ([`Self::set_collection`]).
@@ -133,7 +134,7 @@ impl Workbench {
     /// memoized — repeating a selection on an unchanged collection is a
     /// cache hit).
     pub fn select_positions(&self, query: &HistoryQuery) -> Vec<u32> {
-        let fingerprint = format!("{query:?}");
+        let fingerprint = query.fingerprint();
         {
             let cache = self.selections.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(hit) = cache.get(&fingerprint) {
@@ -356,7 +357,7 @@ mod tests {
         let wb = wb();
         let q = QueryBuilder::new().has_code("T90").unwrap().build();
         let cohort = wb.select(&q);
-        assert!(cohort.collection().len() > 0);
+        assert!(!cohort.collection().is_empty());
         assert!(cohort.collection().len() < 300);
         // Every selected patient really has the code.
         for h in cohort.collection() {

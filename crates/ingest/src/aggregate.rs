@@ -3,7 +3,7 @@
 use crate::adapters;
 use crate::extract;
 use crate::linkage::IdentityRegistry;
-use pastas_model::{Entry, History, HistoryCollection, Payload, SourceKind};
+use pastas_model::{CollectionBuilder, Entry, HistoryCollection, Patient, Payload, SourceKind};
 use std::collections::HashSet;
 
 /// The five raw source texts.
@@ -107,27 +107,25 @@ pub fn aggregate(src: SourceTexts<'_>) -> (HistoryCollection, QualityReport) {
         registry.register(p.id, p.birth_date, p.sex);
     }
 
-    let mut histories: std::collections::HashMap<u64, History> = registry
+    // Deduplicated entries accumulate per patient; the columnar arena is
+    // built once at the end so every history shares one allocation.
+    let mut histories: std::collections::HashMap<u64, (Patient, Vec<Entry>)> = registry
         .patients()
-        .map(|p| (p.id.0, History::new(*p)))
+        .map(|p| (p.id.0, (*p, Vec::new())))
         .collect();
     let mut seen: HashSet<(u64, i64, i64, u8, String)> = HashSet::new();
 
     let mut push = |patient: u64,
                     entry: Entry,
-                    histories: &mut std::collections::HashMap<u64, History>,
+                    histories: &mut std::collections::HashMap<u64, (Patient, Vec<Entry>)>,
                     report: &mut QualityReport| {
         let fp = fingerprint(patient, &entry);
         if !seen.insert(fp) {
             report.duplicates_dropped += 1;
             return;
         }
-        let h = histories.get_mut(&patient).expect("resolved patients have histories");
-        if h.insert(entry) {
-            report.entries_loaded += 1;
-        } else {
-            report.dropped_pre_birth += 1;
-        }
+        let slot = histories.get_mut(&patient).expect("resolved patients have histories");
+        slot.1.push(entry);
     };
 
     // 2. Claims: diagnosis event + free-text measurement extraction.
@@ -221,10 +219,19 @@ pub fn aggregate(src: SourceTexts<'_>) -> (HistoryCollection, QualityReport) {
         );
     }
 
-    // Collection in ascending id order for a stable default display order.
-    let mut hs: Vec<History> = histories.into_values().collect();
-    hs.sort_by_key(|h| h.id());
-    (HistoryCollection::from_histories(hs), report)
+    // One shared columnar arena, patients in ascending id order for a
+    // stable default display order. The builder applies the §IV pre-birth
+    // validation rule and the canonical (start, end) sort per patient.
+    let mut hs: Vec<(Patient, Vec<Entry>)> = histories.into_values().collect();
+    hs.sort_by_key(|(p, _)| p.id);
+    let mut builder = CollectionBuilder::new();
+    for (patient, entries) in hs {
+        let r = builder.add_patient(patient, entries);
+        report.entries_loaded += r.accepted;
+        report.dropped_pre_birth += r.dropped_pre_birth;
+    }
+    let (collection, _) = builder.build();
+    (collection, report)
 }
 
 #[cfg(test)]
@@ -317,7 +324,7 @@ mod tests {
         let measured = collection
             .iter()
             .flat_map(|h| h.entries())
-            .filter(|e| matches!(e.payload(), Payload::Measurement { .. }))
+            .filter(|e| matches!(e.payload(), pastas_model::PayloadRef::Measurement { .. }))
             .count();
         assert!(measured >= report.measurements_extracted);
     }

@@ -236,7 +236,7 @@ mod tests {
         let mut h = History::new(Patient {
             id: PatientId(id),
             birth_date: Date::new(1950, 1, 1).unwrap(),
-            sex: if id % 2 == 0 { Sex::Female } else { Sex::Male },
+            sex: if id.is_multiple_of(2) { Sex::Female } else { Sex::Male },
         });
         for &(code, year) in codes {
             h.insert(Entry::event(

@@ -1,7 +1,16 @@
 //! One patient's validated, time-ordered history.
+//!
+//! Since the columnar refactor a history no longer owns a `Vec<Entry>`:
+//! it views a contiguous row span of a (possibly shared) [`EventStore`]
+//! arena. Reads go through the zero-copy [`Entries`]/[`EntryRef`] views;
+//! mutation detaches the history onto its own store (sharing the code
+//! interner, so [`crate::CodeId`]s stay compatible) when the arena is
+//! shared with other histories.
 
+use crate::store::{Entries, EntryRef, EventStore};
 use crate::{Entry, PatientId};
 use pastas_time::{Date, DateTime, Duration};
+use std::sync::Arc;
 
 /// Patient sex as registered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,18 +50,32 @@ impl ValidationReport {
     }
 }
 
-/// One patient's history: demographics plus entries kept sorted by start
-/// time (ties broken by end time, keeping interleaved sources stable).
-#[derive(Debug, Clone, PartialEq)]
+/// One patient's history: demographics plus a row span of an
+/// [`EventStore`], kept sorted by start time (ties broken by end time,
+/// keeping interleaved sources stable).
+#[derive(Debug, Clone)]
 pub struct History {
     patient: Patient,
-    entries: Vec<Entry>,
+    store: Arc<EventStore>,
+    lo: u32,
+    hi: u32,
 }
 
 impl History {
-    /// An empty history for `patient`.
+    /// An empty history for `patient` (its own store until it joins a
+    /// shared arena via [`crate::CollectionBuilder`]).
     pub fn new(patient: Patient) -> History {
-        History { patient, entries: Vec::new() }
+        History { patient, store: Arc::new(EventStore::new()), lo: 0, hi: 0 }
+    }
+
+    /// A history viewing rows `[lo, hi)` of a shared arena.
+    pub(crate) fn from_span(
+        patient: Patient,
+        store: Arc<EventStore>,
+        lo: u32,
+        hi: u32,
+    ) -> History {
+        History { patient, store, lo, hi }
     }
 
     /// The patient's demographics.
@@ -65,6 +88,13 @@ impl History {
         self.patient.id
     }
 
+    /// The backing arena (shared when this history came out of a
+    /// [`crate::CollectionBuilder`] — the query layer keys its per-store
+    /// code-id translations on this pointer).
+    pub fn store(&self) -> &Arc<EventStore> {
+        &self.store
+    }
+
     /// Insert one entry, enforcing the §IV validation rule: entries dated
     /// before the patient's birth are ignored. Returns `true` if accepted.
     pub fn insert(&mut self, entry: Entry) -> bool {
@@ -72,50 +102,87 @@ impl History {
             return false;
         }
         let key = (entry.start(), entry.end());
-        let at = self
-            .entries
-            .partition_point(|e| (e.start(), e.end()) <= key);
-        self.entries.insert(at, entry);
+        let at = self.store.partition_point_le(self.lo, self.hi, key);
+        // Fast path: sole owner of a store we span entirely — splice the
+        // columns in place.
+        let whole = self.lo == 0 && self.hi as usize == self.store.len();
+        if whole {
+            if let Some(store) = Arc::get_mut(&mut self.store) {
+                store.insert_at(at as usize, &entry);
+                self.hi += 1;
+                return true;
+            }
+        }
+        // Detach: rebuild a private store for this history, sharing the
+        // interner so code ids stay compatible with the old arena.
+        let mut entries = self.entries().to_vec();
+        entries.insert((at - self.lo) as usize, entry);
+        let mut store = EventStore::with_interner(Arc::clone(self.store.interner_arc()));
+        for e in &entries {
+            store.push(e);
+        }
+        self.lo = 0;
+        self.hi = store.len() as u32;
+        self.store = Arc::new(store);
         true
     }
 
-    /// Insert many entries; returns a [`ValidationReport`].
+    /// Insert many entries; returns a [`ValidationReport`]. One store
+    /// rebuild regardless of the batch size (the stable sort by
+    /// `(start, end)` reproduces the order repeated [`Self::insert`]
+    /// calls would have produced).
     pub fn insert_all<I: IntoIterator<Item = Entry>>(&mut self, entries: I) -> ValidationReport {
         let mut report = ValidationReport::default();
+        let mut accepted: Vec<Entry> = Vec::new();
         for e in entries {
-            if self.insert(e) {
-                report.accepted += 1;
-            } else {
+            if e.start().date() < self.patient.birth_date {
                 report.dropped_pre_birth += 1;
+            } else {
+                report.accepted += 1;
+                accepted.push(e);
             }
         }
+        if accepted.is_empty() {
+            return report;
+        }
+        let mut all = self.entries().to_vec();
+        all.extend(accepted);
+        all.sort_by_key(|e| (e.start(), e.end()));
+        let mut store = EventStore::with_interner(Arc::clone(self.store.interner_arc()));
+        for e in &all {
+            store.push(e);
+        }
+        self.lo = 0;
+        self.hi = store.len() as u32;
+        self.store = Arc::new(store);
         report
     }
 
-    /// The entries, sorted by (start, end).
-    pub fn entries(&self) -> &[Entry] {
-        &self.entries
+    /// The entries, sorted by (start, end) — a zero-copy view over the
+    /// columnar store.
+    pub fn entries(&self) -> Entries<'_> {
+        Entries::new(&self.store, self.lo, self.hi)
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        (self.hi - self.lo) as usize
     }
 
     /// True if the history has no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.hi == self.lo
     }
 
     /// First entry start, if any.
     pub fn first_time(&self) -> Option<DateTime> {
-        self.entries.first().map(Entry::start)
+        self.entries().first().map(|e| e.start())
     }
 
     /// Latest entry end, if any (an early long interval may end after later
-    /// entries start, so this scans).
+    /// entries start, so this scans — one contiguous column read).
     pub fn last_time(&self) -> Option<DateTime> {
-        self.entries.iter().map(Entry::end).max()
+        self.entries().iter().map(|e| e.end()).max()
     }
 
     /// The observed span of the history.
@@ -124,8 +191,12 @@ impl History {
     }
 
     /// Entries overlapping the closed window `[from, to]`, in order.
-    pub fn entries_in(&self, from: DateTime, to: DateTime) -> impl Iterator<Item = &Entry> {
-        self.entries.iter().filter(move |e| e.overlaps(from, to))
+    pub fn entries_in(
+        &self,
+        from: DateTime,
+        to: DateTime,
+    ) -> impl Iterator<Item = EntryRef<'_>> {
+        self.entries().iter().filter(move |e| e.overlaps(from, to))
     }
 
     /// The patient's age in whole years at `date`.
@@ -133,24 +204,32 @@ impl History {
         date.months_between(self.patient.birth_date).div_euclid(12)
     }
 
-    /// The first entry whose payload carries a code accepted by `pred`, in
-    /// time order. This is the primitive behind alignment ("the first
-    /// occurrence of the diabetes code, T90").
-    pub fn first_matching<F: Fn(&Entry) -> bool>(&self, pred: F) -> Option<&Entry> {
-        self.entries.iter().find(|e| pred(e))
+    /// The first entry accepted by `pred`, in time order. This is the
+    /// primitive behind alignment ("the first occurrence of the diabetes
+    /// code, T90").
+    pub fn first_matching<F: Fn(EntryRef<'_>) -> bool>(&self, pred: F) -> Option<EntryRef<'_>> {
+        self.entries().iter().find(|e| pred(*e))
     }
 
     /// The diagnosis code sequence in time order — NSEPter's input ("the
     /// only information from the EHR that was utilized, was the diagnosis
-    /// codes for each patient").
+    /// codes for each patient"). Borrowed from the interner; no clones.
     pub fn diagnosis_sequence(&self) -> Vec<&pastas_codes::Code> {
-        self.entries
+        self.entries()
             .iter()
             .filter_map(|e| match e.payload() {
-                crate::Payload::Diagnosis(c) => Some(c),
+                crate::PayloadRef::Diagnosis(c) => Some(c),
                 _ => None,
             })
             .collect()
+    }
+}
+
+impl PartialEq for History {
+    fn eq(&self, other: &History) -> bool {
+        self.patient == other.patient
+            && self.len() == other.len()
+            && self.entries().iter().zip(other.entries()).all(|(a, b)| a == b)
     }
 }
 
@@ -269,5 +348,32 @@ mod tests {
         assert_eq!(h.first_time(), None);
         assert_eq!(h.last_time(), None);
         assert_eq!(h.span(), None);
+    }
+
+    #[test]
+    fn insert_detaches_a_shared_span_without_disturbing_it() {
+        let mut h = History::new(patient());
+        h.insert(diag(2015, 1, 1, "A01"));
+        let shared = h.clone(); // both now point at the same store
+        h.insert(diag(2015, 6, 1, "T90"));
+        assert_eq!(h.len(), 2);
+        assert_eq!(shared.len(), 1, "the shared clone is untouched");
+        assert!(!Arc::ptr_eq(h.store(), shared.store()), "detached onto a new store");
+        assert!(
+            Arc::ptr_eq(h.store().interner_arc(), shared.store().interner_arc())
+                || h.store().interner().len() >= shared.store().interner().len(),
+            "interner stays compatible"
+        );
+    }
+
+    #[test]
+    fn equal_keys_preserve_insertion_order() {
+        let mut h = History::new(patient());
+        h.insert(diag(2015, 1, 1, "A01"));
+        h.insert(diag(2015, 1, 1, "T90"));
+        h.insert(diag(2015, 1, 1, "K74"));
+        let codes: Vec<_> =
+            h.entries().iter().map(|e| e.code().unwrap().value.clone()).collect();
+        assert_eq!(codes, vec!["A01", "T90", "K74"], "ties append after existing");
     }
 }

@@ -15,7 +15,10 @@
 //!   [`Payload`] and a [`SourceKind`] provenance tag;
 //! * [`History`] — one patient's validated, time-ordered entry sequence;
 //! * [`HistoryCollection`] — the in-memory cohort the workbench operates on,
-//!   with sub-collection extraction and summary statistics.
+//!   with sub-collection extraction and summary statistics;
+//! * [`EventStore`] — the columnar, code-interned arena behind histories,
+//!   with the zero-copy [`EntryRef`]/[`Entries`] views the hot query, viz,
+//!   and align paths iterate (see the `store` module docs for the layout).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,10 +26,15 @@
 mod collection;
 mod entry;
 mod history;
+mod store;
 
 pub use collection::{CollectionStats, HistoryCollection};
 pub use entry::{EpisodeKind, Entry, Event, Interval, MeasurementKind, Payload, SourceKind};
 pub use history::{History, Patient, Sex, ValidationReport};
+pub use store::{
+    CodeId, CodeInterner, CollectionBuilder, Entries, EntriesIter, EntryRef, EntryView,
+    EventStore, MemoryFootprint, PayloadRef,
+};
 
 /// A patient identifier, unique within a collection.
 ///

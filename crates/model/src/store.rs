@@ -1,0 +1,1009 @@
+//! The columnar, interned event store — the arena behind [`History`].
+//!
+//! The paper's workloads (selecting 13,000 of 168,000 patients, keeping
+//! every §IV interaction under the 0.1 s budget) are scans over entry
+//! attributes: time, code, source. A `Vec<Entry>` per patient puts each
+//! attribute behind an enum discriminant and each code behind its own
+//! heap `String`; this module stores one collection's entries as
+//! struct-of-arrays instead:
+//!
+//! * [`CodeInterner`] — every distinct [`Code`] appears once; entries
+//!   refer to it by [`CodeId`], so equality is an integer compare and
+//!   prefix tests are range walks over the sorted symbol table;
+//! * [`EventStore`] — parallel columns `starts`/`ends`/`sources`/`tags`
+//!   plus one `u32` of payload auxiliary data per entry (a `CodeId`, an
+//!   episode discriminant, or a side-table index for measurements and
+//!   notes). Point events store `end == start`;
+//! * [`EntryRef`] — a zero-copy view (`&EventStore` + row index) that the
+//!   hot query/viz/align paths iterate without materializing [`Entry`];
+//! * [`Entries`] — one history's contiguous row span, iterable like the
+//!   old `&[Entry]` slice;
+//! * [`CollectionBuilder`] — builds one shared arena for a whole
+//!   collection (the `ingest::aggregate` and `synth` path), so cohort
+//!   extraction shares a single allocation.
+//!
+//! [`Entry`] stays as the construction/export/materialization type; the
+//! store ⇄ `Vec<Entry>` round trip is lossless (property-tested in
+//! `proptests.rs`).
+
+use crate::entry::{Entry, EpisodeKind, MeasurementKind, Payload, SourceKind};
+use crate::history::{History, Patient, ValidationReport};
+use crate::HistoryCollection;
+use pastas_codes::Code;
+use pastas_time::DateTime;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Code interning
+// ---------------------------------------------------------------------------
+
+/// A handle to an interned [`Code`]: its append index in the interner.
+/// Stable across later interning (the sorted view is a separate
+/// permutation), so stored `aux` columns never need rewriting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CodeId(pub u32);
+
+/// A per-collection symbol table of distinct codes.
+///
+/// Codes are kept in append (id) order plus a permutation sorted by
+/// `(value, system)`, so exact lookup is a binary search and all codes
+/// sharing a value prefix form one contiguous run of the sorted view —
+/// the property the query layer's prefix probes exploit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CodeInterner {
+    codes: Vec<Code>,
+    /// Ids sorted by `(value, system)`.
+    sorted: Vec<u32>,
+}
+
+fn code_key(c: &Code) -> (&str, pastas_codes::CodeSystem) {
+    (c.value.as_str(), c.system)
+}
+
+impl CodeInterner {
+    /// An empty interner.
+    pub fn new() -> CodeInterner {
+        CodeInterner::default()
+    }
+
+    /// Number of distinct codes.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if no codes are interned.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The code behind an id.
+    pub fn resolve(&self, id: CodeId) -> &Code {
+        &self.codes[id.0 as usize]
+    }
+
+    /// The id of a code, if interned.
+    pub fn lookup(&self, code: &Code) -> Option<CodeId> {
+        self.sorted
+            .binary_search_by(|&i| code_key(&self.codes[i as usize]).cmp(&code_key(code)))
+            .ok()
+            .map(|pos| CodeId(self.sorted[pos]))
+    }
+
+    /// Intern a code, returning its stable id.
+    pub fn intern(&mut self, code: &Code) -> CodeId {
+        match self
+            .sorted
+            .binary_search_by(|&i| code_key(&self.codes[i as usize]).cmp(&code_key(code)))
+        {
+            Ok(pos) => CodeId(self.sorted[pos]),
+            Err(pos) => {
+                let id = self.codes.len() as u32;
+                self.codes.push(code.clone());
+                self.sorted.insert(pos, id);
+                CodeId(id)
+            }
+        }
+    }
+
+    /// Iterate codes in id order (index `i` is `CodeId(i)`).
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &Code> {
+        self.codes.iter()
+    }
+
+    /// Approximate heap bytes held by the symbol table.
+    pub fn heap_bytes(&self) -> usize {
+        self.codes.len() * std::mem::size_of::<Code>()
+            + self.codes.iter().map(|c| c.value.len()).sum::<usize>()
+            + self.sorted.len() * std::mem::size_of::<u32>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload tags and codecs
+// ---------------------------------------------------------------------------
+
+const TAG_DIAGNOSIS: u8 = 0;
+const TAG_MEDICATION: u8 = 1;
+const TAG_MEASUREMENT: u8 = 2;
+const TAG_EPISODE: u8 = 3;
+const TAG_NOTE: u8 = 4;
+/// High bit of the tag column: the entry is an interval.
+const FLAG_INTERVAL: u8 = 0x80;
+const TAG_MASK: u8 = 0x7f;
+
+fn episode_to_u32(k: EpisodeKind) -> u32 {
+    match k {
+        EpisodeKind::Inpatient => 0,
+        EpisodeKind::Outpatient => 1,
+        EpisodeKind::DayTreatment => 2,
+        EpisodeKind::HomeCare => 3,
+        EpisodeKind::NursingHome => 4,
+        EpisodeKind::Rehabilitation => 5,
+        EpisodeKind::MedicationExposure => 6,
+    }
+}
+
+fn episode_from_u32(v: u32) -> EpisodeKind {
+    match v {
+        0 => EpisodeKind::Inpatient,
+        1 => EpisodeKind::Outpatient,
+        2 => EpisodeKind::DayTreatment,
+        3 => EpisodeKind::HomeCare,
+        4 => EpisodeKind::NursingHome,
+        5 => EpisodeKind::Rehabilitation,
+        _ => EpisodeKind::MedicationExposure,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// The struct-of-arrays entry arena. One store backs one or many
+/// histories; each [`History`] views a contiguous row span.
+#[derive(Debug, Clone, Default)]
+pub struct EventStore {
+    pub(crate) interner: Arc<CodeInterner>,
+    pub(crate) starts: Vec<DateTime>,
+    /// `end == start` for point events.
+    pub(crate) ends: Vec<DateTime>,
+    pub(crate) sources: Vec<SourceKind>,
+    /// Payload kind (low bits) | [`FLAG_INTERVAL`].
+    pub(crate) tags: Vec<u8>,
+    /// Per-kind auxiliary word: `CodeId`, episode discriminant, or
+    /// side-table index.
+    pub(crate) aux: Vec<u32>,
+    pub(crate) measurements: Vec<(MeasurementKind, f64)>,
+    pub(crate) notes: Vec<String>,
+}
+
+impl EventStore {
+    /// An empty store with its own interner.
+    pub fn new() -> EventStore {
+        EventStore::default()
+    }
+
+    /// An empty store sharing an existing interner (ids stay compatible).
+    pub fn with_interner(interner: Arc<CodeInterner>) -> EventStore {
+        EventStore { interner, ..EventStore::default() }
+    }
+
+    /// Build a store from entries, preserving their order (lossless —
+    /// see [`EntryRef::to_entry`] for the way back).
+    pub fn from_entries<'a, I: IntoIterator<Item = &'a Entry>>(entries: I) -> EventStore {
+        let mut store = EventStore::new();
+        for e in entries {
+            store.push(e);
+        }
+        store
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// True if the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// The shared symbol table.
+    pub fn interner(&self) -> &CodeInterner {
+        &self.interner
+    }
+
+    /// The shared symbol-table handle (for stores that must keep ids
+    /// compatible, e.g. a history detaching on mutation).
+    pub fn interner_arc(&self) -> &Arc<CodeInterner> {
+        &self.interner
+    }
+
+    fn encode(&mut self, payload: &Payload) -> (u8, u32) {
+        match payload {
+            Payload::Diagnosis(c) => {
+                (TAG_DIAGNOSIS, Arc::make_mut(&mut self.interner).intern(c).0)
+            }
+            Payload::Medication(c) => {
+                (TAG_MEDICATION, Arc::make_mut(&mut self.interner).intern(c).0)
+            }
+            Payload::Measurement { kind, value } => {
+                self.measurements.push((*kind, *value));
+                (TAG_MEASUREMENT, (self.measurements.len() - 1) as u32)
+            }
+            Payload::Episode(k) => (TAG_EPISODE, episode_to_u32(*k)),
+            Payload::Note(text) => {
+                self.notes.push(text.clone());
+                (TAG_NOTE, (self.notes.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Append one entry.
+    pub fn push(&mut self, entry: &Entry) {
+        let (tag, aux) = self.encode(entry.payload());
+        self.starts.push(entry.start());
+        self.ends.push(entry.end());
+        self.sources.push(entry.source());
+        self.tags.push(tag | if entry.is_interval() { FLAG_INTERVAL } else { 0 });
+        self.aux.push(aux);
+    }
+
+    /// Splice one entry in at row `at` (used by the in-place insert fast
+    /// path; side tables are append-only so other rows stay valid).
+    pub(crate) fn insert_at(&mut self, at: usize, entry: &Entry) {
+        let (tag, aux) = self.encode(entry.payload());
+        self.starts.insert(at, entry.start());
+        self.ends.insert(at, entry.end());
+        self.sources.insert(at, entry.source());
+        self.tags.insert(at, tag | if entry.is_interval() { FLAG_INTERVAL } else { 0 });
+        self.aux.insert(at, aux);
+    }
+
+    /// A zero-copy view of row `i`.
+    pub fn get(&self, i: u32) -> EntryRef<'_> {
+        assert!((i as usize) < self.len(), "row {i} out of bounds");
+        EntryRef { store: self, idx: i }
+    }
+
+    /// The payload of row `i`, borrowed.
+    pub(crate) fn payload_ref(&self, i: u32) -> PayloadRef<'_> {
+        let i = i as usize;
+        let aux = self.aux[i];
+        match self.tags[i] & TAG_MASK {
+            TAG_DIAGNOSIS => PayloadRef::Diagnosis(self.interner.resolve(CodeId(aux))),
+            TAG_MEDICATION => PayloadRef::Medication(self.interner.resolve(CodeId(aux))),
+            TAG_MEASUREMENT => {
+                let (kind, value) = self.measurements[aux as usize];
+                PayloadRef::Measurement { kind, value }
+            }
+            TAG_EPISODE => PayloadRef::Episode(episode_from_u32(aux)),
+            _ => PayloadRef::Note(&self.notes[aux as usize]),
+        }
+    }
+
+    /// Approximate heap bytes held by the store (columns + side tables +
+    /// symbol table) — the numerator of the E5 bytes-per-entry report.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.starts.len() * size_of::<DateTime>()
+            + self.ends.len() * size_of::<DateTime>()
+            + self.sources.len() * size_of::<SourceKind>()
+            + self.tags.len()
+            + self.aux.len() * size_of::<u32>()
+            + self.measurements.len() * size_of::<(MeasurementKind, f64)>()
+            + self.notes.iter().map(|n| size_of::<String>() + n.len()).sum::<usize>()
+            + self.interner.heap_bytes()
+    }
+
+    /// Rows `[lo, hi)` whose `(start, end)` key is `<= key` — the stable
+    /// insertion point used by [`History::insert`].
+    pub(crate) fn partition_point_le(
+        &self,
+        lo: u32,
+        hi: u32,
+        key: (DateTime, DateTime),
+    ) -> u32 {
+        let s = &self.starts[lo as usize..hi as usize];
+        let e = &self.ends[lo as usize..hi as usize];
+        let mut n = 0;
+        // partition_point over the span: entries with key <= the probe.
+        let mut size = s.len();
+        let mut base = 0usize;
+        while size > 0 {
+            let half = size / 2;
+            let mid = base + half;
+            if (s[mid], e[mid]) <= key {
+                base = mid + 1;
+                size -= half + 1;
+            } else {
+                size = half;
+            }
+            n = base;
+        }
+        lo + n as u32
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy views
+// ---------------------------------------------------------------------------
+
+/// A borrowed view of an entry's payload — what [`EntryRef::payload`]
+/// yields instead of materializing a [`Payload`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PayloadRef<'a> {
+    /// A recorded diagnosis.
+    Diagnosis(&'a Code),
+    /// A dispensed or administered medication.
+    Medication(&'a Code),
+    /// A clinical measurement.
+    Measurement {
+        /// What was measured.
+        kind: MeasurementKind,
+        /// The value, in [`MeasurementKind::unit`] units.
+        value: f64,
+    },
+    /// A care episode.
+    Episode(EpisodeKind),
+    /// Free text extracted from the record.
+    Note(&'a str),
+}
+
+impl<'a> PayloadRef<'a> {
+    /// The clinical code, if this payload carries one.
+    pub fn code(self) -> Option<&'a Code> {
+        match self {
+            PayloadRef::Diagnosis(c) | PayloadRef::Medication(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Materialize an owned [`Payload`].
+    pub fn to_payload(self) -> Payload {
+        match self {
+            PayloadRef::Diagnosis(c) => Payload::Diagnosis(c.clone()),
+            PayloadRef::Medication(c) => Payload::Medication(c.clone()),
+            PayloadRef::Measurement { kind, value } => Payload::Measurement { kind, value },
+            PayloadRef::Episode(k) => Payload::Episode(k),
+            PayloadRef::Note(t) => Payload::Note(t.to_owned()),
+        }
+    }
+
+    /// One-line rendering for details-on-demand panels (identical to
+    /// [`Payload::describe`]).
+    pub fn describe(self) -> String {
+        match self {
+            PayloadRef::Diagnosis(c) => match c.display_name() {
+                Some(name) => format!("diagnosis {} ({name})", c.value),
+                None => format!("diagnosis {}", c.value),
+            },
+            PayloadRef::Medication(c) => match c.display_name() {
+                Some(name) => format!("medication {} ({name})", c.value),
+                None => format!("medication {}", c.value),
+            },
+            PayloadRef::Measurement { kind, value } => {
+                format!("{} {value:.1} {}", kind.label(), kind.unit())
+            }
+            PayloadRef::Episode(k) => k.label().to_owned(),
+            PayloadRef::Note(text) => {
+                let mut t: String = text.chars().take(60).collect();
+                if t.len() < text.len() {
+                    t.push('…');
+                }
+                format!("note: {t}")
+            }
+        }
+    }
+}
+
+impl<'a> From<&'a Payload> for PayloadRef<'a> {
+    fn from(p: &'a Payload) -> PayloadRef<'a> {
+        match p {
+            Payload::Diagnosis(c) => PayloadRef::Diagnosis(c),
+            Payload::Medication(c) => PayloadRef::Medication(c),
+            Payload::Measurement { kind, value } => {
+                PayloadRef::Measurement { kind: *kind, value: *value }
+            }
+            Payload::Episode(k) => PayloadRef::Episode(*k),
+            Payload::Note(t) => PayloadRef::Note(t),
+        }
+    }
+}
+
+impl PartialEq<Payload> for PayloadRef<'_> {
+    fn eq(&self, other: &Payload) -> bool {
+        *self == PayloadRef::from(other)
+    }
+}
+
+/// A zero-copy view of one entry: a store reference plus a row index.
+/// `Copy`, 16 bytes — the type the hot query/viz/align loops traffic in.
+#[derive(Clone, Copy)]
+pub struct EntryRef<'a> {
+    store: &'a EventStore,
+    idx: u32,
+}
+
+impl<'a> EntryRef<'a> {
+    /// The anchor time: event time, or interval start.
+    pub fn start(&self) -> DateTime {
+        self.store.starts[self.idx as usize]
+    }
+
+    /// The end time: event time, or interval end.
+    pub fn end(&self) -> DateTime {
+        self.store.ends[self.idx as usize]
+    }
+
+    /// The provenance tag.
+    pub fn source(&self) -> SourceKind {
+        self.store.sources[self.idx as usize]
+    }
+
+    /// True for intervals.
+    pub fn is_interval(&self) -> bool {
+        self.store.tags[self.idx as usize] & FLAG_INTERVAL != 0
+    }
+
+    /// True for point events.
+    pub fn is_event(&self) -> bool {
+        !self.is_interval()
+    }
+
+    /// The payload, borrowed from the store.
+    pub fn payload(&self) -> PayloadRef<'a> {
+        self.store.payload_ref(self.idx)
+    }
+
+    /// The clinical code, if any, borrowed from the interner.
+    pub fn code(&self) -> Option<&'a Code> {
+        self.payload().code()
+    }
+
+    /// The interned code id, if this entry carries a code. Integer
+    /// identity within this entry's store — what the query layer posts.
+    pub fn code_id(&self) -> Option<CodeId> {
+        match self.store.tags[self.idx as usize] & TAG_MASK {
+            TAG_DIAGNOSIS | TAG_MEDICATION => {
+                Some(CodeId(self.store.aux[self.idx as usize]))
+            }
+            _ => None,
+        }
+    }
+
+    /// True if this entry overlaps the closed time window `[from, to]`.
+    pub fn overlaps(&self, from: DateTime, to: DateTime) -> bool {
+        self.start() <= to && self.end() >= from
+    }
+
+    /// One-line rendering for details-on-demand panels (identical to
+    /// [`Entry::describe`]).
+    pub fn describe(&self) -> String {
+        if self.is_interval() {
+            format!(
+                "{} → {} ({}) — {} [{}]",
+                self.start(),
+                self.end(),
+                self.end() - self.start(),
+                self.payload().describe(),
+                self.source()
+            )
+        } else {
+            format!("{} — {} [{}]", self.start(), self.payload().describe(), self.source())
+        }
+    }
+
+    /// Materialize an owned [`Entry`] (export and details-on-demand; the
+    /// hot paths never call this).
+    pub fn to_entry(&self) -> Entry {
+        if self.is_interval() {
+            Entry::interval(self.start(), self.end(), self.payload().to_payload(), self.source())
+        } else {
+            Entry::event(self.start(), self.payload().to_payload(), self.source())
+        }
+    }
+}
+
+impl std::fmt::Debug for EntryRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EntryRef")
+            .field("start", &self.start())
+            .field("end", &self.end())
+            .field("payload", &self.payload())
+            .field("source", &self.source())
+            .field("interval", &self.is_interval())
+            .finish()
+    }
+}
+
+impl PartialEq for EntryRef<'_> {
+    fn eq(&self, other: &EntryRef<'_>) -> bool {
+        self.start() == other.start()
+            && self.end() == other.end()
+            && self.is_interval() == other.is_interval()
+            && self.source() == other.source()
+            && self.payload() == other.payload()
+    }
+}
+
+impl PartialEq<Entry> for EntryRef<'_> {
+    fn eq(&self, other: &Entry) -> bool {
+        self.start() == other.start()
+            && self.end() == other.end()
+            && self.is_interval() == other.is_interval()
+            && self.source() == other.source()
+            && self.payload() == PayloadRef::from(other.payload())
+    }
+}
+
+/// The uniform read interface over [`EntryRef`] and `&Entry` — generic
+/// predicates and classifiers take `E: EntryView` by value (both
+/// implementors are `Copy`), so existing `&Entry` call sites keep
+/// compiling while the hot paths pass [`EntryRef`] without allocating.
+pub trait EntryView: Copy {
+    /// The anchor time: event time, or interval start.
+    fn start(self) -> DateTime;
+    /// The end time: event time, or interval end.
+    fn end(self) -> DateTime;
+    /// The provenance tag.
+    fn source(self) -> SourceKind;
+    /// True for intervals.
+    fn is_interval(self) -> bool;
+    /// The payload, borrowed.
+    fn payload_ref(&self) -> PayloadRef<'_>;
+
+    /// True for point events.
+    fn is_event(self) -> bool {
+        !self.is_interval()
+    }
+
+    /// The clinical code, if any.
+    fn code_ref(&self) -> Option<&Code> {
+        self.payload_ref().code()
+    }
+
+    /// True if this entry overlaps the closed time window `[from, to]`.
+    fn overlaps_window(self, from: DateTime, to: DateTime) -> bool {
+        self.start() <= to && self.end() >= from
+    }
+}
+
+impl EntryView for &Entry {
+    fn start(self) -> DateTime {
+        Entry::start(self)
+    }
+    fn end(self) -> DateTime {
+        Entry::end(self)
+    }
+    fn source(self) -> SourceKind {
+        Entry::source(self)
+    }
+    fn is_interval(self) -> bool {
+        Entry::is_interval(self)
+    }
+    fn payload_ref(&self) -> PayloadRef<'_> {
+        PayloadRef::from(Entry::payload(self))
+    }
+}
+
+impl EntryView for EntryRef<'_> {
+    fn start(self) -> DateTime {
+        EntryRef::start(&self)
+    }
+    fn end(self) -> DateTime {
+        EntryRef::end(&self)
+    }
+    fn source(self) -> SourceKind {
+        EntryRef::source(&self)
+    }
+    fn is_interval(self) -> bool {
+        EntryRef::is_interval(&self)
+    }
+    fn payload_ref(&self) -> PayloadRef<'_> {
+        EntryRef::payload(self)
+    }
+}
+
+/// One history's contiguous row span — the replacement for the old
+/// `&[Entry]` slice. `Copy`; iterate it directly (`for e in h.entries()`)
+/// or via [`Entries::iter`]; index with [`Entries::get`].
+#[derive(Clone, Copy, Debug)]
+pub struct Entries<'a> {
+    store: &'a EventStore,
+    lo: u32,
+    hi: u32,
+}
+
+impl<'a> Entries<'a> {
+    pub(crate) fn new(store: &'a EventStore, lo: u32, hi: u32) -> Entries<'a> {
+        Entries { store, lo, hi }
+    }
+
+    /// Number of entries in the span.
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// True if the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hi == self.lo
+    }
+
+    /// The `i`-th entry of the span (panics when out of bounds, like
+    /// slice indexing did).
+    pub fn get(&self, i: usize) -> EntryRef<'a> {
+        assert!(i < self.len(), "entry index {i} out of bounds (len {})", self.len());
+        EntryRef { store: self.store, idx: self.lo + i as u32 }
+    }
+
+    /// The first entry, if any.
+    pub fn first(&self) -> Option<EntryRef<'a>> {
+        (!self.is_empty()).then(|| self.get(0))
+    }
+
+    /// Iterate the span.
+    pub fn iter(&self) -> EntriesIter<'a> {
+        EntriesIter { store: self.store, next: self.lo, hi: self.hi }
+    }
+
+    /// Materialize the span as owned entries (export/test paths).
+    pub fn to_vec(&self) -> Vec<Entry> {
+        self.iter().map(|e| e.to_entry()).collect()
+    }
+}
+
+/// Iterator over a history's entries, yielding [`EntryRef`]s.
+#[derive(Clone, Debug)]
+pub struct EntriesIter<'a> {
+    store: &'a EventStore,
+    next: u32,
+    hi: u32,
+}
+
+impl<'a> Iterator for EntriesIter<'a> {
+    type Item = EntryRef<'a>;
+    fn next(&mut self) -> Option<EntryRef<'a>> {
+        if self.next >= self.hi {
+            return None;
+        }
+        let r = EntryRef { store: self.store, idx: self.next };
+        self.next += 1;
+        Some(r)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.hi - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for EntriesIter<'_> {}
+impl<'a> DoubleEndedIterator for EntriesIter<'a> {
+    fn next_back(&mut self) -> Option<EntryRef<'a>> {
+        if self.next >= self.hi {
+            return None;
+        }
+        self.hi -= 1;
+        Some(EntryRef { store: self.store, idx: self.hi })
+    }
+}
+
+impl<'a> IntoIterator for Entries<'a> {
+    type Item = EntryRef<'a>;
+    type IntoIter = EntriesIter<'a>;
+    fn into_iter(self) -> EntriesIter<'a> {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &Entries<'a> {
+    type Item = EntryRef<'a>;
+    type IntoIter = EntriesIter<'a>;
+    fn into_iter(self) -> EntriesIter<'a> {
+        self.iter()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory accounting
+// ---------------------------------------------------------------------------
+
+/// Byte-level memory accounting for a collection: the columnar arena
+/// footprint next to the array-of-structs estimate it replaced.
+///
+/// The AoS figure is what a `Vec<Entry>` representation costs: one full
+/// [`Entry`] per row (`size_of::<Entry>()`) plus the per-entry heap its
+/// payload owns (code value bytes, note bytes). The columnar figure is
+/// [`EventStore::heap_bytes`] summed over the collection's *distinct*
+/// arenas — shared arenas are counted once, which is the whole point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryFootprint {
+    /// Total entries across the collection.
+    pub entries: usize,
+    /// Distinct [`EventStore`] arenas backing the collection.
+    pub stores: usize,
+    /// Bytes held by the columnar arenas (columns + interner).
+    pub columnar_bytes: usize,
+    /// Estimated bytes for the same data as `Vec<Entry>` per patient.
+    pub aos_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Measure a collection.
+    pub fn measure(collection: &crate::HistoryCollection) -> MemoryFootprint {
+        let mut seen: Vec<*const EventStore> = Vec::new();
+        let mut f = MemoryFootprint::default();
+        for h in collection.iter() {
+            let ptr = Arc::as_ptr(h.store());
+            if !seen.contains(&ptr) {
+                seen.push(ptr);
+                f.columnar_bytes += h.store().heap_bytes();
+            }
+            f.entries += h.len();
+            f.aos_bytes += h.len() * std::mem::size_of::<Entry>();
+            for e in h.entries() {
+                f.aos_bytes += match e.payload() {
+                    PayloadRef::Diagnosis(c) | PayloadRef::Medication(c) => c.value.len(),
+                    PayloadRef::Note(t) => t.len(),
+                    PayloadRef::Measurement { .. } | PayloadRef::Episode(_) => 0,
+                };
+            }
+        }
+        f.stores = seen.len();
+        f
+    }
+
+    /// Columnar bytes per entry.
+    pub fn columnar_per_entry(&self) -> f64 {
+        self.columnar_bytes as f64 / (self.entries as f64).max(1.0)
+    }
+
+    /// Array-of-structs bytes per entry.
+    pub fn aos_per_entry(&self) -> f64 {
+        self.aos_bytes as f64 / (self.entries as f64).max(1.0)
+    }
+
+    /// How many times smaller the columnar layout is (AoS ÷ columnar).
+    pub fn reduction(&self) -> f64 {
+        self.aos_bytes as f64 / (self.columnar_bytes as f64).max(1.0)
+    }
+
+    /// One human-readable report line.
+    pub fn summary(&self) -> String {
+        format!(
+            "memory: {:.1} B/entry columnar vs {:.1} B/entry AoS ({:.2}x smaller; \
+             {} entries in {} arena{})",
+            self.columnar_per_entry(),
+            self.aos_per_entry(),
+            self.reduction(),
+            self.entries,
+            self.stores,
+            if self.stores == 1 { "" } else { "s" }
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection building
+// ---------------------------------------------------------------------------
+
+/// Builds one shared [`EventStore`] arena for a whole collection.
+///
+/// `ingest::aggregate` and `synth::generate_collection` funnel through
+/// here: per-patient entries are birth-validated and stably sorted by
+/// `(start, end)` (exactly the order repeated [`History::insert`] calls
+/// produce), then appended to one arena that every resulting [`History`]
+/// views by span — cohort extraction and sorting never copy entry data.
+#[derive(Debug, Default)]
+pub struct CollectionBuilder {
+    store: EventStore,
+    patients: Vec<(Patient, u32, u32)>,
+    report: ValidationReport,
+}
+
+impl CollectionBuilder {
+    /// An empty builder.
+    pub fn new() -> CollectionBuilder {
+        CollectionBuilder::default()
+    }
+
+    /// Add one patient's entries (any order; they are validated against
+    /// the birth date and sorted here). Returns this patient's report.
+    pub fn add_patient(&mut self, patient: Patient, entries: Vec<Entry>) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        let mut accepted: Vec<Entry> = Vec::with_capacity(entries.len());
+        for e in entries {
+            if e.start().date() < patient.birth_date {
+                report.dropped_pre_birth += 1;
+            } else {
+                report.accepted += 1;
+                accepted.push(e);
+            }
+        }
+        accepted.sort_by_key(|e| (e.start(), e.end()));
+        let lo = self.store.len() as u32;
+        for e in &accepted {
+            self.store.push(e);
+        }
+        let hi = self.store.len() as u32;
+        self.patients.push((patient, lo, hi));
+        self.report.merge(&report);
+        report
+    }
+
+    /// Finish: one shared arena, one [`History`] span per patient (in
+    /// insertion order), plus the merged validation report.
+    pub fn build(self) -> (HistoryCollection, ValidationReport) {
+        let arena = Arc::new(self.store);
+        let collection = HistoryCollection::from_histories(
+            self.patients
+                .into_iter()
+                .map(|(patient, lo, hi)| History::from_span(patient, Arc::clone(&arena), lo, hi)),
+        );
+        (collection, self.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PatientId, Sex};
+    use pastas_time::Date;
+
+    fn t(y: i32, m: u32, d: u32) -> DateTime {
+        Date::new(y, m, d).unwrap().at_midnight()
+    }
+
+    fn sample_entries() -> Vec<Entry> {
+        vec![
+            Entry::event(
+                t(2013, 3, 1),
+                Payload::Diagnosis(Code::icpc("T90")),
+                SourceKind::PrimaryCare,
+            ),
+            Entry::event(
+                t(2013, 4, 1),
+                Payload::Medication(Code::atc("C07AB02")),
+                SourceKind::Prescription,
+            ),
+            Entry::event(
+                t(2013, 5, 1),
+                Payload::Measurement { kind: MeasurementKind::SystolicBp, value: 151.5 },
+                SourceKind::PrimaryCare,
+            ),
+            Entry::interval(
+                t(2013, 6, 1),
+                t(2013, 6, 9),
+                Payload::Episode(EpisodeKind::Inpatient),
+                SourceKind::Hospital,
+            ),
+            Entry::event(
+                t(2013, 7, 1),
+                Payload::Note("kontroll; BT 150/90".into()),
+                SourceKind::PrimaryCare,
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_lossless_and_ordered() {
+        let entries = sample_entries();
+        let store = EventStore::from_entries(&entries);
+        assert_eq!(store.len(), entries.len());
+        for (i, e) in entries.iter().enumerate() {
+            let r = store.get(i as u32);
+            assert_eq!(r, *e, "row {i}");
+            assert_eq!(r.to_entry(), *e, "materialized row {i}");
+            assert_eq!(r.describe(), e.describe(), "description row {i}");
+        }
+    }
+
+    #[test]
+    fn interning_dedups_codes() {
+        let mut entries = sample_entries();
+        entries.extend(sample_entries());
+        let store = EventStore::from_entries(&entries);
+        assert_eq!(store.interner().len(), 2, "T90 and C07AB02 interned once");
+        let t90 = Code::icpc("T90");
+        let id = store.interner().lookup(&t90).expect("interned");
+        assert_eq!(store.interner().resolve(id), &t90);
+        assert_eq!(store.get(0).code_id(), Some(id));
+        assert_eq!(store.get(5).code_id(), Some(id), "same id across duplicates");
+        assert_eq!(store.get(2).code_id(), None, "measurements carry no code");
+    }
+
+    #[test]
+    fn interner_sorted_runs_share_value_prefixes() {
+        let mut interner = CodeInterner::new();
+        for v in ["T90", "K74", "T89", "A01", "T90"] {
+            interner.intern(&Code::icpc(v));
+        }
+        assert_eq!(interner.len(), 4);
+        let values: Vec<&str> = interner
+            .sorted
+            .iter()
+            .map(|&i| interner.codes[i as usize].value.as_str())
+            .collect();
+        let mut expect = values.clone();
+        expect.sort_unstable();
+        assert_eq!(values, expect, "sorted view ordered by value");
+    }
+
+    #[test]
+    fn columnar_layout_is_smaller_than_aos() {
+        let mut entries = Vec::new();
+        for i in 0..1000u32 {
+            entries.push(Entry::event(
+                t(2013, 1 + (i % 12), 1 + (i % 28)),
+                Payload::Diagnosis(Code::icpc(if i.is_multiple_of(2) { "T90" } else { "K74" })),
+                SourceKind::PrimaryCare,
+            ));
+        }
+        let store = EventStore::from_entries(&entries);
+        let columnar = store.heap_bytes();
+        let aos = entries.len() * std::mem::size_of::<Entry>()
+            + entries.iter().filter_map(|e| e.code()).map(|c| c.value.len()).sum::<usize>();
+        assert!(
+            columnar * 2 < aos,
+            "columnar {columnar} B should be well under half of AoS {aos} B"
+        );
+    }
+
+    #[test]
+    fn builder_shares_one_arena() {
+        let mut b = CollectionBuilder::new();
+        for id in 1..=3u64 {
+            let patient = Patient {
+                id: PatientId(id),
+                birth_date: Date::new(1950, 1, 1).unwrap(),
+                sex: Sex::Female,
+            };
+            b.add_patient(patient, sample_entries());
+        }
+        let (collection, report) = b.build();
+        assert_eq!(report.accepted, 15);
+        assert_eq!(collection.len(), 3);
+        let stores: Vec<_> =
+            collection.iter().map(|h| Arc::as_ptr(h.store())).collect();
+        assert!(stores.windows(2).all(|w| w[0] == w[1]), "one shared arena");
+        for h in &collection {
+            assert_eq!(h.len(), 5);
+            assert!(h.entries().iter().all(|e| e.start() >= t(2013, 3, 1)));
+        }
+    }
+
+    #[test]
+    fn builder_validates_and_sorts() {
+        let mut b = CollectionBuilder::new();
+        let patient = Patient {
+            id: PatientId(1),
+            birth_date: Date::new(1950, 6, 15).unwrap(),
+            sex: Sex::Male,
+        };
+        let report = b.add_patient(
+            patient,
+            vec![
+                Entry::event(
+                    t(2015, 6, 1),
+                    Payload::Diagnosis(Code::icpc("K74")),
+                    SourceKind::PrimaryCare,
+                ),
+                Entry::event(
+                    t(1949, 1, 1),
+                    Payload::Diagnosis(Code::icpc("A01")),
+                    SourceKind::PrimaryCare,
+                ),
+                Entry::event(
+                    t(2014, 1, 1),
+                    Payload::Diagnosis(Code::icpc("T90")),
+                    SourceKind::PrimaryCare,
+                ),
+            ],
+        );
+        assert_eq!(report, ValidationReport { accepted: 2, dropped_pre_birth: 1 });
+        let (collection, _) = b.build();
+        let h = collection.get(PatientId(1)).unwrap();
+        let starts: Vec<_> = h.entries().iter().map(|e| e.start()).collect();
+        assert_eq!(starts, vec![t(2014, 1, 1), t(2015, 6, 1)]);
+    }
+}

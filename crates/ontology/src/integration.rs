@@ -13,7 +13,7 @@ use crate::reasoner::{Axiom, ClassId, Reasoner, RoleId};
 use crate::store::{Term, TripleStore};
 use crate::vocab::{ns, Iri, Vocabulary};
 use pastas_codes::Code;
-use pastas_model::{Entry, EpisodeKind, History, Payload, SourceKind};
+use pastas_model::{EntryView, EpisodeKind, History, PayloadRef, SourceKind};
 use std::collections::HashMap;
 
 /// The chronic and acute conditions the cohort study tracks, with the
@@ -237,15 +237,19 @@ impl IntegrationOntology {
     }
 
     /// The structural class name for an entry (by payload × source).
-    pub fn structural_class(entry: &Entry) -> &'static str {
-        match (entry.payload(), entry.source()) {
-            (Payload::Diagnosis(_), SourceKind::PrimaryCare) => "pastas-int:PrimaryCareContact",
-            (Payload::Diagnosis(_), SourceKind::Specialist) => "pastas-int:SpecialistContact",
-            (Payload::Diagnosis(_), _) => "pastas-int:HospitalContact",
-            (Payload::Medication(_), _) => "pastas-int:Dispensing",
-            (Payload::Measurement { .. }, _) => "pastas-int:Observation",
-            (Payload::Note(_), _) => "pastas-int:NoteEntry",
-            (Payload::Episode(k), _) => match k {
+    ///
+    /// Generic over [`EntryView`] so both owned `&Entry` values and
+    /// zero-copy [`pastas_model::EntryRef`] views classify without
+    /// materializing a payload.
+    pub fn structural_class<E: EntryView>(entry: E) -> &'static str {
+        match (entry.payload_ref(), entry.source()) {
+            (PayloadRef::Diagnosis(_), SourceKind::PrimaryCare) => "pastas-int:PrimaryCareContact",
+            (PayloadRef::Diagnosis(_), SourceKind::Specialist) => "pastas-int:SpecialistContact",
+            (PayloadRef::Diagnosis(_), _) => "pastas-int:HospitalContact",
+            (PayloadRef::Medication(_), _) => "pastas-int:Dispensing",
+            (PayloadRef::Measurement { .. }, _) => "pastas-int:Observation",
+            (PayloadRef::Note(_), _) => "pastas-int:NoteEntry",
+            (PayloadRef::Episode(k), _) => match k {
                 EpisodeKind::Inpatient => "pastas-int:InpatientStay",
                 EpisodeKind::Outpatient => "pastas-int:OutpatientSeries",
                 EpisodeKind::DayTreatment => "pastas-int:DayTreatment",
@@ -260,7 +264,7 @@ impl IntegrationOntology {
     /// Every class name an entry belongs to: its structural classes plus,
     /// when it carries a registered code, everything the reasoner derives
     /// through the `hasCode` bridge (condition `EntryFor/...` classes).
-    pub fn classify_entry(&self, entry: &Entry) -> Vec<String> {
+    pub fn classify_entry<E: EntryView>(&self, entry: E) -> Vec<String> {
         let mut out = Vec::new();
         // Structural chain.
         let structural = Self::structural_class(entry);
@@ -272,7 +276,7 @@ impl IntegrationOntology {
             out.push(structural.to_owned());
         }
         // Code-derived classes via the entryWith bridge.
-        if let Some(code) = entry.code() {
+        if let Some(code) = entry.code_ref() {
             if let Some(ew) = self.lookup(&entry_with_name(code)) {
                 for &sup in self.reasoner.superclasses(ew) {
                     let name = self.name_of(sup);

@@ -16,7 +16,7 @@
 
 use crate::integration::code_class_name;
 use pastas_codes::{atc::AtcCode, catalog, Code, CodeSystem};
-use pastas_model::{Entry, EpisodeKind, Payload};
+use pastas_model::{EntryView, EpisodeKind, PayloadRef};
 
 /// Glyph families for point events — simple, preattentively distinct
 /// shapes.
@@ -104,21 +104,23 @@ impl PresentationOntology {
         PresentationOntology {}
     }
 
-    /// The glyph family for a point entry's payload.
-    pub fn glyph_for(&self, payload: &Payload) -> GlyphShape {
-        match payload {
-            Payload::Diagnosis(_) => GlyphShape::Square,
-            Payload::Measurement { .. } => GlyphShape::Arrow,
-            Payload::Medication(_) => GlyphShape::Triangle,
-            Payload::Note(_) => GlyphShape::Cross,
-            Payload::Episode(_) => GlyphShape::Circle,
+    /// The glyph family for a point entry's payload. Accepts `&Payload`
+    /// or a borrowed [`PayloadRef`] from the columnar store.
+    pub fn glyph_for<'a>(&self, payload: impl Into<PayloadRef<'a>>) -> GlyphShape {
+        match payload.into() {
+            PayloadRef::Diagnosis(_) => GlyphShape::Square,
+            PayloadRef::Measurement { .. } => GlyphShape::Arrow,
+            PayloadRef::Medication(_) => GlyphShape::Triangle,
+            PayloadRef::Note(_) => GlyphShape::Cross,
+            PayloadRef::Episode(_) => GlyphShape::Circle,
         }
     }
 
     /// The band family for an interval entry, if it is drawn as a band.
-    pub fn band_for(&self, payload: &Payload) -> Option<BandKind> {
-        match payload {
-            Payload::Episode(k) => Some(match k {
+    /// Accepts `&Payload` or a borrowed [`PayloadRef`].
+    pub fn band_for<'a>(&self, payload: impl Into<PayloadRef<'a>>) -> Option<BandKind> {
+        match payload.into() {
+            PayloadRef::Episode(k) => Some(match k {
                 EpisodeKind::Inpatient | EpisodeKind::Outpatient | EpisodeKind::DayTreatment => {
                     BandKind::Hospital
                 }
@@ -126,7 +128,7 @@ impl PresentationOntology {
                 EpisodeKind::Rehabilitation => BandKind::Rehabilitation,
                 EpisodeKind::MedicationExposure => BandKind::Medication,
             }),
-            Payload::Medication(_) => Some(BandKind::Medication),
+            PayloadRef::Medication(_) => Some(BandKind::Medication),
             _ => None,
         }
     }
@@ -145,9 +147,9 @@ impl PresentationOntology {
     }
 
     /// The color class of an entry (medication payloads only).
-    pub fn entry_color_class(&self, entry: &Entry) -> Option<ColorClass> {
-        match entry.payload() {
-            Payload::Medication(c) => self.color_class(c),
+    pub fn entry_color_class<E: EntryView>(&self, entry: E) -> Option<ColorClass> {
+        match entry.payload_ref() {
+            PayloadRef::Medication(c) => self.color_class(c),
             _ => None,
         }
     }
@@ -181,13 +183,13 @@ impl PresentationOntology {
 
     /// The presentation-class name of an entry for serialized scenes,
     /// e.g. `"viz:Glyph/square"` or `"viz:Band/hospital"`.
-    pub fn presentation_class(&self, entry: &Entry) -> String {
+    pub fn presentation_class<E: EntryView>(&self, entry: E) -> String {
         if entry.is_interval() {
-            if let Some(band) = self.band_for(entry.payload()) {
+            if let Some(band) = self.band_for(entry.payload_ref()) {
                 return format!("viz:Band/{}", band.name());
             }
         }
-        format!("viz:Glyph/{}", self.glyph_for(entry.payload()).name())
+        format!("viz:Glyph/{}", self.glyph_for(entry.payload_ref()).name())
     }
 
     /// TBox axioms of the presentation ontology in `(sub, super)` string
@@ -222,7 +224,7 @@ pub fn viz_code_class(code: &Code) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pastas_model::SourceKind;
+    use pastas_model::{Entry, Payload, SourceKind};
     use pastas_time::Date;
 
     fn t() -> pastas_time::DateTime {

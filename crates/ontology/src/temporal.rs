@@ -453,7 +453,8 @@ mod tests {
     #[test]
     fn between_covers_all_thirteen() {
         // Canonical endpoint patterns for each relation.
-        let cases: [(AllenRel, (i64, i64), (i64, i64)); 13] = [
+        type Case = (AllenRel, (i64, i64), (i64, i64));
+        let cases: [Case; 13] = [
             (AllenRel::Before, (0, 1), (2, 3)),
             (AllenRel::Meets, (0, 1), (1, 2)),
             (AllenRel::Overlaps, (0, 2), (1, 3)),

@@ -42,7 +42,7 @@ pub enum SearchCondition {
 /// some distractor and color with some (other) distractor but no distractor
 /// equals it, finding it requires binding — conjunction search.
 pub fn classify_search(target: Item, distractors: &[Item]) -> SearchCondition {
-    if distractors.iter().any(|d| *d == target) {
+    if distractors.contains(&target) {
         return SearchCondition::Indistinguishable;
     }
     let unique_shape = distractors.iter().all(|d| d.shape != target.shape);

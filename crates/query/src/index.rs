@@ -9,16 +9,20 @@
 //!
 //! Three refinements on top of the vocabulary scan:
 //!
-//! * the vocabulary is **interned into one sorted array** of
-//!   `(Box<str>, Vec<u32>)` pairs probed by binary search — the regex
-//!   engine's guaranteed literal prefix ([`pastas_regex::PrefixInfo`])
-//!   turns `K.*` into a `partition_point` + linear walk over the `K…`
-//!   run, and `T90` into a single equality probe, with no per-query
-//!   allocation and better locality than a pointer-chasing B-tree;
+//! * the build rides the model layer's [`pastas_model::CodeInterner`]:
+//!   the vocabulary is assembled from the distinct codes each backing
+//!   [`EventStore`] already interned (a per-store `CodeId` → vocabulary
+//!   slot translation table), so posting an entry is two integer lookups
+//!   via [`pastas_model::EntryRef::code_id`] — **no per-entry string
+//!   clone or hash**. The sorted vocabulary is probed by binary search;
+//!   the regex engine's guaranteed literal prefix
+//!   ([`pastas_regex::PrefixInfo`]) turns `K.*` into a `partition_point`
+//!   plus a linear walk over the `K…` run, and `T90` into a single
+//!   equality probe, with no per-query allocation;
 //! * candidate verification and the index build itself run on the
 //!   [`pastas_par`] parallel layer (chunked, deterministic: per-chunk
-//!   postings maps are merged in chunk order, so `PASTAS_THREADS=1`
-//!   reproduces the serial result bit for bit);
+//!   postings merge in chunk order, so `PASTAS_THREADS=1` reproduces the
+//!   serial result bit for bit);
 //! * compiled regexes are memoized per index, so re-running a selection
 //!   (the workbench's dominant interaction) skips recompilation.
 //!
@@ -26,10 +30,10 @@
 //! serial vs. parallel).
 
 use crate::query::HistoryQuery;
-use pastas_model::HistoryCollection;
+use pastas_model::{EventStore, HistoryCollection};
 use pastas_regex::Regex;
-use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Per-thread minimum number of histories before index building or
 /// candidate verification goes parallel. Predicate evaluation is cheap per
@@ -44,70 +48,113 @@ const PAR_MIN_HISTORIES: usize = 256;
 /// `EntryPredicate::CodeMatches`).
 #[derive(Debug, Default)]
 pub struct CodeIndex {
-    /// Interned vocabulary, sorted by code value: `(value, sorted history
-    /// positions)`. Probed by binary search; a literal prefix selects a
-    /// contiguous run.
-    postings: Vec<(Box<str>, Vec<u32>)>,
+    /// Distinct code values present in the collection, sorted. Probed by
+    /// binary search; a literal prefix selects a contiguous run.
+    vocab: Vec<Box<str>>,
+    /// `postings[i]`: ascending history positions containing `vocab[i]`.
+    postings: Vec<Vec<u32>>,
     /// Compiled patterns memoized across selections on this index.
     compiled: Mutex<HashMap<String, Regex>>,
 }
 
 impl CodeIndex {
-    /// Build the index over a collection (one pass over all entries,
-    /// chunked across threads; chunk maps merge in position order so the
-    /// result is identical at every thread count).
+    /// Build the index over a collection.
+    ///
+    /// Two phases. First the distinct backing stores (usually one shared
+    /// arena) contribute their interned symbol tables to a merged sorted
+    /// vocabulary, with one `CodeId` → vocabulary-slot translation table
+    /// per store. Then one pass over all entries posts
+    /// `translate(entry.code_id())` — integer lookups only, chunked
+    /// across threads; per-chunk postings merge in position order so the
+    /// result is identical at every thread count.
     pub fn build(collection: &HistoryCollection) -> CodeIndex {
         let histories = collection.histories();
-        let chunk_maps = pastas_par::par_chunks(histories, PAR_MIN_HISTORIES, |start, chunk| {
-            let mut map: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+
+        // Phase 1: distinct stores and the store slot of each history.
+        let mut stores: Vec<&Arc<EventStore>> = Vec::new();
+        let mut slot_by_ptr: HashMap<*const EventStore, u32> = HashMap::new();
+        let mut store_of: Vec<u32> = Vec::with_capacity(histories.len());
+        for h in histories {
+            let ptr = Arc::as_ptr(h.store());
+            let slot = *slot_by_ptr.entry(ptr).or_insert_with(|| {
+                stores.push(h.store());
+                (stores.len() - 1) as u32
+            });
+            store_of.push(slot);
+        }
+
+        // Merged vocabulary over every store's interner (values merge
+        // across code systems, matching `EntryPredicate::CodeMatches`).
+        let mut values: Vec<&str> = stores
+            .iter()
+            .flat_map(|s| s.interner().iter().map(|c| c.value.as_str()))
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        // Per store: CodeId (append index) → merged vocabulary slot.
+        let tables: Vec<Vec<u32>> = stores
+            .iter()
+            .map(|s| {
+                s.interner()
+                    .iter()
+                    .map(|c| {
+                        values
+                            .binary_search(&c.value.as_str())
+                            .expect("interned value is in the merged vocabulary")
+                            as u32
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Phase 2: post history positions by translated code id.
+        let chunk_lists = pastas_par::par_chunks(histories, PAR_MIN_HISTORIES, |start, chunk| {
+            let mut lists: Vec<Vec<u32>> = vec![Vec::new(); values.len()];
             for (offset, h) in chunk.iter().enumerate() {
                 let hi = (start + offset) as u32;
+                let table = &tables[store_of[start + offset] as usize];
                 for e in h.entries() {
-                    if let Some(code) = e.code() {
-                        let list = map.entry(code.value.clone()).or_default();
+                    if let Some(id) = e.code_id() {
+                        let list = &mut lists[table[id.0 as usize] as usize];
                         if list.last() != Some(&hi) {
                             list.push(hi);
                         }
                     }
                 }
             }
-            map
+            lists
         });
         // Each history position lives in exactly one chunk and chunks come
-        // back in ascending position order, so appending per-value lists
-        // chunk by chunk keeps every postings list ascending.
-        let mut chunk_maps = chunk_maps.into_iter();
-        let mut merged = chunk_maps.next().unwrap_or_default();
-        for map in chunk_maps {
-            for (value, list) in map {
-                merged.entry(value).or_default().extend(list);
+        // back in ascending position order, so appending per-slot lists
+        // chunk by chunk keeps every postings list ascending and unique.
+        let mut merged: Vec<Vec<u32>> = vec![Vec::new(); values.len()];
+        for lists in chunk_lists {
+            for (slot, list) in lists.into_iter().enumerate() {
+                merged[slot].extend(list);
             }
         }
-        // `BTreeMap::into_iter` is ordered, so the interned array is sorted
-        // by construction; the sort+dedup per list enforces the invariant
-        // even if a chunk produced interleaved duplicates.
-        let postings = merged
+        // A shared arena's interner may carry codes belonging to patients
+        // outside this (sub-)collection; keep only values actually seen.
+        let (vocab, postings) = values
             .into_iter()
-            .map(|(value, mut list)| {
-                list.sort_unstable();
-                list.dedup();
-                (value.into_boxed_str(), list)
-            })
-            .collect();
-        CodeIndex { postings, compiled: Mutex::new(HashMap::new()) }
+            .zip(merged)
+            .filter(|(_, list)| !list.is_empty())
+            .map(|(value, list)| (Box::from(value), list))
+            .unzip();
+        CodeIndex { vocab, postings, compiled: Mutex::new(HashMap::new()) }
     }
 
     /// Number of distinct codes indexed.
     pub fn vocabulary_size(&self) -> usize {
-        self.postings.len()
+        self.vocab.len()
     }
 
     /// The postings list for an exact code value, if indexed.
     fn probe(&self, value: &str) -> Option<&[u32]> {
-        self.postings
-            .binary_search_by(|(v, _)| v.as_ref().cmp(value))
+        self.vocab
+            .binary_search_by(|v| v.as_ref().cmp(value))
             .ok()
-            .map(|i| self.postings[i].1.as_slice())
+            .map(|i| self.postings[i].as_slice())
     }
 
     /// History positions whose entries contain a code fully matching the
@@ -124,15 +171,15 @@ impl CodeIndex {
             return out;
         }
         if info.prefix.is_empty() {
-            for (value, list) in &self.postings {
+            for (value, list) in self.vocab.iter().zip(&self.postings) {
                 if re.is_full_match(value) {
                     out.extend_from_slice(list);
                 }
             }
         } else {
             let prefix = info.prefix.as_str();
-            let start = self.postings.partition_point(|(v, _)| v.as_ref() < prefix);
-            for (value, list) in &self.postings[start..] {
+            let start = self.vocab.partition_point(|v| v.as_ref() < prefix);
+            for (value, list) in self.vocab[start..].iter().zip(&self.postings[start..]) {
                 if !value.starts_with(prefix) {
                     break;
                 }
@@ -150,7 +197,7 @@ impl CodeIndex {
     /// scan — the prefix-path ablation baseline.
     pub fn candidates_scan_vocabulary(&self, re: &Regex) -> Vec<u32> {
         let mut out = Vec::new();
-        for (value, list) in &self.postings {
+        for (value, list) in self.vocab.iter().zip(&self.postings) {
             if re.is_full_match(value) {
                 out.extend_from_slice(list);
             }
@@ -336,6 +383,7 @@ mod tests {
         let serial = pastas_par::with_threads(1, || CodeIndex::build(&c));
         for threads in [2, 8] {
             let par = pastas_par::with_threads(threads, || CodeIndex::build(&c));
+            assert_eq!(par.vocab, serial.vocab, "threads {threads}");
             assert_eq!(par.postings, serial.postings, "threads {threads}");
         }
     }

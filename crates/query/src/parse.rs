@@ -90,8 +90,8 @@ impl P<'_> {
     /// Consume a keyword followed by a non-word boundary.
     fn keyword(&mut self, kw: &str) -> bool {
         let rest = self.rest();
-        if rest.starts_with(kw) {
-            let after = rest[kw.len()..].chars().next();
+        if let Some(tail) = rest.strip_prefix(kw) {
+            let after = tail.chars().next();
             if !after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
                 self.pos += kw.len();
                 self.ws();
@@ -271,7 +271,7 @@ mod tests {
         let mut h = History::new(Patient {
             id: PatientId(id),
             birth_date: Date::new(birth_year, 6, 1).unwrap(),
-            sex: if id % 2 == 0 { Sex::Female } else { Sex::Male },
+            sex: if id.is_multiple_of(2) { Sex::Female } else { Sex::Male },
         });
         for (i, code) in codes.iter().enumerate() {
             h.insert(Entry::event(

@@ -1,12 +1,16 @@
 //! Entry-level predicates with boolean composition.
 
 use pastas_codes::{Code, CodeSystem};
-use pastas_model::{Entry, MeasurementKind, Payload, SourceKind};
+use pastas_model::{EntryView, MeasurementKind, PayloadRef, SourceKind};
 use pastas_regex::Regex;
 use pastas_time::Date;
 
-/// A predicate over a single [`Entry`]. This is the atom of the Fig. 4
+/// A predicate over a single entry. This is the atom of the Fig. 4
 /// query builder: every row in that dialog compiles to one of these.
+///
+/// Evaluation is generic over [`EntryView`], so the same predicate runs
+/// against owned `&Entry` values and against the columnar store's
+/// zero-copy [`pastas_model::EntryRef`] without materializing payloads.
 #[derive(Debug, Clone)]
 pub enum EntryPredicate {
     /// Always true (the builder's empty state).
@@ -56,29 +60,33 @@ impl EntryPredicate {
         Ok(EntryPredicate::CodeMatches(Regex::new(pattern)?))
     }
 
-    /// Evaluate against an entry.
-    pub fn matches(&self, entry: &Entry) -> bool {
+    /// Evaluate against an entry view (`&Entry` or `EntryRef`).
+    pub fn matches<E: EntryView>(&self, entry: E) -> bool {
         match self {
             EntryPredicate::Any => true,
             EntryPredicate::CodeMatches(re) => {
-                entry.code().is_some_and(|c| re.is_full_match(&c.value))
+                entry.code_ref().is_some_and(|c| re.is_full_match(&c.value))
             }
             EntryPredicate::CodeWithin(root) => {
-                entry.code().is_some_and(|c| c.is_within(root))
+                entry.code_ref().is_some_and(|c| c.is_within(root))
             }
-            EntryPredicate::System(sys) => entry.code().is_some_and(|c| c.system == *sys),
+            EntryPredicate::System(sys) => entry.code_ref().is_some_and(|c| c.system == *sys),
             EntryPredicate::Source(s) => entry.source() == *s,
-            EntryPredicate::IsDiagnosis => matches!(entry.payload(), Payload::Diagnosis(_)),
-            EntryPredicate::IsMedication => matches!(entry.payload(), Payload::Medication(_)),
-            EntryPredicate::MeasurementIn { kind, lo, hi } => match entry.payload() {
-                Payload::Measurement { kind: k, value } => {
-                    k == kind && (*lo..=*hi).contains(value)
+            EntryPredicate::IsDiagnosis => {
+                matches!(entry.payload_ref(), PayloadRef::Diagnosis(_))
+            }
+            EntryPredicate::IsMedication => {
+                matches!(entry.payload_ref(), PayloadRef::Medication(_))
+            }
+            EntryPredicate::MeasurementIn { kind, lo, hi } => match entry.payload_ref() {
+                PayloadRef::Measurement { kind: k, value } => {
+                    k == *kind && (*lo..=*hi).contains(&value)
                 }
                 _ => false,
             },
             EntryPredicate::IsInterval => entry.is_interval(),
             EntryPredicate::InWindow { from, to } => {
-                entry.overlaps(from.at_midnight(), to.at(23, 59, 59).expect("valid clock"))
+                entry.overlaps_window(from.at_midnight(), to.at(23, 59, 59).expect("valid clock"))
             }
             EntryPredicate::And(ps) => ps.iter().all(|p| p.matches(entry)),
             EntryPredicate::Or(ps) => ps.iter().any(|p| p.matches(entry)),
@@ -113,12 +121,72 @@ impl EntryPredicate {
     pub fn not(self) -> EntryPredicate {
         EntryPredicate::Not(Box::new(self))
     }
+
+    /// Append this predicate's canonical fingerprint to `out`.
+    ///
+    /// The form is structural and injective over predicate semantics:
+    /// regexes contribute their source pattern, dates their ISO form,
+    /// and combinators parenthesize their operands — unlike `Debug`
+    /// output, the result is stable across representation changes (a
+    /// recompiled regex with the same pattern fingerprints identically).
+    pub(crate) fn write_fingerprint(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            EntryPredicate::Any => out.push_str("any"),
+            EntryPredicate::CodeMatches(re) => {
+                let _ = write!(out, "code~{}", re.pattern());
+            }
+            EntryPredicate::CodeWithin(root) => {
+                let _ = write!(out, "within:{:?}:{}", root.system, root.value);
+            }
+            EntryPredicate::System(sys) => {
+                let _ = write!(out, "system:{sys:?}");
+            }
+            EntryPredicate::Source(s) => {
+                let _ = write!(out, "source:{s:?}");
+            }
+            EntryPredicate::IsDiagnosis => out.push_str("diagnosis"),
+            EntryPredicate::IsMedication => out.push_str("medication"),
+            EntryPredicate::MeasurementIn { kind, lo, hi } => {
+                let _ = write!(out, "meas:{kind:?}:{lo}:{hi}");
+            }
+            EntryPredicate::IsInterval => out.push_str("interval"),
+            EntryPredicate::InWindow { from, to } => {
+                let _ = write!(out, "window:{from}..{to}");
+            }
+            EntryPredicate::And(ps) => {
+                out.push_str("&(");
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    p.write_fingerprint(out);
+                }
+                out.push(')');
+            }
+            EntryPredicate::Or(ps) => {
+                out.push_str("|(");
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    p.write_fingerprint(out);
+                }
+                out.push(')');
+            }
+            EntryPredicate::Not(p) => {
+                out.push_str("!(");
+                p.write_fingerprint(out);
+                out.push(')');
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pastas_model::EpisodeKind;
+    use pastas_model::{Entry, EpisodeKind, Payload};
     use pastas_time::DateTime;
 
     fn t(y: i32, m: u32, d: u32) -> DateTime {

@@ -91,6 +91,68 @@ impl HistoryQuery {
         }
     }
 
+    /// A canonical, deterministic fingerprint of this query.
+    ///
+    /// Two queries fingerprint identically iff they are structurally
+    /// equal: regexes contribute their source pattern (not their
+    /// compiled form), dates their ISO form, and combinators
+    /// parenthesize their operands. The workbench keys its selection
+    /// cache on this string, so it must stay injective over query
+    /// semantics and stable across internal representation changes —
+    /// properties the previous `Debug`-derived key could not promise.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        self.write_fingerprint(&mut out);
+        out
+    }
+
+    fn write_fingerprint(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            HistoryQuery::All => out.push_str("all"),
+            HistoryQuery::CountAtLeast(p, n) => {
+                let _ = write!(out, ">={n}:");
+                p.write_fingerprint(out);
+            }
+            HistoryQuery::CountAtMost(p, n) => {
+                let _ = write!(out, "<={n}:");
+                p.write_fingerprint(out);
+            }
+            HistoryQuery::Pattern(pat) => pat.write_fingerprint(out),
+            HistoryQuery::AgeBetween { at, min, max } => {
+                let _ = write!(out, "age@{at}:{min}..{max}");
+            }
+            HistoryQuery::SexIs(s) => {
+                let _ = write!(out, "sex:{s:?}");
+            }
+            HistoryQuery::And(qs) => {
+                out.push_str("&(");
+                for (i, q) in qs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    q.write_fingerprint(out);
+                }
+                out.push(')');
+            }
+            HistoryQuery::Or(qs) => {
+                out.push_str("|(");
+                for (i, q) in qs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    q.write_fingerprint(out);
+                }
+                out.push(')');
+            }
+            HistoryQuery::Not(q) => {
+                out.push_str("!(");
+                q.write_fingerprint(out);
+                out.push(')');
+            }
+        }
+    }
+
     /// The code-regex patterns this query mentions positively (candidates
     /// the inverted index can pre-filter on). Conservative: returns `None`
     /// when the query cannot be pre-filtered (e.g. under negation).
@@ -213,7 +275,7 @@ mod tests {
         let mut h = History::new(Patient {
             id: PatientId(id),
             birth_date: Date::new(birth_year, 6, 1).unwrap(),
-            sex: if id % 2 == 0 { Sex::Female } else { Sex::Male },
+            sex: if id.is_multiple_of(2) { Sex::Female } else { Sex::Male },
         });
         for (i, code) in codes.iter().enumerate() {
             h.insert(Entry::event(
@@ -322,5 +384,41 @@ mod tests {
             o.positive_code_regexes(),
             Some(vec!["T90".to_owned(), "R95".to_owned()])
         );
+    }
+
+    #[test]
+    fn fingerprints_are_canonical_and_injective() {
+        let q = |pat: &str| {
+            QueryBuilder::new()
+                .has_code(pat)
+                .unwrap()
+                .age_between(Date::new(2013, 1, 1).unwrap(), 40, 80)
+                .build()
+        };
+        // Structurally equal queries agree even when rebuilt (fresh
+        // regex compilation, fresh allocations).
+        assert_eq!(q("T90|R95").fingerprint(), q("T90|R95").fingerprint());
+        // Structurally different queries disagree.
+        assert_ne!(q("T90|R95").fingerprint(), q("T90").fingerprint());
+        assert_ne!(
+            HistoryQuery::any(EntryPredicate::IsDiagnosis).fingerprint(),
+            HistoryQuery::none(EntryPredicate::IsDiagnosis).fingerprint()
+        );
+        assert_ne!(
+            HistoryQuery::And(vec![HistoryQuery::All]).fingerprint(),
+            HistoryQuery::Or(vec![HistoryQuery::All]).fingerprint()
+        );
+        // Patterns fingerprint on their constraints, not Debug internals.
+        let pat = |days: i64| {
+            HistoryQuery::Pattern(
+                TemporalPattern::starting_with(EntryPredicate::code_regex("T90").unwrap())
+                    .then(
+                        crate::GapBound::within(pastas_time::Duration::days(days)),
+                        EntryPredicate::IsInterval,
+                    ),
+            )
+        };
+        assert_eq!(pat(30).fingerprint(), pat(30).fingerprint());
+        assert_ne!(pat(30).fingerprint(), pat(90).fingerprint());
     }
 }

@@ -96,6 +96,30 @@ impl TemporalPattern {
         false
     }
 
+    /// Append this pattern's canonical fingerprint to `out`.
+    ///
+    /// Gap bounds are written in whole seconds and Allen constraints as
+    /// their relation bitmask, so two patterns fingerprint identically
+    /// iff they impose the same constraints.
+    pub(crate) fn write_fingerprint(&self, out: &mut String) {
+        use std::fmt::Write;
+        out.push_str("seq(");
+        self.first.write_fingerprint(out);
+        for (constraint, pred) in &self.rest {
+            match constraint {
+                StepConstraint::Gap(g) => {
+                    let _ =
+                        write!(out, "-[{}s..{}s]->", g.min.as_seconds(), g.max.as_seconds());
+                }
+                StepConstraint::Allen(set) => {
+                    let _ = write!(out, "-[allen:{}]->", set.0);
+                }
+            }
+            pred.write_fingerprint(out);
+        }
+        out.push(')');
+    }
+
     /// Find all **anchor-disjoint** matches: for every entry matching the
     /// first step, the earliest completion of the remaining steps. (This is
     /// the semantics of Fails et al.'s multi-hit event chart, which the
@@ -120,7 +144,7 @@ impl TemporalPattern {
     pub fn matches(&self, history: &History) -> bool {
         let entries = history.entries();
         (0..entries.len())
-            .any(|i| self.first.matches(&entries[i]) && self.complete_from(history, i).is_some())
+            .any(|i| self.first.matches(entries.get(i)) && self.complete_from(history, i).is_some())
     }
 
     /// Earliest-first completion of steps 2.. from anchor index `anchor`.
@@ -139,19 +163,21 @@ impl TemporalPattern {
         for (constraint, pred) in &self.rest {
             let next = match constraint {
                 StepConstraint::Gap(gap) => {
-                    let lo = entries[prev].end() + gap.min;
-                    let hi = entries[prev].end() + gap.max;
+                    let lo = entries.get(prev).end() + gap.min;
+                    let hi = entries.get(prev).end() + gap.max;
                     (prev + 1..entries.len()).find(|&j| {
-                        let s = entries[j].start();
-                        s >= lo && s <= hi && pred.matches(&entries[j])
+                        let e = entries.get(j);
+                        let s = e.start();
+                        s >= lo && s <= hi && pred.matches(e)
                     })?
                 }
                 StepConstraint::Allen(rels) => (0..entries.len()).find(|&j| {
+                    let e = entries.get(j);
                     !used.contains(&j)
-                        && pred.matches(&entries[j])
+                        && pred.matches(e)
                         && rels.contains(AllenRel::between_times(
-                            (entries[j].start(), entries[j].end()),
-                            (entries[prev].start(), entries[prev].end()),
+                            (e.start(), e.end()),
+                            (entries.get(prev).start(), entries.get(prev).end()),
                         ))
                 })?,
             };

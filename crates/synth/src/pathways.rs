@@ -434,7 +434,7 @@ mod tests {
             for e in simulate(&person, &cfg, &mut r) {
                 match e.time().date().month() {
                     12 | 1 | 2 => winter += 1,
-                    6 | 7 | 8 => summer += 1,
+                    6..=8 => summer += 1,
                     _ => {}
                 }
             }

@@ -60,6 +60,9 @@ impl DateTime {
     }
 
     /// Add a (possibly negative) duration, saturating at the calendar bounds.
+    /// Deliberately an inherent method, not `std::ops::Add`: operators
+    /// should not silently saturate.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, d: Duration) -> DateTime {
         let target = self.second_number().saturating_add(d.as_seconds());
         match DateTime::from_second_number(target) {

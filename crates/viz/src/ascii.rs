@@ -42,8 +42,6 @@ pub fn render(scene: &Scene, cols: usize, rows: usize) -> String {
                         plot(px, y + h * 0.25, fill, &mut grid);
                         plot(px, y_mid, fill, &mut grid);
                         plot(px, y + h * 0.75, fill, &mut grid);
-                    } else if el.class.starts_with("viz:Row/bar") {
-                        plot(px, y_mid, fill, &mut grid);
                     } else {
                         plot(px, y_mid, fill, &mut grid);
                     }

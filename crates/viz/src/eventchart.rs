@@ -16,7 +16,7 @@
 use crate::color;
 use crate::hit::{HitMap, HitRecord};
 use crate::scene::{Primitive, Scene};
-use pastas_model::{Entry, HistoryCollection};
+use pastas_model::{EntryView, HistoryCollection};
 use pastas_ontology::presentation::PresentationOntology;
 use pastas_query::temporal::PatternHit;
 use pastas_time::Duration;
@@ -75,12 +75,12 @@ pub fn render_event_chart(
     // The time scale: longest hit span across rows (anchor → last end).
     let span_of = |row: &ChartRow| -> Duration {
         let entries = histories[row.history_index].entries();
-        let first = entries[row.hit.steps[0]].start();
+        let first = entries.get(row.hit.steps[0]).start();
         let last = row
             .hit
             .steps
             .iter()
-            .map(|&i| entries[i].end())
+            .map(|&i| entries.get(i).end())
             .max()
             .expect("non-empty hit");
         last - first
@@ -99,7 +99,7 @@ pub fn render_event_chart(
 
     for (ri, row) in rows.iter().enumerate() {
         let entries = histories[row.history_index].entries();
-        let anchor = entries[row.hit.steps[0]].start();
+        let anchor = entries.get(row.hit.steps[0]).start();
         let y = 2.0 + ri as f64 * opts.row_height;
         let bar_h = opts.row_height * 0.7;
 
@@ -118,7 +118,7 @@ pub fn render_event_chart(
         );
 
         for &ei in &row.hit.steps {
-            let e: &Entry = &entries[ei];
+            let e = entries.get(ei);
             let x0 = (e.start() - anchor).as_seconds() as f64 * scale;
             let x1 = (e.end() - anchor).as_seconds() as f64 * scale;
             let prim = if e.is_interval() && presentation.band_for(e.payload()).is_some() {
@@ -157,7 +157,7 @@ pub fn render_event_chart(
 mod tests {
     use super::*;
     use pastas_codes::Code;
-    use pastas_model::{EpisodeKind, History, Patient, PatientId, Payload, Sex, SourceKind};
+    use pastas_model::{Entry, EpisodeKind, History, Patient, PatientId, Payload, Sex, SourceKind};
     use pastas_query::{EntryPredicate, GapBound, TemporalPattern};
     use pastas_time::{Date, DateTime};
 

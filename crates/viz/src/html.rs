@@ -50,8 +50,7 @@ pub fn personal_timeline(history: &History, opts: &PersonalTimelineOptions) -> S
     // A little margin on each side.
     let margin = Duration::days(((to - from).whole_days() / 20).max(7));
     let vp = Viewport::new(from + -margin, to + margin, 1.0, opts.width, opts.height);
-    let mut tl_opts = TimelineOptions::default();
-    tl_opts.row_labels = false;
+    let tl_opts = TimelineOptions { row_labels: false, ..Default::default() };
     let view = TimelineView::new(&collection, tl_opts);
     let (scene, hits) = view.layout(&vp);
 

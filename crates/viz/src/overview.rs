@@ -73,8 +73,8 @@ pub fn density(
                 * buckets as f64) as usize;
             let b1 = (((e.end().min(to) - from).as_seconds() as f64 / span) * buckets as f64)
                 as usize;
-            for b in b0..=b1.min(buckets - 1) {
-                counts[block][b] += 1;
+            for count in &mut counts[block][b0..=b1.min(buckets - 1)] {
+                *count += 1;
             }
         }
     }
@@ -231,7 +231,7 @@ mod tests {
             .collect();
         shades.sort_unstable();
         shades.dedup();
-        assert!(shades.len() >= 1);
+        assert!(!shades.is_empty());
         // The densest cell uses the darkest shade.
         assert_eq!(shades[0], 235 - 190, "full intensity shade");
     }

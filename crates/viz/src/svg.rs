@@ -47,10 +47,10 @@ fn fmt_num(v: f64) -> String {
 /// Render a scene to a standalone SVG document.
 pub fn render(scene: &Scene) -> String {
     let mut out = String::with_capacity(scene.len() * 96 + 256);
-    let _ = write!(
+    let _ = writeln!(
         out,
         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
-         viewBox=\"0 0 {} {}\" font-family=\"sans-serif\">\n",
+         viewBox=\"0 0 {} {}\" font-family=\"sans-serif\">",
         fmt_num(scene.width),
         fmt_num(scene.height),
         fmt_num(scene.width),
@@ -115,9 +115,9 @@ pub fn render(scene: &Scene) -> String {
                 )));
             }
             Primitive::Text { x, y, text, size, fill } => {
-                let _ = write!(
+                let _ = writeln!(
                     out,
-                    "<text class=\"{class}\" x=\"{}\" y=\"{}\" font-size=\"{}\" fill=\"{}\">{}</text>\n",
+                    "<text class=\"{class}\" x=\"{}\" y=\"{}\" font-size=\"{}\" fill=\"{}\">{}</text>",
                     fmt_num(*x),
                     fmt_num(*y),
                     fmt_num(*size),

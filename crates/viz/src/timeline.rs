@@ -9,7 +9,7 @@ use crate::color;
 use crate::hit::{HitMap, HitRecord};
 use crate::scene::{Primitive, Scene};
 use crate::viewport::Viewport;
-use pastas_model::{Entry, HistoryCollection};
+use pastas_model::{EntryRef, HistoryCollection};
 use pastas_ontology::presentation::{BandKind, GlyphShape, PresentationOntology};
 use pastas_query::EntryPredicate;
 use pastas_time::{Date, DateTime, Duration};
@@ -167,7 +167,7 @@ impl<'a> TimelineView<'a> {
                         continue; // outside the visible span
                     }
                     let bbox = if is_band {
-                        self.draw_band(&mut scene, &presentation, e, ex0, ex1, y_bar, bar_h, vp)
+                        self.draw_band(&mut scene, &presentation, e, (ex0, ex1, y_bar, bar_h), vp)
                     } else {
                         self.draw_glyph(&mut scene, &presentation, e, ex0, y_bar, bar_h)
                     };
@@ -202,15 +202,13 @@ impl<'a> TimelineView<'a> {
         (scene, hits)
     }
 
+    /// `geom` is the band's pixel geometry `(x0, x1, y, height)`.
     fn draw_band(
         &self,
         scene: &mut Scene,
         presentation: &PresentationOntology,
-        e: &Entry,
-        ex0: f64,
-        ex1: f64,
-        y_bar: f64,
-        bar_h: f64,
+        e: EntryRef<'_>,
+        (ex0, ex1, y_bar, bar_h): (f64, f64, f64, f64),
         vp: &Viewport,
     ) -> Option<(f64, f64, f64, f64)> {
         let band = presentation.band_for(e.payload())?;
@@ -237,7 +235,7 @@ impl<'a> TimelineView<'a> {
         &self,
         scene: &mut Scene,
         presentation: &PresentationOntology,
-        e: &Entry,
+        e: EntryRef<'_>,
         x: f64,
         y_bar: f64,
         bar_h: f64,
@@ -379,7 +377,7 @@ fn cross_points(cx: f64, cy: f64, s: f64) -> Vec<(f64, f64)> {
 mod tests {
     use super::*;
     use pastas_codes::Code;
-    use pastas_model::{EpisodeKind, History, Patient, PatientId, Payload, Sex, SourceKind};
+    use pastas_model::{Entry, EpisodeKind, History, Patient, PatientId, Payload, Sex, SourceKind};
     use pastas_query::{align_on, EntryPredicate};
 
     fn t(y: i32, m: u32, d: u32) -> DateTime {
@@ -462,8 +460,8 @@ mod tests {
     #[test]
     fn filtering_hides_events() {
         let c = sample_collection();
-        let mut opts = TimelineOptions::default();
-        opts.filter = Some(EntryPredicate::IsDiagnosis);
+        let opts =
+            TimelineOptions { filter: Some(EntryPredicate::IsDiagnosis), ..Default::default() };
         let view = TimelineView::new(&c, opts);
         let (scene, hits) = view.layout(&vp());
         assert_eq!(scene.count_class_prefix("viz:Glyph/square"), 3);
@@ -506,8 +504,7 @@ mod tests {
         ));
         c.upsert(h);
         let alignment = align_on(&c, &EntryPredicate::code_regex("T90").unwrap());
-        let mut opts = TimelineOptions::default();
-        opts.axis = AxisMode::Aligned(alignment);
+        let opts = TimelineOptions { axis: AxisMode::Aligned(alignment), ..Default::default() };
         let view = TimelineView::new(&c, opts);
         let avp = aligned_viewport(6, 12, 10.0, 800.0, 400.0);
         let (scene, _) = view.layout(&avp);
@@ -519,8 +516,7 @@ mod tests {
     fn aligned_mode_places_anchors_at_zero() {
         let c = sample_collection();
         let alignment = align_on(&c, &EntryPredicate::code_regex("T90").unwrap());
-        let mut opts = TimelineOptions::default();
-        opts.axis = AxisMode::Aligned(alignment);
+        let opts = TimelineOptions { axis: AxisMode::Aligned(alignment), ..Default::default() };
         let view = TimelineView::new(&c, opts);
         let avp = aligned_viewport(6, 12, 10.0, 900.0, 400.0);
         let (scene, hits) = view.layout(&avp);

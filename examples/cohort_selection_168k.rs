@@ -44,6 +44,9 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
+    let footprint = MemoryFootprint::measure(&collection);
+    println!("  {}", footprint.summary());
+
     println!("Building the inverted code index …");
     let t0 = Instant::now();
     let index = CodeIndex::build(&collection);

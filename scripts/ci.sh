@@ -1,0 +1,25 @@
+#!/bin/bash
+# CI gate: release build, full test suite, and a warning-free clippy pass
+# over every target (benches and examples included). Stricter than
+# scripts/tier1.sh (which trades lint coverage for a paper-scale smoke
+# run); run both before merging.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage() {
+    local name="$1"
+    shift
+    local t0 t1
+    t0=$(date +%s)
+    "$@"
+    t1=$(date +%s)
+    printf 'ci: %-36s %5ds\n' "$name" "$((t1 - t0))" >&2
+}
+
+stage "cargo build --release" cargo build --release
+stage "cargo test" cargo test -q
+stage "cargo clippy (deny warnings)" cargo clippy --all-targets -- -D warnings
+
+echo "ci: all stages passed" >&2

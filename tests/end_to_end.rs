@@ -70,7 +70,7 @@ fn messy_sources_degrade_gracefully_and_are_accounted() {
         wb.collection()
             .iter()
             .flat_map(|h| h.entries())
-            .filter(|e| matches!(e.payload(), Payload::Diagnosis(_)))
+            .filter(|e| matches!(e.payload(), PayloadRef::Diagnosis(_)))
             .count()
     };
     let (dc, dm) = (diag_count(&clean), diag_count(&messy));
@@ -95,7 +95,7 @@ fn temporal_patterns_agree_between_query_and_manual_scan() {
         let entries = h.entries();
         'outer: for (i, e) in entries.iter().enumerate() {
             if e.code().is_some_and(|c| c.value == "T90") {
-                for later in &entries[i + 1..] {
+                for later in entries.iter().skip(i + 1) {
                     if later.is_interval() {
                         let gap = later.start() - e.end();
                         if gap >= Duration::ZERO && gap <= Duration::days(120) {

@@ -87,7 +87,7 @@ fn abox_materialization_scales_linearly_and_is_queryable() {
     let expected = collection
         .iter()
         .flat_map(|h| h.entries())
-        .filter(|e| matches!(e.payload(), Payload::Medication(_)))
+        .filter(|e| matches!(e.payload(), PayloadRef::Medication(_)))
         .count();
     assert_eq!(dispensings, expected);
 }

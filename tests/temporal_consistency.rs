@@ -44,7 +44,7 @@ fn allen_relations_match_entry_overlap_semantics() {
                 if i == j {
                     continue;
                 }
-                let (a, b) = (&entries[i], &entries[j]);
+                let (a, b) = (entries.get(i), entries.get(j));
                 let rel = AllenRel::between_times((a.start(), a.end()), (b.start(), b.end()));
                 let overlap = a.overlaps(b.start(), b.end());
                 let disjoint = matches!(rel, AllenRel::Before | AllenRel::After);
@@ -79,8 +79,8 @@ fn gap_constraints_compile_to_consistent_stns() {
     for h in &collection {
         for hit in pattern.find_matches(h) {
             let entries = h.entries();
-            let first = &entries[hit.steps[0]];
-            let second = &entries[hit.steps[1]];
+            let first = entries.get(hit.steps[0]);
+            let second = entries.get(hit.steps[1]);
             // Build the STN: 4 time points (s1, e1, s2, e2).
             let day = 86_400i64;
             let mut stn = Stn::new(4);

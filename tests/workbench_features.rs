@@ -65,7 +65,7 @@ fn derived_exposures_become_medication_bands_in_the_scene() {
         .find(|h| {
             h.entries()
                 .iter()
-                .filter(|e| matches!(e.payload(), Payload::Medication(_)))
+                .filter(|e| matches!(e.payload(), PayloadRef::Medication(_)))
                 .count()
                 >= 6
         })

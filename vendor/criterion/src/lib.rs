@@ -1,0 +1,222 @@
+//! Minimal, dependency-free stand-in for the subset of the `criterion` 0.5
+//! API this workspace's benches use (`Criterion`, `bench_function`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros).
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `criterion` cannot be resolved. This harness keeps the bench binaries
+//! compiling and producing useful numbers: each benchmark runs a short
+//! calibration pass, then a fixed number of timed samples, and prints the
+//! median, min, and max per-iteration wall time. There is no statistical
+//! analysis, outlier rejection, or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per benchmark (calibration + samples).
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(300);
+
+/// One benchmark's timing context, passed to the closure given to
+/// [`Criterion::bench_function`] and friends.
+pub struct Bencher {
+    /// Median per-iteration time of the timed samples, filled by `iter`.
+    median: Duration,
+    lo: Duration,
+    hi: Duration,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            median: Duration::ZERO,
+            lo: Duration::ZERO,
+            hi: Duration::ZERO,
+            sample_count,
+        }
+    }
+
+    /// Times `f`, storing median/min/max per-iteration durations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in a slice of the target time?
+        let calibrate_until = TARGET_SAMPLE_TIME / 4;
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < calibrate_until {
+            black_box(f());
+            iters += 1;
+        }
+        let per_sample = (iters / self.sample_count as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            samples.push(t0.elapsed() / per_sample as u32);
+        }
+        samples.sort();
+        self.median = samples[samples.len() / 2];
+        self.lo = samples[0];
+        self.hi = samples[samples.len() - 1];
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    println!(
+        "{name:<44} time: [{} {} {}]",
+        fmt_duration(b.lo),
+        fmt_duration(b.median),
+        fmt_duration(b.hi)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// An identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id shown as `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The top-level benchmark driver; one per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(11);
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+            sample_count: 11,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_count);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_count);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; `cargo test --benches` passes
+            // `--test`, in which case the harness must exit without running
+            // (matching real criterion's cargo_bench_support behaviour).
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(5);
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.median > Duration::ZERO);
+        assert!(b.lo <= b.median && b.median <= b.hi);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("consensus", 10).id, "consensus/10");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+}

@@ -1,0 +1,423 @@
+//! The [`Strategy`] trait and the built-in strategies the workspace uses:
+//! numeric ranges, tuples, [`Just`], [`any`], unions (`prop_oneof!`),
+//! recursive strategies, and a small string-pattern subset.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// produces one concrete value per call.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds values recursively: `self` is the leaf strategy, and
+    /// `recurse` wraps an inner strategy into a deeper one. `depth` bounds
+    /// the nesting; the remaining size hints are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            current = Union::new(vec![base.clone(), deeper]).boxed();
+        }
+        current
+    }
+}
+
+/// Object-safe core used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among type-erased strategies (backs `prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options`; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_inclusive(0, self.options.len() - 1);
+        self.options[i].generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one value uniformly from the type's domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy over a type's whole domain; see [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Uniform strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.unit_f64() as $t;
+                let v = self.start + (self.end - self.start) * unit;
+                if v < self.end { v } else { self.start }
+            }
+        }
+    )*};
+}
+strategy_float_range!(f32, f64);
+
+macro_rules! strategy_tuple {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+/// The character alphabet and length bounds a string pattern denotes.
+#[derive(Debug, Clone)]
+struct StringPattern {
+    alphabet: Vec<char>,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Printable fuzz alphabet for `.` and `\PC`: all printable ASCII (which
+/// includes quotes, braces, backslash — the characters parsers trip on)
+/// plus a few multi-byte scalars to exercise UTF-8 handling.
+fn printable_alphabet() -> Vec<char> {
+    let mut chars: Vec<char> = (0x20u8..=0x7E).map(char::from).collect();
+    chars.extend(['æ', 'ø', 'å', 'Æ', 'Ø', 'Å', 'µ', '…', '中', '🦀']);
+    chars
+}
+
+/// Parses the supported pattern subset: an atom (`.`, `\PC`, or a character
+/// class `[...]` with ranges and literals) followed by a `{lo,hi}` counted
+/// repetition. Panics on anything else, naming the unsupported pattern.
+fn parse_pattern(pattern: &str) -> StringPattern {
+    let unsupported = || -> ! {
+        panic!(
+            "string strategy pattern {pattern:?} is outside the supported \
+             subset (`.`, `\\PC`, or `[...]`, followed by `{{lo,hi}}`)"
+        )
+    };
+
+    let (atom, rep) = match pattern.find('{') {
+        Some(i) => pattern.split_at(i),
+        None => unsupported(),
+    };
+    let rep = rep.strip_prefix('{').and_then(|r| r.strip_suffix('}')).unwrap_or_else(|| unsupported());
+    let (lo, hi) = match rep.split_once(',') {
+        Some((a, b)) => match (a.trim().parse(), b.trim().parse()) {
+            (Ok(lo), Ok(hi)) => (lo, hi),
+            _ => unsupported(),
+        },
+        None => unsupported(),
+    };
+    if lo > hi {
+        unsupported();
+    }
+
+    let alphabet = match atom {
+        "." | "\\PC" => printable_alphabet(),
+        class if class.starts_with('[') && class.ends_with(']') => {
+            let inner: Vec<char> = class[1..class.len() - 1].chars().collect();
+            let mut chars = Vec::new();
+            let mut i = 0;
+            while i < inner.len() {
+                let c = match inner[i] {
+                    '\\' if i + 1 < inner.len() => {
+                        i += 1;
+                        inner[i]
+                    }
+                    c => c,
+                };
+                // `a-z` range, unless the `-` is the final character.
+                if i + 2 < inner.len() && inner[i + 1] == '-' {
+                    let end = inner[i + 2];
+                    if c > end {
+                        unsupported();
+                    }
+                    chars.extend(c..=end);
+                    i += 3;
+                } else {
+                    chars.push(c);
+                    i += 1;
+                }
+            }
+            if chars.is_empty() {
+                unsupported();
+            }
+            chars
+        }
+        _ => unsupported(),
+    };
+    StringPattern { alphabet, min_len: lo, max_len: hi }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let p = parse_pattern(self);
+        let n = rng.usize_inclusive(p.min_len, p.max_len);
+        (0..n)
+            .map(|_| p.alphabet[rng.usize_inclusive(0, p.alphabet.len() - 1)])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let (a, b) = (0i64..30, 1i64..8).generate(&mut rng);
+            assert!((0..30).contains(&a) && (1..8).contains(&b));
+            let f = (90.0f64..200.0).generate(&mut rng);
+            assert!((90.0..200.0).contains(&f));
+            let d = (0i64..=5).generate(&mut rng);
+            assert!((0..=5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn negative_spans_sample_uniformly() {
+        let mut rng = rng();
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2000 {
+            let v = (i64::MIN / 2..i64::MAX / 2).generate(&mut rng);
+            assert!((i64::MIN / 2..i64::MAX / 2).contains(&v));
+            lo_seen |= v < 0;
+            hi_seen |= v > 0;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[ -~]{0,12}".generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+
+            let soup = "\\PC{0,24}".generate(&mut rng);
+            assert!(soup.chars().count() <= 24);
+            assert!(soup.chars().all(|c| !c.is_control()));
+
+            let mixed = "[ -~;|,\tæøå]{0,40}".generate(&mut rng);
+            assert!(mixed.chars().count() <= 40);
+        }
+        // The tab escape survives into the class.
+        let p = parse_pattern("[a\t]{1,1}");
+        assert!(p.alphabet.contains(&'\t'));
+    }
+
+    #[test]
+    fn union_map_and_recursive_compose() {
+        let mut rng = rng();
+        let leaf = crate::prop_oneof![Just("a".to_owned()), Just("b".to_owned())];
+        let tree = leaf.prop_recursive(2, 10, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(x, y)| format!("({x}{y})"))
+        });
+        let mut max_len = 0;
+        for _ in 0..300 {
+            let s = tree.generate(&mut rng);
+            assert!(!s.is_empty());
+            max_len = max_len.max(s.len());
+        }
+        // Recursion actually nests at least once.
+        assert!(max_len > 1, "max {max_len}");
+    }
+
+    #[test]
+    fn vec_strategy_obeys_size() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let v = crate::collection::vec(any::<u64>(), 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+}
