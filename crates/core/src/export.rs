@@ -55,7 +55,9 @@ fn payload_fields<E: EntryView>(e: E) -> (&'static str, String, String) {
 }
 
 fn csv_field(s: &str) -> String {
-    if s.contains(';') || s.contains('"') || s.contains('\n') {
+    // A bare carriage return splits a record in most CSV readers just
+    // like a newline does, so it forces quoting too (RFC 4180 §2.6).
+    if s.contains(';') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_owned()
@@ -235,7 +237,12 @@ pub fn from_json(text: &str) -> Result<HistoryCollection, CoreError> {
     Ok(HistoryCollection::from_histories(histories))
 }
 
-fn json_string(s: &str) -> String {
+/// Quote and escape `s` as a JSON string literal (RFC 8259: quote,
+/// backslash, and all control characters below U+0020). Public because
+/// every hand-rolled JSON emitter in the workspace — exports here, the
+/// serve layer's `/select`, `/details` and `/metrics` responses — must
+/// share one escaper rather than each growing its own partial copy.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -314,6 +321,15 @@ mod tests {
         let fields = pastas_ingest::csv::split_line(noisy_row, ';');
         assert_eq!(fields.len(), 9);
         assert_eq!(fields[6], "kontroll; BT 150/90");
+    }
+
+    #[test]
+    fn csv_quotes_fields_containing_bare_carriage_returns() {
+        // A lone \r splits records in most readers just like \n; both
+        // must force quoting so the field stays one field.
+        assert_eq!(csv_field("a\rb"), "\"a\rb\"");
+        assert_eq!(csv_field("a\nb"), "\"a\nb\"");
+        assert_eq!(csv_field("plain"), "plain");
     }
 
     #[test]

@@ -55,14 +55,7 @@ impl Session {
     /// invalid parameters (e.g. a bad regex) without changing state.
     pub fn apply(&mut self, command: ViewCommand) -> Result<(), CoreError> {
         let before = self.workbench.view_state();
-        match &command {
-            ViewCommand::Sort(key) => self.workbench.sort(key),
-            ViewCommand::AlignOnCode(pattern) => {
-                self.workbench.align_on_code(pattern)?;
-            }
-            ViewCommand::ClearAlignment => self.workbench.clear_alignment(),
-            ViewCommand::SetFilter(f) => self.workbench.set_filter(f.clone()),
-        }
+        self.workbench.apply_command(&command)?;
         self.undo.push((before, command));
         self.redo.clear();
         Ok(())
@@ -119,7 +112,10 @@ impl Selection {
         Selection { ids: ids.into_iter().collect() }
     }
 
-    /// Build from a query over a workbench.
+    /// Build from a query over a workbench. Goes through the workbench's
+    /// fingerprint-keyed selection cache ([`Workbench::select_positions`]),
+    /// so a selection repeated from *any* entry point — here, the server's
+    /// `/select` endpoint, or the workbench itself — is a cache hit.
     pub fn from_query(wb: &Workbench, query: &HistoryQuery) -> Selection {
         Selection::from_ids(wb.select_ids(query))
     }
@@ -227,6 +223,29 @@ mod tests {
         let trail: Vec<String> = s.history().iter().map(|c| format!("{c:?}")).collect();
         assert_eq!(trail.len(), 3);
         assert!(trail[1].contains("K86"));
+    }
+
+    #[test]
+    fn from_query_goes_through_the_selection_cache() {
+        let s = session();
+        let q = QueryBuilder::new().has_code("T90").unwrap().build();
+        let first = Selection::from_query(s.workbench(), &q);
+        assert_eq!(s.workbench().selection_cache_len(), 1, "query memoized");
+        assert_eq!(s.workbench().selection_cache_misses(), 1);
+        let second = Selection::from_query(s.workbench(), &q);
+        assert_eq!(first, second);
+        assert_eq!(s.workbench().selection_cache_len(), 1, "no duplicate entry");
+        assert!(s.workbench().selection_cache_hits() >= 1, "repeat was a hit");
+        // The cache is shared with snapshots: a repeat through a snapshot
+        // also hits, and a fresh query through the snapshot warms the
+        // original.
+        let snap = s.workbench().snapshot();
+        let hits_before = snap.selection_cache_hits();
+        let _ = Selection::from_query(&snap, &q);
+        assert_eq!(snap.selection_cache_hits(), hits_before + 1);
+        let q2 = QueryBuilder::new().has_code("K86").unwrap().build();
+        let _ = Selection::from_query(&snap, &q2);
+        assert_eq!(s.workbench().selection_cache_len(), 2);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use pastas_viz::html::{personal_timeline, PersonalTimelineOptions};
 use pastas_viz::timeline::aligned_viewport;
 use pastas_viz::{ascii, hit::HitMap, svg, AxisMode, Scene, TimelineOptions, TimelineView, Viewport};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A snapshot of the mutable view state (what undo/redo restores).
@@ -27,37 +28,87 @@ pub struct ViewState {
     pub(crate) filter: Option<EntryPredicate>,
 }
 
+/// Memoized selection results, keyed by the query's canonical fingerprint
+/// ([`HistoryQuery::fingerprint`] — deterministic, stable across internal
+/// representation changes, and two queries with the same fingerprint are
+/// structurally identical). Re-running a selection is the workbench's
+/// dominant interaction; a hit skips both index probing and candidate
+/// verification. Shared (`Arc`) between a workbench and its
+/// [`Workbench::snapshot`]s — they view the same collection, so a hit from
+/// any entry point warms every other — and replaced wholesale when the
+/// collection changes ([`Workbench::set_collection`]), which leaves
+/// snapshots of the *old* collection consistent with their own cache.
+struct SelectionCache {
+    entries: Mutex<HashMap<String, Vec<u32>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SelectionCache {
+    fn new() -> Arc<SelectionCache> {
+        Arc::new(SelectionCache {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+}
+
 /// The workbench. See the crate docs for a tour.
 pub struct Workbench {
     collection: HistoryCollection,
-    index: CodeIndex,
-    ontology: IntegrationOntology,
+    /// Cheap content fingerprint of `collection` (see
+    /// [`Self::collection_fingerprint`]).
+    collection_fingerprint: u64,
+    index: Arc<CodeIndex>,
+    ontology: Arc<IntegrationOntology>,
     quality: Option<QualityReport>,
-    /// Memoized selection results, keyed by the query's canonical
-    /// fingerprint ([`HistoryQuery::fingerprint`] — deterministic, stable
-    /// across internal representation changes, and two queries with the
-    /// same fingerprint are structurally identical). Re-running a
-    /// selection is the workbench's dominant interaction; a hit skips both
-    /// index probing and candidate verification. Cleared whenever the
-    /// collection changes ([`Self::set_collection`]).
-    selections: Mutex<HashMap<String, Vec<u32>>>,
+    selections: Arc<SelectionCache>,
     // View state.
     order: Vec<u32>,
     axis: AxisMode,
     filter: Option<EntryPredicate>,
 }
 
+/// FNV-1a over per-history identity (id, entry count) plus collection
+/// stats — a cheap O(histories + entries) digest that distinguishes any
+/// two collections this workspace produces. Used to key server-side
+/// response caches together with [`HistoryQuery::fingerprint`].
+fn fingerprint_collection(collection: &HistoryCollection) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(collection.len() as u64);
+    let stats = collection.stats();
+    mix(stats.entries as u64);
+    mix(stats.events as u64);
+    mix(stats.intervals as u64);
+    for history in collection {
+        mix(history.id().0);
+        mix(history.len() as u64);
+    }
+    h
+}
+
 impl Workbench {
     /// Build from an already-aggregated collection.
     pub fn from_collection(collection: HistoryCollection) -> Workbench {
-        let index = CodeIndex::build(&collection);
+        let index = Arc::new(CodeIndex::build(&collection));
         let order = (0..collection.len() as u32).collect();
+        let collection_fingerprint = fingerprint_collection(&collection);
         Workbench {
             collection,
+            collection_fingerprint,
             index,
-            ontology: IntegrationOntology::new(),
+            ontology: Arc::new(IntegrationOntology::new()),
             quality: None,
-            selections: Mutex::new(HashMap::new()),
+            selections: SelectionCache::new(),
             order,
             axis: AxisMode::Calendar,
             filter: None,
@@ -68,12 +119,81 @@ impl Workbench {
     /// order and axis (old positions are meaningless against the new
     /// data), and invalidates the selection cache. The filter is kept —
     /// it is position-independent.
+    ///
+    /// The old selection cache is *replaced*, not cleared: snapshots taken
+    /// before the swap ([`Self::snapshot`]) still reference it together
+    /// with the old collection, and stay internally consistent.
     pub fn set_collection(&mut self, collection: HistoryCollection) {
-        self.index = CodeIndex::build(&collection);
+        self.index = Arc::new(CodeIndex::build(&collection));
         self.order = (0..collection.len() as u32).collect();
         self.axis = AxisMode::Calendar;
+        self.collection_fingerprint = fingerprint_collection(&collection);
         self.collection = collection;
-        self.selections.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.selections = SelectionCache::new();
+    }
+
+    /// A cheap immutable snapshot sharing all heavy state — histories,
+    /// code index, ontology, and the selection cache are `Arc`-shared
+    /// (O(histories) pointer bumps, no entry data or postings copied);
+    /// only the view state (order, axis, filter) is deep-cloned so the
+    /// snapshot and the original diverge freely afterwards.
+    ///
+    /// This is the serving layer's unit of publication: readers hold a
+    /// snapshot and never block a writer that is building the next one.
+    pub fn snapshot(&self) -> Workbench {
+        Workbench {
+            collection: self.collection.clone(),
+            collection_fingerprint: self.collection_fingerprint,
+            index: Arc::clone(&self.index),
+            ontology: Arc::clone(&self.ontology),
+            quality: self.quality.clone(),
+            selections: Arc::clone(&self.selections),
+            order: self.order.clone(),
+            axis: self.axis.clone(),
+            filter: self.filter.clone(),
+        }
+    }
+
+    /// Apply a replayable view command (the programmatic face of the §IV
+    /// interactions — also the `POST /command` endpoint's engine). Invalid
+    /// parameters (e.g. a bad regex) return an error without changing
+    /// state.
+    pub fn apply_command(
+        &mut self,
+        command: &crate::session::ViewCommand,
+    ) -> Result<(), crate::error::CoreError> {
+        use crate::session::ViewCommand;
+        match command {
+            ViewCommand::Sort(key) => self.sort(key),
+            ViewCommand::AlignOnCode(pattern) => {
+                self.align_on_code(pattern)?;
+            }
+            ViewCommand::ClearAlignment => self.clear_alignment(),
+            ViewCommand::SetFilter(f) => self.set_filter(f.clone()),
+        }
+        Ok(())
+    }
+
+    /// Content fingerprint of the current collection. Two workbenches over
+    /// the same aggregated data agree; any ingest/set_collection changes
+    /// it. Response caches key on `(this, query fingerprint, params)`.
+    pub fn collection_fingerprint(&self) -> u64 {
+        self.collection_fingerprint
+    }
+
+    /// Number of memoized selections.
+    pub fn selection_cache_len(&self) -> usize {
+        self.selections.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Selection-cache hits since this collection was installed.
+    pub fn selection_cache_hits(&self) -> u64 {
+        self.selections.hits.load(Ordering::Relaxed)
+    }
+
+    /// Selection-cache misses since this collection was installed.
+    pub fn selection_cache_misses(&self) -> u64 {
+        self.selections.misses.load(Ordering::Relaxed)
     }
 
     /// Build by running the full heterogeneous-source aggregation pipeline.
@@ -136,13 +256,16 @@ impl Workbench {
     pub fn select_positions(&self, query: &HistoryQuery) -> Vec<u32> {
         let fingerprint = query.fingerprint();
         {
-            let cache = self.selections.lock().unwrap_or_else(|e| e.into_inner());
+            let cache = self.selections.entries.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(hit) = cache.get(&fingerprint) {
+                self.selections.hits.fetch_add(1, Ordering::Relaxed);
                 return hit.clone();
             }
         }
+        self.selections.misses.fetch_add(1, Ordering::Relaxed);
         let positions = self.index.select(&self.collection, query);
         self.selections
+            .entries
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(fingerprint, positions.clone());
@@ -379,14 +502,14 @@ mod tests {
         let wb = wb();
         let q = QueryBuilder::new().has_code("T90").unwrap().build();
         let first = wb.select_positions(&q);
-        assert_eq!(wb.selections.lock().unwrap().len(), 1);
+        assert_eq!(wb.selection_cache_len(), 1);
         let second = wb.select_positions(&q);
         assert_eq!(first, second);
-        assert_eq!(wb.selections.lock().unwrap().len(), 1, "same fingerprint, one entry");
+        assert_eq!(wb.selection_cache_len(), 1, "same fingerprint, one entry");
         // A structurally different query is a different fingerprint.
         let q2 = QueryBuilder::new().has_code("K86").unwrap().build();
         let _ = wb.select_positions(&q2);
-        assert_eq!(wb.selections.lock().unwrap().len(), 2);
+        assert_eq!(wb.selection_cache_len(), 2);
     }
 
     #[test]
@@ -396,7 +519,7 @@ mod tests {
         let before = wb.select_positions(&q);
         assert!(!before.is_empty());
         wb.set_collection(generate_collection(SynthConfig::with_patients(50), 7));
-        assert_eq!(wb.selections.lock().unwrap().len(), 0, "cache cleared");
+        assert_eq!(wb.selection_cache_len(), 0, "cache cleared");
         let after = wb.select_positions(&q);
         // Fresh result against the new collection, not a stale replay.
         assert!(after.iter().all(|&i| (i as usize) < wb.collection().len()));

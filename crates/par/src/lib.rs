@@ -35,6 +35,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
+
 use std::cell::Cell;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};

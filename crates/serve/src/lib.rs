@@ -1,0 +1,48 @@
+//! `pastas-serve`: a std-only concurrent cohort/timeline server.
+//!
+//! The workbench crates answer questions in-process; this crate puts them
+//! behind a socket so many analysts (or one dashboard polling hard) can
+//! share a single loaded collection. Everything is hand-rolled on
+//! `std::net` — no async runtime, no HTTP dependency — because the
+//! workloads are CPU-bound renders and selections, which a worker pool of
+//! OS threads handles with far less machinery than an executor.
+//!
+//! The moving parts, one module each:
+//!
+//! * [`http`] — a small, hard-budgeted HTTP/1.1 request parser and
+//!   response writer (fuzzed: any byte stream yields a typed error, never
+//!   a panic);
+//! * [`state`] — `Arc`-swapped immutable snapshots: readers never block
+//!   writers, writers publish whole new versions atomically;
+//! * [`router`] — `Request → Response` over the Workbench/Session API
+//!   (`/select`, `/timeline/{patient}`, `/cohort.svg`, `/command`,
+//!   `/details`, `/metrics`);
+//! * [`cache`] — an LRU response cache keyed by
+//!   `(version, collection fingerprint, query fingerprint, render params)`;
+//! * [`metrics`] — lock-free counters plus a latency ring for p50/p99;
+//! * [`server`] — acceptor thread + bounded worker pool with load
+//!   shedding (`503 Retry-After`) and graceful drain;
+//! * [`client`] — the loopback client the tests, smoke mode, and load
+//!   bench drive the server with.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(test)]
+mod proptests;
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod router;
+pub mod server;
+pub mod state;
+
+pub use cache::ResponseCache;
+pub use client::{ClientResponse, Conn};
+pub use http::{HttpError, Limits, Request, RequestReader, Response};
+pub use metrics::Metrics;
+pub use router::{route, RouterCtx};
+pub use server::{serve, start, ServerConfig, ServerHandle};
+pub use state::{ServeState, Snapshot};

@@ -1,0 +1,443 @@
+//! Request routing: one function from [`Request`] to [`Response`].
+//!
+//! Endpoints (all responses JSON unless noted):
+//!
+//! | route | what it does |
+//! |---|---|
+//! | `POST /select` | body = query-language text → cohort ids/counts |
+//! | `GET /timeline/{patient}` | one patient's personal timeline (HTML) |
+//! | `GET /cohort.svg?w=&h=&overview=` | current view rendered as SVG |
+//! | `GET /cohort.txt?cols=&rows=` | current view rendered as terminal text |
+//! | `POST /command` | JSON view command (sort/align/filter) → new version |
+//! | `GET /details?x=&y=&w=&h=` | details-on-demand under a cursor |
+//! | `GET /metrics` | live counters, cache stats, latency percentiles |
+//! | `GET /healthz` | liveness probe (text) |
+//!
+//! Cacheable GET/select responses go through the [`ResponseCache`]; the
+//! key prefix is the snapshot's `(version, collection fingerprint)` pair,
+//! the suffix the endpoint's own parameters — for `/select`, the query's
+//! canonical [`HistoryQuery::fingerprint`](pastas_query::HistoryQuery::fingerprint).
+
+use crate::cache::ResponseCache;
+use crate::http::{Request, Response};
+use crate::state::{ServeState, Snapshot};
+use pastas_core::export::json_string;
+use pastas_core::{Selection, ViewCommand};
+use pastas_ingest::json::Json;
+use pastas_model::PatientId;
+use pastas_query::{parse_query, EntryPredicate, SortKey};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Everything a handler can touch. The server owns one and hands
+/// references to every connection.
+pub struct RouterCtx {
+    /// The swap point for published snapshots.
+    pub state: ServeState,
+    /// The shared response cache.
+    pub cache: ResponseCache,
+    /// The server's request metrics; the router reads it for `/metrics`.
+    pub metrics: crate::metrics::Metrics,
+    /// Worker-pool gauges, wired in by the server once the pool exists.
+    pub pool_stats: std::sync::OnceLock<pastas_par::pool::PoolStats>,
+}
+
+impl RouterCtx {
+    /// A context over an initial workbench with a cache bounded to
+    /// `cache_entries` responses / `cache_bytes` body bytes.
+    pub fn new(
+        workbench: pastas_core::Workbench,
+        cache_entries: usize,
+        cache_bytes: usize,
+    ) -> RouterCtx {
+        RouterCtx {
+            state: ServeState::new(workbench),
+            cache: ResponseCache::new(cache_entries, cache_bytes),
+            metrics: crate::metrics::Metrics::new(),
+            pool_stats: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+fn error_json(status: u16, message: &str) -> Response {
+    Response::json(status, format!("{{\"error\":{}}}", json_string(message)))
+}
+
+/// Route one request. Never panics: every failure path is a status code.
+pub fn route(req: &Request, ctx: &RouterCtx) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok"),
+        ("GET", "/metrics") => metrics_response(ctx),
+        ("POST", "/select") => select(req, ctx),
+        ("POST", "/command") => command(req, ctx),
+        ("GET", "/cohort.svg") => cohort_svg(req, ctx),
+        ("GET", "/cohort.txt") => cohort_txt(req, ctx),
+        ("GET", "/details") => details(req, ctx),
+        ("GET", path) if path.starts_with("/timeline/") => timeline(path, ctx),
+        (_, "/select" | "/command" | "/cohort.svg" | "/cohort.txt" | "/details" | "/metrics") => {
+            error_json(405, "method not allowed")
+        }
+        _ => error_json(404, "no such route"),
+    }
+}
+
+/// Serve from cache or compute-and-fill. The whole response object is
+/// shared via `Arc` internally; what goes to the wire is a clone of the
+/// cached value.
+fn cached(
+    ctx: &RouterCtx,
+    snapshot: &Snapshot,
+    suffix: &str,
+    build: impl FnOnce() -> Response,
+) -> Response {
+    let key = format!("{}:{}", snapshot.cache_prefix(), suffix);
+    if let Some(hit) = ctx.cache.get(&key) {
+        return (*hit).clone();
+    }
+    let response = build();
+    if response.status == 200 {
+        ctx.cache.put(key, Arc::new(response.clone()));
+    }
+    response
+}
+
+fn select(req: &Request, ctx: &RouterCtx) -> Response {
+    let snapshot = ctx.state.snapshot();
+    let text = req.body_str();
+    let text = text.trim();
+    if text.is_empty() {
+        return error_json(400, "empty query: POST the query text, e.g. has(T90)");
+    }
+    // The reference date for age(..) clauses: the collection's last event
+    // (queries are relative to the data, not the server's wall clock),
+    // precomputed at publication because stats() walks every entry.
+    let query = match parse_query(text, snapshot.reference_date) {
+        Ok(q) => q,
+        Err(e) => return error_json(400, &e.to_string()),
+    };
+    let count_only = req.param("count_only").is_some_and(|v| v != "0");
+    let suffix = format!("select:{}:{}", u8::from(count_only), query.fingerprint());
+    cached(ctx, &snapshot, &suffix, || {
+        let selection = Selection::from_query(&snapshot.workbench, &query);
+        let mut body = String::with_capacity(32 + selection.len() * 12);
+        let _ = write!(
+            body,
+            "{{\"version\":{},\"count\":{}",
+            snapshot.version,
+            selection.len()
+        );
+        if !count_only {
+            body.push_str(",\"ids\":[");
+            for (i, id) in selection.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                let _ = write!(body, "\"{id}\"");
+            }
+            body.push(']');
+        }
+        body.push('}');
+        Response::json(200, body)
+    })
+}
+
+fn command(req: &Request, ctx: &RouterCtx) -> Response {
+    let doc = match Json::parse(&req.body_str()) {
+        Ok(doc) => doc,
+        Err(e) => return error_json(400, &format!("bad JSON: {e}")),
+    };
+    let command = match parse_command(&doc) {
+        Ok(c) => c,
+        Err(message) => return error_json(400, &message),
+    };
+    match ctx.state.apply(&command) {
+        Ok(version) => Response::json(200, format!("{{\"version\":{version}}}")),
+        Err(e) => error_json(400, &e.to_string()),
+    }
+}
+
+fn parse_command(doc: &Json) -> Result<ViewCommand, String> {
+    let name = doc
+        .get("command")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing \"command\"".to_owned())?;
+    match name {
+        "sort" => {
+            let key = match doc.get("key").and_then(Json::as_str) {
+                Some("patient_id") | None => SortKey::PatientId,
+                Some("first_entry") => SortKey::FirstEntry,
+                Some("entry_count") => SortKey::EntryCount,
+                Some("span") => SortKey::Span,
+                Some(other) => return Err(format!("unknown sort key {other:?}")),
+            };
+            Ok(ViewCommand::Sort(key))
+        }
+        "align" => {
+            let pattern = doc
+                .get("pattern")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "align needs \"pattern\"".to_owned())?;
+            Ok(ViewCommand::AlignOnCode(pattern.to_owned()))
+        }
+        "clear_alignment" => Ok(ViewCommand::ClearAlignment),
+        "filter" => match doc.get("code").and_then(Json::as_str) {
+            Some(pattern) => EntryPredicate::code_regex(pattern)
+                .map(|p| ViewCommand::SetFilter(Some(p)))
+                .map_err(|e| e.to_string()),
+            None => match doc.get("kind").and_then(Json::as_str) {
+                Some("diagnosis") => Ok(ViewCommand::SetFilter(Some(EntryPredicate::IsDiagnosis))),
+                Some("medication") => {
+                    Ok(ViewCommand::SetFilter(Some(EntryPredicate::IsMedication)))
+                }
+                Some("interval") => Ok(ViewCommand::SetFilter(Some(EntryPredicate::IsInterval))),
+                Some(other) => Err(format!("unknown filter kind {other:?}")),
+                None => Ok(ViewCommand::SetFilter(None)),
+            },
+        },
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Clamp a user-supplied canvas dimension to something renderable.
+fn dim(req: &Request, name: &str, default: f64) -> f64 {
+    req.param_or(name, default).clamp(16.0, 16_384.0)
+}
+
+fn cohort_svg(req: &Request, ctx: &RouterCtx) -> Response {
+    let snapshot = ctx.state.snapshot();
+    let w = dim(req, "w", 900.0);
+    let h = dim(req, "h", 500.0);
+    let overview = req.param("overview").is_some_and(|v| v != "0");
+    let suffix = format!("svg:{w}:{h}:{}", u8::from(overview));
+    cached(ctx, &snapshot, &suffix, || {
+        let svg = if overview {
+            snapshot.workbench.render_overview_svg(w, h)
+        } else {
+            snapshot.workbench.render_svg(w, h)
+        };
+        Response::with_body(200, "image/svg+xml", svg)
+    })
+}
+
+fn cohort_txt(req: &Request, ctx: &RouterCtx) -> Response {
+    let snapshot = ctx.state.snapshot();
+    let cols = req.param_or("cols", 100_usize).clamp(16, 1024);
+    let rows = req.param_or("rows", 30_usize).clamp(4, 512);
+    let suffix = format!("txt:{cols}:{rows}");
+    cached(ctx, &snapshot, &suffix, || {
+        Response::text(200, snapshot.workbench.render_ascii(cols, rows))
+    })
+}
+
+fn timeline(path: &str, ctx: &RouterCtx) -> Response {
+    let snapshot = ctx.state.snapshot();
+    let raw = &path["/timeline/".len()..];
+    let Ok(id) = raw.trim_start_matches('P').parse::<u64>() else {
+        return error_json(400, &format!("bad patient id {raw:?}"));
+    };
+    let suffix = format!("timeline:{id}");
+    cached(ctx, &snapshot, &suffix, || {
+        match snapshot.workbench.export_personal_timeline(PatientId(id)) {
+            Some(html) => Response::with_body(200, "text/html; charset=utf-8", html),
+            None => error_json(404, &format!("no patient {raw}")),
+        }
+    })
+}
+
+fn details(req: &Request, ctx: &RouterCtx) -> Response {
+    let snapshot = ctx.state.snapshot();
+    let w = dim(req, "w", 900.0);
+    let h = dim(req, "h", 500.0);
+    let (Some(x), Some(y)) = (
+        req.param("x").and_then(|v| v.parse::<f64>().ok()),
+        req.param("y").and_then(|v| v.parse::<f64>().ok()),
+    ) else {
+        return error_json(400, "details needs numeric x and y");
+    };
+    if !(x.is_finite() && y.is_finite()) {
+        return error_json(400, "details needs finite x and y");
+    }
+    let viewport = snapshot.workbench.default_viewport(w, h);
+    match snapshot.workbench.details_at(&viewport, x, y) {
+        Some(text) => Response::json(
+            200,
+            format!(
+                "{{\"version\":{},\"details\":{}}}",
+                snapshot.version,
+                json_string(&text)
+            ),
+        ),
+        None => error_json(404, "nothing under the cursor"),
+    }
+}
+
+fn metrics_response(ctx: &RouterCtx) -> Response {
+    let snapshot = ctx.state.snapshot();
+    let wb = &snapshot.workbench;
+    let cache_lookups = ctx.cache.hits() + ctx.cache.misses();
+    let hit_rate = if cache_lookups == 0 {
+        0.0
+    } else {
+        ctx.cache.hits() as f64 / cache_lookups as f64
+    };
+    let mut extra: Vec<(&'static str, f64)> = vec![
+        ("state_version", snapshot.version as f64),
+        ("patients", wb.collection().len() as f64),
+        ("cache_entries", ctx.cache.len() as f64),
+        ("cache_bytes", ctx.cache.bytes() as f64),
+        ("cache_hits", ctx.cache.hits() as f64),
+        ("cache_misses", ctx.cache.misses() as f64),
+        ("cache_hit_rate", hit_rate),
+        ("selection_cache_entries", wb.selection_cache_len() as f64),
+        ("selection_cache_hits", wb.selection_cache_hits() as f64),
+        ("selection_cache_misses", wb.selection_cache_misses() as f64),
+    ];
+    if let Some(pool) = ctx.pool_stats.get() {
+        extra.push(("queue_depth", pool.queue_depth() as f64));
+        extra.push(("connections_in_flight", pool.in_flight() as f64));
+        extra.push(("worker_panics", pool.panic_count() as f64));
+        extra.push(("connections_completed", pool.completed() as f64));
+    }
+    Response::json(200, ctx.metrics.render_json(&extra))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Limits, RequestReader};
+    use pastas_core::Workbench;
+    use pastas_synth::{generate_collection, SynthConfig};
+
+    fn ctx() -> RouterCtx {
+        RouterCtx::new(
+            Workbench::from_collection(generate_collection(SynthConfig::with_patients(150), 11)),
+            64,
+            1 << 20,
+        )
+    }
+
+    fn request(raw: &[u8]) -> Request {
+        RequestReader::new(raw, Limits::default()).next_request().unwrap()
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        request(
+            format!("POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len())
+                .as_bytes(),
+        )
+    }
+
+    fn get(path: &str) -> Request {
+        request(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())
+    }
+
+    #[test]
+    fn select_returns_ids_and_caches_the_repeat() {
+        let ctx = ctx();
+        let first = route(&post("/select", "has(T90)"), &ctx);
+        assert_eq!(first.status, 200);
+        let body = String::from_utf8(first.body.clone()).unwrap();
+        assert!(body.contains("\"count\":"), "{body}");
+        assert!(body.contains("\"ids\":[\"P"), "{body}");
+        assert_eq!(ctx.cache.misses(), 1);
+        let second = route(&post("/select", "has(T90)"), &ctx);
+        assert_eq!(second.body, first.body);
+        assert_eq!(ctx.cache.hits(), 1, "repeat is a cache hit");
+        // Whitespace-insensitive via the canonical query fingerprint.
+        let third = route(&post("/select", "  has(T90)  "), &ctx);
+        assert_eq!(third.body, first.body);
+        assert_eq!(ctx.cache.hits(), 2);
+    }
+
+    #[test]
+    fn select_count_only_and_errors() {
+        let ctx = ctx();
+        let resp = route(&post("/select?count_only=1", "has(T90)"), &ctx);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"count\":") && !body.contains("\"ids\""), "{body}");
+        assert_eq!(route(&post("/select", ""), &ctx).status, 400);
+        let bad = route(&post("/select", "has(T90["), &ctx);
+        assert_eq!(bad.status, 400);
+        assert!(String::from_utf8(bad.body).unwrap().contains("\"error\""));
+    }
+
+    #[test]
+    fn command_bumps_version_and_invalidates_cached_views() {
+        let ctx = ctx();
+        let svg1 = route(&get("/cohort.svg?w=400&h=300"), &ctx);
+        assert_eq!(svg1.status, 200);
+        assert_eq!(ctx.cache.misses(), 1);
+        let resp = route(&post("/command", r#"{"command":"sort","key":"entry_count"}"#), &ctx);
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8(resp.body).unwrap().contains("\"version\":2"));
+        // New version → new cache key → recomputed (a miss), under a new order.
+        let svg2 = route(&get("/cohort.svg?w=400&h=300"), &ctx);
+        assert_eq!(svg2.status, 200);
+        assert_eq!(ctx.cache.misses(), 2, "old cached view unreachable");
+        assert_eq!(route(&post("/command", r#"{"command":"nope"}"#), &ctx).status, 400);
+        assert_eq!(route(&post("/command", "not json"), &ctx).status, 400);
+        assert_eq!(
+            route(&post("/command", r#"{"command":"align","pattern":"T90["}"#), &ctx).status,
+            400,
+            "bad regex is a 400, not a new version"
+        );
+        assert_eq!(ctx.state.version(), 2);
+    }
+
+    #[test]
+    fn renders_and_timeline() {
+        let ctx = ctx();
+        let svg = route(&get("/cohort.svg"), &ctx);
+        assert!(String::from_utf8(svg.body).unwrap().contains("<svg"));
+        let overview = route(&get("/cohort.svg?overview=1"), &ctx);
+        assert!(String::from_utf8(overview.body).unwrap().contains("Overview"));
+        let txt = route(&get("/cohort.txt?cols=80&rows=20"), &ctx);
+        assert_eq!(String::from_utf8(txt.body).unwrap().lines().count(), 20);
+
+        let id = ctx.state.snapshot().workbench.collection().histories()[0].id();
+        let page = route(&get(&format!("/timeline/{id}")), &ctx);
+        assert_eq!(page.status, 200);
+        assert!(String::from_utf8(page.body).unwrap().contains("<svg"));
+        assert_eq!(route(&get("/timeline/P9999999"), &ctx).status, 404);
+        assert_eq!(route(&get("/timeline/xyz"), &ctx).status, 400);
+    }
+
+    #[test]
+    fn details_on_demand() {
+        let ctx = ctx();
+        let snapshot = ctx.state.snapshot();
+        let viewport = snapshot.workbench.default_viewport(900.0, 500.0);
+        let (_, hits) = snapshot.workbench.layout(&viewport);
+        let record = hits.iter().next().expect("something drawn");
+        let cx = (record.bbox.0 + record.bbox.2) / 2.0;
+        let cy = (record.bbox.1 + record.bbox.3) / 2.0;
+        let resp = route(&get(&format!("/details?x={cx}&y={cy}")), &ctx);
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8(resp.body).unwrap().contains("\"details\":\""));
+        assert_eq!(route(&get("/details?x=-9999&y=-9999"), &ctx).status, 404);
+        assert_eq!(route(&get("/details?x=abc&y=1"), &ctx).status, 400);
+        assert_eq!(route(&get("/details"), &ctx).status, 400);
+    }
+
+    #[test]
+    fn metrics_and_routing_edges() {
+        let ctx = ctx();
+        let _ = route(&post("/select", "has(T90)"), &ctx);
+        let resp = route(&get("/metrics"), &ctx);
+        let body = String::from_utf8(resp.body).unwrap();
+        for field in [
+            "\"requests_total\"",
+            "\"latency_p50_ms\"",
+            "\"cache_hit_rate\"",
+            "\"state_version\":1",
+            "\"selection_cache_misses\":1",
+        ] {
+            assert!(body.contains(field), "missing {field} in {body}");
+        }
+        assert!(Json::parse(&body).is_ok(), "metrics is valid JSON");
+        assert_eq!(route(&get("/nope"), &ctx).status, 404);
+        assert_eq!(route(&get("/select"), &ctx).status, 405);
+        assert_eq!(route(&request(b"DELETE /command HTTP/1.1\r\n\r\n"), &ctx).status, 405);
+        assert_eq!(route(&get("/healthz"), &ctx).status, 200);
+    }
+}

@@ -1,0 +1,234 @@
+//! The server proper: acceptor thread, bounded worker pool, per-connection
+//! keep-alive loop, load shedding, and graceful shutdown.
+//!
+//! Threading model (DESIGN.md §8):
+//!
+//! * **one acceptor** blocks on [`TcpListener::accept`] and does almost
+//!   nothing per connection — stamp socket timeouts, try to hand the
+//!   connection to the pool;
+//! * **`workers` pool threads** each own one connection at a time and run
+//!   its whole keep-alive session (read → route → write, repeat);
+//! * when the pool's bounded queue is full the **acceptor itself** writes
+//!   `503 Service Unavailable` + `Retry-After` and closes — overload
+//!   degrades into fast, explicit rejections instead of unbounded queues;
+//! * [`ServerHandle::shutdown`] stops admissions, nudges the acceptor
+//!   awake, and drains: every connection already accepted finishes its
+//!   in-flight request (responses carry `Connection: close` once draining
+//!   starts) before the workers are joined.
+
+use crate::http::{HttpError, Limits, RequestReader, Response};
+use crate::router::{route, RouterCtx};
+use pastas_par::pool::{Submitter, WorkerPool};
+use std::io::{self, ErrorKind, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs. The defaults suit the loopback benches; a real
+/// deployment would mostly raise `queue_capacity` and the timeouts.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` = loopback, OS-assigned port).
+    pub addr: String,
+    /// Worker threads (connection concurrency). 0 = available parallelism.
+    pub workers: usize,
+    /// Bounded queue of accepted-but-unclaimed connections; beyond this
+    /// the acceptor sheds with 503.
+    pub queue_capacity: usize,
+    /// Per-connection socket read timeout (also the idle keep-alive cap).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// `Retry-After` seconds advertised on shed 503s.
+    pub retry_after_secs: u32,
+    /// Requests served per connection before it is closed (an upper bound
+    /// on how long one client can pin a worker).
+    pub max_requests_per_connection: usize,
+    /// Request parsing budgets.
+    pub limits: Limits,
+    /// Response-cache entry bound.
+    pub cache_entries: usize,
+    /// Response-cache byte bound.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 0,
+            queue_capacity: 1024,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            retry_after_secs: 1,
+            max_requests_per_connection: 10_000,
+            limits: Limits::default(),
+            cache_entries: 512,
+            cache_bytes: 256 << 20,
+        }
+    }
+}
+
+struct ServerShared {
+    ctx: RouterCtx,
+    config: ServerConfig,
+    draining: AtomicBool,
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+}
+
+/// Bind, spawn the acceptor and workers, and return immediately.
+pub fn start(ctx: RouterCtx, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    // Workers are connection-bound, not CPU-bound: an idle keep-alive
+    // connection pins one until it times out, so floor the default well
+    // above the core count of small machines.
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4)
+    } else {
+        config.workers
+    };
+    let pool = WorkerPool::new(workers, config.queue_capacity);
+    let _ = ctx.pool_stats.set(pool.stats());
+    let shared = Arc::new(ServerShared { ctx, config, draining: AtomicBool::new(false) });
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let submit = pool.submitter();
+        std::thread::Builder::new()
+            .name("pastas-serve-acceptor".to_owned())
+            .spawn(move || accept_loop(listener, shared, submit))
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), pool: Some(pool) })
+}
+
+/// Convenience: serve a workbench with a config in one call.
+pub fn serve(
+    workbench: pastas_core::Workbench,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let ctx = RouterCtx::new(workbench, config.cache_entries, config.cache_bytes);
+    start(ctx, config)
+}
+
+/// Accept until drain. Per accepted connection: stamp socket options,
+/// submit a connection job to the pool; on a full queue, shed with 503
+/// right here — the acceptor never blocks on workers.
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, submit: Submitter) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+        // The job needs the stream, and shedding needs it back on refusal;
+        // a fd-level clone gives both paths a handle.
+        let Ok(job_stream) = stream.try_clone() else {
+            continue;
+        };
+        let job_shared = Arc::clone(&shared);
+        let submitted =
+            submit.try_submit(move || handle_connection(job_stream, &job_shared));
+        if submitted.is_err() {
+            shed(&stream, &shared);
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared router context (state, cache, metrics).
+    pub fn ctx(&self) -> &RouterCtx {
+        &self.shared.ctx
+    }
+
+    /// Graceful shutdown: stop accepting, finish in-flight requests,
+    /// drain the accepted-connection queue, join every thread.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+    }
+
+    fn begin_shutdown(&mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Nudge the blocked acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+    }
+}
+
+/// Serve one connection until close, error, or drain.
+fn handle_connection(stream: TcpStream, shared: &ServerShared) {
+    let mut reader = RequestReader::new(&stream, shared.config.limits);
+    let mut writer = &stream;
+    for served in 0..shared.config.max_requests_per_connection {
+        match reader.next_request() {
+            Ok(request) => {
+                let t0 = Instant::now();
+                let response = route(&request, &shared.ctx);
+                let status = response.status;
+                let draining = shared.draining.load(Ordering::SeqCst);
+                let last = request.wants_close()
+                    || draining
+                    || served + 1 == shared.config.max_requests_per_connection;
+                let write_ok = response.write_to(&mut writer, !last).is_ok();
+                shared.ctx.metrics.record(status, t0.elapsed());
+                if last || !write_ok {
+                    break;
+                }
+            }
+            Err(HttpError::ConnectionClosed) => break,
+            Err(HttpError::Io(_)) => break, // read timeout / reset: just close
+            Err(error) => {
+                shared.ctx.metrics.record_bad_request();
+                if let Some(status) = error.status() {
+                    let body = format!("{{\"error\":\"{error}\"}}");
+                    let _ = Response::json(status, body).write_to(&mut writer, false);
+                    shared.ctx.metrics.record(status, Duration::ZERO);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Write the shed response straight from the acceptor thread; the
+/// connection was never admitted, so this must stay O(microseconds).
+fn shed(mut stream: &TcpStream, shared: &ServerShared) {
+    let response = Response::json(503, "{\"error\":\"server overloaded\"}")
+        .header("Retry-After", &shared.config.retry_after_secs.to_string());
+    let _ = response.write_to(&mut stream, false);
+    let _ = stream.flush();
+    shared.ctx.metrics.record_shed();
+    shared.ctx.metrics.record(503, Duration::ZERO);
+}

@@ -1,0 +1,185 @@
+//! Shared server state: `Arc`-swapped immutable snapshots.
+//!
+//! Readers (`/select`, `/cohort.svg`, …) clone an `Arc` out of a read
+//! lock held for nanoseconds and then work entirely on their private
+//! snapshot — a slow render never blocks a `/command` or an ingest, and
+//! vice versa. Writers serialize among themselves, build the *next*
+//! snapshot off to the side ([`pastas_core::Workbench::snapshot`] makes
+//! that an O(histories) pointer copy), and publish it with one pointer
+//! swap. Every snapshot carries a monotone version; response-cache keys
+//! include it, so stale cached responses are unreachable the moment a new
+//! snapshot lands.
+
+use pastas_core::{CoreError, ViewCommand, Workbench};
+use pastas_time::Date;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One immutable published state.
+pub struct Snapshot {
+    /// The workbench as of this version (never mutated once published).
+    pub workbench: Workbench,
+    /// Monotone publication counter (1 = the initial state).
+    pub version: u64,
+    /// The date `age(..)` clauses evaluate at: the collection's last
+    /// event. Computed once at publication — `CollectionStats` walks every
+    /// entry, far too slow for the per-request path.
+    pub reference_date: Date,
+}
+
+impl Snapshot {
+    /// The response-cache key prefix binding an entry to this exact state:
+    /// publication version plus collection fingerprint.
+    pub fn cache_prefix(&self) -> String {
+        format!(
+            "v{}:c{:016x}",
+            self.version,
+            self.workbench.collection_fingerprint()
+        )
+    }
+}
+
+/// The swap point.
+pub struct ServeState {
+    current: RwLock<Arc<Snapshot>>,
+    /// Serializes writers; readers never take it.
+    write: Mutex<()>,
+    version: AtomicU64,
+}
+
+impl ServeState {
+    /// Publish an initial workbench as version 1.
+    pub fn new(workbench: Workbench) -> ServeState {
+        let reference_date = reference_date_of(&workbench);
+        ServeState {
+            current: RwLock::new(Arc::new(Snapshot {
+                workbench,
+                version: 1,
+                reference_date,
+            })),
+            write: Mutex::new(()),
+            version: AtomicU64::new(1),
+        }
+    }
+
+    /// The current snapshot (an `Arc` clone; the caller can hold it for as
+    /// long as it likes without blocking anyone).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Current publication version.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// Apply a view command against the current snapshot and publish the
+    /// result as a new version. Returns the new version. On error nothing
+    /// is published.
+    pub fn apply(&self, command: &ViewCommand) -> Result<u64, CoreError> {
+        let _writer = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        let base = self.snapshot();
+        let mut workbench = base.workbench.snapshot();
+        workbench.apply_command(command)?;
+        Ok(self.publish(workbench))
+    }
+
+    /// Replace the whole workbench (the ingest path) and publish it.
+    /// Returns the new version.
+    pub fn replace(&self, workbench: Workbench) -> u64 {
+        let _writer = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        self.publish(workbench)
+    }
+
+    fn publish(&self, workbench: Workbench) -> u64 {
+        let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
+        let reference_date = reference_date_of(&workbench);
+        let next = Arc::new(Snapshot { workbench, version, reference_date });
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = next;
+        version
+    }
+}
+
+/// Walks the whole collection — call only at publication, never per
+/// request.
+fn reference_date_of(workbench: &Workbench) -> Date {
+    workbench
+        .collection()
+        .stats()
+        .last
+        .map(|dt| dt.date())
+        .unwrap_or_else(|| Date::new(2013, 1, 1).expect("valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_query::SortKey;
+    use pastas_synth::{generate_collection, SynthConfig};
+
+    fn state() -> ServeState {
+        ServeState::new(Workbench::from_collection(generate_collection(
+            SynthConfig::with_patients(120),
+            5,
+        )))
+    }
+
+    #[test]
+    fn commands_publish_new_versions_and_old_snapshots_survive() {
+        let state = state();
+        let before = state.snapshot();
+        assert_eq!(before.version, 1);
+        let v = state.apply(&ViewCommand::Sort(SortKey::EntryCount)).unwrap();
+        assert_eq!(v, 2);
+        let after = state.snapshot();
+        assert_eq!(after.version, 2);
+        // The pre-command snapshot still reads its own consistent state.
+        assert_ne!(before.workbench.order(), after.workbench.order());
+        assert_eq!(before.version, 1);
+        // Same collection → same fingerprint, different version → new keys.
+        assert_ne!(before.cache_prefix(), after.cache_prefix());
+        assert_eq!(
+            before.workbench.collection_fingerprint(),
+            after.workbench.collection_fingerprint()
+        );
+    }
+
+    #[test]
+    fn failed_commands_publish_nothing() {
+        let state = state();
+        assert!(state.apply(&ViewCommand::AlignOnCode("T90[".into())).is_err());
+        assert_eq!(state.version(), 1);
+    }
+
+    #[test]
+    fn replace_swaps_the_collection() {
+        let state = state();
+        let fp_before = state.snapshot().workbench.collection_fingerprint();
+        let v = state.replace(Workbench::from_collection(generate_collection(
+            SynthConfig::with_patients(40),
+            9,
+        )));
+        assert_eq!(v, 2);
+        let snap = state.snapshot();
+        assert_eq!(snap.workbench.collection().len(), 40);
+        assert_ne!(snap.workbench.collection_fingerprint(), fp_before);
+    }
+
+    #[test]
+    fn readers_share_the_selection_cache_across_versions() {
+        use pastas_query::QueryBuilder;
+        let state = state();
+        let q = QueryBuilder::new().has_code("T90").unwrap().build();
+        let a = state.snapshot();
+        let _ = a.workbench.select_positions(&q);
+        state.apply(&ViewCommand::Sort(SortKey::Span)).unwrap();
+        let b = state.snapshot();
+        let hits = b.workbench.selection_cache_hits();
+        let _ = b.workbench.select_positions(&q);
+        assert_eq!(
+            b.workbench.selection_cache_hits(),
+            hits + 1,
+            "same collection, new version: selection cache still hits"
+        );
+    }
+}

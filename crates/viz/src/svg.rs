@@ -8,7 +8,13 @@
 use crate::scene::{Primitive, Scene};
 use std::fmt::Write;
 
-/// Escape text content for XML.
+/// Escape text content for XML. Beyond the five predefined entities,
+/// control characters outside XML 1.0's character range (everything below
+/// U+0020 except tab/newline/carriage return) are replaced with U+FFFD —
+/// they cannot be represented in XML at all, even as numeric references,
+/// and passing them through would corrupt the whole document. Source
+/// strings here include patient note text and code descriptions, which
+/// arrive from heterogeneous registries and do contain stray controls.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -18,6 +24,8 @@ fn escape(s: &str) -> String {
             '>' => out.push_str("&gt;"),
             '"' => out.push_str("&quot;"),
             '\'' => out.push_str("&apos;"),
+            '\t' | '\n' | '\r' => out.push(c),
+            c if (c as u32) < 0x20 => out.push('\u{fffd}'),
             _ => out.push(c),
         }
     }
@@ -180,6 +188,23 @@ mod tests {
             fill: GLYPH_INK,
         }));
         assert!(svg.contains("BP &lt; 140 &amp; falling"));
+    }
+
+    #[test]
+    fn control_characters_cannot_corrupt_the_document() {
+        // U+0001 is unrepresentable in XML 1.0 (even as &#1;) — it must be
+        // replaced, not passed through. Tab survives: it is a valid char.
+        assert_eq!(escape("a\u{1}b"), "a\u{fffd}b");
+        assert_eq!(escape("a\tb"), "a\tb");
+        let mut s = Scene::new(10.0, 10.0);
+        s.push_with_tooltip(
+            Primitive::Circle { cx: 1.0, cy: 1.0, r: 1.0, fill: GLYPH_INK },
+            "viz:Glyph/circle",
+            "note \u{1}with\u{8} controls".into(),
+        );
+        let svg = render(&s);
+        assert!(!svg.contains('\u{1}') && !svg.contains('\u{8}'), "{svg}");
+        assert!(svg.contains("<title>note \u{fffd}with\u{fffd} controls</title>"));
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Serve a synthetic collection over HTTP: the workbench as a shared,
+//! concurrent service.
+//!
+//! ```text
+//! cargo run --release --example serve_cohorts -- [--patients N] [--seed S]
+//!     [--addr HOST:PORT] [--threads T] [--smoke]
+//! ```
+//!
+//! Default mode binds and serves until killed. `--smoke` instead binds an
+//! OS-assigned loopback port, fires one request at every endpoint through
+//! the in-crate client (checking statuses, a cache hit on the repeated
+//! `/select`, and zero worker panics), shuts down gracefully, and exits
+//! non-zero on any failure — the CI smoke stage.
+
+use pastas_ingest::json::Json;
+use pastas_serve::{client, serve, ServerConfig};
+use pastas_synth::{generate_collection, SynthConfig};
+use std::time::{Duration, Instant};
+
+fn arg(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_str(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_owned())
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn main() {
+    let smoke = flag("--smoke");
+    let patients = arg("--patients", 168_000) as usize;
+    let seed = arg("--seed", 7);
+    let default_addr = if smoke { "127.0.0.1:0" } else { "127.0.0.1:7878" };
+    let addr = arg_str("--addr", default_addr);
+
+    eprintln!("Generating {patients} patients (seed {seed}) …");
+    let t0 = Instant::now();
+    let collection = generate_collection(SynthConfig::with_patients(patients), seed);
+    let workbench = pastas_core::Workbench::from_collection(collection);
+    eprintln!("Loaded in {:.1?}", t0.elapsed());
+
+    let config = ServerConfig {
+        addr,
+        workers: arg("--threads", 0) as usize,
+        ..ServerConfig::default()
+    };
+    let handle = serve(workbench, config).expect("bind");
+    eprintln!("Serving on http://{}", handle.addr());
+    eprintln!("  POST /select            body = query text, e.g. has(T90) and age(50..80)");
+    eprintln!("  GET  /cohort.svg        ?w=900&h=500&overview=1");
+    eprintln!("  GET  /cohort.txt        ?cols=100&rows=30");
+    eprintln!("  GET  /timeline/P0000009");
+    eprintln!("  POST /command           {{\"command\":\"sort\",\"key\":\"entry_count\"}}");
+    eprintln!("  GET  /details           ?x=450&y=250");
+    eprintln!("  GET  /metrics");
+
+    if smoke {
+        let failures = run_smoke(handle.addr());
+        eprintln!("Shutting down …");
+        handle.shutdown();
+        if failures > 0 {
+            eprintln!("SMOKE: {failures} check(s) FAILED");
+            std::process::exit(1);
+        }
+        eprintln!("SMOKE: all checks passed");
+        return;
+    }
+
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Fire one request at every endpoint; return the failed-check count.
+fn run_smoke(addr: std::net::SocketAddr) -> u32 {
+    let timeout = Duration::from_secs(30);
+    let mut failures = 0u32;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        if ok {
+            eprintln!("  ok   {name}");
+        } else {
+            failures += 1;
+            eprintln!("  FAIL {name}: {detail}");
+        }
+    };
+
+    let mut conn = match client::Conn::connect(addr, timeout) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("  FAIL connect: {e}");
+            return 1;
+        }
+    };
+
+    // /select, twice: the repeat must be served from the response cache.
+    let q = b"has(T90)";
+    let first = conn.post("/select", q);
+    let first_body = first.as_ref().map(|r| r.body_str().into_owned()).unwrap_or_default();
+    check(
+        "POST /select",
+        first.as_ref().is_ok_and(|r| r.status == 200) && first_body.contains("\"ids\""),
+        format!("{first:?}"),
+    );
+    let second = conn.post("/select", q);
+    check(
+        "POST /select (repeat)",
+        second.as_ref().is_ok_and(|r| r.status == 200 && r.body_str() == first_body),
+        format!("{second:?}"),
+    );
+
+    let svg = conn.get("/cohort.svg?w=600&h=400");
+    check(
+        "GET /cohort.svg",
+        svg.as_ref().is_ok_and(|r| r.status == 200 && r.body_str().contains("<svg")),
+        format!("{:?}", svg.as_ref().map(|r| r.status)),
+    );
+    let txt = conn.get("/cohort.txt?cols=80&rows=20");
+    check(
+        "GET /cohort.txt",
+        txt.as_ref().is_ok_and(|r| r.status == 200),
+        format!("{:?}", txt.as_ref().map(|r| r.status)),
+    );
+
+    // A real patient id out of the /select response.
+    let id = Json::parse(&first_body)
+        .ok()
+        .and_then(|doc| {
+            doc.get("ids")
+                .and_then(Json::as_array)
+                .and_then(|ids| ids.first().and_then(Json::as_str).map(str::to_owned))
+        })
+        .unwrap_or_else(|| "P0000000".to_owned());
+    let timeline = conn.get(&format!("/timeline/{id}"));
+    check(
+        "GET /timeline/{id}",
+        timeline.as_ref().is_ok_and(|r| r.status == 200),
+        format!("id {id}, {:?}", timeline.as_ref().map(|r| r.status)),
+    );
+
+    let cmd = conn.post("/command", br#"{"command":"sort","key":"entry_count"}"#);
+    check(
+        "POST /command",
+        cmd.as_ref().is_ok_and(|r| r.status == 200 && r.body_str().contains("\"version\":2")),
+        format!("{cmd:?}"),
+    );
+
+    let metrics = conn.get("/metrics");
+    let doc = metrics
+        .as_ref()
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| Json::parse(&r.body_str()).ok());
+    let gauge = |doc: &Option<Json>, name: &str| {
+        doc.as_ref().and_then(|d| d.get(name).and_then(Json::as_f64))
+    };
+    check(
+        "GET /metrics",
+        doc.is_some(),
+        format!("{:?}", metrics.as_ref().map(|r| r.status)),
+    );
+    check(
+        "response cache hit on repeated /select",
+        gauge(&doc, "cache_hits").is_some_and(|v| v >= 1.0),
+        format!("cache_hits = {:?}", gauge(&doc, "cache_hits")),
+    );
+    check(
+        "zero worker panics",
+        gauge(&doc, "worker_panics") == Some(0.0),
+        format!("worker_panics = {:?}", gauge(&doc, "worker_panics")),
+    );
+    failures
+}

@@ -21,5 +21,11 @@ stage() {
 stage "cargo build --release" cargo build --release
 stage "cargo test" cargo test -q
 stage "cargo clippy (deny warnings)" cargo clippy --all-targets -- -D warnings
+# Loopback smoke of the serve layer: starts a real server on an
+# OS-assigned port, fires every endpoint, asserts 200s, a response-cache
+# hit on the repeated /select, zero worker panics, and a graceful
+# shutdown. Exits non-zero on any failed check.
+stage "serve smoke (loopback)" \
+    cargo run --release --example serve_cohorts -- --smoke --patients 1500
 
 echo "ci: all stages passed" >&2
