@@ -1,0 +1,478 @@
+//! A hand-rolled Rust lexer producing a flat token stream with spans.
+//!
+//! Deliberately smaller than a compiler front end: no keyword table, no
+//! numeric-literal validation, no macro expansion. What it *is* exact
+//! about is the part that makes naive `grep`-style linting wrong —
+//! string literals (including raw strings with arbitrarily many `#`
+//! guards and byte/C variants), char literals vs. lifetimes, and line /
+//! nested block comments. A call to `unwrap()` inside a string or a
+//! comment is a [`TokenKind::Str`] / [`TokenKind::Comment`], never an
+//! identifier, so rules that walk identifiers cannot be fooled.
+//!
+//! The lexer never fails: any byte soup (decoded lossily to UTF-8 by the
+//! caller) produces a token stream, with unterminated literals simply
+//! ending at end of input. That property is proptested in
+//! `src/proptests.rs`.
+
+/// What a token is. Comments are kept in the stream — the suppression
+/// and doc-comment rules need them — and skipped by
+/// [`significant`](crate::lexer::significant) for everyone else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `r#match`, …).
+    Ident,
+    /// An integer or float literal (suffix included: `42u32`, `1.5e3`).
+    Number,
+    /// Any string-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A character or byte literal: `'a'`, `b'\n'`.
+    Char,
+    /// A lifetime: `'a`, `'static`.
+    Lifetime,
+    /// One punctuation character (`.`, `:`, `[`, `!`, …).
+    Punct,
+    /// A comment. `doc` is true for `///`, `//!`, `/** */`, `/*! */`.
+    Comment {
+        /// True when this is a doc comment.
+        doc: bool,
+        /// True for `/* … */` (false for `// …`).
+        block: bool,
+    },
+}
+
+/// One token: kind, source span, and 1-based position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of the first byte.
+    pub line: u32,
+    /// 1-based character column of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// True when this token is exactly the punctuation character `c`.
+    pub fn is_punct(&self, src: &str, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text(src) == c.to_string().as_str()
+    }
+
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, src: &str, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(src) == name
+    }
+}
+
+/// Indices of the non-comment tokens of `tokens`, in order.
+pub fn significant(tokens: &[Token]) -> Vec<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::Comment { .. }))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one *character* (multi-byte UTF-8 advances all its bytes),
+    /// tracking line and column.
+    fn bump(&mut self) {
+        let Some(b) = self.peek() else { return };
+        let width = match b {
+            _ if b < 0x80 => 1,
+            _ if b >= 0xf0 => 4,
+            _ if b >= 0xe0 => 3,
+            _ if b >= 0xc0 => 2,
+            // A continuation byte at a character boundary cannot happen in
+            // valid UTF-8; step over it defensively.
+            _ => 1,
+        };
+        self.pos = (self.pos + width).min(self.bytes.len());
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+    }
+
+    /// Advance while `pred` holds on the current byte.
+    fn bump_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek() {
+            if !pred(b) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Never fails; unterminated literals end at EOF.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { bytes: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut tokens = Vec::new();
+    while let Some(b) = cur.peek() {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => lex_line_comment(&mut cur),
+            b'/' if cur.peek_at(1) == Some(b'*') => lex_block_comment(&mut cur),
+            b'r' | b'b' | b'c' if starts_raw_or_prefixed_string(&cur) => {
+                lex_prefixed_string(&mut cur)
+            }
+            _ if is_ident_start(b) => {
+                cur.bump_while(is_ident_continue);
+                // Raw identifier `r#name` (raw *strings* were handled above).
+                if cur.pos == start + 1
+                    && b == b'r'
+                    && cur.peek() == Some(b'#')
+                    && cur.peek_at(1).is_some_and(is_ident_start)
+                {
+                    cur.bump();
+                    cur.bump_while(is_ident_continue);
+                }
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => lex_number(&mut cur),
+            b'"' => lex_plain_string(&mut cur),
+            b'\'' => lex_quote(&mut cur),
+            _ => {
+                cur.bump();
+                TokenKind::Punct
+            }
+        };
+        tokens.push(Token { kind, start, end: cur.pos, line, col });
+    }
+    tokens
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> TokenKind {
+    // `//`, `///`, `//!` — `////…` is a plain comment by convention.
+    let doc = matches!(cur.peek_at(2), Some(b'!'))
+        || (cur.peek_at(2) == Some(b'/') && cur.peek_at(3) != Some(b'/'));
+    cur.bump_while(|b| b != b'\n');
+    TokenKind::Comment { doc, block: false }
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> TokenKind {
+    let doc = matches!(cur.peek_at(2), Some(b'!'))
+        || (cur.peek_at(2) == Some(b'*') && cur.peek_at(3) != Some(b'*'));
+    cur.bump(); // /
+    cur.bump(); // *
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (None, _) => break, // unterminated: comment runs to EOF
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+            }
+            _ => cur.bump(),
+        }
+    }
+    TokenKind::Comment { doc, block: true }
+}
+
+/// True when the cursor sits on `r"`, `r#`, `b"`, `b'`, `br`, `c"`, …
+/// (as opposed to an identifier that merely starts with r/b/c).
+fn starts_raw_or_prefixed_string(cur: &Cursor) -> bool {
+    match (cur.peek(), cur.peek_at(1), cur.peek_at(2)) {
+        (Some(b'r' | b'c'), Some(b'"' | b'#'), _) => {
+            // `r#ident` is a raw identifier, not a raw string: a raw
+            // string's `#`s are followed by more `#`s or a quote.
+            let mut i = 1;
+            while cur.peek_at(i) == Some(b'#') {
+                i += 1;
+            }
+            cur.peek_at(i) == Some(b'"')
+        }
+        (Some(b'b'), Some(b'"' | b'\''), _) => true,
+        (Some(b'b'), Some(b'r'), Some(b'"' | b'#')) => {
+            let mut i = 2;
+            while cur.peek_at(i) == Some(b'#') {
+                i += 1;
+            }
+            cur.peek_at(i) == Some(b'"')
+        }
+        _ => false,
+    }
+}
+
+fn lex_prefixed_string(cur: &mut Cursor) -> TokenKind {
+    // Consume the prefix letters (r, b, c, br).
+    cur.bump_while(|b| matches!(b, b'r' | b'b' | b'c'));
+    if cur.peek() == Some(b'\'') {
+        // b'x'
+        return lex_quote(cur);
+    }
+    // Count `#` guards for raw strings.
+    let mut guards = 0usize;
+    while cur.peek() == Some(b'#') {
+        guards += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some(b'"') {
+        // Not actually a string (defensive; starts_raw_or_prefixed_string
+        // should prevent this). Treat consumed text as an identifier.
+        return TokenKind::Ident;
+    }
+    cur.bump(); // opening quote
+    if guards == 0 && !raw_prefix_just_consumed(cur) {
+        // b"…" / c"…": escapes apply.
+        consume_escaped_until(cur, b'"');
+        return TokenKind::Str;
+    }
+    // Raw string: ends at `"` followed by `guards` hashes; no escapes.
+    loop {
+        match cur.peek() {
+            None => break,
+            Some(b'"') => {
+                cur.bump();
+                let mut matched = 0usize;
+                while matched < guards && cur.peek() == Some(b'#') {
+                    cur.bump();
+                    matched += 1;
+                }
+                if matched == guards {
+                    break;
+                }
+            }
+            _ => cur.bump(),
+        }
+    }
+    TokenKind::Str
+}
+
+/// After consuming a prefix and its opening quote: was this an `r`-style
+/// raw string (no escape processing) rather than `b"`/`c"`? We answer by
+/// looking back at the source — the prefix run just before the guards.
+fn raw_prefix_just_consumed(cur: &Cursor) -> bool {
+    // Scan back over the `"` to the prefix letters.
+    let mut i = cur.pos.saturating_sub(2); // byte before the opening quote
+    while i > 0 && cur.bytes.get(i) == Some(&b'#') {
+        i -= 1;
+    }
+    matches!(cur.bytes.get(i), Some(b'r'))
+}
+
+fn lex_plain_string(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // opening quote
+    consume_escaped_until(cur, b'"');
+    TokenKind::Str
+}
+
+/// Consume up to and including an unescaped `close`; stop at EOF.
+fn consume_escaped_until(cur: &mut Cursor, close: u8) {
+    while let Some(b) = cur.peek() {
+        if b == b'\\' {
+            cur.bump();
+            cur.bump(); // the escaped char (multi-char escapes like \u{…}
+                        // contain no quote, so skipping one char suffices)
+        } else if b == close {
+            cur.bump();
+            return;
+        } else {
+            cur.bump();
+        }
+    }
+}
+
+/// `'` starts either a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // '
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: '\n', '\u{1F600}', '\''.
+            cur.bump();
+            cur.bump();
+            consume_escaped_until(cur, b'\'');
+            TokenKind::Char
+        }
+        Some(b) if is_ident_start(b) => {
+            // 'a' is a char; 'a (no closing quote after the ident run) is
+            // a lifetime; 'static is a lifetime.
+            cur.bump_while(is_ident_continue);
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+                TokenKind::Char
+            } else {
+                TokenKind::Lifetime
+            }
+        }
+        Some(b'\'') => {
+            // '' — empty (invalid Rust, but we must not loop or panic).
+            cur.bump();
+            TokenKind::Char
+        }
+        Some(_) => {
+            // '1', '?', … — a char literal of one non-ident char.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        None => TokenKind::Char,
+    }
+}
+
+fn lex_number(cur: &mut Cursor) -> TokenKind {
+    // Integer part (covers 0x/0b/0o prefixes and type suffixes because
+    // letters are consumed too).
+    cur.bump_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    // Fractional part — but not `0..10` range syntax.
+    if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        cur.bump();
+        cur.bump_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+    TokenKind::Number
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src).to_owned())).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let got = kinds("let x = a[1].unwrap();");
+        let texts: Vec<&str> = got.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "a", "[", "1", "]", ".", "unwrap", "(", ")", ";"]
+        );
+        assert_eq!(got[0].0, TokenKind::Ident);
+        assert_eq!(got[5].0, TokenKind::Number);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "call .unwrap() here"; s.len();"#;
+        let got = kinds(src);
+        assert!(got.iter().any(|(k, _)| *k == TokenKind::Str));
+        let unwraps =
+            got.iter().filter(|(k, t)| *k == TokenKind::Ident && t == "unwrap").count();
+        assert_eq!(unwraps, 0, "unwrap inside a string is not an identifier");
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r###"let s = r#"a "quoted" unwrap()"#; x();"###;
+        let got = kinds(src);
+        let s = got.iter().find(|(k, _)| *k == TokenKind::Str).expect("raw string");
+        assert!(s.1.starts_with("r#\"") && s.1.ends_with("\"#"), "{}", s.1);
+        assert!(got.iter().any(|(k, t)| *k == TokenKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let got = kinds(r#"let a = b"GET /"; let c = b'\n';"#);
+        assert!(got.iter().any(|(k, t)| *k == TokenKind::Str && t.starts_with("b\"")));
+        assert!(got.iter().any(|(k, t)| *k == TokenKind::Char && t.starts_with("b'")));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let got = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = got.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count();
+        let chars = got.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let got = kinds(src);
+        let texts: Vec<&str> = got
+            .iter()
+            .filter(|(k, _)| !matches!(k, TokenKind::Comment { .. }))
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(texts, ["a", "b"]);
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let got = kinds("/// doc\n// plain\n//! inner doc\nfn f() {}");
+        let docs: Vec<bool> = got
+            .iter()
+            .filter_map(|(k, _)| match k {
+                TokenKind::Comment { doc, .. } => Some(*doc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(docs, [true, false, true]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let got = kinds("let r#match = 1;");
+        assert!(got.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn line_and_col_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_everything_still_lexes() {
+        for src in ["\"abc", "r#\"abc", "/* open", "'", "b\"x", "'\\", "r###\"x\"##"] {
+            let _ = lex(src); // must not panic or loop
+        }
+    }
+
+    #[test]
+    fn range_after_number_is_not_a_float() {
+        let got = kinds("for i in 0..10 {}");
+        let texts: Vec<&str> = got.iter().map(|(_, t)| t.as_str()).collect();
+        assert!(texts.contains(&"0") && texts.contains(&"10"), "{texts:?}");
+    }
+}

@@ -1,0 +1,124 @@
+//! The `pastas-lint` binary.
+//!
+//! ```text
+//! pastas-lint --workspace              # lint every crates/*/src/**/*.rs
+//! pastas-lint path/to/file.rs …        # lint specific files
+//! pastas-lint --workspace --format=json
+//! pastas-lint --list-rules
+//! ```
+//!
+//! Exit status: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use pastas_lint::rules::{CheckOptions, Finding, RULES};
+use pastas_lint::workspace::{check_path, check_workspace, find_workspace_root};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    list_rules: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { workspace: false, json: false, list_rules: false, files: Vec::new() };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--format=json" => args.json = true,
+            "--format=text" => args.json = false,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err("usage: pastas-lint [--workspace | FILE…] \
+                            [--format=json|text] [--list-rules]"
+                    .to_owned())
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?} (try --help)"));
+            }
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    if !args.workspace && !args.list_rules && args.files.is_empty() {
+        return Err("nothing to lint: pass --workspace or file paths (try --help)".to_owned());
+    }
+    Ok(args)
+}
+
+fn emit(findings: &[Finding], json: bool) {
+    if json {
+        let mut out = String::from("[");
+        for (i, f) in findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&f.render_json());
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        for f in findings {
+            println!("{}", f.render());
+        }
+        if findings.is_empty() {
+            eprintln!("pastas-lint: clean");
+        } else {
+            eprintln!("pastas-lint: {} finding(s)", findings.len());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("pastas-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for (id, what) in RULES {
+            println!("{id:32} {what}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let findings = if args.workspace {
+        let Some(root) = find_workspace_root(&cwd) else {
+            eprintln!("pastas-lint: no [workspace] Cargo.toml above {}", cwd.display());
+            return ExitCode::from(2);
+        };
+        check_workspace(&root)
+    } else {
+        let root = find_workspace_root(&cwd).unwrap_or_else(|| cwd.clone());
+        let mut all = Vec::new();
+        for file in &args.files {
+            if !file.is_file() {
+                eprintln!("pastas-lint: no such file {}", file.display());
+                return ExitCode::from(2);
+            }
+            // Single-file mode: look the crate's proptests.rs up relative
+            // to the file so scoping matches the workspace walk.
+            let has_proptests = file
+                .parent()
+                .map(|dir| dir.join("proptests.rs").is_file())
+                .unwrap_or(false);
+            all.extend(check_path(&root, file, CheckOptions {
+                crate_has_proptests: has_proptests,
+            }));
+        }
+        all
+    };
+
+    emit(&findings, args.json);
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,111 @@
+//! Workspace discovery and the whole-tree check.
+//!
+//! `--workspace` walks every `crates/*/src/**/*.rs` file (vendor stubs
+//! and `target/` excluded), computes per-crate context (does the crate
+//! ship a `src/proptests.rs`?), and concatenates per-file findings in
+//! path order so output — and the JSON mode — is deterministic.
+
+use crate::rules::{check_file, CheckOptions, Finding};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted by path.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Check one file on disk. `root` is the workspace root used to derive
+/// the path shown in diagnostics and the crate scoping.
+pub fn check_path(root: &Path, file: &Path, options: CheckOptions) -> Vec<Finding> {
+    let rel = file
+        .strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/");
+    // Lossy decoding keeps the tool total on any byte soup; Rust sources
+    // are UTF-8 so real files round-trip exactly.
+    let Ok(bytes) = fs::read(file) else {
+        return vec![Finding {
+            path: rel,
+            line: 1,
+            col: 1,
+            rule: "suppression-needs-reason",
+            message: "unreadable file".to_owned(),
+        }];
+    };
+    let src = String::from_utf8_lossy(&bytes);
+    check_file(&rel, &src, options)
+}
+
+/// Check every `crates/*/src/**/*.rs` under `root`. Findings come back in
+/// path order, then line order.
+pub fn check_workspace(root: &Path) -> Vec<Finding> {
+    let crates_dir = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates_dir) else { return Vec::new() };
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut findings = Vec::new();
+    for crate_dir in crate_dirs {
+        let src_dir = crate_dir.join("src");
+        let options =
+            CheckOptions { crate_has_proptests: src_dir.join("proptests.rs").is_file() };
+        let mut files = Vec::new();
+        rust_files(&src_dir, &mut files);
+        for file in files {
+            findings.extend(check_path(root, &file, options));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_root() {
+        let here = std::env::current_dir().expect("cwd");
+        let root = find_workspace_root(&here).expect("workspace root");
+        assert!(root.join("crates").is_dir());
+        assert!(root.join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn workspace_walk_sees_many_files() {
+        let here = std::env::current_dir().expect("cwd");
+        let root = find_workspace_root(&here).expect("workspace root");
+        let mut files = Vec::new();
+        rust_files(&root.join("crates"), &mut files);
+        assert!(files.len() > 50, "found {} files", files.len());
+        assert!(files.windows(2).all(|w| w[0] <= w[1]), "sorted walk");
+    }
+}

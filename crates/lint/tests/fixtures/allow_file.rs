@@ -1,0 +1,15 @@
+// lint-fixture-path: crates/model/src/demo_wide.rs
+//! Fixture: `lint:allow-file` silences a rule for the whole file, however
+//! far the findings sit from the comment. Zero findings expected.
+
+// lint:allow-file(no-silent-truncation) fixture: every cast here is masked first
+
+/// Masked narrowing, suppressed file-wide.
+pub fn low_byte(x: u64) -> u8 {
+    (x & 0xff) as u8
+}
+
+/// Far from the allow comment, still suppressed.
+pub fn low_half(x: u64) -> u32 {
+    (x & 0xffff_ffff) as u32
+}

@@ -1,0 +1,26 @@
+// lint-fixture-path: crates/serve/src/http.rs
+//! Fixture: request-fed allocations in the HTTP layer need a budget
+//! clamp. The naive `with_capacity` and the bare `read_to_end` are
+//! findings; the clamped and constant-sized variants are clean.
+
+/// A hostile Content-Length must not size the buffer: finding.
+pub fn naive(declared: usize) -> Vec<u8> {
+    Vec::with_capacity(declared)
+}
+
+/// Clamped against the budget: clean.
+pub fn clamped(declared: usize, max_body_bytes: usize) -> Vec<u8> {
+    Vec::with_capacity(declared.min(max_body_bytes))
+}
+
+/// Constant capacity: clean.
+pub fn constant() -> Vec<u8> {
+    Vec::with_capacity(4096)
+}
+
+/// A `read_to_end` with no visible budget marker: finding.
+pub fn slurp(stream: &mut impl std::io::Read) -> std::io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    Ok(buf)
+}

@@ -1,0 +1,25 @@
+// lint-fixture-path: crates/par/src/demo2.rs
+//! Fixture: unbounded channels and guards held across queue handoffs.
+//! `mpsc::channel()` and the send-under-guard are findings; the bounded
+//! constructor and the guard-dropped-first variant are clean.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// The unbounded constructor is a finding; the bounded one is not.
+pub fn channels() -> (mpsc::Sender<u32>, mpsc::SyncSender<u32>) {
+    let (unbounded, _rx) = mpsc::channel();
+    let (bounded, _rx2) = mpsc::sync_channel(8);
+    (unbounded, bounded)
+}
+
+/// Sending while the guard from `.lock()` is still live is a finding.
+pub fn guarded_send(state: &Mutex<u32>, tx: &mpsc::SyncSender<u32>) -> bool {
+    state.lock().map(|guard| tx.send(*guard)).is_ok()
+}
+
+/// Dropping the guard before the handoff is clean.
+pub fn staged_send(state: &Mutex<u32>, tx: &mpsc::SyncSender<u32>) -> bool {
+    let value = { state.lock().map(|g| *g).unwrap_or(0) };
+    tx.send(value).is_ok()
+}

@@ -1,0 +1,18 @@
+// lint-fixture-path: crates/serve/src/clean.rs
+//! Fixture: a hot-path file with zero findings — total lookups, widening
+//! casts only, errors as values.
+
+/// Total lookup: no indexing, no unwrap.
+pub fn lookup(values: &[u32], i: usize) -> Option<u32> {
+    values.get(i).copied()
+}
+
+/// Widening casts are fine; only narrowing ones are flagged.
+pub fn widen(x: u16) -> u64 {
+    u64::from(x) + (x as u64)
+}
+
+/// Errors propagate as values.
+pub fn parse(text: &str) -> Result<u32, std::num::ParseIntError> {
+    text.parse()
+}

@@ -1,0 +1,22 @@
+// lint-fixture-path: crates/query/src/demo.rs
+//! Fixture: wall-clock reads in a determinism-layer crate. Both reads in
+//! `stamp` are findings; the one inside `#[cfg(test)]` is exempt.
+
+use std::time::{Instant, SystemTime};
+
+/// Both clock reads are findings: query results must be reproducible.
+pub fn stamp() -> (Instant, SystemTime) {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    (t0, wall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_read_the_clock() {
+        let _ = Instant::now();
+    }
+}

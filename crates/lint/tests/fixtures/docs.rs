@@ -1,0 +1,33 @@
+// lint-fixture-path: crates/codes/src/lib.rs
+//! Fixture: pub fns in a crate root need doc comments. The two
+//! undocumented ones are findings; attributes between the doc comment and
+//! the `pub` do not hide the docs, and private fns are exempt.
+
+/// Documented: clean.
+pub fn documented() -> u32 {
+    1
+}
+
+#[inline]
+/// Documented even with an attribute before the doc comment: clean.
+pub fn attributed() -> u32 {
+    2
+}
+
+pub fn undocumented() -> u32 {
+    3
+}
+
+/// Docs above the attribute also count: clean.
+#[inline]
+pub fn doc_then_attr() -> u32 {
+    4
+}
+
+pub(crate) fn scoped_undocumented() -> u32 {
+    5
+}
+
+fn private_needs_no_docs() -> u32 {
+    6
+}

@@ -1,0 +1,37 @@
+// lint-fixture-path: crates/serve/src/demo.rs
+//! Fixture: panic-prone constructs in a hot-path crate. Every line that
+//! appears in the golden file is an intentional violation; the string
+//! literal and the `#[cfg(test)]` block must stay silent.
+
+/// Sum helper with several latent panics.
+pub fn summarize(values: &[u32], text: &str) -> u32 {
+    let first = values.first().unwrap();
+    let second = values[1];
+    let parsed: u32 = text.parse().expect("numeric");
+    if *first > second {
+        panic!("backwards");
+    }
+    match parsed {
+        0 => unreachable!("zero was filtered upstream"),
+        n => n + second,
+    }
+}
+
+/// Mentions of unwrap() and panic! inside string literals are data, not
+/// code, and must not be flagged.
+pub fn describe() -> &'static str {
+    "call unwrap() or panic! at your peril"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v = [1u32, 3];
+        assert_eq!(summarize(&v, "2"), 5);
+        let _ = v.first().unwrap();
+        let _ = v[0];
+    }
+}

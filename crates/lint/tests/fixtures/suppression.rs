@@ -1,0 +1,35 @@
+// lint-fixture-path: crates/par/src/demo.rs
+//! Fixture: suppression semantics. A reasoned `lint:allow` on the line of
+//! (or directly above) a finding silences it; a reasonless one silences
+//! the finding but is itself reported; an unknown rule id is reported and
+//! suppresses nothing; an allow two lines up is out of range.
+
+/// Suppressed with a reason on the line above: no finding.
+pub fn covered(values: &[u32]) -> u32 {
+    // lint:allow(no-panic-hot-path) fixture: bound checked by every caller
+    values[0]
+}
+
+/// Trailing same-line suppression with a reason: no finding.
+pub fn trailing(values: &[u32]) -> u32 {
+    *values.first().unwrap() // lint:allow(no-panic-hot-path) fixture: non-empty by contract
+}
+
+/// A reasonless allow silences the unwrap but is itself a finding.
+pub fn reasonless(values: &[u32]) -> u32 {
+    // lint:allow(no-panic-hot-path)
+    *values.first().unwrap()
+}
+
+/// Naming an unknown rule is a finding, and the indexing is not suppressed.
+pub fn unknown_rule(values: &[u32]) -> u32 {
+    // lint:allow(no-such-rule) typo in the rule id
+    values[0]
+}
+
+/// Too far away: an allow followed by a blank line does not reach here.
+pub fn out_of_range(values: &[u32]) -> u32 {
+    // lint:allow(no-panic-hot-path) fixture: this comment is one line too high
+
+    *values.first().unwrap()
+}

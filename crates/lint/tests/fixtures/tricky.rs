@@ -1,0 +1,31 @@
+// lint-fixture-path: crates/serve/src/tricky.rs
+//! Fixture: lexer stress. Panic words hidden in raw strings, nested block
+//! comments, byte strings, and char literals must not be flagged; the one
+//! real construct at the end must be.
+
+/// Raw strings may contain quotes and panic words.
+pub fn raw() -> &'static str {
+    r#"this "quoted" text says unwrap() and panic!("boom")"#
+}
+
+/// Byte strings and raw byte strings too.
+pub fn bytes() -> &'static [u8] {
+    br##"values[0].expect("nope") and a "# inside"##
+}
+
+/* A nested /* block comment /* three deep */ mentioning */ panic!("x") */
+
+/// Char literals are not lifetimes: '[' and '"' and '\n' stay characters.
+pub fn chars() -> (char, char, char) {
+    ('[', '"', '\n')
+}
+
+/// Lifetimes lex as lifetimes even next to strings.
+pub fn lifetime<'a>(s: &'a str) -> &'a str {
+    s
+}
+
+/// The lexer resynchronizes: this real panic after all the soup is found.
+pub fn real() -> u32 {
+    todo!("the one intended finding in this file")
+}

@@ -1,0 +1,18 @@
+// lint-fixture-path: crates/model/src/demo.rs
+//! Fixture: narrowing casts in the model crate. `as u16` is a finding;
+//! checked and widening conversions are clean.
+
+/// `as u16` silently truncates: a finding.
+pub fn narrow(x: u64) -> u16 {
+    x as u16
+}
+
+/// Checked conversion: clean.
+pub fn checked(x: u64) -> Option<u16> {
+    u16::try_from(x).ok()
+}
+
+/// Widening: clean.
+pub fn widen(x: u16) -> u64 {
+    x as u64
+}

@@ -95,6 +95,46 @@ impl History {
         &self.store
     }
 
+    /// Deep invariant check (debug builds only; a no-op in release).
+    ///
+    /// Panics unless the row span lies inside the arena and its entries
+    /// are sorted by `(start, end)`. Does *not* re-validate the backing
+    /// store — arenas are shared, so callers validate each distinct store
+    /// once (see `Snapshot::debug_validate` in `pastas-serve`).
+    #[cfg(debug_assertions)]
+    pub fn debug_validate(&self) {
+        assert!(
+            self.lo <= self.hi,
+            "history {}: span [{}, {}) is reversed",
+            self.patient.id,
+            self.lo,
+            self.hi
+        );
+        assert!(
+            self.hi <= self.store.len_u32(),
+            "history {}: span end {} outside arena (len {})",
+            self.patient.id,
+            self.hi,
+            self.store.len()
+        );
+        let entries = self.entries();
+        for i in 1..entries.len() {
+            let (a, b) = (entries.get(i - 1), entries.get(i));
+            assert!(
+                (a.start(), a.end()) <= (b.start(), b.end()),
+                "history {}: rows {} and {} out of (start, end) order",
+                self.patient.id,
+                i - 1,
+                i
+            );
+        }
+    }
+
+    /// Deep invariant check (debug builds only; a no-op in release).
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    pub fn debug_validate(&self) {}
+
     /// Insert one entry, enforcing the §IV validation rule: entries dated
     /// before the patient's birth are ignored. Returns `true` if accepted.
     pub fn insert(&mut self, entry: Entry) -> bool {
@@ -122,7 +162,7 @@ impl History {
             store.push(e);
         }
         self.lo = 0;
-        self.hi = store.len() as u32;
+        self.hi = store.len_u32();
         self.store = Arc::new(store);
         true
     }
@@ -153,7 +193,7 @@ impl History {
             store.push(e);
         }
         self.lo = 0;
-        self.hi = store.len() as u32;
+        self.hi = store.len_u32();
         self.store = Arc::new(store);
         report
     }

@@ -59,6 +59,8 @@ proptest! {
         let mut h = History::new(patient());
         let n = entries.len();
         let report = h.insert_all(entries);
+        h.debug_validate();
+        h.store().debug_validate();
         prop_assert_eq!(report.accepted + report.dropped_pre_birth, n);
         prop_assert_eq!(h.len(), report.accepted);
         let es = h.entries();
@@ -77,6 +79,7 @@ proptest! {
     #[test]
     fn event_store_round_trip(entries in proptest::collection::vec(arb_entry(), 0..40)) {
         let store = EventStore::from_entries(&entries);
+        store.debug_validate();
         prop_assert_eq!(store.len(), entries.len());
         for (i, e) in entries.iter().enumerate() {
             let r = store.get(i as u32);

@@ -97,7 +97,8 @@ impl CodeInterner {
         {
             Ok(pos) => CodeId(self.sorted[pos]),
             Err(pos) => {
-                let id = self.codes.len() as u32;
+                let id = u32::try_from(self.codes.len())
+                    .expect("code interner holds < 2^32 distinct codes");
                 self.codes.push(code.clone());
                 self.sorted.insert(pos, id);
                 CodeId(id)
@@ -116,6 +117,41 @@ impl CodeInterner {
             + self.codes.iter().map(|c| c.value.len()).sum::<usize>()
             + self.sorted.len() * std::mem::size_of::<u32>()
     }
+
+    /// Deep invariant check (debug builds only; a no-op in release).
+    ///
+    /// Panics unless the sorted view is an exact permutation of the id
+    /// space, strictly increasing by `(value, system)` — i.e. sorted
+    /// *and* deduplicated, the property every binary-search lookup and
+    /// prefix probe relies on.
+    #[cfg(debug_assertions)]
+    pub fn debug_validate(&self) {
+        assert_eq!(
+            self.sorted.len(),
+            self.codes.len(),
+            "interner: sorted view and id space differ in length"
+        );
+        let mut seen = vec![false; self.codes.len()];
+        for &id in &self.sorted {
+            let slot = seen
+                .get_mut(id as usize)
+                .unwrap_or_else(|| panic!("interner: sorted view holds stray id {id}"));
+            assert!(!*slot, "interner: id {id} appears twice in the sorted view");
+            *slot = true;
+        }
+        for w in self.sorted.windows(2) {
+            let (a, b) = (&self.codes[w[0] as usize], &self.codes[w[1] as usize]);
+            assert!(
+                code_key(a) < code_key(b),
+                "interner: sorted view out of order or duplicated at {a:?} / {b:?}"
+            );
+        }
+    }
+
+    /// Deep invariant check (debug builds only; a no-op in release).
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    pub fn debug_validate(&self) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -203,6 +239,64 @@ impl EventStore {
         self.starts.len()
     }
 
+    /// Number of entries as the `u32` row-id type used by spans and the
+    /// query index. The arena addresses rows with `u32` by design; a
+    /// store that outgrows that is a logic error, so overflow panics
+    /// loudly instead of wrapping.
+    pub fn len_u32(&self) -> u32 {
+        u32::try_from(self.starts.len()).expect("event arena holds < 2^32 rows")
+    }
+
+    /// Deep invariant check (debug builds only; a no-op in release).
+    ///
+    /// Panics unless every parallel column has the same length, every
+    /// interval ends at or after it starts, every tag is a known payload
+    /// kind, and every `aux` word lands inside the structure it indexes
+    /// (interner, measurement side table, note side table, or episode
+    /// discriminant space). Also validates the shared interner.
+    #[cfg(debug_assertions)]
+    pub fn debug_validate(&self) {
+        let n = self.starts.len();
+        assert_eq!(self.ends.len(), n, "store: ends column length mismatch");
+        assert_eq!(self.sources.len(), n, "store: sources column length mismatch");
+        assert_eq!(self.tags.len(), n, "store: tags column length mismatch");
+        assert_eq!(self.aux.len(), n, "store: aux column length mismatch");
+        self.interner.debug_validate();
+        for i in 0..n {
+            assert!(
+                self.starts[i] <= self.ends[i],
+                "store: row {i} ends before it starts"
+            );
+            let tag = self.tags[i] & TAG_MASK;
+            let aux = self.aux[i] as usize;
+            match tag {
+                TAG_DIAGNOSIS | TAG_MEDICATION => assert!(
+                    aux < self.interner.len(),
+                    "store: row {i} code id {aux} outside interner (len {})",
+                    self.interner.len()
+                ),
+                TAG_MEASUREMENT => assert!(
+                    aux < self.measurements.len(),
+                    "store: row {i} measurement index {aux} outside side table"
+                ),
+                TAG_NOTE => assert!(
+                    aux < self.notes.len(),
+                    "store: row {i} note index {aux} outside side table"
+                ),
+                TAG_EPISODE => assert!(
+                    self.aux[i] <= 6,
+                    "store: row {i} episode discriminant {aux} unknown"
+                ),
+                other => panic!("store: row {i} has unknown payload tag {other}"),
+            }
+        }
+    }
+
+    /// Deep invariant check (debug builds only; a no-op in release).
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    pub fn debug_validate(&self) {}
+
     /// True if the store holds no entries.
     pub fn is_empty(&self) -> bool {
         self.starts.is_empty()
@@ -229,12 +323,16 @@ impl EventStore {
             }
             Payload::Measurement { kind, value } => {
                 self.measurements.push((*kind, *value));
-                (TAG_MEASUREMENT, (self.measurements.len() - 1) as u32)
+                let idx = u32::try_from(self.measurements.len() - 1)
+                    .expect("measurement side table holds < 2^32 rows");
+                (TAG_MEASUREMENT, idx)
             }
             Payload::Episode(k) => (TAG_EPISODE, episode_to_u32(*k)),
             Payload::Note(text) => {
                 self.notes.push(text.clone());
-                (TAG_NOTE, (self.notes.len() - 1) as u32)
+                let idx = u32::try_from(self.notes.len() - 1)
+                    .expect("note side table holds < 2^32 rows");
+                (TAG_NOTE, idx)
             }
         }
     }
@@ -321,6 +419,7 @@ impl EventStore {
             }
             n = base;
         }
+        // lint:allow(no-silent-truncation) n <= hi - lo, which is u32
         lo + n as u32
     }
 }
@@ -634,6 +733,7 @@ impl<'a> Entries<'a> {
     /// slice indexing did).
     pub fn get(&self, i: usize) -> EntryRef<'a> {
         assert!(i < self.len(), "entry index {i} out of bounds (len {})", self.len());
+        // lint:allow(no-silent-truncation) asserted i < len, and len fits u32
         EntryRef { store: self.store, idx: self.lo + i as u32 }
     }
 
@@ -821,11 +921,11 @@ impl CollectionBuilder {
             }
         }
         accepted.sort_by_key(|e| (e.start(), e.end()));
-        let lo = self.store.len() as u32;
+        let lo = self.store.len_u32();
         for e in &accepted {
             self.store.push(e);
         }
-        let hi = self.store.len() as u32;
+        let hi = self.store.len_u32();
         self.patients.push((patient, lo, hi));
         self.report.merge(&report);
         report
@@ -852,6 +952,37 @@ mod tests {
 
     fn t(y: i32, m: u32, d: u32) -> DateTime {
         Date::new(y, m, d).unwrap().at_midnight()
+    }
+
+    #[test]
+    fn debug_validate_accepts_a_healthy_store() {
+        let store = EventStore::from_entries(&sample_entries());
+        store.debug_validate();
+        store.interner().debug_validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "aux column length mismatch")]
+    fn debug_validate_catches_a_truncated_column() {
+        let mut store = EventStore::from_entries(&sample_entries());
+        store.aux.pop();
+        store.debug_validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside interner")]
+    fn debug_validate_catches_a_dangling_code_id() {
+        let mut store = EventStore::from_entries(&sample_entries());
+        store.aux[0] = u32::MAX; // row 0 is a diagnosis: aux is a CodeId
+        store.debug_validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted view out of order")]
+    fn debug_validate_catches_a_scrambled_interner() {
+        let mut store = EventStore::from_entries(&sample_entries());
+        Arc::make_mut(&mut store.interner).sorted.reverse();
+        store.debug_validate();
     }
 
     fn sample_entries() -> Vec<Entry> {

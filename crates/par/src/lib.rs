@@ -139,6 +139,7 @@ where
             let mut start = 0usize;
             for i in 0..threads {
                 let size = base + usize::from(i < rem);
+                // lint:allow(no-panic-hot-path) chunk sizes sum to len by construction
                 let chunk = &items[start..start + size];
                 let chunk_start = start;
                 let work = &work;
@@ -147,6 +148,7 @@ where
             }
             handles
                 .into_iter()
+                // lint:allow(no-panic-hot-path) re-raises the worker's own panic
                 .map(|h| h.join().expect("pastas-par worker panicked"))
                 .collect::<Vec<R>>()
         })
@@ -242,6 +244,7 @@ where
         chunk.iter().fold(make(), &fold)
     });
     let mut iter = chunks.into_iter();
+    // lint:allow(no-panic-hot-path) run_chunked spawns >= 1 chunk even for empty input
     let first = iter.next().expect("run_chunked returns at least one chunk");
     iter.fold(first, &mut merge)
 }
@@ -261,6 +264,7 @@ where
         std::thread::scope(|scope| {
             let hb = scope.spawn(b);
             let ra = a();
+            // lint:allow(no-panic-hot-path) re-raises the worker's own panic
             (ra, hb.join().expect("pastas-par join worker panicked"))
         })
     }

@@ -158,6 +158,10 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("pastas-pool-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // One-time pool construction, not a request path: if the OS
+                    // cannot spawn threads at startup the process has no useful
+                    // degraded mode to fall back to.
+                    // lint:allow(no-panic-hot-path) unrecoverable startup failure
                     .expect("spawn pool worker")
             })
             .collect();

@@ -100,6 +100,7 @@ impl CodeIndex {
                     .map(|c| {
                         values
                             .binary_search(&c.value.as_str())
+                            // lint:allow(no-panic-hot-path) phase 1 merged every value
                             .expect("interned value is in the merged vocabulary")
                             as u32
                     })
@@ -112,9 +113,11 @@ impl CodeIndex {
             let mut lists: Vec<Vec<u32>> = vec![Vec::new(); values.len()];
             for (offset, h) in chunk.iter().enumerate() {
                 let hi = (start + offset) as u32;
+                // lint:allow(no-panic-hot-path) store_of has one entry per history
                 let table = &tables[store_of[start + offset] as usize];
                 for e in h.entries() {
                     if let Some(id) = e.code_id() {
+                        // lint:allow(no-panic-hot-path) table maps every CodeId of its store
                         let list = &mut lists[table[id.0 as usize] as usize];
                         if list.last() != Some(&hi) {
                             list.push(hi);
@@ -130,6 +133,7 @@ impl CodeIndex {
         let mut merged: Vec<Vec<u32>> = vec![Vec::new(); values.len()];
         for lists in chunk_lists {
             for (slot, list) in lists.into_iter().enumerate() {
+                // lint:allow(no-panic-hot-path) every chunk allocates values.len() slots
                 merged[slot].extend(list);
             }
         }
@@ -149,12 +153,42 @@ impl CodeIndex {
         self.vocab.len()
     }
 
+    /// Deep invariant check (debug builds only; a no-op in release).
+    ///
+    /// Panics unless the vocabulary is strictly sorted (sorted *and*
+    /// deduplicated — what binary search and the prefix walk assume),
+    /// there is exactly one postings list per vocabulary slot, and every
+    /// postings list is strictly ascending (sorted and duplicate-free —
+    /// what the k-way candidate union assumes).
+    #[cfg(debug_assertions)]
+    pub fn debug_validate(&self) {
+        assert_eq!(
+            self.postings.len(),
+            self.vocab.len(),
+            "index: vocabulary and postings differ in length"
+        );
+        for (a, b) in self.vocab.iter().zip(self.vocab.iter().skip(1)) {
+            assert!(a < b, "index: vocabulary out of order or duplicated at {a:?} / {b:?}");
+        }
+        for (value, list) in self.vocab.iter().zip(&self.postings) {
+            for (a, b) in list.iter().zip(list.iter().skip(1)) {
+                assert!(a < b, "index: postings for {value:?} out of order or duplicated");
+            }
+        }
+    }
+
+    /// Deep invariant check (debug builds only; a no-op in release).
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    pub fn debug_validate(&self) {}
+
     /// The postings list for an exact code value, if indexed.
     fn probe(&self, value: &str) -> Option<&[u32]> {
         self.vocab
             .binary_search_by(|v| v.as_ref().cmp(value))
             .ok()
-            .map(|i| self.postings[i].as_slice())
+            .and_then(|i| self.postings.get(i))
+            .map(Vec::as_slice)
     }
 
     /// History positions whose entries contain a code fully matching the
@@ -179,6 +213,7 @@ impl CodeIndex {
         } else {
             let prefix = info.prefix.as_str();
             let start = self.vocab.partition_point(|v| v.as_ref() < prefix);
+            // lint:allow(no-panic-hot-path) partition_point returns start <= len
             for (value, list) in self.vocab[start..].iter().zip(&self.postings[start..]) {
                 if !value.starts_with(prefix) {
                     break;
@@ -240,6 +275,7 @@ impl CodeIndex {
         match query.positive_code_regexes().and_then(|ps| self.candidates_for_patterns(&ps)) {
             Some(candidates) => {
                 let keep = pastas_par::par_map_min(&candidates, PAR_MIN_HISTORIES, |&i| {
+                    // lint:allow(no-panic-hot-path) postings hold valid history positions
                     query.matches(&histories[i as usize])
                 });
                 candidates

@@ -89,6 +89,7 @@ pub fn sort_histories(collection: &HistoryCollection, key: &SortKey) -> Vec<u32>
         }
     };
     let keys = pastas_par::par_map(hs, |h| sort_value(h));
+    // lint:allow(no-panic-hot-path) order holds indices 0..hs.len(), one key each
     order.sort_by_key(|&i| keys[i as usize]);
     order
 }

@@ -78,6 +78,7 @@ impl P<'_> {
     }
 
     fn rest(&self) -> &str {
+        // lint:allow(no-panic-hot-path) pos advances by whole chars, stays <= len
         &self.text[self.pos..]
     }
 
@@ -101,7 +102,7 @@ impl P<'_> {
         false
     }
 
-    fn expect(&mut self, token: &str) -> Result<(), QueryParseError> {
+    fn eat(&mut self, token: &str) -> Result<(), QueryParseError> {
         if self.rest().starts_with(token) {
             self.pos += token.len();
             self.ws();
@@ -117,6 +118,7 @@ impl P<'_> {
             branches.push(self.and_expr()?);
         }
         Ok(if branches.len() == 1 {
+            // lint:allow(no-panic-hot-path) len == 1 checked on the line above
             branches.pop().expect("one branch")
         } else {
             HistoryQuery::Or(branches)
@@ -129,6 +131,7 @@ impl P<'_> {
             parts.push(self.not_expr()?);
         }
         Ok(if parts.len() == 1 {
+            // lint:allow(no-panic-hot-path) len == 1 checked on the line above
             parts.pop().expect("one part")
         } else {
             HistoryQuery::And(parts)
@@ -144,9 +147,9 @@ impl P<'_> {
 
     fn primary(&mut self) -> Result<HistoryQuery, QueryParseError> {
         if self.rest().starts_with('(') {
-            self.expect("(")?;
+            self.eat("(")?;
             let q = self.or_expr()?;
-            self.expect(")")?;
+            self.eat(")")?;
             return Ok(q);
         }
         if self.keyword("has") {
@@ -167,10 +170,10 @@ impl P<'_> {
                 regex => self.compile(regex)?,
             };
             let at_least = if self.rest().starts_with(">=") {
-                self.expect(">=")?;
+                self.eat(">=")?;
                 true
             } else if self.rest().starts_with("<=") {
-                self.expect("<=")?;
+                self.eat("<=")?;
                 false
             } else {
                 return Err(self.err("expected >= or <= after count(...)"));
@@ -183,11 +186,11 @@ impl P<'_> {
             });
         }
         if self.keyword("age") {
-            self.expect("(")?;
+            self.eat("(")?;
             let min = self.integer()?;
-            self.expect("..")?;
+            self.eat("..")?;
             let max = self.integer()?;
-            self.expect(")")?;
+            self.eat(")")?;
             if max < min {
                 return Err(self.err("age range is reversed"));
             }
@@ -198,7 +201,7 @@ impl P<'_> {
             });
         }
         if self.keyword("sex") {
-            self.expect("(")?;
+            self.eat("(")?;
             let sex = if self.keyword("F") {
                 Sex::Female
             } else if self.keyword("M") {
@@ -206,7 +209,7 @@ impl P<'_> {
             } else {
                 return Err(self.err("expected F or M"));
             };
-            self.expect(")")?;
+            self.eat(")")?;
             return Ok(HistoryQuery::SexIs(sex));
         }
         Err(self.err("expected a clause: has/lacks/count/age/sex, or a parenthesized query"))
@@ -214,7 +217,7 @@ impl P<'_> {
 
     /// Read `( … )` with balanced nested parens; returns the inside.
     fn paren_regex(&mut self) -> Result<String, QueryParseError> {
-        self.expect("(")?;
+        self.eat("(")?;
         let start = self.pos;
         let mut depth = 1usize;
         for (i, c) in self.rest().char_indices() {
@@ -223,6 +226,7 @@ impl P<'_> {
                 ')' => {
                     depth -= 1;
                     if depth == 0 {
+                        // lint:allow(no-panic-hot-path) i is a char_indices offset of rest()
                         let inner = self.text[start..start + i].to_owned();
                         self.pos = start + i + 1;
                         self.ws();

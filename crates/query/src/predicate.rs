@@ -86,6 +86,7 @@ impl EntryPredicate {
             },
             EntryPredicate::IsInterval => entry.is_interval(),
             EntryPredicate::InWindow { from, to } => {
+                // lint:allow(no-panic-hot-path) 23:59:59 is a valid constant clock time
                 entry.overlaps_window(from.at_midnight(), to.at(23, 59, 59).expect("valid clock"))
             }
             EntryPredicate::And(ps) => ps.iter().all(|p| p.matches(entry)),

@@ -37,6 +37,7 @@ proptest! {
         let negate = negate_i == 1;
         let c = generate_collection(SynthConfig::with_patients(patients as usize), seed);
         let idx = CodeIndex::build(&c);
+        idx.debug_validate();
         let q = build_query(PATTERNS[pattern_i as usize], negate);
         let reference = pastas_par::with_threads(1, || select_scan(&c, &q));
         for threads in THREADS {

@@ -259,6 +259,7 @@ impl QueryBuilder {
     pub fn build(self) -> HistoryQuery {
         match self.clauses.len() {
             0 => HistoryQuery::All,
+            // lint:allow(no-panic-hot-path) this match arm proved len == 1
             1 => self.clauses.into_iter().next().expect("one clause"),
             _ => HistoryQuery::And(self.clauses),
         }

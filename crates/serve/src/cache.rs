@@ -127,6 +127,59 @@ impl ResponseCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Deep invariant check (debug builds only; a no-op in release).
+    ///
+    /// Panics unless the byte accounting is *exact* — the cached `bytes`
+    /// counter equals the recomputed sum of resident body lengths — and
+    /// both LRU bounds hold, and no slot claims a recency tick from the
+    /// future.
+    #[cfg(debug_assertions)]
+    pub fn debug_validate(&self) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let actual: usize = inner.slots.values().map(|s| s.response.body.len()).sum();
+        assert_eq!(
+            inner.bytes, actual,
+            "cache: byte accounting drifted (counter {} vs resident {})",
+            inner.bytes, actual
+        );
+        assert!(
+            inner.slots.len() <= self.max_entries,
+            "cache: {} entries exceed the bound {}",
+            inner.slots.len(),
+            self.max_entries
+        );
+        assert!(
+            inner.bytes <= self.max_bytes,
+            "cache: {} bytes exceed the budget {}",
+            inner.bytes,
+            self.max_bytes
+        );
+        for (key, slot) in &inner.slots {
+            assert!(
+                slot.last_used <= inner.tick,
+                "cache: entry {key:?} used at tick {} but the clock is at {}",
+                slot.last_used,
+                inner.tick
+            );
+        }
+    }
+
+    /// Deep invariant check (debug builds only; a no-op in release).
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    pub fn debug_validate(&self) {}
+
+    /// Fault injection for the poisoned-lock regression test: panic while
+    /// holding the cache mutex, leaving it poisoned. Debug builds only —
+    /// the `/__fault` route behind it does not exist in release binaries.
+    #[cfg(debug_assertions)]
+    #[doc(hidden)]
+    pub fn poison_for_test(&self) {
+        let _guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // lint:allow(no-panic-hot-path) deliberate fault injection, debug builds only
+        panic!("injected fault: poisoning the response-cache lock");
+    }
 }
 
 #[cfg(test)]

@@ -132,7 +132,10 @@ impl Conn {
             match self.stream.read(&mut chunk) {
                 Ok(0) => return Ok(false),
                 Ok(n) => {
-                    self.buf.extend_from_slice(&chunk[..n]);
+                    let filled = chunk
+                        .get(..n)
+                        .ok_or_else(|| io::Error::from(io::ErrorKind::InvalidData))?;
+                    self.buf.extend_from_slice(filled);
                     return Ok(true);
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,

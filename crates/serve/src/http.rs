@@ -162,8 +162,8 @@ impl<R: Read> RequestReader<R> {
         // Split off the head; keep everything after it buffered.
         let rest = self.buf.split_off(head_end.total);
         let head = std::mem::replace(&mut self.buf, rest);
-        let head_text = std::str::from_utf8(&head[..head_end.head])
-            .map_err(|_| HttpError::BadHeader)?;
+        let head_bytes = head.get(..head_end.head).ok_or(HttpError::BadHeader)?;
+        let head_text = std::str::from_utf8(head_bytes).map_err(|_| HttpError::BadHeader)?;
         let mut parsed = parse_head(head_text, &self.limits)?;
         let body_len = content_length(&parsed)?;
         if body_len > self.limits.max_body_bytes {
@@ -215,7 +215,11 @@ impl<R: Read> RequestReader<R> {
             match self.inner.read(&mut chunk) {
                 Ok(0) => return Ok(()),
                 Ok(n) => {
-                    self.buf.extend_from_slice(&chunk[..n]);
+                    // A broken Read impl may report n > chunk.len(); treat it
+                    // as a protocol error instead of panicking the worker.
+                    let filled =
+                        chunk.get(..n).ok_or(HttpError::Io(io::ErrorKind::InvalidData))?;
+                    self.buf.extend_from_slice(filled);
                     return Ok(());
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -237,11 +241,11 @@ struct HeadEnd {
 fn find_head_end(buf: &[u8], from: usize) -> Option<HeadEnd> {
     let start = from.min(buf.len());
     for i in start..buf.len() {
-        if buf[i] == b'\n' {
-            if i + 1 < buf.len() && buf[i + 1] == b'\n' {
+        if buf.get(i) == Some(&b'\n') {
+            if buf.get(i + 1) == Some(&b'\n') {
                 return Some(HeadEnd { head: i + 1, total: i + 2 });
             }
-            if i + 2 < buf.len() && buf[i + 1] == b'\r' && buf[i + 2] == b'\n' {
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
                 return Some(HeadEnd { head: i + 1, total: i + 3 });
             }
         }
@@ -323,27 +327,33 @@ fn parse_query_string(q: &str) -> Vec<(String, String)> {
         .collect()
 }
 
+/// Capacity hint ceiling for [`percent_decode`]: the output is never
+/// longer than the input, but the pre-allocation itself must not be
+/// sized by an unclamped request-derived length.
+const DECODE_CAPACITY_CLAMP: usize = 8 * 1024;
+
 /// Percent-decode (`%41` → `A`, `+` → space). Invalid escapes pass
 /// through literally — decoding never fails.
 pub fn percent_decode(s: &str) -> String {
     let bytes = s.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
+    let mut out = Vec::with_capacity(bytes.len().min(DECODE_CAPACITY_CLAMP));
+    // A hex digit as its nibble value; `None` for non-hex or end of input.
+    let nibble = |b: Option<&u8>| {
+        b.and_then(|&b| (b as char).to_digit(16)).and_then(|d| u8::try_from(d).ok())
+    };
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'%' if i + 2 < bytes.len() => {
-                let hex = |b: u8| (b as char).to_digit(16);
-                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
-                    (Some(hi), Some(lo)) => {
-                        out.push((hi * 16 + lo) as u8);
-                        i += 3;
-                    }
-                    _ => {
-                        out.push(b'%');
-                        i += 1;
-                    }
+    while let Some(&b) = bytes.get(i) {
+        match b {
+            b'%' => match (nibble(bytes.get(i + 1)), nibble(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
                 }
-            }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
             b'+' => {
                 out.push(b' ');
                 i += 1;

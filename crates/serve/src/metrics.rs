@@ -25,6 +25,8 @@ pub struct Metrics {
     shed_total: AtomicU64,
     /// Connections dropped for parse/read failures.
     bad_requests: AtomicU64,
+    /// Handler panics converted to 500s by the connection loop's catch.
+    handler_panics: AtomicU64,
     ring: Vec<AtomicU64>,
     ring_next: AtomicUsize,
 }
@@ -46,6 +48,7 @@ impl Metrics {
             responses_5xx: AtomicU64::new(0),
             shed_total: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
+            handler_panics: AtomicU64::new(0),
             ring: (0..RING).map(|_| AtomicU64::new(u64::MAX)).collect(),
             ring_next: AtomicUsize::new(0),
         }
@@ -62,6 +65,7 @@ impl Metrics {
         class.fetch_add(1, Ordering::Relaxed);
         let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX - 1);
         let slot = self.ring_next.fetch_add(1, Ordering::Relaxed) % RING;
+        // lint:allow(no-panic-hot-path) slot < RING == ring.len() by the modulo
         self.ring[slot].store(micros, Ordering::Relaxed);
     }
 
@@ -73,6 +77,16 @@ impl Metrics {
     /// Record a connection that died on a malformed request.
     pub fn record_bad_request(&self) {
         self.bad_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a handler panic caught and converted to a 500.
+    pub fn record_handler_panic(&self) {
+        self.handler_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Handler panics caught so far.
+    pub fn handler_panics(&self) -> u64 {
+        self.handler_panics.load(Ordering::Relaxed)
     }
 
     /// Requests served (any status).
@@ -100,6 +114,7 @@ impl Metrics {
         sample.sort_unstable();
         let at = |q: f64| {
             let idx = ((sample.len() - 1) as f64 * q).round() as usize;
+            // lint:allow(no-panic-hot-path) q <= 1.0 keeps idx <= len - 1
             sample[idx] as f64 / 1e3
         };
         (at(0.50), (at(0.99)))
@@ -117,7 +132,8 @@ impl Metrics {
             out,
             "\"uptime_s\":{:.1},\"requests_total\":{},\"responses_2xx\":{},\
              \"responses_4xx\":{},\"responses_5xx\":{},\"shed_total\":{},\
-             \"bad_requests\":{},\"latency_p50_ms\":{p50:.3},\"latency_p99_ms\":{p99:.3}",
+             \"bad_requests\":{},\"handler_panics\":{},\
+             \"latency_p50_ms\":{p50:.3},\"latency_p99_ms\":{p99:.3}",
             self.started.elapsed().as_secs_f64(),
             self.requests_total.load(Ordering::Relaxed),
             self.responses_2xx.load(Ordering::Relaxed),
@@ -125,6 +141,7 @@ impl Metrics {
             self.responses_5xx.load(Ordering::Relaxed),
             self.shed_total.load(Ordering::Relaxed),
             self.bad_requests.load(Ordering::Relaxed),
+            self.handler_panics.load(Ordering::Relaxed),
         );
         for (name, value) in extra {
             if value.fract() == 0.0 && value.abs() < 1e15 {

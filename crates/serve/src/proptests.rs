@@ -164,4 +164,31 @@ proptest! {
         let results = drain(head.into_bytes(), vec![7], limits);
         prop_assert_eq!(results.last(), Some(&Err(HttpError::BodyTooLarge)));
     }
+
+    /// Arbitrary put/get interleavings keep the LRU cache's deep
+    /// invariants: exact byte accounting and both bounds, checked by
+    /// `debug_validate` after every operation.
+    #[test]
+    fn cache_invariants_hold_under_arbitrary_workloads(
+        max_entries in 1usize..6,
+        max_bytes in 1usize..64,
+        ops in proptest::collection::vec(
+            (0u8..2, 0u8..8, proptest::collection::vec(proptest::strategy::any::<u8>(), 0..24)),
+            0..40,
+        ),
+    ) {
+        use crate::cache::ResponseCache;
+        use crate::http::Response;
+        use std::sync::Arc;
+        let cache = ResponseCache::new(max_entries, max_bytes);
+        for (op, key, body) in ops {
+            let key = format!("k{key}");
+            if op == 0 {
+                cache.put(key, Arc::new(Response::text(200, body)));
+            } else {
+                let _ = cache.get(&key);
+            }
+            cache.debug_validate();
+        }
+    }
 }

@@ -64,6 +64,9 @@ fn error_json(status: u16, message: &str) -> Response {
 }
 
 /// Route one request. Never panics: every failure path is a status code.
+/// (Sole exception: the debug-only `/__fault/cache-poison` route panics
+/// by design, to exercise the connection loop's catch and the poisoned-
+/// lock recovery — it is compiled out of release binaries.)
 pub fn route(req: &Request, ctx: &RouterCtx) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok"),
@@ -74,6 +77,15 @@ pub fn route(req: &Request, ctx: &RouterCtx) -> Response {
         ("GET", "/cohort.txt") => cohort_txt(req, ctx),
         ("GET", "/details") => details(req, ctx),
         ("GET", path) if path.starts_with("/timeline/") => timeline(path, ctx),
+        // Fault injection for the poisoned-lock regression test: panics
+        // while holding the cache mutex. Debug builds only — the route
+        // does not exist in a release binary.
+        #[cfg(debug_assertions)]
+        ("POST", "/__fault/cache-poison") => {
+            ctx.cache.poison_for_test();
+            // lint:allow(no-panic-hot-path) deliberate fault injection, debug builds only
+            unreachable!("poison_for_test always panics")
+        }
         (_, "/select" | "/command" | "/cohort.svg" | "/cohort.txt" | "/details" | "/metrics") => {
             error_json(405, "method not allowed")
         }
@@ -231,7 +243,7 @@ fn cohort_txt(req: &Request, ctx: &RouterCtx) -> Response {
 
 fn timeline(path: &str, ctx: &RouterCtx) -> Response {
     let snapshot = ctx.state.snapshot();
-    let raw = &path["/timeline/".len()..];
+    let raw = path.get("/timeline/".len()..).unwrap_or_default();
     let Ok(id) = raw.trim_start_matches('P').parse::<u64>() else {
         return error_json(400, &format!("bad patient id {raw:?}"));
     };

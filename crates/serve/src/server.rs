@@ -106,6 +106,8 @@ pub fn start(ctx: RouterCtx, config: ServerConfig) -> io::Result<ServerHandle> {
         std::thread::Builder::new()
             .name("pastas-serve-acceptor".to_owned())
             .spawn(move || accept_loop(listener, shared, submit))
+            // One-time server startup, not a request path.
+            // lint:allow(no-panic-hot-path) unrecoverable startup failure
             .expect("spawn acceptor")
     };
 
@@ -195,7 +197,17 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared) {
         match reader.next_request() {
             Ok(request) => {
                 let t0 = Instant::now();
-                let response = route(&request, &shared.ctx);
+                // A panicking handler must cost one 500, not a pool worker:
+                // the catch keeps the keep-alive loop (and the worker
+                // running it) alive, and poisoned locks recover on the next
+                // use via `unwrap_or_else(PoisonError::into_inner)`.
+                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || route(&request, &shared.ctx),
+                ))
+                .unwrap_or_else(|_| {
+                    shared.ctx.metrics.record_handler_panic();
+                    Response::json(500, "{\"error\":\"internal handler panic\"}")
+                });
                 let status = response.status;
                 let draining = shared.draining.load(Ordering::SeqCst);
                 let last = request.wants_close()

@@ -37,6 +37,31 @@ impl Snapshot {
             self.workbench.collection_fingerprint()
         )
     }
+
+    /// Deep invariant check (debug builds only; a no-op in release).
+    ///
+    /// Run at every publication: validates each history's span and
+    /// ordering, each *distinct* backing arena exactly once (collections
+    /// usually share one store, so this stays O(entries), not
+    /// O(histories × entries)), and the inverted code index.
+    #[cfg(debug_assertions)]
+    pub fn debug_validate(&self) {
+        let mut seen_stores = Vec::new();
+        for history in self.workbench.collection().histories() {
+            history.debug_validate();
+            let ptr = std::sync::Arc::as_ptr(history.store());
+            if !seen_stores.contains(&ptr) {
+                seen_stores.push(ptr);
+                history.store().debug_validate();
+            }
+        }
+        self.workbench.index().debug_validate();
+    }
+
+    /// Deep invariant check (debug builds only; a no-op in release).
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    pub fn debug_validate(&self) {}
 }
 
 /// The swap point.
@@ -51,12 +76,10 @@ impl ServeState {
     /// Publish an initial workbench as version 1.
     pub fn new(workbench: Workbench) -> ServeState {
         let reference_date = reference_date_of(&workbench);
+        let initial = Arc::new(Snapshot { workbench, version: 1, reference_date });
+        initial.debug_validate();
         ServeState {
-            current: RwLock::new(Arc::new(Snapshot {
-                workbench,
-                version: 1,
-                reference_date,
-            })),
+            current: RwLock::new(initial),
             write: Mutex::new(()),
             version: AtomicU64::new(1),
         }
@@ -95,6 +118,9 @@ impl ServeState {
         let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
         let reference_date = reference_date_of(&workbench);
         let next = Arc::new(Snapshot { workbench, version, reference_date });
+        // Debug builds prove the deep invariants of everything the
+        // readers are about to share; release builds skip the walk.
+        next.debug_validate();
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = next;
         version
     }
@@ -108,6 +134,7 @@ fn reference_date_of(workbench: &Workbench) -> Date {
         .stats()
         .last
         .map(|dt| dt.date())
+        // lint:allow(no-panic-hot-path) 2013-01-01 is a valid constant date
         .unwrap_or_else(|| Date::new(2013, 1, 1).expect("valid"))
 }
 

@@ -181,3 +181,34 @@ fn graceful_shutdown_finishes_inflight_work_and_refuses_new() {
         }
     }
 }
+
+/// A handler panic — injected while holding the response-cache mutex, the
+/// worst case — must cost exactly one 500. The worker survives, the same
+/// connection keeps serving, and the poisoned lock recovers on next use.
+/// Debug builds only: the `/__fault` route is compiled out of release.
+#[cfg(debug_assertions)]
+#[test]
+fn handler_panic_returns_500_and_the_worker_survives() {
+    let server = start(2, 16);
+    let mut conn = Conn::connect(server.addr(), TIMEOUT).unwrap();
+
+    // Warm the cache so post-fault hits exercise the poisoned mutex.
+    let before = conn.post("/select", b"has(T90)").unwrap();
+    assert_eq!(before.status, 200);
+
+    let fault = conn.post("/__fault/cache-poison", b"").unwrap();
+    assert_eq!(fault.status, 500, "injected panic surfaces as a 500");
+    assert!(fault.body_str().contains("internal handler panic"));
+
+    // Same connection, same worker: the keep-alive loop survived the
+    // panic and the cache lock recovered via PoisonError::into_inner.
+    let after = conn.post("/select", b"has(T90)").unwrap();
+    assert_eq!(after.status, 200, "worker and poisoned cache both recovered");
+    assert_eq!(after.body_str(), before.body_str());
+
+    let metrics = conn.get("/metrics").unwrap().body_str().into_owned();
+    assert!(metrics.contains("\"worker_panics\":0"), "pool workers unharmed: {metrics}");
+    assert!(metrics.contains("\"handler_panics\":1"), "panic was counted: {metrics}");
+
+    server.shutdown();
+}

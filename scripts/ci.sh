@@ -1,6 +1,7 @@
 #!/bin/bash
-# CI gate: release build, full test suite, and a warning-free clippy pass
-# over every target (benches and examples included). Stricter than
+# CI gate: release build, full test suite, the repo's own static-analysis
+# pass (pastas-lint), and a warning-free clippy pass over every target
+# (benches and examples included). Stricter than
 # scripts/tier1.sh (which trades lint coverage for a paper-scale smoke
 # run); run both before merging.
 #
@@ -20,6 +21,10 @@ stage() {
 
 stage "cargo build --release" cargo build --release
 stage "cargo test" cargo test -q
+# Repo-specific invariants (DESIGN.md §9): no panics on hot paths, no
+# wall clocks in determinism layers, budget-clamped allocations, …
+# Non-zero exit on any finding fails the gate.
+stage "lint (pastas-lint)" cargo run -q -p pastas-lint -- --workspace
 stage "cargo clippy (deny warnings)" cargo clippy --all-targets -- -D warnings
 # Loopback smoke of the serve layer: starts a real server on an
 # OS-assigned port, fires every endpoint, asserts 200s, a response-cache
