@@ -7,9 +7,10 @@
 //! `examples/cohort_selection_168k.rs`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pastas_bench::{base_scale, cohort, header, par_ratio_row};
+use pastas_bench::{base_scale, cohort, header, median_ms, par_ratio_row};
 use pastas_query::index::select_scan;
-use pastas_query::{CodeIndex, QueryBuilder};
+use pastas_query::{CodeIndex, QueryBuilder, QueryPlan};
+use std::fmt::Write as _;
 
 fn bench(c: &mut Criterion) {
     header(
@@ -72,6 +73,58 @@ fn bench(c: &mut Criterion) {
     c.bench_function("e5_selection_compound", |b| {
         b.iter(|| index.select(&collection, &compound))
     });
+
+    // Scan-vs-planned ablation across the query shapes the planner
+    // exists for: positive, negated, and compound-with-negation. The old
+    // engine index-served only the first; the other two fell back to a
+    // full scan. Writes BENCH_plan.json at the repo root.
+    let negated = QueryBuilder::new().lacks_code("T90|T89|E1[014].*").expect("regex").build();
+    let compound_negated = QueryBuilder::new()
+        .has_code("K8[5-7]|I1[0-5].*")
+        .expect("regex")
+        .lacks_code("T90|T89|E1[014].*")
+        .expect("regex")
+        .age_between(pastas_time::Date::new(2013, 1, 1).expect("date"), 40, 120)
+        .build();
+    let shapes: [(&str, &pastas_query::HistoryQuery); 3] = [
+        ("positive", &query),
+        ("negated", &negated),
+        ("compound_negated", &compound_negated),
+    ];
+    let mut json = String::from("{\n  \"experiment\": \"plan\",\n");
+    let _ = writeln!(json, "  \"patients\": {n},");
+    json.push_str("  \"queries\": [\n");
+    eprintln!("query shape        | scan ms | planned ms | speedup | matched | full_scan");
+    for (i, (name, q)) in shapes.iter().enumerate() {
+        let plan = QueryPlan::build(&index, &collection, q);
+        let planned = plan.execute(&collection, &index);
+        let scanned = select_scan(&collection, q);
+        assert_eq!(planned, scanned, "{name}: planner must agree with the scan");
+        let scan_ms = median_ms(|| {
+            std::hint::black_box(select_scan(&collection, q));
+        });
+        let plan_ms = median_ms(|| {
+            std::hint::black_box(plan.execute(&collection, &index));
+        });
+        eprintln!(
+            "{name:<18} | {scan_ms:>7.2} | {plan_ms:>10.2} | {:>6.1}x | {:>7} | {}",
+            scan_ms / plan_ms,
+            planned.len(),
+            plan.uses_full_scan()
+        );
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{name}\", \"scan_ms\": {scan_ms:.3}, \"planned_ms\": {plan_ms:.3}, \
+             \"matched\": {}, \"full_scan\": {}}}",
+            planned.len(),
+            plan.uses_full_scan()
+        );
+        json.push_str(if i + 1 < shapes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plan.json");
+    std::fs::write(path, &json).expect("write BENCH_plan.json");
+    eprintln!("wrote {path}");
 }
 
 criterion_group!(benches, bench);

@@ -44,10 +44,26 @@ fn bench(c: &mut Criterion) {
     let uncached = time_ms(|| {
         std::hint::black_box(wb.index().select(wb.collection(), &query));
     });
+    // Negated and compound-with-negation shapes: before the planner these
+    // were full scans; they must now sit inside the budget like the
+    // positive shape does.
+    let negated = QueryBuilder::new().lacks_code("T90|T89").expect("regex").build();
+    let compound_negated = QueryBuilder::new()
+        .has_code("K8[5-7]")
+        .expect("regex")
+        .lacks_code("T90|T89")
+        .expect("regex")
+        .build();
     let ops: Vec<(&str, f64)> = vec![
         ("select cohort (uncached)", uncached),
         ("re-select (cached)", time_ms(|| {
             std::hint::black_box(wb.select_positions(&query));
+        })),
+        ("select negated (uncached)", time_ms(|| {
+            std::hint::black_box(wb.index().select(wb.collection(), &negated));
+        })),
+        ("select has∧lacks (uncached)", time_ms(|| {
+            std::hint::black_box(wb.index().select(wb.collection(), &compound_negated));
         })),
         ("sort by utilization", time_ms(|| wb.sort(&SortKey::EntryCount))),
         ("align on T90", time_ms(|| {

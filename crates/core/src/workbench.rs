@@ -9,7 +9,7 @@ use pastas_ingest::{aggregate, QualityReport, SourceTexts};
 use pastas_model::{HistoryCollection, PatientId};
 use pastas_ontology::integration::IntegrationOntology;
 use pastas_query::{
-    align_on, sort_histories, CodeIndex, EntryPredicate, HistoryQuery, SortKey,
+    align_on, sort_histories, CodeIndex, EntryPredicate, Explain, HistoryQuery, QueryPlan, SortKey,
 };
 use pastas_regex::ParseError;
 use pastas_time::Duration;
@@ -28,20 +28,28 @@ pub struct ViewState {
     pub(crate) filter: Option<EntryPredicate>,
 }
 
-/// Memoized selection results, keyed by the query's canonical fingerprint
-/// ([`HistoryQuery::fingerprint`] — deterministic, stable across internal
-/// representation changes, and two queries with the same fingerprint are
-/// structurally identical). Re-running a selection is the workbench's
-/// dominant interaction; a hit skips both index probing and candidate
-/// verification. Shared (`Arc`) between a workbench and its
+/// Memoized selection results, keyed by the query's **canonical**
+/// fingerprint (the normalized form's [`HistoryQuery::fingerprint`], via
+/// [`pastas_query::plan::QueryPlan::canonical_fingerprint`]) — so
+/// logically equivalent spellings (`And(a,b)` vs `And(b,a)`, `lacks(X)`
+/// vs `not has(X)`) share one entry. Re-running a selection is the
+/// workbench's dominant interaction; a hit skips planning, index probing
+/// and candidate verification. Shared (`Arc`) between a workbench and its
 /// [`Workbench::snapshot`]s — they view the same collection, so a hit from
 /// any entry point warms every other — and replaced wholesale when the
 /// collection changes ([`Workbench::set_collection`]), which leaves
 /// snapshots of the *old* collection consistent with their own cache.
+///
+/// Also home to the plan-path counters the serve layer exports:
+/// `index_hits` counts uncached selections answered by posting-list set
+/// algebra, `scan_fallbacks` those whose plan evaluated the query against
+/// every history.
 struct SelectionCache {
     entries: Mutex<HashMap<String, Vec<u32>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    index_hits: AtomicU64,
+    scan_fallbacks: AtomicU64,
 }
 
 impl SelectionCache {
@@ -50,7 +58,17 @@ impl SelectionCache {
             entries: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            index_hits: AtomicU64::new(0),
+            scan_fallbacks: AtomicU64::new(0),
         })
+    }
+
+    fn count_plan_path(&self, used_full_scan: bool) {
+        if used_full_scan {
+            self.scan_fallbacks.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.index_hits.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -196,6 +214,18 @@ impl Workbench {
         self.selections.misses.load(Ordering::Relaxed)
     }
 
+    /// Uncached selections whose physical plan was served by posting-list
+    /// set algebra (no full-scan operator anywhere in the tree).
+    pub fn select_index_hits(&self) -> u64 {
+        self.selections.index_hits.load(Ordering::Relaxed)
+    }
+
+    /// Uncached selections whose physical plan fell back to evaluating
+    /// the query against every history.
+    pub fn select_scan_fallbacks(&self) -> u64 {
+        self.selections.scan_fallbacks.load(Ordering::Relaxed)
+    }
+
     /// Build by running the full heterogeneous-source aggregation pipeline.
     pub fn from_raw_sources(sources: SourceTexts<'_>) -> Workbench {
         let (collection, quality) = aggregate(sources);
@@ -250,11 +280,13 @@ impl Workbench {
     // Cohort identification (§IV: "extraction of sub-collections")
     // ------------------------------------------------------------------
 
-    /// Positions of histories matching the query (index-accelerated and
+    /// Positions of histories matching the query (planner-accelerated and
     /// memoized — repeating a selection on an unchanged collection is a
-    /// cache hit).
+    /// cache hit, and the cache keys on the *canonical* fingerprint, so
+    /// commuted or double-negated spellings of one query also hit).
     pub fn select_positions(&self, query: &HistoryQuery) -> Vec<u32> {
-        let fingerprint = query.fingerprint();
+        let plan = QueryPlan::build(&self.index, &self.collection, query);
+        let fingerprint = plan.canonical_fingerprint().to_owned();
         {
             let cache = self.selections.entries.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(hit) = cache.get(&fingerprint) {
@@ -263,13 +295,31 @@ impl Workbench {
             }
         }
         self.selections.misses.fetch_add(1, Ordering::Relaxed);
-        let positions = self.index.select(&self.collection, query);
+        self.selections.count_plan_path(plan.uses_full_scan());
+        let positions = plan.execute(&self.collection, &self.index);
         self.selections
             .entries
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(fingerprint, positions.clone());
         positions
+    }
+
+    /// Like [`Self::select_positions`], but always executes the physical
+    /// plan (bypassing the memo for the result — the cache still learns
+    /// it) and returns the executed [`Explain`] tree alongside the
+    /// positions: per-operator candidate counts and timings, the payload
+    /// behind `pastas-serve`'s `/select?explain=1`.
+    pub fn select_explain(&self, query: &HistoryQuery) -> (Vec<u32>, Explain) {
+        let plan = QueryPlan::build(&self.index, &self.collection, query);
+        self.selections.count_plan_path(plan.uses_full_scan());
+        let (positions, explain) = plan.execute_explain(&self.collection, &self.index);
+        self.selections
+            .entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(plan.canonical_fingerprint().to_owned(), positions.clone());
+        (positions, explain)
     }
 
     /// Extract the matching sub-collection into a new workbench. The
@@ -510,6 +560,58 @@ mod tests {
         let q2 = QueryBuilder::new().has_code("K86").unwrap().build();
         let _ = wb.select_positions(&q2);
         assert_eq!(wb.selection_cache_len(), 2);
+    }
+
+    #[test]
+    fn commuted_clauses_hit_the_same_cache_entry() {
+        let wb = wb();
+        let at = pastas_time::Date::new(2013, 1, 1).unwrap();
+        let ab = QueryBuilder::new().has_code("T90").unwrap().age_between(at, 40, 90).build();
+        let ba = QueryBuilder::new().age_between(at, 40, 90).has_code("T90").unwrap().build();
+        let first = wb.select_positions(&ab);
+        assert_eq!(wb.selection_cache_misses(), 1);
+        let second = wb.select_positions(&ba);
+        assert_eq!(first, second);
+        assert_eq!(wb.selection_cache_len(), 1, "one canonical entry for both spellings");
+        assert_eq!(wb.selection_cache_hits(), 1, "commuted query is a cache hit");
+        // `lacks(X)` and `not has(X)` also share an entry.
+        let lacks = QueryBuilder::new().lacks_code("T90").unwrap().build();
+        let not_has = HistoryQuery::Not(Box::new(
+            QueryBuilder::new().has_code("T90").unwrap().build(),
+        ));
+        assert_eq!(wb.select_positions(&lacks), wb.select_positions(&not_has));
+        assert_eq!(wb.selection_cache_len(), 2);
+    }
+
+    #[test]
+    fn plan_path_counters_distinguish_index_from_scan() {
+        let wb = wb();
+        // Compound query with a negated code clause: pure set algebra.
+        let indexed =
+            QueryBuilder::new().has_code("K.*").unwrap().lacks_code("T90").unwrap().build();
+        let _ = wb.select_positions(&indexed);
+        assert_eq!(wb.select_index_hits(), 1);
+        assert_eq!(wb.select_scan_fallbacks(), 0);
+        // Purely demographic query: nothing for the index to serve.
+        let residual = QueryBuilder::new().sex(pastas_model::Sex::Female).build();
+        let _ = wb.select_positions(&residual);
+        assert_eq!(wb.select_scan_fallbacks(), 1);
+        // A cache hit re-runs no plan and moves neither counter.
+        let _ = wb.select_positions(&indexed);
+        assert_eq!(wb.select_index_hits(), 1);
+        assert_eq!(wb.select_scan_fallbacks(), 1);
+    }
+
+    #[test]
+    fn select_explain_reports_the_executed_operators() {
+        let wb = wb();
+        let q = QueryBuilder::new().has_code("K.*").unwrap().lacks_code("T90").unwrap().build();
+        let (positions, explain) = wb.select_explain(&q);
+        assert_eq!(positions, wb.select_positions(&q));
+        assert!(!explain.used_full_scan(), "{}", explain.render_text());
+        assert_eq!(explain.root.rows, positions.len());
+        // The explain run warmed the cache for the plain path.
+        assert_eq!(wb.selection_cache_hits(), 1);
     }
 
     #[test]

@@ -266,27 +266,52 @@ impl CodeIndex {
         Some(out)
     }
 
-    /// Evaluate a query over the collection **using the index** as a
-    /// pre-filter where possible, falling back to the full scan otherwise.
-    /// Returns matching history positions in display order. Candidate
-    /// verification is chunked across threads (order-preserving).
-    pub fn select(&self, collection: &HistoryCollection, query: &HistoryQuery) -> Vec<u32> {
-        let histories = collection.histories();
-        match query.positive_code_regexes().and_then(|ps| self.candidates_for_patterns(&ps)) {
-            Some(candidates) => {
-                let keep = pastas_par::par_map_min(&candidates, PAR_MIN_HISTORIES, |&i| {
-                    // lint:allow(no-panic-hot-path) postings hold valid history positions
-                    query.matches(&histories[i as usize])
-                });
-                candidates
-                    .into_iter()
-                    .zip(keep)
-                    .filter(|&(_, k)| k)
-                    .map(|(i, _)| i)
-                    .collect()
+    /// Upper-bound candidate estimate for a pattern set: the summed
+    /// posting sizes over the vocabulary range each pattern selects
+    /// (duplicates across patterns counted twice — this is a planning
+    /// estimate, not a result). Costs the same vocabulary walk as the
+    /// fetch itself but touches no posting list. Patterns that fail to
+    /// compile estimate as 0 (they fetch nothing, too).
+    pub fn estimated_candidates(&self, patterns: &[String]) -> usize {
+        let mut total = 0usize;
+        for p in patterns {
+            let Some(re) = self.compiled(p) else { continue };
+            let info = re.prefix_info();
+            if info.exact {
+                total += self.probe(&info.prefix).map_or(0, <[u32]>::len);
+                continue;
             }
-            None => select_scan(collection, query),
+            if info.prefix.is_empty() {
+                for (value, list) in self.vocab.iter().zip(&self.postings) {
+                    if re.is_full_match(value) {
+                        total += list.len();
+                    }
+                }
+            } else {
+                let prefix = info.prefix.as_str();
+                let start = self.vocab.partition_point(|v| v.as_ref() < prefix);
+                // lint:allow(no-panic-hot-path) partition_point returns start <= len
+                for (value, list) in self.vocab[start..].iter().zip(&self.postings[start..]) {
+                    if !value.starts_with(prefix) {
+                        break;
+                    }
+                    if re.is_full_match(value) {
+                        total += list.len();
+                    }
+                }
+            }
         }
+        total
+    }
+
+    /// Evaluate a query over the collection through the physical planner
+    /// ([`crate::plan::QueryPlan`]): code-regex clauses — positive *and*
+    /// negative — become posting-list set algebra; residual clauses
+    /// verify only the candidate set; only queries with no index-servable
+    /// clause at all scan every history. Returns matching history
+    /// positions in display order, identical to [`select_scan`].
+    pub fn select(&self, collection: &HistoryCollection, query: &HistoryQuery) -> Vec<u32> {
+        crate::plan::QueryPlan::build(self, collection, query).execute(collection, self)
     }
 }
 
@@ -330,13 +355,32 @@ mod tests {
     }
 
     #[test]
-    fn negative_queries_fall_back_to_scan() {
+    fn negative_queries_are_served_by_posting_complement() {
         let c = collection();
         let idx = CodeIndex::build(&c);
         let q = QueryBuilder::new().lacks_code("T90").unwrap().build();
+        let plan = crate::plan::QueryPlan::build(&idx, &c, &q);
+        assert!(!plan.uses_full_scan(), "negation no longer scans:\n{}", plan.render());
         let got = idx.select(&c, &q);
         assert_eq!(got, select_scan(&c, &q));
         assert!(!got.is_empty(), "most patients lack diabetes");
+    }
+
+    #[test]
+    fn estimated_candidates_bounds_the_fetch() {
+        let c = collection();
+        let idx = CodeIndex::build(&c);
+        for patterns in [
+            vec!["T90".to_owned()],
+            vec!["K.*".to_owned()],
+            vec!["T90".to_owned(), "K.*".to_owned()],
+            vec![".*".to_owned()],
+            vec!["Z99".to_owned()],
+        ] {
+            let est = idx.estimated_candidates(&patterns);
+            let got = idx.candidates_for_patterns(&patterns).unwrap();
+            assert!(est >= got.len(), "estimate {est} < fetched {} for {patterns:?}", got.len());
+        }
     }
 
     #[test]

@@ -13,12 +13,18 @@
 //! * [`index`] — the inverted code index and per-history statistics that
 //!   keep selection interactive at 168k patients (the indexed-vs-scan
 //!   ablation of E5/E8 compares against the naive path);
+//! * [`normalize`] — logical rewriting into one canonical form per query
+//!   meaning (negation at the leaves, flat sorted clauses);
+//! * [`plan`] — the physical planner/executor: set algebra over posting
+//!   lists with residual verification and `Explain` introspection;
 //! * [`ops`] — the workbench operators: select, sort, align.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod index;
+pub mod normalize;
+pub mod plan;
 #[cfg(test)]
 mod proptests;
 pub mod ops;
@@ -29,7 +35,9 @@ pub mod stats;
 pub mod temporal;
 
 pub use index::CodeIndex;
+pub use normalize::{canonical_fingerprint, normalize};
 pub use ops::{align_on, sort_histories, Alignment, SortKey};
+pub use plan::{Explain, ExplainNode, PlanNode, QueryPlan};
 pub use predicate::EntryPredicate;
 pub use parse::parse_query;
 pub use query::{HistoryQuery, QueryBuilder};

@@ -1,0 +1,921 @@
+//! Physical query plans: set algebra over the posting index.
+//!
+//! The paper's headline workflow — carve 13,000 patients out of 168,000
+//! by combining code selections, exclusions, and demographic bounds — is
+//! a multi-clause boolean query. The old path accelerated exactly one
+//! shape (a conjunction containing a positive code regex) and fell back
+//! to a full scan for everything else; a `has(X) and lacks(Y)` cohort
+//! enumerated all histories. This module replaces that special case with
+//! a two-stage pipeline:
+//!
+//! 1. **Logical**: [`crate::normalize::normalize`] rewrites the query to
+//!    a canonical form (negation at the leaves, flat sorted clauses) so
+//!    equivalent queries share one plan and one cache key.
+//! 2. **Physical**: [`QueryPlan::build`] maps each canonical leaf to an
+//!    operator — posting-list fetch for code-regex leaves (positive
+//!    *and* negative, via merge-based intersect/union/complement on the
+//!    sorted `u32` postings), residual evaluation over the candidate set
+//!    for demographic/count/temporal leaves — with a posting-size
+//!    cardinality estimate choosing index-vs-scan per subtree.
+//!
+//! Execution ([`QueryPlan::execute`]) walks the operator tree; residual
+//! verification runs on the [`pastas_par`] parallel layer (chunked,
+//! order-preserving, deterministic at any thread count). Every node
+//! records candidate counts and wall time into an [`Explain`] tree for
+//! `EXPLAIN`-style debugging and the serve layer's `?explain=1`.
+//!
+//! All postings and intermediate sets are strictly ascending `u32`
+//! history positions, so every set operation is a linear merge and the
+//! output order matches the collection's display order with no sort.
+
+use crate::index::{select_scan, CodeIndex};
+use crate::normalize::{is_never, normalize};
+use crate::predicate::EntryPredicate;
+use crate::query::HistoryQuery;
+use pastas_model::HistoryCollection;
+
+/// Per-thread minimum candidates before residual verification goes
+/// parallel (same threshold as the index's candidate verification).
+const PAR_MIN_CANDIDATES: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Merge-based set algebra over sorted, deduplicated u32 postings
+// ---------------------------------------------------------------------------
+
+/// `a ∩ b` of two strictly ascending lists.
+fn intersect2(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while let (Some(&x), Some(&y)) = (a.get(i), b.get(j)) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `a ∪ b` of two strictly ascending lists.
+fn union2(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    loop {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => match x.cmp(&y) {
+                std::cmp::Ordering::Less => {
+                    out.push(x);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(y);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(x);
+                    i += 1;
+                    j += 1;
+                }
+            },
+            (Some(_), None) => {
+                // lint:allow(no-panic-hot-path) a.get(i) just proved i < a.len()
+                out.extend_from_slice(&a[i..]);
+                break;
+            }
+            (None, Some(_)) => {
+                // lint:allow(no-panic-hot-path) b.get(j) just proved j < b.len()
+                out.extend_from_slice(&b[j..]);
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// `U \ a` where the universe is `0..rows`, `a` strictly ascending.
+fn complement(a: &[u32], rows: u32) -> Vec<u32> {
+    let mut out = Vec::with_capacity((rows as usize).saturating_sub(a.len()));
+    let mut next = 0u32;
+    for &x in a {
+        out.extend(next..x.min(rows));
+        next = x.saturating_add(1);
+    }
+    out.extend(next..rows);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The physical operator tree
+// ---------------------------------------------------------------------------
+
+/// One physical operator. Every node evaluates to a strictly ascending
+/// set of history positions.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// Every position `0..rows`.
+    AllRows,
+    /// The empty set (a query normalization proved can match nothing).
+    Empty,
+    /// Union of the posting lists selected by a set of code-regex
+    /// patterns — the leaf the inverted index answers directly.
+    IndexFetch {
+        /// Regex patterns whose matching vocabulary postings are unioned.
+        patterns: Vec<String>,
+    },
+    /// `0..rows` minus the child's set (negated code clauses).
+    Complement(Box<PlanNode>),
+    /// `∩` of the children, evaluated smallest-estimate first.
+    Intersect(Vec<PlanNode>),
+    /// `∪` of the children.
+    Union(Vec<PlanNode>),
+    /// Evaluate a residual query per candidate history from the child's
+    /// set (parallel, order-preserving) — counts, demographics, temporal
+    /// patterns, anything the postings alone cannot decide.
+    Filter {
+        /// The residual query verified against each candidate.
+        query: HistoryQuery,
+        /// Candidate source.
+        input: Box<PlanNode>,
+    },
+    /// Full scan: evaluate the query against every history. The planner
+    /// emits this only when no clause is index-servable (or the index
+    /// provably cannot prune); the serve layer counts these.
+    FullScan {
+        /// The query evaluated per history.
+        query: HistoryQuery,
+    },
+}
+
+impl PlanNode {
+    fn is_full_scan(&self) -> bool {
+        matches!(self, PlanNode::FullScan { .. })
+    }
+
+    /// Does any node of this subtree enumerate all histories with
+    /// per-history predicate evaluation?
+    pub fn contains_full_scan(&self) -> bool {
+        match self {
+            PlanNode::FullScan { .. } => true,
+            PlanNode::Complement(c) => c.contains_full_scan(),
+            PlanNode::Filter { input, .. } => input.contains_full_scan(),
+            PlanNode::Intersect(cs) | PlanNode::Union(cs) => {
+                cs.iter().any(PlanNode::contains_full_scan)
+            }
+            _ => false,
+        }
+    }
+
+    /// Operator name for Explain / rendering.
+    fn op(&self) -> &'static str {
+        match self {
+            PlanNode::AllRows => "AllRows",
+            PlanNode::Empty => "Empty",
+            PlanNode::IndexFetch { .. } => "IndexFetch",
+            PlanNode::Complement(_) => "Complement",
+            PlanNode::Intersect(_) => "Intersect",
+            PlanNode::Union(_) => "Union",
+            PlanNode::Filter { .. } => "Filter",
+            PlanNode::FullScan { .. } => "FullScan",
+        }
+    }
+
+    /// Human-readable operand summary for Explain / rendering.
+    fn detail(&self) -> String {
+        match self {
+            PlanNode::IndexFetch { patterns } => patterns.join(" ∪ "),
+            PlanNode::Filter { query, .. } | PlanNode::FullScan { query } => query.fingerprint(),
+            _ => String::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------------
+
+/// How completely a set of code-regex patterns covers an entry
+/// predicate: `Exact` means *entry matches predicate ⇔ entry's code
+/// matches one of the patterns*; `Superset` means ⇐ only (the postings
+/// bound the candidates but each needs verification).
+enum CodeCover {
+    Exact(Vec<String>),
+    Superset(Vec<String>),
+}
+
+/// The code-regex cover of a predicate, if one exists. Conservative:
+/// `None` when no posting set bounds the matching entries.
+fn code_cover(p: &EntryPredicate) -> Option<CodeCover> {
+    match p {
+        EntryPredicate::CodeMatches(re) => Some(CodeCover::Exact(vec![re.pattern().to_owned()])),
+        EntryPredicate::Or(ps) => {
+            // Every branch must be covered; the union covers the Or.
+            // Exact only if every branch is exact.
+            let mut patterns = Vec::new();
+            let mut exact = true;
+            for q in ps {
+                match code_cover(q)? {
+                    CodeCover::Exact(mut pats) => patterns.append(&mut pats),
+                    CodeCover::Superset(mut pats) => {
+                        exact = false;
+                        patterns.append(&mut pats);
+                    }
+                }
+            }
+            Some(if exact { CodeCover::Exact(patterns) } else { CodeCover::Superset(patterns) })
+        }
+        EntryPredicate::And(ps) => {
+            // Any single conjunct's cover bounds the conjunction.
+            ps.iter().find_map(code_cover).map(|c| match c {
+                CodeCover::Exact(pats) | CodeCover::Superset(pats) => CodeCover::Superset(pats),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// A compiled physical plan for one query over one collection + index.
+///
+/// Built by [`QueryPlan::build`]; executed by [`QueryPlan::execute`] /
+/// [`QueryPlan::execute_explain`]. The plan also carries the query's
+/// canonical fingerprint (the selection-cache key).
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    root: PlanNode,
+    fingerprint: String,
+    rows: u32,
+}
+
+impl QueryPlan {
+    /// Normalize `query` and compile it into a physical operator tree
+    /// against `index`. Cheap: posting sizes are estimated (no posting
+    /// list is materialized) and no regex is compiled at plan time.
+    pub fn build(
+        index: &CodeIndex,
+        collection: &HistoryCollection,
+        query: &HistoryQuery,
+    ) -> QueryPlan {
+        let normalized = normalize(query);
+        let fingerprint = normalized.fingerprint();
+        let rows = collection.len() as u32;
+        let root = plan_node(index, rows, &normalized);
+        QueryPlan { root, fingerprint, rows }
+    }
+
+    /// The normalized query's canonical fingerprint — the selection-cache
+    /// key. Commuted / double-negated / `lacks`-vs-`not has` variants of
+    /// one query agree.
+    pub fn canonical_fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// The operator tree's root.
+    pub fn root(&self) -> &PlanNode {
+        &self.root
+    }
+
+    /// True if executing this plan evaluates the query against *every*
+    /// history (the path the planner exists to avoid). The serve layer's
+    /// `select_scan_fallbacks` counter is this, per selection.
+    pub fn uses_full_scan(&self) -> bool {
+        self.root.contains_full_scan()
+    }
+
+    /// Render the static operator tree (no counts/timings — see
+    /// [`QueryPlan::execute_explain`] for the executed form).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_node(&self.root, 0, &mut out);
+        out
+    }
+
+    /// Execute the plan, returning matching history positions in display
+    /// order (ascending, deduplicated — identical to
+    /// [`select_scan`]).
+    pub fn execute(&self, collection: &HistoryCollection, index: &CodeIndex) -> Vec<u32> {
+        self.exec(collection, index, false).0
+    }
+
+    /// Execute and record per-node candidate counts and wall time.
+    pub fn execute_explain(
+        &self,
+        collection: &HistoryCollection,
+        index: &CodeIndex,
+    ) -> (Vec<u32>, Explain) {
+        let (positions, node) = self.exec(collection, index, true);
+        let explain = Explain {
+            root: match node {
+                Some(n) => n,
+                None => ExplainNode {
+                    op: "?".to_owned(),
+                    detail: String::new(),
+                    rows: positions.len(),
+                    elapsed_us: 0,
+                    children: Vec::new(),
+                },
+            },
+        };
+        (positions, explain)
+    }
+
+    fn exec(
+        &self,
+        collection: &HistoryCollection,
+        index: &CodeIndex,
+        trace: bool,
+    ) -> (Vec<u32>, Option<ExplainNode>) {
+        exec_node(&self.root, collection, index, self.rows, trace)
+    }
+}
+
+fn render_node(node: &PlanNode, depth: usize, out: &mut String) {
+    use std::fmt::Write as _;
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let detail = node.detail();
+    if detail.is_empty() {
+        let _ = writeln!(out, "{}", node.op());
+    } else {
+        let _ = writeln!(out, "{}({})", node.op(), detail);
+    }
+    match node {
+        PlanNode::Complement(c) => render_node(c, depth + 1, out),
+        PlanNode::Filter { input, .. } => render_node(input, depth + 1, out),
+        PlanNode::Intersect(cs) | PlanNode::Union(cs) => {
+            for c in cs {
+                render_node(c, depth + 1, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compile one canonical (normalized) query node.
+fn plan_node(index: &CodeIndex, rows: u32, q: &HistoryQuery) -> PlanNode {
+    match q {
+        HistoryQuery::All => PlanNode::AllRows,
+        HistoryQuery::Not(_) if is_never(q) => PlanNode::Empty,
+        HistoryQuery::CountAtLeast(p, n) => match code_cover(p) {
+            // Postings are exactly "histories with ≥1 matching entry",
+            // so an exact cover at n == 1 needs no verification at all.
+            Some(CodeCover::Exact(patterns)) if *n == 1 => PlanNode::IndexFetch { patterns },
+            Some(CodeCover::Exact(patterns) | CodeCover::Superset(patterns)) => PlanNode::Filter {
+                query: q.clone(),
+                input: Box::new(PlanNode::IndexFetch { patterns }),
+            },
+            None => PlanNode::FullScan { query: q.clone() },
+        },
+        HistoryQuery::CountAtMost(p, n) => match code_cover(p) {
+            // "No matching entry" is exactly the complement of the
+            // posting union.
+            Some(CodeCover::Exact(patterns)) if *n == 0 => {
+                PlanNode::Complement(Box::new(PlanNode::IndexFetch { patterns }))
+            }
+            // count ≤ n can only *fail* inside the fetch set: outside it
+            // a history has zero covered entries, hence zero matching
+            // ones. Result = complement(fetch) ∪ verified(fetch).
+            Some(CodeCover::Exact(patterns) | CodeCover::Superset(patterns)) => {
+                PlanNode::Union(vec![
+                    PlanNode::Complement(Box::new(PlanNode::IndexFetch {
+                        patterns: patterns.clone(),
+                    })),
+                    PlanNode::Filter {
+                        query: q.clone(),
+                        input: Box::new(PlanNode::IndexFetch { patterns }),
+                    },
+                ])
+            }
+            None => PlanNode::FullScan { query: q.clone() },
+        },
+        // Post-normalization, Not only wraps residual leaves (Pattern /
+        // AgeBetween / SexIs); a scan with the negation folded in beats
+        // Complement(FullScan) — one pass, no extra merge.
+        HistoryQuery::Not(_)
+        | HistoryQuery::Pattern(_)
+        | HistoryQuery::AgeBetween { .. }
+        | HistoryQuery::SexIs(_) => PlanNode::FullScan { query: q.clone() },
+        HistoryQuery::And(qs) => plan_and(index, rows, qs),
+        HistoryQuery::Or(qs) => plan_or(index, rows, qs),
+    }
+}
+
+fn plan_and(index: &CodeIndex, rows: u32, qs: &[HistoryQuery]) -> PlanNode {
+    let mut indexed: Vec<(u32, PlanNode)> = Vec::new();
+    let mut residual: Vec<HistoryQuery> = Vec::new();
+    for q in qs {
+        let p = plan_node(index, rows, q);
+        if p.is_full_scan() {
+            residual.push(q.clone());
+        } else {
+            indexed.push((estimate(index, rows, &p), p));
+        }
+    }
+    if indexed.is_empty() {
+        // No clause is index-servable: one scan evaluates the whole
+        // conjunction per history (short-circuiting inside matches()).
+        return PlanNode::FullScan { query: HistoryQuery::And(qs.to_vec()) };
+    }
+    // Cost heuristic, index-vs-scan: if even the most selective indexed
+    // clause cannot prune below the full collection (e.g. every clause
+    // is a near-universal complement) and residual predicates remain,
+    // verifying "candidates" is a full scan wearing a costume — emit the
+    // honest plan.
+    let best = indexed.iter().map(|(e, _)| *e).min().unwrap_or(rows);
+    if best >= rows && !residual.is_empty() {
+        return PlanNode::FullScan { query: HistoryQuery::And(qs.to_vec()) };
+    }
+    // Evaluate cheapest-first so the merge works on small sets early.
+    // Stable sort: equal estimates keep the canonical clause order, so
+    // plans are deterministic.
+    indexed.sort_by_key(|(e, _)| *e);
+    let mut plans: Vec<PlanNode> = indexed.into_iter().map(|(_, p)| p).collect();
+    let base = if plans.len() == 1 {
+        match plans.pop() {
+            Some(only) => only,
+            // lint:allow(no-panic-hot-path) len == 1 proved by the branch
+            None => unreachable!(),
+        }
+    } else {
+        PlanNode::Intersect(plans)
+    };
+    if residual.is_empty() {
+        base
+    } else {
+        let query = if residual.len() == 1 {
+            match residual.pop() {
+                Some(only) => only,
+                // lint:allow(no-panic-hot-path) len == 1 proved by the branch
+                None => unreachable!(),
+            }
+        } else {
+            HistoryQuery::And(residual)
+        };
+        PlanNode::Filter { query, input: Box::new(base) }
+    }
+}
+
+fn plan_or(index: &CodeIndex, rows: u32, qs: &[HistoryQuery]) -> PlanNode {
+    let mut parts: Vec<PlanNode> = Vec::new();
+    let mut scans: Vec<HistoryQuery> = Vec::new();
+    for q in qs {
+        let p = plan_node(index, rows, q);
+        if p.is_full_scan() {
+            scans.push(q.clone());
+        } else {
+            parts.push(p);
+        }
+    }
+    // Merge all scan-only branches into ONE pass over the collection.
+    if !scans.is_empty() {
+        let query = if scans.len() == 1 {
+            match scans.pop() {
+                Some(only) => only,
+                // lint:allow(no-panic-hot-path) len == 1 proved by the branch
+                None => unreachable!(),
+            }
+        } else {
+            HistoryQuery::Or(scans)
+        };
+        parts.push(PlanNode::FullScan { query });
+    }
+    match parts.len() {
+        0 => PlanNode::Empty,
+        1 => match parts.pop() {
+            Some(only) => only,
+            // lint:allow(no-panic-hot-path) len == 1 proved by the match arm
+            None => unreachable!(),
+        },
+        _ => PlanNode::Union(parts),
+    }
+}
+
+/// Upper-bound cardinality estimate of a subtree, from posting-list
+/// sizes only (no list is materialized; O(vocabulary) worst case).
+fn estimate(index: &CodeIndex, rows: u32, node: &PlanNode) -> u32 {
+    match node {
+        PlanNode::AllRows => rows,
+        PlanNode::Empty => 0,
+        PlanNode::IndexFetch { patterns } => {
+            u32::try_from(index.estimated_candidates(patterns)).unwrap_or(rows).min(rows)
+        }
+        // Complement of an upper bound is a lower bound — for the
+        // common Complement(IndexFetch) the postings sum *is* close
+        // to exact (duplicates only from multi-pattern overlap).
+        PlanNode::Complement(c) => rows.saturating_sub(estimate(index, rows, c)),
+        PlanNode::Intersect(cs) => cs.iter().map(|c| estimate(index, rows, c)).min().unwrap_or(0),
+        PlanNode::Union(cs) => cs
+            .iter()
+            .map(|c| estimate(index, rows, c))
+            .fold(0u32, u32::saturating_add)
+            .min(rows),
+        PlanNode::Filter { input, .. } => estimate(index, rows, input),
+        PlanNode::FullScan { .. } => rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+fn exec_node(
+    node: &PlanNode,
+    collection: &HistoryCollection,
+    index: &CodeIndex,
+    rows: u32,
+    trace: bool,
+) -> (Vec<u32>, Option<ExplainNode>) {
+    // Explain timings are observability, not results: the positions a
+    // plan returns are deterministic at any thread count; only the
+    // elapsed_us annotations vary run to run.
+    // lint:allow(no-wallclock-determinism) explain timing annotation only, results unaffected
+    let started = if trace { Some(std::time::Instant::now()) } else { None };
+    let mut children: Vec<ExplainNode> = Vec::new();
+    let mut child = |result: (Vec<u32>, Option<ExplainNode>)| -> Vec<u32> {
+        if let Some(n) = result.1 {
+            children.push(n);
+        }
+        result.0
+    };
+    let out = match node {
+        PlanNode::AllRows => (0..rows).collect(),
+        PlanNode::Empty => Vec::new(),
+        PlanNode::IndexFetch { patterns } => {
+            // Patterns originate from compiled regexes, so recompilation
+            // cannot fail; an empty result for a (impossible) failure is
+            // still safe because IndexFetch is only reached when the
+            // planner proved the patterns compile.
+            index.candidates_for_patterns(patterns).unwrap_or_default()
+        }
+        PlanNode::Complement(c) => {
+            let inner = child(exec_node(c, collection, index, rows, trace));
+            complement(&inner, rows)
+        }
+        PlanNode::Intersect(cs) => {
+            let mut acc: Option<Vec<u32>> = None;
+            for c in cs {
+                if acc.as_ref().is_some_and(Vec::is_empty) {
+                    break; // ∩ with ∅ stays ∅ — skip remaining children.
+                }
+                let set = child(exec_node(c, collection, index, rows, trace));
+                acc = Some(match acc {
+                    Some(prev) => intersect2(&prev, &set),
+                    None => set,
+                });
+            }
+            acc.unwrap_or_default()
+        }
+        PlanNode::Union(cs) => {
+            let mut acc: Vec<u32> = Vec::new();
+            for c in cs {
+                let set = child(exec_node(c, collection, index, rows, trace));
+                acc = union2(&acc, &set);
+            }
+            acc
+        }
+        PlanNode::Filter { query, input } => {
+            let candidates = child(exec_node(input, collection, index, rows, trace));
+            let histories = collection.histories();
+            let keep = pastas_par::par_map_min(&candidates, PAR_MIN_CANDIDATES, |&i| {
+                // lint:allow(no-panic-hot-path) candidates are valid history positions by construction
+                query.matches(&histories[i as usize])
+            });
+            candidates
+                .into_iter()
+                .zip(keep)
+                .filter(|&(_, k)| k)
+                .map(|(i, _)| i)
+                .collect()
+        }
+        PlanNode::FullScan { query } => select_scan(collection, query),
+    };
+    let explain = started.map(|t0| ExplainNode {
+        op: node.op().to_owned(),
+        detail: node.detail(),
+        rows: out.len(),
+        elapsed_us: u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+        children,
+    });
+    (out, explain)
+}
+
+// ---------------------------------------------------------------------------
+// Explain
+// ---------------------------------------------------------------------------
+
+/// One executed operator with its observed candidate count and wall
+/// time (inclusive of children).
+#[derive(Debug, Clone)]
+pub struct ExplainNode {
+    /// Operator name (`IndexFetch`, `Intersect`, `Filter`, …).
+    pub op: String,
+    /// Operand summary (patterns or residual-query fingerprint).
+    pub detail: String,
+    /// Positions this node produced.
+    pub rows: usize,
+    /// Wall time in microseconds, children included.
+    pub elapsed_us: u64,
+    /// Child operators in evaluation order.
+    pub children: Vec<ExplainNode>,
+}
+
+/// The executed operator tree of one selection — candidate counts and
+/// timings per node, for debugging and the serve layer's `?explain=1`.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The root operator.
+    pub root: ExplainNode,
+}
+
+impl Explain {
+    /// Did execution evaluate the query against every history?
+    pub fn used_full_scan(&self) -> bool {
+        fn walk(n: &ExplainNode) -> bool {
+            n.op == "FullScan" || n.children.iter().any(walk)
+        }
+        walk(&self.root)
+    }
+
+    /// Largest candidate set any per-history verification (Filter or
+    /// FullScan) worked through — "how many histories did we actually
+    /// have to look at".
+    pub fn max_verified_candidates(&self) -> usize {
+        fn walk(n: &ExplainNode) -> usize {
+            let own = match n.op.as_str() {
+                // Filter verifies its input's rows; FullScan all rows it
+                // produced is a lower bound, so count its output.
+                "Filter" => n.children.iter().map(|c| c.rows).max().unwrap_or(0),
+                "FullScan" => usize::MAX,
+                _ => 0,
+            };
+            n.children.iter().map(walk).fold(own, usize::max)
+        }
+        walk(&self.root)
+    }
+
+    /// Indented text rendering (one operator per line).
+    pub fn render_text(&self) -> String {
+        fn walk(n: &ExplainNode, depth: usize, out: &mut String) {
+            use std::fmt::Write as _;
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{}", n.op);
+            if !n.detail.is_empty() {
+                let _ = write!(out, "({})", n.detail);
+            }
+            let _ = writeln!(out, "  rows={}  {:.3} ms", n.rows, n.elapsed_us as f64 / 1e3);
+            for c in &n.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(&self.root, 0, &mut out);
+        out
+    }
+
+    /// JSON rendering (nested objects mirroring the operator tree).
+    pub fn render_json(&self) -> String {
+        fn walk(n: &ExplainNode, out: &mut String) {
+            use std::fmt::Write as _;
+            let _ = write!(
+                out,
+                "{{\"op\":{},\"detail\":{},\"rows\":{},\"elapsed_us\":{},\"children\":[",
+                json_str(&n.op),
+                json_str(&n.detail),
+                n.rows,
+                n.elapsed_us
+            );
+            for (i, c) in n.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                walk(c, out);
+            }
+            out.push_str("]}");
+        }
+        let mut out = String::with_capacity(256);
+        walk(&self.root, &mut out);
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+    use pastas_synth::{generate_collection, SynthConfig};
+    use pastas_time::Date;
+
+    #[test]
+    fn set_algebra_merges() {
+        assert_eq!(intersect2(&[1, 3, 5, 9], &[2, 3, 9, 12]), vec![3, 9]);
+        assert_eq!(intersect2(&[], &[1, 2]), Vec::<u32>::new());
+        assert_eq!(union2(&[1, 5], &[2, 5, 7]), vec![1, 2, 5, 7]);
+        assert_eq!(union2(&[], &[]), Vec::<u32>::new());
+        assert_eq!(complement(&[0, 2, 3], 6), vec![1, 4, 5]);
+        assert_eq!(complement(&[], 3), vec![0, 1, 2]);
+        assert_eq!(complement(&[0, 1, 2], 3), Vec::<u32>::new());
+    }
+
+    fn setup(n: usize) -> (pastas_model::HistoryCollection, CodeIndex) {
+        let c = generate_collection(SynthConfig::with_patients(n), 71);
+        let idx = CodeIndex::build(&c);
+        (c, idx)
+    }
+
+    #[test]
+    fn negated_clause_is_index_served() {
+        let (c, idx) = setup(400);
+        let q = QueryBuilder::new().lacks_code("T90").unwrap().build();
+        let plan = QueryPlan::build(&idx, &c, &q);
+        assert!(!plan.uses_full_scan(), "{}", plan.render());
+        assert_eq!(plan.execute(&c, &idx), select_scan(&c, &q));
+    }
+
+    #[test]
+    fn has_and_lacks_never_enumerates_all_histories() {
+        // The regression the planner exists for: a positive + negative
+        // code conjunction used to fall back to the full scan.
+        let (c, idx) = setup(400);
+        let q = QueryBuilder::new()
+            .has_code("K86|K87")
+            .unwrap()
+            .lacks_code("T90")
+            .unwrap()
+            .build();
+        let plan = QueryPlan::build(&idx, &c, &q);
+        assert!(!plan.uses_full_scan(), "{}", plan.render());
+        let (positions, explain) = plan.execute_explain(&c, &idx);
+        assert!(!explain.used_full_scan(), "{}", explain.render_text());
+        assert!(
+            explain.max_verified_candidates() < c.len(),
+            "verified {} of {}:\n{}",
+            explain.max_verified_candidates(),
+            c.len(),
+            explain.render_text()
+        );
+        assert_eq!(positions, select_scan(&c, &q));
+        assert!(!positions.is_empty(), "hypertensives without diabetes exist");
+    }
+
+    #[test]
+    fn compound_negated_counted_query_agrees_with_scan() {
+        let (c, idx) = setup(500);
+        let q = QueryBuilder::new()
+            .has_code("T90|T89")
+            .unwrap()
+            .lacks_code("K74")
+            .unwrap()
+            .count_at_least(EntryPredicate::IsDiagnosis, 3)
+            .age_between(Date::new(2013, 1, 1).unwrap(), 40, 95)
+            .build();
+        let plan = QueryPlan::build(&idx, &c, &q);
+        assert!(!plan.uses_full_scan(), "{}", plan.render());
+        assert_eq!(plan.execute(&c, &idx), select_scan(&c, &q));
+    }
+
+    #[test]
+    fn count_at_least_two_filters_fetch_candidates() {
+        let (c, idx) = setup(400);
+        let q = HistoryQuery::CountAtLeast(EntryPredicate::code_regex("T90").unwrap(), 2);
+        let plan = QueryPlan::build(&idx, &c, &q);
+        assert!(!plan.uses_full_scan(), "{}", plan.render());
+        assert!(plan.render().starts_with("Filter"), "{}", plan.render());
+        assert_eq!(plan.execute(&c, &idx), select_scan(&c, &q));
+    }
+
+    #[test]
+    fn count_at_most_nonzero_unions_complement_with_verified_fetch() {
+        let (c, idx) = setup(400);
+        let q = HistoryQuery::CountAtMost(EntryPredicate::code_regex("A.*").unwrap(), 1);
+        let plan = QueryPlan::build(&idx, &c, &q);
+        assert!(!plan.uses_full_scan(), "{}", plan.render());
+        assert_eq!(plan.execute(&c, &idx), select_scan(&c, &q));
+    }
+
+    #[test]
+    fn or_with_residual_branch_still_unions_exactly() {
+        let (c, idx) = setup(400);
+        let q = HistoryQuery::Or(vec![
+            QueryBuilder::new().has_code("T90").unwrap().build(),
+            HistoryQuery::SexIs(pastas_model::Sex::Female),
+        ]);
+        let plan = QueryPlan::build(&idx, &c, &q);
+        // The Sex branch can only scan, but the scan evaluates just that
+        // branch, and the union with the posting fetch is exact.
+        assert!(plan.uses_full_scan());
+        assert_eq!(plan.execute(&c, &idx), select_scan(&c, &q));
+    }
+
+    #[test]
+    fn purely_residual_query_is_one_scan() {
+        let (c, idx) = setup(300);
+        let q = HistoryQuery::And(vec![
+            HistoryQuery::SexIs(pastas_model::Sex::Male),
+            HistoryQuery::AgeBetween { at: Date::new(2013, 1, 1).unwrap(), min: 40, max: 90 },
+        ]);
+        let plan = QueryPlan::build(&idx, &c, &q);
+        assert!(plan.uses_full_scan());
+        assert!(plan.render().starts_with("FullScan"), "{}", plan.render());
+        assert_eq!(plan.execute(&c, &idx), select_scan(&c, &q));
+    }
+
+    #[test]
+    fn all_and_never_plans() {
+        let (c, idx) = setup(100);
+        let all = QueryPlan::build(&idx, &c, &HistoryQuery::All);
+        assert_eq!(all.execute(&c, &idx).len(), 100);
+        let never = HistoryQuery::Not(Box::new(HistoryQuery::All));
+        let none = QueryPlan::build(&idx, &c, &never);
+        assert!(none.execute(&c, &idx).is_empty());
+        assert!(!none.uses_full_scan());
+    }
+
+    #[test]
+    fn commuted_queries_share_plan_fingerprint() {
+        let (c, idx) = setup(100);
+        let a = QueryBuilder::new().has_code("T90").unwrap().lacks_code("K74").unwrap().build();
+        let b = QueryBuilder::new().lacks_code("K74").unwrap().has_code("T90").unwrap().build();
+        let pa = QueryPlan::build(&idx, &c, &a);
+        let pb = QueryPlan::build(&idx, &c, &b);
+        assert_eq!(pa.canonical_fingerprint(), pb.canonical_fingerprint());
+        assert_eq!(pa.render(), pb.render(), "same canonical form, same plan");
+    }
+
+    #[test]
+    fn explain_records_counts_and_structure() {
+        let (c, idx) = setup(400);
+        let q = QueryBuilder::new().has_code("T90").unwrap().lacks_code("K74").unwrap().build();
+        let plan = QueryPlan::build(&idx, &c, &q);
+        let (positions, explain) = plan.execute_explain(&c, &idx);
+        assert_eq!(explain.root.rows, positions.len());
+        assert!(!explain.root.children.is_empty());
+        let text = explain.render_text();
+        assert!(text.contains("IndexFetch"), "{text}");
+        let json = explain.render_json();
+        assert!(json.contains("\"op\":\"Intersect\"") || json.contains("\"op\":\"Complement\""));
+        // The workspace JSON parser accepts it.
+        assert!(pastas_ingest::json::Json::parse(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn parallel_execution_is_deterministic() {
+        let c = generate_collection(SynthConfig::with_patients(1500), 71);
+        let idx = CodeIndex::build(&c);
+        let q = QueryBuilder::new()
+            .has_code("[KT].*")
+            .unwrap()
+            .lacks_code("A0.*")
+            .unwrap()
+            .count_at_least(EntryPredicate::IsDiagnosis, 2)
+            .build();
+        let plan = QueryPlan::build(&idx, &c, &q);
+        let serial = pastas_par::with_threads(1, || plan.execute(&c, &idx));
+        for threads in [2, 8] {
+            let par = pastas_par::with_threads(threads, || plan.execute(&c, &idx));
+            assert_eq!(par, serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_collection_plans_and_executes() {
+        let c = pastas_model::HistoryCollection::new();
+        let idx = CodeIndex::build(&c);
+        let q = QueryBuilder::new().has_code("T90").unwrap().lacks_code("X").unwrap().build();
+        let plan = QueryPlan::build(&idx, &c, &q);
+        assert!(plan.execute(&c, &idx).is_empty());
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+}

@@ -1,11 +1,17 @@
-//! Property-based tests: the index-accelerated parallel selection path
+//! Property-based tests: the planner-accelerated parallel selection path
 //! must agree with the naive serial scan on arbitrary synthetic
-//! collections, queries and thread counts.
+//! collections, queries and thread counts, and query normalization must
+//! be idempotent and semantics-preserving on arbitrary query ASTs.
 
 use crate::index::{select_scan, CodeIndex};
-use crate::query::QueryBuilder;
+use crate::normalize::normalize;
+use crate::plan::QueryPlan;
+use crate::predicate::EntryPredicate;
+use crate::query::{HistoryQuery, QueryBuilder};
+use crate::temporal::{GapBound, TemporalPattern};
 use crate::SortKey;
 use pastas_synth::{generate_collection, SynthConfig};
+use pastas_time::{Date, Duration};
 use proptest::prelude::*;
 
 /// Patterns covering the probe shapes: exact literal, prefix run,
@@ -22,6 +28,72 @@ fn build_query(pattern: &str, negate: bool) -> crate::HistoryQuery {
         b.has_code(pattern).expect("valid pattern")
     };
     b.build()
+}
+
+/// Tiny deterministic PRNG (splitmix64) so random query ASTs can be
+/// derived from a single proptest-driven `u64` — the vendored proptest
+/// has no recursive strategy combinator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random query AST of bounded depth, exercising every leaf kind
+/// (counts both ways, temporal patterns, demographics) and every
+/// combinator including `Not`.
+fn random_query(rng: &mut Rng, depth: u32) -> HistoryQuery {
+    let leaf_only = depth == 0;
+    let choice = if leaf_only { rng.below(8) } else { rng.below(11) };
+    let pattern = |rng: &mut Rng| PATTERNS[rng.below(PATTERNS.len() as u64) as usize];
+    match choice {
+        0 => HistoryQuery::All,
+        1 => HistoryQuery::any(EntryPredicate::code_regex(pattern(rng)).expect("valid pattern")),
+        2 => HistoryQuery::none(EntryPredicate::code_regex(pattern(rng)).expect("valid pattern")),
+        3 => HistoryQuery::CountAtLeast(
+            EntryPredicate::code_regex(pattern(rng)).expect("valid pattern"),
+            rng.below(4) as usize,
+        ),
+        4 => HistoryQuery::CountAtMost(
+            EntryPredicate::code_regex(pattern(rng)).expect("valid pattern"),
+            rng.below(3) as usize,
+        ),
+        5 => HistoryQuery::CountAtLeast(EntryPredicate::IsDiagnosis, 1 + rng.below(4) as usize),
+        6 => {
+            let at = Date::new(2013, 1, 1).expect("valid date");
+            let min = rng.below(60) as i32;
+            HistoryQuery::AgeBetween { at, min, max: min + rng.below(50) as i32 }
+        }
+        7 => HistoryQuery::Pattern(
+            TemporalPattern::starting_with(
+                EntryPredicate::code_regex(pattern(rng)).expect("valid pattern"),
+            )
+            .then(
+                GapBound::within(Duration::days(30 + rng.below(300) as i64)),
+                EntryPredicate::IsDiagnosis,
+            ),
+        ),
+        8 => HistoryQuery::Not(Box::new(random_query(rng, depth - 1))),
+        n => {
+            let arity = 2 + rng.below(2) as usize;
+            let children = (0..arity).map(|_| random_query(rng, depth - 1)).collect();
+            if n == 9 {
+                HistoryQuery::And(children)
+            } else {
+                HistoryQuery::Or(children)
+            }
+        }
+    }
 }
 
 proptest! {
@@ -45,6 +117,50 @@ proptest! {
             let via_scan = pastas_par::with_threads(threads, || select_scan(&c, &q));
             prop_assert_eq!(&via_index, &reference, "index path, threads {}", threads);
             prop_assert_eq!(&via_scan, &reference, "scan path, threads {}", threads);
+        }
+    }
+
+    #[test]
+    fn planner_agrees_with_scan_on_random_asts(
+        ast_seed in 0u64..u64::MAX,
+        collection_seed in 0u64..100,
+        patients in 200u32..600,
+        depth in 1u32..4,
+    ) {
+        let c = generate_collection(SynthConfig::with_patients(patients as usize), collection_seed);
+        let idx = CodeIndex::build(&c);
+        let q = random_query(&mut Rng(ast_seed), depth);
+        let plan = QueryPlan::build(&idx, &c, &q);
+        let reference = pastas_par::with_threads(1, || select_scan(&c, &q));
+        for threads in THREADS {
+            let planned = pastas_par::with_threads(threads, || plan.execute(&c, &idx));
+            prop_assert_eq!(
+                &planned, &reference,
+                "threads {}, query {:?}, plan:\n{}", threads, q, plan.render()
+            );
+        }
+        // The explain path returns the same positions it annotates.
+        let (explained, explain) = plan.execute_explain(&c, &idx);
+        prop_assert_eq!(&explained, &reference);
+        prop_assert_eq!(explain.root.rows, reference.len());
+    }
+
+    #[test]
+    fn normalization_is_idempotent_and_preserves_semantics(
+        ast_seed in 0u64..u64::MAX,
+        collection_seed in 0u64..100,
+        depth in 1u32..4,
+    ) {
+        let q = random_query(&mut Rng(ast_seed), depth);
+        let once = normalize(&q);
+        let twice = normalize(&once);
+        prop_assert_eq!(
+            once.fingerprint(), twice.fingerprint(),
+            "normalize not idempotent on {:?}", q
+        );
+        let c = generate_collection(SynthConfig::with_patients(150), collection_seed);
+        for h in &c {
+            prop_assert_eq!(q.matches(h), once.matches(h), "{:?} vs {:?}", &q, &once);
         }
     }
 

@@ -153,42 +153,6 @@ impl HistoryQuery {
         }
     }
 
-    /// The code-regex patterns this query mentions positively (candidates
-    /// the inverted index can pre-filter on). Conservative: returns `None`
-    /// when the query cannot be pre-filtered (e.g. under negation).
-    pub fn positive_code_regexes(&self) -> Option<Vec<String>> {
-        match self {
-            HistoryQuery::CountAtLeast(p, n) if *n >= 1 => positive_regexes_of(p),
-            HistoryQuery::And(qs) => {
-                // Any single conjunct's candidates bound the result set.
-                qs.iter().find_map(|q| q.positive_code_regexes())
-            }
-            HistoryQuery::Or(qs) => {
-                // All branches must be pre-filterable; union their patterns.
-                let mut out = Vec::new();
-                for q in qs {
-                    out.extend(q.positive_code_regexes()?);
-                }
-                Some(out)
-            }
-            _ => None,
-        }
-    }
-}
-
-fn positive_regexes_of(p: &EntryPredicate) -> Option<Vec<String>> {
-    match p {
-        EntryPredicate::CodeMatches(re) => Some(vec![re.pattern().to_owned()]),
-        EntryPredicate::And(ps) => ps.iter().find_map(positive_regexes_of),
-        EntryPredicate::Or(ps) => {
-            let mut out = Vec::new();
-            for q in ps {
-                out.extend(positive_regexes_of(q)?);
-            }
-            Some(out)
-        }
-        _ => None,
-    }
 }
 
 /// Fluent builder for [`HistoryQuery`] — the headless Fig. 4 dialog.
@@ -363,28 +327,6 @@ mod tests {
         let q = QueryBuilder::new().build();
         assert!(matches!(q, HistoryQuery::All));
         assert!(q.matches(&history(1, 1950, &[])));
-    }
-
-    #[test]
-    fn positive_regex_extraction_for_the_index() {
-        let q = QueryBuilder::new()
-            .has_code("T90")
-            .unwrap()
-            .age_between(Date::new(2013, 1, 1).unwrap(), 40, 90)
-            .build();
-        assert_eq!(q.positive_code_regexes(), Some(vec!["T90".to_owned()]));
-        // Negation defeats pre-filtering.
-        let n = QueryBuilder::new().lacks_code("T90").unwrap().build();
-        assert_eq!(n.positive_code_regexes(), None);
-        // Disjunction unions branches.
-        let o = HistoryQuery::Or(vec![
-            HistoryQuery::any(EntryPredicate::code_regex("T90").unwrap()),
-            HistoryQuery::any(EntryPredicate::code_regex("R95").unwrap()),
-        ]);
-        assert_eq!(
-            o.positive_code_regexes(),
-            Some(vec!["T90".to_owned(), "R95".to_owned()])
-        );
     }
 
     #[test]

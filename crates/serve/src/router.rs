@@ -128,25 +128,44 @@ fn select(req: &Request, ctx: &RouterCtx) -> Response {
         Err(e) => return error_json(400, &e.to_string()),
     };
     let count_only = req.param("count_only").is_some_and(|v| v != "0");
-    let suffix = format!("select:{}:{}", u8::from(count_only), query.fingerprint());
+    let explain = req.param("explain").is_some_and(|v| v != "0");
+    // The cache keys on the *canonical* fingerprint, so commuted or
+    // double-negated spellings of one query share a cached response.
+    let suffix = format!(
+        "select:{}:{}:{}",
+        u8::from(count_only),
+        u8::from(explain),
+        pastas_query::canonical_fingerprint(&query)
+    );
     cached(ctx, &snapshot, &suffix, || {
-        let selection = Selection::from_query(&snapshot.workbench, &query);
-        let mut body = String::with_capacity(32 + selection.len() * 12);
-        let _ = write!(
-            body,
-            "{{\"version\":{},\"count\":{}",
-            snapshot.version,
-            selection.len()
-        );
+        let (ids, explained) = if explain {
+            let (positions, info) = snapshot.workbench.select_explain(&query);
+            let histories = snapshot.workbench.collection().histories();
+            let ids: Vec<PatientId> =
+                positions.iter().filter_map(|&i| histories.get(i as usize)).map(|h| h.id()).collect();
+            (ids, Some(info))
+        } else {
+            (Selection::from_query(&snapshot.workbench, &query).iter().collect(), None)
+        };
+        let mut body = String::with_capacity(32 + ids.len() * 12);
+        let _ = write!(body, "{{\"version\":{},\"count\":{}", snapshot.version, ids.len());
         if !count_only {
             body.push_str(",\"ids\":[");
-            for (i, id) in selection.iter().enumerate() {
+            for (i, id) in ids.iter().enumerate() {
                 if i > 0 {
                     body.push(',');
                 }
                 let _ = write!(body, "\"{id}\"");
             }
             body.push(']');
+        }
+        if let Some(info) = explained {
+            let _ = write!(
+                body,
+                ",\"explain\":{{\"full_scan\":{},\"plan\":{}}}",
+                info.used_full_scan(),
+                info.render_json()
+            );
         }
         body.push('}');
         Response::json(200, body)
@@ -303,6 +322,8 @@ fn metrics_response(ctx: &RouterCtx) -> Response {
         ("selection_cache_entries", wb.selection_cache_len() as f64),
         ("selection_cache_hits", wb.selection_cache_hits() as f64),
         ("selection_cache_misses", wb.selection_cache_misses() as f64),
+        ("select_index_hits", wb.select_index_hits() as f64),
+        ("select_scan_fallbacks", wb.select_scan_fallbacks() as f64),
     ];
     if let Some(pool) = ctx.pool_stats.get() {
         extra.push(("queue_depth", pool.queue_depth() as f64));
@@ -359,6 +380,41 @@ mod tests {
         let third = route(&post("/select", "  has(T90)  "), &ctx);
         assert_eq!(third.body, first.body);
         assert_eq!(ctx.cache.hits(), 2);
+    }
+
+    #[test]
+    fn select_explain_renders_the_plan() {
+        let ctx = ctx();
+        // Compound query with a negated code clause: the acceptance-
+        // criteria shape. Must be index-served, and say so.
+        let resp = route(&post("/select?explain=1", "has(K.*) and lacks(T90)"), &ctx);
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body.clone()).unwrap();
+        assert!(body.contains("\"explain\":{"), "{body}");
+        assert!(body.contains("\"full_scan\":false"), "{body}");
+        assert!(body.contains("\"op\":\"IndexFetch\""), "{body}");
+        assert!(Json::parse(&body).is_ok(), "explain response is valid JSON");
+        // Same query without explain: same count, no explain payload,
+        // distinct cache slot.
+        let plain = route(&post("/select", "has(K.*) and lacks(T90)"), &ctx);
+        let plain_body = String::from_utf8(plain.body).unwrap();
+        assert!(!plain_body.contains("explain"), "{plain_body}");
+        assert_eq!(ctx.cache.misses(), 2, "explain and plain cache separately");
+        // And the counters surfaced through /metrics reflect the planner.
+        let metrics = String::from_utf8(route(&get("/metrics"), &ctx).body).unwrap();
+        assert!(metrics.contains("\"select_index_hits\":"), "{metrics}");
+        assert!(metrics.contains("\"select_scan_fallbacks\":0"), "{metrics}");
+    }
+
+    #[test]
+    fn commuted_select_spellings_share_a_cached_response() {
+        let ctx = ctx();
+        let first = route(&post("/select", "has(T90) and age(40..90)"), &ctx);
+        assert_eq!(first.status, 200);
+        assert_eq!(ctx.cache.misses(), 1);
+        let swapped = route(&post("/select", "age(40..90) and has(T90)"), &ctx);
+        assert_eq!(swapped.body, first.body);
+        assert_eq!(ctx.cache.hits(), 1, "commuted clauses hit the response cache");
     }
 
     #[test]

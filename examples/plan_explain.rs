@@ -1,0 +1,150 @@
+//! Query-plan inspection and the planner's differential smoke test.
+//!
+//! ```text
+//! cargo run --release --example plan_explain -- [--patients N] [--seed S]
+//!     [--smoke] [--explain "QUERY"]
+//! ```
+//!
+//! Default mode compiles and executes a few representative cohort
+//! queries, printing each physical plan with per-operator candidate
+//! counts and timings (`EXPLAIN ANALYZE` for the workbench). `--explain`
+//! does the same for one query given in the query language. `--smoke` is
+//! the CI stage: for a battery of query shapes — positive, negated,
+//! counted, compound, disjunctive, demographic — it checks that the
+//! planned result equals the full `select_scan`, that the acceptance
+//! shape (`has ∧ lacks`) is served without a full-scan operator, and
+//! exits non-zero on any mismatch.
+
+use pastas_core::Workbench;
+use pastas_query::index::select_scan;
+use pastas_query::{parse_query, HistoryQuery, QueryPlan};
+use pastas_synth::{generate_collection, SynthConfig};
+
+fn arg(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The battery of query-language shapes the smoke test runs. The pairs
+/// are (text, must_be_index_served): `true` asserts the plan contains no
+/// full-scan operator — posting-list set algebra end to end.
+const SHAPES: &[(&str, bool)] = &[
+    ("has(T90)", true),
+    ("lacks(T90)", true),
+    ("has(K.*) and lacks(T90)", true),
+    ("has(T90|T89) and lacks(K74) and age(40..95)", true),
+    ("has(T90) or has(R95)", true),
+    ("count(K.*) >= 2", true),
+    ("not (has(T90) and has(K74))", true),
+    ("sex(F) and age(50..80)", false),
+    ("has(K.*) or sex(F)", false),
+];
+
+fn main() {
+    let patients = arg("--patients", 5_000) as usize;
+    let seed = arg("--seed", 7);
+    eprintln!("Generating {patients} patients (seed {seed}) …");
+    let collection = generate_collection(SynthConfig::with_patients(patients), seed);
+    let reference_date = collection
+        .stats()
+        .last
+        .map(|dt| dt.date())
+        .unwrap_or_else(|| pastas_time::Date::new(2013, 1, 1).expect("valid"));
+    let workbench = Workbench::from_collection(collection);
+
+    if flag("--smoke") {
+        std::process::exit(run_smoke(&workbench, reference_date));
+    }
+
+    let queries: Vec<String> = match arg_str("--explain") {
+        Some(text) => vec![text],
+        None => ["has(T90)", "has(K.*) and lacks(T90)", "lacks(T90) and age(40..90)"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+    };
+    for text in queries {
+        let query = match parse_query(&text, reference_date) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("bad query {text:?}: {e}");
+                std::process::exit(2);
+            }
+        };
+        explain_one(&workbench, &text, &query);
+    }
+}
+
+fn explain_one(workbench: &Workbench, text: &str, query: &HistoryQuery) {
+    let (positions, explain) = workbench.select_explain(query);
+    println!("query: {text}");
+    println!(
+        "matched {} of {} — {}",
+        positions.len(),
+        workbench.collection().len(),
+        if explain.used_full_scan() { "full scan" } else { "index-served" }
+    );
+    print!("{}", explain.render_text());
+    println!();
+}
+
+/// Differential check: planner output == scan output for every shape,
+/// with the index-served expectations honoured. Returns the exit code.
+fn run_smoke(workbench: &Workbench, reference_date: pastas_time::Date) -> i32 {
+    let collection = workbench.collection();
+    let index = workbench.index();
+    let mut failures = 0u32;
+    for &(text, must_index) in SHAPES {
+        let query = match parse_query(text, reference_date) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("  FAIL parse {text:?}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let plan = QueryPlan::build(index, collection, &query);
+        let planned = plan.execute(collection, index);
+        let scanned = select_scan(collection, &query);
+        if planned != scanned {
+            eprintln!(
+                "  FAIL {text:?}: planned {} != scanned {}\n{}",
+                planned.len(),
+                scanned.len(),
+                plan.render()
+            );
+            failures += 1;
+            continue;
+        }
+        if must_index && plan.uses_full_scan() {
+            eprintln!("  FAIL {text:?}: expected index-served plan, got\n{}", plan.render());
+            failures += 1;
+            continue;
+        }
+        eprintln!(
+            "  ok   {text} — {} matched, {}",
+            planned.len(),
+            if plan.uses_full_scan() { "scan" } else { "index" }
+        );
+    }
+    if failures > 0 {
+        eprintln!("PLANNER SMOKE: {failures} check(s) FAILED");
+        1
+    } else {
+        eprintln!("PLANNER SMOKE: all checks passed");
+        0
+    }
+}

@@ -121,6 +121,18 @@ fn run_smoke(addr: std::net::SocketAddr) -> u32 {
         format!("{second:?}"),
     );
 
+    // /select?explain=1 on a compound query with a negated code clause:
+    // the executed plan must come back, and must be index-served.
+    let explain = conn.post("/select?explain=1&count_only=1", b"has(K.*) and lacks(T90)");
+    let explain_body = explain.as_ref().map(|r| r.body_str().into_owned()).unwrap_or_default();
+    check(
+        "POST /select?explain=1",
+        explain.as_ref().is_ok_and(|r| r.status == 200)
+            && explain_body.contains("\"explain\"")
+            && explain_body.contains("\"full_scan\":false"),
+        format!("{explain_body:?}"),
+    );
+
     let svg = conn.get("/cohort.svg?w=600&h=400");
     check(
         "GET /cohort.svg",

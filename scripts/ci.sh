@@ -26,10 +26,17 @@ stage "cargo test" cargo test -q
 # Non-zero exit on any finding fails the gate.
 stage "lint (pastas-lint)" cargo run -q -p pastas-lint -- --workspace
 stage "cargo clippy (deny warnings)" cargo clippy --all-targets -- -D warnings
+# Planner smoke: differential scan-vs-plan check over a battery of query
+# shapes (positive, negated, counted, compound, disjunctive, demographic)
+# on a small synth collection, asserting the has∧lacks shape is served by
+# posting-list set algebra. Exits non-zero on any mismatch.
+stage "planner smoke (differential)" \
+    cargo run --release --example plan_explain -- --smoke --patients 2000
 # Loopback smoke of the serve layer: starts a real server on an
-# OS-assigned port, fires every endpoint, asserts 200s, a response-cache
-# hit on the repeated /select, zero worker panics, and a graceful
-# shutdown. Exits non-zero on any failed check.
+# OS-assigned port, fires every endpoint (including /select?explain=1 on
+# a negated compound query, asserting an index-served plan), asserts
+# 200s, a response-cache hit on the repeated /select, zero worker panics,
+# and a graceful shutdown. Exits non-zero on any failed check.
 stage "serve smoke (loopback)" \
     cargo run --release --example serve_cohorts -- --smoke --patients 1500
 
