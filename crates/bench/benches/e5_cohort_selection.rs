@@ -5,12 +5,100 @@
 //! scale, verifies the selectivity lands near 7.7%, and runs the
 //! indexed-vs-scan ablation. The full 168k measurement lives in
 //! `examples/cohort_selection_168k.rs`.
+//!
+//! The plan ablation now runs in tiers: the bench scale (median-of-5 on
+//! both paths), one million patients on the sharded store (single scan as
+//! the differential oracle — a 1M scan is seconds — with median planned
+//! timings), and ten million behind `--full`. All tiers land in
+//! `BENCH_plan.json` with the compressed-postings bytes and shard count.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pastas_bench::{base_scale, cohort, header, median_ms, par_ratio_row};
+use pastas_model::MemoryFootprint;
 use pastas_query::index::select_scan;
-use pastas_query::{CodeIndex, QueryBuilder, QueryPlan};
+use pastas_query::{CodeIndex, HistoryQuery, QueryBuilder, QueryPlan};
+use pastas_synth::{generate_collection, SynthConfig};
 use std::fmt::Write as _;
+
+/// The three query shapes the planner exists for: positive, negated, and
+/// compound-with-negation. The old engine index-served only the first;
+/// the other two fell back to a full scan.
+fn plan_shapes() -> [(&'static str, HistoryQuery); 3] {
+    let positive = QueryBuilder::new().has_code("T90|T89|E1[014].*").expect("regex").build();
+    let negated = QueryBuilder::new().lacks_code("T90|T89|E1[014].*").expect("regex").build();
+    let compound_negated = QueryBuilder::new()
+        .has_code("K8[5-7]|I1[0-5].*")
+        .expect("regex")
+        .lacks_code("T90|T89|E1[014].*")
+        .expect("regex")
+        .age_between(pastas_time::Date::new(2013, 1, 1).expect("date"), 40, 120)
+        .build();
+    [("positive", positive), ("negated", negated), ("compound_negated", compound_negated)]
+}
+
+/// Run the scan-vs-planned ablation for one patient tier and append its
+/// JSON object to `json`. `scan_medians` controls whether the scan side
+/// is median-of-5 (bench scale) or a single differential run (1M/10M,
+/// where one scan is seconds and five per shape would dominate the bench).
+fn plan_tier(json: &mut String, patients: usize, shard_patients: usize, scan_medians: bool) {
+    eprintln!("\n-- plan tier: {patients} patients (shard_patients {shard_patients}) --");
+    let config = SynthConfig { shard_patients, ..SynthConfig::with_patients(patients) };
+    let collection = generate_collection(config, 2016);
+    let index = CodeIndex::build(&collection);
+    let fp = index.footprint();
+    let arena_bytes = collection.sharded_store().total_bytes();
+    eprintln!(
+        "index: {} shards, postings {} B compressed vs {} B as Vec<u32> ({:.2}x), \
+         arenas {} B",
+        fp.shards,
+        fp.postings_compressed_bytes,
+        fp.postings_uncompressed_bytes_est,
+        fp.postings_uncompressed_bytes_est as f64 / fp.postings_compressed_bytes.max(1) as f64,
+        arena_bytes
+    );
+    let _ = writeln!(
+        json,
+        "    {{\n      \"patients\": {patients},\n      \"shards\": {},\n      \
+         \"postings_bytes\": {},\n      \"queries\": [",
+        fp.shards, fp.postings_compressed_bytes
+    );
+    eprintln!("query shape        | scan ms | planned ms | speedup | matched | full_scan");
+    let shapes = plan_shapes();
+    for (i, (name, q)) in shapes.iter().enumerate() {
+        let plan = QueryPlan::build(&index, &collection, q);
+        let planned = plan.execute(&collection, &index);
+        let (scanned, scan_ms) = if scan_medians {
+            let scanned = select_scan(&collection, q);
+            let ms = median_ms(|| {
+                std::hint::black_box(select_scan(&collection, q));
+            });
+            (scanned, ms)
+        } else {
+            let t = std::time::Instant::now();
+            let scanned = select_scan(&collection, q);
+            (scanned, t.elapsed().as_secs_f64() * 1e3)
+        };
+        assert_eq!(planned, scanned, "{name}: planner must agree with the scan");
+        let plan_ms = median_ms(|| {
+            std::hint::black_box(plan.execute(&collection, &index));
+        });
+        eprintln!(
+            "{name:<18} | {scan_ms:>7.2} | {plan_ms:>10.2} | {:>6.1}x | {:>7} | {}",
+            scan_ms / plan_ms,
+            planned.len(),
+            plan.uses_full_scan()
+        );
+        let _ = write!(
+            json,
+            "        {{\"name\": \"{name}\", \"scan_ms\": {scan_ms:.3}, \
+             \"planned_ms\": {plan_ms:.3}, \"matched\": {}, \"full_scan\": {}}}",
+            planned.len(),
+            plan.uses_full_scan()
+        );
+        json.push_str(if i + 1 < shapes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("      ]\n    }");
+}
 
 fn bench(c: &mut Criterion) {
     header(
@@ -31,7 +119,22 @@ fn bench(c: &mut Criterion) {
         100.0 * selected.len() as f64 / n as f64,
         index.vocabulary_size()
     );
-    pastas_bench::memory_row(&collection);
+    // Memory: arena bytes plus the compressed-postings accounting, and the
+    // per-shard arena split when the store is sharded.
+    let fp = index.footprint();
+    let footprint = MemoryFootprint::measure(&collection).with_postings(
+        fp.postings,
+        fp.postings_compressed_bytes,
+        fp.postings_uncompressed_bytes_est,
+    );
+    eprintln!("{}", footprint.summary());
+    let shard_bytes = collection.sharded_store().shard_bytes();
+    eprintln!(
+        "arenas: {} shard{}, bytes per shard {:?}",
+        shard_bytes.len(),
+        if shard_bytes.len() == 1 { "" } else { "s" },
+        shard_bytes
+    );
 
     c.bench_function("e5_selection_indexed", |b| {
         b.iter(|| index.select(&collection, &query))
@@ -74,54 +177,20 @@ fn bench(c: &mut Criterion) {
         b.iter(|| index.select(&collection, &compound))
     });
 
-    // Scan-vs-planned ablation across the query shapes the planner
-    // exists for: positive, negated, and compound-with-negation. The old
-    // engine index-served only the first; the other two fell back to a
-    // full scan. Writes BENCH_plan.json at the repo root.
-    let negated = QueryBuilder::new().lacks_code("T90|T89|E1[014].*").expect("regex").build();
-    let compound_negated = QueryBuilder::new()
-        .has_code("K8[5-7]|I1[0-5].*")
-        .expect("regex")
-        .lacks_code("T90|T89|E1[014].*")
-        .expect("regex")
-        .age_between(pastas_time::Date::new(2013, 1, 1).expect("date"), 40, 120)
-        .build();
-    let shapes: [(&str, &pastas_query::HistoryQuery); 3] = [
-        ("positive", &query),
-        ("negated", &negated),
-        ("compound_negated", &compound_negated),
-    ];
-    let mut json = String::from("{\n  \"experiment\": \"plan\",\n");
-    let _ = writeln!(json, "  \"patients\": {n},");
-    json.push_str("  \"queries\": [\n");
-    eprintln!("query shape        | scan ms | planned ms | speedup | matched | full_scan");
-    for (i, (name, q)) in shapes.iter().enumerate() {
-        let plan = QueryPlan::build(&index, &collection, q);
-        let planned = plan.execute(&collection, &index);
-        let scanned = select_scan(&collection, q);
-        assert_eq!(planned, scanned, "{name}: planner must agree with the scan");
-        let scan_ms = median_ms(|| {
-            std::hint::black_box(select_scan(&collection, q));
-        });
-        let plan_ms = median_ms(|| {
-            std::hint::black_box(plan.execute(&collection, &index));
-        });
-        eprintln!(
-            "{name:<18} | {scan_ms:>7.2} | {plan_ms:>10.2} | {:>6.1}x | {:>7} | {}",
-            scan_ms / plan_ms,
-            planned.len(),
-            plan.uses_full_scan()
-        );
-        let _ = write!(
-            json,
-            "    {{\"name\": \"{name}\", \"scan_ms\": {scan_ms:.3}, \"planned_ms\": {plan_ms:.3}, \
-             \"matched\": {}, \"full_scan\": {}}}",
-            planned.len(),
-            plan.uses_full_scan()
-        );
-        json.push_str(if i + 1 < shapes.len() { ",\n" } else { "\n" });
+    // Scan-vs-planned ablation tiers → BENCH_plan.json at the repo root.
+    // Default: the bench scale plus one million sharded patients. `--full`
+    // (cargo bench --bench e5_cohort_selection -- --full) adds ten million.
+    drop(collection);
+    let full = std::env::args().any(|a| a == "--full");
+    let mut json = String::from("{\n  \"experiment\": \"plan\",\n  \"tiers\": [\n");
+    plan_tier(&mut json, n, 0, true);
+    json.push_str(",\n");
+    plan_tier(&mut json, 1_000_000, 65_536, false);
+    if full {
+        json.push_str(",\n");
+        plan_tier(&mut json, 10_000_000, 65_536, false);
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("\n  ]\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plan.json");
     std::fs::write(path, &json).expect("write BENCH_plan.json");
     eprintln!("wrote {path}");

@@ -93,7 +93,8 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "budget-enforced-alloc",
-        "flag request-fed with_capacity/read_to_end in serve/http.rs without a budget clamp",
+        "flag request-fed with_capacity/read_to_end in serve/http.rs without a budget \
+         clamp, and bitmap decodes (`to_vec`) inside loops in the query crate",
     ),
     (
         "test-file-hygiene",
@@ -547,6 +548,9 @@ fn rule_no_silent_truncation(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
 }
 
 fn rule_budget_enforced_alloc(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if ctx.path.contains("query/src/") {
+        budget_alloc_query_decode_loops(ctx, out);
+    }
     if !ctx.path.ends_with("serve/src/http.rs") {
         return;
     }
@@ -582,6 +586,64 @@ fn rule_budget_enforced_alloc(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
                      clamp — bound it (e.g. `.min(limits.max_…)`) so a hostile request \
                      cannot size the allocation"
                 ),
+            ));
+        }
+    }
+}
+
+/// The query-crate arm of `budget-enforced-alloc`: decoding a compressed
+/// posting bitmap to `Vec<u32>` (`to_vec`) inside a loop body defeats
+/// the compression the planner's latency budget rests on — set algebra
+/// must stay in container space (intersect/union/complement), with at
+/// most one decode hoisted after the loop.
+fn budget_alloc_query_decode_loops(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    // Loop body ranges: `for … in … {…}`, `while … {…}`, `loop {…}`.
+    let mut bodies: Vec<(usize, usize)> = Vec::new();
+    for p in 0..ctx.sig.len() {
+        let kw = ctx.sig_text(p);
+        if kw != "for" && kw != "while" && kw != "loop" {
+            continue;
+        }
+        let mut saw_in = false;
+        let mut open = None;
+        for q in p + 1..ctx.sig.len() {
+            let t = ctx.sig_token(q);
+            if t.is_punct(ctx.src, ';') || t.is_punct(ctx.src, '}') {
+                break;
+            }
+            if t.is_punct(ctx.src, '{') {
+                open = Some(q);
+                break;
+            }
+            if ctx.sig_text(q) == "in" {
+                saw_in = true;
+            }
+        }
+        // `impl Trait for Type` and `for<'a>` bounds carry no `in`
+        // before their brace; a `for` loop header always does.
+        if kw == "for" && !saw_in {
+            continue;
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = ctx.pair[open] else { continue };
+        bodies.push((open, close));
+    }
+    for p in 0..ctx.sig.len() {
+        if ctx.sig_is_test(p) || ctx.sig_text(p) != "to_vec" {
+            continue;
+        }
+        // The definition (`pub fn to_vec`) is not a call site.
+        if p > 0 && ctx.sig_text(p - 1) == "fn" {
+            continue;
+        }
+        if bodies.iter().any(|&(open, close)| open < p && p < close) {
+            out.push(ctx.finding(
+                ctx.sig_token(p),
+                "budget-enforced-alloc",
+                "`to_vec` decodes a full compressed bitmap inside a loop — keep the \
+                 set algebra in container space (intersect/union/complement) and \
+                 hoist a single decode out of the loop"
+                    .to_owned(),
             ));
         }
     }

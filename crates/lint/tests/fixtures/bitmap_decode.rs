@@ -1,0 +1,37 @@
+// lint-fixture-path: crates/query/src/plan_helpers.rs
+//! Fixture: the query-crate arm of `budget-enforced-alloc` — bitmap
+//! decodes (`to_vec`) inside loop bodies.
+
+fn union_all(maps: &[Bitmap]) -> Vec<u32> {
+    let mut acc = Bitmap::new();
+    let mut flat = Vec::new();
+    for bm in maps {
+        acc = acc.union(bm);
+        flat.extend(bm.to_vec()); // decode in a `for` body: finding
+    }
+    let mut it = maps.iter();
+    while let Some(bm) = it.next() {
+        flat.extend(bm.to_vec()); // decode in a `while` body: finding
+    }
+    loop {
+        flat.extend(acc.to_vec()); // decode in a `loop` body: finding
+        break;
+    }
+    acc.to_vec() // one decode after the set algebra: ok
+}
+
+impl Decode for Wrapper {
+    fn decode(&self) -> Vec<u32> {
+        self.inner.to_vec() // `for` in `impl … for` is not a loop: ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_loops_are_exempt() {
+        for bm in build() {
+            let _ = bm.to_vec();
+        }
+    }
+}

@@ -133,6 +133,19 @@ fn budget_flags_unclamped_request_fed_allocations() {
 }
 
 #[test]
+fn budget_flags_bitmap_decodes_inside_query_loops() {
+    let findings = check_fixture("bitmap_decode");
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("budget-enforced-alloc", 10),
+            ("budget-enforced-alloc", 14),
+            ("budget-enforced-alloc", 17),
+        ]
+    );
+}
+
+#[test]
 fn hygiene_fires_on_big_untested_module_and_proptests_satisfy_it() {
     let mut src = String::from("//! Big module.\n\npub struct S;\n");
     for i in 0..400 {

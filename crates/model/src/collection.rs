@@ -179,6 +179,14 @@ impl HistoryCollection {
         }
     }
 
+    /// The distinct arenas backing this collection, in first-appearance
+    /// order — one for a monolithic build, one per patient range for a
+    /// sharded one (see
+    /// [`crate::CollectionBuilder::with_shard_patients`]).
+    pub fn sharded_store(&self) -> crate::ShardedStore {
+        crate::ShardedStore::from_collection(self)
+    }
+
     /// Iterate over histories.
     pub fn iter(&self) -> HistoriesIter<'_> {
         HistoriesIter { inner: self.histories.iter() }

@@ -33,7 +33,7 @@ pub use entry::{EpisodeKind, Entry, Event, Interval, MeasurementKind, Payload, S
 pub use history::{History, Patient, Sex, ValidationReport};
 pub use store::{
     CodeId, CodeInterner, CollectionBuilder, Entries, EntriesIter, EntryRef, EntryView,
-    EventStore, MemoryFootprint, PayloadRef,
+    EventStore, MemoryFootprint, PayloadRef, ShardedStore,
 };
 
 /// A patient identifier, unique within a collection.

@@ -826,6 +826,14 @@ pub struct MemoryFootprint {
     pub columnar_bytes: usize,
     /// Estimated bytes for the same data as `Vec<Entry>` per patient.
     pub aos_bytes: usize,
+    /// Total postings in the code index, when attached via
+    /// [`MemoryFootprint::with_postings`] (the model layer cannot see the
+    /// query index; the bench/serve layers fill this in).
+    pub postings: usize,
+    /// Compressed posting-bitmap bytes, when attached.
+    pub postings_compressed_bytes: usize,
+    /// What the same postings cost as `Vec<u32>`, when attached.
+    pub postings_uncompressed_bytes_est: usize,
 }
 
 impl MemoryFootprint {
@@ -868,9 +876,33 @@ impl MemoryFootprint {
         self.aos_bytes as f64 / (self.columnar_bytes as f64).max(1.0)
     }
 
-    /// One human-readable report line.
+    /// Attach code-index posting accounting (measured by the query layer).
+    pub fn with_postings(
+        mut self,
+        postings: usize,
+        compressed_bytes: usize,
+        uncompressed_bytes_est: usize,
+    ) -> MemoryFootprint {
+        self.postings = postings;
+        self.postings_compressed_bytes = compressed_bytes;
+        self.postings_uncompressed_bytes_est = uncompressed_bytes_est;
+        self
+    }
+
+    /// Compressed bytes per posting (0 when no postings attached).
+    pub fn bytes_per_posting(&self) -> f64 {
+        self.postings_compressed_bytes as f64 / (self.postings as f64).max(1.0)
+    }
+
+    /// How many times smaller the compressed postings are than `Vec<u32>`.
+    pub fn postings_reduction(&self) -> f64 {
+        self.postings_uncompressed_bytes_est as f64
+            / (self.postings_compressed_bytes as f64).max(1.0)
+    }
+
+    /// One human-readable report line (two when postings are attached).
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "memory: {:.1} B/entry columnar vs {:.1} B/entry AoS ({:.2}x smaller; \
              {} entries in {} arena{})",
             self.columnar_per_entry(),
@@ -879,7 +911,76 @@ impl MemoryFootprint {
             self.entries,
             self.stores,
             if self.stores == 1 { "" } else { "s" }
-        )
+        );
+        if self.postings > 0 {
+            s.push_str(&format!(
+                "\npostings: {:.2} B/posting compressed vs 4.00 B/posting Vec<u32> \
+                 ({:.2}x smaller; {} postings)",
+                self.bytes_per_posting(),
+                self.postings_reduction(),
+                self.postings
+            ));
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded store facade
+// ---------------------------------------------------------------------------
+
+/// The patient-range-sharded arena facade: the distinct [`EventStore`]
+/// arenas backing a collection, in first-appearance (patient) order.
+///
+/// A monolithic collection has one shard; a [`CollectionBuilder`] with
+/// [`CollectionBuilder::with_shard_patients`] produces one arena per
+/// patient range, each with its own (small) [`CodeInterner`]. The query
+/// layer merges those interners through its global symbol table, so
+/// downstream code sees one vocabulary regardless of the split; this
+/// facade exists for accounting (per-shard arena bytes in E5 and the
+/// serve layer's `/metrics`) and for layers that want to walk arenas
+/// instead of histories.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedStore {
+    shards: Vec<Arc<EventStore>>,
+}
+
+impl ShardedStore {
+    /// The distinct arenas of a collection, in the order their first
+    /// history appears.
+    pub fn from_collection(collection: &crate::HistoryCollection) -> ShardedStore {
+        let mut shards: Vec<Arc<EventStore>> = Vec::new();
+        for h in collection.iter() {
+            if shards.iter().all(|s| !Arc::ptr_eq(s, h.store())) {
+                shards.push(Arc::clone(h.store()));
+            }
+        }
+        ShardedStore { shards }
+    }
+
+    /// Number of arenas.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The arenas, in first-appearance order.
+    pub fn shards(&self) -> &[Arc<EventStore>] {
+        &self.shards
+    }
+
+    /// Heap bytes per arena (columns + interner), in shard order.
+    pub fn shard_bytes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.heap_bytes()).collect()
+    }
+
+    /// Heap bytes across all arenas.
+    pub fn total_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.heap_bytes()).sum()
+    }
+
+    /// Entries across all arenas.
+    pub fn total_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
     }
 }
 
@@ -887,29 +988,57 @@ impl MemoryFootprint {
 // Collection building
 // ---------------------------------------------------------------------------
 
-/// Builds one shared [`EventStore`] arena for a whole collection.
+/// Builds the shared [`EventStore`] arena(s) for a whole collection.
 ///
 /// `ingest::aggregate` and `synth::generate_collection` funnel through
 /// here: per-patient entries are birth-validated and stably sorted by
 /// `(start, end)` (exactly the order repeated [`History::insert`] calls
-/// produce), then appended to one arena that every resulting [`History`]
+/// produce), then appended to an arena that every resulting [`History`]
 /// views by span — cohort extraction and sorting never copy entry data.
+///
+/// By default the whole collection shares one arena. At the 1M–10M
+/// patient scale a single arena (and its single interner) becomes the
+/// memory and parallelism ceiling, so
+/// [`CollectionBuilder::with_shard_patients`] seals the current arena
+/// every *n* patients and starts a fresh one with its own interner —
+/// the [`ShardedStore`] layout the sharded query index rides on.
 #[derive(Debug, Default)]
 pub struct CollectionBuilder {
     store: EventStore,
-    patients: Vec<(Patient, u32, u32)>,
+    /// Arenas already sealed by the patient-range shard cut.
+    sealed: Vec<Arc<EventStore>>,
+    /// `(patient, arena slot, lo, hi)` — the slot indexes `sealed` after
+    /// the final seal in [`CollectionBuilder::build`].
+    patients: Vec<(Patient, u32, u32, u32)>,
+    /// Patients in the not-yet-sealed arena.
+    in_current: u32,
+    /// Seal threshold; 0 = monolithic (the default).
+    shard_patients: u32,
     report: ValidationReport,
 }
 
 impl CollectionBuilder {
-    /// An empty builder.
+    /// An empty builder (monolithic: one shared arena).
     pub fn new() -> CollectionBuilder {
         CollectionBuilder::default()
+    }
+
+    /// Seal the arena every `n` patients, giving each patient range its
+    /// own [`EventStore`] with its own interner. `0` restores the
+    /// monolithic default. Aligning `n` with the query index's shard
+    /// width (65 536) keeps one arena per index shard.
+    pub fn with_shard_patients(mut self, n: usize) -> CollectionBuilder {
+        self.shard_patients = u32::try_from(n).unwrap_or(u32::MAX);
+        self
     }
 
     /// Add one patient's entries (any order; they are validated against
     /// the birth date and sorted here). Returns this patient's report.
     pub fn add_patient(&mut self, patient: Patient, entries: Vec<Entry>) -> ValidationReport {
+        if self.shard_patients > 0 && self.in_current >= self.shard_patients {
+            self.sealed.push(Arc::new(std::mem::take(&mut self.store)));
+            self.in_current = 0;
+        }
         let mut report = ValidationReport::default();
         let mut accepted: Vec<Entry> = Vec::with_capacity(entries.len());
         for e in entries {
@@ -921,24 +1050,29 @@ impl CollectionBuilder {
             }
         }
         accepted.sort_by_key(|e| (e.start(), e.end()));
+        // lint:allow(no-silent-truncation) arena count stays far below u32::MAX
+        let slot = self.sealed.len() as u32;
         let lo = self.store.len_u32();
         for e in &accepted {
             self.store.push(e);
         }
         let hi = self.store.len_u32();
-        self.patients.push((patient, lo, hi));
+        self.patients.push((patient, slot, lo, hi));
+        self.in_current += 1;
         self.report.merge(&report);
         report
     }
 
-    /// Finish: one shared arena, one [`History`] span per patient (in
-    /// insertion order), plus the merged validation report.
+    /// Finish: one [`History`] span per patient (in insertion order) over
+    /// the shared arena(s), plus the merged validation report.
     pub fn build(self) -> (HistoryCollection, ValidationReport) {
-        let arena = Arc::new(self.store);
+        let mut arenas = self.sealed;
+        arenas.push(Arc::new(self.store));
         let collection = HistoryCollection::from_histories(
-            self.patients
-                .into_iter()
-                .map(|(patient, lo, hi)| History::from_span(patient, Arc::clone(&arena), lo, hi)),
+            self.patients.into_iter().map(|(patient, slot, lo, hi)| {
+                // lint:allow(no-panic-hot-path) every recorded slot was sealed above
+                History::from_span(patient, Arc::clone(&arenas[slot as usize]), lo, hi)
+            }),
         );
         (collection, self.report)
     }
@@ -1100,6 +1234,67 @@ mod tests {
         for h in &collection {
             assert_eq!(h.len(), 5);
             assert!(h.entries().iter().all(|e| e.start() >= t(2013, 3, 1)));
+        }
+    }
+
+    #[test]
+    fn sharded_builder_seals_one_arena_per_patient_range() {
+        let mut b = CollectionBuilder::new().with_shard_patients(2);
+        for id in 1..=5u64 {
+            let patient = Patient {
+                id: PatientId(id),
+                birth_date: Date::new(1950, 1, 1).unwrap(),
+                sex: Sex::Female,
+            };
+            b.add_patient(patient, sample_entries());
+        }
+        let (collection, report) = b.build();
+        assert_eq!(report.accepted, 25);
+        assert_eq!(collection.len(), 5);
+        let sharded = collection.sharded_store();
+        assert_eq!(sharded.shard_count(), 3, "5 patients / 2 per shard = 3 arenas");
+        assert_eq!(sharded.total_entries(), 25);
+        assert_eq!(sharded.shard_bytes().len(), 3);
+        assert!(sharded.total_bytes() > 0);
+        // Patients 1-2 share the first arena, 3-4 the second, 5 the third.
+        let ptrs: Vec<_> = collection.iter().map(|h| Arc::as_ptr(h.store())).collect();
+        assert_eq!(ptrs[0], ptrs[1]);
+        assert_eq!(ptrs[2], ptrs[3]);
+        assert_ne!(ptrs[0], ptrs[2]);
+        assert_ne!(ptrs[2], ptrs[4]);
+        // Each shard's interner is self-contained: every history decodes.
+        for h in &collection {
+            assert_eq!(h.len(), 5);
+            h.debug_validate();
+        }
+        // Spans restart at each fresh arena.
+        for shard in sharded.shards() {
+            assert_eq!(shard.len() % 5, 0);
+            shard.debug_validate();
+        }
+    }
+
+    #[test]
+    fn sharded_and_monolithic_builders_agree_on_contents() {
+        let make = |shard: usize| {
+            let mut b = CollectionBuilder::new().with_shard_patients(shard);
+            for id in 1..=4u64 {
+                let patient = Patient {
+                    id: PatientId(id),
+                    birth_date: Date::new(1950, 1, 1).unwrap(),
+                    sex: Sex::Male,
+                };
+                b.add_patient(patient, sample_entries());
+            }
+            b.build().0
+        };
+        let mono = make(0);
+        let sharded = make(3);
+        assert_eq!(mono.sharded_store().shard_count(), 1);
+        assert_eq!(sharded.sharded_store().shard_count(), 2);
+        for (a, b) in mono.iter().zip(sharded.iter()) {
+            assert_eq!(a.patient().id, b.patient().id);
+            assert_eq!(a.entries().to_vec(), b.entries().to_vec());
         }
     }
 

@@ -1,34 +1,50 @@
-//! The inverted code index.
+//! The inverted code index, sharded and compressed.
 //!
 //! "It can be challenging to use for large data sets" is the paper's own
 //! conclusion; this index is our answer. It maps every distinct code value
-//! to the (sorted, deduplicated) list of history positions containing it,
-//! so a regex cohort selection first matches the regex against the
-//! *distinct code vocabulary* (hundreds of strings) instead of every entry
-//! of 168,000 histories, then unions candidate lists.
+//! to the set of history positions containing it, so a regex cohort
+//! selection first matches the regex against the *distinct code
+//! vocabulary* (hundreds of strings) instead of every entry of millions of
+//! histories, then unions candidate sets.
 //!
-//! Three refinements on top of the vocabulary scan:
+//! Scale refinements on top of the vocabulary scan:
 //!
+//! * postings are **compressed bitmaps** ([`crate::bitmap::Bitmap`]), not
+//!   `Vec<u32>`: the planner's set algebra (intersect/union/complement)
+//!   runs on roaring-style containers without materializing positions,
+//!   and a negated clause costs runs, not millions of integers;
+//! * postings are **sharded by history-position range**: shard `k` covers
+//!   positions `[k·65536, (k+1)·65536)`, so shard-relative positions fit
+//!   the low 16 bits and every shard-local posting is a single dense
+//!   container. The planner evaluates per shard (fanning out on
+//!   [`pastas_par`]) and global bitmaps assemble by container
+//!   concatenation ([`crate::bitmap::Bitmap::append_shard`]) — no decode,
+//!   no re-sort;
 //! * the build rides the model layer's [`pastas_model::CodeInterner`]:
 //!   the vocabulary is assembled from the distinct codes each backing
 //!   [`EventStore`] already interned (a per-store `CodeId` → vocabulary
 //!   slot translation table), so posting an entry is two integer lookups
 //!   via [`pastas_model::EntryRef::code_id`] — **no per-entry string
-//!   clone or hash**. The sorted vocabulary is probed by binary search;
-//!   the regex engine's guaranteed literal prefix
-//!   ([`pastas_regex::PrefixInfo`]) turns `K.*` into a `partition_point`
-//!   plus a linear walk over the `K…` run, and `T90` into a single
-//!   equality probe, with no per-query allocation;
-//! * candidate verification and the index build itself run on the
-//!   [`pastas_par`] parallel layer (chunked, deterministic: per-chunk
-//!   postings merge in chunk order, so `PASTAS_THREADS=1` reproduces the
-//!   serial result bit for bit);
+//!   clone or hash**. With a patient-range-sharded arena
+//!   ([`pastas_model::ShardedStore`]) each store's interner merges into
+//!   the same global symbol table, so per-shard interners stay small and
+//!   the query layer never sees the split;
+//! * the sorted vocabulary is probed by binary search; the regex engine's
+//!   guaranteed literal prefix ([`pastas_regex::PrefixInfo`]) turns `K.*`
+//!   into a `partition_point` plus a linear walk over the `K…` run, and
+//!   `T90` into a single equality probe, with no per-query allocation;
+//! * build and candidate verification run on the [`pastas_par`] parallel
+//!   layer (chunked, deterministic: per-chunk postings merge in chunk
+//!   order, so `PASTAS_THREADS=1` reproduces the serial result bit for
+//!   bit); the intermediate build state is per-shard, bounding peak RSS
+//!   at 10M patients;
 //! * compiled regexes are memoized per index, so re-running a selection
 //!   (the workbench's dominant interaction) skips recompilation.
 //!
 //! The E5/E8 benches compare all paths (scan, vocabulary, prefix,
-//! serial vs. parallel).
+//! serial vs. parallel) and report compressed-vs-`Vec<u32>` posting bytes.
 
+use crate::bitmap::Bitmap;
 use crate::query::HistoryQuery;
 use pastas_model::{EventStore, HistoryCollection};
 use pastas_regex::Regex;
@@ -40,7 +56,54 @@ use std::sync::{Arc, Mutex};
 /// history, so small cohorts stay on the serial path.
 const PAR_MIN_HISTORIES: usize = 256;
 
-/// Inverted index: distinct code value → history positions.
+/// History positions per index shard. Matches the bitmap container width
+/// so shard-relative positions are exactly the low 16 bits: every
+/// shard-local posting is one container, and assembling a global bitmap
+/// is a key-offset concatenation.
+pub const SHARD_ROWS: u32 = 1 << 16;
+
+/// One patient-range shard of the index: compressed postings over the
+/// shard-relative positions `0..rows`.
+#[derive(Debug, PartialEq)]
+pub(crate) struct IndexShard {
+    /// First global history position of this shard (a multiple of
+    /// [`SHARD_ROWS`]).
+    pub(crate) base: u32,
+    /// Histories covered (= [`SHARD_ROWS`] except for the final shard).
+    pub(crate) rows: u32,
+    /// `postings[slot]`: shard-relative positions containing
+    /// `vocab[slot]`. Same length as the vocabulary; shard-locally empty
+    /// slots hold the empty bitmap (cheap — no containers).
+    pub(crate) postings: Vec<Bitmap>,
+}
+
+impl IndexShard {
+    /// Union the postings of `slots` within this shard (shard-relative).
+    pub(crate) fn union_slots(&self, slots: &[u32]) -> Bitmap {
+        let mut acc = Bitmap::new();
+        for &slot in slots {
+            // lint:allow(no-panic-hot-path) slots come from vocabulary walks
+            acc = acc.union(&self.postings[slot as usize]);
+        }
+        acc
+    }
+}
+
+/// Memory accounting for the compressed postings, reported by E5 and the
+/// serve layer's `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexFootprint {
+    /// Number of patient-range shards.
+    pub shards: usize,
+    /// Total postings (code, position) pairs across every shard.
+    pub postings: usize,
+    /// Heap bytes of every compressed posting bitmap.
+    pub postings_compressed_bytes: usize,
+    /// Bytes the same postings would cost as `Vec<u32>` (4 B/position).
+    pub postings_uncompressed_bytes_est: usize,
+}
+
+/// Inverted index: distinct code value → compressed history-position set.
 ///
 /// Values are merged across code systems (the paper's regexes — `T90`,
 /// `F.*|H.*` — select by value; a value that exists in two systems simply
@@ -51,8 +114,14 @@ pub struct CodeIndex {
     /// Distinct code values present in the collection, sorted. Probed by
     /// binary search; a literal prefix selects a contiguous run.
     vocab: Vec<Box<str>>,
-    /// `postings[i]`: ascending history positions containing `vocab[i]`.
-    postings: Vec<Vec<u32>>,
+    /// `counts[slot]`: total positions holding `vocab[slot]` across all
+    /// shards — O(1) planner cardinality estimates.
+    counts: Vec<u32>,
+    /// Patient-range shards in ascending `base` order, partitioning
+    /// `0..rows`.
+    shards: Vec<IndexShard>,
+    /// Total history count (the complement universe).
+    rows: u32,
     /// Compiled patterns memoized across selections on this index.
     compiled: Mutex<HashMap<String, Regex>>,
 }
@@ -60,14 +129,27 @@ pub struct CodeIndex {
 impl CodeIndex {
     /// Build the index over a collection.
     ///
-    /// Two phases. First the distinct backing stores (usually one shared
-    /// arena) contribute their interned symbol tables to a merged sorted
-    /// vocabulary, with one `CodeId` → vocabulary-slot translation table
-    /// per store. Then one pass over all entries posts
-    /// `translate(entry.code_id())` — integer lookups only, chunked
-    /// across threads; per-chunk postings merge in position order so the
-    /// result is identical at every thread count.
+    /// Two phases. First the distinct backing stores (one shared arena,
+    /// or one per patient-range shard) contribute their interned symbol
+    /// tables to a merged sorted vocabulary, with one `CodeId` →
+    /// vocabulary-slot translation table per store. Then each
+    /// [`SHARD_ROWS`]-wide position block posts
+    /// `translate(entry.code_id())` shard-relatively — integer lookups
+    /// only, chunked across threads; per-chunk postings merge in position
+    /// order so the result is identical at every thread count, and the
+    /// uncompressed intermediate never exceeds one shard.
     pub fn build(collection: &HistoryCollection) -> CodeIndex {
+        Self::build_with_shard_rows(collection, SHARD_ROWS)
+    }
+
+    /// [`Self::build`] with a custom shard width (≤ [`SHARD_ROWS`]).
+    /// Test-only: exercising the multi-shard fan-out without generating
+    /// 65k+ patients. Production always uses the aligned full width.
+    pub(crate) fn build_with_shard_rows(
+        collection: &HistoryCollection,
+        shard_rows: u32,
+    ) -> CodeIndex {
+        assert!(shard_rows > 0 && shard_rows <= SHARD_ROWS, "bad shard width");
         let histories = collection.histories();
 
         // Phase 1: distinct stores and the store slot of each history.
@@ -83,7 +165,8 @@ impl CodeIndex {
             store_of.push(slot);
         }
 
-        // Merged vocabulary over every store's interner (values merge
+        // Merged vocabulary over every store's interner — the global
+        // symbol table uniting per-shard interners (values also merge
         // across code systems, matching `EntryPredicate::CodeMatches`).
         let mut values: Vec<&str> = stores
             .iter()
@@ -108,44 +191,76 @@ impl CodeIndex {
             })
             .collect();
 
-        // Phase 2: post history positions by translated code id.
-        let chunk_lists = pastas_par::par_chunks(histories, PAR_MIN_HISTORIES, |start, chunk| {
-            let mut lists: Vec<Vec<u32>> = vec![Vec::new(); values.len()];
-            for (offset, h) in chunk.iter().enumerate() {
-                let hi = (start + offset) as u32;
-                // lint:allow(no-panic-hot-path) store_of has one entry per history
-                let table = &tables[store_of[start + offset] as usize];
-                for e in h.entries() {
-                    if let Some(id) = e.code_id() {
-                        // lint:allow(no-panic-hot-path) table maps every CodeId of its store
-                        let list = &mut lists[table[id.0 as usize] as usize];
-                        if list.last() != Some(&hi) {
-                            list.push(hi);
+        // Phase 2: post shard-relative positions, one fixed-width block
+        // at a time. Within a shard, chunks parallelize and merge back in
+        // position order; across shards the loop is sequential, so peak
+        // uncompressed state is one shard's lists.
+        let rows = histories.len() as u32;
+        let shard_count = histories.len().div_ceil(shard_rows as usize);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut counts = vec![0u32; values.len()];
+        for s in 0..shard_count {
+            let base = s * shard_rows as usize;
+            // lint:allow(no-panic-hot-path) base < len for every s < shard_count
+            let span = &histories[base..(base + shard_rows as usize).min(histories.len())];
+            let chunk_lists = pastas_par::par_chunks(span, PAR_MIN_HISTORIES, |start, chunk| {
+                let mut lists: Vec<Vec<u16>> = vec![Vec::new(); values.len()];
+                for (offset, h) in chunk.iter().enumerate() {
+                    let rel = (start + offset) as u16;
+                    // lint:allow(no-panic-hot-path) store_of has one entry per history
+                    let table = &tables[store_of[base + start + offset] as usize];
+                    for e in h.entries() {
+                        if let Some(id) = e.code_id() {
+                            // lint:allow(no-panic-hot-path) table maps every CodeId of its store
+                            let list = &mut lists[table[id.0 as usize] as usize];
+                            if list.last() != Some(&rel) {
+                                list.push(rel);
+                            }
                         }
                     }
                 }
+                lists
+            });
+            // Each position lives in exactly one chunk and chunks come
+            // back in ascending position order, so appending per-slot
+            // lists chunk by chunk keeps every list ascending and unique.
+            let mut merged: Vec<Vec<u16>> = vec![Vec::new(); values.len()];
+            for lists in chunk_lists {
+                for (slot, list) in lists.into_iter().enumerate() {
+                    // lint:allow(no-panic-hot-path) every chunk allocates values.len() slots
+                    merged[slot].extend(list);
+                }
             }
-            lists
-        });
-        // Each history position lives in exactly one chunk and chunks come
-        // back in ascending position order, so appending per-slot lists
-        // chunk by chunk keeps every postings list ascending and unique.
-        let mut merged: Vec<Vec<u32>> = vec![Vec::new(); values.len()];
-        for lists in chunk_lists {
-            for (slot, list) in lists.into_iter().enumerate() {
-                // lint:allow(no-panic-hot-path) every chunk allocates values.len() slots
-                merged[slot].extend(list);
-            }
+            let postings: Vec<Bitmap> = merged
+                .into_iter()
+                .enumerate()
+                .map(|(slot, list)| {
+                    // lint:allow(no-panic-hot-path) counts has values.len() slots
+                    counts[slot] += list.len() as u32;
+                    list.into_iter().map(u32::from).collect()
+                })
+                .collect();
+            shards.push(IndexShard { base: base as u32, rows: span.len() as u32, postings });
         }
+
         // A shared arena's interner may carry codes belonging to patients
         // outside this (sub-)collection; keep only values actually seen.
-        let (vocab, postings) = values
-            .into_iter()
-            .zip(merged)
-            .filter(|(_, list)| !list.is_empty())
-            .map(|(value, list)| (Box::from(value), list))
-            .unzip();
-        CodeIndex { vocab, postings, compiled: Mutex::new(HashMap::new()) }
+        let keep: Vec<usize> =
+            // lint:allow(no-panic-hot-path) slots range over values.len()
+            (0..values.len()).filter(|&slot| counts[slot] > 0).collect();
+        // lint:allow(no-panic-hot-path) keep holds indexes below values.len()
+        let vocab: Vec<Box<str>> = keep.iter().map(|&slot| Box::from(values[slot])).collect();
+        // lint:allow(no-panic-hot-path) keep holds indexes below values.len()
+        let counts: Vec<u32> = keep.iter().map(|&slot| counts[slot]).collect();
+        for shard in &mut shards {
+            let mut postings = Vec::with_capacity(keep.len());
+            for &slot in &keep {
+                // lint:allow(no-panic-hot-path) every shard has values.len() postings
+                postings.push(std::mem::take(&mut shard.postings[slot]));
+            }
+            shard.postings = postings;
+        }
+        CodeIndex { vocab, counts, shards, rows, compiled: Mutex::new(HashMap::new()) }
     }
 
     /// Number of distinct codes indexed.
@@ -153,27 +268,83 @@ impl CodeIndex {
         self.vocab.len()
     }
 
+    /// Total history positions indexed (the complement universe).
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// The patient-range shards (plan execution fans out over these).
+    pub(crate) fn shards(&self) -> &[IndexShard] {
+        &self.shards
+    }
+
+    /// Compressed-postings memory accounting for E5 and `/metrics`.
+    pub fn footprint(&self) -> IndexFootprint {
+        let mut compressed = 0usize;
+        let mut uncompressed = 0usize;
+        for shard in &self.shards {
+            for bm in &shard.postings {
+                compressed += bm.heap_bytes();
+                uncompressed += bm.uncompressed_bytes_est();
+            }
+        }
+        IndexFootprint {
+            shards: self.shards.len(),
+            postings: self.counts.iter().map(|&c| c as usize).sum(),
+            postings_compressed_bytes: compressed,
+            postings_uncompressed_bytes_est: uncompressed,
+        }
+    }
+
     /// Deep invariant check (debug builds only; a no-op in release).
     ///
     /// Panics unless the vocabulary is strictly sorted (sorted *and*
     /// deduplicated — what binary search and the prefix walk assume),
-    /// there is exactly one postings list per vocabulary slot, and every
-    /// postings list is strictly ascending (sorted and duplicate-free —
-    /// what the k-way candidate union assumes).
+    /// shards partition `0..rows` in fixed-width blocks with one postings
+    /// list per vocabulary slot, every posting bitmap honours its own
+    /// container invariants ([`Bitmap::debug_validate`]) inside the
+    /// shard's row range, and the per-slot counts match the shard totals.
     #[cfg(debug_assertions)]
     pub fn debug_validate(&self) {
         assert_eq!(
-            self.postings.len(),
+            self.counts.len(),
             self.vocab.len(),
-            "index: vocabulary and postings differ in length"
+            "index: vocabulary and counts differ in length"
         );
         for (a, b) in self.vocab.iter().zip(self.vocab.iter().skip(1)) {
             assert!(a < b, "index: vocabulary out of order or duplicated at {a:?} / {b:?}");
         }
-        for (value, list) in self.vocab.iter().zip(&self.postings) {
-            for (a, b) in list.iter().zip(list.iter().skip(1)) {
-                assert!(a < b, "index: postings for {value:?} out of order or duplicated");
+        let mut next_base = 0u32;
+        let mut totals = vec![0u64; self.vocab.len()];
+        for shard in &self.shards {
+            assert_eq!(shard.base, next_base, "index: shards must tile 0..rows");
+            assert!(shard.rows > 0 && shard.rows <= SHARD_ROWS, "index: bad shard width");
+            next_base += shard.rows;
+            assert_eq!(
+                shard.postings.len(),
+                self.vocab.len(),
+                "index: shard postings and vocabulary differ in length"
+            );
+            for (slot, bm) in shard.postings.iter().enumerate() {
+                bm.debug_validate();
+                // lint:allow(no-panic-hot-path) totals sized to vocab above
+                totals[slot] += bm.len() as u64;
+                if let Some(last) = bm.iter().last() {
+                    assert!(
+                        last < shard.rows,
+                        "index: posting beyond shard rows at slot {slot}"
+                    );
+                }
             }
+        }
+        assert_eq!(next_base, self.rows, "index: shards do not cover all rows");
+        for (slot, &total) in totals.iter().enumerate() {
+            assert_eq!(
+                // lint:allow(no-panic-hot-path) counts and totals share vocab length
+                u64::from(self.counts[slot]),
+                total,
+                "index: cached count != shard totals at slot {slot}"
+            );
         }
     }
 
@@ -182,64 +353,68 @@ impl CodeIndex {
     #[inline(always)]
     pub fn debug_validate(&self) {}
 
-    /// The postings list for an exact code value, if indexed.
-    fn probe(&self, value: &str) -> Option<&[u32]> {
-        self.vocab
-            .binary_search_by(|v| v.as_ref().cmp(value))
-            .ok()
-            .and_then(|i| self.postings.get(i))
-            .map(Vec::as_slice)
+    /// The vocabulary slot of an exact code value, if indexed.
+    fn probe(&self, value: &str) -> Option<u32> {
+        self.vocab.binary_search_by(|v| v.as_ref().cmp(value)).ok().map(|i| i as u32)
     }
 
-    /// History positions whose entries contain a code fully matching the
-    /// regex (sorted, deduplicated). Uses the pattern's literal prefix to
-    /// restrict the vocabulary range — an exact literal is one binary
-    /// search, a prefix pattern walks only its contiguous run.
-    pub fn candidates_for_regex(&self, re: &Regex) -> Vec<u32> {
+    /// Vocabulary slots whose value fully matches the regex. Uses the
+    /// pattern's literal prefix to restrict the range — an exact literal
+    /// is one binary search, a prefix pattern walks only its contiguous
+    /// run. Returned ascending (and therefore unique).
+    pub(crate) fn matching_slots(&self, re: &Regex) -> Vec<u32> {
         let info = re.prefix_info();
-        let mut out = Vec::new();
         if info.exact {
-            if let Some(list) = self.probe(&info.prefix) {
-                out.extend_from_slice(list);
-            }
-            return out;
+            return self.probe(&info.prefix).into_iter().collect();
         }
+        let mut out = Vec::new();
         if info.prefix.is_empty() {
-            for (value, list) in self.vocab.iter().zip(&self.postings) {
+            for (slot, value) in self.vocab.iter().enumerate() {
                 if re.is_full_match(value) {
-                    out.extend_from_slice(list);
+                    out.push(slot as u32);
                 }
             }
         } else {
             let prefix = info.prefix.as_str();
             let start = self.vocab.partition_point(|v| v.as_ref() < prefix);
             // lint:allow(no-panic-hot-path) partition_point returns start <= len
-            for (value, list) in self.vocab[start..].iter().zip(&self.postings[start..]) {
+            for (slot, value) in self.vocab[start..].iter().enumerate() {
                 if !value.starts_with(prefix) {
                     break;
                 }
                 if re.is_full_match(value) {
-                    out.extend_from_slice(list);
+                    out.push((start + slot) as u32);
                 }
             }
         }
-        out.sort_unstable();
-        out.dedup();
         out
+    }
+
+    /// Union the postings of `slots` into one global bitmap: shard-local
+    /// unions on compressed form, then container concatenation — one
+    /// result set, no per-term vectors, no post-hoc sort/dedup.
+    fn union_slots(&self, slots: &[u32]) -> Bitmap {
+        let mut out = Bitmap::new();
+        for shard in &self.shards {
+            out.append_shard(shard.base, &shard.union_slots(slots));
+        }
+        out
+    }
+
+    /// History positions whose entries contain a code fully matching the
+    /// regex, as one compressed bitmap (ascending by construction).
+    pub fn candidates_for_regex(&self, re: &Regex) -> Bitmap {
+        self.union_slots(&self.matching_slots(re))
     }
 
     /// Like [`Self::candidates_for_regex`] but forcing the full-vocabulary
     /// scan — the prefix-path ablation baseline.
-    pub fn candidates_scan_vocabulary(&self, re: &Regex) -> Vec<u32> {
-        let mut out = Vec::new();
-        for (value, list) in self.vocab.iter().zip(&self.postings) {
-            if re.is_full_match(value) {
-                out.extend_from_slice(list);
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
+    pub fn candidates_scan_vocabulary(&self, re: &Regex) -> Bitmap {
+        let slots: Vec<u32> = (0..self.vocab.len() as u32)
+            // lint:allow(no-panic-hot-path) slot ranges over the vocabulary
+            .filter(|&slot| re.is_full_match(&self.vocab[slot as usize]))
+            .collect();
+        self.union_slots(&slots)
     }
 
     /// Compile `pattern`, memoizing successes on this index. Returns
@@ -254,51 +429,38 @@ impl CodeIndex {
         Some(re)
     }
 
-    /// History positions for a set of regex patterns (union).
-    pub fn candidates_for_patterns(&self, patterns: &[String]) -> Option<Vec<u32>> {
-        let mut out = Vec::new();
+    /// Vocabulary slots matched by any of `patterns` (sorted, unique), or
+    /// `None` if a pattern fails to compile.
+    pub(crate) fn slots_for_patterns(&self, patterns: &[String]) -> Option<Vec<u32>> {
+        let mut slots = Vec::new();
         for p in patterns {
             let re = self.compiled(p)?;
-            out.extend(self.candidates_for_regex(&re));
+            slots.extend(self.matching_slots(&re));
         }
-        out.sort_unstable();
-        out.dedup();
-        Some(out)
+        slots.sort_unstable();
+        slots.dedup();
+        Some(slots)
+    }
+
+    /// History positions for a set of regex patterns (union), as one
+    /// compressed bitmap.
+    pub fn candidates_for_patterns(&self, patterns: &[String]) -> Option<Bitmap> {
+        Some(self.union_slots(&self.slots_for_patterns(patterns)?))
     }
 
     /// Upper-bound candidate estimate for a pattern set: the summed
-    /// posting sizes over the vocabulary range each pattern selects
-    /// (duplicates across patterns counted twice — this is a planning
-    /// estimate, not a result). Costs the same vocabulary walk as the
-    /// fetch itself but touches no posting list. Patterns that fail to
-    /// compile estimate as 0 (they fetch nothing, too).
+    /// cached cardinalities over the vocabulary range each pattern
+    /// selects (duplicates across patterns counted twice — this is a
+    /// planning estimate, not a result). Costs a vocabulary walk but
+    /// touches no posting list. Patterns that fail to compile estimate
+    /// as 0 (they fetch nothing, too).
     pub fn estimated_candidates(&self, patterns: &[String]) -> usize {
         let mut total = 0usize;
         for p in patterns {
             let Some(re) = self.compiled(p) else { continue };
-            let info = re.prefix_info();
-            if info.exact {
-                total += self.probe(&info.prefix).map_or(0, <[u32]>::len);
-                continue;
-            }
-            if info.prefix.is_empty() {
-                for (value, list) in self.vocab.iter().zip(&self.postings) {
-                    if re.is_full_match(value) {
-                        total += list.len();
-                    }
-                }
-            } else {
-                let prefix = info.prefix.as_str();
-                let start = self.vocab.partition_point(|v| v.as_ref() < prefix);
-                // lint:allow(no-panic-hot-path) partition_point returns start <= len
-                for (value, list) in self.vocab[start..].iter().zip(&self.postings[start..]) {
-                    if !value.starts_with(prefix) {
-                        break;
-                    }
-                    if re.is_full_match(value) {
-                        total += list.len();
-                    }
-                }
+            for slot in self.matching_slots(&re) {
+                // lint:allow(no-panic-hot-path) matching_slots yields vocab indexes
+                total += self.counts[slot as usize] as usize;
             }
         }
         total
@@ -306,10 +468,11 @@ impl CodeIndex {
 
     /// Evaluate a query over the collection through the physical planner
     /// ([`crate::plan::QueryPlan`]): code-regex clauses — positive *and*
-    /// negative — become posting-list set algebra; residual clauses
-    /// verify only the candidate set; only queries with no index-servable
-    /// clause at all scan every history. Returns matching history
-    /// positions in display order, identical to [`select_scan`].
+    /// negative — become posting-bitmap set algebra, fanned out per
+    /// shard; residual clauses verify only the candidate set; only
+    /// queries with no index-servable clause at all scan every history.
+    /// Returns matching history positions in display order, identical to
+    /// [`select_scan`].
     pub fn select(&self, collection: &HistoryCollection, query: &HistoryQuery) -> Vec<u32> {
         crate::plan::QueryPlan::build(self, collection, query).execute(collection, self)
     }
@@ -338,6 +501,7 @@ mod tests {
     fn index_and_scan_agree_on_simple_selection() {
         let c = collection();
         let idx = CodeIndex::build(&c);
+        idx.debug_validate();
         let q = QueryBuilder::new().has_code("T90").unwrap().build();
         assert_eq!(idx.select(&c, &q), select_scan(&c, &q));
     }
@@ -419,15 +583,33 @@ mod tests {
         assert!(idx.vocabulary_size() < c.stats().entries / 10);
     }
 
+    /// Regression for the old `candidates_for_regex`: it concatenated one
+    /// `Vec<u32>` per matching vocabulary term and sort/dedup'd the pile.
+    /// A broad regex must now come back as one unioned bitmap whose
+    /// decode is already sorted and unique — and must equal the per-term
+    /// union done the slow way.
     #[test]
-    fn candidates_are_sorted_and_unique() {
+    fn broad_regex_returns_one_unioned_bitmap() {
         let c = collection();
         let idx = CodeIndex::build(&c);
-        let re = Regex::new("T90|K86").unwrap();
-        let cands = idx.candidates_for_regex(&re);
-        for w in cands.windows(2) {
-            assert!(w[0] < w[1]);
+        let re = Regex::new("[KRT].*").unwrap();
+        let slots = idx.matching_slots(&re);
+        assert!(slots.len() > 3, "broad regex must match many terms, got {}", slots.len());
+        let got = idx.candidates_for_regex(&re);
+        got.debug_validate(); // one canonical set, not a concatenation
+        let decoded = got.to_vec();
+        for w in decoded.windows(2) {
+            assert!(w[0] < w[1], "decode must be sorted and unique");
         }
+        // Per-term reference union.
+        let mut expect: Vec<u32> = Vec::new();
+        for &slot in &slots {
+            let one = idx.union_slots(&[slot]);
+            expect.extend(one.to_vec());
+        }
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(decoded, expect);
     }
 
     #[test]
@@ -436,7 +618,7 @@ mod tests {
         let idx = CodeIndex::build(&c);
         let leaf = idx.candidates_for_regex(&Regex::new("K86").unwrap());
         let chapter = idx.candidates_for_regex(&Regex::new("K.*").unwrap());
-        for x in &leaf {
+        for x in leaf.iter() {
             assert!(chapter.contains(x));
         }
         assert!(chapter.len() >= leaf.len());
@@ -446,9 +628,24 @@ mod tests {
     fn empty_collection_is_fine() {
         let c = HistoryCollection::new();
         let idx = CodeIndex::build(&c);
+        idx.debug_validate();
         assert_eq!(idx.vocabulary_size(), 0);
+        assert_eq!(idx.rows(), 0);
         let q = QueryBuilder::new().has_code("T90").unwrap().build();
         assert!(idx.select(&c, &q).is_empty());
+    }
+
+    #[test]
+    fn footprint_accounts_for_postings() {
+        let c = collection();
+        let idx = CodeIndex::build(&c);
+        let fp = idx.footprint();
+        assert_eq!(fp.shards, 1, "400 patients fit one shard");
+        assert!(fp.postings_compressed_bytes > 0);
+        let total: usize = (0..idx.vocabulary_size())
+            .map(|slot| idx.counts[slot] as usize)
+            .sum();
+        assert_eq!(fp.postings_uncompressed_bytes_est, total * 4);
     }
 
     /// Large enough that `PAR_MIN_HISTORIES` admits several chunks — the
@@ -464,7 +661,8 @@ mod tests {
         for threads in [2, 8] {
             let par = pastas_par::with_threads(threads, || CodeIndex::build(&c));
             assert_eq!(par.vocab, serial.vocab, "threads {threads}");
-            assert_eq!(par.postings, serial.postings, "threads {threads}");
+            assert_eq!(par.counts, serial.counts, "threads {threads}");
+            assert_eq!(par.shards, serial.shards, "threads {threads}");
         }
     }
 

@@ -10,9 +10,12 @@
 //! * [`query`] — history-level queries and the fluent [`QueryBuilder`];
 //! * [`temporal`] — temporal pattern search: ordered event sequences with
 //!   gap constraints ("T90 then hospitalization within 90 days");
-//! * [`index`] — the inverted code index and per-history statistics that
-//!   keep selection interactive at 168k patients (the indexed-vs-scan
-//!   ablation of E5/E8 compares against the naive path);
+//! * [`bitmap`] — compressed roaring-style posting bitmaps: set algebra
+//!   on array/bits/run containers without materializing positions;
+//! * [`index`] — the inverted code index, sharded by patient range with
+//!   compressed postings, that keeps selection interactive from 168k to
+//!   10M patients (the indexed-vs-scan ablation of E5/E8 compares
+//!   against the naive path);
 //! * [`normalize`] — logical rewriting into one canonical form per query
 //!   meaning (negation at the leaves, flat sorted clauses);
 //! * [`plan`] — the physical planner/executor: set algebra over posting
@@ -22,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitmap;
 pub mod index;
 pub mod normalize;
 pub mod plan;
@@ -34,7 +38,8 @@ pub mod query;
 pub mod stats;
 pub mod temporal;
 
-pub use index::CodeIndex;
+pub use bitmap::Bitmap;
+pub use index::{CodeIndex, IndexFootprint};
 pub use normalize::{canonical_fingerprint, normalize};
 pub use ops::{align_on, sort_histories, Alignment, SortKey};
 pub use plan::{Explain, ExplainNode, PlanNode, QueryPlan};

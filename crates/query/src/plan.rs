@@ -12,23 +12,27 @@
 //!    a canonical form (negation at the leaves, flat sorted clauses) so
 //!    equivalent queries share one plan and one cache key.
 //! 2. **Physical**: [`QueryPlan::build`] maps each canonical leaf to an
-//!    operator — posting-list fetch for code-regex leaves (positive
-//!    *and* negative, via merge-based intersect/union/complement on the
-//!    sorted `u32` postings), residual evaluation over the candidate set
+//!    operator — posting fetch for code-regex leaves (positive *and*
+//!    negative, via intersect/union/complement on compressed roaring
+//!    containers — no position list materializes mid-algebra), residual
+//!    evaluation over the candidate set
 //!    for demographic/count/temporal leaves — with a posting-size
 //!    cardinality estimate choosing index-vs-scan per subtree.
 //!
-//! Execution ([`QueryPlan::execute`]) walks the operator tree; residual
-//! verification runs on the [`pastas_par`] parallel layer (chunked,
-//! order-preserving, deterministic at any thread count). Every node
-//! records candidate counts and wall time into an [`Explain`] tree for
-//! `EXPLAIN`-style debugging and the serve layer's `?explain=1`.
-//!
-//! All postings and intermediate sets are strictly ascending `u32`
-//! history positions, so every set operation is a linear merge and the
-//! output order matches the collection's display order with no sort.
+//! Execution ([`QueryPlan::execute`]) evaluates the operator tree **per
+//! index shard** on compressed bitmaps ([`crate::bitmap::Bitmap`]): each
+//! patient-range shard of the index evaluates the whole tree over its
+//! own shard-relative position space (where containers stay dense),
+//! multi-shard collections fan the shards out on [`pastas_par`], and the
+//! shard-local results concatenate in shard order — which *is* the
+//! global ascending order, no merge or sort needed. Residual
+//! verification runs chunked and order-preserving, so results are
+//! deterministic at any thread count. Every node records candidate
+//! counts and wall time into an [`Explain`] tree (summed across shards)
+//! for `EXPLAIN`-style debugging and the serve layer's `?explain=1`.
 
-use crate::index::{select_scan, CodeIndex};
+use crate::bitmap::Bitmap;
+use crate::index::{CodeIndex, IndexShard};
 use crate::normalize::{is_never, normalize};
 use crate::predicate::EntryPredicate;
 use crate::query::HistoryQuery;
@@ -39,74 +43,80 @@ use pastas_model::HistoryCollection;
 const PAR_MIN_CANDIDATES: usize = 256;
 
 // ---------------------------------------------------------------------------
-// Merge-based set algebra over sorted, deduplicated u32 postings
+// Reference sorted-vec merges (test-only)
 // ---------------------------------------------------------------------------
 
-/// `a ∩ b` of two strictly ascending lists.
-fn intersect2(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while let (Some(&x), Some(&y)) = (a.get(i), b.get(j)) {
-        match x.cmp(&y) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(x);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
-}
-
-/// `a ∪ b` of two strictly ascending lists.
-fn union2(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    loop {
-        match (a.get(i), b.get(j)) {
-            (Some(&x), Some(&y)) => match x.cmp(&y) {
-                std::cmp::Ordering::Less => {
-                    out.push(x);
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    out.push(y);
-                    j += 1;
-                }
+/// The pre-bitmap merge-based set algebra over sorted, deduplicated
+/// `u32` postings. Production set operations run on
+/// [`crate::bitmap::Bitmap`]'s compressed containers; these linear
+/// merges survive as the independent oracle the bitmap's differential
+/// tests (unit and property) compare against.
+#[cfg(test)]
+pub(crate) mod reference {
+    /// `a ∩ b` of two strictly ascending lists.
+    pub(crate) fn intersect2(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        let (mut i, mut j) = (0, 0);
+        while let (Some(&x), Some(&y)) = (a.get(i), b.get(j)) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
                     out.push(x);
                     i += 1;
                     j += 1;
                 }
-            },
-            (Some(_), None) => {
-                // lint:allow(no-panic-hot-path) a.get(i) just proved i < a.len()
-                out.extend_from_slice(&a[i..]);
-                break;
             }
-            (None, Some(_)) => {
-                // lint:allow(no-panic-hot-path) b.get(j) just proved j < b.len()
-                out.extend_from_slice(&b[j..]);
-                break;
-            }
-            (None, None) => break,
         }
+        out
     }
-    out
-}
 
-/// `U \ a` where the universe is `0..rows`, `a` strictly ascending.
-fn complement(a: &[u32], rows: u32) -> Vec<u32> {
-    let mut out = Vec::with_capacity((rows as usize).saturating_sub(a.len()));
-    let mut next = 0u32;
-    for &x in a {
-        out.extend(next..x.min(rows));
-        next = x.saturating_add(1);
+    /// `a ∪ b` of two strictly ascending lists.
+    pub(crate) fn union2(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        loop {
+            match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) => match x.cmp(&y) {
+                    std::cmp::Ordering::Less => {
+                        out.push(x);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.push(y);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        out.push(x);
+                        i += 1;
+                        j += 1;
+                    }
+                },
+                (Some(_), None) => {
+                    out.extend_from_slice(&a[i..]);
+                    break;
+                }
+                (None, Some(_)) => {
+                    out.extend_from_slice(&b[j..]);
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        out
     }
-    out.extend(next..rows);
-    out
+
+    /// `U \ a` where the universe is `0..rows`, `a` strictly ascending.
+    pub(crate) fn complement(a: &[u32], rows: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity((rows as usize).saturating_sub(a.len()));
+        let mut next = 0u32;
+        for &x in a {
+            out.extend(next..x.min(rows));
+            next = x.saturating_add(1);
+        }
+        out.extend(next..rows);
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -247,7 +257,6 @@ fn code_cover(p: &EntryPredicate) -> Option<CodeCover> {
 pub struct QueryPlan {
     root: PlanNode,
     fingerprint: String,
-    rows: u32,
 }
 
 impl QueryPlan {
@@ -263,7 +272,7 @@ impl QueryPlan {
         let fingerprint = normalized.fingerprint();
         let rows = collection.len() as u32;
         let root = plan_node(index, rows, &normalized);
-        QueryPlan { root, fingerprint, rows }
+        QueryPlan { root, fingerprint }
     }
 
     /// The normalized query's canonical fingerprint — the selection-cache
@@ -295,7 +304,7 @@ impl QueryPlan {
 
     /// Execute the plan, returning matching history positions in display
     /// order (ascending, deduplicated — identical to
-    /// [`select_scan`]).
+    /// [`crate::index::select_scan`]).
     pub fn execute(&self, collection: &HistoryCollection, index: &CodeIndex) -> Vec<u32> {
         self.exec(collection, index, false).0
     }
@@ -328,8 +337,54 @@ impl QueryPlan {
         index: &CodeIndex,
         trace: bool,
     ) -> (Vec<u32>, Option<ExplainNode>) {
-        exec_node(&self.root, collection, index, self.rows, trace)
+        // Lower once: IndexFetch pattern sets resolve to vocabulary slots
+        // before the shard fan-out, so the vocabulary walk (and the regex
+        // compile-cache lock) happens once per plan, not once per shard.
+        let lowered = lower(&self.root, index, trace);
+        let shards = index.shards();
+        // Per-shard evaluation of the whole tree. Shards partition the
+        // position space in ascending order, so concatenating shard-local
+        // results (rebased by each shard's first global position) IS the
+        // global ascending result. With several shards the fan-out layer
+        // is the shard loop itself; each worker pins its inner operators
+        // to one thread (`with_threads(1)`) so residual verification does
+        // not multiply the pool. A single shard keeps the inner
+        // parallelism instead (chunked residual verification).
+        let results: Vec<(Bitmap, Option<ExplainNode>)> = if shards.len() > 1 {
+            pastas_par::par_map_min(shards, 1, |shard| {
+                pastas_par::with_threads(1, || {
+                    exec_shard(&lowered, collection, shard, trace)
+                })
+            })
+        } else {
+            shards.iter().map(|shard| exec_shard(&lowered, collection, shard, trace)).collect()
+        };
+        let mut positions = Vec::new();
+        let mut explain: Option<ExplainNode> = None;
+        for (shard, (bitmap, node)) in shards.iter().zip(results) {
+            bitmap.decode_into(shard.base, &mut positions);
+            match (&mut explain, node) {
+                (Some(acc), Some(n)) => merge_explain(acc, n),
+                (acc @ None, n) => *acc = n,
+                _ => {}
+            }
+        }
+        (positions, explain)
     }
+}
+
+/// Sum a shard's executed tree into the accumulated one. All shards run
+/// the same lowered tree, so nodes line up by position; the one
+/// exception is `Intersect`'s empty-accumulator early break, which can
+/// truncate a shard's child list — unmatched children append.
+fn merge_explain(acc: &mut ExplainNode, mut other: ExplainNode) {
+    acc.rows += other.rows;
+    acc.elapsed_us += other.elapsed_us;
+    let extra = other.children.split_off(other.children.len().min(acc.children.len()));
+    for (a, b) in acc.children.iter_mut().zip(other.children) {
+        merge_explain(a, b);
+    }
+    acc.children.extend(extra);
 }
 
 fn render_node(node: &PlanNode, depth: usize, out: &mut String) {
@@ -522,80 +577,143 @@ fn estimate(index: &CodeIndex, rows: u32, node: &PlanNode) -> u32 {
 // Execution
 // ---------------------------------------------------------------------------
 
-fn exec_node(
-    node: &PlanNode,
+/// The lowered, shard-executable form of one [`PlanNode`]: pattern sets
+/// resolved to vocabulary slots, Explain labels precomputed.
+struct ExecNode<'q> {
+    op: &'static str,
+    /// Explain label; computed only when tracing (the fingerprint of a
+    /// residual query is not free).
+    detail: String,
+    kind: ExecKind<'q>,
+}
+
+enum ExecKind<'q> {
+    AllRows,
+    Empty,
+    /// Union of the postings of these vocabulary slots (sorted, unique).
+    Fetch(Vec<u32>),
+    Complement(Box<ExecNode<'q>>),
+    Intersect(Vec<ExecNode<'q>>),
+    Union(Vec<ExecNode<'q>>),
+    Filter { query: &'q HistoryQuery, input: Box<ExecNode<'q>> },
+    FullScan { query: &'q HistoryQuery },
+}
+
+/// Resolve a plan tree for execution. Pattern compilation cannot fail
+/// here — `IndexFetch` is only emitted for patterns the planner compiled
+/// — but an (impossible) failure degrades to an empty fetch, which is
+/// still sound for the same reason the old executor's was.
+fn lower<'q>(node: &'q PlanNode, index: &CodeIndex, trace: bool) -> ExecNode<'q> {
+    let kind = match node {
+        PlanNode::AllRows => ExecKind::AllRows,
+        PlanNode::Empty => ExecKind::Empty,
+        PlanNode::IndexFetch { patterns } => {
+            ExecKind::Fetch(index.slots_for_patterns(patterns).unwrap_or_default())
+        }
+        PlanNode::Complement(c) => ExecKind::Complement(Box::new(lower(c, index, trace))),
+        PlanNode::Intersect(cs) => {
+            ExecKind::Intersect(cs.iter().map(|c| lower(c, index, trace)).collect())
+        }
+        PlanNode::Union(cs) => {
+            ExecKind::Union(cs.iter().map(|c| lower(c, index, trace)).collect())
+        }
+        PlanNode::Filter { query, input } => {
+            ExecKind::Filter { query, input: Box::new(lower(input, index, trace)) }
+        }
+        PlanNode::FullScan { query } => ExecKind::FullScan { query },
+    };
+    ExecNode {
+        op: node.op(),
+        detail: if trace { node.detail() } else { String::new() },
+        kind,
+    }
+}
+
+/// Evaluate a lowered tree over one index shard. Everything is
+/// shard-relative: the universe is `0..shard.rows`, fetches use the
+/// shard's postings, and residual predicates look histories up at
+/// `shard.base + relative`. The result bitmap's positions are
+/// shard-relative too — the caller rebases while concatenating.
+fn exec_shard(
+    node: &ExecNode<'_>,
     collection: &HistoryCollection,
-    index: &CodeIndex,
-    rows: u32,
+    shard: &IndexShard,
     trace: bool,
-) -> (Vec<u32>, Option<ExplainNode>) {
+) -> (Bitmap, Option<ExplainNode>) {
     // Explain timings are observability, not results: the positions a
     // plan returns are deterministic at any thread count; only the
     // elapsed_us annotations vary run to run.
     // lint:allow(no-wallclock-determinism) explain timing annotation only, results unaffected
     let started = if trace { Some(std::time::Instant::now()) } else { None };
     let mut children: Vec<ExplainNode> = Vec::new();
-    let mut child = |result: (Vec<u32>, Option<ExplainNode>)| -> Vec<u32> {
+    let mut child = |result: (Bitmap, Option<ExplainNode>)| -> Bitmap {
         if let Some(n) = result.1 {
             children.push(n);
         }
         result.0
     };
-    let out = match node {
-        PlanNode::AllRows => (0..rows).collect(),
-        PlanNode::Empty => Vec::new(),
-        PlanNode::IndexFetch { patterns } => {
-            // Patterns originate from compiled regexes, so recompilation
-            // cannot fail; an empty result for a (impossible) failure is
-            // still safe because IndexFetch is only reached when the
-            // planner proved the patterns compile.
-            index.candidates_for_patterns(patterns).unwrap_or_default()
+    let out = match &node.kind {
+        ExecKind::AllRows => Bitmap::full(shard.rows),
+        ExecKind::Empty => Bitmap::new(),
+        ExecKind::Fetch(slots) => shard.union_slots(slots),
+        ExecKind::Complement(c) => {
+            let inner = child(exec_shard(c, collection, shard, trace));
+            inner.complement_up_to(shard.rows)
         }
-        PlanNode::Complement(c) => {
-            let inner = child(exec_node(c, collection, index, rows, trace));
-            complement(&inner, rows)
-        }
-        PlanNode::Intersect(cs) => {
-            let mut acc: Option<Vec<u32>> = None;
+        ExecKind::Intersect(cs) => {
+            let mut acc: Option<Bitmap> = None;
             for c in cs {
-                if acc.as_ref().is_some_and(Vec::is_empty) {
+                if acc.as_ref().is_some_and(Bitmap::is_empty) {
                     break; // ∩ with ∅ stays ∅ — skip remaining children.
                 }
-                let set = child(exec_node(c, collection, index, rows, trace));
+                let set = child(exec_shard(c, collection, shard, trace));
                 acc = Some(match acc {
-                    Some(prev) => intersect2(&prev, &set),
+                    Some(prev) => prev.intersect(&set),
                     None => set,
                 });
             }
             acc.unwrap_or_default()
         }
-        PlanNode::Union(cs) => {
-            let mut acc: Vec<u32> = Vec::new();
+        ExecKind::Union(cs) => {
+            let mut acc = Bitmap::new();
             for c in cs {
-                let set = child(exec_node(c, collection, index, rows, trace));
-                acc = union2(&acc, &set);
+                let set = child(exec_shard(c, collection, shard, trace));
+                acc = acc.union(&set);
             }
             acc
         }
-        PlanNode::Filter { query, input } => {
-            let candidates = child(exec_node(input, collection, index, rows, trace));
+        ExecKind::Filter { query, input } => {
+            let input = child(exec_shard(input, collection, shard, trace));
+            // Decode happens once at the set-algebra/verification
+            // boundary, not inside the algebra: residual predicates need
+            // the actual histories.
+            let mut candidates = Vec::new();
+            input.decode_into(0, &mut candidates);
             let histories = collection.histories();
-            let keep = pastas_par::par_map_min(&candidates, PAR_MIN_CANDIDATES, |&i| {
-                // lint:allow(no-panic-hot-path) candidates are valid history positions by construction
-                query.matches(&histories[i as usize])
+            let keep = pastas_par::par_map_min(&candidates, PAR_MIN_CANDIDATES, |&rel| {
+                // lint:allow(no-panic-hot-path) candidates are valid shard positions by construction
+                query.matches(&histories[(shard.base + rel) as usize])
             });
             candidates
                 .into_iter()
                 .zip(keep)
                 .filter(|&(_, k)| k)
-                .map(|(i, _)| i)
+                .map(|(rel, _)| rel)
                 .collect()
         }
-        PlanNode::FullScan { query } => select_scan(collection, query),
+        ExecKind::FullScan { query } => {
+            let span = &collection.histories()
+                // lint:allow(no-panic-hot-path) shards tile rows() exactly
+                [shard.base as usize..(shard.base + shard.rows) as usize];
+            let matched = pastas_par::par_filter_indices_min(span, PAR_MIN_CANDIDATES, |h| {
+                query.matches(h)
+            });
+            Bitmap::from_sorted(&matched)
+        }
     };
     let explain = started.map(|t0| ExplainNode {
-        op: node.op().to_owned(),
-        detail: node.detail(),
+        op: node.op.to_owned(),
+        detail: node.detail.clone(),
         rows: out.len(),
         elapsed_us: u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
         children,
@@ -729,12 +847,14 @@ fn json_str(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::select_scan;
     use crate::query::QueryBuilder;
     use pastas_synth::{generate_collection, SynthConfig};
     use pastas_time::Date;
 
     #[test]
-    fn set_algebra_merges() {
+    fn reference_set_algebra_merges() {
+        use reference::{complement, intersect2, union2};
         assert_eq!(intersect2(&[1, 3, 5, 9], &[2, 3, 9, 12]), vec![3, 9]);
         assert_eq!(intersect2(&[], &[1, 2]), Vec::<u32>::new());
         assert_eq!(union2(&[1, 5], &[2, 5, 7]), vec![1, 2, 5, 7]);

@@ -1,8 +1,12 @@
 //! Property-based tests: the planner-accelerated parallel selection path
 //! must agree with the naive serial scan on arbitrary synthetic
-//! collections, queries and thread counts, and query normalization must
-//! be idempotent and semantics-preserving on arbitrary query ASTs.
+//! collections, queries and thread counts (including patient-range
+//! sharded stores and multi-shard indexes), query normalization must be
+//! idempotent and semantics-preserving on arbitrary query ASTs, and the
+//! compressed bitmap's set algebra must agree with the sorted-vec
+//! merges it replaced.
 
+use crate::bitmap::Bitmap;
 use crate::index::{select_scan, CodeIndex};
 use crate::normalize::normalize;
 use crate::plan::QueryPlan;
@@ -96,8 +100,137 @@ fn random_query(rng: &mut Rng, depth: u32) -> HistoryQuery {
     }
 }
 
+/// A random sorted-unique position set in one of several shapes chosen
+/// to stress each container kind and the 65,536 chunk boundary:
+/// sparse (array containers), dense windows (bits containers), run-heavy
+/// (runs containers), and boundary-straddling mixtures.
+fn random_set(rng: &mut Rng, shape: u64) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    match shape {
+        // Sparse uniform over three chunks: array containers.
+        0 => {
+            let n = rng.below(3_000);
+            for _ in 0..n {
+                out.push(rng.below(200_000) as u32);
+            }
+        }
+        // Dense window inside one chunk: a bits container.
+        1 => {
+            let base = rng.below(3) as u32 * 65_536;
+            let n = 5_000 + rng.below(20_000);
+            for _ in 0..n {
+                out.push(base + rng.below(40_000) as u32);
+            }
+        }
+        // Run-heavy, with runs allowed to straddle the chunk boundary.
+        2 => {
+            let mut pos = rng.below(1_000) as u32;
+            for _ in 0..(1 + rng.below(40)) {
+                let len = 1 + rng.below(5_000) as u32;
+                out.extend(pos..pos + len);
+                pos += len + 1 + rng.below(9_000) as u32;
+            }
+        }
+        // Tight cluster right at the chunk boundary.
+        3 => {
+            for _ in 0..rng.below(2_000) {
+                out.push(60_000 + rng.below(12_000) as u32);
+            }
+        }
+        // Large scattered array filling one chunk (stays Array: ≤ 4096
+        // values, non-compressible scatter).
+        4 => {
+            for _ in 0..(3_000 + rng.below(1_000)) {
+                out.push(rng.below(65_536) as u32);
+            }
+        }
+        // Tiny same-chunk set: paired with shape 4 this forces the ≥16x
+        // array×array skew that routes intersect through the gallop.
+        _ => {
+            for _ in 0..(1 + rng.below(150)) {
+                out.push(rng.below(65_536) as u32);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bitmap_round_trips_and_ops_agree_with_sorted_vec_merges(
+        seed in 0u64..u64::MAX,
+        shape_a in 0u64..6,
+        shape_b in 0u64..6,
+    ) {
+        let mut rng = Rng(seed);
+        let a = random_set(&mut rng, shape_a);
+        let b = random_set(&mut rng, shape_b);
+        let ba = Bitmap::from_sorted(&a);
+        let bb = Bitmap::from_sorted(&b);
+        ba.debug_validate();
+        bb.debug_validate();
+        // Round trip: Vec<u32> ⇄ containers is lossless.
+        prop_assert_eq!(&ba.to_vec(), &a);
+        prop_assert_eq!(&bb.to_vec(), &b);
+        prop_assert_eq!(ba.len(), a.len());
+        // Differential set algebra vs the retired sorted-vec merges.
+        let and = ba.intersect(&bb);
+        let or = ba.union(&bb);
+        and.debug_validate();
+        or.debug_validate();
+        prop_assert_eq!(and.to_vec(), crate::plan::reference::intersect2(&a, &b));
+        prop_assert_eq!(or.to_vec(), crate::plan::reference::union2(&a, &b));
+        let n = a.last().copied().unwrap_or(0).max(b.last().copied().unwrap_or(0)) + 1;
+        let not_a = ba.complement_up_to(n);
+        not_a.debug_validate();
+        prop_assert_eq!(not_a.to_vec(), crate::plan::reference::complement(&a, n));
+        // Iterator decode agrees with bulk decode.
+        prop_assert_eq!(or.iter().collect::<Vec<u32>>(), or.to_vec());
+    }
+
+    #[test]
+    fn sharded_planner_agrees_with_scan_on_random_asts(
+        ast_seed in 0u64..u64::MAX,
+        collection_seed in 0u64..100,
+        patients in 300u32..700,
+        depth in 1u32..3,
+    ) {
+        // Multi-arena store (an arena per 128 patients) AND multi-shard
+        // index (a reduced 256-row shard width so the per-shard fan-out
+        // runs without generating 65k+ patients).
+        let config = SynthConfig {
+            shard_patients: 128,
+            ..SynthConfig::with_patients(patients as usize)
+        };
+        let c = generate_collection(config, collection_seed);
+        prop_assert!(c.sharded_store().shard_count() > 1);
+        let idx = CodeIndex::build_with_shard_rows(&c, 256);
+        idx.debug_validate();
+        // The reduced-width index answers exactly like the full-width one.
+        let full = CodeIndex::build(&c);
+        let broad = pastas_regex::Regex::new("[KR].*").expect("valid pattern");
+        prop_assert_eq!(
+            idx.candidates_for_regex(&broad).to_vec(),
+            full.candidates_for_regex(&broad).to_vec()
+        );
+        let q = random_query(&mut Rng(ast_seed), depth);
+        let plan = QueryPlan::build(&idx, &c, &q);
+        let reference = pastas_par::with_threads(1, || select_scan(&c, &q));
+        for threads in THREADS {
+            let planned = pastas_par::with_threads(threads, || plan.execute(&c, &idx));
+            prop_assert_eq!(
+                &planned, &reference,
+                "threads {}, query {:?}, plan:\n{}", threads, q, plan.render()
+            );
+        }
+        let (explained, explain) = plan.execute_explain(&c, &idx);
+        prop_assert_eq!(&explained, &reference);
+        prop_assert_eq!(explain.root.rows, reference.len());
+    }
 
     #[test]
     fn indexed_parallel_select_agrees_with_serial_scan(

@@ -305,6 +305,7 @@ fn details(req: &Request, ctx: &RouterCtx) -> Response {
 fn metrics_response(ctx: &RouterCtx) -> Response {
     let snapshot = ctx.state.snapshot();
     let wb = &snapshot.workbench;
+    let index_footprint = wb.index().footprint();
     let cache_lookups = ctx.cache.hits() + ctx.cache.misses();
     let hit_rate = if cache_lookups == 0 {
         0.0
@@ -324,6 +325,12 @@ fn metrics_response(ctx: &RouterCtx) -> Response {
         ("selection_cache_misses", wb.selection_cache_misses() as f64),
         ("select_index_hits", wb.select_index_hits() as f64),
         ("select_scan_fallbacks", wb.select_scan_fallbacks() as f64),
+        ("shards", index_footprint.shards as f64),
+        ("postings_compressed_bytes", index_footprint.postings_compressed_bytes as f64),
+        (
+            "postings_uncompressed_bytes_est",
+            index_footprint.postings_uncompressed_bytes_est as f64,
+        ),
     ];
     if let Some(pool) = ctx.pool_stats.get() {
         extra.push(("queue_depth", pool.queue_depth() as f64));
@@ -415,6 +422,42 @@ mod tests {
         let swapped = route(&post("/select", "age(40..90) and has(T90)"), &ctx);
         assert_eq!(swapped.body, first.body);
         assert_eq!(ctx.cache.hits(), 1, "commuted clauses hit the response cache");
+    }
+
+    #[test]
+    fn snapshot_swap_to_sharded_store_keeps_warm_select_correct() {
+        let ctx = ctx();
+        let query = "has(K.*) and lacks(T90)";
+        let v1 = route(&post("/select", query), &ctx);
+        assert_eq!(v1.status, 200);
+        let v1_body = String::from_utf8(v1.body.clone()).unwrap();
+        assert!(v1_body.contains("\"version\":1"), "{v1_body}");
+        route(&post("/select", query), &ctx);
+        assert_eq!(ctx.cache.hits(), 1, "v1 cache is warm");
+        // The same population rebuilt on a patient-range-sharded store
+        // (three arenas), published as version 2 over the warm cache.
+        let config = SynthConfig { shard_patients: 64, ..SynthConfig::with_patients(150) };
+        let collection = generate_collection(config, 11);
+        assert_eq!(collection.sharded_store().shard_count(), 3);
+        assert_eq!(ctx.state.replace(Workbench::from_collection(collection)), 2);
+        let v2 = route(&post("/select", query), &ctx);
+        assert_eq!(v2.status, 200);
+        let v2_body = String::from_utf8(v2.body).unwrap();
+        assert!(v2_body.contains("\"version\":2"), "{v2_body}");
+        assert_eq!(ctx.cache.hits(), 1, "stale v1 entry is unreachable, not served");
+        // Same cohort either way: identical count and ids.
+        let after = |b: &str, k: &str| b.split(k).nth(1).map(str::to_owned);
+        assert_eq!(after(&v1_body, "\"count\":"), after(&v2_body, "\"count\":"));
+        assert_eq!(after(&v1_body, "\"ids\":"), after(&v2_body, "\"ids\":"));
+        // The v2 repeat is served warm again.
+        let repeat = route(&post("/select", query), &ctx);
+        assert_eq!(ctx.cache.hits(), 2, "v2 repeat hits the cache");
+        assert_eq!(String::from_utf8(repeat.body).unwrap(), v2_body);
+        // And the postings gauges are visible on /metrics.
+        let metrics = String::from_utf8(route(&get("/metrics"), &ctx).body).unwrap();
+        assert!(metrics.contains("\"shards\":1"), "{metrics}");
+        assert!(metrics.contains("\"postings_compressed_bytes\":"), "{metrics}");
+        assert!(metrics.contains("\"postings_uncompressed_bytes_est\":"), "{metrics}");
     }
 
     #[test]

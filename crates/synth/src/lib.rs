@@ -32,7 +32,7 @@ mod pathways;
 mod population;
 
 pub use population::{
-    generate_collection, generate_population, Person, Population, SynthConfig,
+    generate_collection, generate_population, person_at, Person, Population, SynthConfig,
 };
 
 pub use pastas_model::HistoryCollection;

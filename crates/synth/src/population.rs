@@ -19,6 +19,12 @@ pub struct SynthConfig {
     pub window_years: u32,
     /// Background (non-condition) GP contacts per person-year.
     pub noise_contacts_per_year: f64,
+    /// Seal the collection's arena every this many patients (a fresh
+    /// [`pastas_model::EventStore`] with its own interner per patient
+    /// range — the sharded layout the query index scales on). `0` (the
+    /// default) keeps the single shared arena. Align with the query
+    /// index's 65,536-row shard width for one arena per index shard.
+    pub shard_patients: usize,
 }
 
 impl Default for SynthConfig {
@@ -28,6 +34,7 @@ impl Default for SynthConfig {
             window_start: Date::new(2013, 1, 1).expect("valid date"),
             window_years: 2,
             noise_contacts_per_year: 1.0,
+            shard_patients: 0,
         }
     }
 }
@@ -97,46 +104,47 @@ pub struct Population {
     pub persons: Vec<Person>,
 }
 
-/// Generate the population skeleton: ids, demographics, conditions.
-pub fn generate_population(config: SynthConfig, seed: u64) -> Population {
-    let mut persons = Vec::with_capacity(config.patients);
-    for i in 0..config.patients {
-        let mut rng = person_rng(seed, i as u64, 0);
-        let id = PatientId(i as u64 + 1);
-        // Adult, elderly-skewed age structure: 18 + 77·u^0.85 gives a mean
-        // near 54 with a solid 80+ tail — the chronically-ill cohort shape.
-        let age = 18.0 + 77.0 * rng.gen::<f64>().powf(0.85);
-        let birth_date = config
-            .window_start
-            .add_days(-(age * 365.25) as i64)
-            .first_of_month()
-            .add_days(rng.gen_range(0..28));
-        let sex = if rng.gen_bool(0.52) { Sex::Female } else { Sex::Male };
-        let age_years = age as i32;
+/// Generate one person's skeleton (id, demographics, conditions) —
+/// deterministic in `(seed, index)` alone, so populations stream:
+/// callers can materialize person `i` without holding persons `0..i`.
+pub fn person_at(config: &SynthConfig, seed: u64, index: usize) -> Person {
+    let mut rng = person_rng(seed, index as u64, 0);
+    let id = PatientId(index as u64 + 1);
+    // Adult, elderly-skewed age structure: 18 + 77·u^0.85 gives a mean
+    // near 54 with a solid 80+ tail — the chronically-ill cohort shape.
+    let age = 18.0 + 77.0 * rng.gen::<f64>().powf(0.85);
+    let birth_date = config
+        .window_start
+        .add_days(-(age * 365.25) as i64)
+        .first_of_month()
+        .add_days(rng.gen_range(0..28));
+    let sex = if rng.gen_bool(0.52) { Sex::Female } else { Sex::Male };
+    let age_years = age as i32;
 
-        // Condition assignment with simple comorbidity coupling: diabetes
-        // raises hypertension and IHD odds; heart conditions cluster.
-        let mut conditions = Vec::new();
-        let mut boost = 1.0;
-        for (ci, model) in CONDITION_MODELS.iter().enumerate() {
-            let mut p = model.prevalence_at(age_years);
-            if boost > 1.0
-                && matches!(
-                    model.name,
-                    "Hypertension" | "IschaemicHeartDisease" | "HeartFailure"
-                )
-            {
-                p = (p * boost).min(0.9);
-            }
-            if rng.gen_bool(p) {
-                conditions.push(ci);
-                if model.name == "Diabetes" || model.name == "IschaemicHeartDisease" {
-                    boost = 1.6;
-                }
+    // Condition assignment with simple comorbidity coupling: diabetes
+    // raises hypertension and IHD odds; heart conditions cluster.
+    let mut conditions = Vec::new();
+    let mut boost = 1.0;
+    for (ci, model) in CONDITION_MODELS.iter().enumerate() {
+        let mut p = model.prevalence_at(age_years);
+        if boost > 1.0
+            && matches!(model.name, "Hypertension" | "IschaemicHeartDisease" | "HeartFailure")
+        {
+            p = (p * boost).min(0.9);
+        }
+        if rng.gen_bool(p) {
+            conditions.push(ci);
+            if model.name == "Diabetes" || model.name == "IschaemicHeartDisease" {
+                boost = 1.6;
             }
         }
-        persons.push(Person { patient: Patient { id, birth_date, sex }, conditions });
     }
+    Person { patient: Patient { id, birth_date, sex }, conditions }
+}
+
+/// Generate the population skeleton: ids, demographics, conditions.
+pub fn generate_population(config: SynthConfig, seed: u64) -> Population {
+    let persons = (0..config.patients).map(|i| person_at(&config, seed, i)).collect();
     Population { config, seed, persons }
 }
 
@@ -174,15 +182,20 @@ impl Population {
 
 /// Generate the full collection in one call.
 ///
-/// All patients land in one shared columnar [`pastas_model::EventStore`]
-/// arena (via [`CollectionBuilder`]), so the paper-scale 168k collection interns
-/// each code value once and packs entries in struct-of-arrays form.
+/// Patients land in shared columnar [`pastas_model::EventStore`]
+/// arena(s) via [`CollectionBuilder`] — one arena by default, one per
+/// [`SynthConfig::shard_patients`]-sized patient range when set — so
+/// each code value interns once per arena and entries pack in
+/// struct-of-arrays form. Persons stream: each is generated, simulated,
+/// appended, and dropped, so peak RSS at the 10M tier is the arenas
+/// themselves, not a materialized population.
 pub fn generate_collection(config: SynthConfig, seed: u64) -> HistoryCollection {
-    let pop = generate_population(config, seed);
-    let mut builder = CollectionBuilder::new();
-    for (i, person) in pop.persons.iter().enumerate() {
+    let mut builder = CollectionBuilder::new().with_shard_patients(config.shard_patients);
+    for i in 0..config.patients {
+        let person = person_at(&config, seed, i);
+        let mut rng = person_rng(seed, i as u64, 1);
         let mut entries = Vec::new();
-        for raw in pop.events_for(i) {
+        for raw in pathways::simulate(&person, &config, &mut rng) {
             entries.extend(raw.to_entries());
         }
         builder.add_patient(*person.patient(), entries);
@@ -283,6 +296,28 @@ mod tests {
         // Everything inside (or at least overlapping) the two-year window.
         let start = SynthConfig::default().window_start.at_midnight();
         assert!(stats.first.unwrap() >= start);
+    }
+
+    #[test]
+    fn person_at_streams_the_same_population() {
+        let pop = generate_population(SynthConfig::with_patients(100), 42);
+        for (i, p) in pop.persons.iter().enumerate() {
+            assert_eq!(*p, person_at(&pop.config, 42, i), "person {i}");
+        }
+    }
+
+    #[test]
+    fn sharded_generation_matches_monolithic_contents() {
+        let mono = generate_collection(SynthConfig::with_patients(300), 17);
+        let config = SynthConfig { shard_patients: 128, ..SynthConfig::with_patients(300) };
+        let sharded = generate_collection(config, 17);
+        assert_eq!(mono.sharded_store().shard_count(), 1);
+        assert_eq!(sharded.sharded_store().shard_count(), 3, "ceil(300/128)");
+        assert_eq!(mono.len(), sharded.len());
+        for (a, b) in mono.iter().zip(sharded.iter()) {
+            assert_eq!(a.patient(), b.patient());
+            assert_eq!(a.entries().to_vec(), b.entries().to_vec());
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release --example plan_explain -- [--patients N] [--seed S]
-//!     [--smoke] [--explain "QUERY"]
+//!     [--shard-patients K] [--budget-ms B] [--smoke] [--explain "QUERY"]
 //! ```
 //!
 //! Default mode compiles and executes a few representative cohort
@@ -13,7 +13,11 @@
 //! counted, compound, disjunctive, demographic — it checks that the
 //! planned result equals the full `select_scan`, that the acceptance
 //! shape (`has ∧ lacks`) is served without a full-scan operator, and
-//! exits non-zero on any mismatch.
+//! exits non-zero on any mismatch. `--shard-patients K` seals a store
+//! arena per `K` patients (the sharded layout; align with the index's
+//! 65,536-row shard width), and `--budget-ms B` additionally fails the
+//! smoke when any index-served shape's planned execution exceeds `B`
+//! milliseconds — the 1M-patient CI stage runs with `--budget-ms 100`.
 
 use pastas_core::Workbench;
 use pastas_query::index::select_scan;
@@ -38,35 +42,48 @@ fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
-/// The battery of query-language shapes the smoke test runs. The pairs
-/// are (text, must_be_index_served): `true` asserts the plan contains no
-/// full-scan operator — posting-list set algebra end to end.
-const SHAPES: &[(&str, bool)] = &[
-    ("has(T90)", true),
-    ("lacks(T90)", true),
-    ("has(K.*) and lacks(T90)", true),
-    ("has(T90|T89) and lacks(K74) and age(40..95)", true),
-    ("has(T90) or has(R95)", true),
-    ("count(K.*) >= 2", true),
-    ("not (has(T90) and has(K74))", true),
-    ("sex(F) and age(50..80)", false),
-    ("has(K.*) or sex(F)", false),
+/// The battery of query-language shapes the smoke test runs. The
+/// triples are (text, must_be_index_served, budgeted): `must_index`
+/// asserts the plan contains no full-scan operator — posting-list set
+/// algebra end to end — and `budgeted` additionally holds the shape to
+/// `--budget-ms`. Budgeted shapes are the pure set-algebra ones;
+/// `count(K.*) >= 2` stays index-served but its Filter verifies every
+/// candidate history (O(candidates) by construction), so a per-shape
+/// millisecond cap would measure the collection, not the planner.
+const SHAPES: &[(&str, bool, bool)] = &[
+    ("has(T90)", true, true),
+    ("lacks(T90)", true, true),
+    ("has(K.*) and lacks(T90)", true, true),
+    ("has(T90|T89) and lacks(K74) and age(40..95)", true, true),
+    ("has(T90) or has(R95)", true, true),
+    ("count(K.*) >= 2", true, false),
+    ("not (has(T90) and has(K74))", true, true),
+    ("sex(F) and age(50..80)", false, false),
+    ("has(K.*) or sex(F)", false, false),
 ];
 
 fn main() {
     let patients = arg("--patients", 5_000) as usize;
     let seed = arg("--seed", 7);
-    eprintln!("Generating {patients} patients (seed {seed}) …");
-    let collection = generate_collection(SynthConfig::with_patients(patients), seed);
+    let shard_patients = arg("--shard-patients", 0) as usize;
+    eprintln!("Generating {patients} patients (seed {seed}, shard_patients {shard_patients}) …");
+    let config = SynthConfig { shard_patients, ..SynthConfig::with_patients(patients) };
+    let collection = generate_collection(config, seed);
     let reference_date = collection
         .stats()
         .last
         .map(|dt| dt.date())
         .unwrap_or_else(|| pastas_time::Date::new(2013, 1, 1).expect("valid"));
     let workbench = Workbench::from_collection(collection);
+    let fp = workbench.index().footprint();
+    eprintln!(
+        "index: {} shard(s), postings {} B compressed ({} B as Vec<u32>)",
+        fp.shards, fp.postings_compressed_bytes, fp.postings_uncompressed_bytes_est
+    );
 
     if flag("--smoke") {
-        std::process::exit(run_smoke(&workbench, reference_date));
+        let budget_ms = arg("--budget-ms", 0);
+        std::process::exit(run_smoke(&workbench, reference_date, budget_ms));
     }
 
     let queries: Vec<String> = match arg_str("--explain") {
@@ -102,12 +119,15 @@ fn explain_one(workbench: &Workbench, text: &str, query: &HistoryQuery) {
 }
 
 /// Differential check: planner output == scan output for every shape,
-/// with the index-served expectations honoured. Returns the exit code.
-fn run_smoke(workbench: &Workbench, reference_date: pastas_time::Date) -> i32 {
+/// with the index-served expectations honoured. A nonzero `budget_ms`
+/// additionally caps the planned execution time of every budgeted
+/// (pure set-algebra) shape, median of three runs. Returns the exit
+/// code.
+fn run_smoke(workbench: &Workbench, reference_date: pastas_time::Date, budget_ms: u64) -> i32 {
     let collection = workbench.collection();
     let index = workbench.index();
     let mut failures = 0u32;
-    for &(text, must_index) in SHAPES {
+    for &(text, must_index, budgeted) in SHAPES {
         let query = match parse_query(text, reference_date) {
             Ok(q) => q,
             Err(e) => {
@@ -134,8 +154,30 @@ fn run_smoke(workbench: &Workbench, reference_date: pastas_time::Date) -> i32 {
             failures += 1;
             continue;
         }
+        let mut budget_note = String::new();
+        if budget_ms > 0 && budgeted {
+            let mut times: Vec<f64> = (0..3)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    std::hint::black_box(plan.execute(collection, index));
+                    t.elapsed().as_secs_f64() * 1e3
+                })
+                .collect();
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let median = times[1];
+            if median > budget_ms as f64 {
+                eprintln!(
+                    "  FAIL {text:?}: planned execution {median:.1} ms over the \
+                     {budget_ms} ms budget\n{}",
+                    plan.render()
+                );
+                failures += 1;
+                continue;
+            }
+            budget_note = format!(", {median:.1} ms (budget {budget_ms} ms)");
+        }
         eprintln!(
-            "  ok   {text} — {} matched, {}",
+            "  ok   {text} — {} matched, {}{budget_note}",
             planned.len(),
             if plan.uses_full_scan() { "scan" } else { "index" }
         );

@@ -32,6 +32,13 @@ stage "cargo clippy (deny warnings)" cargo clippy --all-targets -- -D warnings
 # posting-list set algebra. Exits non-zero on any mismatch.
 stage "planner smoke (differential)" \
     cargo run --release --example plan_explain -- --smoke --patients 2000
+# The same differential battery at one million patients on the sharded
+# store (an arena per 65,536 patients — one per index shard): every
+# index-servable shape must stay index-served and execute its plan
+# inside the paper-interactive 100 ms budget.
+stage "planner smoke (sharded 1M)" \
+    cargo run --release --example plan_explain -- --smoke --patients 1000000 \
+    --shard-patients 65536 --budget-ms 100
 # Loopback smoke of the serve layer: starts a real server on an
 # OS-assigned port, fires every endpoint (including /select?explain=1 on
 # a negated compound query, asserting an index-served plan), asserts
