@@ -1,0 +1,256 @@
+//! E11 — streaming ingest: non-blocking incremental publication.
+//!
+//! The streaming claim under test: against the paper-scale collection a
+//! stream of `parse_delta` increments can be applied and published while
+//! readers keep executing planned selects, with (a) planned-select
+//! latency during ingest within 2x of the quiesced pre-ingest baseline,
+//! (b) bounded per-batch apply lag, and (c) compaction folds whose cost
+//! is paid by the writer only — readers never block on them. Results go
+//! to stderr as report rows and to `BENCH_ingest.json` at the repo root
+//! as a machine-readable artifact (compare the planned-select columns
+//! against `BENCH_plan.json` at the same scale).
+//!
+//! Not a criterion bench: the subject is a writer/reader race around an
+//! atomically swapped snapshot, so the harness is a plain `main` with one
+//! reader thread hammering selects while the main thread streams batches
+//! the way `ServeState::ingest`/`compact` do (clone-snapshot, mutate,
+//! publish).
+
+use pastas_bench::{base_scale, cohort, header, median_ms};
+use pastas_core::Workbench;
+use pastas_ingest::{parse_delta, DeltaBatch, DeltaFormat, IdentityRegistry};
+use pastas_query::{parse_query, HistoryQuery};
+use pastas_synth::emit::{emit, MessConfig};
+use pastas_synth::{generate_population, SynthConfig};
+use pastas_time::Date;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+const QUERIES: [&str; 3] = ["has(T90)", "lacks(T90)", "has(K.*) and lacks(T90)"];
+
+/// How many rows each streamed increment carries.
+const CHUNK_ROWS: usize = 200;
+
+/// Fold the side-index after this many applied batches.
+const COMPACT_EVERY: usize = 48;
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v
+}
+
+/// Split one source text into CHUNK_ROWS-row increments, each carrying
+/// the header line so every chunk is a well-formed mini-file.
+fn chunks(text: &str) -> Vec<String> {
+    let mut lines = text.lines();
+    let Some(header) = lines.next() else { return Vec::new() };
+    let rows: Vec<&str> = lines.collect();
+    rows.chunks(CHUNK_ROWS)
+        .map(|rows| {
+            let mut out = String::with_capacity(header.len() + rows.len() * 40);
+            out.push_str(header);
+            out.push('\n');
+            for row in rows {
+                out.push_str(row);
+                out.push('\n');
+            }
+            out
+        })
+        .collect()
+}
+
+fn main() {
+    header(
+        "E11: streaming ingest",
+        "appends publish incrementally; readers never block and plans stay interactive",
+    );
+    let patients = base_scale();
+    // The stream extends a slice of the existing cohort with fresh events:
+    // the side-index path over already-indexed rows, the streaming shape
+    // the epoch/side-index design is for.
+    let delta_patients = (patients / 500).clamp(200, 2_000);
+
+    eprintln!("generating {patients} patients …");
+    let t0 = Instant::now();
+    let workbench = Workbench::from_collection(cohort(patients));
+    eprintln!("loaded in {:.1?}", t0.elapsed());
+
+    let reference = workbench
+        .collection()
+        .stats()
+        .last
+        .map(|dt| dt.date())
+        .unwrap_or_else(|| Date::new(2013, 1, 1).expect("valid date"));
+    let queries: Vec<HistoryQuery> = QUERIES
+        .iter()
+        .map(|q| parse_query(q, reference).expect("bench query parses"))
+        .collect();
+
+    // Quiesced baseline: planned-select latency on the fully compacted
+    // index, the number BENCH_plan.json records at the same scale.
+    let baseline_ms = sorted(
+        queries
+            .iter()
+            .map(|q| median_ms(|| drop(std::hint::black_box(workbench.select_positions(q)))))
+            .collect(),
+    );
+    let baseline_med = percentile(&baseline_ms, 0.5);
+    eprintln!(
+        "baseline planned selects: {:?} ms (median {baseline_med:.3})",
+        baseline_ms.iter().map(|v| (v * 1e3).round() / 1e3).collect::<Vec<_>>()
+    );
+
+    // The delta stream: persons first (the linkage anchor), then the four
+    // event registries as interleaved chunked increments.
+    let population = generate_population(SynthConfig::with_patients(delta_patients), 4077);
+    let raw = emit(&population, MessConfig::default());
+    let mut registry = IdentityRegistry::new();
+    let mut batches: Vec<DeltaBatch> = Vec::new();
+    for chunk in chunks(&raw.persons) {
+        batches.push(parse_delta(DeltaFormat::Persons, &chunk, &mut registry));
+    }
+    let mut streams: Vec<std::collections::VecDeque<(DeltaFormat, String)>> = vec![
+        chunks(&raw.claims).into_iter().map(|c| (DeltaFormat::Claims, c)).collect(),
+        chunks(&raw.hospital).into_iter().map(|c| (DeltaFormat::Hospital, c)).collect(),
+        chunks(&raw.municipal).into_iter().map(|c| (DeltaFormat::Municipal, c)).collect(),
+        chunks(&raw.prescriptions)
+            .into_iter()
+            .map(|c| (DeltaFormat::Prescriptions, c))
+            .collect(),
+    ];
+    while streams.iter().any(|s| !s.is_empty()) {
+        for stream in &mut streams {
+            if let Some((format, chunk)) = stream.pop_front() {
+                batches.push(parse_delta(format, &chunk, &mut registry));
+            }
+        }
+    }
+    let entries_total: usize = batches.iter().map(DeltaBatch::entries).sum();
+    eprintln!(
+        "streaming {} batches / {entries_total} entries over {delta_patients} patients …",
+        batches.len()
+    );
+
+    // Publication point: readers clone the Arc under a read lock and run
+    // the select lock-free, exactly as ServeState's snapshot swap works.
+    let current: Arc<RwLock<Arc<Workbench>>> = Arc::new(RwLock::new(Arc::new(workbench)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let current = Arc::clone(&current);
+        let stop = Arc::clone(&stop);
+        let queries = queries.clone();
+        std::thread::spawn(move || {
+            let mut latencies = Vec::new();
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                let t = Instant::now();
+                let snap =
+                    Arc::clone(&current.read().unwrap_or_else(|e| e.into_inner()));
+                std::hint::black_box(snap.select_positions(q).len());
+                latencies.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+            latencies
+        })
+    };
+
+    // The writer: apply each batch to a cloned snapshot and publish, with
+    // a periodic compaction fold — the writer pays it, readers don't.
+    let publish = |wb: Workbench| {
+        *current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(wb);
+    };
+    let mut apply_ms: Vec<f64> = Vec::with_capacity(batches.len());
+    let mut compact_ms: Vec<f64> = Vec::new();
+    let t_ingest = Instant::now();
+    for (i, batch) in batches.iter().enumerate() {
+        let t = Instant::now();
+        let mut wb =
+            current.read().unwrap_or_else(|e| e.into_inner()).snapshot();
+        wb.apply_ingest(std::slice::from_ref(batch));
+        publish(wb);
+        apply_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        if (i + 1) % COMPACT_EVERY == 0 {
+            let t = Instant::now();
+            let mut wb =
+                current.read().unwrap_or_else(|e| e.into_inner()).snapshot();
+            if wb.compact() {
+                publish(wb);
+                compact_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+    }
+    let ingest_elapsed = t_ingest.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let during_ms = sorted(reader.join().expect("reader thread"));
+
+    // Final fold, measured as a compaction pause, then the post-compaction
+    // planned-select latency on the converged snapshot.
+    let t = Instant::now();
+    let mut wb = current.read().unwrap_or_else(|e| e.into_inner()).snapshot();
+    if wb.compact() {
+        compact_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        publish(wb);
+    }
+    let final_snap = Arc::clone(&current.read().unwrap_or_else(|e| e.into_inner()));
+    let post_ms = sorted(
+        queries
+            .iter()
+            .map(|q| median_ms(|| drop(std::hint::black_box(final_snap.select_positions(q)))))
+            .collect(),
+    );
+
+    let throughput = entries_total as f64 / ingest_elapsed.max(1e-9);
+    let apply_sorted = sorted(apply_ms);
+    let compact_sorted = sorted(compact_ms);
+    let (lag_p50, lag_p99) =
+        (percentile(&apply_sorted, 0.50), percentile(&apply_sorted, 0.99));
+    let (during_p50, during_p99) =
+        (percentile(&during_ms, 0.50), percentile(&during_ms, 0.99));
+    let post_med = percentile(&post_ms, 0.5);
+    let pause_p50 = percentile(&compact_sorted, 0.50);
+    let pause_max = compact_sorted.last().copied().unwrap_or(0.0);
+    let reads = during_ms.len();
+    let ratio = if baseline_med > 0.0 { during_p50 / baseline_med } else { 0.0 };
+    let target_met = reads > 0 && during_p50 <= 2.0 * baseline_med.max(0.05);
+
+    eprintln!(
+        "{patients} patients + {entries_total} streamed entries: \
+         {throughput:.0} entries/s  apply-lag p50 {lag_p50:.2} ms p99 {lag_p99:.2} ms  \
+         {reads} concurrent selects p50 {during_p50:.3} ms p99 {during_p99:.3} ms \
+         ({ratio:.2}x baseline)  compaction pause p50 {pause_p50:.1} ms max {pause_max:.1} ms  \
+         post-compaction select {post_med:.3} ms  \
+         [target ≤2x baseline during ingest: {}]",
+        if target_met { "met" } else { "NOT met at this scale" },
+    );
+
+    let json = format!(
+        "{{\"experiment\":\"e11_ingest\",\"patients\":{patients},\
+         \"delta_patients\":{delta_patients},\"batches\":{},\
+         \"entries\":{entries_total},\"ingest_elapsed_s\":{ingest_elapsed:.3},\
+         \"throughput_entries_per_s\":{throughput:.1},\
+         \"apply_lag_p50_ms\":{lag_p50:.4},\"apply_lag_p99_ms\":{lag_p99:.4},\
+         \"baseline_planned_ms\":{baseline_med:.4},\
+         \"during_ingest_selects\":{reads},\
+         \"during_ingest_p50_ms\":{during_p50:.4},\
+         \"during_ingest_p99_ms\":{during_p99:.4},\
+         \"during_over_baseline\":{ratio:.3},\
+         \"compactions\":{},\"compaction_pause_p50_ms\":{pause_p50:.4},\
+         \"compaction_pause_max_ms\":{pause_max:.4},\
+         \"post_compaction_planned_ms\":{post_med:.4},\
+         \"target_ratio\":2.0,\"target_met\":{target_met}}}\n",
+        apply_sorted.len(),
+        compact_sorted.len(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    std::fs::write(path, &json).expect("write BENCH_ingest.json");
+    eprintln!("wrote {path}");
+}

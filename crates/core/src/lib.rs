@@ -38,7 +38,7 @@ pub mod workbench;
 pub use error::CoreError;
 pub use recognition::{simulate_study, RecognitionModel, StudyOutcome};
 pub use session::{Selection, Session, ViewCommand};
-pub use workbench::{ViewState, Workbench};
+pub use workbench::{IngestStats, ViewState, Workbench};
 
 /// Convenient re-exports of the whole stack.
 pub mod prelude {
@@ -48,9 +48,11 @@ pub mod prelude {
     pub use crate::indicators::{indicators, IndicatorPanel};
     pub use crate::recognition::{simulate_study, RecognitionModel, StudyOutcome};
     pub use crate::session::{Selection, Session, ViewCommand};
-    pub use crate::workbench::Workbench;
+    pub use crate::workbench::{IngestStats, Workbench};
     pub use pastas_codes::{Code, CodeSystem};
-    pub use pastas_ingest::{aggregate, QualityReport, SourceTexts};
+    pub use pastas_ingest::{
+        aggregate, parse_delta, DeltaBatch, DeltaFormat, QualityReport, SourceTexts,
+    };
     pub use pastas_model::{
         CodeId, Entry, EntryRef, EntryView, EpisodeKind, History, HistoryCollection,
         MeasurementKind, MemoryFootprint, Patient, PatientId, Payload, PayloadRef, Sex,

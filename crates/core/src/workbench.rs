@@ -5,8 +5,10 @@
 //! benches against Shneiderman's 0.1 s budget: select, sort, align, filter,
 //! zoom, hover.
 
-use pastas_ingest::{aggregate, QualityReport, SourceTexts};
-use pastas_model::{HistoryCollection, PatientId};
+use pastas_ingest::{
+    aggregate, entry_fingerprint, DeltaBatch, EntryFingerprint, QualityReport, SourceTexts,
+};
+use pastas_model::{HistoryCollection, OpenEpoch, PatientId};
 use pastas_ontology::integration::IntegrationOntology;
 use pastas_query::{
     align_on, sort_histories, CodeIndex, EntryPredicate, Explain, HistoryQuery, QueryPlan, SortKey,
@@ -16,7 +18,7 @@ use pastas_time::Duration;
 use pastas_viz::html::{personal_timeline, PersonalTimelineOptions};
 use pastas_viz::timeline::aligned_viewport;
 use pastas_viz::{ascii, hit::HitMap, svg, AxisMode, Scene, TimelineOptions, TimelineView, Viewport};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -70,6 +72,25 @@ impl SelectionCache {
             self.index_hits.fetch_add(1, Ordering::Relaxed);
         }
     }
+}
+
+/// Outcome accounting of one [`Workbench::apply_ingest`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Per-patient deltas processed (across every batch).
+    pub deltas_applied: usize,
+    /// Entries accepted into the collection.
+    pub entries_applied: usize,
+    /// Entries dropped as exact duplicates of already-loaded ones (or of
+    /// earlier entries in the same call), by the batch pipeline's
+    /// [`entry_fingerprint`] identity.
+    pub duplicates_dropped: usize,
+    /// Entries dropped by the §IV pre-birth validation rule.
+    pub dropped_pre_birth: usize,
+    /// Distinct patients whose history changed (created or extended).
+    pub patients_touched: usize,
+    /// Patients appended to the collection (first appearance).
+    pub patients_created: usize,
 }
 
 /// The workbench. See the crate docs for a tour.
@@ -148,6 +169,109 @@ impl Workbench {
         self.collection_fingerprint = fingerprint_collection(&collection);
         self.collection = collection;
         self.selections = SelectionCache::new();
+    }
+
+    /// Apply parsed ingest deltas ([`pastas_ingest::parse_delta`])
+    /// incrementally — the streaming alternative to
+    /// [`Self::set_collection`]'s full rebuild.
+    ///
+    /// Entries dedup against the already-loaded collection (and each
+    /// other) with the batch pipeline's [`entry_fingerprint`] identity,
+    /// stage in a [`OpenEpoch`] (which applies the §IV pre-birth rule),
+    /// and seal into the collection: existing patients keep their
+    /// display position and code ids, new patients append at the end of
+    /// the display order. The code index advances via
+    /// [`CodeIndex::with_delta`] — main posting shards are shared, only
+    /// the touched rows are re-scanned into the side-index — and the
+    /// selection cache is replaced (snapshots of the old collection keep
+    /// the old one). Call [`Self::compact`] periodically to fold the
+    /// side-index back into the main shards.
+    pub fn apply_ingest(&mut self, batches: &[DeltaBatch]) -> IngestStats {
+        let mut stats = IngestStats::default();
+        let mut epoch = OpenEpoch::new();
+        // Per-patient fingerprints of already-loaded entries, extended
+        // with each accepted delta entry so duplicates are dropped both
+        // against the collection and within this call.
+        let mut known: HashMap<u64, HashSet<EntryFingerprint>> = HashMap::new();
+        for batch in batches {
+            for delta in &batch.deltas {
+                stats.deltas_applied += 1;
+                let pid = delta.patient.id;
+                let seen = known.entry(pid.0).or_insert_with(|| {
+                    self.collection
+                        .get(pid)
+                        .map(|h| {
+                            h.entries()
+                                .iter()
+                                .map(|e| entry_fingerprint(pid.0, &e.to_entry()))
+                                .collect()
+                        })
+                        .unwrap_or_default()
+                });
+                let mut fresh = Vec::with_capacity(delta.entries.len());
+                for e in &delta.entries {
+                    if seen.insert(entry_fingerprint(pid.0, e)) {
+                        fresh.push(e.clone());
+                    } else {
+                        stats.duplicates_dropped += 1;
+                    }
+                }
+                // A delta that nets out to nothing for a patient we
+                // already hold (a replayed batch, a re-registration) must
+                // not dirty the row: replaying an increment is a no-op.
+                if fresh.is_empty() && self.collection.get(pid).is_some() {
+                    continue;
+                }
+                let report = epoch.append(delta.patient, fresh);
+                stats.entries_applied += report.accepted;
+                stats.dropped_pre_birth += report.dropped_pre_birth;
+            }
+        }
+        let rows_before = self.collection.len();
+        let touched = epoch.seal_into(&mut self.collection);
+        stats.patients_touched = touched.len();
+        stats.patients_created = self.collection.len() - rows_before;
+        if touched.is_empty() {
+            return stats;
+        }
+        let dirty: Vec<u32> = touched
+            .iter()
+            .map(|&id| {
+                self.collection.position_of(id).expect("sealed patient has a position") as u32
+            })
+            .collect();
+        self.index = Arc::new(self.index.with_delta(&self.collection, &dirty));
+        self.collection_fingerprint = fingerprint_collection(&self.collection);
+        self.selections = SelectionCache::new();
+        // Appended patients join the end of the display order; existing
+        // rows keep their positions, so the current sort/alignment stays
+        // meaningful.
+        self.order.extend(rows_before as u32..self.collection.len() as u32);
+        // Fold the parse/linkage accounting into the quality report.
+        let quality = self.quality.get_or_insert_with(QualityReport::default);
+        for batch in batches {
+            quality.rows_read += batch.rows_read;
+            quality.parse_errors += batch.parse_errors;
+            quality.unlinked_rows += batch.unlinked_rows;
+            quality.measurements_extracted += batch.measurements_extracted;
+        }
+        quality.duplicates_dropped += stats.duplicates_dropped;
+        quality.dropped_pre_birth += stats.dropped_pre_birth;
+        quality.entries_loaded += stats.entries_applied;
+        stats
+    }
+
+    /// Fold the code index's side-index into its main posting shards
+    /// (LSM compaction; see [`CodeIndex::compact`]). Selection results
+    /// are unchanged — the side pass and the compacted shards answer
+    /// identically — so the collection fingerprint and selection cache
+    /// survive. Returns false (and does nothing) when already compact.
+    pub fn compact(&mut self) -> bool {
+        if self.index.side_is_empty() {
+            return false;
+        }
+        self.index = Arc::new(self.index.compact());
+        true
     }
 
     /// A cheap immutable snapshot sharing all heavy state — histories,
@@ -733,6 +857,130 @@ mod tests {
         assert_eq!(wb.collection().len(), 80);
         let q = wb.quality().expect("quality report");
         assert!(q.entries_loaded > 0);
+    }
+
+    #[test]
+    fn apply_ingest_extends_the_collection_and_invalidates_selections() {
+        use pastas_ingest::{parse_delta, DeltaFormat, IdentityRegistry};
+        let mut wb = wb();
+        let q = QueryBuilder::new().has_code("T90").unwrap().build();
+        let before = wb.select_positions(&q);
+        let fp_before = wb.collection_fingerprint();
+        assert_eq!(wb.selection_cache_len(), 1);
+        let mut registry = IdentityRegistry::new();
+        let persons = parse_delta(
+            DeltaFormat::Persons,
+            "nin;birth_date;sex\nNIN-0900001;1950-01-01;F\n",
+            &mut registry,
+        );
+        let claims = parse_delta(
+            DeltaFormat::Claims,
+            "claim_id;patient;date;provider;icpc;note\nK1;NIN-0900001;04.05.2013;GP;T90;\n",
+            &mut registry,
+        );
+        let stats = wb.apply_ingest(&[persons, claims]);
+        assert_eq!(stats.patients_created, 1);
+        assert_eq!(stats.patients_touched, 1);
+        assert_eq!(stats.entries_applied, 1);
+        assert_eq!(wb.collection().len(), 301);
+        assert_eq!(wb.order().len(), 301, "appended row joins the display order");
+        assert_ne!(wb.collection_fingerprint(), fp_before);
+        assert_eq!(wb.selection_cache_len(), 0, "selection cache replaced");
+        let after = wb.select_positions(&q);
+        assert_eq!(after.len(), before.len() + 1, "new T90 patient is selectable");
+        assert!(!wb.index().side_is_empty(), "delta rows served by the side-index");
+        // Re-sending the same delta is a no-op thanks to fingerprint dedup.
+        let mut registry2 = IdentityRegistry::new();
+        parse_delta(
+            DeltaFormat::Persons,
+            "nin;birth_date;sex\nNIN-0900001;1950-01-01;F\n",
+            &mut registry2,
+        );
+        let replay = parse_delta(
+            DeltaFormat::Claims,
+            "claim_id;patient;date;provider;icpc;note\nK1;NIN-0900001;04.05.2013;GP;T90;\n",
+            &mut registry2,
+        );
+        let stats = wb.apply_ingest(&[replay]);
+        assert_eq!(stats.entries_applied, 0);
+        assert_eq!(stats.duplicates_dropped, 1);
+        assert_eq!(wb.collection().len(), 301);
+    }
+
+    #[test]
+    fn compact_folds_the_side_index_without_changing_results() {
+        use pastas_ingest::{parse_delta, DeltaFormat, IdentityRegistry};
+        let mut wb = wb();
+        let mut registry = IdentityRegistry::new();
+        let persons = parse_delta(
+            DeltaFormat::Persons,
+            "nin;birth_date;sex\nNIN-0900001;1950-01-01;F\n",
+            &mut registry,
+        );
+        let claims = parse_delta(
+            DeltaFormat::Claims,
+            "claim_id;patient;date;provider;icpc;note\nK1;NIN-0900001;04.05.2013;GP;T90;\n",
+            &mut registry,
+        );
+        wb.apply_ingest(&[persons, claims]);
+        let q = QueryBuilder::new().has_code("T90").unwrap().build();
+        let mid = wb.select_positions(&q);
+        let fp = wb.collection_fingerprint();
+        assert!(wb.compact(), "side-index had debt");
+        assert!(wb.index().side_is_empty());
+        assert_eq!(wb.index().side_postings_total(), 0);
+        assert_eq!(wb.select_positions(&q), mid, "compaction changes no result");
+        assert_eq!(wb.collection_fingerprint(), fp, "same data, same fingerprint");
+        assert!(!wb.compact(), "second compaction is a no-op");
+    }
+
+    /// The streaming path's convergence contract: an empty workbench fed
+    /// the five sources as deltas, then compacted, answers cohort
+    /// selections exactly like a batch build of the same raw text.
+    #[test]
+    fn streamed_ingest_converges_to_the_batch_build() {
+        use pastas_ingest::{parse_delta, DeltaFormat, IdentityRegistry};
+        use pastas_synth::emit::{emit, MessConfig};
+        use pastas_synth::generate_population;
+        let pop = generate_population(SynthConfig::with_patients(60), 5);
+        let raw = emit(&pop, MessConfig::default());
+        let batch_wb = Workbench::from_raw_sources(SourceTexts {
+            persons: &raw.persons,
+            claims: &raw.claims,
+            hospital: &raw.hospital,
+            municipal: &raw.municipal,
+            prescriptions: &raw.prescriptions,
+        });
+        let mut wb = Workbench::from_collection(HistoryCollection::new());
+        let mut registry = IdentityRegistry::new();
+        let batches = vec![
+            parse_delta(DeltaFormat::Persons, &raw.persons, &mut registry),
+            parse_delta(DeltaFormat::Claims, &raw.claims, &mut registry),
+            parse_delta(DeltaFormat::Hospital, &raw.hospital, &mut registry),
+            parse_delta(DeltaFormat::Municipal, &raw.municipal, &mut registry),
+            parse_delta(DeltaFormat::Prescriptions, &raw.prescriptions, &mut registry),
+        ];
+        wb.apply_ingest(&batches);
+        wb.compact();
+        assert_eq!(wb.collection().len(), batch_wb.collection().len());
+        assert_eq!(
+            wb.collection().stats().entries,
+            batch_wb.collection().stats().entries,
+            "same dedup + validation, same entry count"
+        );
+        let queries = [
+            QueryBuilder::new().has_code("T90").unwrap().build(),
+            QueryBuilder::new().has_code("[KT].*").unwrap().lacks_code("A0.*").unwrap().build(),
+            QueryBuilder::new().lacks_code("T90").unwrap().build(),
+            QueryBuilder::new().sex(pastas_model::Sex::Female).build(),
+        ];
+        for q in &queries {
+            let mut streamed = wb.select_ids(q);
+            let mut batch = batch_wb.select_ids(q);
+            streamed.sort();
+            batch.sort();
+            assert_eq!(streamed, batch, "query {q:?}");
+        }
     }
 
     #[test]

@@ -50,9 +50,16 @@ impl QualityReport {
     }
 }
 
+/// The dedup identity of one entry: patient, time extent, payload and
+/// source. Entries agreeing on all five are exact duplicates.
+pub type EntryFingerprint = (u64, i64, i64, u8, String);
+
 /// A dedup fingerprint: exact duplicates (same patient, time extent,
-/// payload identity and source) collapse to one entry.
-fn fingerprint(patient: u64, e: &Entry) -> (u64, i64, i64, u8, String) {
+/// payload identity and source) collapse to one entry. Public because
+/// the streaming path ([`crate::delta`] consumers) must dedup incoming
+/// deltas against already-loaded histories with the *same* identity, so
+/// streamed and batch-loaded collections agree entry for entry.
+pub fn entry_fingerprint(patient: u64, e: &Entry) -> EntryFingerprint {
     let payload_tag = match e.payload() {
         Payload::Diagnosis(c) => (0u8, c.to_string()),
         Payload::Medication(c) => (1, c.to_string()),
@@ -119,7 +126,7 @@ pub fn aggregate(src: SourceTexts<'_>) -> (HistoryCollection, QualityReport) {
                     entry: Entry,
                     histories: &mut std::collections::HashMap<u64, (Patient, Vec<Entry>)>,
                     report: &mut QualityReport| {
-        let fp = fingerprint(patient, &entry);
+        let fp = entry_fingerprint(patient, &entry);
         if !seen.insert(fp) {
             report.duplicates_dropped += 1;
             return;

@@ -15,7 +15,10 @@
 //! * [`extract`] — regex extraction of measurements from free-text notes
 //!   (`"BT 150/90"` → systolic + diastolic entries), per §IV.A;
 //! * [`aggregate`] — the pipeline: parse → link → merge → dedup →
-//!   validate, with a [`QualityReport`] accounting for every dropped row.
+//!   validate, with a [`QualityReport`] accounting for every dropped row;
+//! * [`delta`] — the same dialects arriving incrementally: one-format
+//!   increments parse into per-patient entry deltas for the streaming
+//!   ingest path, reusing the adapters, linkage and entry conventions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,11 +26,13 @@
 pub mod adapters;
 pub mod aggregate;
 pub mod csv;
+pub mod delta;
 pub mod extract;
 pub mod json;
 pub mod linkage;
 
-pub use aggregate::{aggregate, QualityReport, SourceTexts};
+pub use aggregate::{aggregate, entry_fingerprint, EntryFingerprint, QualityReport, SourceTexts};
+pub use delta::{parse_delta, DeltaBatch, DeltaFormat, PatientDelta};
 pub use linkage::IdentityRegistry;
 
 #[cfg(test)]

@@ -84,6 +84,12 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     ("no-unbounded-channel", "forbid mpsc::channel() in par/serve; use sync_channel"),
     (
+        "no-unbounded-ingest-buffer",
+        "flag queue.push_back(…) in par/serve non-test code: every queue fed by requests \
+         must check a capacity bound and shed (429/503) on overflow; document the audited \
+         bounded site with lint:allow",
+    ),
+    (
         "lock-across-await-point-analog",
         "flag lock()/write() guards held across try_submit/send in one statement",
     ),
@@ -460,6 +466,38 @@ fn rule_no_unbounded_channel(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+/// Request-fed queues must be bounded: an ingest or job queue that grows
+/// without a capacity check turns overload into unbounded memory instead
+/// of explicit backpressure (429 + `Retry-After`, or the acceptor's 503).
+/// The rule flags every `.push_back(` call site in par/serve production
+/// code; the audited sites — where a capacity check demonstrably guards
+/// the push — carry a `lint:allow` with the reason.
+fn rule_no_unbounded_ingest_buffer(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if !ctx.in_crate(CHANNEL_CRATES) {
+        return;
+    }
+    for p in 0..ctx.sig.len() {
+        if ctx.sig_is_test(p) {
+            continue;
+        }
+        if !ctx.sig_token(p).is_ident(ctx.src, "push_back") {
+            continue;
+        }
+        let after_dot = p > 0 && ctx.sig_token(p - 1).is_punct(ctx.src, '.');
+        let called = p + 1 < ctx.sig.len() && ctx.sig_token(p + 1).is_punct(ctx.src, '(');
+        if after_dot && called {
+            out.push(ctx.finding(
+                ctx.sig_token(p),
+                "no-unbounded-ingest-buffer",
+                "`.push_back(…)` grows a request-fed queue — check a capacity bound and \
+                 shed with explicit backpressure (429/503 + Retry-After), then document \
+                 the audited site with lint:allow"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
 fn rule_lock_across_submit(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     if !ctx.in_crate(LOCK_CRATES) {
         return;
@@ -768,6 +806,7 @@ pub fn check_file(path: &str, src: &str, options: CheckOptions) -> Vec<Finding> 
     rule_no_panic_hot_path(&ctx, &mut raw);
     rule_no_wallclock(&ctx, &mut raw);
     rule_no_unbounded_channel(&ctx, &mut raw);
+    rule_no_unbounded_ingest_buffer(&ctx, &mut raw);
     rule_lock_across_submit(&ctx, &mut raw);
     rule_no_silent_truncation(&ctx, &mut raw);
     rule_budget_enforced_alloc(&ctx, &mut raw);

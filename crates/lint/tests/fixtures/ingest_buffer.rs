@@ -1,0 +1,34 @@
+// lint-fixture-path: crates/serve/src/somequeue.rs
+//! Fixture: request-fed queues. The bare `.push_back(` is a finding;
+//! the capacity-guarded push documented with `lint:allow` is clean, as
+//! is any push inside test code.
+
+use std::collections::VecDeque;
+
+/// Growing the queue with no capacity check is a finding.
+pub fn enqueue_unbounded(queue: &mut VecDeque<u32>, item: u32) {
+    queue.push_back(item);
+}
+
+/// The audited bounded site: the guard above sheds on overflow, and the
+/// allow comment records why the push is safe.
+pub fn enqueue_bounded(queue: &mut VecDeque<u32>, item: u32, capacity: usize) -> bool {
+    if queue.len() >= capacity {
+        return false;
+    }
+    // lint:allow(no-unbounded-ingest-buffer) bounded: the capacity check above sheds on overflow
+    queue.push_back(item);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::VecDeque;
+
+    #[test]
+    fn pushes_freely_in_tests() {
+        let mut queue = VecDeque::new();
+        queue.push_back(7u32);
+        assert_eq!(queue.len(), 1);
+    }
+}

@@ -107,6 +107,12 @@ fn channels_flag_unbounded_and_guarded_send() {
 }
 
 #[test]
+fn ingest_buffers_flag_only_the_unguarded_push() {
+    let findings = check_fixture("ingest_buffer");
+    assert_eq!(shape(&findings), vec![("no-unbounded-ingest-buffer", 10)]);
+}
+
+#[test]
 fn truncation_flags_only_the_narrowing_cast() {
     let findings = check_fixture("truncation");
     assert_eq!(shape(&findings), vec![("no-silent-truncation", 7)]);

@@ -95,6 +95,12 @@ impl HistoryCollection {
         self.by_id.get(&id).map(|&i| &self.histories[i])
     }
 
+    /// The display position of a patient's history — the row index the
+    /// query layer's postings refer to.
+    pub fn position_of(&self, id: PatientId) -> Option<usize> {
+        self.by_id.get(&id).copied()
+    }
+
     /// Mutable lookup by patient id. Copy-on-write: if the history is
     /// shared with another collection, it is cloned once here.
     pub fn get_mut(&mut self, id: PatientId) -> Option<&mut History> {

@@ -25,11 +25,13 @@
 
 mod collection;
 mod entry;
+mod epoch;
 mod history;
 mod store;
 
 pub use collection::{CollectionStats, HistoryCollection};
 pub use entry::{EpisodeKind, Entry, Event, Interval, MeasurementKind, Payload, SourceKind};
+pub use epoch::OpenEpoch;
 pub use history::{History, Patient, Sex, ValidationReport};
 pub use store::{
     CodeId, CodeInterner, CollectionBuilder, Entries, EntriesIter, EntryRef, EntryView,

@@ -89,6 +89,30 @@ impl IndexShard {
     }
 }
 
+/// The LSM-style *side-index* over open-epoch rows: sorted-vec postings
+/// for the **dirty** history positions — those modified or appended
+/// since the main shards were built. Rebuilt per delta batch by
+/// [`CodeIndex::with_delta`] (cheap: proportional to the dirty
+/// histories, not the collection) and folded into the main roaring
+/// shards by [`CodeIndex::compact`].
+///
+/// Each dirty patient's postings here are their *complete current*
+/// code set, so the planner can answer any query shape over the dirty
+/// universe from the side postings alone and union that with the main
+/// shards' answer restricted to clean rows — plan-vs-scan equivalence
+/// holds mid-compaction (see `exec_side` in `plan.rs`).
+#[derive(Debug, Default, PartialEq)]
+pub(crate) struct SideIndex {
+    /// Dirty history positions, strictly ascending. Every position at or
+    /// beyond the main shards' coverage is dirty (appended patients).
+    pub(crate) dirty: Vec<u32>,
+    /// Distinct code values of the dirty histories, sorted.
+    pub(crate) vocab: Vec<Box<str>>,
+    /// `postings[slot]`: dirty positions (global, strictly ascending)
+    /// whose history contains `vocab[slot]`.
+    pub(crate) postings: Vec<Vec<u32>>,
+}
+
 /// Memory accounting for the compressed postings, reported by E5 and the
 /// serve layer's `/metrics`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,11 +141,21 @@ pub struct CodeIndex {
     /// `counts[slot]`: total positions holding `vocab[slot]` across all
     /// shards — O(1) planner cardinality estimates.
     counts: Vec<u32>,
-    /// Patient-range shards in ascending `base` order, partitioning
-    /// `0..rows`.
-    shards: Vec<IndexShard>,
-    /// Total history count (the complement universe).
+    /// Patient-range shards in ascending `base` order, tiling the main
+    /// (compacted) row range. Behind `Arc` so an incremental index
+    /// ([`Self::with_delta`] / [`Self::compact`]) shares untouched
+    /// shards with its predecessor instead of cloning postings.
+    shards: Vec<Arc<IndexShard>>,
+    /// Total history count (the complement universe), *including* rows
+    /// covered only by the side-index (appended patients).
     rows: u32,
+    /// Shard width this index was built with ([`SHARD_ROWS`] in
+    /// production; smaller in multi-shard tests). Compaction tiles new
+    /// rows with the same width. `0` only in `Default` (treated as
+    /// [`SHARD_ROWS`]).
+    shard_rows: u32,
+    /// Postings for dirty rows, merged into `shards` by [`Self::compact`].
+    side: SideIndex,
     /// Compiled patterns memoized across selections on this index.
     compiled: Mutex<HashMap<String, Regex>>,
 }
@@ -260,7 +294,204 @@ impl CodeIndex {
             }
             shard.postings = postings;
         }
-        CodeIndex { vocab, counts, shards, rows, compiled: Mutex::new(HashMap::new()) }
+        CodeIndex {
+            vocab,
+            counts,
+            shards: shards.into_iter().map(Arc::new).collect(),
+            rows,
+            shard_rows,
+            side: SideIndex::default(),
+            compiled: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A successor index marking `newly_dirty` history positions (and any
+    /// previously dirty ones) as served by the side-index: the main
+    /// shards are shared untouched (`Arc` clones — no posting copied),
+    /// and the side postings are rebuilt by scanning only the dirty
+    /// histories of `collection` — O(dirty · entries-per-history), not
+    /// O(collection). The streaming path (`Workbench::apply_ingest`)
+    /// calls this after every sealed delta batch; [`Self::compact`]
+    /// folds the accumulated side postings back into the shards.
+    pub fn with_delta(&self, collection: &HistoryCollection, newly_dirty: &[u32]) -> CodeIndex {
+        let rows = collection.len() as u32;
+        let mut extra: Vec<u32> = newly_dirty.to_vec();
+        extra.sort_unstable();
+        extra.dedup();
+        let dirty = crate::plan::reference::union2(&self.side.dirty, &extra);
+        debug_assert!(dirty.last().is_none_or(|&p| p < rows), "dirty position beyond rows");
+        // Side vocabulary + postings: the complete current code set of
+        // every dirty history (not just the delta), so side evaluation
+        // answers any plan shape over the dirty universe exactly.
+        let histories = collection.histories();
+        let mut values: Vec<&str> = Vec::new();
+        for &p in &dirty {
+            // lint:allow(no-panic-hot-path) dirty positions index the collection
+            for e in histories[p as usize].entries() {
+                if let Some(c) = e.code() {
+                    values.push(c.value.as_str());
+                }
+            }
+        }
+        values.sort_unstable();
+        values.dedup();
+        let mut postings: Vec<Vec<u32>> = vec![Vec::new(); values.len()];
+        for &p in &dirty {
+            // lint:allow(no-panic-hot-path) dirty positions index the collection
+            for e in histories[p as usize].entries() {
+                if let Some(c) = e.code() {
+                    let slot = values
+                        .binary_search(&c.value.as_str())
+                        // lint:allow(no-panic-hot-path) every dirty value was merged above
+                        .expect("dirty code value is in the side vocabulary");
+                    // lint:allow(no-panic-hot-path) slot < values.len() by construction
+                    let list = &mut postings[slot];
+                    if list.last() != Some(&p) {
+                        list.push(p);
+                    }
+                }
+            }
+        }
+        CodeIndex {
+            vocab: self.vocab.clone(),
+            counts: self.counts.clone(),
+            shards: self.shards.clone(),
+            rows,
+            shard_rows: self.shard_rows,
+            side: SideIndex {
+                dirty,
+                vocab: values.into_iter().map(Box::from).collect(),
+                postings,
+            },
+            compiled: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Fold the side postings into the main shards, LSM-style: side
+    /// postings union into the covering shards' compressed bitmaps
+    /// (`append`-idempotent — entries are never removed, so main
+    /// postings are always a subset of the truth for dirty rows), rows
+    /// beyond the old shard coverage extend the tiling with fresh
+    /// shards of the same width, and the result has an empty
+    /// side-index. Untouched shards are shared (`Arc`), unless the
+    /// vocabulary grew (new code values force a slot re-layout of every
+    /// shard). The swap-in is the caller's job (e.g. the serve layer's
+    /// compaction thread publishing a fresh snapshot).
+    pub fn compact(&self) -> CodeIndex {
+        let shard_rows = if self.shard_rows == 0 { SHARD_ROWS } else { self.shard_rows };
+        if self.side.dirty.is_empty() {
+            return CodeIndex {
+                vocab: self.vocab.clone(),
+                counts: self.counts.clone(),
+                shards: self.shards.clone(),
+                rows: self.rows,
+                shard_rows: self.shard_rows,
+                side: SideIndex::default(),
+                compiled: Mutex::new(HashMap::new()),
+            };
+        }
+        // Merged vocabulary. Common case: dirty histories reuse existing
+        // code values and the vocabulary (hence every slot number) is
+        // unchanged, so untouched shards stay shared.
+        let grew = self.side.vocab.iter().any(|v| self.vocab.binary_search(v).is_err());
+        let vocab: Vec<Box<str>> = if grew {
+            let mut merged = self.vocab.clone();
+            merged.extend(
+                self.side
+                    .vocab
+                    .iter()
+                    .filter(|v| self.vocab.binary_search(v).is_err())
+                    .cloned(),
+            );
+            merged.sort();
+            merged
+        } else {
+            self.vocab.clone()
+        };
+        let remap_old: Option<Vec<usize>> = if grew {
+            Some(
+                self.vocab
+                    .iter()
+                    // lint:allow(no-panic-hot-path) merged vocabulary keeps every old value
+                    .map(|v| vocab.binary_search(v).expect("old value survives the merge"))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        // Distribute side postings into per-shard, slot-tagged relative
+        // bitmaps, under the *new* tiling.
+        let shard_count = (self.rows as usize).div_ceil(shard_rows as usize);
+        let mut extra: Vec<Vec<(usize, Bitmap)>> = vec![Vec::new(); shard_count];
+        for (side_slot, list) in self.side.postings.iter().enumerate() {
+            let slot = vocab
+                // lint:allow(no-panic-hot-path) side_slot enumerates the side vocabulary
+                .binary_search(&self.side.vocab[side_slot])
+                // lint:allow(no-panic-hot-path) merged vocabulary holds every side value
+                .expect("side value survives the merge");
+            let mut i = 0;
+            while i < list.len() {
+                // lint:allow(no-panic-hot-path) i < list.len() by the loop guard
+                let shard_idx = (list[i] / shard_rows) as usize;
+                // lint:allow(no-silent-truncation) shard_idx < shard_count so base fits u32
+                let base = shard_idx as u32 * shard_rows;
+                // lint:allow(no-panic-hot-path) i < list.len() by the loop guard
+                let j = i + list[i..].partition_point(|&p| p < base + shard_rows);
+                // lint:allow(no-panic-hot-path) i <= j <= list.len() by partition_point
+                let rel: Vec<u32> = list[i..j].iter().map(|&p| p - base).collect();
+                // lint:allow(no-panic-hot-path) shard_idx derives from p < rows
+                extra[shard_idx].push((slot, Bitmap::from_sorted(&rel)));
+                i = j;
+            }
+        }
+        let mut shards: Vec<Arc<IndexShard>> = Vec::with_capacity(shard_count);
+        for (s, extra) in extra.into_iter().enumerate() {
+            // lint:allow(no-silent-truncation) s < shard_count so base fits u32
+            let base = s as u32 * shard_rows;
+            let rows_s = shard_rows.min(self.rows - base);
+            let existing = self.shards.get(s);
+            if !grew && extra.is_empty() {
+                if let Some(e) = existing {
+                    if e.rows == rows_s {
+                        shards.push(Arc::clone(e));
+                        continue;
+                    }
+                }
+            }
+            let mut postings: Vec<Bitmap> = vec![Bitmap::new(); vocab.len()];
+            if let Some(e) = existing {
+                for (old_slot, bm) in e.postings.iter().enumerate() {
+                    // lint:allow(no-panic-hot-path) old_slot enumerates the old vocabulary
+                    let slot = remap_old.as_ref().map_or(old_slot, |m| m[old_slot]);
+                    // lint:allow(no-panic-hot-path) slot < vocab.len() by the remap
+                    postings[slot] = bm.clone();
+                }
+            }
+            for (slot, bm) in extra {
+                // lint:allow(no-panic-hot-path) slot < vocab.len() by the merge
+                postings[slot] = postings[slot].union(&bm);
+            }
+            shards.push(Arc::new(IndexShard { base, rows: rows_s, postings }));
+        }
+        // Recompute the cardinality cache from the merged shards.
+        let mut counts = vec![0u32; vocab.len()];
+        for shard in &shards {
+            for (slot, bm) in shard.postings.iter().enumerate() {
+                // lint:allow(no-silent-truncation) postings count < rows which fits u32
+                let posted = bm.len() as u32;
+                // lint:allow(no-panic-hot-path) every shard has vocab.len() postings
+                counts[slot] += posted;
+            }
+        }
+        CodeIndex {
+            vocab,
+            counts,
+            shards,
+            rows: self.rows,
+            shard_rows: self.shard_rows,
+            side: SideIndex::default(),
+            compiled: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Number of distinct codes indexed.
@@ -274,8 +505,51 @@ impl CodeIndex {
     }
 
     /// The patient-range shards (plan execution fans out over these).
-    pub(crate) fn shards(&self) -> &[IndexShard] {
+    pub(crate) fn shards(&self) -> &[Arc<IndexShard>] {
         &self.shards
+    }
+
+    /// True if no rows are served by the side-index (fully compacted).
+    pub fn side_is_empty(&self) -> bool {
+        self.side.dirty.is_empty()
+    }
+
+    /// Dirty history positions (ascending) served by the side-index.
+    pub(crate) fn side_dirty(&self) -> &[u32] {
+        &self.side.dirty
+    }
+
+    /// Side postings of one side-vocabulary slot (global positions).
+    pub(crate) fn side_postings(&self, slot: u32) -> &[u32] {
+        // lint:allow(no-panic-hot-path) callers pass slots from side_slots_for_patterns
+        &self.side.postings[slot as usize]
+    }
+
+    /// Number of dirty rows in the side-index (`/metrics`: side size).
+    pub fn side_rows(&self) -> usize {
+        self.side.dirty.len()
+    }
+
+    /// Total side postings awaiting compaction (`/metrics`: debt).
+    pub fn side_postings_total(&self) -> usize {
+        self.side.postings.iter().map(Vec::len).sum()
+    }
+
+    /// Side-vocabulary slots matched by any of `patterns` (sorted,
+    /// unique). Patterns that fail to compile match nothing, mirroring
+    /// [`Self::slots_for_patterns`]'s executor fallback.
+    pub(crate) fn side_slots_for_patterns(&self, patterns: &[String]) -> Vec<u32> {
+        if self.side.vocab.is_empty() {
+            return Vec::new();
+        }
+        let mut slots = Vec::new();
+        for p in patterns {
+            let Some(re) = self.compiled(p) else { continue };
+            slots.extend(matching_slots_in(&self.side.vocab, &re));
+        }
+        slots.sort_unstable();
+        slots.dedup();
+        slots
     }
 
     /// Compressed-postings memory accounting for E5 and `/metrics`.
@@ -337,7 +611,7 @@ impl CodeIndex {
                 }
             }
         }
-        assert_eq!(next_base, self.rows, "index: shards do not cover all rows");
+        assert!(next_base <= self.rows, "index: shards cover more rows than exist");
         for (slot, &total) in totals.iter().enumerate() {
             assert_eq!(
                 // lint:allow(no-panic-hot-path) counts and totals share vocab length
@@ -346,6 +620,41 @@ impl CodeIndex {
                 "index: cached count != shard totals at slot {slot}"
             );
         }
+        // Side-index twin: rows beyond the shards exist only while dirty.
+        for p in next_base..self.rows {
+            assert!(
+                self.side.dirty.binary_search(&p).is_ok(),
+                "index: appended row {p} is covered by neither shards nor side-index"
+            );
+        }
+        for w in self.side.dirty.windows(2) {
+            // lint:allow(no-panic-hot-path) windows(2) yields exactly two elements
+            assert!(w[0] < w[1], "index: side dirty set out of order at {w:?}");
+        }
+        if let Some(&last) = self.side.dirty.last() {
+            assert!(last < self.rows, "index: dirty position {last} beyond rows {}", self.rows);
+        }
+        assert_eq!(
+            self.side.postings.len(),
+            self.side.vocab.len(),
+            "index: side postings and side vocabulary differ in length"
+        );
+        for (a, b) in self.side.vocab.iter().zip(self.side.vocab.iter().skip(1)) {
+            assert!(a < b, "index: side vocabulary out of order or duplicated at {a:?} / {b:?}");
+        }
+        for (slot, list) in self.side.postings.iter().enumerate() {
+            assert!(!list.is_empty(), "index: side slot {slot} posts nothing");
+            for w in list.windows(2) {
+                // lint:allow(no-panic-hot-path) windows(2) yields exactly two elements
+                assert!(w[0] < w[1], "index: side postings out of order at slot {slot}");
+            }
+            for &p in list {
+                assert!(
+                    self.side.dirty.binary_search(&p).is_ok(),
+                    "index: side slot {slot} posts clean row {p}"
+                );
+            }
+        }
     }
 
     /// Deep invariant check (debug builds only; a no-op in release).
@@ -353,41 +662,13 @@ impl CodeIndex {
     #[inline(always)]
     pub fn debug_validate(&self) {}
 
-    /// The vocabulary slot of an exact code value, if indexed.
-    fn probe(&self, value: &str) -> Option<u32> {
-        self.vocab.binary_search_by(|v| v.as_ref().cmp(value)).ok().map(|i| i as u32)
-    }
 
     /// Vocabulary slots whose value fully matches the regex. Uses the
     /// pattern's literal prefix to restrict the range — an exact literal
     /// is one binary search, a prefix pattern walks only its contiguous
     /// run. Returned ascending (and therefore unique).
     pub(crate) fn matching_slots(&self, re: &Regex) -> Vec<u32> {
-        let info = re.prefix_info();
-        if info.exact {
-            return self.probe(&info.prefix).into_iter().collect();
-        }
-        let mut out = Vec::new();
-        if info.prefix.is_empty() {
-            for (slot, value) in self.vocab.iter().enumerate() {
-                if re.is_full_match(value) {
-                    out.push(slot as u32);
-                }
-            }
-        } else {
-            let prefix = info.prefix.as_str();
-            let start = self.vocab.partition_point(|v| v.as_ref() < prefix);
-            // lint:allow(no-panic-hot-path) partition_point returns start <= len
-            for (slot, value) in self.vocab[start..].iter().enumerate() {
-                if !value.starts_with(prefix) {
-                    break;
-                }
-                if re.is_full_match(value) {
-                    out.push((start + slot) as u32);
-                }
-            }
-        }
-        out
+        matching_slots_in(&self.vocab, re)
     }
 
     /// Union the postings of `slots` into one global bitmap: shard-local
@@ -476,6 +757,44 @@ impl CodeIndex {
     pub fn select(&self, collection: &HistoryCollection, query: &HistoryQuery) -> Vec<u32> {
         crate::plan::QueryPlan::build(self, collection, query).execute(collection, self)
     }
+}
+
+/// Slots of a sorted, deduplicated vocabulary whose value fully matches
+/// the regex — the shared probe behind the main vocabulary and the
+/// side-index's. An exact literal is one binary search; a prefix
+/// pattern walks only its contiguous run. Returned ascending.
+fn matching_slots_in(vocab: &[Box<str>], re: &Regex) -> Vec<u32> {
+    let info = re.prefix_info();
+    if info.exact {
+        return vocab
+            .binary_search_by(|v| v.as_ref().cmp(info.prefix.as_str()))
+            .ok()
+            // lint:allow(no-silent-truncation) vocabulary slots fit u32
+            .map(|i| i as u32)
+            .into_iter()
+            .collect();
+    }
+    let mut out = Vec::new();
+    if info.prefix.is_empty() {
+        for (slot, value) in vocab.iter().enumerate() {
+            if re.is_full_match(value) {
+                out.push(slot as u32);
+            }
+        }
+    } else {
+        let prefix = info.prefix.as_str();
+        let start = vocab.partition_point(|v| v.as_ref() < prefix);
+        // lint:allow(no-panic-hot-path) partition_point returns start <= len
+        for (slot, value) in vocab[start..].iter().enumerate() {
+            if !value.starts_with(prefix) {
+                break;
+            }
+            if re.is_full_match(value) {
+                out.push((start + slot) as u32);
+            }
+        }
+    }
+    out
 }
 
 /// The naive path: evaluate the query against every history (chunked
@@ -694,5 +1013,187 @@ mod tests {
         assert_eq!(first, second);
         let cache = idx.compiled.lock().unwrap();
         assert_eq!(cache.len(), 2, "both patterns cached after first call");
+    }
+
+    // -- streaming: with_delta / compact ----------------------------------
+
+    use pastas_codes::Code;
+    use pastas_model::{Entry, OpenEpoch, Patient, PatientId, Payload, Sex, SourceKind};
+    use pastas_time::Date;
+
+    fn new_patient(id: u64) -> Patient {
+        Patient {
+            id: PatientId(1_000_000 + id),
+            birth_date: Date::new(1950, 6, 15).unwrap(),
+            sex: Sex::Female,
+        }
+    }
+
+    fn diag(y: i32, code: &str) -> Entry {
+        Entry::event(
+            Date::new(y, 3, 1).unwrap().at_midnight(),
+            Payload::Diagnosis(Code::icpc(code)),
+            SourceKind::PrimaryCare,
+        )
+    }
+
+    /// Seal `deltas` into the collection and return the successor index.
+    fn apply_delta(
+        c: &mut HistoryCollection,
+        idx: &CodeIndex,
+        deltas: Vec<(Patient, Vec<Entry>)>,
+    ) -> CodeIndex {
+        let mut epoch = OpenEpoch::new();
+        for (p, es) in deltas {
+            epoch.append(p, es);
+        }
+        let touched = epoch.seal_into(c);
+        let dirty: Vec<u32> =
+            touched.iter().map(|&id| c.position_of(id).unwrap() as u32).collect();
+        idx.with_delta(c, &dirty)
+    }
+
+    fn streaming_queries() -> Vec<HistoryQuery> {
+        vec![
+            QueryBuilder::new().has_code("T90").unwrap().build(),
+            QueryBuilder::new().has_code("Z9[89]").unwrap().build(),
+            QueryBuilder::new().lacks_code("T90").unwrap().build(),
+            QueryBuilder::new().has_code("[KT].*").unwrap().lacks_code("Z98").unwrap().build(),
+            HistoryQuery::CountAtMost(EntryPredicate::code_regex("T90").unwrap(), 1),
+            HistoryQuery::Or(vec![
+                QueryBuilder::new().has_code("Z99").unwrap().build(),
+                HistoryQuery::SexIs(Sex::Female),
+            ]),
+            HistoryQuery::All,
+        ]
+    }
+
+    #[test]
+    fn with_delta_serves_mutations_and_appends_like_a_fresh_scan() {
+        let mut c = collection();
+        let idx = CodeIndex::build(&c);
+        // Mutate two existing patients (one with a brand-new code value,
+        // one with a known one) and append two new patients.
+        let existing_a = *c.histories()[3].patient();
+        let existing_b = *c.histories()[7].patient();
+        let idx2 = apply_delta(
+            &mut c,
+            &idx,
+            vec![
+                (existing_a, vec![diag(2016, "Z98")]),
+                (existing_b, vec![diag(2016, "T90")]),
+                (new_patient(1), vec![diag(2015, "Z99"), diag(2016, "T90")]),
+                (new_patient(2), Vec::new()),
+            ],
+        );
+        idx2.debug_validate();
+        assert_eq!(idx2.rows(), c.len() as u32);
+        assert_eq!(idx2.side_rows(), 4);
+        assert!(idx2.side_postings_total() > 0);
+        assert!(!idx2.side_is_empty());
+        for q in streaming_queries() {
+            assert_eq!(idx2.select(&c, &q), select_scan(&c, &q), "query {q:?}");
+        }
+        // The stale predecessor still validates and answers its own rows.
+        idx.debug_validate();
+    }
+
+    #[test]
+    fn compact_folds_side_postings_and_matches_a_fresh_build() {
+        let mut c = collection();
+        let idx = CodeIndex::build(&c);
+        let existing = *c.histories()[0].patient();
+        let idx2 = apply_delta(
+            &mut c,
+            &idx,
+            vec![
+                (existing, vec![diag(2016, "Z98")]),
+                (new_patient(1), vec![diag(2015, "Z99")]),
+            ],
+        );
+        let compacted = idx2.compact();
+        compacted.debug_validate();
+        assert!(compacted.side_is_empty());
+        assert_eq!(compacted.rows(), c.len() as u32);
+        let fresh = CodeIndex::build(&c);
+        assert_eq!(compacted.vocab, fresh.vocab, "merged vocabulary = fresh vocabulary");
+        assert_eq!(compacted.counts, fresh.counts, "merged counts = fresh counts");
+        for q in streaming_queries() {
+            assert_eq!(compacted.select(&c, &q), select_scan(&c, &q), "query {q:?}");
+        }
+        // Compacting a fully-compacted index is a cheap shared clone.
+        let again = compacted.compact();
+        assert!(again.side_is_empty());
+        for (a, b) in again.shards.iter().zip(compacted.shards.iter()) {
+            assert!(Arc::ptr_eq(a, b), "no-op compaction shares every shard");
+        }
+    }
+
+    #[test]
+    fn compact_shares_untouched_shards_when_vocabulary_is_stable() {
+        let mut c = large_collection();
+        let idx = CodeIndex::build_with_shard_rows(&c, 256);
+        assert!(idx.shards.len() > 3, "want several shards, got {}", idx.shards.len());
+        // Touch one patient in shard 1 with a code value the vocabulary
+        // already holds — no re-layout, untouched shards stay shared.
+        let existing = *c.histories()[300].patient();
+        let idx2 = apply_delta(&mut c, &idx, vec![(existing, vec![diag(2016, "T90")])]);
+        let compacted = idx2.compact();
+        compacted.debug_validate();
+        assert!(Arc::ptr_eq(&compacted.shards[0], &idx.shards[0]), "shard 0 untouched");
+        assert!(!Arc::ptr_eq(&compacted.shards[1], &idx.shards[1]), "shard 1 rebuilt");
+        for q in streaming_queries() {
+            assert_eq!(compacted.select(&c, &q), select_scan(&c, &q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn repeated_deltas_accumulate_dirty_rows_until_one_compaction() {
+        let mut c = collection();
+        let mut idx = CodeIndex::build(&c);
+        for round in 0..3u64 {
+            let existing = *c.histories()[round as usize].patient();
+            idx = apply_delta(
+                &mut c,
+                &idx,
+                vec![
+                    (existing, vec![diag(2016, "Z98")]),
+                    (new_patient(round), vec![diag(2015, "T90")]),
+                ],
+            );
+            idx.debug_validate();
+            assert_eq!(idx.side_rows(), 2 * (round as usize + 1));
+            for q in streaming_queries() {
+                assert_eq!(idx.select(&c, &q), select_scan(&c, &q), "round {round} {q:?}");
+            }
+        }
+        let compacted = idx.compact();
+        compacted.debug_validate();
+        assert!(compacted.side_is_empty());
+        for q in streaming_queries() {
+            assert_eq!(compacted.select(&c, &q), select_scan(&c, &q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn delta_onto_an_empty_collection_grows_shards_at_compaction() {
+        let mut c = HistoryCollection::new();
+        let idx = CodeIndex::build(&c);
+        let idx2 = apply_delta(
+            &mut c,
+            &idx,
+            vec![
+                (new_patient(1), vec![diag(2015, "T90")]),
+                (new_patient(2), vec![diag(2016, "K74")]),
+            ],
+        );
+        idx2.debug_validate();
+        assert_eq!(idx2.shards.len(), 0, "no main shards yet");
+        let q = QueryBuilder::new().has_code("T90").unwrap().build();
+        assert_eq!(idx2.select(&c, &q), select_scan(&c, &q));
+        let compacted = idx2.compact();
+        compacted.debug_validate();
+        assert_eq!(compacted.shards.len(), 1);
+        assert_eq!(compacted.select(&c, &q), select_scan(&c, &q));
     }
 }

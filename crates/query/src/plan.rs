@@ -43,15 +43,16 @@ use pastas_model::HistoryCollection;
 const PAR_MIN_CANDIDATES: usize = 256;
 
 // ---------------------------------------------------------------------------
-// Reference sorted-vec merges (test-only)
+// Sorted-vec merges (side-index execution + bitmap test oracle)
 // ---------------------------------------------------------------------------
 
-/// The pre-bitmap merge-based set algebra over sorted, deduplicated
-/// `u32` postings. Production set operations run on
+/// Merge-based set algebra over sorted, deduplicated `u32` postings.
+/// Production set operations over the *main* shards run on
 /// [`crate::bitmap::Bitmap`]'s compressed containers; these linear
-/// merges survive as the independent oracle the bitmap's differential
-/// tests (unit and property) compare against.
-#[cfg(test)]
+/// merges serve two roles: the execution engine of the side-index
+/// residual pass (`exec_side` — dirty sets are small, so sorted vecs
+/// beat container overhead), and the independent oracle the bitmap's
+/// differential tests (unit and property) compare against.
 pub(crate) mod reference {
     /// `a ∩ b` of two strictly ascending lists.
     pub(crate) fn intersect2(a: &[u32], b: &[u32]) -> Vec<u32> {
@@ -93,10 +94,12 @@ pub(crate) mod reference {
                     }
                 },
                 (Some(_), None) => {
+                    // lint:allow(no-panic-hot-path) i never passes a.len() by the merge
                     out.extend_from_slice(&a[i..]);
                     break;
                 }
                 (None, Some(_)) => {
+                    // lint:allow(no-panic-hot-path) j never passes b.len() by the merge
                     out.extend_from_slice(&b[j..]);
                     break;
                 }
@@ -107,6 +110,7 @@ pub(crate) mod reference {
     }
 
     /// `U \ a` where the universe is `0..rows`, `a` strictly ascending.
+    #[cfg(test)]
     pub(crate) fn complement(a: &[u32], rows: u32) -> Vec<u32> {
         let mut out = Vec::with_capacity((rows as usize).saturating_sub(a.len()));
         let mut next = 0u32;
@@ -115,6 +119,21 @@ pub(crate) mod reference {
             next = x.saturating_add(1);
         }
         out.extend(next..rows);
+        out
+    }
+
+    /// `a \ b` of two strictly ascending lists.
+    pub(crate) fn difference(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(a.len());
+        let mut j = 0;
+        for &x in a {
+            while b.get(j).is_some_and(|&y| y < x) {
+                j += 1;
+            }
+            if b.get(j) != Some(&x) {
+                out.push(x);
+            }
+        }
         out
     }
 }
@@ -369,6 +388,30 @@ impl QueryPlan {
                 _ => {}
             }
         }
+        // Side-index residual pass (LSM read path). Dirty rows' main-pass
+        // answers are stale (their histories changed after the shards were
+        // built) and appended rows are outside the shard tiling entirely,
+        // so: final = (main \ dirty) ∪ side-eval(plan over dirty universe).
+        if !index.side_is_empty() {
+            // lint:allow(no-wallclock-determinism) explain timing annotation only, results unaffected
+            let t0 = trace.then(std::time::Instant::now);
+            let side = exec_side(&lowered, collection, index);
+            let side_rows = side.len();
+            positions =
+                reference::union2(&reference::difference(&positions, index.side_dirty()), &side);
+            if let Some(root) = &mut explain {
+                root.rows = positions.len();
+                root.children.push(ExplainNode {
+                    op: "SidePass".to_owned(),
+                    detail: format!("dirty={}", index.side_dirty().len()),
+                    rows: side_rows,
+                    elapsed_us: t0
+                        .map(|t| u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX))
+                        .unwrap_or(0),
+                    children: Vec::new(),
+                });
+            }
+        }
         (positions, explain)
     }
 }
@@ -590,8 +633,13 @@ struct ExecNode<'q> {
 enum ExecKind<'q> {
     AllRows,
     Empty,
-    /// Union of the postings of these vocabulary slots (sorted, unique).
-    Fetch(Vec<u32>),
+    /// Union of the postings of these vocabulary slots (sorted, unique):
+    /// main-index slots for the shard pass, side-index slots for the
+    /// dirty-row residual pass.
+    Fetch {
+        slots: Vec<u32>,
+        side_slots: Vec<u32>,
+    },
     Complement(Box<ExecNode<'q>>),
     Intersect(Vec<ExecNode<'q>>),
     Union(Vec<ExecNode<'q>>),
@@ -607,9 +655,10 @@ fn lower<'q>(node: &'q PlanNode, index: &CodeIndex, trace: bool) -> ExecNode<'q>
     let kind = match node {
         PlanNode::AllRows => ExecKind::AllRows,
         PlanNode::Empty => ExecKind::Empty,
-        PlanNode::IndexFetch { patterns } => {
-            ExecKind::Fetch(index.slots_for_patterns(patterns).unwrap_or_default())
-        }
+        PlanNode::IndexFetch { patterns } => ExecKind::Fetch {
+            slots: index.slots_for_patterns(patterns).unwrap_or_default(),
+            side_slots: index.side_slots_for_patterns(patterns),
+        },
         PlanNode::Complement(c) => ExecKind::Complement(Box::new(lower(c, index, trace))),
         PlanNode::Intersect(cs) => {
             ExecKind::Intersect(cs.iter().map(|c| lower(c, index, trace)).collect())
@@ -655,7 +704,7 @@ fn exec_shard(
     let out = match &node.kind {
         ExecKind::AllRows => Bitmap::full(shard.rows),
         ExecKind::Empty => Bitmap::new(),
-        ExecKind::Fetch(slots) => shard.union_slots(slots),
+        ExecKind::Fetch { slots, .. } => shard.union_slots(slots),
         ExecKind::Complement(c) => {
             let inner = child(exec_shard(c, collection, shard, trace));
             inner.complement_up_to(shard.rows)
@@ -719,6 +768,64 @@ fn exec_shard(
         children,
     });
     (out, explain)
+}
+
+/// Evaluate a lowered tree over the side-index's dirty-row universe.
+///
+/// Mirrors [`exec_shard`] but on *global* positions with sorted-vec
+/// merges ([`reference`]) — dirty sets are small, so linear merges beat
+/// container overhead. The universe of every operator is the dirty set
+/// itself; this is sound because clean rows' histories are unchanged
+/// since the main shards were built (the main pass already answered
+/// them exactly), and every appended row beyond the main tiling is
+/// dirty by construction.
+fn exec_side(node: &ExecNode<'_>, collection: &HistoryCollection, index: &CodeIndex) -> Vec<u32> {
+    let dirty = index.side_dirty();
+    match &node.kind {
+        ExecKind::AllRows => dirty.to_vec(),
+        ExecKind::Empty => Vec::new(),
+        ExecKind::Fetch { side_slots, .. } => {
+            let mut acc: Vec<u32> = Vec::new();
+            for &slot in side_slots {
+                acc = reference::union2(&acc, index.side_postings(slot));
+            }
+            acc
+        }
+        ExecKind::Complement(c) => reference::difference(dirty, &exec_side(c, collection, index)),
+        ExecKind::Intersect(cs) => {
+            let mut acc: Option<Vec<u32>> = None;
+            for c in cs {
+                if acc.as_ref().is_some_and(|a| a.is_empty()) {
+                    break; // ∩ with ∅ stays ∅ — skip remaining children.
+                }
+                let set = exec_side(c, collection, index);
+                acc = Some(match acc {
+                    Some(prev) => reference::intersect2(&prev, &set),
+                    None => set,
+                });
+            }
+            acc.unwrap_or_default()
+        }
+        ExecKind::Union(cs) => {
+            let mut acc = Vec::new();
+            for c in cs {
+                acc = reference::union2(&acc, &exec_side(c, collection, index));
+            }
+            acc
+        }
+        ExecKind::Filter { query, input } => {
+            let mut candidates = exec_side(input, collection, index);
+            let histories = collection.histories();
+            // lint:allow(no-panic-hot-path) dirty positions are < rows by the index invariant
+            candidates.retain(|&p| query.matches(&histories[p as usize]));
+            candidates
+        }
+        ExecKind::FullScan { query } => {
+            let histories = collection.histories();
+            // lint:allow(no-panic-hot-path) dirty positions are < rows by the index invariant
+            dirty.iter().copied().filter(|&p| query.matches(&histories[p as usize])).collect()
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1037,5 +1144,108 @@ mod tests {
     fn json_escaping_is_safe() {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(json_str("plain"), "\"plain\"");
+    }
+
+    // -- side-index residual pass -----------------------------------------
+
+    /// Mutate one existing patient and append one, returning the
+    /// successor index with a populated side-index.
+    fn setup_with_side(n: usize) -> (pastas_model::HistoryCollection, CodeIndex) {
+        use pastas_codes::Code;
+        use pastas_model::{Entry, OpenEpoch, Patient, PatientId, Payload, Sex, SourceKind};
+        let mut c = generate_collection(SynthConfig::with_patients(n), 71);
+        let idx = CodeIndex::build(&c);
+        let diag = |y: i32, code: &str| {
+            Entry::event(
+                Date::new(y, 3, 1).unwrap().at_midnight(),
+                Payload::Diagnosis(Code::icpc(code)),
+                SourceKind::PrimaryCare,
+            )
+        };
+        let mut epoch = OpenEpoch::new();
+        epoch.append(*c.histories()[2].patient(), vec![diag(2016, "T90")]);
+        let appended = Patient {
+            id: PatientId(9_000_001),
+            birth_date: Date::new(1950, 6, 15).unwrap(),
+            sex: Sex::Female,
+        };
+        epoch.append(appended, vec![diag(2015, "K74"), diag(2016, "Z98")]);
+        let touched = epoch.seal_into(&mut c);
+        let dirty: Vec<u32> =
+            touched.iter().map(|&id| c.position_of(id).unwrap() as u32).collect();
+        let idx = idx.with_delta(&c, &dirty);
+        idx.debug_validate();
+        (c, idx)
+    }
+
+    #[test]
+    fn every_plan_shape_agrees_with_scan_mid_compaction() {
+        let (c, idx) = setup_with_side(400);
+        assert!(!idx.side_is_empty());
+        let queries = [
+            QueryBuilder::new().has_code("T90").unwrap().build(),
+            QueryBuilder::new().lacks_code("T90").unwrap().build(),
+            QueryBuilder::new().has_code("[KT].*").unwrap().lacks_code("Z98").unwrap().build(),
+            HistoryQuery::CountAtLeast(EntryPredicate::code_regex("T90").unwrap(), 2),
+            HistoryQuery::CountAtMost(EntryPredicate::code_regex("K.*").unwrap(), 1),
+            HistoryQuery::Or(vec![
+                QueryBuilder::new().has_code("Z98").unwrap().build(),
+                HistoryQuery::SexIs(pastas_model::Sex::Female),
+            ]),
+            HistoryQuery::And(vec![
+                HistoryQuery::SexIs(pastas_model::Sex::Male),
+                HistoryQuery::AgeBetween {
+                    at: Date::new(2013, 1, 1).unwrap(),
+                    min: 40,
+                    max: 90,
+                },
+            ]),
+            HistoryQuery::All,
+        ];
+        for q in &queries {
+            let plan = QueryPlan::build(&idx, &c, q);
+            assert_eq!(plan.execute(&c, &idx), select_scan(&c, q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn explain_reports_the_side_pass_and_final_counts() {
+        let (c, idx) = setup_with_side(400);
+        let q = QueryBuilder::new().has_code("T90").unwrap().lacks_code("K74").unwrap().build();
+        let plan = QueryPlan::build(&idx, &c, &q);
+        let (positions, explain) = plan.execute_explain(&c, &idx);
+        assert_eq!(explain.root.rows, positions.len(), "root counts the final union");
+        let text = explain.render_text();
+        assert!(text.contains("SidePass"), "{text}");
+        assert!(text.contains("dirty=2"), "{text}");
+        assert!(pastas_ingest::json::Json::parse(&explain.render_json()).is_ok());
+    }
+
+    #[test]
+    fn side_pass_is_deterministic_across_thread_counts() {
+        let (c, idx) = setup_with_side(1500);
+        let q = QueryBuilder::new()
+            .has_code("[KT].*")
+            .unwrap()
+            .lacks_code("A0.*")
+            .unwrap()
+            .count_at_least(EntryPredicate::IsDiagnosis, 2)
+            .build();
+        let plan = QueryPlan::build(&idx, &c, &q);
+        let serial = pastas_par::with_threads(1, || plan.execute(&c, &idx));
+        for threads in [2, 8] {
+            let par = pastas_par::with_threads(threads, || plan.execute(&c, &idx));
+            assert_eq!(par, serial, "threads {threads}");
+        }
+        assert_eq!(serial, select_scan(&c, &q));
+    }
+
+    #[test]
+    fn reference_difference_subtracts() {
+        use reference::difference;
+        assert_eq!(difference(&[1, 3, 5, 9], &[3, 9, 12]), vec![1, 5]);
+        assert_eq!(difference(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(difference(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(difference(&[4, 7], &[1, 4, 7]), Vec::<u32>::new());
     }
 }

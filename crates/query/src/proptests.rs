@@ -297,6 +297,91 @@ proptest! {
         }
     }
 
+    /// Streaming differential: a random interleaving of delta appends
+    /// (mutating existing patients and appending new ones), compactions,
+    /// and queries must answer every query exactly like the naive oracle
+    /// — a scan of the current collection, which by construction holds
+    /// all events applied so far — and, after a final compaction, must
+    /// converge to the same index a from-scratch rebuild produces.
+    #[test]
+    fn streaming_interleavings_agree_with_rebuild_oracle(
+        op_seed in 0u64..u64::MAX,
+        collection_seed in 0u64..100,
+        ast_seed in 0u64..u64::MAX,
+    ) {
+        use pastas_codes::Code;
+        use pastas_model::{Entry, OpenEpoch, Patient, PatientId, Payload, Sex, SourceKind};
+        const CODES: [&str; 6] = ["T90", "K74", "K86", "Z98", "A01", "E10"];
+        let mut c = generate_collection(
+            SynthConfig { shard_patients: 64, ..SynthConfig::with_patients(150) },
+            collection_seed,
+        );
+        let mut idx = CodeIndex::build_with_shard_rows(&c, 64);
+        let mut rng = Rng(op_seed);
+        let mut next_new = 0u64;
+        for step in 0..6u64 {
+            if rng.below(4) < 3 {
+                // Delta batch: 1–3 per-patient appends, mixing existing
+                // patients (history mutation) with brand-new ones.
+                let mut epoch = OpenEpoch::new();
+                for _ in 0..(1 + rng.below(3)) {
+                    let patient = if rng.below(2) == 0 {
+                        *c.histories()[rng.below(c.len() as u64) as usize].patient()
+                    } else {
+                        next_new += 1;
+                        Patient {
+                            id: PatientId(5_000_000 + next_new),
+                            birth_date: Date::new(1950, 6, 15).expect("valid date"),
+                            sex: if next_new.is_multiple_of(2) { Sex::Female } else { Sex::Male },
+                        }
+                    };
+                    let entries: Vec<Entry> = (0..rng.below(3))
+                        .map(|_| {
+                            let code = CODES[rng.below(CODES.len() as u64) as usize];
+                            let y = 2010 + rng.below(7) as i32;
+                            let m = 1 + rng.below(12) as u32;
+                            Entry::event(
+                                Date::new(y, m, 1).expect("valid date").at_midnight(),
+                                Payload::Diagnosis(Code::icpc(code)),
+                                SourceKind::PrimaryCare,
+                            )
+                        })
+                        .collect();
+                    epoch.append(patient, entries);
+                }
+                epoch.debug_validate();
+                let touched = epoch.seal_into(&mut c);
+                let dirty: Vec<u32> = touched
+                    .iter()
+                    .map(|&id| c.position_of(id).expect("sealed patient has a position") as u32)
+                    .collect();
+                idx = idx.with_delta(&c, &dirty);
+            } else {
+                idx = idx.compact();
+            }
+            idx.debug_validate();
+            let q = random_query(&mut Rng(ast_seed ^ step), 2);
+            let plan = QueryPlan::build(&idx, &c, &q);
+            let reference = pastas_par::with_threads(1, || select_scan(&c, &q));
+            for threads in THREADS {
+                let planned = pastas_par::with_threads(threads, || plan.execute(&c, &idx));
+                prop_assert_eq!(
+                    &planned, &reference,
+                    "step {}, threads {}, query {:?}, plan:\n{}", step, threads, q, plan.render()
+                );
+            }
+        }
+        // Quiesce: one final compaction converges to the rebuilt index.
+        let compacted = idx.compact();
+        compacted.debug_validate();
+        prop_assert!(compacted.side_is_empty());
+        let fresh = CodeIndex::build_with_shard_rows(&c, 64);
+        let q = random_query(&mut Rng(ast_seed), 2);
+        let via_compacted = QueryPlan::build(&compacted, &c, &q).execute(&c, &compacted);
+        let via_fresh = QueryPlan::build(&fresh, &c, &q).execute(&c, &fresh);
+        prop_assert_eq!(via_compacted, via_fresh);
+    }
+
     #[test]
     fn parallel_sort_agrees_with_itself_serial(
         seed in 0u64..200,

@@ -1,0 +1,305 @@
+//! Streaming ingest: the bounded delta queue between `POST /ingest` and
+//! the compaction worker.
+//!
+//! `POST /ingest` parses the posted rows *immediately* (so the client's
+//! 202 carries real parse/linkage counts) against a registry that lives
+//! for the whole server — persons batches register identities that later
+//! claims/hospital/municipal/prescription batches resolve against. The
+//! parsed [`DeltaBatch`] then waits in a **bounded** queue; when the queue
+//! is full the endpoint answers `429 Too Many Requests` with a
+//! `Retry-After` header instead of buffering without limit — the same
+//! explicit-backpressure stance the acceptor takes with its 503 shed.
+//!
+//! A single compaction worker drains the queue, applies the deltas to a
+//! cloned workbench ([`pastas_core::Workbench::apply_ingest`]), and
+//! publishes the result as a new snapshot — readers keep answering from
+//! the previous snapshot throughout and see the appended rows the moment
+//! the pointer swaps, served by the query side-index. When the side-index
+//! grows past a threshold (or on an explicit `POST /compact`), the worker
+//! folds it into the main roaring postings and publishes again.
+
+use crate::state::ServeState;
+use pastas_core::Workbench;
+use pastas_ingest::{parse_delta, DeltaBatch, DeltaFormat, IdentityRegistry};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Ingest tuning knobs, a sub-config of
+/// [`ServerConfig`](crate::server::ServerConfig).
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Bounded queue of parsed-but-unapplied delta batches; beyond this
+    /// `POST /ingest` answers 429 with `Retry-After`.
+    pub queue_capacity: usize,
+    /// Side-index rows that trigger a background compaction.
+    pub compact_threshold: usize,
+    /// `Retry-After` seconds advertised on ingest 429s.
+    pub retry_after_secs: u32,
+}
+
+impl Default for IngestConfig {
+    fn default() -> IngestConfig {
+        IngestConfig { queue_capacity: 256, compact_threshold: 4096, retry_after_secs: 1 }
+    }
+}
+
+/// What `POST /ingest` tells the client about an accepted batch.
+#[derive(Debug, Clone)]
+pub struct IngestReceipt {
+    /// Data rows read from the posted text (header excluded).
+    pub rows_read: usize,
+    /// Rows that failed to parse (counted, not fatal — batch semantics).
+    pub parse_errors: usize,
+    /// Rows whose patient identifier resolved to no registered person.
+    pub unlinked_rows: usize,
+    /// Entries queued for application.
+    pub entries: usize,
+    /// Queue depth after this batch was admitted.
+    pub queue_depth: usize,
+}
+
+/// The queue refused a batch: it is at capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueFull {
+    /// Depth at refusal (== capacity).
+    pub queue_depth: usize,
+}
+
+/// What one drain-and-apply pass did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppliedReport {
+    /// Batches drained and applied this pass.
+    pub batches: usize,
+    /// Entries that survived dedup/validation and landed in the store.
+    pub entries_applied: usize,
+    /// Whether this pass folded the side-index into the main postings.
+    pub compacted: bool,
+    /// Version of the last snapshot this pass published (0 = none).
+    pub version: u64,
+}
+
+struct QueueInner {
+    queue: VecDeque<DeltaBatch>,
+    registry: IdentityRegistry,
+}
+
+/// The bounded ingest queue plus its identity registry and counters.
+pub struct IngestQueue {
+    inner: Mutex<QueueInner>,
+    /// Wakes the compaction worker when a batch arrives.
+    work: Condvar,
+    /// Serializes drain+apply passes, so a synchronous `POST /compact`
+    /// cannot overtake a worker pass that already drained batches but has
+    /// not yet published them.
+    apply: Mutex<()>,
+    config: IngestConfig,
+    batches_total: AtomicU64,
+    rejected_total: AtomicU64,
+    applied_entries_total: AtomicU64,
+    compactions_total: AtomicU64,
+    /// Entries parsed and queued but not yet applied — the ingest lag, in
+    /// entries.
+    pending_entries: AtomicU64,
+}
+
+impl IngestQueue {
+    /// A queue whose registry is seeded with every patient already in the
+    /// workbench, so deltas for known patients link without a fresh
+    /// persons upload.
+    pub fn new(workbench: &Workbench, config: IngestConfig) -> IngestQueue {
+        let mut registry = IdentityRegistry::new();
+        for history in workbench.collection().histories() {
+            let p = history.patient();
+            registry.register(p.id.0, p.birth_date, p.sex);
+        }
+        IngestQueue {
+            inner: Mutex::new(QueueInner { queue: VecDeque::new(), registry }),
+            work: Condvar::new(),
+            apply: Mutex::new(()),
+            config,
+            batches_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            applied_entries_total: AtomicU64::new(0),
+            compactions_total: AtomicU64::new(0),
+            pending_entries: AtomicU64::new(0),
+        }
+    }
+
+    /// Parse `text` as one `format` increment and enqueue the resulting
+    /// deltas. Fails fast (without parsing) when the queue is full.
+    pub fn try_push(&self, format: DeltaFormat, text: &str) -> Result<IngestReceipt, QueueFull> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.queue.len() >= self.config.queue_capacity {
+            self.rejected_total.fetch_add(1, Ordering::Relaxed);
+            return Err(QueueFull { queue_depth: inner.queue.len() });
+        }
+        // Parsing under the lock keeps registry updates (persons batches)
+        // ordered with the deltas that resolve against them.
+        let batch = parse_delta(format, text, &mut inner.registry);
+        let entries = batch.entries();
+        let receipt = IngestReceipt {
+            rows_read: batch.rows_read,
+            parse_errors: batch.parse_errors,
+            unlinked_rows: batch.unlinked_rows,
+            entries,
+            queue_depth: inner.queue.len() + 1,
+        };
+        // lint:allow(no-unbounded-ingest-buffer) bounded: capacity checked above, overflow answers 429
+        inner.queue.push_back(batch);
+        drop(inner);
+        self.pending_entries.fetch_add(entries as u64, Ordering::Relaxed);
+        self.batches_total.fetch_add(1, Ordering::Relaxed);
+        self.work.notify_one();
+        Ok(receipt)
+    }
+
+    /// Drain every queued batch, apply them to a fresh snapshot, and
+    /// publish. Compacts when forced or when the published side-index has
+    /// grown past the configured threshold. Safe to call from both the
+    /// compaction worker and a synchronous `POST /compact`.
+    pub fn drain_and_apply(&self, state: &ServeState, force_compact: bool) -> AppliedReport {
+        let _applying = self.apply.lock().unwrap_or_else(|e| e.into_inner());
+        let batches: Vec<DeltaBatch> = {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.queue.drain(..).collect()
+        };
+        let mut report = AppliedReport { batches: batches.len(), ..AppliedReport::default() };
+        if !batches.is_empty() {
+            let queued: usize = batches.iter().map(DeltaBatch::entries).sum();
+            let (version, stats) = state.ingest(&batches);
+            self.pending_entries.fetch_sub(queued as u64, Ordering::Relaxed);
+            self.applied_entries_total
+                .fetch_add(stats.entries_applied as u64, Ordering::Relaxed);
+            report.entries_applied = stats.entries_applied;
+            report.version = version;
+        }
+        let side_rows = state.snapshot().workbench.index().side_rows();
+        if force_compact || side_rows >= self.config.compact_threshold {
+            if let Some(version) = state.compact() {
+                self.compactions_total.fetch_add(1, Ordering::Relaxed);
+                report.compacted = true;
+                report.version = version;
+            }
+        }
+        report
+    }
+
+    /// Block until a batch is queued, up to `timeout`. The compaction
+    /// worker's idle loop.
+    pub fn wait_for_work(&self, timeout: Duration) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.queue.is_empty() {
+            let _ = self.work.wait_timeout(inner, timeout);
+        }
+    }
+
+    /// Wake a worker blocked in [`IngestQueue::wait_for_work`] (shutdown).
+    pub fn notify(&self) {
+        self.work.notify_all();
+    }
+
+    /// Batches currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+    }
+
+    /// Entries parsed and queued but not yet applied (the ingest lag).
+    pub fn pending_entries(&self) -> u64 {
+        self.pending_entries.load(Ordering::Relaxed)
+    }
+
+    /// Batches accepted since startup.
+    pub fn batches_total(&self) -> u64 {
+        self.batches_total.load(Ordering::Relaxed)
+    }
+
+    /// Batches refused with 429 since startup.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_total.load(Ordering::Relaxed)
+    }
+
+    /// Entries that survived dedup/validation and were applied.
+    pub fn applied_entries_total(&self) -> u64 {
+        self.applied_entries_total.load(Ordering::Relaxed)
+    }
+
+    /// Side-index folds published since startup.
+    pub fn compactions_total(&self) -> u64 {
+        self.compactions_total.load(Ordering::Relaxed)
+    }
+
+    /// `Retry-After` seconds to advertise on a 429.
+    pub fn retry_after_secs(&self) -> u32 {
+        self.config.retry_after_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_synth::{generate_collection, SynthConfig};
+
+    const PERSONS: &str = "nin;birth_date;sex\nNIN-0900001;1950-01-01;F\n";
+    const CLAIMS: &str =
+        "claim_id;patient;date;provider;icpc;note\nX1;NIN-0900001;04.05.2013;GP;T90;\n";
+
+    fn queue_and_state(capacity: usize) -> (IngestQueue, ServeState) {
+        let wb = Workbench::from_collection(generate_collection(
+            SynthConfig::with_patients(80),
+            5,
+        ));
+        let queue = IngestQueue::new(
+            &wb,
+            IngestConfig { queue_capacity: capacity, ..IngestConfig::default() },
+        );
+        (queue, ServeState::new(wb))
+    }
+
+    #[test]
+    fn push_apply_compact_lifecycle() {
+        let (queue, state) = queue_and_state(8);
+        queue.try_push(DeltaFormat::Persons, PERSONS).unwrap();
+        let receipt = queue.try_push(DeltaFormat::Claims, CLAIMS).unwrap();
+        assert_eq!(receipt.entries, 1);
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.pending_entries(), 1);
+        let report = queue.drain_and_apply(&state, false);
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.entries_applied, 1);
+        assert!(!report.compacted, "below the threshold, no fold yet");
+        assert_eq!(queue.depth(), 0);
+        assert_eq!(queue.pending_entries(), 0);
+        let snap = state.snapshot();
+        assert_eq!(snap.workbench.collection().len(), 81);
+        assert_eq!(snap.workbench.index().side_rows(), 1, "served by the side-index");
+        let report = queue.drain_and_apply(&state, true);
+        assert!(report.compacted);
+        assert_eq!(queue.compactions_total(), 1);
+        assert!(state.snapshot().workbench.index().side_is_empty());
+    }
+
+    #[test]
+    fn full_queue_refuses_without_parsing() {
+        let (queue, _state) = queue_and_state(1);
+        queue.try_push(DeltaFormat::Persons, PERSONS).unwrap();
+        let full = queue.try_push(DeltaFormat::Claims, CLAIMS).unwrap_err();
+        assert_eq!(full.queue_depth, 1);
+        assert_eq!(queue.rejected_total(), 1);
+        assert_eq!(queue.pending_entries(), 0, "refused batch was never parsed");
+    }
+
+    #[test]
+    fn registry_links_deltas_to_preloaded_patients() {
+        let (queue, state) = queue_and_state(8);
+        let id = state.snapshot().workbench.collection().histories()[0].id();
+        let claims = format!(
+            "claim_id;patient;date;provider;icpc;note\nX9;NIN-{:07};04.05.2013;GP;Z98;\n",
+            id.0
+        );
+        let receipt = queue.try_push(DeltaFormat::Claims, &claims).unwrap();
+        assert_eq!(receipt.unlinked_rows, 0, "seeded registry resolves {id}");
+        assert_eq!(receipt.entries, 1);
+    }
+}

@@ -19,6 +19,9 @@
 //!   `/details`, `/metrics`);
 //! * [`cache`] — an LRU response cache keyed by
 //!   `(version, collection fingerprint, query fingerprint, render params)`;
+//! * [`ingest`] — the streaming path: a bounded delta queue behind
+//!   `POST /ingest` (429 + `Retry-After` when full) and the compaction
+//!   worker that drains it into freshly published snapshots;
 //! * [`metrics`] — lock-free counters plus a latency ring for p50/p99;
 //! * [`server`] — acceptor thread + bounded worker pool with load
 //!   shedding (`503 Retry-After`) and graceful drain;
@@ -34,6 +37,7 @@ mod proptests;
 pub mod cache;
 pub mod client;
 pub mod http;
+pub mod ingest;
 pub mod metrics;
 pub mod router;
 pub mod server;
@@ -42,6 +46,7 @@ pub mod state;
 pub use cache::ResponseCache;
 pub use client::{ClientResponse, Conn};
 pub use http::{HttpError, Limits, Request, RequestReader, Response};
+pub use ingest::{IngestConfig, IngestQueue};
 pub use metrics::Metrics;
 pub use router::{route, RouterCtx};
 pub use server::{serve, start, ServerConfig, ServerHandle};

@@ -20,10 +20,12 @@
 
 use crate::cache::ResponseCache;
 use crate::http::{Request, Response};
+use crate::ingest::{IngestConfig, IngestQueue};
 use crate::state::{ServeState, Snapshot};
 use pastas_core::export::json_string;
 use pastas_core::{Selection, ViewCommand};
 use pastas_ingest::json::Json;
+use pastas_ingest::DeltaFormat;
 use pastas_model::PatientId;
 use pastas_query::{parse_query, EntryPredicate, SortKey};
 use std::fmt::Write as _;
@@ -38,19 +40,34 @@ pub struct RouterCtx {
     pub cache: ResponseCache,
     /// The server's request metrics; the router reads it for `/metrics`.
     pub metrics: crate::metrics::Metrics,
+    /// The bounded streaming-ingest queue behind `POST /ingest`.
+    pub ingest: IngestQueue,
     /// Worker-pool gauges, wired in by the server once the pool exists.
     pub pool_stats: std::sync::OnceLock<pastas_par::pool::PoolStats>,
 }
 
 impl RouterCtx {
     /// A context over an initial workbench with a cache bounded to
-    /// `cache_entries` responses / `cache_bytes` body bytes.
+    /// `cache_entries` responses / `cache_bytes` body bytes and default
+    /// ingest tuning.
     pub fn new(
         workbench: pastas_core::Workbench,
         cache_entries: usize,
         cache_bytes: usize,
     ) -> RouterCtx {
+        RouterCtx::with_ingest_config(workbench, cache_entries, cache_bytes, IngestConfig::default())
+    }
+
+    /// [`RouterCtx::new`] with explicit ingest tuning (queue capacity,
+    /// compaction threshold, 429 `Retry-After`).
+    pub fn with_ingest_config(
+        workbench: pastas_core::Workbench,
+        cache_entries: usize,
+        cache_bytes: usize,
+        ingest: IngestConfig,
+    ) -> RouterCtx {
         RouterCtx {
+            ingest: IngestQueue::new(&workbench, ingest),
             state: ServeState::new(workbench),
             cache: ResponseCache::new(cache_entries, cache_bytes),
             metrics: crate::metrics::Metrics::new(),
@@ -73,6 +90,8 @@ pub fn route(req: &Request, ctx: &RouterCtx) -> Response {
         ("GET", "/metrics") => metrics_response(ctx),
         ("POST", "/select") => select(req, ctx),
         ("POST", "/command") => command(req, ctx),
+        ("POST", "/ingest") => ingest(req, ctx),
+        ("POST", "/compact") => compact(ctx),
         ("GET", "/cohort.svg") => cohort_svg(req, ctx),
         ("GET", "/cohort.txt") => cohort_txt(req, ctx),
         ("GET", "/details") => details(req, ctx),
@@ -86,9 +105,11 @@ pub fn route(req: &Request, ctx: &RouterCtx) -> Response {
             // lint:allow(no-panic-hot-path) deliberate fault injection, debug builds only
             unreachable!("poison_for_test always panics")
         }
-        (_, "/select" | "/command" | "/cohort.svg" | "/cohort.txt" | "/details" | "/metrics") => {
-            error_json(405, "method not allowed")
-        }
+        (
+            _,
+            "/select" | "/command" | "/ingest" | "/compact" | "/cohort.svg" | "/cohort.txt"
+            | "/details" | "/metrics",
+        ) => error_json(405, "method not allowed"),
         _ => error_json(404, "no such route"),
     }
 }
@@ -170,6 +191,64 @@ fn select(req: &Request, ctx: &RouterCtx) -> Response {
         body.push('}');
         Response::json(200, body)
     })
+}
+
+/// `POST /ingest?format=<source>`: parse one source increment and queue
+/// its deltas for the compaction worker. `202 Accepted` with parse
+/// counts, or `429 Too Many Requests` + `Retry-After` when the bounded
+/// queue is full — explicit backpressure, never an unbounded buffer.
+fn ingest(req: &Request, ctx: &RouterCtx) -> Response {
+    let Some(format) = req.param("format").and_then(DeltaFormat::from_name) else {
+        return error_json(
+            400,
+            "ingest needs ?format= one of persons|claims|hospital|municipal|prescriptions",
+        );
+    };
+    let text = req.body_str();
+    if text.trim().is_empty() {
+        return error_json(400, "empty ingest body: POST the source rows, header line first");
+    }
+    match ctx.ingest.try_push(format, &text) {
+        Ok(receipt) => Response::json(
+            202,
+            format!(
+                "{{\"accepted\":true,\"format\":\"{}\",\"rows_read\":{},\"parse_errors\":{},\
+                 \"unlinked_rows\":{},\"entries\":{},\"queue_depth\":{}}}",
+                format.name(),
+                receipt.rows_read,
+                receipt.parse_errors,
+                receipt.unlinked_rows,
+                receipt.entries,
+                receipt.queue_depth
+            ),
+        ),
+        Err(full) => Response::json(
+            429,
+            format!("{{\"error\":\"ingest queue full\",\"queue_depth\":{}}}", full.queue_depth),
+        )
+        .header("Retry-After", &ctx.ingest.retry_after_secs().to_string()),
+    }
+}
+
+/// `POST /compact`: synchronously drain the ingest queue, apply every
+/// pending delta, fold the side-index, and publish. The quiesce point —
+/// after a 200, everything previously 202'd is queryable from the main
+/// index.
+fn compact(ctx: &RouterCtx) -> Response {
+    let report = ctx.ingest.drain_and_apply(&ctx.state, true);
+    let snapshot = ctx.state.snapshot();
+    Response::json(
+        200,
+        format!(
+            "{{\"version\":{},\"batches_applied\":{},\"entries_applied\":{},\
+             \"compacted\":{},\"side_rows\":{}}}",
+            snapshot.version,
+            report.batches,
+            report.entries_applied,
+            report.compacted,
+            snapshot.workbench.index().side_rows()
+        ),
+    )
 }
 
 fn command(req: &Request, ctx: &RouterCtx) -> Response {
@@ -331,6 +410,14 @@ fn metrics_response(ctx: &RouterCtx) -> Response {
             "postings_uncompressed_bytes_est",
             index_footprint.postings_uncompressed_bytes_est as f64,
         ),
+        ("side_index_rows", wb.index().side_rows() as f64),
+        ("side_index_postings", wb.index().side_postings_total() as f64),
+        ("ingest_queue_depth", ctx.ingest.depth() as f64),
+        ("ingest_pending_entries", ctx.ingest.pending_entries() as f64),
+        ("ingest_batches_total", ctx.ingest.batches_total() as f64),
+        ("ingest_rejected_total", ctx.ingest.rejected_total() as f64),
+        ("ingest_applied_entries_total", ctx.ingest.applied_entries_total() as f64),
+        ("compactions_total", ctx.ingest.compactions_total() as f64),
     ];
     if let Some(pool) = ctx.pool_stats.get() {
         extra.push(("queue_depth", pool.queue_depth() as f64));
@@ -458,6 +545,120 @@ mod tests {
         assert!(metrics.contains("\"shards\":1"), "{metrics}");
         assert!(metrics.contains("\"postings_compressed_bytes\":"), "{metrics}");
         assert!(metrics.contains("\"postings_uncompressed_bytes_est\":"), "{metrics}");
+    }
+
+    const DELTA_PERSONS: &str = "nin;birth_date;sex\nNIN-0900001;1950-01-01;F\n";
+    const DELTA_CLAIMS: &str =
+        "claim_id;patient;date;provider;icpc;note\nX1;NIN-0900001;04.05.2013;GP;T90;\n";
+
+    fn count_of(body: &[u8]) -> u64 {
+        let text = String::from_utf8_lossy(body);
+        Json::parse(&text)
+            .ok()
+            .and_then(|doc| doc.get("count").and_then(|c| c.as_f64()))
+            .map(|v| v as u64)
+            .expect("count field")
+    }
+
+    #[test]
+    fn ingest_then_compact_makes_the_delta_selectable() {
+        let ctx = ctx();
+        let before = count_of(&route(&post("/select", "has(T90)"), &ctx).body);
+        let accepted = route(&post("/ingest?format=persons", DELTA_PERSONS), &ctx);
+        assert_eq!(accepted.status, 202);
+        let accepted = route(&post("/ingest?format=claims", DELTA_CLAIMS), &ctx);
+        assert_eq!(accepted.status, 202);
+        let body = String::from_utf8(accepted.body).unwrap();
+        assert!(body.contains("\"accepted\":true"), "{body}");
+        assert!(body.contains("\"entries\":1"), "{body}");
+        let compacted = route(&post("/compact", ""), &ctx);
+        assert_eq!(compacted.status, 200);
+        let body = String::from_utf8(compacted.body).unwrap();
+        assert!(body.contains("\"batches_applied\":2"), "{body}");
+        assert!(body.contains("\"compacted\":true"), "{body}");
+        assert!(body.contains("\"side_rows\":0"), "{body}");
+        let after = count_of(&route(&post("/select", "has(T90)"), &ctx).body);
+        assert_eq!(after, before + 1, "streamed patient joins the cohort");
+        // Replaying the same rows is absorbed by fingerprint dedup: the
+        // queue accepts them, application drops them, nothing re-publishes.
+        let version = ctx.state.version();
+        route(&post("/ingest?format=claims", DELTA_CLAIMS), &ctx);
+        let second = route(&post("/compact", ""), &ctx);
+        assert_eq!(second.status, 200);
+        assert_eq!(ctx.state.version(), version, "duplicate delta publishes nothing");
+        // The ingest gauges made it to /metrics.
+        let metrics = String::from_utf8(route(&get("/metrics"), &ctx).body).unwrap();
+        assert!(metrics.contains("\"compactions_total\":1"), "{metrics}");
+        assert!(metrics.contains("\"ingest_batches_total\":3"), "{metrics}");
+        assert!(metrics.contains("\"ingest_applied_entries_total\":1"), "{metrics}");
+        assert!(metrics.contains("\"side_index_rows\":0"), "{metrics}");
+        assert!(metrics.contains("\"ingest_queue_depth\":0"), "{metrics}");
+    }
+
+    /// The response-cache invalidation regression the streaming path must
+    /// not break: a `/select` answered before an ingest is never served
+    /// again after the compaction publishes, while caching keeps working
+    /// for post-compaction responses.
+    #[test]
+    fn ingest_invalidates_stale_selects_without_breaking_the_cache() {
+        let ctx = ctx();
+        let stale = route(&post("/select", "has(T90)"), &ctx);
+        let unrelated = route(&post("/select", "has(K74)"), &ctx);
+        let unrelated_count = count_of(&unrelated.body);
+        assert_eq!(ctx.cache.misses(), 2);
+        route(&post("/ingest?format=persons", DELTA_PERSONS), &ctx);
+        route(&post("/ingest?format=claims", DELTA_CLAIMS), &ctx);
+        assert_eq!(route(&post("/compact", ""), &ctx).status, 200);
+        // The stale pre-ingest answer is unreachable (new version in the
+        // key): the select recomputes and sees the streamed patient.
+        let hits_before = ctx.cache.hits();
+        let fresh = route(&post("/select", "has(T90)"), &ctx);
+        assert_eq!(ctx.cache.hits(), hits_before, "stale entry not served");
+        assert_eq!(count_of(&fresh.body), count_of(&stale.body) + 1);
+        assert_ne!(fresh.body, stale.body);
+        // Caching still works at the new version, for this query and for
+        // one the ingest did not touch.
+        let repeat = route(&post("/select", "has(T90)"), &ctx);
+        assert_eq!(ctx.cache.hits(), hits_before + 1, "fresh entry is cached");
+        assert_eq!(repeat.body, fresh.body);
+        let unrelated_fresh = route(&post("/select", "has(K74)"), &ctx);
+        assert_eq!(count_of(&unrelated_fresh.body), unrelated_count);
+        route(&post("/select", "has(K74)"), &ctx);
+        assert_eq!(ctx.cache.hits(), hits_before + 2);
+    }
+
+    #[test]
+    fn ingest_backpressure_answers_429_with_retry_after() {
+        let ctx = RouterCtx::with_ingest_config(
+            Workbench::from_collection(generate_collection(SynthConfig::with_patients(50), 3)),
+            64,
+            1 << 20,
+            crate::ingest::IngestConfig { queue_capacity: 1, ..Default::default() },
+        );
+        assert_eq!(route(&post("/ingest?format=persons", DELTA_PERSONS), &ctx).status, 202);
+        let refused = route(&post("/ingest?format=claims", DELTA_CLAIMS), &ctx);
+        assert_eq!(refused.status, 429);
+        assert!(
+            refused.headers.iter().any(|(n, v)| n == "Retry-After" && !v.is_empty()),
+            "{:?}",
+            refused.headers
+        );
+        assert!(String::from_utf8(refused.body).unwrap().contains("queue full"));
+        // Draining the queue re-opens admission.
+        assert_eq!(route(&post("/compact", ""), &ctx).status, 200);
+        assert_eq!(route(&post("/ingest?format=claims", DELTA_CLAIMS), &ctx).status, 202);
+        let metrics = String::from_utf8(route(&get("/metrics"), &ctx).body).unwrap();
+        assert!(metrics.contains("\"ingest_rejected_total\":1"), "{metrics}");
+    }
+
+    #[test]
+    fn ingest_rejects_bad_formats_and_methods() {
+        let ctx = ctx();
+        assert_eq!(route(&post("/ingest", DELTA_PERSONS), &ctx).status, 400);
+        assert_eq!(route(&post("/ingest?format=nope", DELTA_PERSONS), &ctx).status, 400);
+        assert_eq!(route(&post("/ingest?format=claims", "   "), &ctx).status, 400);
+        assert_eq!(route(&get("/ingest"), &ctx).status, 405);
+        assert_eq!(route(&get("/compact"), &ctx).status, 405);
     }
 
     #[test]

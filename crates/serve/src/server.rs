@@ -17,6 +17,7 @@
 //!   starts) before the workers are joined.
 
 use crate::http::{HttpError, Limits, RequestReader, Response};
+use crate::ingest::IngestConfig;
 use crate::router::{route, RouterCtx};
 use pastas_par::pool::{Submitter, WorkerPool};
 use std::io::{self, ErrorKind, Write as _};
@@ -51,6 +52,11 @@ pub struct ServerConfig {
     pub cache_entries: usize,
     /// Response-cache byte bound.
     pub cache_bytes: usize,
+    /// Bounded ingest-delta queue; beyond this `POST /ingest` answers
+    /// 429 with `Retry-After` — explicit backpressure, not a buffer.
+    pub ingest_queue_capacity: usize,
+    /// Side-index rows that trigger a background compaction.
+    pub compact_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +72,8 @@ impl Default for ServerConfig {
             limits: Limits::default(),
             cache_entries: 512,
             cache_bytes: 256 << 20,
+            ingest_queue_capacity: 256,
+            compact_threshold: 4096,
         }
     }
 }
@@ -81,6 +89,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    compactor: Option<std::thread::JoinHandle<()>>,
     pool: Option<WorkerPool>,
 }
 
@@ -110,8 +119,23 @@ pub fn start(ctx: RouterCtx, config: ServerConfig) -> io::Result<ServerHandle> {
             // lint:allow(no-panic-hot-path) unrecoverable startup failure
             .expect("spawn acceptor")
     };
+    let compactor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("pastas-serve-compactor".to_owned())
+            .spawn(move || compaction_loop(&shared))
+            // One-time server startup, not a request path.
+            // lint:allow(no-panic-hot-path) unrecoverable startup failure
+            .expect("spawn compactor")
+    };
 
-    Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), pool: Some(pool) })
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        compactor: Some(compactor),
+        pool: Some(pool),
+    })
 }
 
 /// Convenience: serve a workbench with a config in one call.
@@ -119,8 +143,34 @@ pub fn serve(
     workbench: pastas_core::Workbench,
     config: ServerConfig,
 ) -> io::Result<ServerHandle> {
-    let ctx = RouterCtx::new(workbench, config.cache_entries, config.cache_bytes);
+    let ingest = IngestConfig {
+        queue_capacity: config.ingest_queue_capacity,
+        compact_threshold: config.compact_threshold,
+        retry_after_secs: config.retry_after_secs,
+    };
+    let ctx = RouterCtx::with_ingest_config(
+        workbench,
+        config.cache_entries,
+        config.cache_bytes,
+        ingest,
+    );
     start(ctx, config)
+}
+
+/// The compaction worker: sleep until a delta batch arrives (or the idle
+/// timeout ticks), drain-and-apply, publish. Readers are never blocked —
+/// each pass builds the next snapshot off to the side and publishes it
+/// with one pointer swap. On drain the final pass force-compacts so every
+/// batch the server 202'd is applied before the threads join.
+fn compaction_loop(shared: &ServerShared) {
+    loop {
+        shared.ctx.ingest.wait_for_work(Duration::from_millis(25));
+        let draining = shared.draining.load(Ordering::SeqCst);
+        let _ = shared.ctx.ingest.drain_and_apply(&shared.ctx.state, draining);
+        if draining {
+            break;
+        }
+    }
 }
 
 /// Accept until drain. Per accepted connection: stamp socket options,
@@ -180,6 +230,15 @@ impl ServerHandle {
         if let Some(pool) = self.pool.take() {
             pool.shutdown();
         }
+        // Workers are done: nudge the compactor so its final pass applies
+        // every remaining 202'd batch, then join it.
+        self.shared.ctx.ingest.notify();
+        if let Some(compactor) = self.compactor.take() {
+            let _ = compactor.join();
+        }
+        // A worker may have admitted one last batch after the compactor's
+        // final pass drained; apply it here so no 202 is ever dropped.
+        let _ = self.shared.ctx.ingest.drain_and_apply(&self.shared.ctx.state, true);
     }
 }
 

@@ -10,7 +10,8 @@
 //! include it, so stale cached responses are unreachable the moment a new
 //! snapshot lands.
 
-use pastas_core::{CoreError, ViewCommand, Workbench};
+use pastas_core::{CoreError, IngestStats, ViewCommand, Workbench};
+use pastas_ingest::DeltaBatch;
 use pastas_time::Date;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -107,11 +108,42 @@ impl ServeState {
         Ok(self.publish(workbench))
     }
 
-    /// Replace the whole workbench (the ingest path) and publish it.
-    /// Returns the new version.
+    /// Replace the whole workbench (the batch-reload path) and publish
+    /// it. Returns the new version.
     pub fn replace(&self, workbench: Workbench) -> u64 {
         let _writer = self.write.lock().unwrap_or_else(|e| e.into_inner());
         self.publish(workbench)
+    }
+
+    /// Apply streaming delta batches to a clone of the current snapshot
+    /// and publish the result. The published snapshot still carries its
+    /// side-index debt — readers see the appended rows immediately,
+    /// served by the side-index, without waiting for a compaction.
+    /// Publishes nothing when the batches net out to no change.
+    pub fn ingest(&self, batches: &[DeltaBatch]) -> (u64, IngestStats) {
+        let _writer = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        let base = self.snapshot();
+        let mut workbench = base.workbench.snapshot();
+        let stats = workbench.apply_ingest(batches);
+        if stats.patients_touched == 0 {
+            return (base.version, stats);
+        }
+        (self.publish(workbench), stats)
+    }
+
+    /// Fold the side-index into the main postings off to the side and
+    /// publish the compacted state. Readers keep answering from the
+    /// pre-compaction snapshot until the single pointer swap — the
+    /// "pause" a reader can observe is one `Arc` clone. Returns `None`
+    /// (publishing nothing) when there is no side-index debt.
+    pub fn compact(&self) -> Option<u64> {
+        let _writer = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        let base = self.snapshot();
+        let mut workbench = base.workbench.snapshot();
+        if !workbench.compact() {
+            return None;
+        }
+        Some(self.publish(workbench))
     }
 
     fn publish(&self, workbench: Workbench) -> u64 {

@@ -3,14 +3,18 @@
 //!
 //! ```text
 //! cargo run --release --example serve_cohorts -- [--patients N] [--seed S]
-//!     [--addr HOST:PORT] [--threads T] [--smoke]
+//!     [--addr HOST:PORT] [--threads T] [--smoke] [--smoke-ingest]
 //! ```
 //!
 //! Default mode binds and serves until killed. `--smoke` instead binds an
 //! OS-assigned loopback port, fires one request at every endpoint through
 //! the in-crate client (checking statuses, a cache hit on the repeated
 //! `/select`, and zero worker panics), shuts down gracefully, and exits
-//! non-zero on any failure — the CI smoke stage.
+//! non-zero on any failure — the CI smoke stage. `--smoke-ingest` does the
+//! same for the streaming path: one `POST /ingest` delta per source format
+//! for a brand-new patient, a synchronous `POST /compact`, then checks that
+//! the patient is selectable, has a timeline, and that the ingest gauges
+//! read fully drained.
 
 use pastas_ingest::json::Json;
 use pastas_serve::{client, serve, ServerConfig};
@@ -41,9 +45,11 @@ fn flag(name: &str) -> bool {
 
 fn main() {
     let smoke = flag("--smoke");
+    let smoke_ingest = flag("--smoke-ingest");
     let patients = arg("--patients", 168_000) as usize;
     let seed = arg("--seed", 7);
-    let default_addr = if smoke { "127.0.0.1:0" } else { "127.0.0.1:7878" };
+    let default_addr =
+        if smoke || smoke_ingest { "127.0.0.1:0" } else { "127.0.0.1:7878" };
     let addr = arg_str("--addr", default_addr);
 
     eprintln!("Generating {patients} patients (seed {seed}) …");
@@ -67,8 +73,14 @@ fn main() {
     eprintln!("  GET  /details           ?x=450&y=250");
     eprintln!("  GET  /metrics");
 
-    if smoke {
-        let failures = run_smoke(handle.addr());
+    if smoke || smoke_ingest {
+        let mut failures = 0;
+        if smoke {
+            failures += run_smoke(handle.addr());
+        }
+        if smoke_ingest {
+            failures += run_smoke_ingest(handle.addr());
+        }
         eprintln!("Shutting down …");
         handle.shutdown();
         if failures > 0 {
@@ -192,6 +204,127 @@ fn run_smoke(addr: std::net::SocketAddr) -> u32 {
         "zero worker panics",
         gauge(&doc, "worker_panics") == Some(0.0),
         format!("worker_panics = {:?}", gauge(&doc, "worker_panics")),
+    );
+    failures
+}
+
+/// Stream one delta per source format for a brand-new patient, compact,
+/// and verify the patient became selectable; return the failed-check count.
+fn run_smoke_ingest(addr: std::net::SocketAddr) -> u32 {
+    let timeout = Duration::from_secs(30);
+    let mut failures = 0u32;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        if ok {
+            eprintln!("  ok   {name}");
+        } else {
+            failures += 1;
+            eprintln!("  FAIL {name}: {detail}");
+        }
+    };
+
+    let mut conn = match client::Conn::connect(addr, timeout) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("  FAIL connect: {e}");
+            return 1;
+        }
+    };
+
+    let count_of = |body: &str| {
+        Json::parse(body)
+            .ok()
+            .and_then(|doc| doc.get("count").and_then(Json::as_f64))
+            .map(|v| v as u64)
+    };
+    let before = conn.post("/select?count_only=1", b"has(T90)");
+    let before_count = before
+        .as_ref()
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| count_of(&r.body_str()));
+    check("POST /select (baseline count)", before_count.is_some(), format!("{before:?}"));
+
+    // One increment per source format, all for patient NIN-0990001 —
+    // an id far above anything the synthetic collection generates.
+    let deltas: [(&str, &str); 5] = [
+        ("persons", "nin;birth_date;sex\nNIN-0990001;1950-01-01;F\n"),
+        (
+            "claims",
+            "claim_id;patient;date;provider;icpc;note\nX9;NIN-0990001;04.05.2013;GP;T90;\n",
+        ),
+        (
+            "hospital",
+            "episode_id,patient,admitted,discharged,icd10_main,care_level\n\
+             E9,NIN-0990001,2013-06-01,2013-06-05,E11,inpatient\n",
+        ),
+        ("municipal", "patient|service|from|to\nNIN-0990001|home_care|2013-07-01|2013-09-01\n"),
+        (
+            "prescriptions",
+            "patient\tdispensed\tatc\tddd\nNIN-0990001\t2013-05-04T12:00:00\tA10BA02\t30\n",
+        ),
+    ];
+    for (format, body) in deltas {
+        let resp = conn.post(&format!("/ingest?format={format}"), body.as_bytes());
+        check(
+            &format!("POST /ingest?format={format}"),
+            resp.as_ref().is_ok_and(|r| {
+                r.status == 202 && r.body_str().contains("\"accepted\":true")
+            }),
+            format!("{resp:?}"),
+        );
+    }
+
+    // A synchronous compact applies every accepted batch and folds the
+    // side-index; afterwards no residual debt may remain.
+    let compact = conn.post("/compact", b"");
+    check(
+        "POST /compact",
+        compact
+            .as_ref()
+            .is_ok_and(|r| r.status == 200 && r.body_str().contains("\"side_rows\":0")),
+        format!("{compact:?}"),
+    );
+
+    let after = conn.post("/select?count_only=1", b"has(T90)");
+    let after_count = after
+        .as_ref()
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| count_of(&r.body_str()));
+    check(
+        "streamed patient joins the has(T90) cohort",
+        matches!((before_count, after_count), (Some(b), Some(a)) if a == b + 1),
+        format!("before {before_count:?}, after {after_count:?}"),
+    );
+
+    let timeline = conn.get("/timeline/P0990001");
+    check(
+        "GET /timeline for the streamed patient",
+        timeline.as_ref().is_ok_and(|r| r.status == 200),
+        format!("{:?}", timeline.as_ref().map(|r| r.status)),
+    );
+
+    let metrics = conn.get("/metrics");
+    let doc = metrics
+        .as_ref()
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| Json::parse(&r.body_str()).ok());
+    let gauge = |name: &str| doc.as_ref().and_then(|d| d.get(name).and_then(Json::as_f64));
+    check(
+        "ingest gauges fully drained",
+        gauge("side_index_rows") == Some(0.0)
+            && gauge("ingest_queue_depth") == Some(0.0)
+            && gauge("ingest_pending_entries") == Some(0.0)
+            && gauge("compactions_total").is_some_and(|v| v >= 1.0)
+            && gauge("worker_panics") == Some(0.0),
+        format!(
+            "side_index_rows {:?}, queue_depth {:?}, pending {:?}, compactions {:?}",
+            gauge("side_index_rows"),
+            gauge("ingest_queue_depth"),
+            gauge("ingest_pending_entries"),
+            gauge("compactions_total"),
+        ),
     );
     failures
 }

@@ -46,5 +46,12 @@ stage "planner smoke (sharded 1M)" \
 # and a graceful shutdown. Exits non-zero on any failed check.
 stage "serve smoke (loopback)" \
     cargo run --release --example serve_cohorts -- --smoke --patients 1500
+# Streaming-ingest smoke: POST one /ingest delta per source format for a
+# brand-new patient, force a synchronous /compact, and assert the patient
+# is selectable (+1 on its cohort), has a timeline, and that the ingest
+# gauges read fully drained (zero queue depth, zero side-index rows, at
+# least one compaction). Exits non-zero on any failed check.
+stage "ingest smoke (streaming)" \
+    cargo run --release --example serve_cohorts -- --smoke-ingest --patients 1500
 
 echo "ci: all stages passed" >&2
