@@ -1,0 +1,37 @@
+//! Columnar cohort analytics: the dimension-breakdown pass behind the
+//! paper's iterative refinement loop.
+//!
+//! The paper's users select a cohort, inspect its *composition*, and
+//! refine the criteria — the counts → explore → materialize →
+//! dimension-breakdown workflow. This crate computes the inspection
+//! step: nine dimension histograms (age band, sex, dominant event
+//! source, events-per-patient band, history-span band, dominant ICD-10
+//! chapter, dominant ATC main group, first-contact year, top-k codes —
+//! plus a condition breakdown resolved through the integration ontology)
+//! over the sharded columnar `EventStore` in **one parallel pass**.
+//!
+//! The design is dense ids end to end: [`dimensions`] fixes small bucket
+//! vocabularies per dimension, a per-arena table maps every interned
+//! `CodeId` to its chapter/group/condition/global ids once per pass, and
+//! the fold indexes `u32` accumulator arrays — no strings, no hashing,
+//! no allocation inside the per-entry loop. Partial accumulators merge
+//! by vector addition via `pastas_par::par_fold`, so the profile is
+//! deterministic and independent of thread count, which the property
+//! tests check against the naive serial oracle
+//! ([`cohort_profile_serial`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dimensions;
+pub mod profile;
+mod tables;
+
+#[cfg(test)]
+mod proptests;
+
+pub use profile::{
+    cohort_monthly, cohort_profile, cohort_profile_prepared, cohort_profile_serial,
+    CohortProfile, Histogram, DEFAULT_TOP_K,
+};
+pub use tables::Tables as DimensionTables;

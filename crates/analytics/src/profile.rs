@@ -1,0 +1,558 @@
+//! The one-pass cohort dimension aggregation and its serial oracle.
+//!
+//! [`cohort_profile`] folds the selected histories — given as sorted
+//! positions into the collection, exactly what the query planner returns
+//! — into a [`CohortProfile`] in a single parallel pass: each worker
+//! carries a dense [`Accum`] of `u32` bucket arrays (plus a
+//! vocabulary-sized count column for top-k codes) and the partial
+//! accumulators merge by vector addition, so the result is independent
+//! of chunking and thread count. [`cohort_profile_serial`] is the
+//! deliberately naive per-history reference implementation the property
+//! tests diff against.
+
+use crate::dimensions::*;
+use crate::tables::{ArenaTables, Tables, NO_BUCKET};
+use pastas_model::{History, HistoryCollection, Sex, SourceKind};
+use pastas_ontology::integration::{IntegrationOntology, CONDITIONS};
+use pastas_time::Date;
+use std::collections::BTreeMap;
+
+/// How many top codes a profile reports by default.
+pub const DEFAULT_TOP_K: usize = 20;
+
+/// One rendered histogram of a finished profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Dimension name (stable, used as JSON key and panel title).
+    pub name: &'static str,
+    /// `(bucket label, patient count)` in bucket order.
+    pub buckets: Vec<(String, u64)>,
+    /// True if every cohort member lands in exactly one bucket, so the
+    /// counts sum to the cohort size. False for the per-patient-distinct
+    /// breakdowns (top codes, conditions) where one patient may count in
+    /// several buckets.
+    pub partition: bool,
+}
+
+/// The nine-dimension composition summary of a materialized cohort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CohortProfile {
+    /// Number of selected patients.
+    pub cohort_size: u64,
+    /// Total entries across the selected histories.
+    pub total_entries: u64,
+    /// Reference date ages and first-contact years are relative to.
+    pub reference: Date,
+    /// Patients per age decade at the reference date.
+    pub age_bands: Vec<u64>,
+    /// Patients by registered sex (`[female, male]`).
+    pub sex: Vec<u64>,
+    /// Patients by most frequent event source (+ trailing `none`).
+    pub dominant_source: Vec<u64>,
+    /// Patients by events-per-patient band.
+    pub entry_bands: Vec<u64>,
+    /// Patients by observed history span band (+ trailing `none`).
+    pub span_bands: Vec<u64>,
+    /// Patients by dominant ICD-10 chapter (+ trailing `none`).
+    pub icd_chapters: Vec<u64>,
+    /// Patients by dominant ATC main group (+ trailing `none`).
+    pub atc_groups: Vec<u64>,
+    /// Patients by first-contact calendar year (`earlier` + window +
+    /// trailing `none`).
+    pub first_contact: Vec<u64>,
+    /// `(code label, patients with the code)`, count-descending, ties
+    /// broken by label — per-patient-distinct, not a partition.
+    pub top_codes: Vec<(String, u64)>,
+    /// `(condition name, patients indicating it)` in `CONDITIONS` order —
+    /// per-patient-distinct, not a partition.
+    pub conditions: Vec<(String, u64)>,
+}
+
+impl CohortProfile {
+    /// The profile's histograms in display order.
+    pub fn histograms(&self) -> Vec<Histogram> {
+        let ref_year = self.reference.year();
+        let labelled = |name: &'static str, counts: &[u64], label: &dyn Fn(usize) -> String| {
+            Histogram {
+                name,
+                buckets: counts.iter().enumerate().map(|(i, &c)| (label(i), c)).collect(),
+                partition: true,
+            }
+        };
+        let mut out = vec![
+            labelled("age_band", &self.age_bands, &age_label),
+            labelled("sex", &self.sex, &|i| {
+                if i == 0 { "female".to_owned() } else { "male".to_owned() }
+            }),
+            labelled("dominant_source", &self.dominant_source, &source_label),
+            labelled("entries_per_patient", &self.entry_bands, &entry_label),
+            labelled("history_span", &self.span_bands, &span_label),
+            labelled("icd_chapter", &self.icd_chapters, &icd_label),
+            labelled("atc_group", &self.atc_groups, &atc_label),
+            labelled("first_contact_year", &self.first_contact, &|i| {
+                first_contact_label(ref_year, i)
+            }),
+        ];
+        out.push(Histogram {
+            name: "top_codes",
+            buckets: self.top_codes.clone(),
+            partition: false,
+        });
+        out.push(Histogram {
+            name: "conditions",
+            buckets: self.conditions.iter().map(|(n, c)| (n.clone(), *c)).collect(),
+            partition: false,
+        });
+        out
+    }
+
+    /// The profile as a JSON document (hand-written like the rest of the
+    /// serve layer; labels are escaped).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str(&format!(
+            "{{\"cohort_size\":{},\"total_entries\":{},\"reference\":\"{}\",\"histograms\":[",
+            self.cohort_size, self.total_entries, self.reference
+        ));
+        for (i, h) in self.histograms().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"partition\":{},\"buckets\":[",
+                h.name, h.partition
+            ));
+            for (j, (label, count)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[\"{}\",{count}]", escape_json(label)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escape for bucket labels.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The dense per-worker accumulator: every dimension is a small `u32`
+/// array indexed by bucket id; top-k and condition columns are sized by
+/// the global vocabulary. Merging two accumulators is vector addition,
+/// so the parallel fold is associative and chunk-shape independent.
+struct Accum {
+    cohort: u32,
+    entries: u64,
+    age: [u32; AGE_BANDS],
+    sex: [u32; SEX_BANDS],
+    source: [u32; SOURCE_BANDS],
+    entry_bands: [u32; ENTRY_BANDS],
+    span: [u32; SPAN_BANDS],
+    chapters: [u32; ICD_BANDS],
+    atc: [u32; ATC_BANDS],
+    first_contact: [u32; FIRST_CONTACT_BANDS],
+    /// Patients carrying each global code (per-patient-distinct).
+    code_counts: Vec<u32>,
+    /// Last history serial that touched each code — the stamp trick that
+    /// makes per-patient-distinct counting allocation-free in the loop.
+    code_stamp: Vec<u32>,
+    cond_counts: [u32; CONDITIONS.len()],
+    /// Serial of the history currently being folded (per worker).
+    stamp: u32,
+    /// Last arena-table index hit, fed back to [`Tables::for_history`].
+    arena_hint: usize,
+}
+
+impl Accum {
+    fn new(vocab_len: usize) -> Accum {
+        Accum {
+            cohort: 0,
+            entries: 0,
+            age: [0; AGE_BANDS],
+            sex: [0; SEX_BANDS],
+            source: [0; SOURCE_BANDS],
+            entry_bands: [0; ENTRY_BANDS],
+            span: [0; SPAN_BANDS],
+            chapters: [0; ICD_BANDS],
+            atc: [0; ATC_BANDS],
+            first_contact: [0; FIRST_CONTACT_BANDS],
+            code_counts: vec![0; vocab_len],
+            code_stamp: vec![u32::MAX; vocab_len],
+            cond_counts: [0; CONDITIONS.len()],
+            stamp: 0,
+            arena_hint: 0,
+        }
+    }
+
+    /// Fold one history into the accumulator.
+    fn add(&mut self, history: &History, tables: &ArenaTables, reference: Date) {
+        self.cohort += 1;
+        self.entries += history.len() as u64;
+        self.age[age_bucket(history.age_at(reference))] += 1;
+        self.sex[match history.patient().sex {
+            Sex::Female => 0,
+            Sex::Male => 1,
+        }] += 1;
+        self.entry_bands[entry_bucket(history.len())] += 1;
+        self.first_contact[match history.first_time() {
+            Some(t) => first_contact_bucket(reference.year(), t.date().year()),
+            None => FIRST_CONTACT_NONE,
+        }] += 1;
+
+        let mut per_source = [0u32; SourceKind::ALL.len()];
+        let mut per_chapter = [0u32; ICD_BANDS - 1];
+        let mut per_atc = [0u32; ATC_BANDS - 1];
+        let mut cond_mask = 0u32;
+        // One fused columnar pass: provenance, code-derived buckets and
+        // the span's max end time together, so `history.span()` (a
+        // second full traversal of the end column) never runs here. The
+        // max is tracked as a monotone integer key — one branchless
+        // `max` per entry instead of the field-wise `DateTime` compare,
+        // with 0 meaning "no entries".
+        let mut last_end_key = 0u64;
+        for (source, code, end) in history.entries().scan() {
+            per_source[source.dense_index()] += 1;
+            last_end_key = last_end_key.max(end.sort_key());
+            if let Some(id) = code {
+                // One packed record per code: every code-derived bucket
+                // comes out of a single 12-byte read.
+                let dims = tables.codes[id.0 as usize];
+                if dims.chapter != NO_BUCKET {
+                    per_chapter[dims.chapter as usize] += 1;
+                }
+                if dims.atc != NO_BUCKET {
+                    per_atc[dims.atc as usize] += 1;
+                }
+                cond_mask |= dims.cond_mask;
+                let gid = dims.global as usize;
+                if self.code_stamp[gid] != self.stamp {
+                    self.code_stamp[gid] = self.stamp;
+                    self.code_counts[gid] += 1;
+                }
+            }
+        }
+        let span_days = history
+            .first_time()
+            .zip(pastas_time::DateTime::from_sort_key(last_end_key))
+            .map(|(first, last)| (last - first).as_days_f64());
+        self.span[span_bucket(span_days)] += 1;
+        self.source[dominant(&per_source).unwrap_or(SOURCE_BANDS - 1)] += 1;
+        self.chapters[dominant(&per_chapter).unwrap_or(ICD_BANDS - 1)] += 1;
+        self.atc[dominant(&per_atc).unwrap_or(ATC_BANDS - 1)] += 1;
+        let mut mask = cond_mask;
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            self.cond_counts[i] += 1;
+            mask &= mask - 1;
+        }
+        self.stamp = self.stamp.wrapping_add(1);
+    }
+
+    /// Merge a partial accumulator (vector addition; stamps don't carry).
+    fn merge(mut self, other: Accum) -> Accum {
+        fn add_into(a: &mut [u32], b: &[u32]) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        self.cohort += other.cohort;
+        self.entries += other.entries;
+        add_into(&mut self.age, &other.age);
+        add_into(&mut self.sex, &other.sex);
+        add_into(&mut self.source, &other.source);
+        add_into(&mut self.entry_bands, &other.entry_bands);
+        add_into(&mut self.span, &other.span);
+        add_into(&mut self.chapters, &other.chapters);
+        add_into(&mut self.atc, &other.atc);
+        add_into(&mut self.first_contact, &other.first_contact);
+        add_into(&mut self.code_counts, &other.code_counts);
+        add_into(&mut self.cond_counts, &other.cond_counts);
+        self
+    }
+}
+
+/// Index of the most frequent bucket, lowest index winning ties; `None`
+/// if every count is zero (empty history / no coded entries).
+fn dominant(counts: &[u32]) -> Option<usize> {
+    let (best, &max) = counts
+        .iter()
+        .enumerate()
+        .max_by(|(i, a), (j, b)| a.cmp(b).then(j.cmp(i)))?;
+    (max > 0).then_some(best)
+}
+
+/// Compute the full dimension profile of the cohort at `positions`
+/// (sorted indices into `collection.histories()`, as returned by the
+/// query planner) in one parallel pass.
+///
+/// `ontology` resolves condition membership — pass a saturated instance
+/// (e.g. `Workbench::ontology()`); construction is expensive.
+pub fn cohort_profile(
+    collection: &HistoryCollection,
+    ontology: &IntegrationOntology,
+    positions: &[u32],
+    reference: Date,
+    top_k: usize,
+) -> CohortProfile {
+    let tables = Tables::build(collection, ontology);
+    cohort_profile_prepared(collection, &tables, positions, reference, top_k)
+}
+
+/// [`cohort_profile`] against pre-built dimension tables. Building the
+/// tables walks every interned code through the parsers and the
+/// ontology — milliseconds of fixed cost at scale — so callers that
+/// profile the same immutable snapshot repeatedly (the serve workbench)
+/// build once and pass the tables here.
+pub fn cohort_profile_prepared(
+    collection: &HistoryCollection,
+    tables: &Tables,
+    positions: &[u32],
+    reference: Date,
+    top_k: usize,
+) -> CohortProfile {
+    let histories = collection.histories();
+    let folded = pastas_par::par_fold(
+        positions,
+        || Accum::new(tables.vocab.len()),
+        |mut acc, &pos| {
+            let history = &histories[pos as usize];
+            let arena = tables.for_history(history, &mut acc.arena_hint);
+            acc.add(history, arena, reference);
+            acc
+        },
+        Accum::merge,
+    );
+    finish(folded, &tables.vocab, reference, top_k)
+}
+
+/// Widen a folded accumulator into the public profile.
+fn finish(acc: Accum, vocab: &[String], reference: Date, top_k: usize) -> CohortProfile {
+    let widen = |a: &[u32]| a.iter().map(|&v| u64::from(v)).collect::<Vec<u64>>();
+    let mut codes: Vec<(String, u64)> = vocab
+        .iter()
+        .zip(&acc.code_counts)
+        .filter(|&(_, &count)| count > 0)
+        .map(|(label, &count)| (label.clone(), u64::from(count)))
+        .collect();
+    codes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    codes.truncate(top_k);
+    CohortProfile {
+        cohort_size: u64::from(acc.cohort),
+        total_entries: acc.entries,
+        reference,
+        age_bands: widen(&acc.age),
+        sex: widen(&acc.sex),
+        dominant_source: widen(&acc.source),
+        entry_bands: widen(&acc.entry_bands),
+        span_bands: widen(&acc.span),
+        icd_chapters: widen(&acc.chapters),
+        atc_groups: widen(&acc.atc),
+        first_contact: widen(&acc.first_contact),
+        top_codes: codes,
+        conditions: CONDITIONS
+            .iter()
+            .zip(&acc.cond_counts)
+            .map(|(&(name, ..), &count)| (name.to_owned(), u64::from(count)))
+            .collect(),
+    }
+}
+
+/// The serial naive reference: one history at a time, sets and maps
+/// instead of stamps and dense columns, no sharding, no `pastas_par`.
+/// Exists so the property tests can diff the parallel pass against an
+/// independently structured implementation.
+pub fn cohort_profile_serial(
+    collection: &HistoryCollection,
+    ontology: &IntegrationOntology,
+    positions: &[u32],
+    reference: Date,
+    top_k: usize,
+) -> CohortProfile {
+    use std::collections::HashSet;
+    let histories = collection.histories();
+    let mut acc = Accum::new(0);
+    let mut code_patients: BTreeMap<String, u64> = BTreeMap::new();
+    let mut cond_counts = [0u64; CONDITIONS.len()];
+    for &pos in positions {
+        let history = &histories[pos as usize];
+        acc.cohort += 1;
+        acc.entries += history.len() as u64;
+        acc.age[age_bucket(history.age_at(reference))] += 1;
+        acc.sex[match history.patient().sex {
+            Sex::Female => 0,
+            Sex::Male => 1,
+        }] += 1;
+        acc.entry_bands[entry_bucket(history.len())] += 1;
+        acc.span[span_bucket(history.span().map(|d| d.as_days_f64()))] += 1;
+        acc.first_contact[match history.first_time() {
+            Some(t) => first_contact_bucket(reference.year(), t.date().year()),
+            None => FIRST_CONTACT_NONE,
+        }] += 1;
+
+        let mut per_source = [0u32; SourceKind::ALL.len()];
+        let mut per_chapter = [0u32; ICD_BANDS - 1];
+        let mut per_atc = [0u32; ATC_BANDS - 1];
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut conditions: HashSet<&'static str> = HashSet::new();
+        for entry in history.entries().iter() {
+            per_source[entry.source().dense_index()] += 1;
+            if let Some(code) = entry.code() {
+                let chapter = crate::tables::chapter_of(code);
+                if chapter != NO_BUCKET {
+                    per_chapter[chapter as usize] += 1;
+                }
+                let group = crate::tables::atc_group_of(code);
+                if group != NO_BUCKET {
+                    per_atc[group as usize] += 1;
+                }
+                conditions.extend(ontology.conditions_of(code));
+                seen.insert(code.to_string());
+            }
+        }
+        acc.source[dominant(&per_source).unwrap_or(SOURCE_BANDS - 1)] += 1;
+        acc.chapters[dominant(&per_chapter).unwrap_or(ICD_BANDS - 1)] += 1;
+        acc.atc[dominant(&per_atc).unwrap_or(ATC_BANDS - 1)] += 1;
+        for label in seen {
+            *code_patients.entry(label).or_insert(0) += 1;
+        }
+        for name in conditions {
+            if let Some(i) = IntegrationOntology::condition_index(name) {
+                cond_counts[i] += 1;
+            }
+        }
+    }
+    let mut profile = finish(acc, &[], reference, top_k);
+    let mut codes: Vec<(String, u64)> = code_patients.into_iter().collect();
+    codes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    codes.truncate(top_k);
+    profile.top_codes = codes;
+    profile.conditions = CONDITIONS
+        .iter()
+        .zip(&cond_counts)
+        .map(|(&(name, ..), &count)| (name.to_owned(), count))
+        .collect();
+    profile
+}
+
+/// Monthly event counts over the cohort at `positions`: one
+/// `(first-of-month, entries starting that month)` row per month between
+/// the cohort's first and last entry, gaps filled with zeros. One
+/// parallel pass; merge is map addition.
+pub fn cohort_monthly(collection: &HistoryCollection, positions: &[u32]) -> Vec<(Date, u64)> {
+    let histories = collection.histories();
+    let folded = pastas_par::par_fold(
+        positions,
+        BTreeMap::<(i32, u32), u64>::new,
+        |mut acc, &pos| {
+            for entry in histories[pos as usize].entries().iter() {
+                let d = entry.start().date();
+                *acc.entry((d.year(), d.month())).or_insert(0) += 1;
+            }
+            acc
+        },
+        |mut a, b| {
+            for (k, v) in b {
+                *a.entry(k).or_insert(0) += v;
+            }
+            a
+        },
+    );
+    let (Some((&first, _)), Some((&last, _))) =
+        (folded.first_key_value(), folded.last_key_value())
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let (mut year, mut month) = first;
+    loop {
+        let date = Date::new(year, month, 1).expect("month key is valid");
+        out.push((date, folded.get(&(year, month)).copied().unwrap_or(0)));
+        if (year, month) == last {
+            break;
+        }
+        month += 1;
+        if month > 12 {
+            month = 1;
+            year += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastas_synth::{generate_collection, SynthConfig};
+
+    fn fixture() -> (HistoryCollection, IntegrationOntology, Date) {
+        let collection = generate_collection(SynthConfig::with_patients(120), 23);
+        let reference = collection
+            .stats()
+            .last
+            .map(|dt| dt.date())
+            .unwrap_or_else(|| Date::new(2013, 1, 1).expect("valid"));
+        (collection, IntegrationOntology::new(), reference)
+    }
+
+    #[test]
+    fn partitions_sum_to_cohort_size() {
+        let (collection, ontology, reference) = fixture();
+        let positions: Vec<u32> = (0..collection.len() as u32).collect();
+        let p = cohort_profile(&collection, &ontology, &positions, reference, DEFAULT_TOP_K);
+        assert_eq!(p.cohort_size, collection.len() as u64);
+        for h in p.histograms().iter().filter(|h| h.partition) {
+            let total: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total, p.cohort_size, "histogram {} must partition", h.name);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_on_full_cohort() {
+        let (collection, ontology, reference) = fixture();
+        let positions: Vec<u32> = (0..collection.len() as u32).collect();
+        let par = cohort_profile(&collection, &ontology, &positions, reference, DEFAULT_TOP_K);
+        let ser =
+            cohort_profile_serial(&collection, &ontology, &positions, reference, DEFAULT_TOP_K);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn empty_cohort_profiles_cleanly() {
+        let (collection, ontology, reference) = fixture();
+        let p = cohort_profile(&collection, &ontology, &[], reference, DEFAULT_TOP_K);
+        assert_eq!(p.cohort_size, 0);
+        assert!(p.top_codes.is_empty());
+        assert!(cohort_monthly(&collection, &[]).is_empty());
+        assert!(p.to_json().starts_with("{\"cohort_size\":0,"));
+    }
+
+    #[test]
+    fn monthly_timeline_is_contiguous_and_totals_entries() {
+        let (collection, _, _) = fixture();
+        let positions: Vec<u32> = (0..collection.len() as u32).collect();
+        let months = cohort_monthly(&collection, &positions);
+        let total: u64 = months.iter().map(|&(_, c)| c).sum();
+        let entries: u64 = positions
+            .iter()
+            .map(|&p| collection.histories()[p as usize].len() as u64)
+            .sum();
+        assert_eq!(total, entries);
+        for pair in months.windows(2) {
+            let (a, b) = (pair[0].0, pair[1].0);
+            assert_eq!(a.months_between(b).abs(), 1, "months must be contiguous");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: the parallel sharded dimension pass must agree with
+//! the serial naive per-history fold on arbitrary collections, cohorts
+//! and thread counts, and every partition histogram's bucket totals must
+//! sum to the cohort size.
+
+use crate::profile::{cohort_monthly, cohort_profile, cohort_profile_serial};
+use pastas_ontology::integration::IntegrationOntology;
+use pastas_synth::{generate_collection, SynthConfig};
+use pastas_time::Date;
+use proptest::prelude::*;
+
+/// Thread counts the parallel pass must be invariant over (1 is the
+/// exact serial chunking).
+const THREADS: [usize; 2] = [1, 4];
+
+/// Tiny deterministic PRNG (splitmix64), same scheme as the query
+/// crate's proptests — the vendored proptest has no Vec strategies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A random sorted cohort: every position kept with probability ~`keep`
+/// in 16ths — the shape `select_positions` hands the profile pass.
+fn random_cohort(rng: &mut Rng, len: usize, keep: u64) -> Vec<u32> {
+    (0..len as u32).filter(|_| rng.next() % 16 < keep).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_profile_equals_serial_oracle(
+        collection_seed in 0u64..50,
+        cohort_seed in 0u64..u64::MAX,
+        patients in 60usize..220,
+        shard_patients in 40usize..120,
+        keep in 1u64..16,
+    ) {
+        // Multi-arena on purpose: shard_patients < patients forces the
+        // per-arena table translation the single-arena tests never hit.
+        let config = SynthConfig { shard_patients, ..SynthConfig::with_patients(patients) };
+        let collection = generate_collection(config, collection_seed);
+        let ontology = IntegrationOntology::new();
+        let reference = collection
+            .stats()
+            .last
+            .map(|dt| dt.date())
+            .unwrap_or_else(|| Date::new(2013, 1, 1).expect("valid"));
+        let mut rng = Rng(cohort_seed);
+        let positions = random_cohort(&mut rng, collection.len(), keep);
+
+        let serial =
+            cohort_profile_serial(&collection, &ontology, &positions, reference, 25);
+        let serial_monthly = {
+            // The serial reference for the timeline: thread count 1.
+            pastas_par::with_threads(1, || cohort_monthly(&collection, &positions))
+        };
+        for threads in THREADS {
+            let (profile, monthly) = pastas_par::with_threads(threads, || {
+                (
+                    cohort_profile(&collection, &ontology, &positions, reference, 25),
+                    cohort_monthly(&collection, &positions),
+                )
+            });
+            prop_assert_eq!(&profile, &serial, "threads {}", threads);
+            prop_assert_eq!(&monthly, &serial_monthly, "threads {}", threads);
+
+            // Partition invariant: every single-assignment histogram's
+            // buckets sum to the cohort size.
+            prop_assert_eq!(profile.cohort_size, positions.len() as u64);
+            for h in profile.histograms().iter().filter(|h| h.partition) {
+                let total: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+                prop_assert_eq!(
+                    total, profile.cohort_size,
+                    "histogram {} must partition (threads {})", h.name, threads
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-arena dimension tables: one `CodeId → packed dimension record`
+//! column, built once per collection and reusable across profile calls.
+//!
+//! `CodeId`s are arena-local (each shard of a sharded collection interns
+//! its own symbol table), so the tables are keyed by arena: for every
+//! distinct `EventStore` the collection's histories view, one
+//! [`ArenaTables`] maps each interned code to its ICD-10 chapter, ATC
+//! main group, condition bitmask and global vocabulary id — packed into
+//! a single 12-byte record so a coded entry's contribution to every
+//! code-derived dimension is **one** array read (one cache line), not
+//! four scattered ones. The hot aggregation loop never touches a string
+//! or a hash map.
+
+use pastas_codes::atc::AtcCode;
+use pastas_codes::icd10::Icd10Code;
+use pastas_codes::{Code, CodeSystem};
+use pastas_model::{EventStore, History, HistoryCollection};
+use pastas_ontology::integration::{IntegrationOntology, CONDITIONS};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Sentinel for "this code has no bucket in the dimension".
+pub(crate) const NO_BUCKET: u8 = u8::MAX;
+
+/// Everything the dimension pass needs to know about one interned code.
+#[derive(Clone, Copy)]
+pub(crate) struct CodeDims {
+    /// ICD-10 chapter index (`NO_BUCKET` for non-ICD codes).
+    pub chapter: u8,
+    /// ATC main-group index (`NO_BUCKET` for non-ATC codes).
+    pub atc: u8,
+    /// Bit `i` set ⇔ the code indicates `CONDITIONS[i]`.
+    pub cond_mask: u32,
+    /// Dense id into the profile-wide vocabulary.
+    pub global: u32,
+}
+
+/// One arena's code-id-indexed dimension column.
+pub(crate) struct ArenaTables {
+    /// Packed dimension record per interned code.
+    pub codes: Vec<CodeDims>,
+}
+
+/// Dimension tables for every distinct arena of a collection, plus the
+/// merged global code vocabulary. Build once per collection (the
+/// workbench memoizes one per snapshot) and reuse across profile calls —
+/// construction parses every interned code and consults the ontology,
+/// which is milliseconds of fixed cost the per-request path should not
+/// pay.
+pub struct Tables {
+    /// `(Arc::as_ptr of the arena, its tables)`, first-seen order. A
+    /// handful of entries even at 10M patients, so lookups are a hinted
+    /// linear scan rather than a per-history hash.
+    arenas: Vec<(usize, ArenaTables)>,
+    /// Display labels (`"ICPC2:T90"`), indexed by global code id.
+    pub(crate) vocab: Vec<String>,
+}
+
+impl Tables {
+    /// Build the tables for `collection`, resolving condition membership
+    /// through `ontology` (reuse a saturated instance — construction is
+    /// expensive).
+    pub fn build(collection: &HistoryCollection, ontology: &IntegrationOntology) -> Tables {
+        const _: () = assert!(CONDITIONS.len() <= 32, "condition mask is a u32");
+        let mut seen: HashMap<usize, ()> = HashMap::new();
+        let mut stores: Vec<(usize, &Arc<EventStore>)> = Vec::new();
+        for history in collection.histories() {
+            let key = Arc::as_ptr(history.store()) as usize;
+            if seen.insert(key, ()).is_none() {
+                stores.push((key, history.store()));
+            }
+        }
+
+        let mut vocab: Vec<String> = Vec::new();
+        let mut global_ids: HashMap<(CodeSystem, String), u32> = HashMap::new();
+        let mut arenas = Vec::with_capacity(stores.len());
+        for (key, store) in stores {
+            let interner = store.interner();
+            let mut codes = Vec::with_capacity(interner.len());
+            for code in interner.iter() {
+                let gid = *global_ids.entry((code.system, code.value.clone())).or_insert_with(
+                    || {
+                        vocab.push(code.to_string());
+                        (vocab.len() - 1) as u32
+                    },
+                );
+                codes.push(CodeDims {
+                    chapter: chapter_of(code),
+                    atc: atc_group_of(code),
+                    cond_mask: condition_mask(ontology, code),
+                    global: gid,
+                });
+            }
+            arenas.push((key, ArenaTables { codes }));
+        }
+        Tables { arenas, vocab }
+    }
+
+    /// The tables of the arena backing `history`. `hint` is the caller's
+    /// last hit — positions arrive sorted, so consecutive histories
+    /// nearly always share an arena and the scan is O(1) amortized.
+    pub(crate) fn for_history(&self, history: &History, hint: &mut usize) -> &ArenaTables {
+        let key = Arc::as_ptr(history.store()) as usize;
+        if let Some((k, tables)) = self.arenas.get(*hint) {
+            if *k == key {
+                return tables;
+            }
+        }
+        let idx = self
+            .arenas
+            .iter()
+            .position(|&(k, _)| k == key)
+            .expect("history's arena is in the tables");
+        *hint = idx;
+        &self.arenas[idx].1
+    }
+}
+
+/// ICD-10 chapter index of a code, or `NO_BUCKET`.
+pub(crate) fn chapter_of(code: &Code) -> u8 {
+    if code.system != CodeSystem::Icd10 {
+        return NO_BUCKET;
+    }
+    Icd10Code::parse(&code.value)
+        .and_then(|c| c.chapter_index())
+        .map(|i| i as u8)
+        .unwrap_or(NO_BUCKET)
+}
+
+/// ATC main-group index of a code, or `NO_BUCKET`.
+pub(crate) fn atc_group_of(code: &Code) -> u8 {
+    if code.system != CodeSystem::Atc {
+        return NO_BUCKET;
+    }
+    AtcCode::parse(&code.value).map(|c| c.main_group_index() as u8).unwrap_or(NO_BUCKET)
+}
+
+/// Bitmask over [`CONDITIONS`] of the conditions a code indicates.
+pub(crate) fn condition_mask(ontology: &IntegrationOntology, code: &Code) -> u32 {
+    let mut mask = 0u32;
+    for name in ontology.conditions_of(code) {
+        if let Some(i) = IntegrationOntology::condition_index(name) {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chapter_and_group_sentinels() {
+        assert_eq!(chapter_of(&Code::icd10("E11")), 3); // chapter IV
+        assert_eq!(chapter_of(&Code::icpc("T90")), NO_BUCKET);
+        assert_eq!(atc_group_of(&Code::atc("C07AB02")), 2); // C = cardiovascular
+        assert_eq!(atc_group_of(&Code::icd10("E11")), NO_BUCKET);
+    }
+
+    #[test]
+    fn condition_mask_unifies_systems() {
+        let ontology = IntegrationOntology::new();
+        let gp = condition_mask(&ontology, &Code::icpc("T90"));
+        let hospital = condition_mask(&ontology, &Code::icd10("E11"));
+        let diabetes = IntegrationOntology::condition_index("Diabetes").expect("tracked");
+        assert_ne!(gp & (1 << diabetes), 0, "T90 indicates diabetes");
+        assert_ne!(hospital & (1 << diabetes), 0, "E11 indicates diabetes");
+        assert_eq!(condition_mask(&ontology, &Code::atc("C07AB02")) >> CONDITIONS.len(), 0);
+    }
+}

@@ -106,6 +106,15 @@ impl AtcCode {
         self.text.as_bytes()[0] as char
     }
 
+    /// Position of the main group within [`LEVEL1_GROUPS`] — the dense
+    /// id the analytics accumulators index by.
+    pub fn main_group_index(&self) -> usize {
+        LEVEL1_GROUPS
+            .iter()
+            .position(|&(g, _)| g == self.main_group())
+            .expect("validated at parse time")
+    }
+
     /// Name of the level-1 main group.
     pub fn main_group_name(&self) -> &'static str {
         LEVEL1_GROUPS

@@ -113,6 +113,13 @@ impl Icd10Code {
         CHAPTERS.iter().find(|c| c.start <= key && key <= c.end)
     }
 
+    /// Position of this category's chapter within [`CHAPTERS`] — the
+    /// dense id the analytics accumulators index by.
+    pub fn chapter_index(self) -> Option<usize> {
+        let key = (self.letter, self.number);
+        CHAPTERS.iter().position(|c| c.start <= key && key <= c.end)
+    }
+
     /// The named block containing this category, if we track it.
     pub fn block(self) -> Option<&'static str> {
         let key = (self.letter, self.number);

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cohorts;
 pub mod error;
 pub mod export;
 pub mod exposure;
@@ -35,6 +36,7 @@ pub mod recognition;
 pub mod session;
 pub mod workbench;
 
+pub use cohorts::{CohortHandle, CohortLookup, CohortRegistry, RegistryConfig};
 pub use error::CoreError;
 pub use recognition::{simulate_study, RecognitionModel, StudyOutcome};
 pub use session::{Selection, Session, ViewCommand};

@@ -14,13 +14,13 @@ use pastas_query::{
     align_on, sort_histories, CodeIndex, EntryPredicate, Explain, HistoryQuery, QueryPlan, SortKey,
 };
 use pastas_regex::ParseError;
-use pastas_time::Duration;
+use pastas_time::{Date, Duration};
 use pastas_viz::html::{personal_timeline, PersonalTimelineOptions};
 use pastas_viz::timeline::aligned_viewport;
 use pastas_viz::{ascii, hit::HitMap, svg, AxisMode, Scene, TimelineOptions, TimelineView, Viewport};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A snapshot of the mutable view state (what undo/redo restores).
 #[derive(Debug, Clone)]
@@ -103,6 +103,12 @@ pub struct Workbench {
     ontology: Arc<IntegrationOntology>,
     quality: Option<QualityReport>,
     selections: Arc<SelectionCache>,
+    /// Lazily built dimension tables for `collection` (see
+    /// `pastas-analytics`): the first [`Self::cohort_profile`] call pays
+    /// the build, every later profile of this collection reuses it.
+    /// `Arc`-shared with snapshots and *replaced* (never cleared) when
+    /// the collection changes, like the selection cache.
+    dimension_tables: Arc<OnceLock<pastas_analytics::DimensionTables>>,
     // View state.
     order: Vec<u32>,
     axis: AxisMode,
@@ -148,6 +154,7 @@ impl Workbench {
             ontology: Arc::new(IntegrationOntology::new()),
             quality: None,
             selections: SelectionCache::new(),
+            dimension_tables: Arc::new(OnceLock::new()),
             order,
             axis: AxisMode::Calendar,
             filter: None,
@@ -169,6 +176,7 @@ impl Workbench {
         self.collection_fingerprint = fingerprint_collection(&collection);
         self.collection = collection;
         self.selections = SelectionCache::new();
+        self.dimension_tables = Arc::new(OnceLock::new());
     }
 
     /// Apply parsed ingest deltas ([`pastas_ingest::parse_delta`])
@@ -243,6 +251,7 @@ impl Workbench {
         self.index = Arc::new(self.index.with_delta(&self.collection, &dirty));
         self.collection_fingerprint = fingerprint_collection(&self.collection);
         self.selections = SelectionCache::new();
+        self.dimension_tables = Arc::new(OnceLock::new());
         // Appended patients join the end of the display order; existing
         // rows keep their positions, so the current sort/alignment stays
         // meaningful.
@@ -290,6 +299,7 @@ impl Workbench {
             ontology: Arc::clone(&self.ontology),
             quality: self.quality.clone(),
             selections: Arc::clone(&self.selections),
+            dimension_tables: Arc::clone(&self.dimension_tables),
             order: self.order.clone(),
             axis: self.axis.clone(),
             filter: self.filter.clone(),
@@ -456,6 +466,47 @@ impl Workbench {
             positions.iter().map(|&i| Arc::clone(&histories[i as usize])),
         );
         Workbench::from_collection(sub)
+    }
+
+    /// The canonical fingerprint of a query against the current index —
+    /// the registry's dedup key for materialized cohorts (commuted or
+    /// double-negated spellings of one selection share a handle).
+    pub fn canonical_query_fingerprint(&self, query: &HistoryQuery) -> String {
+        QueryPlan::build(&self.index, &self.collection, query)
+            .canonical_fingerprint()
+            .to_owned()
+    }
+
+    /// The nine-dimension composition profile of the cohort at
+    /// `positions` (sorted history positions, e.g. a
+    /// [`Self::select_positions`] result or a materialized handle's
+    /// decoded bitmap), aged against `reference`. One parallel columnar
+    /// pass — see `pastas-analytics`. Does **not** touch the planner or
+    /// the selection cache. The code→dimension tables are built on first
+    /// use and memoized per collection (shared with snapshots), so a
+    /// warm workbench pays only the fold itself.
+    pub fn cohort_profile(
+        &self,
+        positions: &[u32],
+        reference: Date,
+        top_k: usize,
+    ) -> pastas_analytics::CohortProfile {
+        let tables = self.dimension_tables.get_or_init(|| {
+            pastas_analytics::DimensionTables::build(&self.collection, &self.ontology)
+        });
+        pastas_analytics::cohort_profile_prepared(
+            &self.collection,
+            tables,
+            positions,
+            reference,
+            top_k,
+        )
+    }
+
+    /// Monthly event counts of the cohort at `positions` (gap-filled,
+    /// first-of-month keyed) — the cohort-level timeline.
+    pub fn cohort_monthly(&self, positions: &[u32]) -> Vec<(Date, u64)> {
+        pastas_analytics::cohort_monthly(&self.collection, positions)
     }
 
     /// Patient ids matching the query.

@@ -586,7 +586,9 @@ fn rule_no_silent_truncation(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
 }
 
 fn rule_budget_enforced_alloc(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
-    if ctx.path.contains("query/src/") {
+    // The analytics dimension pass consumes frozen bitmaps the same way
+    // the planner does, so it inherits the decode-loop arm verbatim.
+    if ctx.path.contains("query/src/") || ctx.path.contains("analytics/src/") {
         budget_alloc_query_decode_loops(ctx, out);
     }
     if !ctx.path.ends_with("serve/src/http.rs") {

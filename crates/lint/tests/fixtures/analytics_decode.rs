@@ -1,0 +1,32 @@
+// lint-fixture-path: crates/analytics/src/fold_helpers.rs
+//! Fixture: the analytics arm of `budget-enforced-alloc` — the
+//! dimension pass consumes frozen cohort bitmaps and must never call
+//! `to_vec` per iteration; chunked `iter()` or one hoisted
+//! `decode_into` is the budgeted shape.
+
+fn accumulate(cohorts: &[Bitmap], acc: &mut Accum) {
+    for bm in cohorts {
+        for position in bm.to_vec() {
+            acc.add(position); // full decode per cohort in a loop: finding
+        }
+    }
+    for bm in cohorts {
+        for position in bm.iter() {
+            acc.add(position); // chunked iterator decode: ok
+        }
+    }
+    let mut positions = Vec::new();
+    if let Some(bm) = cohorts.first() {
+        bm.decode_into(0, &mut positions); // one hoisted decode: ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_loops_are_exempt() {
+        for bm in build() {
+            let _ = bm.to_vec();
+        }
+    }
+}

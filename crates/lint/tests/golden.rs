@@ -152,6 +152,12 @@ fn budget_flags_bitmap_decodes_inside_query_loops() {
 }
 
 #[test]
+fn budget_flags_bitmap_decodes_inside_analytics_loops() {
+    let findings = check_fixture("analytics_decode");
+    assert_eq!(shape(&findings), vec![("budget-enforced-alloc", 9)]);
+}
+
+#[test]
 fn hygiene_fires_on_big_untested_module_and_proptests_satisfy_it() {
     let mut src = String::from("//! Big module.\n\npub struct S;\n");
     for i in 0..400 {

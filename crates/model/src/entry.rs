@@ -43,6 +43,18 @@ impl SourceKind {
             SourceKind::Prescription => "prescription",
         }
     }
+
+    /// Position within [`SourceKind::ALL`] — the dense id the analytics
+    /// accumulator arrays index by.
+    pub fn dense_index(self) -> usize {
+        match self {
+            SourceKind::Hospital => 0,
+            SourceKind::PrimaryCare => 1,
+            SourceKind::Specialist => 2,
+            SourceKind::Municipal => 3,
+            SourceKind::Prescription => 4,
+        }
+    }
 }
 
 impl std::fmt::Display for SourceKind {

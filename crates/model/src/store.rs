@@ -747,6 +747,27 @@ impl<'a> Entries<'a> {
         EntriesIter { store: self.store, next: self.lo, hi: self.hi }
     }
 
+    /// Fused columnar scan: `(source, interned code id, end time)` per
+    /// entry, walking each column slice sequentially instead of
+    /// re-indexing the store per field the way [`EntryRef`] accessors
+    /// do. This is the hot-loop shape of the analytics dimension pass,
+    /// which folds provenance, code-derived buckets and the history
+    /// span in a single traversal.
+    pub fn scan(&self) -> impl Iterator<Item = (SourceKind, Option<CodeId>, DateTime)> + 'a {
+        let (lo, hi) = (self.lo as usize, self.hi as usize);
+        let sources = &self.store.sources[lo..hi];
+        let tags = &self.store.tags[lo..hi];
+        let aux = &self.store.aux[lo..hi];
+        let ends = &self.store.ends[lo..hi];
+        sources.iter().zip(tags).zip(aux).zip(ends).map(|(((&source, &tag), &aux), &end)| {
+            let code = match tag & TAG_MASK {
+                TAG_DIAGNOSIS | TAG_MEDICATION => Some(CodeId(aux)),
+                _ => None,
+            };
+            (source, code, end)
+        })
+    }
+
     /// Materialize the span as owned entries (export/test paths).
     pub fn to_vec(&self) -> Vec<Entry> {
         self.iter().map(|e| e.to_entry()).collect()

@@ -236,6 +236,17 @@ impl IntegrationOntology {
         self.conditions_of(code).contains(&condition)
     }
 
+    /// The tracked condition names in [`CONDITIONS`] order — the dense
+    /// ids the analytics accumulators index by.
+    pub fn condition_names() -> impl ExactSizeIterator<Item = &'static str> {
+        CONDITIONS.iter().map(|&(name, ..)| name)
+    }
+
+    /// Position of a condition name within [`CONDITIONS`], if tracked.
+    pub fn condition_index(name: &str) -> Option<usize> {
+        CONDITIONS.iter().position(|&(n, ..)| n == name)
+    }
+
     /// The structural class name for an entry (by payload × source).
     ///
     /// Generic over [`EntryView`] so both owned `&Entry` values and

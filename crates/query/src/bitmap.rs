@@ -702,6 +702,16 @@ impl Bitmap {
     }
 
     /// Number of positions ≤ `v`.
+    ///
+    /// Fast path: one pass over container *headers* — per-container
+    /// cardinalities are cached, so only the single container holding
+    /// `v` is ranked internally (O(1) for bitset containers, binary
+    /// search for arrays). Prefer this over decoding: `rank`/[`select`]
+    /// on the compressed form are how consumers (the analytics
+    /// dimension pass, pagination) count and slice cohorts without ever
+    /// materializing a `Vec<u32>`.
+    ///
+    /// [`select`]: Bitmap::select
     pub fn rank(&self, v: u32) -> usize {
         let key = (v >> 16) as u16;
         let mut n = 0usize;
@@ -716,6 +726,16 @@ impl Bitmap {
     }
 
     /// The `i`-th smallest position (0-based), if `i < len`.
+    ///
+    /// Fast path: skips whole containers by their cached cardinality
+    /// and descends into exactly one — the dual of [`rank`](Bitmap::rank).
+    /// For *sequential* access use [`iter`](Bitmap::iter) (chunked
+    /// decode, amortized O(1) per position) or a single hoisted
+    /// [`decode_into`](Bitmap::decode_into); calling `select(i)` in a
+    /// dense loop re-walks the header prefix every time, and calling
+    /// `to_vec()` in a loop defeats the compression outright (the
+    /// `budget-enforced-alloc` lint flags the latter in `query/` and
+    /// `analytics/`).
     pub fn select(&self, i: usize) -> Option<u32> {
         if i >= self.len {
             return None;

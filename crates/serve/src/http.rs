@@ -401,6 +401,18 @@ impl Response {
         Response::with_body(status, "text/plain; charset=utf-8", body)
     }
 
+    /// A backpressure response: JSON body plus the `Retry-After` header.
+    /// The single constructor behind every `429`/`503` the server emits
+    /// (ingest-queue-full and acceptor load shedding), so neither path
+    /// can forget the header the other relies on.
+    pub fn retry_later_json(
+        status: u16,
+        body: impl Into<Vec<u8>>,
+        retry_after_secs: u32,
+    ) -> Response {
+        Response::json(status, body).header("Retry-After", &retry_after_secs.to_string())
+    }
+
     /// Add a header.
     pub fn header(mut self, name: &str, value: &str) -> Response {
         self.headers.push((name.to_owned(), value.to_owned()));
@@ -476,6 +488,22 @@ mod tests {
         assert_eq!(req.param_or("h", 0.0f64), 400.0);
         assert_eq!(req.header("host"), Some("x"));
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn retry_later_carries_the_header_for_both_backpressure_statuses() {
+        for status in [429u16, 503] {
+            let resp = Response::retry_later_json(status, "{\"error\":\"busy\"}", 7);
+            assert_eq!(resp.status, status);
+            assert!(
+                resp.headers.iter().any(|(n, v)| n == "Retry-After" && v == "7"),
+                "{:?}",
+                resp.headers
+            );
+            assert!(
+                resp.headers.iter().any(|(n, v)| n == "Content-Type" && v == "application/json")
+            );
+        }
     }
 
     #[test]

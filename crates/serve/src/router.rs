@@ -5,6 +5,10 @@
 //! | route | what it does |
 //! |---|---|
 //! | `POST /select` | body = query-language text → cohort ids/counts |
+//! | `POST /cohort` | body = query text → materialized cohort handle id |
+//! | `GET /cohort/{id}/stats?k=` | dimension histograms over a frozen cohort |
+//! | `GET /cohort/{id}/timeline` | monthly event counts over a frozen cohort |
+//! | `GET /cohort/{id}.svg?w=&h=` | histogram small-multiples panel (SVG) |
 //! | `GET /timeline/{patient}` | one patient's personal timeline (HTML) |
 //! | `GET /cohort.svg?w=&h=&overview=` | current view rendered as SVG |
 //! | `GET /cohort.txt?cols=&rows=` | current view rendered as terminal text |
@@ -23,7 +27,7 @@ use crate::http::{Request, Response};
 use crate::ingest::{IngestConfig, IngestQueue};
 use crate::state::{ServeState, Snapshot};
 use pastas_core::export::json_string;
-use pastas_core::{Selection, ViewCommand};
+use pastas_core::{CohortLookup, CohortRegistry, RegistryConfig, Selection, ViewCommand};
 use pastas_ingest::json::Json;
 use pastas_ingest::DeltaFormat;
 use pastas_model::PatientId;
@@ -42,6 +46,10 @@ pub struct RouterCtx {
     pub metrics: crate::metrics::Metrics,
     /// The bounded streaming-ingest queue behind `POST /ingest`.
     pub ingest: IngestQueue,
+    /// Materialized cohort handles behind `POST /cohort` and
+    /// `GET /cohort/{id}/*`, pinned to the snapshot version they were
+    /// frozen against.
+    pub cohorts: CohortRegistry,
     /// Worker-pool gauges, wired in by the server once the pool exists.
     pub pool_stats: std::sync::OnceLock<pastas_par::pool::PoolStats>,
 }
@@ -72,6 +80,7 @@ impl RouterCtx {
             cache: ResponseCache::new(cache_entries, cache_bytes),
             metrics: crate::metrics::Metrics::new(),
             pool_stats: std::sync::OnceLock::new(),
+            cohorts: CohortRegistry::new(RegistryConfig::default()),
         }
     }
 }
@@ -89,6 +98,7 @@ pub fn route(req: &Request, ctx: &RouterCtx) -> Response {
         ("GET", "/healthz") => Response::text(200, "ok"),
         ("GET", "/metrics") => metrics_response(ctx),
         ("POST", "/select") => select(req, ctx),
+        ("POST", "/cohort") => cohort_materialize(req, ctx),
         ("POST", "/command") => command(req, ctx),
         ("POST", "/ingest") => ingest(req, ctx),
         ("POST", "/compact") => compact(ctx),
@@ -96,6 +106,9 @@ pub fn route(req: &Request, ctx: &RouterCtx) -> Response {
         ("GET", "/cohort.txt") => cohort_txt(req, ctx),
         ("GET", "/details") => details(req, ctx),
         ("GET", path) if path.starts_with("/timeline/") => timeline(path, ctx),
+        // Frozen-cohort reads; "/cohort.svg" (the live view) has an
+        // exact arm above and never reaches this prefix match.
+        ("GET", path) if path.starts_with("/cohort/") => cohort_read(path, req, ctx),
         // Fault injection for the poisoned-lock regression test: panics
         // while holding the cache mutex. Debug builds only — the route
         // does not exist in a release binary.
@@ -107,8 +120,8 @@ pub fn route(req: &Request, ctx: &RouterCtx) -> Response {
         }
         (
             _,
-            "/select" | "/command" | "/ingest" | "/compact" | "/cohort.svg" | "/cohort.txt"
-            | "/details" | "/metrics",
+            "/select" | "/cohort" | "/command" | "/ingest" | "/compact" | "/cohort.svg"
+            | "/cohort.txt" | "/details" | "/metrics",
         ) => error_json(405, "method not allowed"),
         _ => error_json(404, "no such route"),
     }
@@ -193,6 +206,130 @@ fn select(req: &Request, ctx: &RouterCtx) -> Response {
     })
 }
 
+/// `POST /cohort`: run the selection once, freeze the resulting posting
+/// bitmap in the registry, and answer `201` with the handle id. Every
+/// later `GET /cohort/{id}/*` reuses the frozen positions without
+/// re-planning. Re-materializing an equivalent query (same canonical
+/// fingerprint) at the same version returns the existing handle.
+fn cohort_materialize(req: &Request, ctx: &RouterCtx) -> Response {
+    let snapshot = ctx.state.snapshot();
+    let text = req.body_str();
+    let text = text.trim();
+    if text.is_empty() {
+        return error_json(400, "empty query: POST the query text, e.g. has(T90)");
+    }
+    let query = match parse_query(text, snapshot.reference_date) {
+        Ok(q) => q,
+        Err(e) => return error_json(400, &e.to_string()),
+    };
+    let positions = snapshot.workbench.select_positions(&query);
+    let fingerprint = snapshot.workbench.canonical_query_fingerprint(&query);
+    let handle = ctx.cohorts.materialize(snapshot.version, &fingerprint, text, &positions);
+    Response::json(
+        201,
+        format!(
+            "{{\"id\":{},\"version\":{},\"count\":{}}}",
+            json_string(&handle.id),
+            handle.version,
+            handle.count
+        ),
+    )
+}
+
+/// `GET /cohort/{id}/stats`, `/cohort/{id}/timeline`, `/cohort/{id}.svg`:
+/// reads over a frozen cohort. A handle pinned to a superseded snapshot
+/// answers `410 Gone` with the original query as a re-materialize hint.
+fn cohort_read(path: &str, req: &Request, ctx: &RouterCtx) -> Response {
+    let rest = path.get("/cohort/".len()..).unwrap_or_default();
+    let (id, kind) = if let Some(id) = rest.strip_suffix(".svg") {
+        (id, "svg")
+    } else if let Some((id, kind)) = rest.split_once('/') {
+        (id, kind)
+    } else {
+        return error_json(404, "no such route");
+    };
+    let snapshot = ctx.state.snapshot();
+    let handle = match ctx.cohorts.lookup(id, snapshot.version) {
+        CohortLookup::Hit(handle) => handle,
+        CohortLookup::Stale { version, query } => {
+            return Response::json(
+                410,
+                format!(
+                    "{{\"error\":\"cohort is stale\",\"id\":{},\"materialized_version\":{},\
+                     \"current_version\":{},\"query\":{},\
+                     \"hint\":\"POST /cohort with the query to re-materialize\"}}",
+                    json_string(id),
+                    version,
+                    snapshot.version,
+                    json_string(&query)
+                ),
+            );
+        }
+        CohortLookup::Missing => return error_json(404, &format!("no cohort {id:?}")),
+    };
+    // Cold reads decode the frozen bitmap once and aggregate; the
+    // planner never runs. Warm reads stop at the response cache.
+    let decode = || {
+        let mut positions = Vec::with_capacity(handle.count as usize);
+        handle.positions.decode_into(0, &mut positions);
+        positions
+    };
+    match kind {
+        "stats" => {
+            let k = req.param_or("k", 20_usize).clamp(1, 200);
+            let suffix = format!("cohort:{}:stats:{k}", handle.id);
+            cached(ctx, &snapshot, &suffix, || {
+                let profile =
+                    snapshot.workbench.cohort_profile(&decode(), snapshot.reference_date, k);
+                Response::json(
+                    200,
+                    format!(
+                        "{{\"id\":{},\"version\":{},\"profile\":{}}}",
+                        json_string(&handle.id),
+                        handle.version,
+                        profile.to_json()
+                    ),
+                )
+            })
+        }
+        "timeline" => {
+            let suffix = format!("cohort:{}:timeline", handle.id);
+            cached(ctx, &snapshot, &suffix, || {
+                let months = snapshot.workbench.cohort_monthly(&decode());
+                let mut body = String::with_capacity(64 + months.len() * 16);
+                let _ = write!(
+                    body,
+                    "{{\"id\":{},\"version\":{},\"count\":{},\"months\":[",
+                    json_string(&handle.id),
+                    handle.version,
+                    handle.count
+                );
+                for (i, (month, n)) in months.iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    let _ =
+                        write!(body, "[\"{:04}-{:02}\",{n}]", month.year(), month.month());
+                }
+                body.push_str("]}");
+                Response::json(200, body)
+            })
+        }
+        "svg" => {
+            let w = dim(req, "w", 900.0);
+            let h = dim(req, "h", 600.0);
+            let suffix = format!("cohort:{}:svg:{w}:{h}", handle.id);
+            cached(ctx, &snapshot, &suffix, || {
+                let profile =
+                    snapshot.workbench.cohort_profile(&decode(), snapshot.reference_date, 20);
+                let svg = pastas_viz::histogram::panel_svg(&profile, w, h);
+                Response::with_body(200, "image/svg+xml", svg)
+            })
+        }
+        other => error_json(404, &format!("no cohort endpoint {other:?}")),
+    }
+}
+
 /// `POST /ingest?format=<source>`: parse one source increment and queue
 /// its deltas for the compaction worker. `202 Accepted` with parse
 /// counts, or `429 Too Many Requests` + `Retry-After` when the bounded
@@ -222,11 +359,11 @@ fn ingest(req: &Request, ctx: &RouterCtx) -> Response {
                 receipt.queue_depth
             ),
         ),
-        Err(full) => Response::json(
+        Err(full) => Response::retry_later_json(
             429,
             format!("{{\"error\":\"ingest queue full\",\"queue_depth\":{}}}", full.queue_depth),
-        )
-        .header("Retry-After", &ctx.ingest.retry_after_secs().to_string()),
+            ctx.ingest.retry_after_secs(),
+        ),
     }
 }
 
@@ -418,6 +555,10 @@ fn metrics_response(ctx: &RouterCtx) -> Response {
         ("ingest_rejected_total", ctx.ingest.rejected_total() as f64),
         ("ingest_applied_entries_total", ctx.ingest.applied_entries_total() as f64),
         ("compactions_total", ctx.ingest.compactions_total() as f64),
+        ("cohort_registry_size", ctx.cohorts.len() as f64),
+        ("cohort_registry_bytes", ctx.cohorts.bytes() as f64),
+        ("cohort_materializations_total", ctx.cohorts.materializations_total() as f64),
+        ("cohort_stale_hits_total", ctx.cohorts.stale_hits_total() as f64),
     ];
     if let Some(pool) = ctx.pool_stats.get() {
         extra.push(("queue_depth", pool.queue_depth() as f64));
@@ -649,6 +790,145 @@ mod tests {
         assert_eq!(route(&post("/ingest?format=claims", DELTA_CLAIMS), &ctx).status, 202);
         let metrics = String::from_utf8(route(&get("/metrics"), &ctx).body).unwrap();
         assert!(metrics.contains("\"ingest_rejected_total\":1"), "{metrics}");
+    }
+
+    fn cohort_id(body: &[u8]) -> String {
+        let text = String::from_utf8_lossy(body);
+        Json::parse(&text)
+            .ok()
+            .and_then(|doc| doc.get("id").and_then(Json::as_str).map(str::to_owned))
+            .expect("id field")
+    }
+
+    #[test]
+    fn cohort_materialize_then_read_stats_timeline_and_svg() {
+        let ctx = ctx();
+        let made = route(&post("/cohort", "has(T90)"), &ctx);
+        assert_eq!(made.status, 201);
+        let made_body = String::from_utf8(made.body.clone()).unwrap();
+        assert!(made_body.contains("\"version\":1"), "{made_body}");
+        let id = cohort_id(&made.body);
+        let count = count_of(&made.body);
+        assert!(count > 0, "synthetic collection has T90 patients");
+        // An equivalent spelling at the same version dedups to the
+        // same handle instead of burning a new id.
+        let again = route(&post("/cohort", "  has(T90)  "), &ctx);
+        assert_eq!(again.status, 201);
+        assert_eq!(cohort_id(&again.body), id);
+        let metrics = String::from_utf8(route(&get("/metrics"), &ctx).body).unwrap();
+        assert!(metrics.contains("\"cohort_registry_size\":1"), "{metrics}");
+        assert!(metrics.contains("\"cohort_materializations_total\":1"), "{metrics}");
+        assert!(metrics.contains("\"cohort_registry_bytes\":"), "{metrics}");
+
+        let stats = route(&get(&format!("/cohort/{id}/stats")), &ctx);
+        assert_eq!(stats.status, 200);
+        let stats_body = String::from_utf8(stats.body).unwrap();
+        assert!(Json::parse(&stats_body).is_ok(), "stats is valid JSON: {stats_body}");
+        assert!(stats_body.contains(&format!("\"cohort_size\":{count}")), "{stats_body}");
+        assert!(stats_body.contains("\"age_band\""), "{stats_body}");
+        assert!(stats_body.contains("\"icd_chapter\""), "{stats_body}");
+
+        let timeline = route(&get(&format!("/cohort/{id}/timeline")), &ctx);
+        assert_eq!(timeline.status, 200);
+        let timeline_body = String::from_utf8(timeline.body).unwrap();
+        assert!(timeline_body.contains("\"months\":[[\""), "{timeline_body}");
+
+        let svg = route(&get(&format!("/cohort/{id}.svg?w=800&h=500")), &ctx);
+        assert_eq!(svg.status, 200);
+        let svg_body = String::from_utf8(svg.body).unwrap();
+        assert!(svg_body.contains("<svg"), "{svg_body}");
+        assert!(svg_body.contains("age band"), "{svg_body}");
+
+        assert_eq!(route(&get(&format!("/cohort/{id}/nope")), &ctx).status, 404);
+        assert_eq!(route(&get("/cohort/c999/stats"), &ctx).status, 404);
+        assert_eq!(route(&get("/cohort"), &ctx).status, 405);
+        assert_eq!(route(&post("/cohort", ""), &ctx).status, 400);
+        assert_eq!(route(&post("/cohort", "has(T90["), &ctx).status, 400);
+    }
+
+    /// The acceptance criterion for the registry hit path: a warm
+    /// `/cohort/{id}/stats` answers without invoking the planner. The
+    /// plan-path counters (selection cache, index hits, scan fallbacks)
+    /// must not move across stats reads — cold or warm.
+    #[test]
+    fn cohort_stats_answers_without_invoking_the_planner() {
+        let ctx = ctx();
+        let made = route(&post("/cohort", "has(K.*) and lacks(T90)"), &ctx);
+        assert_eq!(made.status, 201);
+        let id = cohort_id(&made.body);
+        let counters = || {
+            let snapshot = ctx.state.snapshot();
+            let wb = &snapshot.workbench;
+            (
+                wb.selection_cache_hits(),
+                wb.selection_cache_misses(),
+                wb.select_index_hits(),
+                wb.select_scan_fallbacks(),
+            )
+        };
+        let before = counters();
+        let cold = route(&get(&format!("/cohort/{id}/stats?k=10")), &ctx);
+        assert_eq!(cold.status, 200);
+        assert_eq!(counters(), before, "cold stats aggregates the frozen bitmap, no planning");
+        let hits = ctx.cache.hits();
+        let warm = route(&get(&format!("/cohort/{id}/stats?k=10")), &ctx);
+        assert_eq!(warm.body, cold.body);
+        assert_eq!(ctx.cache.hits(), hits + 1, "warm stats is a response-cache hit");
+        assert_eq!(counters(), before, "warm stats never touches the planner");
+    }
+
+    #[test]
+    fn publishing_a_new_version_invalidates_cohort_handles() {
+        let ctx = ctx();
+        let made = route(&post("/cohort", "has(T90)"), &ctx);
+        let id = cohort_id(&made.body);
+        let count = count_of(&made.body);
+        assert_eq!(route(&get(&format!("/cohort/{id}/stats")), &ctx).status, 200);
+        route(&post("/ingest?format=persons", DELTA_PERSONS), &ctx);
+        route(&post("/ingest?format=claims", DELTA_CLAIMS), &ctx);
+        assert_eq!(route(&post("/compact", ""), &ctx).status, 200);
+        let published = ctx.state.version();
+        assert!(published > 1, "compaction published a new version");
+        // First touch after the publish: 410 with the re-materialize hint.
+        let gone = route(&get(&format!("/cohort/{id}/stats")), &ctx);
+        assert_eq!(gone.status, 410);
+        let gone_body = String::from_utf8(gone.body).unwrap();
+        assert!(gone_body.contains("\"materialized_version\":1"), "{gone_body}");
+        assert!(gone_body.contains(&format!("\"current_version\":{published}")), "{gone_body}");
+        assert!(gone_body.contains("\"query\":\"has(T90)\""), "{gone_body}");
+        assert!(gone_body.contains("re-materialize"), "{gone_body}");
+        // The stale handle was dropped on that touch: now it's just gone.
+        assert_eq!(route(&get(&format!("/cohort/{id}/stats")), &ctx).status, 404);
+        // Re-materializing at version 2 sees the streamed patient.
+        let remade = route(&post("/cohort", "has(T90)"), &ctx);
+        assert_eq!(remade.status, 201);
+        let remade_body = String::from_utf8(remade.body.clone()).unwrap();
+        assert!(remade_body.contains(&format!("\"version\":{published}")), "{remade_body}");
+        assert_ne!(cohort_id(&remade.body), id, "stale id is not recycled");
+        assert_eq!(count_of(&remade.body), count + 1);
+        let metrics = String::from_utf8(route(&get("/metrics"), &ctx).body).unwrap();
+        assert!(metrics.contains("\"cohort_stale_hits_total\":1"), "{metrics}");
+        assert!(metrics.contains("\"cohort_registry_size\":1"), "{metrics}");
+    }
+
+    #[test]
+    fn cohort_reads_cache_on_version_id_and_params() {
+        let ctx = ctx();
+        let a = cohort_id(&route(&post("/cohort", "has(T90)"), &ctx).body);
+        let b = cohort_id(&route(&post("/cohort", "has(K74)"), &ctx).body);
+        assert_ne!(a, b);
+        let misses = ctx.cache.misses();
+        route(&get(&format!("/cohort/{a}/stats?k=5")), &ctx);
+        assert_eq!(ctx.cache.misses(), misses + 1);
+        route(&get(&format!("/cohort/{a}/stats?k=5")), &ctx);
+        assert_eq!(ctx.cache.misses(), misses + 1, "same (id, params) is warm");
+        route(&get(&format!("/cohort/{a}/stats?k=7")), &ctx);
+        assert_eq!(ctx.cache.misses(), misses + 2, "k is part of the key");
+        route(&get(&format!("/cohort/{b}/stats?k=5")), &ctx);
+        assert_eq!(ctx.cache.misses(), misses + 3, "cohort id is part of the key");
+        route(&get(&format!("/cohort/{a}.svg?w=400&h=300")), &ctx);
+        route(&get(&format!("/cohort/{a}.svg?w=400&h=300")), &ctx);
+        assert_eq!(ctx.cache.misses(), misses + 4, "svg panel caches too");
     }
 
     #[test]

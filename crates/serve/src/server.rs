@@ -293,13 +293,39 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared) {
     }
 }
 
+/// The load-shed response body, built through the shared backpressure
+/// constructor so the 503 path advertises `Retry-After` exactly like
+/// the ingest 429 path does.
+fn shed_response(retry_after_secs: u32) -> Response {
+    Response::retry_later_json(503, "{\"error\":\"server overloaded\"}", retry_after_secs)
+}
+
 /// Write the shed response straight from the acceptor thread; the
 /// connection was never admitted, so this must stay O(microseconds).
 fn shed(mut stream: &TcpStream, shared: &ServerShared) {
-    let response = Response::json(503, "{\"error\":\"server overloaded\"}")
-        .header("Retry-After", &shared.config.retry_after_secs.to_string());
+    let response = shed_response(shared.config.retry_after_secs);
     let _ = response.write_to(&mut stream, false);
     let _ = stream.flush();
     shared.ctx.metrics.record_shed();
     shared.ctx.metrics.record(503, Duration::ZERO);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the 503 half of the shared backpressure helper:
+    /// shed responses must carry `Retry-After` (the 429 half is covered
+    /// by `ingest_backpressure_answers_429_with_retry_after`).
+    #[test]
+    fn shed_response_advertises_retry_after() {
+        let resp = shed_response(3);
+        assert_eq!(resp.status, 503);
+        assert!(
+            resp.headers.iter().any(|(n, v)| n == "Retry-After" && v == "3"),
+            "{:?}",
+            resp.headers
+        );
+        assert!(String::from_utf8(resp.body).unwrap().contains("overloaded"));
+    }
 }

@@ -77,6 +77,38 @@ impl DateTime {
         Duration::seconds(self.second_number() - other.second_number())
     }
 
+    /// A monotone `u64` encoding: `a < b ⇔ a.sort_key() < b.sort_key()`.
+    ///
+    /// Packs `(year, month, day, second-of-day)` into disjoint bit fields
+    /// (no day-number arithmetic), so hot loops can track a running
+    /// maximum with a single branchless integer `max` instead of the
+    /// field-wise `Ord` chain — the analytics span pass does this per
+    /// entry. Always nonzero (the month field is ≥ 1), so `0` serves as
+    /// a natural "no timestamp yet" sentinel. Invert with
+    /// [`Self::from_sort_key`].
+    pub fn sort_key(self) -> u64 {
+        let year = (i64::from(self.date.year()) + 10_000) as u64; // 15 bits
+        (year << 26)
+            | (u64::from(self.date.month()) << 22) // 4 bits
+            | (u64::from(self.date.day()) << 17) // 5 bits
+            | u64::from(self.secs) // 17 bits
+    }
+
+    /// Decode a [`Self::sort_key`] back into the datetime. `None` for
+    /// values no `sort_key` call produces (including the `0` sentinel).
+    pub fn from_sort_key(key: u64) -> Option<DateTime> {
+        let date = Date::new(
+            ((key >> 26) as i64 - 10_000) as i32,
+            (key >> 22) as u32 & 0xf,
+            (key >> 17) as u32 & 0x1f,
+        )?;
+        let secs = key as u32 & 0x1_ffff;
+        if key >> 41 != 0 || i64::from(secs) >= SECS_PER_DAY {
+            return None;
+        }
+        Some(DateTime { date, secs })
+    }
+
     /// Parse ISO-8601: `YYYY-MM-DD`, `YYYY-MM-DDTHH:MM` or
     /// `YYYY-MM-DDTHH:MM:SS` (also accepts a space separator, which the
     /// registry CSV extracts use).
@@ -138,6 +170,30 @@ mod tests {
         // 2016-05-16T12:00:00 UTC == 1463400000
         let t = DateTime::new(d(2016, 5, 16), 12, 0, 0).unwrap();
         assert_eq!(t.second_number(), 1_463_400_000);
+    }
+
+    #[test]
+    fn sort_key_orders_like_ord_and_round_trips() {
+        let times = [
+            DateTime::new(d(-9999, 1, 1), 0, 0, 0).unwrap(),
+            DateTime::new(d(1969, 12, 31), 23, 59, 59).unwrap(),
+            DateTime::new(d(1970, 1, 1), 0, 0, 0).unwrap(),
+            DateTime::new(d(2016, 5, 16), 11, 59, 59).unwrap(),
+            DateTime::new(d(2016, 5, 16), 12, 0, 0).unwrap(),
+            DateTime::new(d(2016, 5, 17), 0, 0, 0).unwrap(),
+            DateTime::new(d(2016, 6, 1), 0, 0, 0).unwrap(),
+            DateTime::new(d(2017, 1, 1), 0, 0, 0).unwrap(),
+            DateTime::new(d(9999, 12, 31), 23, 59, 59).unwrap(),
+        ];
+        for a in &times {
+            assert!(a.sort_key() > 0, "0 stays free as a sentinel");
+            assert_eq!(DateTime::from_sort_key(a.sort_key()), Some(*a));
+            for b in &times {
+                assert_eq!(a.cmp(b), a.sort_key().cmp(&b.sort_key()), "{a} vs {b}");
+            }
+        }
+        assert_eq!(DateTime::from_sort_key(0), None);
+        assert_eq!(DateTime::from_sort_key(u64::MAX), None);
     }
 
     #[test]

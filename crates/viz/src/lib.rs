@@ -29,6 +29,7 @@ pub mod ascii;
 pub mod axis;
 pub mod color;
 pub mod graphview;
+pub mod histogram;
 pub mod hit;
 pub mod legend;
 pub mod eventchart;

@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release --example serve_cohorts -- [--patients N] [--seed S]
 //!     [--addr HOST:PORT] [--threads T] [--smoke] [--smoke-ingest]
+//!     [--smoke-analytics]
 //! ```
 //!
 //! Default mode binds and serves until killed. `--smoke` instead binds an
@@ -14,7 +15,10 @@
 //! same for the streaming path: one `POST /ingest` delta per source format
 //! for a brand-new patient, a synchronous `POST /compact`, then checks that
 //! the patient is selectable, has a timeline, and that the ingest gauges
-//! read fully drained.
+//! read fully drained. `--smoke-analytics` exercises the materialized-
+//! cohort lifecycle: `POST /cohort`, stats/timeline/SVG reads, an ingest
+//! delta + compact that must turn the handle `410 Gone`, and a successful
+//! re-materialization at the new version.
 
 use pastas_ingest::json::Json;
 use pastas_serve::{client, serve, ServerConfig};
@@ -46,10 +50,11 @@ fn flag(name: &str) -> bool {
 fn main() {
     let smoke = flag("--smoke");
     let smoke_ingest = flag("--smoke-ingest");
+    let smoke_analytics = flag("--smoke-analytics");
+    let any_smoke = smoke || smoke_ingest || smoke_analytics;
     let patients = arg("--patients", 168_000) as usize;
     let seed = arg("--seed", 7);
-    let default_addr =
-        if smoke || smoke_ingest { "127.0.0.1:0" } else { "127.0.0.1:7878" };
+    let default_addr = if any_smoke { "127.0.0.1:0" } else { "127.0.0.1:7878" };
     let addr = arg_str("--addr", default_addr);
 
     eprintln!("Generating {patients} patients (seed {seed}) …");
@@ -66,6 +71,8 @@ fn main() {
     let handle = serve(workbench, config).expect("bind");
     eprintln!("Serving on http://{}", handle.addr());
     eprintln!("  POST /select            body = query text, e.g. has(T90) and age(50..80)");
+    eprintln!("  POST /cohort            body = query text -> frozen cohort handle");
+    eprintln!("  GET  /cohort/c1/stats   ?k=20   (also /cohort/c1/timeline, /cohort/c1.svg)");
     eprintln!("  GET  /cohort.svg        ?w=900&h=500&overview=1");
     eprintln!("  GET  /cohort.txt        ?cols=100&rows=30");
     eprintln!("  GET  /timeline/P0000009");
@@ -73,13 +80,16 @@ fn main() {
     eprintln!("  GET  /details           ?x=450&y=250");
     eprintln!("  GET  /metrics");
 
-    if smoke || smoke_ingest {
+    if any_smoke {
         let mut failures = 0;
         if smoke {
             failures += run_smoke(handle.addr());
         }
         if smoke_ingest {
             failures += run_smoke_ingest(handle.addr());
+        }
+        if smoke_analytics {
+            failures += run_smoke_analytics(handle.addr());
         }
         eprintln!("Shutting down …");
         handle.shutdown();
@@ -324,6 +334,146 @@ fn run_smoke_ingest(addr: std::net::SocketAddr) -> u32 {
             gauge("ingest_queue_depth"),
             gauge("ingest_pending_entries"),
             gauge("compactions_total"),
+        ),
+    );
+    failures
+}
+
+/// Materialize a cohort, read its histograms three ways, invalidate it
+/// with an ingest + compact, and re-materialize at the new version;
+/// return the failed-check count.
+fn run_smoke_analytics(addr: std::net::SocketAddr) -> u32 {
+    let timeout = Duration::from_secs(30);
+    let mut failures = 0u32;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        if ok {
+            eprintln!("  ok   {name}");
+        } else {
+            failures += 1;
+            eprintln!("  FAIL {name}: {detail}");
+        }
+    };
+
+    let mut conn = match client::Conn::connect(addr, timeout) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("  FAIL connect: {e}");
+            return 1;
+        }
+    };
+
+    let id_of = |body: &str| {
+        Json::parse(body)
+            .ok()
+            .and_then(|doc| doc.get("id").and_then(Json::as_str).map(str::to_owned))
+    };
+
+    // Freeze the selection under a handle.
+    let made = conn.post("/cohort", b"has(T90)");
+    let made_body = made.as_ref().map(|r| r.body_str().into_owned()).unwrap_or_default();
+    let id = id_of(&made_body);
+    check(
+        "POST /cohort",
+        made.as_ref().is_ok_and(|r| r.status == 201) && id.is_some(),
+        format!("{made_body:?}"),
+    );
+    let Some(id) = id else { return failures + 1 };
+
+    // The three frozen-cohort reads.
+    let stats = conn.get(&format!("/cohort/{id}/stats?k=10"));
+    check(
+        "GET /cohort/{id}/stats",
+        stats.as_ref().is_ok_and(|r| {
+            r.status == 200
+                && r.body_str().contains("\"age_band\"")
+                && r.body_str().contains("\"icd_chapter\"")
+        }),
+        format!("{:?}", stats.as_ref().map(|r| r.status)),
+    );
+    let timeline = conn.get(&format!("/cohort/{id}/timeline"));
+    check(
+        "GET /cohort/{id}/timeline",
+        timeline
+            .as_ref()
+            .is_ok_and(|r| r.status == 200 && r.body_str().contains("\"months\":[")),
+        format!("{:?}", timeline.as_ref().map(|r| r.status)),
+    );
+    let svg = conn.get(&format!("/cohort/{id}.svg?w=900&h=600"));
+    check(
+        "GET /cohort/{id}.svg",
+        svg.as_ref().is_ok_and(|r| r.status == 200 && r.body_str().contains("<svg")),
+        format!("{:?}", svg.as_ref().map(|r| r.status)),
+    );
+
+    // Publish a new version: the handle must go stale, not silently
+    // answer against the superseded snapshot.
+    let persons = "nin;birth_date;sex\nNIN-0990002;1947-03-02;M\n";
+    let claims =
+        "claim_id;patient;date;provider;icpc;note\nX10;NIN-0990002;04.05.2013;GP;T90;\n";
+    let p = conn.post("/ingest?format=persons", persons.as_bytes());
+    let c = conn.post("/ingest?format=claims", claims.as_bytes());
+    check(
+        "POST /ingest (delta for a new patient)",
+        p.as_ref().is_ok_and(|r| r.status == 202) && c.as_ref().is_ok_and(|r| r.status == 202),
+        format!("{:?} / {:?}", p.as_ref().map(|r| r.status), c.as_ref().map(|r| r.status)),
+    );
+    let compact = conn.post("/compact", b"");
+    check(
+        "POST /compact",
+        compact.as_ref().is_ok_and(|r| r.status == 200),
+        format!("{compact:?}"),
+    );
+    let gone = conn.get(&format!("/cohort/{id}/stats?k=10"));
+    check(
+        "stale handle answers 410 Gone with a re-materialize hint",
+        gone.as_ref().is_ok_and(|r| {
+            r.status == 410
+                && r.body_str().contains("\"query\":\"has(T90)\"")
+                && r.body_str().contains("re-materialize")
+        }),
+        format!("{gone:?}"),
+    );
+
+    // Re-materializing at the new version sees the streamed patient.
+    let remade = conn.post("/cohort", b"has(T90)");
+    let remade_body = remade.as_ref().map(|r| r.body_str().into_owned()).unwrap_or_default();
+    let count_of = |body: &str| {
+        Json::parse(body)
+            .ok()
+            .and_then(|doc| doc.get("count").and_then(Json::as_f64))
+            .map(|v| v as u64)
+    };
+    check(
+        "re-materialize picks up the delta",
+        remade.as_ref().is_ok_and(|r| r.status == 201)
+            && id_of(&remade_body).is_some_and(|fresh| fresh != id)
+            && matches!(
+                (count_of(&made_body), count_of(&remade_body)),
+                (Some(b), Some(a)) if a == b + 1
+            ),
+        format!("was {made_body:?}, now {remade_body:?}"),
+    );
+
+    // The registry gauges made it to /metrics.
+    let metrics = conn.get("/metrics");
+    let doc = metrics
+        .as_ref()
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| Json::parse(&r.body_str()).ok());
+    let gauge = |name: &str| doc.as_ref().and_then(|d| d.get(name).and_then(Json::as_f64));
+    check(
+        "cohort registry gauges",
+        gauge("cohort_registry_size") == Some(1.0)
+            && gauge("cohort_registry_bytes").is_some_and(|v| v > 0.0)
+            && gauge("cohort_materializations_total") == Some(2.0)
+            && gauge("cohort_stale_hits_total") == Some(1.0),
+        format!(
+            "size {:?}, bytes {:?}, materializations {:?}, stale_hits {:?}",
+            gauge("cohort_registry_size"),
+            gauge("cohort_registry_bytes"),
+            gauge("cohort_materializations_total"),
+            gauge("cohort_stale_hits_total"),
         ),
     );
     failures

@@ -53,5 +53,12 @@ stage "serve smoke (loopback)" \
 # least one compaction). Exits non-zero on any failed check.
 stage "ingest smoke (streaming)" \
     cargo run --release --example serve_cohorts -- --smoke-ingest --patients 1500
+# Materialized-cohort smoke: POST /cohort freezes a selection, the three
+# /cohort/{id}/* reads answer over the frozen bitmap, an ingest delta +
+# /compact turns the handle 410 Gone (with a re-materialize hint), and
+# re-materializing at the new version sees the streamed patient. Also
+# asserts the registry gauges on /metrics. Exits non-zero on any failure.
+stage "analytics smoke (cohort registry)" \
+    cargo run --release --example serve_cohorts -- --smoke-analytics --patients 1500
 
 echo "ci: all stages passed" >&2
