@@ -478,6 +478,7 @@ pub fn cohort_monthly(collection: &HistoryCollection, positions: &[u32]) -> Vec<
     let mut out = Vec::new();
     let (mut year, mut month) = first;
     loop {
+        // lint:allow(transitive-no-panic-hot-path) month stays in 1..=12 by the rollover below; day 1 is valid in every month
         let date = Date::new(year, month, 1).expect("month key is valid");
         out.push((date, folded.get(&(year, month)).copied().unwrap_or(0)));
         if (year, month) == last {

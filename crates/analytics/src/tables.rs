@@ -110,6 +110,7 @@ impl Tables {
             .arenas
             .iter()
             .position(|&(k, _)| k == key)
+            // lint:allow(transitive-no-panic-hot-path) Tables::build registers every arena the snapshot's histories point at
             .expect("history's arena is in the tables");
         *hint = idx;
         &self.arenas[idx].1

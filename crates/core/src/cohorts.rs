@@ -156,12 +156,14 @@ impl CohortRegistry {
             && (inner.handles.len() >= self.config.max_handles
                 || inner.bytes + bytes > self.config.max_bytes)
         {
-            let oldest = inner
+            let Some(oldest) = inner
                 .handles
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(id, _)| id.clone())
-                .expect("non-empty");
+            else {
+                break;
+            };
             if let Some(evicted) = inner.handles.remove(&oldest) {
                 inner.bytes -= evicted.handle.bytes();
             }
@@ -181,14 +183,17 @@ impl CohortRegistry {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.tick += 1;
         let tick = inner.tick;
-        let Some(entry) = inner.handles.get_mut(id) else {
+        match inner.handles.get_mut(id) {
+            None => return CohortLookup::Missing,
+            Some(entry) if entry.handle.version == current_version => {
+                entry.last_used = tick;
+                return CohortLookup::Hit(Arc::clone(&entry.handle));
+            }
+            Some(_) => {}
+        }
+        let Some(stale) = inner.handles.remove(id) else {
             return CohortLookup::Missing;
         };
-        if entry.handle.version == current_version {
-            entry.last_used = tick;
-            return CohortLookup::Hit(Arc::clone(&entry.handle));
-        }
-        let stale = inner.handles.remove(id).expect("present");
         inner.bytes -= stale.handle.bytes();
         self.stale_hits.fetch_add(1, Ordering::Relaxed);
         CohortLookup::Stale {

@@ -157,6 +157,7 @@ pub fn parse_delta(
                 registry.register(row.id, row.birth_date, row.sex);
                 let patient = *registry
                     .patient(pastas_model::PatientId(row.id))
+                    // lint:allow(transitive-no-panic-hot-path) register() on the line above inserts this id
                     .expect("just registered");
                 grouped.push(patient, None);
             }

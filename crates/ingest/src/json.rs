@@ -257,6 +257,7 @@ impl Parser<'_> {
                     // Copy one UTF-8 scalar.
                     let s = &self.bytes[self.pos..];
                     let text = std::str::from_utf8(s).map_err(|_| self.err("bad UTF-8"))?;
+                    // lint:allow(transitive-no-panic-hot-path) peek() returned Some, so the slice has at least one byte
                     let ch = text.chars().next().expect("non-empty");
                     out.push(ch);
                     self.pos += ch.len_utf8();

@@ -1,0 +1,236 @@
+//! The committed findings baseline.
+//!
+//! `lint-baseline.json` records, per `(file, rule)`, how many findings
+//! are accepted legacy debt. CI fails on anything beyond the baseline,
+//! so new findings can't ride in on old noise, while burn-down is a
+//! reviewable diff that only ever shrinks the file. The format is a
+//! fixed shape parsed by a tiny hand-rolled scanner (the tool is
+//! dependency-free):
+//!
+//! ```json
+//! {"version": 1, "findings": [
+//!   {"file": "crates/x/src/y.rs", "rule": "lock-order-cycle", "count": 2}
+//! ]}
+//! ```
+
+use crate::rules::{json_str, Finding};
+use std::collections::BTreeMap;
+
+/// Accepted finding counts keyed by `(file, rule)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(file, rule)` → accepted count.
+    pub counts: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Build a baseline accepting exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.path.clone(), f.rule.to_owned())).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Keep only findings beyond the baseline. When a `(file, rule)`
+    /// group exceeds its accepted count, the whole group is reported —
+    /// the accepted ones are context for deciding which is "new".
+    pub fn filter(&self, findings: Vec<Finding>) -> Vec<Finding> {
+        let current = Baseline::from_findings(&findings);
+        findings
+            .into_iter()
+            .filter(|f| {
+                let key = (f.path.clone(), f.rule.to_owned());
+                let seen = current.counts.get(&key).copied().unwrap_or(0);
+                let accepted = self.counts.get(&key).copied().unwrap_or(0);
+                seen > accepted
+            })
+            .collect()
+    }
+
+    /// Serialize to the committed JSON form (sorted, diff-stable).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"version\": 1, \"findings\": [\n");
+        let entries: Vec<String> = self
+            .counts
+            .iter()
+            .map(|((file, rule), count)| {
+                format!(
+                    "  {{\"file\": {}, \"rule\": {}, \"count\": {}}}",
+                    json_str(file),
+                    json_str(rule),
+                    count
+                )
+            })
+            .collect();
+        out.push_str(&entries.join(",\n"));
+        if !entries.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parse [`render`](Baseline::render) output (or anything matching
+    /// the fixed shape). Unknown keys are skipped; a malformed file is an
+    /// error — a silently empty baseline would fail CI on every accepted
+    /// finding, which is noisy but safe, yet better reported up front.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        let mut cur = Scanner { text: text.as_bytes(), pos: 0 };
+        if !text.contains("\"findings\"") {
+            return Err("baseline: missing \"findings\" array".to_owned());
+        }
+        let mut file: Option<String> = None;
+        let mut rule: Option<String> = None;
+        let mut count: Option<usize> = None;
+        let mut expect_value_for: Option<&'static str> = None;
+        while let Some(tok) = cur.next_token() {
+            match tok {
+                Tok::Str(s) => {
+                    if let Some(key) = expect_value_for.take() {
+                        match key {
+                            "file" => file = Some(s),
+                            "rule" => rule = Some(s),
+                            _ => {}
+                        }
+                    } else {
+                        expect_value_for = match s.as_str() {
+                            "file" => Some("file"),
+                            "rule" => Some("rule"),
+                            "count" => Some("count"),
+                            _ => None,
+                        };
+                    }
+                }
+                Tok::Num(n) => {
+                    if expect_value_for.take() == Some("count") {
+                        count = Some(n);
+                    }
+                }
+                Tok::ObjClose => {
+                    if let (Some(f), Some(r), Some(c)) =
+                        (file.take(), rule.take(), count.take())
+                    {
+                        counts.insert((f, r), c);
+                    }
+                }
+            }
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+enum Tok {
+    Str(String),
+    Num(usize),
+    ObjClose,
+}
+
+struct Scanner<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl Scanner<'_> {
+    fn next_token(&mut self) -> Option<Tok> {
+        while self.pos < self.text.len() {
+            let b = self.text[self.pos];
+            self.pos += 1;
+            match b {
+                b'"' => {
+                    let mut s = String::new();
+                    while self.pos < self.text.len() {
+                        let c = self.text[self.pos];
+                        self.pos += 1;
+                        match c {
+                            b'"' => break,
+                            b'\\' => {
+                                if self.pos < self.text.len() {
+                                    let e = self.text[self.pos];
+                                    self.pos += 1;
+                                    s.push(match e {
+                                        b'n' => '\n',
+                                        b't' => '\t',
+                                        other => other as char,
+                                    });
+                                }
+                            }
+                            c => s.push(c as char),
+                        }
+                    }
+                    return Some(Tok::Str(s));
+                }
+                b'0'..=b'9' => {
+                    let mut n = (b - b'0') as usize;
+                    while self.pos < self.text.len()
+                        && self.text[self.pos].is_ascii_digit()
+                    {
+                        n = n.saturating_mul(10)
+                            + (self.text[self.pos] - b'0') as usize;
+                        self.pos += 1;
+                    }
+                    return Some(Tok::Num(n));
+                }
+                b'}' => return Some(Tok::ObjClose),
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, rule: &'static str, line: u32) -> Finding {
+        Finding { path: path.to_owned(), line, col: 1, rule, message: "m".to_owned() }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let fs = vec![
+            finding("a.rs", "lock-order-cycle", 1),
+            finding("a.rs", "lock-order-cycle", 9),
+            finding("b.rs", "no-unwrap-on-lock", 2),
+        ];
+        let base = Baseline::from_findings(&fs);
+        let parsed = Baseline::parse(&base.render()).expect("parses");
+        assert_eq!(base, parsed);
+        assert_eq!(
+            parsed.counts[&("a.rs".to_owned(), "lock-order-cycle".to_owned())],
+            2
+        );
+    }
+
+    #[test]
+    fn filter_reports_only_groups_over_baseline() {
+        let accepted = vec![finding("a.rs", "lock-order-cycle", 1)];
+        let base = Baseline::from_findings(&accepted);
+        // Same count: silent.
+        assert!(base.filter(vec![finding("a.rs", "lock-order-cycle", 5)]).is_empty());
+        // One more in the group: the whole group is reported.
+        let now = vec![
+            finding("a.rs", "lock-order-cycle", 5),
+            finding("a.rs", "lock-order-cycle", 6),
+        ];
+        assert_eq!(base.filter(now).len(), 2);
+        // A different rule is not covered.
+        assert_eq!(base.filter(vec![finding("a.rs", "no-unwrap-on-lock", 5)]).len(), 1);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("not json at all").is_err());
+    }
+
+    #[test]
+    fn empty_baseline_renders_and_parses() {
+        let base = Baseline::default();
+        let parsed = Baseline::parse(&base.render()).expect("parses");
+        assert!(parsed.counts.is_empty());
+    }
+}

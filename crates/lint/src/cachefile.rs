@@ -1,0 +1,261 @@
+//! The file-hash-keyed incremental cache.
+//!
+//! Per-file analysis (lex → token rules → parse → summarize) dominates a
+//! workspace run, and almost every file is unchanged between runs. The
+//! cache stores, per file keyed by an FNV-1a hash of its bytes: the
+//! post-suppression token-level findings, the reasoned suppression
+//! records, and the flow summaries. A warm run re-reads and re-hashes
+//! each file (cheap), reuses every matching record, and re-runs only the
+//! interprocedural pass — which must always run, because a one-file edit
+//! can change cross-file verdicts.
+//!
+//! The header pins a format revision and a fingerprint of the rule
+//! catalog; any mismatch (or any malformed record) silently discards the
+//! cache — a cold run is always correct.
+//!
+//! Format: line-oriented, tab-separated, `\`-escaped. A `=` line opens a
+//! file section; `f` lines are findings, `s` lines suppression records,
+//! and `F/A/C/B/P/V` lines are flow-summary records (see
+//! [`flow::encode_summaries`](crate::flow::encode_summaries)).
+
+use crate::flow::{self, FnSummary};
+use crate::rules::{rule_id, Finding, SuppressionRecord, RULES};
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+/// Bump when the cached record semantics change in a way the rule
+/// fingerprint does not capture (e.g. summary walker fixes).
+const FORMAT_REV: u32 = 1;
+
+/// FNV-1a 64-bit.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn rules_fingerprint() -> u64 {
+    let mut all = String::new();
+    for (id, desc) in RULES {
+        all.push_str(id);
+        all.push('\x1f');
+        all.push_str(desc);
+        all.push('\x1e');
+    }
+    fnv1a(all.as_bytes())
+}
+
+/// One file's cached analysis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CachedFile {
+    /// FNV-1a of the file bytes (plus the per-crate proptests flag).
+    pub hash: u64,
+    /// Post-suppression token-level findings.
+    pub findings: Vec<Finding>,
+    /// Reasoned suppressions (for filtering flow findings).
+    pub supps: Vec<SuppressionRecord>,
+    /// Flow summaries for the interprocedural pass.
+    pub summaries: Vec<FnSummary>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Serialize the whole cache.
+pub fn render(entries: &HashMap<String, CachedFile>) -> String {
+    let mut out = format!("pastas-lint-cache\t{FORMAT_REV}\t{:016x}\n", rules_fingerprint());
+    let mut paths: Vec<&String> = entries.keys().collect();
+    paths.sort();
+    for path in paths {
+        let e = &entries[path];
+        out.push_str(&format!("=\t{}\t{:016x}\n", esc(path), e.hash));
+        for f in &e.findings {
+            out.push_str(&format!(
+                "f\t{}\t{}\t{}\t{}\n",
+                f.line,
+                f.col,
+                f.rule,
+                esc(&f.message)
+            ));
+        }
+        for s in &e.supps {
+            out.push_str(&format!(
+                "s\t{}\t{}\t{}\n",
+                s.line,
+                u8::from(s.file_wide),
+                esc(&s.rules.join(","))
+            ));
+        }
+        out.push_str(&flow::encode_summaries(&e.summaries));
+    }
+    out
+}
+
+/// Parse a cache file's text. Returns `None` when the header does not
+/// match the current engine (format revision or rule catalog changed).
+pub fn parse(text: &str) -> Option<HashMap<String, CachedFile>> {
+    let mut lines = text.lines();
+    let header: Vec<&str> = lines.next()?.split('\t').collect();
+    if header.len() != 3
+        || header[0] != "pastas-lint-cache"
+        || header[1] != FORMAT_REV.to_string()
+        || header[2] != format!("{:016x}", rules_fingerprint())
+    {
+        return None;
+    }
+    let mut out: HashMap<String, CachedFile> = HashMap::new();
+    let mut current: Option<String> = None;
+    let mut summary_buf = String::new();
+    let flush = |out: &mut HashMap<String, CachedFile>,
+                 current: &Option<String>,
+                 summary_buf: &mut String| {
+        if let Some(path) = current {
+            if let Some(e) = out.get_mut(path) {
+                e.summaries = flow::decode_summaries(summary_buf);
+            }
+        }
+        summary_buf.clear();
+    };
+    for line in lines {
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.first().copied() {
+            Some("=") if fields.len() == 3 => {
+                flush(&mut out, &current, &mut summary_buf);
+                let path = unesc(fields[1]);
+                let hash = u64::from_str_radix(fields[2], 16).unwrap_or(0);
+                out.insert(path.clone(), CachedFile { hash, ..CachedFile::default() });
+                current = Some(path);
+            }
+            Some("f") if fields.len() == 5 => {
+                if let Some(e) = current.as_ref().and_then(|p| out.get_mut(p)) {
+                    e.findings.push(Finding {
+                        path: current.clone().unwrap_or_default(),
+                        line: fields[1].parse().unwrap_or(0),
+                        col: fields[2].parse().unwrap_or(0),
+                        rule: rule_id(fields[3]),
+                        message: unesc(fields[4]),
+                    });
+                }
+            }
+            Some("s") if fields.len() == 4 => {
+                if let Some(e) = current.as_ref().and_then(|p| out.get_mut(p)) {
+                    let rules = unesc(fields[3]);
+                    e.supps.push(SuppressionRecord {
+                        line: fields[1].parse().unwrap_or(0),
+                        file_wide: fields[2] == "1",
+                        rules: if rules.is_empty() {
+                            Vec::new()
+                        } else {
+                            rules.split(',').map(str::to_owned).collect()
+                        },
+                    });
+                }
+            }
+            _ => {
+                summary_buf.push_str(line);
+                summary_buf.push('\n');
+            }
+        }
+    }
+    flush(&mut out, &current, &mut summary_buf);
+    Some(out)
+}
+
+/// Load a cache from disk; any problem yields an empty cache.
+pub fn load(path: &Path) -> HashMap<String, CachedFile> {
+    fs::read_to_string(path)
+        .ok()
+        .and_then(|text| parse(&text))
+        .unwrap_or_default()
+}
+
+/// Persist the cache; failures are ignored (the cache is advisory).
+pub fn store(path: &Path, entries: &HashMap<String, CachedFile>) {
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    let _ = fs::write(path, render(entries));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let mut entries = HashMap::new();
+        entries.insert(
+            "crates/serve/src/x.rs".to_owned(),
+            CachedFile {
+                hash: 0xdead_beef,
+                findings: vec![Finding {
+                    path: "crates/serve/src/x.rs".to_owned(),
+                    line: 4,
+                    col: 2,
+                    rule: "no-unwrap-on-lock",
+                    message: "tabs\tand\nnewlines".to_owned(),
+                }],
+                supps: vec![crate::rules::SuppressionRecord {
+                    line: 9,
+                    file_wide: true,
+                    rules: vec!["lock-order-cycle".to_owned()],
+                }],
+                summaries: vec![FnSummary {
+                    crate_name: "serve".to_owned(),
+                    file: "crates/serve/src/x.rs".to_owned(),
+                    name: "f".to_owned(),
+                    line: 1,
+                    ..FnSummary::default()
+                }],
+            },
+        );
+        let parsed = parse(&render(&entries)).expect("header matches");
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn stale_header_discards_the_cache() {
+        let text = "pastas-lint-cache\t0\t0000000000000000\n=\ta.rs\t00000000000000aa\n";
+        assert!(parse(text).is_none());
+        assert!(parse("").is_none());
+        assert!(parse("garbage").is_none());
+    }
+}

@@ -24,8 +24,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod cachefile;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
 pub mod workspace;
 
 #[cfg(test)]
@@ -33,4 +39,7 @@ mod proptests;
 
 pub use lexer::{lex, Token, TokenKind};
 pub use rules::{check_file, CheckOptions, Finding, RULES};
-pub use workspace::{check_workspace, find_workspace_root};
+pub use workspace::{
+    analyze_sources, check_workspace, check_workspace_with, find_workspace_root,
+    WorkspaceOptions,
+};

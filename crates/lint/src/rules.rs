@@ -51,7 +51,7 @@ impl Finding {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -108,6 +108,31 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     ("pub-fn-docs", "pub fn in a crate root (lib.rs) must carry a doc comment"),
     ("suppression-needs-reason", "lint:allow must state a reason after the rule list"),
+    (
+        "no-unwrap-on-lock",
+        "forbid .lock()/.read()/.write() followed by .unwrap() in non-test code; recover \
+         from poisoning with .unwrap_or_else(|e| e.into_inner())",
+    ),
+    (
+        "lock-order-cycle",
+        "flow: two locks acquired in opposite orders along any call paths — a potential \
+         deadlock; both acquisition paths are reported",
+    ),
+    (
+        "blocking-call-under-lock",
+        "flow: join/recv/sleep/blocking I/O reachable (transitively) while a lock guard \
+         is live — stalls every thread contending on that lock",
+    ),
+    (
+        "transitive-no-panic-hot-path",
+        "flow: unwrap/expect/panic! reachable through the call graph from route(), the \
+         plan executor, or the profile roots, in crates the token rule does not cover",
+    ),
+    (
+        "guard-held-across-snapshot-publish",
+        "flow: a lock guard is live across a snapshot publication (Arc swap) site — \
+         publication must be the only thing the writer lock serializes",
+    ),
 ];
 
 const HOT_PATH_CRATES: &[&str] = &["serve", "par", "query"];
@@ -132,6 +157,27 @@ struct Suppression {
     file_wide: bool,
     line: u32,
     col: u32,
+}
+
+/// One reasoned suppression, in the owned form the flow pipeline (and the
+/// incremental cache) carries around per file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressionRecord {
+    /// 1-based line of the `lint:allow` comment.
+    pub line: u32,
+    /// True for `lint:allow-file` (silences the rule file-wide).
+    pub file_wide: bool,
+    /// The rule ids the suppression names.
+    pub rules: Vec<String>,
+}
+
+impl SuppressionRecord {
+    /// Does this record silence `rule` for a finding at `line`? A
+    /// line-scoped allow covers its own line and the line below.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rules.iter().any(|r| r == rule)
+            && (self.file_wide || self.line == line || self.line + 1 == line)
+    }
 }
 
 /// Everything a rule can see about one file.
@@ -199,16 +245,31 @@ impl<'a> FileContext<'a> {
         ctx
     }
 
-    fn sig_token(&self, p: usize) -> &Token {
+    pub(crate) fn sig_token(&self, p: usize) -> &Token {
         &self.tokens[self.sig[p]]
     }
 
-    fn sig_text(&self, p: usize) -> &str {
+    pub(crate) fn sig_text(&self, p: usize) -> &str {
         self.sig_token(p).text(self.src)
     }
 
-    fn sig_is_test(&self, p: usize) -> bool {
+    pub(crate) fn sig_is_test(&self, p: usize) -> bool {
         self.test_mask[self.sig[p]]
+    }
+
+    /// The file's reasoned suppressions as `(line, file_wide, rules)`
+    /// records, so the flow pipeline (whose interprocedural findings are
+    /// produced after per-file analysis) can honor them too.
+    pub fn suppression_records(&self) -> Vec<SuppressionRecord> {
+        self.suppressions
+            .iter()
+            .filter(|s| s.has_reason)
+            .map(|s| SuppressionRecord {
+                line: s.line,
+                file_wide: s.file_wide,
+                rules: s.rules.clone(),
+            })
+            .collect()
     }
 
     fn in_crate(&self, list: &[&str]) -> bool {
@@ -689,6 +750,47 @@ fn budget_alloc_query_decode_loops(ctx: &FileContext<'_>, out: &mut Vec<Finding>
     }
 }
 
+/// `.lock()`/`.read()`/`.write()` immediately followed by `.unwrap()`:
+/// a poisoned lock (some other thread panicked while holding it) takes
+/// this thread down too. The repo-wide idiom is
+/// `.unwrap_or_else(|e| e.into_inner())` — the protected data is still
+/// there, and the `/__fault/cache-poison` path proves recovery works.
+fn rule_no_unwrap_on_lock(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for p in 0..ctx.sig.len() {
+        if ctx.sig_is_test(p) {
+            continue;
+        }
+        let text = ctx.sig_text(p);
+        if !matches!(text, "lock" | "read" | "write") {
+            continue;
+        }
+        // `.lock() . unwrap (` — the acquisition must be a no-arg method
+        // call (a guard), and unwrap must be chained directly onto it.
+        let after_dot = p > 0 && ctx.sig_token(p - 1).is_punct(ctx.src, '.');
+        let acquires = after_dot
+            && p + 2 < ctx.sig.len()
+            && ctx.sig_token(p + 1).is_punct(ctx.src, '(')
+            && ctx.sig_token(p + 2).is_punct(ctx.src, ')');
+        if !acquires {
+            continue;
+        }
+        let unwraps = p + 5 < ctx.sig.len()
+            && ctx.sig_token(p + 3).is_punct(ctx.src, '.')
+            && ctx.sig_token(p + 4).is_ident(ctx.src, "unwrap")
+            && ctx.sig_token(p + 5).is_punct(ctx.src, '(');
+        if unwraps {
+            out.push(ctx.finding(
+                ctx.sig_token(p + 4),
+                "no-unwrap-on-lock",
+                format!(
+                    "`.{text}().unwrap()` dies on a poisoned lock; recover the data with \
+                     `.unwrap_or_else(|e| e.into_inner())`"
+                ),
+            ));
+        }
+    }
+}
+
 fn rule_test_file_hygiene(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     if ctx.whole_file_test || ctx.crate_name.is_none() || !ctx.path.contains("/src/") {
         return;
@@ -804,16 +906,24 @@ fn has_doc_before(ctx: &FileContext<'_>, p: usize) -> bool {
 /// Run every applicable rule over one file and apply suppressions.
 pub fn check_file(path: &str, src: &str, options: CheckOptions) -> Vec<Finding> {
     let ctx = FileContext::new(path, src, options);
+    check_file_ctx(&ctx)
+}
+
+/// Same as [`check_file`] over an already-built context, so callers that
+/// also parse the file (the flow pipeline) lex only once.
+pub fn check_file_ctx(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let path = ctx.path;
     let mut raw = Vec::new();
-    rule_no_panic_hot_path(&ctx, &mut raw);
-    rule_no_wallclock(&ctx, &mut raw);
-    rule_no_unbounded_channel(&ctx, &mut raw);
-    rule_no_unbounded_ingest_buffer(&ctx, &mut raw);
-    rule_lock_across_submit(&ctx, &mut raw);
-    rule_no_silent_truncation(&ctx, &mut raw);
-    rule_budget_enforced_alloc(&ctx, &mut raw);
-    rule_test_file_hygiene(&ctx, &mut raw);
-    rule_pub_fn_docs(&ctx, &mut raw);
+    rule_no_panic_hot_path(ctx, &mut raw);
+    rule_no_wallclock(ctx, &mut raw);
+    rule_no_unbounded_channel(ctx, &mut raw);
+    rule_no_unbounded_ingest_buffer(ctx, &mut raw);
+    rule_lock_across_submit(ctx, &mut raw);
+    rule_no_silent_truncation(ctx, &mut raw);
+    rule_budget_enforced_alloc(ctx, &mut raw);
+    rule_no_unwrap_on_lock(ctx, &mut raw);
+    rule_test_file_hygiene(ctx, &mut raw);
+    rule_pub_fn_docs(ctx, &mut raw);
 
     // Suppression pass. A line-scoped `lint:allow` covers findings on its
     // own line and the line below (comment-above style).
@@ -864,6 +974,6 @@ pub fn check_file(path: &str, src: &str, options: CheckOptions) -> Vec<Finding> 
 }
 
 /// Map a user-supplied rule name to the interned static id.
-fn rule_id(name: &str) -> &'static str {
+pub(crate) fn rule_id(name: &str) -> &'static str {
     RULES.iter().map(|(id, _)| *id).find(|id| *id == name).unwrap_or("unknown")
 }

@@ -1,0 +1,78 @@
+//! SARIF 2.1.0 output.
+//!
+//! The minimal static-analysis interchange shape: one run, one tool
+//! driver carrying the rule catalog, one result per finding with a
+//! physical location. Hand-serialized like the JSON mode — the tool is
+//! dependency-free — and consumed by code-review UIs that ingest SARIF.
+
+use crate::rules::{json_str, Finding, RULES};
+
+/// Render findings as a SARIF 2.1.0 log (pretty enough to diff).
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"version\": \"2.1.0\",\n");
+    out.push_str(
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n",
+    );
+    out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"pastas-lint\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            json_str(id),
+            json_str(desc),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": \
+             {}}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": {}}}, \"region\": {{\"startLine\": {}, \"startColumn\": \
+             {}}}}}}}]}}{}\n",
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(&f.path),
+            f.line,
+            f.col,
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_carries_rules_and_results() {
+        let f = Finding {
+            path: "crates/serve/src/x.rs".to_owned(),
+            line: 3,
+            col: 7,
+            rule: "lock-order-cycle",
+            message: "cycle \"a\" -> b".to_owned(),
+        };
+        let s = render(&[f]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"pastas-lint\""));
+        assert!(s.contains("\"ruleId\": \"lock-order-cycle\""));
+        assert!(s.contains("\"startLine\": 3"));
+        assert!(s.contains("cycle \\\"a\\\" -> b"), "message is escaped");
+        // Every rule id appears in the driver catalog.
+        for (id, _) in RULES {
+            assert!(s.contains(&format!("\"id\": \"{id}\"")), "{id}");
+        }
+    }
+
+    #[test]
+    fn empty_findings_render_an_empty_results_array() {
+        let s = render(&[]);
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+}

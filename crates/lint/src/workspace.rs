@@ -1,11 +1,21 @@
-//! Workspace discovery and the whole-tree check.
+//! Workspace discovery and the whole-tree analysis pipeline.
 //!
 //! `--workspace` walks every `crates/*/src/**/*.rs` file (vendor stubs
-//! and `target/` excluded), computes per-crate context (does the crate
-//! ship a `src/proptests.rs`?), and concatenates per-file findings in
-//! path order so output — and the JSON mode — is deterministic.
+//! and `target/` excluded), then runs the per-file pass — lex, token
+//! rules, parse, flow summaries — in parallel via `pastas_par`, with an
+//! optional file-hash-keyed incremental cache ([`cachefile`](crate::cachefile))
+//! so warm runs skip everything but hashing. The interprocedural pass
+//! ([`flow::interprocedural`](crate::flow::interprocedural)) always runs
+//! over the merged summaries — a one-file edit can change a cross-file
+//! verdict — and its findings are filtered through the per-file
+//! suppression records before being merged, in path order, with the
+//! token-level findings.
 
-use crate::rules::{check_file, CheckOptions, Finding};
+use crate::cachefile::{self, CachedFile};
+use crate::flow::{self, FnSummary};
+use crate::parse;
+use crate::rules::{check_file_ctx, CheckOptions, FileContext, Finding, SuppressionRecord};
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -39,6 +49,93 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// One file's complete per-file analysis.
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Post-suppression token-level findings.
+    pub findings: Vec<Finding>,
+    /// Reasoned suppressions (applied to flow findings later).
+    pub supps: Vec<SuppressionRecord>,
+    /// Flow summaries for the interprocedural pass.
+    pub summaries: Vec<FnSummary>,
+}
+
+/// Lex, token-check, parse, and summarize one file.
+pub fn analyze_source(path: &str, src: &str, options: CheckOptions) -> FileAnalysis {
+    let ctx = FileContext::new(path, src, options);
+    let findings = check_file_ctx(&ctx);
+    let ast = parse::parse_file(&ctx);
+    let summaries = flow::summarize(&ctx, &ast);
+    FileAnalysis {
+        path: path.to_owned(),
+        findings,
+        supps: ctx.suppression_records(),
+        summaries,
+    }
+}
+
+/// Merge per-file analyses: run the interprocedural pass (when `flow_on`),
+/// filter its findings through each file's suppressions, and sort.
+pub fn merge_analyses(analyses: Vec<FileAnalysis>, flow_on: bool) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = Vec::new();
+    if flow_on {
+        let supp_by_file: HashMap<&str, &[SuppressionRecord]> = analyses
+            .iter()
+            .map(|a| (a.path.as_str(), a.supps.as_slice()))
+            .collect();
+        let all: Vec<FnSummary> =
+            analyses.iter().flat_map(|a| a.summaries.iter().cloned()).collect();
+        for f in flow::interprocedural(&all) {
+            let suppressed = supp_by_file
+                .get(f.path.as_str())
+                .is_some_and(|s| s.iter().any(|r| r.covers(f.rule, f.line)));
+            if !suppressed {
+                findings.push(f);
+            }
+        }
+    }
+    for a in &analyses {
+        findings.extend(a.findings.iter().cloned());
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+    });
+    findings
+}
+
+/// Analyze a set of in-memory sources — the pure-function core of the
+/// pipeline, used by the golden and differential tests.
+pub fn analyze_sources(
+    inputs: &[(String, String, CheckOptions)],
+    flow_on: bool,
+) -> Vec<Finding> {
+    let analyses =
+        pastas_par::par_map(inputs, |(path, src, options)| analyze_source(path, src, *options));
+    merge_analyses(analyses, flow_on)
+}
+
+/// Knobs for the whole-workspace run.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceOptions {
+    /// Incremental cache location; `None` disables caching.
+    pub cache_path: Option<PathBuf>,
+    /// Run the interprocedural flow rules (on for the CLI; the
+    /// differential tests turn it off to compare token-level behaviour).
+    pub flow: bool,
+}
+
+impl WorkspaceOptions {
+    /// The CLI default: flow on, cache under `target/`.
+    pub fn standard(root: &Path) -> WorkspaceOptions {
+        WorkspaceOptions {
+            cache_path: Some(root.join("target").join("pastas-lint.cache")),
+            flow: true,
+        }
+    }
+}
+
 /// Check one file on disk. `root` is the workspace root used to derive
 /// the path shown in diagnostics and the crate scoping.
 pub fn check_path(root: &Path, file: &Path, options: CheckOptions) -> Vec<Finding> {
@@ -59,21 +156,16 @@ pub fn check_path(root: &Path, file: &Path, options: CheckOptions) -> Vec<Findin
         }];
     };
     let src = String::from_utf8_lossy(&bytes);
-    check_file(&rel, &src, options)
+    crate::rules::check_file(&rel, &src, options)
 }
 
-/// Check every `crates/*/src/**/*.rs` under `root`. Findings come back in
-/// path order, then line order.
-pub fn check_workspace(root: &Path) -> Vec<Finding> {
+fn workspace_inputs(root: &Path) -> Vec<(String, String, CheckOptions)> {
     let crates_dir = root.join("crates");
     let Ok(entries) = fs::read_dir(&crates_dir) else { return Vec::new() };
-    let mut crate_dirs: Vec<PathBuf> = entries
-        .flatten()
-        .map(|e| e.path())
-        .filter(|p| p.is_dir())
-        .collect();
+    let mut crate_dirs: Vec<PathBuf> =
+        entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect();
     crate_dirs.sort();
-    let mut findings = Vec::new();
+    let mut inputs = Vec::new();
     for crate_dir in crate_dirs {
         let src_dir = crate_dir.join("src");
         let options =
@@ -81,10 +173,68 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
         let mut files = Vec::new();
         rust_files(&src_dir, &mut files);
         for file in files {
-            findings.extend(check_path(root, &file, options));
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let Ok(bytes) = fs::read(&file) else { continue };
+            inputs.push((rel, String::from_utf8_lossy(&bytes).into_owned(), options));
         }
     }
-    findings
+    inputs
+}
+
+/// Check every `crates/*/src/**/*.rs` under `root` with explicit options.
+/// Findings come back in path order, then line order.
+pub fn check_workspace_with(root: &Path, opts: &WorkspaceOptions) -> Vec<Finding> {
+    let inputs = workspace_inputs(root);
+    let cache: HashMap<String, CachedFile> =
+        opts.cache_path.as_deref().map(cachefile::load).unwrap_or_default();
+    let analyses: Vec<(FileAnalysis, u64)> =
+        pastas_par::par_map(&inputs, |(rel, src, options)| {
+            // The proptests flag changes findings, so it keys the hash too.
+            let hash = cachefile::fnv1a(src.as_bytes())
+                ^ (u64::from(options.crate_has_proptests) << 63);
+            if let Some(e) = cache.get(rel) {
+                if e.hash == hash {
+                    return (
+                        FileAnalysis {
+                            path: rel.clone(),
+                            findings: e.findings.clone(),
+                            supps: e.supps.clone(),
+                            summaries: e.summaries.clone(),
+                        },
+                        hash,
+                    );
+                }
+            }
+            (analyze_source(rel, src, *options), hash)
+        });
+    if let Some(cache_path) = &opts.cache_path {
+        let entries: HashMap<String, CachedFile> = analyses
+            .iter()
+            .map(|(a, hash)| {
+                (
+                    a.path.clone(),
+                    CachedFile {
+                        hash: *hash,
+                        findings: a.findings.clone(),
+                        supps: a.supps.clone(),
+                        summaries: a.summaries.clone(),
+                    },
+                )
+            })
+            .collect();
+        cachefile::store(cache_path, &entries);
+    }
+    merge_analyses(analyses.into_iter().map(|(a, _)| a).collect(), opts.flow)
+}
+
+/// Check the whole workspace with flow rules on and no cache — the
+/// conservative entry point used by tests and library callers.
+pub fn check_workspace(root: &Path) -> Vec<Finding> {
+    check_workspace_with(root, &WorkspaceOptions { cache_path: None, flow: true })
 }
 
 #[cfg(test)]
@@ -107,5 +257,40 @@ mod tests {
         rust_files(&root.join("crates"), &mut files);
         assert!(files.len() > 50, "found {} files", files.len());
         assert!(files.windows(2).all(|w| w[0] <= w[1]), "sorted walk");
+    }
+
+    #[test]
+    fn analyze_sources_flow_toggle() {
+        let src = "fn f(a: &Q, b: &Q) { let g = a.m.lock(); b.n.lock(); drop(g); }\n\
+                   fn g(a: &Q, b: &Q) { let g = b.n.lock(); a.m.lock(); drop(g); }\n";
+        let inputs =
+            vec![("crates/core/src/t.rs".to_owned(), src.to_owned(), CheckOptions::default())];
+        let with_flow = analyze_sources(&inputs, true);
+        let without = analyze_sources(&inputs, false);
+        assert!(with_flow.iter().any(|f| f.rule == "lock-order-cycle"));
+        assert!(!without.iter().any(|f| f.rule == "lock-order-cycle"));
+    }
+
+    #[test]
+    fn flow_findings_respect_suppressions() {
+        let src = "fn f(a: &Q, b: &Q) {\n\
+                   let g = a.m.lock();\n\
+                   // lint:allow(lock-order-cycle) fixture: order is documented\n\
+                   b.n.lock();\n\
+                   drop(g);\n\
+                   }\n\
+                   fn g(a: &Q, b: &Q) {\n\
+                   let g = b.n.lock();\n\
+                   // lint:allow(lock-order-cycle) fixture: order is documented\n\
+                   a.m.lock();\n\
+                   drop(g);\n\
+                   }\n";
+        let inputs =
+            vec![("crates/core/src/t.rs".to_owned(), src.to_owned(), CheckOptions::default())];
+        let findings = analyze_sources(&inputs, true);
+        assert!(
+            !findings.iter().any(|f| f.rule == "lock-order-cycle"),
+            "{findings:?}"
+        );
     }
 }

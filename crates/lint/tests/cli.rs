@@ -34,6 +34,11 @@ fn list_rules_names_every_rule() {
         "test-file-hygiene",
         "pub-fn-docs",
         "suppression-needs-reason",
+        "no-unwrap-on-lock",
+        "lock-order-cycle",
+        "blocking-call-under-lock",
+        "transitive-no-panic-hot-path",
+        "guard-held-across-snapshot-publish",
     ] {
         assert!(text.contains(rule), "--list-rules is missing {rule}:\n{text}");
     }
@@ -73,6 +78,73 @@ fn findings_exit_nonzero_with_exact_positions() {
     assert!(json.contains("\"line\":2"), "{json}");
     assert!(json.contains("\"col\":16"), "{json}");
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A throwaway mini-workspace with one AB/BA deadlock split across two
+/// functions — only the flow pass can see it.
+fn deadlock_workspace(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("pastas-lint-cli-{tag}-{}", std::process::id()));
+    let src_dir = dir.join("crates").join("core").join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir mini-workspace");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    let bad = "pub fn forward(q: &Queues) { let g = q.a.lock(); q.b.lock(); drop(g); }\n\
+               pub fn backward(q: &Queues) { let g = q.b.lock(); q.a.lock(); drop(g); }\n";
+    std::fs::write(src_dir.join("locks.rs"), bad).expect("write locks.rs");
+    dir
+}
+
+#[test]
+fn sarif_output_carries_rules_and_locations() {
+    let dir = deadlock_workspace("sarif");
+    let out = lint()
+        .current_dir(&dir)
+        .args(["--workspace", "--no-cache", "--format=sarif"])
+        .output()
+        .expect("run pastas-lint sarif");
+    let sarif = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{sarif}");
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"name\": \"pastas-lint\""), "{sarif}");
+    assert!(sarif.contains("\"ruleId\": \"lock-order-cycle\""), "{sarif}");
+    assert!(sarif.contains("crates/core/src/locks.rs"), "{sarif}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn baseline_accepts_recorded_findings_and_catches_new_ones() {
+    let dir = deadlock_workspace("baseline");
+    // Record the deadlock as accepted debt.
+    let out = lint()
+        .current_dir(&dir)
+        .args(["--workspace", "--no-cache", "--write-baseline=lint-baseline.json"])
+        .output()
+        .expect("write baseline");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    // Against the baseline the workspace is clean.
+    let out = lint()
+        .current_dir(&dir)
+        .args(["--workspace", "--no-cache", "--baseline=lint-baseline.json"])
+        .output()
+        .expect("lint against baseline");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    // A new finding in the same workspace still fails.
+    let src_dir = dir.join("crates").join("core").join("src");
+    std::fs::write(
+        src_dir.join("fresh.rs"),
+        "pub fn fresh(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }\n",
+    )
+    .expect("write fresh.rs");
+    let out = lint()
+        .current_dir(&dir)
+        .args(["--workspace", "--no-cache", "--baseline=lint-baseline.json"])
+        .output()
+        .expect("lint with new finding");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{text}");
+    assert!(text.contains("no-unwrap-on-lock"), "{text}");
+    assert!(!text.contains("lock-order-cycle"), "baselined finding resurfaced: {text}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,20 @@
+// lint-fixture-path: crates/core/src/flow_blocking.rs
+//! Fixture: a channel `recv()` that blocks in a helper while the caller
+//! still holds a lock.
+
+pub fn drain(q: &Work) {
+    let guard = q.state.lock();
+    wait_for_item(q);
+    drop(guard);
+}
+
+fn wait_for_item(q: &Work) {
+    let _item = q.rx.recv();
+}
+
+/// Same helper with the guard dropped first: no finding.
+pub fn drain_politely(q: &Work) {
+    let guard = q.state.lock();
+    drop(guard);
+    wait_for_item(q);
+}

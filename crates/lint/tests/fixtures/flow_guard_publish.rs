@@ -1,0 +1,18 @@
+// lint-fixture-path: crates/core/src/flow_publish.rs
+//! Fixture: a guard held across a snapshot publication that happens in a
+//! callee (`install` deref-assigns through the `current` lock).
+
+pub fn swap_in(state: &Shared, next: u64) {
+    let guard = state.writer.lock();
+    install(state, next);
+    drop(guard);
+}
+
+fn install(state: &Shared, next: u64) {
+    *state.current.write() = next;
+}
+
+/// Publishing with no guard live: no finding.
+pub fn swap_unlocked(state: &Shared, next: u64) {
+    install(state, next);
+}

@@ -1,0 +1,19 @@
+// lint-fixture-path: crates/core/src/flow_cycle.rs
+//! Fixture: an AB/BA deadlock where one leg of the cycle only exists
+//! through a call — `forward` holds `a` while a helper takes `b`.
+
+pub fn forward(q: &Queues) {
+    let g = q.a.lock();
+    take_b(q);
+    drop(g);
+}
+
+fn take_b(q: &Queues) {
+    let _g = q.b.lock();
+}
+
+pub fn backward(q: &Queues) {
+    let g = q.b.lock();
+    let _h = q.a.lock();
+    drop(g);
+}

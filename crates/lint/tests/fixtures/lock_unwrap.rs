@@ -1,0 +1,25 @@
+// lint-fixture-path: crates/core/src/lock_unwrap.rs
+//! Fixture: `.lock().unwrap()` forfeits poisoned-lock recovery.
+
+pub fn bump(counter: &Mutex<u64>) -> u64 {
+    let mut guard = counter.lock().unwrap();
+    *guard += 1;
+    *guard
+}
+
+pub fn read_side(gauge: &RwLock<u64>) -> u64 {
+    *gauge.read().unwrap()
+}
+
+pub fn recovers(counter: &Mutex<u64>) -> u64 {
+    let guard = counter.lock().unwrap_or_else(|e| e.into_inner());
+    *guard
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let _ = std::sync::Mutex::new(0u32).lock().unwrap();
+    }
+}

@@ -12,6 +12,7 @@
 //! `BLESS=1 cargo test -p pastas-lint --test golden`.
 
 use pastas_lint::rules::{check_file, CheckOptions, Finding};
+use pastas_lint::workspace::analyze_sources;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -46,6 +47,35 @@ fn check_fixture(name: &str) -> Vec<Finding> {
 /// agree with.
 fn shape(findings: &[Finding]) -> Vec<(&'static str, u32)> {
     findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+fn read_fixture(name: &str) -> (String, String) {
+    let source =
+        fs::read_to_string(fixture_dir().join(format!("{name}.rs"))).expect("read fixture");
+    let first = source.lines().next().unwrap_or("");
+    let virtual_path = first
+        .strip_prefix("// lint-fixture-path: ")
+        .unwrap_or_else(|| panic!("fixture {name} lacks a lint-fixture-path header"))
+        .trim()
+        .to_owned();
+    (virtual_path, source)
+}
+
+/// Run one fixture through the full flow pipeline (token rules + parse +
+/// interprocedural pass) and compare against its golden file.
+fn check_flow_fixture(name: &str) -> Vec<Finding> {
+    let (virtual_path, source) = read_fixture(name);
+    let findings =
+        analyze_sources(&[(virtual_path, source, CheckOptions::default())], true);
+    let got: String = findings.iter().map(|f| f.render() + "\n").collect();
+    let expected_path = fixture_dir().join(format!("{name}.expected"));
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&expected_path, &got).expect("bless golden file");
+    }
+    let expected = fs::read_to_string(&expected_path)
+        .unwrap_or_else(|_| panic!("missing golden file {name}.expected (bless with BLESS=1)"));
+    assert_eq!(got, expected, "fixture {name} drifted from its golden file");
+    findings
 }
 
 #[test]
@@ -155,6 +185,48 @@ fn budget_flags_bitmap_decodes_inside_query_loops() {
 fn budget_flags_bitmap_decodes_inside_analytics_loops() {
     let findings = check_fixture("analytics_decode");
     assert_eq!(shape(&findings), vec![("budget-enforced-alloc", 9)]);
+}
+
+#[test]
+fn flow_transitive_panic_reaches_through_two_calls() {
+    let findings = check_flow_fixture("flow_transitive_panic");
+    assert_eq!(shape(&findings), vec![("transitive-no-panic-hot-path", 15)]);
+    assert!(
+        findings[0].message.contains("cohort_profile -> fold_rows -> first_row"),
+        "witness path names the whole chain: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn flow_lock_cycle_spans_a_call_edge() {
+    let findings = check_flow_fixture("flow_lock_cycle");
+    assert_eq!(shape(&findings), vec![("lock-order-cycle", 7)]);
+    let message = &findings[0].message;
+    assert!(message.contains("core::Queues.a") && message.contains("core::Queues.b"));
+}
+
+#[test]
+fn flow_guard_held_across_publish_in_a_callee() {
+    let findings = check_flow_fixture("flow_guard_publish");
+    assert_eq!(shape(&findings), vec![("guard-held-across-snapshot-publish", 7)]);
+    assert!(findings[0].message.contains("core::Shared.writer"));
+}
+
+#[test]
+fn flow_blocking_call_under_lock_via_helper() {
+    let findings = check_flow_fixture("flow_blocking_lock");
+    assert_eq!(shape(&findings), vec![("blocking-call-under-lock", 7)]);
+    assert!(findings[0].message.contains("recv"));
+}
+
+#[test]
+fn lock_unwrap_flags_non_test_unwraps_only() {
+    let findings = check_fixture("lock_unwrap");
+    assert_eq!(
+        shape(&findings),
+        vec![("no-unwrap-on-lock", 5), ("no-unwrap-on-lock", 11)]
+    );
 }
 
 #[test]

@@ -91,6 +91,7 @@ pub(crate) fn search(prog: &Program, haystack: &str, start: usize, full: bool) -
                     }
                 }
                 // Eps instructions were resolved by add_thread.
+                // lint:allow(transitive-no-panic-hot-path) add_thread's epsilon closure never enqueues eps instructions
                 _ => unreachable!("epsilon instruction in run list"),
             }
             i += 1;
@@ -114,6 +115,7 @@ pub(crate) fn search(prog: &Program, haystack: &str, start: usize, full: bool) -
             .chunks(2)
             .map(|w| if w[0] == UNSET || w[1] == UNSET { None } else { Some((w[0], w[1])) })
             .collect::<Vec<_>>();
+        // lint:allow(transitive-no-panic-hot-path) slots 0/1 are written before any Accept, so a match always has them
         let (s, e) = groups[0].expect("whole-match slots always set");
         Match { start: s, end: e, groups }
     })

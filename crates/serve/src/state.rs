@@ -104,7 +104,9 @@ impl ServeState {
         let _writer = self.write.lock().unwrap_or_else(|e| e.into_inner());
         let base = self.snapshot();
         let mut workbench = base.workbench.snapshot();
+        // lint:allow(blocking-call-under-lock) the writer mutex exists to serialize writers; readers never take it, so the par join only delays other writers
         workbench.apply_command(command)?;
+        // lint:allow(guard-held-across-snapshot-publish) publication under the writer mutex is the design: readers go through `current`, never `write`
         Ok(self.publish(workbench))
     }
 
@@ -112,6 +114,7 @@ impl ServeState {
     /// it. Returns the new version.
     pub fn replace(&self, workbench: Workbench) -> u64 {
         let _writer = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        // lint:allow(guard-held-across-snapshot-publish) publication under the writer mutex is the design: readers go through `current`, never `write`
         self.publish(workbench)
     }
 
@@ -128,6 +131,7 @@ impl ServeState {
         if stats.patients_touched == 0 {
             return (base.version, stats);
         }
+        // lint:allow(guard-held-across-snapshot-publish) publication under the writer mutex is the design: readers go through `current`, never `write`
         (self.publish(workbench), stats)
     }
 
@@ -143,6 +147,7 @@ impl ServeState {
         if !workbench.compact() {
             return None;
         }
+        // lint:allow(guard-held-across-snapshot-publish) publication under the writer mutex is the design: readers go through `current`, never `write`
         Some(self.publish(workbench))
     }
 

@@ -43,6 +43,7 @@ pub fn personal_timeline(history: &History, opts: &PersonalTimelineOptions) -> S
         (Some(a), Some(b)) if a < b => (a, b),
         (Some(a), _) => (a, a + Duration::days(30)),
         _ => {
+            // lint:allow(transitive-no-panic-hot-path) literal 2013-01-01 is a valid date
             let d = pastas_time::Date::new(2013, 1, 1).expect("valid");
             (d.at_midnight(), d.add_days(365).at_midnight())
         }
