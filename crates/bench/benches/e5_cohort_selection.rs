@@ -9,8 +9,9 @@
 //! The plan ablation now runs in tiers: the bench scale (median-of-5 on
 //! both paths), one million patients on the sharded store (single scan as
 //! the differential oracle — a 1M scan is seconds — with median planned
-//! timings), and ten million behind `--full`. All tiers land in
-//! `BENCH_plan.json` with the compressed-postings bytes and shard count.
+//! timings), and ten million behind `--full`. All tiers land in the
+//! `"plan"` section of `BENCH_plan.json` (shared with E13's temporal
+//! tiers) with the compressed-postings bytes and shard count.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pastas_bench::{base_scale, cohort, header, median_ms, par_ratio_row};
@@ -182,7 +183,7 @@ fn bench(c: &mut Criterion) {
     // (cargo bench --bench e5_cohort_selection -- --full) adds ten million.
     drop(collection);
     let full = std::env::args().any(|a| a == "--full");
-    let mut json = String::from("{\n  \"experiment\": \"plan\",\n  \"tiers\": [\n");
+    let mut json = String::from("{\n  \"tiers\": [\n");
     plan_tier(&mut json, n, 0, true);
     json.push_str(",\n");
     plan_tier(&mut json, 1_000_000, 65_536, false);
@@ -191,9 +192,11 @@ fn bench(c: &mut Criterion) {
         plan_tier(&mut json, 10_000_000, 65_536, false);
     }
     json.push_str("\n  ]\n}\n");
+    // BENCH_plan.json is shared with E13's temporal tiers: merge this
+    // bench's section instead of overwriting the file.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plan.json");
-    std::fs::write(path, &json).expect("write BENCH_plan.json");
-    eprintln!("wrote {path}");
+    pastas_bench::merge_bench_section(path, "plan", &json);
+    eprintln!("merged \"plan\" tiers into {path}");
 }
 
 criterion_group!(benches, bench);

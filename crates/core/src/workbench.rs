@@ -52,6 +52,8 @@ struct SelectionCache {
     misses: AtomicU64,
     index_hits: AtomicU64,
     scan_fallbacks: AtomicU64,
+    pattern_candidates: AtomicU64,
+    pattern_automaton_runs: AtomicU64,
 }
 
 impl SelectionCache {
@@ -62,6 +64,8 @@ impl SelectionCache {
             misses: AtomicU64::new(0),
             index_hits: AtomicU64::new(0),
             scan_fallbacks: AtomicU64::new(0),
+            pattern_candidates: AtomicU64::new(0),
+            pattern_automaton_runs: AtomicU64::new(0),
         })
     }
 
@@ -70,6 +74,16 @@ impl SelectionCache {
             self.scan_fallbacks.fetch_add(1, Ordering::Relaxed);
         } else {
             self.index_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn count_exec_stats(&self, stats: &pastas_query::plan::ExecStats) {
+        if stats.pattern_candidates > 0 {
+            self.pattern_candidates.fetch_add(stats.pattern_candidates, Ordering::Relaxed);
+        }
+        if stats.pattern_automaton_runs > 0 {
+            self.pattern_automaton_runs
+                .fetch_add(stats.pattern_automaton_runs, Ordering::Relaxed);
         }
     }
 }
@@ -361,6 +375,18 @@ impl Workbench {
         self.selections.scan_fallbacks.load(Ordering::Relaxed)
     }
 
+    /// Histories that survived temporal-pattern index prefilters and were
+    /// handed to a compiled automaton, summed over uncached selections.
+    pub fn pattern_candidates(&self) -> u64 {
+        self.selections.pattern_candidates.load(Ordering::Relaxed)
+    }
+
+    /// Temporal-pattern automaton executions across uncached selections
+    /// (one per candidate verified).
+    pub fn pattern_automaton_runs(&self) -> u64 {
+        self.selections.pattern_automaton_runs.load(Ordering::Relaxed)
+    }
+
     /// Build by running the full heterogeneous-source aggregation pipeline.
     pub fn from_raw_sources(sources: SourceTexts<'_>) -> Workbench {
         let (collection, quality) = aggregate(sources);
@@ -431,7 +457,8 @@ impl Workbench {
         }
         self.selections.misses.fetch_add(1, Ordering::Relaxed);
         self.selections.count_plan_path(plan.uses_full_scan());
-        let positions = plan.execute(&self.collection, &self.index);
+        let (positions, stats) = plan.execute_stats(&self.collection, &self.index);
+        self.selections.count_exec_stats(&stats);
         self.selections
             .entries
             .lock()
@@ -448,7 +475,9 @@ impl Workbench {
     pub fn select_explain(&self, query: &HistoryQuery) -> (Vec<u32>, Explain) {
         let plan = QueryPlan::build(&self.index, &self.collection, query);
         self.selections.count_plan_path(plan.uses_full_scan());
-        let (positions, explain) = plan.execute_explain(&self.collection, &self.index);
+        let (positions, explain, stats) =
+            plan.execute_explain_stats(&self.collection, &self.index);
+        self.selections.count_exec_stats(&stats);
         self.selections
             .entries
             .lock()
@@ -758,6 +787,28 @@ mod tests {
         ));
         assert_eq!(wb.select_positions(&lacks), wb.select_positions(&not_has));
         assert_eq!(wb.selection_cache_len(), 2);
+    }
+
+    #[test]
+    fn pattern_counters_accumulate_over_selections() {
+        use pastas_query::{GapBound, TemporalPattern};
+        use pastas_time::Duration;
+        let wb = wb();
+        assert_eq!(wb.pattern_candidates(), 0);
+        let pred = |p: &str| pastas_query::EntryPredicate::code_regex(p).unwrap();
+        let pat = TemporalPattern::starting_with(pred("T90"))
+            .then(GapBound::within(Duration::days(3650)), pred("K74|K86|K87"));
+        let q = QueryBuilder::new().pattern(pat).build();
+        let first = wb.select_positions(&q);
+        let after_one = wb.pattern_candidates();
+        assert!(after_one > 0, "prefiltered candidates reached the automaton");
+        assert_eq!(wb.pattern_automaton_runs(), after_one);
+        // A cache hit re-runs nothing: the counters stand still.
+        assert_eq!(wb.select_positions(&q), first);
+        assert_eq!(wb.pattern_candidates(), after_one);
+        // Explain bypasses the memo, so it executes and counts again.
+        let _ = wb.select_explain(&q);
+        assert_eq!(wb.pattern_candidates(), after_one * 2);
     }
 
     #[test]

@@ -100,7 +100,9 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "budget-enforced-alloc",
         "flag request-fed with_capacity/read_to_end in serve/http.rs without a budget \
-         clamp, and bitmap decodes (`to_vec`) inside loops in the query crate",
+         clamp, bitmap decodes (`to_vec`) inside loops in the query crate, and any Vec \
+         allocation inside the automaton execution loops of regex/engine.rs and \
+         query/temporal.rs (pooled scratch only)",
     ),
     (
         "test-file-hygiene",
@@ -647,9 +649,14 @@ fn rule_no_silent_truncation(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
 }
 
 fn rule_budget_enforced_alloc(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
-    // The analytics dimension pass consumes frozen bitmaps the same way
-    // the planner does, so it inherits the decode-loop arm verbatim.
-    if ctx.path.contains("query/src/") || ctx.path.contains("analytics/src/") {
+    // The automaton execution files get the stricter temporal-hot-loop
+    // arm (which subsumes the decode arm's `to_vec` check); every other
+    // query/analytics file keeps the decode-loop arm. The analytics
+    // dimension pass consumes frozen bitmaps the same way the planner
+    // does, so it inherits the decode-loop arm verbatim.
+    if ctx.path.ends_with("query/src/temporal.rs") || ctx.path.ends_with("regex/src/engine.rs") {
+        budget_alloc_temporal_hot_loops(ctx, out);
+    } else if ctx.path.contains("query/src/") || ctx.path.contains("analytics/src/") {
         budget_alloc_query_decode_loops(ctx, out);
     }
     if !ctx.path.ends_with("serve/src/http.rs") {
@@ -697,8 +704,10 @@ fn rule_budget_enforced_alloc(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
 /// the compression the planner's latency budget rests on — set algebra
 /// must stay in container space (intersect/union/complement), with at
 /// most one decode hoisted after the loop.
-fn budget_alloc_query_decode_loops(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
-    // Loop body ranges: `for … in … {…}`, `while … {…}`, `loop {…}`.
+/// Sig-token ranges of loop bodies: `for … in … {…}`, `while … {…}`,
+/// `loop {…}` (`impl Trait for Type` and `for<'a>` bounds are excluded
+/// — a `for` loop header always carries `in` before its brace).
+fn loop_body_ranges(ctx: &FileContext<'_>) -> Vec<(usize, usize)> {
     let mut bodies: Vec<(usize, usize)> = Vec::new();
     for p in 0..ctx.sig.len() {
         let kw = ctx.sig_text(p);
@@ -720,8 +729,6 @@ fn budget_alloc_query_decode_loops(ctx: &FileContext<'_>, out: &mut Vec<Finding>
                 saw_in = true;
             }
         }
-        // `impl Trait for Type` and `for<'a>` bounds carry no `in`
-        // before their brace; a `for` loop header always does.
         if kw == "for" && !saw_in {
             continue;
         }
@@ -729,6 +736,11 @@ fn budget_alloc_query_decode_loops(ctx: &FileContext<'_>, out: &mut Vec<Finding>
         let Some(close) = ctx.pair[open] else { continue };
         bodies.push((open, close));
     }
+    bodies
+}
+
+fn budget_alloc_query_decode_loops(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let bodies = loop_body_ranges(ctx);
     for p in 0..ctx.sig.len() {
         if ctx.sig_is_test(p) || ctx.sig_text(p) != "to_vec" {
             continue;
@@ -745,6 +757,56 @@ fn budget_alloc_query_decode_loops(ctx: &FileContext<'_>, out: &mut Vec<Finding>
                  set algebra in container space (intersect/union/complement) and \
                  hoist a single decode out of the loop"
                     .to_owned(),
+            ));
+        }
+    }
+}
+
+/// The temporal-hot-loop arm of `budget-enforced-alloc`, applied to the
+/// automaton execution files (`regex/src/engine.rs`,
+/// `query/src/temporal.rs`): the VM's per-token loops run once per entry
+/// per history across the whole cohort, so a Vec allocation inside them
+/// (`Vec::new`, `vec![…]`, `with_capacity`, `to_vec`) multiplies into
+/// millions of allocator calls per selection. Both files own pooled
+/// scratch (recycled saves buffers, thread-local `Scratch`) — loop
+/// bodies must draw from the pool instead.
+fn budget_alloc_temporal_hot_loops(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let bodies = loop_body_ranges(ctx);
+    for p in 0..ctx.sig.len() {
+        if ctx.sig_is_test(p) {
+            continue;
+        }
+        let text = ctx.sig_text(p);
+        let alloc: &str = match text {
+            // The definition (`pub fn to_vec`) is not a call site.
+            "with_capacity" | "to_vec" if p == 0 || ctx.sig_text(p - 1) != "fn" => text,
+            // `Vec::new()` — walk back over the `::` puncts.
+            "new" => {
+                let mut q = p;
+                while q > 0 && ctx.sig_token(q - 1).is_punct(ctx.src, ':') {
+                    q -= 1;
+                }
+                if q < p && q > 0 && ctx.sig_text(q - 1) == "Vec" {
+                    "Vec::new"
+                } else {
+                    continue;
+                }
+            }
+            // The `vec![…]` macro.
+            "vec" if p + 1 < ctx.sig.len() && ctx.sig_token(p + 1).is_punct(ctx.src, '!') => {
+                "vec!"
+            }
+            _ => continue,
+        };
+        if bodies.iter().any(|&(open, close)| open < p && p < close) {
+            out.push(ctx.finding(
+                ctx.sig_token(p),
+                "budget-enforced-alloc",
+                format!(
+                    "`{alloc}` allocates inside an automaton execution loop that runs \
+                     per entry per history — draw from the pooled scratch (recycle \
+                     saves buffers / thread-local Scratch) instead of allocating"
+                ),
             ));
         }
     }

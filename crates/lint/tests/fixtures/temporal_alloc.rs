@@ -1,0 +1,54 @@
+// lint-fixture-path: crates/regex/src/engine.rs
+//! Fixture: the temporal-hot-loop arm of `budget-enforced-alloc` — Vec
+//! allocations inside automaton execution loops must come from the
+//! pooled scratch, never the allocator.
+
+fn run_every(prog: &Program, tokens: &[Token], scratch: &mut Scratch) -> usize {
+    let mut accepts = 0;
+    for t in tokens {
+        let saves = Vec::new(); // per-token alloc in a `for` body: finding
+        let parked = vec![0usize; prog.slots]; // vec! in a `for` body: finding
+        let mut nlist = Vec::with_capacity(prog.insts.len()); // finding
+        nlist.push((t, saves, parked));
+        accepts += nlist.len();
+    }
+    let mut i = 0;
+    while i < tokens.len() {
+        let snapshot = scratch.clist.to_vec(); // decode in a `while` body: finding
+        accepts += snapshot.len();
+        i += 1;
+    }
+    accepts
+}
+
+fn leftmost(prog: &Program, scratch: &mut Scratch) -> Option<Vec<usize>> {
+    // Allocations outside any loop body are fine: this is the one-time
+    // setup the pool amortizes.
+    let seed = Vec::with_capacity(prog.slots); // ok: not in a loop
+    scratch.pool.push(seed);
+    loop {
+        let recycled = scratch.pool.pop(); // ok: pooled reuse, no alloc
+        match recycled {
+            Some(buf) => return Some(buf),
+            None => break,
+        }
+    }
+    None
+}
+
+impl Recycle for Scratch {
+    fn recycle(&mut self) -> Vec<usize> {
+        self.pool.pop().unwrap_or_default() // `for` in `impl … for` is not a loop: ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_allocs_are_fine_in_tests() {
+        for _ in 0..4 {
+            let v: Vec<usize> = Vec::new(); // ok: test code
+            assert!(v.is_empty());
+        }
+    }
+}

@@ -188,6 +188,24 @@ fn budget_flags_bitmap_decodes_inside_analytics_loops() {
 }
 
 #[test]
+fn budget_flags_allocations_inside_automaton_loops() {
+    let findings = check_fixture("temporal_alloc");
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("budget-enforced-alloc", 9),
+            ("budget-enforced-alloc", 10),
+            ("budget-enforced-alloc", 11),
+            ("budget-enforced-alloc", 17),
+        ]
+    );
+    assert!(
+        findings.iter().any(|f| f.message.contains("pooled scratch")),
+        "the message points at the pool idiom"
+    );
+}
+
+#[test]
 fn flow_transitive_panic_reaches_through_two_calls() {
     let findings = check_flow_fixture("flow_transitive_panic");
     assert_eq!(shape(&findings), vec![("transitive-no-panic-hot-path", 15)]);

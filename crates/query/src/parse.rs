@@ -24,17 +24,24 @@
 //!          | "count" "(" counted ")" (">=" | "<=") integer
 //!          | "age" "(" integer ".." integer ")"
 //!          | "sex" "(" ("F" | "M") ")"
+//!          | "seq" "(" step { "then" [ "[" days ".." days "]" ] step } ")"
 //! counted := "diagnosis" | "medication" | "interval" | "any" | regex
+//! step    := "diagnosis" | "medication" | "interval" | "any" | regex
+//! days    := [ "-" ] integer "d"
 //! ```
 //!
 //! Regexes run to the matching close-paren (nested parens balanced), so
 //! `has(E1(0|1|4).*)` works. The `age` clause is evaluated at a reference
-//! date supplied by the caller.
+//! date supplied by the caller. `seq` builds a [`TemporalPattern`]:
+//! `seq(T90 then[0d..90d] interval)` matches histories where an entry
+//! coded `T90` is followed within 90 days by an interval entry; a bare
+//! `then` allows any later time, and a negative minimum permits overlap.
 
 use crate::predicate::EntryPredicate;
 use crate::query::HistoryQuery;
+use crate::temporal::{GapBound, TemporalPattern};
 use pastas_model::Sex;
-use pastas_time::Date;
+use pastas_time::{Date, Duration};
 use std::fmt;
 
 /// A query-language parse error with position.
@@ -212,7 +219,95 @@ impl P<'_> {
             self.eat(")")?;
             return Ok(HistoryQuery::SexIs(sex));
         }
-        Err(self.err("expected a clause: has/lacks/count/age/sex, or a parenthesized query"))
+        if self.keyword("seq") {
+            self.eat("(")?;
+            let mut pattern = TemporalPattern::starting_with(self.seq_step()?);
+            while self.keyword("then") {
+                let gap = if self.rest().starts_with('[') {
+                    self.eat("[")?;
+                    let min = self.signed_days()?;
+                    self.eat("..")?;
+                    let max = self.signed_days()?;
+                    self.eat("]")?;
+                    if max < min {
+                        return Err(self.err("gap range is reversed"));
+                    }
+                    GapBound { min: Duration::days(min), max: Duration::days(max) }
+                } else {
+                    GapBound::any_later()
+                };
+                pattern = pattern.then(gap, self.seq_step()?);
+            }
+            self.eat(")")?;
+            return Ok(HistoryQuery::Pattern(pattern));
+        }
+        Err(self.err("expected a clause: has/lacks/count/age/sex/seq, or a parenthesized query"))
+    }
+
+    /// Read one `seq` step — a predicate name or code regex — ending at
+    /// the next top-level `then` connector or the closing `)`. Regex
+    /// groups `(…)` and classes `[…]` nest freely inside a step.
+    fn seq_step(&mut self) -> Result<EntryPredicate, QueryParseError> {
+        let start = self.pos;
+        let mut depth = 0usize;
+        let mut end = None;
+        let mut prev: Option<char> = None;
+        for (i, c) in self.rest().char_indices() {
+            let at = start + i;
+            if depth == 0 {
+                if c == ')' {
+                    end = Some(at);
+                    break;
+                }
+                // A top-level `then` at a word boundary ends the step.
+                let boundary = !prev.is_some_and(|p| p.is_alphanumeric() || p == '_');
+                // lint:allow(no-panic-hot-path) at is a char_indices offset into text
+                if boundary && c == 't' && self.text[at..].starts_with("then") {
+                    // lint:allow(no-panic-hot-path) "then" just matched at `at`
+                    let after = self.text[at + 4..].chars().next();
+                    if !after.is_some_and(|a| a.is_alphanumeric() || a == '_') {
+                        end = Some(at);
+                        break;
+                    }
+                }
+            }
+            match c {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            prev = Some(c);
+        }
+        let Some(end) = end else {
+            return Err(self.err("unclosed seq(...)"));
+        };
+        // lint:allow(no-panic-hot-path) start and end are char boundaries by construction
+        let body = self.text[start..end].trim();
+        if body.is_empty() {
+            return Err(self.err("expected a step: diagnosis/medication/interval/any or a regex"));
+        }
+        self.pos = end;
+        self.ws();
+        Ok(match body {
+            "diagnosis" => EntryPredicate::IsDiagnosis,
+            "medication" => EntryPredicate::IsMedication,
+            "interval" => EntryPredicate::IsInterval,
+            "any" => EntryPredicate::Any,
+            regex => self.compile(regex)?,
+        })
+    }
+
+    /// A day count with mandatory `d` suffix, optionally negative:
+    /// `90d`, `-5d`.
+    fn signed_days(&mut self) -> Result<i64, QueryParseError> {
+        let neg = self.rest().starts_with('-');
+        if neg {
+            self.eat("-")?;
+        }
+        let n = self.integer()?;
+        self.eat("d")?;
+        let n = i64::try_from(n).map_err(|_| self.err("day count out of range"))?;
+        Ok(if neg { -n } else { n })
     }
 
     /// Read `( … )` with balanced nested parens; returns the inside.
@@ -391,6 +486,66 @@ mod tests {
         // A regex containing the word "or" is untouched inside parens.
         let query = q("has(T90|K74)");
         assert!(query.matches(&history(1, 1950, &["K74"])));
+    }
+
+    #[test]
+    fn seq_clause_builds_a_temporal_pattern() {
+        // T90 followed within ~3 months by any K-chapter code.
+        let query = q("seq(T90 then[0d..90d] K.*)");
+        let hit = history(1, 1950, &["T90", "K86"]); // one month apart
+        let wrong_order = history(1, 1950, &["K86", "T90"]);
+        let missing = history(1, 1950, &["T90", "A01"]);
+        assert!(query.matches(&hit));
+        assert!(!query.matches(&wrong_order));
+        assert!(!query.matches(&missing));
+        // Matches the builder exactly.
+        let built = HistoryQuery::Pattern(
+            TemporalPattern::starting_with(EntryPredicate::code_regex("T90").unwrap()).then(
+                GapBound { min: Duration::ZERO, max: Duration::days(90) },
+                EntryPredicate::code_regex("K.*").unwrap(),
+            ),
+        );
+        for h in [
+            history(1, 1950, &["T90", "K86"]),
+            history(1, 1950, &["K86"]),
+            history(1, 1950, &["T90"]),
+        ] {
+            assert_eq!(query.matches(&h), built.matches(&h));
+        }
+    }
+
+    #[test]
+    fn seq_steps_take_names_and_bare_then() {
+        // Named step predicates, and `then` with no window = any later.
+        let query = q("seq(diagnosis then any)");
+        assert!(query.matches(&history(1, 1950, &["T90", "K86"])));
+        assert!(!query.matches(&history(1, 1950, &["T90"])), "needs a later entry");
+        // A three-step chain with grouped regex inside a step.
+        let chained = q("seq(E1(0|1).* then[0d..365d] diagnosis then T90)");
+        let _ = chained; // structural parse is the assertion
+        // Negative minimum allows overlap.
+        let overlap = q("seq(T90 then[-30d..60d] K.*)");
+        assert!(overlap.matches(&history(1, 1950, &["T90", "K86"])));
+    }
+
+    #[test]
+    fn seq_error_reporting() {
+        for (bad, expect) in [
+            ("seq()", "expected a step"),
+            ("seq(T90", "unclosed seq"),
+            ("seq(T90 then[90d..0d] K.*)", "reversed"),
+            ("seq(T90 then[0..90d] K.*)", "expected \"d\""),
+            ("seq(T90 then[0d..90d)", "expected \"]\""),
+        ] {
+            let e = parse_query(bad, reference()).unwrap_err();
+            assert!(
+                e.message.contains(expect),
+                "{bad:?} gave {:?}, wanted {expect:?}",
+                e.message
+            );
+        }
+        // "then" embedded in a regex is not a connector.
+        assert!(parse_query("seq(T90then)", reference()).is_ok(), "word-boundary check");
     }
 
     #[test]

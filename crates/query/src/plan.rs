@@ -37,6 +37,7 @@ use crate::normalize::{is_never, normalize};
 use crate::predicate::EntryPredicate;
 use crate::query::HistoryQuery;
 use pastas_model::HistoryCollection;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-thread minimum candidates before residual verification goes
 /// parallel (same threshold as the index's candidate verification).
@@ -178,6 +179,17 @@ pub enum PlanNode {
         /// The query evaluated per history.
         query: HistoryQuery,
     },
+    /// Temporal-pattern verification over an index prefilter: the child
+    /// intersects each pattern step's candidate postings (every step must
+    /// be matched by *some* entry, so a matching history lies in every
+    /// step's posting union), and the compiled automaton runs only on the
+    /// surviving candidates.
+    PatternScan {
+        /// The `Pattern` query the automaton verifies per candidate.
+        query: HistoryQuery,
+        /// The per-step posting intersection feeding candidates.
+        input: Box<PlanNode>,
+    },
 }
 
 impl PlanNode {
@@ -191,7 +203,9 @@ impl PlanNode {
         match self {
             PlanNode::FullScan { .. } => true,
             PlanNode::Complement(c) => c.contains_full_scan(),
-            PlanNode::Filter { input, .. } => input.contains_full_scan(),
+            PlanNode::Filter { input, .. } | PlanNode::PatternScan { input, .. } => {
+                input.contains_full_scan()
+            }
             PlanNode::Intersect(cs) | PlanNode::Union(cs) => {
                 cs.iter().any(PlanNode::contains_full_scan)
             }
@@ -210,6 +224,7 @@ impl PlanNode {
             PlanNode::Union(_) => "Union",
             PlanNode::Filter { .. } => "Filter",
             PlanNode::FullScan { .. } => "FullScan",
+            PlanNode::PatternScan { .. } => "PatternScan",
         }
     }
 
@@ -217,7 +232,9 @@ impl PlanNode {
     fn detail(&self) -> String {
         match self {
             PlanNode::IndexFetch { patterns } => patterns.join(" ∪ "),
-            PlanNode::Filter { query, .. } | PlanNode::FullScan { query } => query.fingerprint(),
+            PlanNode::Filter { query, .. }
+            | PlanNode::FullScan { query }
+            | PlanNode::PatternScan { query, .. } => query.fingerprint(),
             _ => String::new(),
         }
     }
@@ -328,13 +345,35 @@ impl QueryPlan {
         self.exec(collection, index, false).0
     }
 
+    /// Execute and additionally return aggregate execution statistics
+    /// (pattern candidate / automaton-run totals for the serve layer's
+    /// gauges).
+    pub fn execute_stats(
+        &self,
+        collection: &HistoryCollection,
+        index: &CodeIndex,
+    ) -> (Vec<u32>, ExecStats) {
+        let (positions, _, stats) = self.exec(collection, index, false);
+        (positions, stats)
+    }
+
     /// Execute and record per-node candidate counts and wall time.
     pub fn execute_explain(
         &self,
         collection: &HistoryCollection,
         index: &CodeIndex,
     ) -> (Vec<u32>, Explain) {
-        let (positions, node) = self.exec(collection, index, true);
+        let (positions, explain, _) = self.execute_explain_stats(collection, index);
+        (positions, explain)
+    }
+
+    /// [`QueryPlan::execute_explain`] plus the aggregate [`ExecStats`].
+    pub fn execute_explain_stats(
+        &self,
+        collection: &HistoryCollection,
+        index: &CodeIndex,
+    ) -> (Vec<u32>, Explain, ExecStats) {
+        let (positions, node, stats) = self.exec(collection, index, true);
         let explain = Explain {
             root: match node {
                 Some(n) => n,
@@ -343,11 +382,12 @@ impl QueryPlan {
                     detail: String::new(),
                     rows: positions.len(),
                     elapsed_us: 0,
+                    counters: Vec::new(),
                     children: Vec::new(),
                 },
             },
         };
-        (positions, explain)
+        (positions, explain, stats)
     }
 
     fn exec(
@@ -355,11 +395,12 @@ impl QueryPlan {
         collection: &HistoryCollection,
         index: &CodeIndex,
         trace: bool,
-    ) -> (Vec<u32>, Option<ExplainNode>) {
+    ) -> (Vec<u32>, Option<ExplainNode>, ExecStats) {
         // Lower once: IndexFetch pattern sets resolve to vocabulary slots
         // before the shard fan-out, so the vocabulary walk (and the regex
         // compile-cache lock) happens once per plan, not once per shard.
         let lowered = lower(&self.root, index, trace);
+        let counters = PatternCounters::default();
         let shards = index.shards();
         // Per-shard evaluation of the whole tree. Shards partition the
         // position space in ascending order, so concatenating shard-local
@@ -372,11 +413,14 @@ impl QueryPlan {
         let results: Vec<(Bitmap, Option<ExplainNode>)> = if shards.len() > 1 {
             pastas_par::par_map_min(shards, 1, |shard| {
                 pastas_par::with_threads(1, || {
-                    exec_shard(&lowered, collection, shard, trace)
+                    exec_shard(&lowered, collection, shard, trace, &counters)
                 })
             })
         } else {
-            shards.iter().map(|shard| exec_shard(&lowered, collection, shard, trace)).collect()
+            shards
+                .iter()
+                .map(|shard| exec_shard(&lowered, collection, shard, trace, &counters))
+                .collect()
         };
         let mut positions = Vec::new();
         let mut explain: Option<ExplainNode> = None;
@@ -395,7 +439,7 @@ impl QueryPlan {
         if !index.side_is_empty() {
             // lint:allow(no-wallclock-determinism) explain timing annotation only, results unaffected
             let t0 = trace.then(std::time::Instant::now);
-            let side = exec_side(&lowered, collection, index);
+            let side = exec_side(&lowered, collection, index, &counters);
             let side_rows = side.len();
             positions =
                 reference::union2(&reference::difference(&positions, index.side_dirty()), &side);
@@ -408,11 +452,16 @@ impl QueryPlan {
                     elapsed_us: t0
                         .map(|t| u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX))
                         .unwrap_or(0),
+                    counters: Vec::new(),
                     children: Vec::new(),
                 });
             }
         }
-        (positions, explain)
+        let stats = ExecStats {
+            pattern_candidates: counters.candidates.load(Ordering::Relaxed),
+            pattern_automaton_runs: counters.runs.load(Ordering::Relaxed),
+        };
+        (positions, explain, stats)
     }
 }
 
@@ -423,6 +472,14 @@ impl QueryPlan {
 fn merge_explain(acc: &mut ExplainNode, mut other: ExplainNode) {
     acc.rows += other.rows;
     acc.elapsed_us += other.elapsed_us;
+    // Counters sum by name: shards report the same counter set, but
+    // match defensively in case a shard skipped a child.
+    for (name, v) in other.counters {
+        match acc.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, total)) => *total += v,
+            None => acc.counters.push((name, v)),
+        }
+    }
     let extra = other.children.split_off(other.children.len().min(acc.children.len()));
     for (a, b) in acc.children.iter_mut().zip(other.children) {
         merge_explain(a, b);
@@ -443,7 +500,9 @@ fn render_node(node: &PlanNode, depth: usize, out: &mut String) {
     }
     match node {
         PlanNode::Complement(c) => render_node(c, depth + 1, out),
-        PlanNode::Filter { input, .. } => render_node(input, depth + 1, out),
+        PlanNode::Filter { input, .. } | PlanNode::PatternScan { input, .. } => {
+            render_node(input, depth + 1, out)
+        }
         PlanNode::Intersect(cs) | PlanNode::Union(cs) => {
             for c in cs {
                 render_node(c, depth + 1, out);
@@ -490,16 +549,52 @@ fn plan_node(index: &CodeIndex, rows: u32, q: &HistoryQuery) -> PlanNode {
             }
             None => PlanNode::FullScan { query: q.clone() },
         },
+        // A positive temporal pattern prefilters through the index: each
+        // step's code cover bounds the candidates, their intersection
+        // feeds the automaton. (A *negated* pattern falls through to the
+        // Not arm below — absence of a step is not bounded by postings.)
+        HistoryQuery::Pattern(pat) => plan_pattern(q, pat),
         // Post-normalization, Not only wraps residual leaves (Pattern /
         // AgeBetween / SexIs); a scan with the negation folded in beats
         // Complement(FullScan) — one pass, no extra merge.
         HistoryQuery::Not(_)
-        | HistoryQuery::Pattern(_)
         | HistoryQuery::AgeBetween { .. }
         | HistoryQuery::SexIs(_) => PlanNode::FullScan { query: q.clone() },
         HistoryQuery::And(qs) => plan_and(index, rows, qs),
         HistoryQuery::Or(qs) => plan_or(index, rows, qs),
     }
+}
+
+/// Plan one positive temporal pattern: intersect the per-step candidate
+/// postings (sound because a matching history satisfies *every* step
+/// with some entry, hence lies in every step's posting union, whether
+/// the cover is exact or a superset) and verify the survivors with the
+/// compiled automaton. Steps whose predicate has no code cover simply
+/// contribute no prefilter; if no step is covered at all, the honest
+/// plan is a full scan.
+fn plan_pattern(q: &HistoryQuery, pat: &crate::temporal::TemporalPattern) -> PlanNode {
+    let mut fetches: Vec<PlanNode> = Vec::new();
+    let mut seen: Vec<Vec<String>> = Vec::new();
+    for pred in pat.step_predicates() {
+        if let Some(CodeCover::Exact(patterns) | CodeCover::Superset(patterns)) = code_cover(pred)
+        {
+            // Two steps with the same cover prefilter identically once.
+            if !seen.contains(&patterns) {
+                seen.push(patterns.clone());
+                fetches.push(PlanNode::IndexFetch { patterns });
+            }
+        }
+    }
+    let input = match fetches.len() {
+        0 => return PlanNode::FullScan { query: q.clone() },
+        1 => match fetches.pop() {
+            Some(only) => only,
+            // lint:allow(no-panic-hot-path) len == 1 proved by the match arm
+            None => unreachable!(),
+        },
+        _ => PlanNode::Intersect(fetches),
+    };
+    PlanNode::PatternScan { query: q.clone(), input: Box::new(input) }
 }
 
 fn plan_and(index: &CodeIndex, rows: u32, qs: &[HistoryQuery]) -> PlanNode {
@@ -611,7 +706,9 @@ fn estimate(index: &CodeIndex, rows: u32, node: &PlanNode) -> u32 {
             .map(|c| estimate(index, rows, c))
             .fold(0u32, u32::saturating_add)
             .min(rows),
-        PlanNode::Filter { input, .. } => estimate(index, rows, input),
+        PlanNode::Filter { input, .. } | PlanNode::PatternScan { input, .. } => {
+            estimate(index, rows, input)
+        }
         PlanNode::FullScan { .. } => rows,
     }
 }
@@ -644,7 +741,31 @@ enum ExecKind<'q> {
     Intersect(Vec<ExecNode<'q>>),
     Union(Vec<ExecNode<'q>>),
     Filter { query: &'q HistoryQuery, input: Box<ExecNode<'q>> },
+    /// Temporal-pattern verification: like `Filter`, but each candidate
+    /// runs the compiled automaton, and the candidate / run totals feed
+    /// [`ExecStats`] (the serve layer's pattern gauges).
+    PatternScan { query: &'q HistoryQuery, input: Box<ExecNode<'q>> },
     FullScan { query: &'q HistoryQuery },
+}
+
+/// Cross-shard tallies of PatternScan work. Atomics because the shard
+/// fan-out runs workers in parallel; relaxed ordering suffices — the
+/// totals are read only after the fan-out joins.
+#[derive(Default)]
+struct PatternCounters {
+    candidates: AtomicU64,
+    runs: AtomicU64,
+}
+
+/// Aggregate execution statistics of one plan run, summed across shards
+/// and the side pass. Zero for plans without temporal patterns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Histories that survived the index prefilter and were handed to a
+    /// temporal-pattern automaton.
+    pub pattern_candidates: u64,
+    /// Compiled-automaton executions (one per candidate verified).
+    pub pattern_automaton_runs: u64,
 }
 
 /// Resolve a plan tree for execution. Pattern compilation cannot fail
@@ -669,6 +790,9 @@ fn lower<'q>(node: &'q PlanNode, index: &CodeIndex, trace: bool) -> ExecNode<'q>
         PlanNode::Filter { query, input } => {
             ExecKind::Filter { query, input: Box::new(lower(input, index, trace)) }
         }
+        PlanNode::PatternScan { query, input } => {
+            ExecKind::PatternScan { query, input: Box::new(lower(input, index, trace)) }
+        }
         PlanNode::FullScan { query } => ExecKind::FullScan { query },
     };
     ExecNode {
@@ -688,6 +812,7 @@ fn exec_shard(
     collection: &HistoryCollection,
     shard: &IndexShard,
     trace: bool,
+    counters: &PatternCounters,
 ) -> (Bitmap, Option<ExplainNode>) {
     // Explain timings are observability, not results: the positions a
     // plan returns are deterministic at any thread count; only the
@@ -701,12 +826,13 @@ fn exec_shard(
         }
         result.0
     };
+    let mut node_counters: Vec<(String, u64)> = Vec::new();
     let out = match &node.kind {
         ExecKind::AllRows => Bitmap::full(shard.rows),
         ExecKind::Empty => Bitmap::new(),
         ExecKind::Fetch { slots, .. } => shard.union_slots(slots),
         ExecKind::Complement(c) => {
-            let inner = child(exec_shard(c, collection, shard, trace));
+            let inner = child(exec_shard(c, collection, shard, trace, counters));
             inner.complement_up_to(shard.rows)
         }
         ExecKind::Intersect(cs) => {
@@ -715,7 +841,7 @@ fn exec_shard(
                 if acc.as_ref().is_some_and(Bitmap::is_empty) {
                     break; // ∩ with ∅ stays ∅ — skip remaining children.
                 }
-                let set = child(exec_shard(c, collection, shard, trace));
+                let set = child(exec_shard(c, collection, shard, trace, counters));
                 acc = Some(match acc {
                     Some(prev) => prev.intersect(&set),
                     None => set,
@@ -726,13 +852,39 @@ fn exec_shard(
         ExecKind::Union(cs) => {
             let mut acc = Bitmap::new();
             for c in cs {
-                let set = child(exec_shard(c, collection, shard, trace));
+                let set = child(exec_shard(c, collection, shard, trace, counters));
                 acc = acc.union(&set);
             }
             acc
         }
+        ExecKind::PatternScan { query, input } => {
+            let input = child(exec_shard(input, collection, shard, trace, counters));
+            let mut candidates = Vec::new();
+            input.decode_into(0, &mut candidates);
+            let n = candidates.len() as u64;
+            // One automaton execution per surviving candidate: `matches`
+            // compiles the pattern once (OnceLock) and runs the VM with
+            // first-accept short-circuit against each history.
+            counters.candidates.fetch_add(n, Ordering::Relaxed);
+            counters.runs.fetch_add(n, Ordering::Relaxed);
+            if trace {
+                node_counters.push(("candidates".to_owned(), n));
+                node_counters.push(("automaton_runs".to_owned(), n));
+            }
+            let histories = collection.histories();
+            let keep = pastas_par::par_map_min(&candidates, PAR_MIN_CANDIDATES, |&rel| {
+                // lint:allow(no-panic-hot-path) candidates are valid shard positions by construction
+                query.matches(&histories[(shard.base + rel) as usize])
+            });
+            candidates
+                .into_iter()
+                .zip(keep)
+                .filter(|&(_, k)| k)
+                .map(|(rel, _)| rel)
+                .collect()
+        }
         ExecKind::Filter { query, input } => {
-            let input = child(exec_shard(input, collection, shard, trace));
+            let input = child(exec_shard(input, collection, shard, trace, counters));
             // Decode happens once at the set-algebra/verification
             // boundary, not inside the algebra: residual predicates need
             // the actual histories.
@@ -765,6 +917,7 @@ fn exec_shard(
         detail: node.detail.clone(),
         rows: out.len(),
         elapsed_us: u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+        counters: node_counters,
         children,
     });
     (out, explain)
@@ -779,7 +932,12 @@ fn exec_shard(
 /// since the main shards were built (the main pass already answered
 /// them exactly), and every appended row beyond the main tiling is
 /// dirty by construction.
-fn exec_side(node: &ExecNode<'_>, collection: &HistoryCollection, index: &CodeIndex) -> Vec<u32> {
+fn exec_side(
+    node: &ExecNode<'_>,
+    collection: &HistoryCollection,
+    index: &CodeIndex,
+    counters: &PatternCounters,
+) -> Vec<u32> {
     let dirty = index.side_dirty();
     match &node.kind {
         ExecKind::AllRows => dirty.to_vec(),
@@ -791,14 +949,16 @@ fn exec_side(node: &ExecNode<'_>, collection: &HistoryCollection, index: &CodeIn
             }
             acc
         }
-        ExecKind::Complement(c) => reference::difference(dirty, &exec_side(c, collection, index)),
+        ExecKind::Complement(c) => {
+            reference::difference(dirty, &exec_side(c, collection, index, counters))
+        }
         ExecKind::Intersect(cs) => {
             let mut acc: Option<Vec<u32>> = None;
             for c in cs {
                 if acc.as_ref().is_some_and(|a| a.is_empty()) {
                     break; // ∩ with ∅ stays ∅ — skip remaining children.
                 }
-                let set = exec_side(c, collection, index);
+                let set = exec_side(c, collection, index, counters);
                 acc = Some(match acc {
                     Some(prev) => reference::intersect2(&prev, &set),
                     None => set,
@@ -809,12 +969,22 @@ fn exec_side(node: &ExecNode<'_>, collection: &HistoryCollection, index: &CodeIn
         ExecKind::Union(cs) => {
             let mut acc = Vec::new();
             for c in cs {
-                acc = reference::union2(&acc, &exec_side(c, collection, index));
+                acc = reference::union2(&acc, &exec_side(c, collection, index, counters));
             }
             acc
         }
+        ExecKind::PatternScan { query, input } => {
+            let mut candidates = exec_side(input, collection, index, counters);
+            let n = candidates.len() as u64;
+            counters.candidates.fetch_add(n, Ordering::Relaxed);
+            counters.runs.fetch_add(n, Ordering::Relaxed);
+            let histories = collection.histories();
+            // lint:allow(no-panic-hot-path) dirty positions are < rows by the index invariant
+            candidates.retain(|&p| query.matches(&histories[p as usize]));
+            candidates
+        }
         ExecKind::Filter { query, input } => {
-            let mut candidates = exec_side(input, collection, index);
+            let mut candidates = exec_side(input, collection, index, counters);
             let histories = collection.histories();
             // lint:allow(no-panic-hot-path) dirty positions are < rows by the index invariant
             candidates.retain(|&p| query.matches(&histories[p as usize]));
@@ -844,6 +1014,9 @@ pub struct ExplainNode {
     pub rows: usize,
     /// Wall time in microseconds, children included.
     pub elapsed_us: u64,
+    /// Named per-operator tallies (e.g. PatternScan's `candidates` and
+    /// `automaton_runs`), summed across shards. Empty for most nodes.
+    pub counters: Vec<(String, u64)>,
     /// Child operators in evaluation order.
     pub children: Vec<ExplainNode>,
 }
@@ -871,9 +1044,10 @@ impl Explain {
     pub fn max_verified_candidates(&self) -> usize {
         fn walk(n: &ExplainNode) -> usize {
             let own = match n.op.as_str() {
-                // Filter verifies its input's rows; FullScan all rows it
-                // produced is a lower bound, so count its output.
-                "Filter" => n.children.iter().map(|c| c.rows).max().unwrap_or(0),
+                // Filter / PatternScan verify their input's rows; FullScan
+                // all rows it produced is a lower bound, so count its
+                // output.
+                "Filter" | "PatternScan" => n.children.iter().map(|c| c.rows).max().unwrap_or(0),
                 "FullScan" => usize::MAX,
                 _ => 0,
             };
@@ -893,7 +1067,11 @@ impl Explain {
             if !n.detail.is_empty() {
                 let _ = write!(out, "({})", n.detail);
             }
-            let _ = writeln!(out, "  rows={}  {:.3} ms", n.rows, n.elapsed_us as f64 / 1e3);
+            let _ = write!(out, "  rows={}", n.rows);
+            for (name, v) in &n.counters {
+                let _ = write!(out, "  {name}={v}");
+            }
+            let _ = writeln!(out, "  {:.3} ms", n.elapsed_us as f64 / 1e3);
             for c in &n.children {
                 walk(c, depth + 1, out);
             }
@@ -909,12 +1087,23 @@ impl Explain {
             use std::fmt::Write as _;
             let _ = write!(
                 out,
-                "{{\"op\":{},\"detail\":{},\"rows\":{},\"elapsed_us\":{},\"children\":[",
+                "{{\"op\":{},\"detail\":{},\"rows\":{},\"elapsed_us\":{}",
                 json_str(&n.op),
                 json_str(&n.detail),
                 n.rows,
                 n.elapsed_us
             );
+            if !n.counters.is_empty() {
+                out.push_str(",\"counters\":{");
+                for (i, (name, v)) in n.counters.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}:{}", json_str(name), v);
+                }
+                out.push('}');
+            }
+            out.push_str(",\"children\":[");
             for (i, c) in n.children.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
@@ -1247,5 +1436,145 @@ mod tests {
         assert_eq!(difference(&[1, 2], &[]), vec![1, 2]);
         assert_eq!(difference(&[], &[1]), Vec::<u32>::new());
         assert_eq!(difference(&[4, 7], &[1, 4, 7]), Vec::<u32>::new());
+    }
+
+    // -- temporal-pattern prefilter ----------------------------------------
+
+    use crate::temporal::{GapBound, TemporalPattern};
+    use pastas_time::Duration;
+
+    fn cp(pat: &str) -> EntryPredicate {
+        EntryPredicate::code_regex(pat).unwrap()
+    }
+
+    #[test]
+    fn pattern_with_code_steps_is_index_prefiltered() {
+        let (c, idx) = setup(400);
+        let pat = TemporalPattern::starting_with(cp("T90"))
+            .then(GapBound::any_later(), cp("K74|K75"));
+        let q = HistoryQuery::Pattern(pat);
+        let plan = QueryPlan::build(&idx, &c, &q);
+        assert!(!plan.uses_full_scan(), "{}", plan.render());
+        let rendered = plan.render();
+        assert!(rendered.starts_with("PatternScan"), "{rendered}");
+        assert!(rendered.contains("Intersect"), "{rendered}");
+        assert!(rendered.contains("IndexFetch"), "{rendered}");
+        let (positions, stats) = plan.execute_stats(&c, &idx);
+        assert_eq!(positions, select_scan(&c, &q));
+        assert!(
+            stats.pattern_candidates > 0 && (stats.pattern_candidates as usize) < c.len(),
+            "prefilter should prune: {stats:?}"
+        );
+        assert_eq!(stats.pattern_automaton_runs, stats.pattern_candidates);
+    }
+
+    #[test]
+    fn pattern_explain_reports_candidate_counters() {
+        let (c, idx) = setup(400);
+        let q = HistoryQuery::Pattern(
+            TemporalPattern::starting_with(cp("T90"))
+                .then(GapBound::within(Duration::days(365)), cp("K74")),
+        );
+        let plan = QueryPlan::build(&idx, &c, &q);
+        let (positions, explain, stats) = plan.execute_explain_stats(&c, &idx);
+        assert_eq!(positions, select_scan(&c, &q));
+        assert!(!explain.used_full_scan(), "{}", explain.render_text());
+        let text = explain.render_text();
+        assert!(text.contains("PatternScan"), "{text}");
+        assert!(
+            text.contains(&format!("candidates={}", stats.pattern_candidates)),
+            "{text}\n{stats:?}"
+        );
+        assert!(
+            explain.max_verified_candidates() < c.len(),
+            "verified {} of {}",
+            explain.max_verified_candidates(),
+            c.len()
+        );
+        let json = explain.render_json();
+        assert!(json.contains("\"counters\""), "{json}");
+        assert!(pastas_ingest::json::Json::parse(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn pattern_without_code_cover_scans_honestly() {
+        let (c, idx) = setup(300);
+        let q = HistoryQuery::Pattern(
+            TemporalPattern::starting_with(EntryPredicate::IsInterval)
+                .then(GapBound::within(Duration::days(30)), EntryPredicate::IsMedication),
+        );
+        let plan = QueryPlan::build(&idx, &c, &q);
+        assert!(plan.uses_full_scan(), "{}", plan.render());
+        let (positions, stats) = plan.execute_stats(&c, &idx);
+        assert_eq!(positions, select_scan(&c, &q));
+        assert_eq!(stats, ExecStats::default(), "no PatternScan ran");
+    }
+
+    #[test]
+    fn duplicate_step_covers_prefilter_once() {
+        let (c, idx) = setup(200);
+        let q = HistoryQuery::Pattern(
+            TemporalPattern::starting_with(cp("T90"))
+                .then(GapBound::any_later(), cp("T90")),
+        );
+        let plan = QueryPlan::build(&idx, &c, &q);
+        let rendered = plan.render();
+        assert!(!rendered.contains("Intersect"), "one distinct cover: {rendered}");
+        assert_eq!(rendered.matches("IndexFetch").count(), 1, "{rendered}");
+        assert_eq!(plan.execute(&c, &idx), select_scan(&c, &q));
+    }
+
+    #[test]
+    fn pattern_inside_conjunction_keeps_the_prefilter() {
+        let (c, idx) = setup(400);
+        let q = QueryBuilder::new()
+            .lacks_code("Z98")
+            .unwrap()
+            .pattern(
+                TemporalPattern::starting_with(cp("T90"))
+                    .then(GapBound::within(Duration::days(400)), cp("K74|T89")),
+            )
+            .build();
+        let plan = QueryPlan::build(&idx, &c, &q);
+        assert!(!plan.uses_full_scan(), "{}", plan.render());
+        assert!(plan.render().contains("PatternScan"), "{}", plan.render());
+        assert_eq!(plan.execute(&c, &idx), select_scan(&c, &q));
+    }
+
+    #[test]
+    fn pattern_plans_agree_with_scan_mid_compaction() {
+        let (c, idx) = setup_with_side(400);
+        assert!(!idx.side_is_empty());
+        let queries = [
+            HistoryQuery::Pattern(
+                TemporalPattern::starting_with(cp("T90"))
+                    .then(GapBound::any_later(), cp("K74|Z98")),
+            ),
+            HistoryQuery::Pattern(TemporalPattern::starting_with(cp("Z98"))),
+        ];
+        for q in &queries {
+            let plan = QueryPlan::build(&idx, &c, q);
+            assert_eq!(plan.execute(&c, &idx), select_scan(&c, q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_execution_is_deterministic_across_thread_counts() {
+        let c = generate_collection(SynthConfig::with_patients(1500), 71);
+        let idx = CodeIndex::build(&c);
+        let q = HistoryQuery::Pattern(
+            TemporalPattern::starting_with(cp("[KT].*"))
+                .then(GapBound::within(Duration::days(365)), cp("T90|K74")),
+        );
+        let plan = QueryPlan::build(&idx, &c, &q);
+        let (serial, serial_stats) =
+            pastas_par::with_threads(1, || plan.execute_stats(&c, &idx));
+        for threads in [2, 8] {
+            let (par, par_stats) =
+                pastas_par::with_threads(threads, || plan.execute_stats(&c, &idx));
+            assert_eq!(par, serial, "threads {threads}");
+            assert_eq!(par_stats, serial_stats, "stats at threads {threads}");
+        }
+        assert_eq!(serial, select_scan(&c, &q));
     }
 }

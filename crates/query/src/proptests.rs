@@ -100,6 +100,44 @@ fn random_query(rng: &mut Rng, depth: u32) -> HistoryQuery {
     }
 }
 
+/// A random temporal pattern of 1–3 steps mixing gap and Allen
+/// connectors, so both the streaming automaton and the indexed
+/// (random-access) mode are exercised; gap minima may be negative
+/// (overlap allowed).
+fn random_pattern(rng: &mut Rng) -> TemporalPattern {
+    use pastas_ontology::temporal::AllenRel;
+    let pred = |rng: &mut Rng| -> EntryPredicate {
+        match rng.below(6) {
+            0 => EntryPredicate::IsDiagnosis,
+            1 => EntryPredicate::IsMedication,
+            2 => EntryPredicate::IsInterval,
+            3 => EntryPredicate::Any,
+            _ => EntryPredicate::code_regex(PATTERNS[rng.below(PATTERNS.len() as u64) as usize])
+                .expect("valid pattern"),
+        }
+    };
+    let mut pat = TemporalPattern::starting_with(pred(rng));
+    for _ in 0..rng.below(3) {
+        if rng.below(4) == 0 {
+            let rel = match rng.below(4) {
+                0 => AllenRel::Before,
+                1 => AllenRel::Overlaps,
+                2 => AllenRel::During,
+                _ => AllenRel::Meets,
+            };
+            pat = pat.then_related(rel, pred(rng));
+        } else {
+            let min = rng.below(60) as i64 - 10;
+            let max = min + rng.below(365) as i64;
+            pat = pat.then(
+                GapBound { min: Duration::days(min), max: Duration::days(max) },
+                pred(rng),
+            );
+        }
+    }
+    pat
+}
+
 /// A random sorted-unique position set in one of several shapes chosen
 /// to stress each container kind and the 65,536 chunk boundary:
 /// sparse (array containers), dense windows (bits containers), run-heavy
@@ -380,6 +418,42 @@ proptest! {
         let via_compacted = QueryPlan::build(&compacted, &c, &q).execute(&c, &compacted);
         let via_fresh = QueryPlan::build(&fresh, &c, &q).execute(&c, &fresh);
         prop_assert_eq!(via_compacted, via_fresh);
+    }
+
+    /// Tentpole differential: the compiled token automaton agrees with
+    /// the retired per-history naive matcher — hit-for-hit on
+    /// `find_matches` and on `matches` — over random patterns ×
+    /// collections, at 1 and 4 worker threads (the thread-local VM
+    /// scratch must stay clean across parallel workers).
+    #[test]
+    fn temporal_automaton_agrees_with_naive_oracle(
+        pattern_seed in 0u64..u64::MAX,
+        collection_seed in 0u64..100,
+        patients in 100u32..400,
+    ) {
+        let pat = random_pattern(&mut Rng(pattern_seed));
+        let c = generate_collection(
+            SynthConfig::with_patients(patients as usize),
+            collection_seed,
+        );
+        let histories = c.histories();
+        let naive_hits: Vec<_> = histories.iter().map(|h| pat.naive_find_matches(h)).collect();
+        let naive_hit: Vec<bool> = histories.iter().map(|h| pat.naive_matches(h)).collect();
+        prop_assert_eq!(
+            naive_hits.iter().map(|hs| !hs.is_empty()).collect::<Vec<_>>(),
+            naive_hit.clone(),
+            "oracle self-consistency"
+        );
+        for threads in [1usize, 4] {
+            let (auto_hits, auto_hit) = pastas_par::with_threads(threads, || {
+                (
+                    pastas_par::par_map_min(histories, 1, |h| pat.find_matches(h)),
+                    pastas_par::par_map_min(histories, 1, |h| pat.matches(h)),
+                )
+            });
+            prop_assert_eq!(&auto_hits, &naive_hits, "find_matches, threads {}", threads);
+            prop_assert_eq!(&auto_hit, &naive_hit, "matches, threads {}", threads);
+        }
     }
 
     #[test]

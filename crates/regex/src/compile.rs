@@ -1,6 +1,11 @@
 //! AST → NFA program compilation (Thompson construction).
+//!
+//! Emits [`engine`](crate::engine) instructions over the `char` token
+//! alphabet: the guard type is [`CharPred`], which never waits, so the
+//! generic VM behaves exactly like the classic byte Pike VM.
 
 use crate::ast::{Ast, ClassItem};
+use crate::engine::{Inst, Outcome, Program, TokenGuard};
 use std::sync::Arc;
 
 /// A character predicate attached to a consuming instruction.
@@ -39,35 +44,22 @@ impl CharPred {
     }
 }
 
-/// One NFA instruction.
-#[derive(Debug, Clone)]
-pub(crate) enum Inst {
-    /// Consume one character matching the predicate.
-    Char(CharPred),
-    /// Fork: try `a` first (higher priority), then `b`.
-    Split(usize, usize),
-    /// Unconditional jump.
-    Jmp(usize),
-    /// Record the current byte offset into capture slot `n`.
-    Save(usize),
-    /// Succeed only at the start of the haystack.
-    AssertStart,
-    /// Succeed only at the end of the haystack.
-    AssertEnd,
-    /// Accept.
-    Match,
-}
-
-/// A compiled NFA program.
-#[derive(Debug, Clone)]
-pub(crate) struct Program {
-    pub(crate) insts: Vec<Inst>,
-    /// Total capture slots = 2 × (groups + 1).
-    pub(crate) slots: usize,
+/// A character guard never waits: it either consumes or kills the
+/// thread, which is what makes the generic VM's behavior on text
+/// coincide with the classic one.
+impl TokenGuard<char> for CharPred {
+    type State = ();
+    fn admit(&self, token: &char, _state: &()) -> Outcome<()> {
+        if self.matches(*token) {
+            Outcome::Advance(())
+        } else {
+            Outcome::Fail
+        }
+    }
 }
 
 /// Compile `ast` to a program. Slot 0/1 bracket the whole match.
-pub(crate) fn compile(ast: &Ast, case_insensitive: bool) -> Program {
+pub(crate) fn compile(ast: &Ast, case_insensitive: bool) -> Program<CharPred> {
     let mut c = Compiler { insts: Vec::new(), fold: case_insensitive };
     c.push(Inst::Save(0));
     c.emit(ast);
@@ -77,12 +69,12 @@ pub(crate) fn compile(ast: &Ast, case_insensitive: bool) -> Program {
 }
 
 struct Compiler {
-    insts: Vec<Inst>,
+    insts: Vec<Inst<CharPred>>,
     fold: bool,
 }
 
 impl Compiler {
-    fn push(&mut self, inst: Inst) -> usize {
+    fn push(&mut self, inst: Inst<CharPred>) -> usize {
         self.insts.push(inst);
         self.insts.len() - 1
     }
@@ -118,17 +110,23 @@ impl Compiler {
                 } else {
                     (*ch, false)
                 };
-                self.push(Inst::Char(CharPred::Literal { ch, folded }));
+                self.push(Inst::Token {
+                    guard: CharPred::Literal { ch, folded },
+                    slot: None,
+                });
             }
             Ast::Dot => {
-                self.push(Inst::Char(CharPred::Dot));
+                self.push(Inst::Token { guard: CharPred::Dot, slot: None });
             }
             Ast::Class { items, negated } => {
-                self.push(Inst::Char(CharPred::Class {
-                    items: items.clone().into(),
-                    negated: *negated,
-                    folded: self.fold,
-                }));
+                self.push(Inst::Token {
+                    guard: CharPred::Class {
+                        items: items.clone().into(),
+                        negated: *negated,
+                        folded: self.fold,
+                    },
+                    slot: None,
+                });
             }
             Ast::Concat(parts) => {
                 for p in parts {
@@ -229,7 +227,7 @@ mod tests {
     use super::*;
     use crate::parser::parse;
 
-    fn prog(p: &str) -> Program {
+    fn prog(p: &str) -> Program<CharPred> {
         compile(&parse(p).unwrap(), false)
     }
 

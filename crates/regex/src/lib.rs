@@ -31,6 +31,7 @@
 
 mod ast;
 mod compile;
+pub mod engine;
 mod parser;
 mod prefix;
 mod vm;
@@ -39,7 +40,8 @@ pub use ast::{Ast, ClassItem};
 pub use parser::{ParseError, ParseErrorKind};
 pub use prefix::PrefixInfo;
 
-use compile::Program;
+use compile::CharPred;
+use engine::Program;
 
 /// A compiled regular expression.
 ///
@@ -48,7 +50,7 @@ use compile::Program;
 #[derive(Debug, Clone)]
 pub struct Regex {
     pattern: String,
-    program: Program,
+    program: Program<CharPred>,
     /// Number of capturing groups (excluding group 0, the whole match).
     group_count: usize,
     /// Literal-prefix facts for index acceleration.

@@ -157,6 +157,27 @@ proptest! {
             prop_assert!(w[1].start >= w[0].end || (w[0].start == w[0].end && w[1].start > w[0].start));
         }
     }
+
+    /// The generic token engine is byte-for-byte compatible with the
+    /// pre-generalization char VM: identical `Match` (offsets *and*
+    /// capture groups) at every start offset, in both search modes.
+    #[test]
+    fn generic_engine_agrees_with_classic_vm(p in arb_pattern(), input in arb_input()) {
+        let r = Regex::new(&p).unwrap();
+        for full in [false, true] {
+            for start in 0..=input.len() {
+                if !input.is_char_boundary(start) {
+                    continue;
+                }
+                let classic = crate::vm::classic_search(&r.program, &input, start, full);
+                let generic = crate::vm::search(&r.program, &input, start, full);
+                prop_assert_eq!(
+                    &generic, &classic,
+                    "pattern {} on {:?} (start {}, full {})", p, input, start, full
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,22 +1,21 @@
-//! The Pike VM: breadth-first NFA simulation with capture slots.
+//! The byte-regex entry point into the generic Pike VM.
 //!
-//! Runs in `O(|haystack| · |program|)` time regardless of the pattern —
-//! the property that keeps interactive filtering predictable at cohort
+//! [`search`] adapts a `&str` haystack into the `(pos, next_pos, char)`
+//! token stream expected by [`engine::leftmost`] and rebuilds a
+//! [`Match`] from the winning capture slots. Runs in
+//! `O(|haystack| · |program|)` time regardless of the pattern — the
+//! property that keeps interactive filtering predictable at cohort
 //! scale. Semantics are leftmost-first (Perl-like): earlier starting
-//! positions win, and within a position, higher-priority threads (greedy
-//! vs lazy split order) win.
+//! positions win, and within a position, higher-priority threads
+//! (greedy vs lazy split order) win.
+//!
+//! The pre-generalization VM survives below as the test-only
+//! [`classic_search`], the differential oracle proving the generic
+//! engine is byte-for-byte compatible on the proptest corpus.
 
-use crate::compile::{Inst, Program};
+use crate::compile::CharPred;
+use crate::engine::{self, Bounds, Program, UNSET};
 use crate::Match;
-
-const UNSET: usize = usize::MAX;
-
-/// A live NFA thread: program counter plus capture slots.
-#[derive(Clone)]
-struct Thread {
-    pc: usize,
-    saves: Vec<usize>,
-}
 
 /// Search `haystack` for a match.
 ///
@@ -25,12 +24,99 @@ struct Thread {
 /// * `full` — when true, the thread pool is seeded only at `start` and a
 ///   `Match` instruction only accepts at the end of the haystack; the caller
 ///   uses this for whole-string (code predicate) matching.
-pub(crate) fn search(prog: &Program, haystack: &str, start: usize, full: bool) -> Option<Match> {
+pub(crate) fn search(
+    prog: &Program<CharPred>,
+    haystack: &str,
+    start: usize,
+    full: bool,
+) -> Option<Match> {
     if start > haystack.len() {
         return None;
     }
-    // Positions: (byte_offset, char) for each char at or after `start`,
-    // plus an end sentinel.
+    let tokens = haystack[start..]
+        .char_indices()
+        .map(|(i, c)| (start + i, start + i + c.len_utf8(), c));
+    let bounds = Bounds { begin: 0, end: haystack.len() };
+    let saves = engine::leftmost(prog, tokens, bounds, &(), full)?;
+    Some(match_from_saves(&saves))
+}
+
+/// Rebuild a [`Match`] from a winning thread's capture slots.
+fn match_from_saves(saves: &[usize]) -> Match {
+    let groups = saves
+        .chunks(2)
+        .map(|w| if w[0] == UNSET || w[1] == UNSET { None } else { Some((w[0], w[1])) })
+        .collect::<Vec<_>>();
+    // lint:allow(transitive-no-panic-hot-path) slots 0/1 are written before any Accept, so a match always has them
+    let (s, e) = groups[0].expect("whole-match slots always set");
+    Match { start: s, end: e, groups }
+}
+
+/// The original char-specialized Pike VM, kept verbatim as the
+/// differential oracle for [`search`].
+#[cfg(test)]
+pub(crate) fn classic_search(
+    prog: &Program<CharPred>,
+    haystack: &str,
+    start: usize,
+    full: bool,
+) -> Option<Match> {
+    use crate::engine::Inst;
+
+    #[derive(Clone)]
+    struct Thread {
+        pc: usize,
+        saves: Vec<usize>,
+    }
+
+    fn add_thread(
+        prog: &Program<CharPred>,
+        haystack: &str,
+        pos: usize,
+        t: Thread,
+        list: &mut Vec<Thread>,
+        seen: &mut [bool],
+    ) {
+        if seen[t.pc] {
+            return;
+        }
+        seen[t.pc] = true;
+        match &prog.insts[t.pc] {
+            Inst::Jmp(to) => add_thread(prog, haystack, pos, Thread { pc: *to, ..t }, list, seen),
+            Inst::Split(a, b) => {
+                let (a, b) = (*a, *b);
+                add_thread(
+                    prog,
+                    haystack,
+                    pos,
+                    Thread { pc: a, saves: t.saves.clone() },
+                    list,
+                    seen,
+                );
+                add_thread(prog, haystack, pos, Thread { pc: b, saves: t.saves }, list, seen);
+            }
+            Inst::Save(slot) => {
+                let mut saves = t.saves;
+                saves[*slot] = pos;
+                add_thread(prog, haystack, pos, Thread { pc: t.pc + 1, saves }, list, seen);
+            }
+            Inst::AssertStart => {
+                if pos == 0 {
+                    add_thread(prog, haystack, pos, Thread { pc: t.pc + 1, ..t }, list, seen);
+                }
+            }
+            Inst::AssertEnd => {
+                if pos == haystack.len() {
+                    add_thread(prog, haystack, pos, Thread { pc: t.pc + 1, ..t }, list, seen);
+                }
+            }
+            Inst::Token { .. } | Inst::Match => list.push(t),
+        }
+    }
+
+    if start > haystack.len() {
+        return None;
+    }
     let tail = &haystack[start..];
 
     let mut clist: Vec<Thread> = Vec::new();
@@ -48,8 +134,6 @@ pub(crate) fn search(prog: &Program, haystack: &str, start: usize, full: bool) -
             None => (haystack.len(), None),
         };
 
-        // Seed a new start thread unless a match has been found (leftmost)
-        // or we are in anchored/full mode past the start.
         let seed = best.is_none() && (!full || pos == start);
         if seed {
             let saves = vec![UNSET; prog.slots];
@@ -64,9 +148,9 @@ pub(crate) fn search(prog: &Program, haystack: &str, start: usize, full: bool) -
         while i < clist.len() {
             let t = &clist[i];
             match &prog.insts[t.pc] {
-                Inst::Char(pred) => {
+                Inst::Token { guard, .. } => {
                     if let Some(ch) = cur {
-                        if pred.matches(ch) {
+                        if guard.matches(ch) {
                             let mut nt = clist[i].clone();
                             nt.pc += 1;
                             add_thread(
@@ -84,14 +168,10 @@ pub(crate) fn search(prog: &Program, haystack: &str, start: usize, full: bool) -
                     let accept = !full || cur.is_none();
                     if accept {
                         best = Some(clist[i].saves.clone());
-                        // Cut lower-priority threads: they can only produce
-                        // worse (later-starting / lower-priority) matches.
                         clist.truncate(i + 1);
                         break;
                     }
                 }
-                // Eps instructions were resolved by add_thread.
-                // lint:allow(transitive-no-panic-hot-path) add_thread's epsilon closure never enqueues eps instructions
                 _ => unreachable!("epsilon instruction in run list"),
             }
             i += 1;
@@ -110,55 +190,5 @@ pub(crate) fn search(prog: &Program, haystack: &str, start: usize, full: bool) -
         }
     }
 
-    best.map(|saves| {
-        let groups = saves
-            .chunks(2)
-            .map(|w| if w[0] == UNSET || w[1] == UNSET { None } else { Some((w[0], w[1])) })
-            .collect::<Vec<_>>();
-        // lint:allow(transitive-no-panic-hot-path) slots 0/1 are written before any Accept, so a match always has them
-        let (s, e) = groups[0].expect("whole-match slots always set");
-        Match { start: s, end: e, groups }
-    })
-}
-
-/// Add a thread, transitively following epsilon instructions
-/// (Split/Jmp/Save/Assert). `seen` deduplicates by program counter — the
-/// first (highest-priority) arrival wins, which is what gives greedy/lazy
-/// their meaning.
-fn add_thread(
-    prog: &Program,
-    haystack: &str,
-    pos: usize,
-    t: Thread,
-    list: &mut Vec<Thread>,
-    seen: &mut [bool],
-) {
-    if seen[t.pc] {
-        return;
-    }
-    seen[t.pc] = true;
-    match &prog.insts[t.pc] {
-        Inst::Jmp(to) => add_thread(prog, haystack, pos, Thread { pc: *to, ..t }, list, seen),
-        Inst::Split(a, b) => {
-            let (a, b) = (*a, *b);
-            add_thread(prog, haystack, pos, Thread { pc: a, saves: t.saves.clone() }, list, seen);
-            add_thread(prog, haystack, pos, Thread { pc: b, saves: t.saves }, list, seen);
-        }
-        Inst::Save(slot) => {
-            let mut saves = t.saves;
-            saves[*slot] = pos;
-            add_thread(prog, haystack, pos, Thread { pc: t.pc + 1, saves }, list, seen);
-        }
-        Inst::AssertStart => {
-            if pos == 0 {
-                add_thread(prog, haystack, pos, Thread { pc: t.pc + 1, ..t }, list, seen);
-            }
-        }
-        Inst::AssertEnd => {
-            if pos == haystack.len() {
-                add_thread(prog, haystack, pos, Thread { pc: t.pc + 1, ..t }, list, seen);
-            }
-        }
-        Inst::Char(_) | Inst::Match => list.push(t),
-    }
+    best.map(|saves| match_from_saves(&saves))
 }

@@ -541,6 +541,8 @@ fn metrics_response(ctx: &RouterCtx) -> Response {
         ("selection_cache_misses", wb.selection_cache_misses() as f64),
         ("select_index_hits", wb.select_index_hits() as f64),
         ("select_scan_fallbacks", wb.select_scan_fallbacks() as f64),
+        ("pattern_candidates", wb.pattern_candidates() as f64),
+        ("pattern_automaton_runs", wb.pattern_automaton_runs() as f64),
         ("shards", index_footprint.shards as f64),
         ("postings_compressed_bytes", index_footprint.postings_compressed_bytes as f64),
         (
@@ -639,6 +641,26 @@ mod tests {
         let metrics = String::from_utf8(route(&get("/metrics"), &ctx).body).unwrap();
         assert!(metrics.contains("\"select_index_hits\":"), "{metrics}");
         assert!(metrics.contains("\"select_scan_fallbacks\":0"), "{metrics}");
+    }
+
+    #[test]
+    fn select_explain_renders_pattern_scans() {
+        let ctx = ctx();
+        // A temporal sequence over two covered code steps: the planner
+        // must prefilter through the index, and the explain tree must
+        // show the PatternScan with its candidate counters.
+        let resp = route(&post("/select?explain=1", "seq(T90 then[0d..3650d] K.*)"), &ctx);
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"op\":\"PatternScan\""), "{body}");
+        assert!(body.contains("\"counters\""), "{body}");
+        assert!(body.contains("\"full_scan\":false"), "{body}");
+        assert!(Json::parse(&body).is_ok(), "{body}");
+        // The pattern gauges made it to /metrics.
+        let metrics = String::from_utf8(route(&get("/metrics"), &ctx).body).unwrap();
+        assert!(metrics.contains("\"pattern_candidates\":"), "{metrics}");
+        assert!(metrics.contains("\"pattern_automaton_runs\":"), "{metrics}");
+        assert!(!metrics.contains("\"pattern_candidates\":0"), "explain ran: {metrics}");
     }
 
     #[test]

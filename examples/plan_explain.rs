@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release --example plan_explain -- [--patients N] [--seed S]
-//!     [--shard-patients K] [--budget-ms B] [--smoke] [--explain "QUERY"]
+//!     [--shard-patients K] [--budget-ms B] [--smoke] [--smoke-temporal]
+//!     [--explain "QUERY"]
 //! ```
 //!
 //! Default mode compiles and executes a few representative cohort
@@ -18,6 +19,11 @@
 //! 65,536-row shard width), and `--budget-ms B` additionally fails the
 //! smoke when any index-served shape's planned execution exceeds `B`
 //! milliseconds — the 1M-patient CI stage runs with `--budget-ms 100`.
+//! `--smoke-temporal` runs the same differential discipline over
+//! `seq(...)` temporal shapes: code-bearing patterns must plan to an
+//! index prefilter feeding a `PatternScan` operator (never a full
+//! scan) and must report automaton work through the execution stats,
+//! while cover-free patterns must fall back to an honest full scan.
 
 use pastas_core::Workbench;
 use pastas_query::index::select_scan;
@@ -62,6 +68,19 @@ const SHAPES: &[(&str, bool, bool)] = &[
     ("has(K.*) or sex(F)", false, false),
 ];
 
+/// Temporal `seq(...)` shapes for `--smoke-temporal`. The second field
+/// is `must_index`: shapes with at least one code-bearing step must be
+/// served by an index prefilter feeding a `PatternScan`; shapes whose
+/// steps carry no code cover (pure kind predicates) must plan to an
+/// honest full scan rather than a pretend prefilter.
+const TEMPORAL_SHAPES: &[(&str, bool)] = &[
+    ("seq(T90 then K.*)", true),
+    ("seq(K.* then[0d..365d] T90)", true),
+    ("seq(T90 then[0d..3650d] medication then any)", true),
+    ("seq(T90 then[-30d..90d] K.*)", true),
+    ("seq(interval then any)", false),
+];
+
 fn main() {
     let patients = arg("--patients", 5_000) as usize;
     let seed = arg("--seed", 7);
@@ -84,6 +103,9 @@ fn main() {
     if flag("--smoke") {
         let budget_ms = arg("--budget-ms", 0);
         std::process::exit(run_smoke(&workbench, reference_date, budget_ms));
+    }
+    if flag("--smoke-temporal") {
+        std::process::exit(run_temporal_smoke(&workbench, reference_date));
     }
 
     let queries: Vec<String> = match arg_str("--explain") {
@@ -187,6 +209,85 @@ fn run_smoke(workbench: &Workbench, reference_date: pastas_time::Date, budget_ms
         1
     } else {
         eprintln!("PLANNER SMOKE: all checks passed");
+        0
+    }
+}
+
+/// Temporal differential check: every `seq(...)` shape's planned result
+/// must equal the full `select_scan`, code-bearing shapes must execute
+/// as an index-prefiltered `PatternScan` (no full-scan operator, nonzero
+/// candidate / automaton-run stats), and cover-free shapes must plan to
+/// an honest full scan. Returns the exit code.
+fn run_temporal_smoke(workbench: &Workbench, reference_date: pastas_time::Date) -> i32 {
+    let collection = workbench.collection();
+    let index = workbench.index();
+    let mut failures = 0u32;
+    for &(text, must_index) in TEMPORAL_SHAPES {
+        let query = match parse_query(text, reference_date) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("  FAIL parse {text:?}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let plan = QueryPlan::build(index, collection, &query);
+        let (planned, stats) = plan.execute_stats(collection, index);
+        let scanned = select_scan(collection, &query);
+        if planned != scanned {
+            eprintln!(
+                "  FAIL {text:?}: planned {} != scanned {}\n{}",
+                planned.len(),
+                scanned.len(),
+                plan.render()
+            );
+            failures += 1;
+            continue;
+        }
+        if must_index {
+            if plan.uses_full_scan() {
+                eprintln!("  FAIL {text:?}: expected a prefiltered plan, got\n{}", plan.render());
+                failures += 1;
+                continue;
+            }
+            if !plan.render().contains("PatternScan") {
+                eprintln!(
+                    "  FAIL {text:?}: expected a PatternScan operator, got\n{}",
+                    plan.render()
+                );
+                failures += 1;
+                continue;
+            }
+            if stats.pattern_candidates == 0 || stats.pattern_automaton_runs == 0 {
+                eprintln!(
+                    "  FAIL {text:?}: executed without reporting automaton work \
+                     (candidates {}, runs {})",
+                    stats.pattern_candidates, stats.pattern_automaton_runs
+                );
+                failures += 1;
+                continue;
+            }
+        } else if !plan.uses_full_scan() {
+            eprintln!(
+                "  FAIL {text:?}: cover-free pattern should scan honestly, got\n{}",
+                plan.render()
+            );
+            failures += 1;
+            continue;
+        }
+        eprintln!(
+            "  ok   {text} — {} matched, {}, {} candidate(s), {} automaton run(s)",
+            planned.len(),
+            if plan.uses_full_scan() { "scan" } else { "index" },
+            stats.pattern_candidates,
+            stats.pattern_automaton_runs
+        );
+    }
+    if failures > 0 {
+        eprintln!("TEMPORAL SMOKE: {failures} check(s) FAILED");
+        1
+    } else {
+        eprintln!("TEMPORAL SMOKE: all checks passed");
         0
     }
 }

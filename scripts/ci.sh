@@ -62,6 +62,12 @@ stage "planner smoke (differential)" \
 stage "planner smoke (sharded 1M)" \
     cargo run --release --example plan_explain -- --smoke --patients 1000000 \
     --shard-patients 65536 --budget-ms 100
+# Temporal smoke: every seq(...) shape's planned result must equal the
+# full scan, code-bearing patterns must execute as an index-prefiltered
+# PatternScan (no full-scan operator, nonzero candidate/automaton-run
+# stats), and cover-free patterns must plan to an honest full scan.
+stage "temporal smoke (pattern scans)" \
+    cargo run --release --example plan_explain -- --smoke-temporal --patients 2000
 # Loopback smoke of the serve layer: starts a real server on an
 # OS-assigned port, fires every endpoint (including /select?explain=1 on
 # a negated compound query, asserting an index-served plan), asserts
